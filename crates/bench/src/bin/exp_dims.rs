@@ -1,0 +1,96 @@
+//! E4 — reproduces the **Section V dimension-handling measurements**:
+//!
+//! 1. Reversing the dimension order degrades SZ's compression ratio
+//!    (paper: 1.4–1.8x on Hurricane CLOUD, rel bounds 1e-5…1e-2) — the
+//!    mistake the uniform C-ordering interface prevents.
+//! 2. Flattening multi-dimensional data to 1-d degrades the ratio
+//!    (paper: 1.2–1.3x).
+//! 3. MGARD refuses dimensions below 3 points with an error.
+//! 4. ZFP pads dimensions smaller than its block size, hurting efficiency
+//!    (which the `resize` meta-compressor repairs).
+//!
+//! Run: `cargo run --release -p pressio-bench --bin exp_dims`
+
+use libpressio::prelude::*;
+
+fn compressed_size(name: &str, input: &Data, rel: f64) -> usize {
+    let library = libpressio::instance();
+    let mut c = library.get_compressor(name).expect("registered");
+    c.set_options(&Options::new().with(pressio_core::OPT_REL, rel))
+        .expect("options");
+    c.compress(input).expect("compress").size_in_bytes()
+}
+
+fn main() {
+    libpressio::init();
+    // Hurricane-CLOUD-like field; anisotropic like the real 100x500x500.
+    let field = libpressio::datagen::hurricane_cloud(16, 96, 96, 5);
+    let dims = field.dims().to_vec();
+    println!(
+        "E4 / Section V: dimension handling on a hurricane-like field {dims:?}\n"
+    );
+
+    // --- 1 & 2: reversed dims and 1-d flattening, across rel bounds.
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "rel", "correct(B)", "reversed(B)", "flat-1d(B)", "reversed-loss", "flat-loss"
+    );
+    for rel in [1e-5, 1e-4, 1e-3, 1e-2] {
+        let correct = compressed_size("sz", &field, rel);
+        // Reversed dimension order: same bytes, wrong strides.
+        let mut reversed = field.clone();
+        reversed
+            .reshape(dims.iter().rev().copied().collect::<Vec<_>>())
+            .expect("same element count");
+        let rev = compressed_size("sz", &reversed, rel);
+        // Flattened to 1-d: spatial structure invisible.
+        let mut flat = field.clone();
+        flat.reshape(vec![field.num_elements()]).expect("flatten");
+        let f1 = compressed_size("sz", &flat, rel);
+        println!(
+            "{:>9.0e} {:>12} {:>12} {:>12} {:>13.2}x {:>11.2}x",
+            rel,
+            correct,
+            rev,
+            f1,
+            rev as f64 / correct as f64,
+            f1 as f64 / correct as f64
+        );
+    }
+    println!("paper: reversed order costs 1.4-1.8x; 1-d flattening costs 1.2-1.3x\n");
+
+    // --- 3: MGARD's minimum-extent requirement.
+    let library = libpressio::instance();
+    let mut mgard = library.get_compressor("mgard").expect("mgard");
+    let skinny = Data::owned(DType::F64, vec![1000, 2]);
+    match mgard.compress(&skinny) {
+        Err(e) => println!("mgard on dims [1000, 2]: error as the paper describes -> {e}"),
+        Ok(_) => panic!("mgard accepted a dimension below 3 points"),
+    }
+
+    // --- 4: ZFP zero-padding penalty for small dimensions, repaired by the
+    // --- resize meta-compressor.
+    let vals: Vec<f64> = (0..96 * 96)
+        .map(|i| ((i % 96) as f64 * 0.07).sin() + ((i / 96) as f64 * 0.05).cos())
+        .collect();
+    let mut shaped = Data::from_vec(vals, vec![96, 96]).expect("data");
+    let well = compressed_size("zfp", &shaped, 1e-4);
+    shaped.reshape(vec![96, 96, 1]).expect("degenerate 3-d");
+    let padded = compressed_size("zfp", &shaped, 1e-4);
+    let mut resize = library.get_compressor("resize").expect("resize");
+    resize
+        .set_options(
+            &Options::new()
+                .with("resize:compressor", "zfp")
+                .with("resize:dims", "96,96")
+                .with(pressio_core::OPT_REL, 1e-4f64),
+        )
+        .expect("options");
+    let repaired = resize.compress(&shaped).expect("compress").size_in_bytes();
+    println!(
+        "\nzfp on 96x96       : {well} bytes\nzfp on 96x96x1     : {padded} bytes ({:.2}x padding penalty)\nresize->zfp repairs: {repaired} bytes",
+        padded as f64 / well as f64
+    );
+    assert!(padded > well, "padding penalty should be visible");
+    assert!(repaired < padded, "resize should repair the penalty");
+}

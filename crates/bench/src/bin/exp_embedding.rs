@@ -1,0 +1,122 @@
+//! E5 — reproduces the **Section V embeddability measurement**: the cost of
+//! a non-embeddable compressor interface that must run out of process.
+//!
+//! In-process: one `compress` call through the generic handle.
+//! Out-of-process: write the buffer to disk, spawn the `pressio` CLI as an
+//! external process (the paper's NumCodecs/Z-Checker scenario: exec + data
+//! copies across the process boundary), read the result back.
+//!
+//! The paper measured ~174 ms of boundary overhead against ~993 ms of
+//! compression (~17.5% per operation). Absolute numbers differ here; the
+//! claim reproduced is that the out-of-process path adds large,
+//! unavoidable per-operation overhead.
+//!
+//! Run: `cargo run --release -p pressio-bench --bin exp_embedding [runs]`
+//! (requires the `pressio` binary: `cargo build --release -p pressio-tools`)
+
+use std::process::Command;
+use std::time::Instant;
+
+use libpressio::prelude::*;
+use pressio_bench::median;
+
+fn pressio_cli() -> std::path::PathBuf {
+    // The CLI is built into the same target directory as this binary.
+    let mut p = std::env::current_exe().expect("current exe");
+    p.set_file_name("pressio");
+    p
+}
+
+fn main() {
+    libpressio::init();
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let cli = pressio_cli();
+    if !cli.exists() {
+        eprintln!(
+            "exp_embedding: {} not found; run `cargo build --release -p pressio-tools` first",
+            cli.display()
+        );
+        std::process::exit(2);
+    }
+
+    let library = libpressio::instance();
+    let field = libpressio::datagen::hurricane_cloud(20, 100, 100, 9);
+    let dims_arg = field
+        .dims()
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "E5 / Section V: embeddable vs out-of-process, hurricane-like field {:?} ({} KiB), {runs} runs\n",
+        field.dims(),
+        field.size_in_bytes() / 1024
+    );
+
+    // --- in-process path.
+    let mut handle = library.get_compressor("sz").expect("sz");
+    handle
+        .set_options(&Options::new().with(pressio_core::OPT_REL, 1e-3f64))
+        .expect("options");
+    let _ = handle.compress(&field).expect("warmup");
+    let mut in_proc = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        let out = handle.compress(&field).expect("compress");
+        in_proc.push(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out);
+    }
+
+    // --- out-of-process path: file out, exec, file back (the data must
+    // --- cross the process boundary both ways).
+    let dir = std::env::temp_dir().join("exp-embedding");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let input_path = dir.join("field.bin");
+    let output_path = dir.join("field.sz");
+    let mut out_proc = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        std::fs::write(&input_path, field.as_bytes()).expect("write input");
+        let status = Command::new(&cli)
+            .args([
+                "compress",
+                "-c",
+                "sz",
+                "-i",
+                input_path.to_str().expect("utf8 path"),
+                "-o",
+                output_path.to_str().expect("utf8 path"),
+                "-t",
+                "f32",
+                "-d",
+                &dims_arg,
+                "-O",
+                "pressio:rel=0.001",
+            ])
+            .stdout(std::process::Stdio::null())
+            .status()
+            .expect("spawn pressio CLI");
+        assert!(status.success(), "CLI failed");
+        let compressed = std::fs::read(&output_path).expect("read output");
+        out_proc.push(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(compressed);
+    }
+
+    let m_in = median(&in_proc);
+    let m_out = median(&out_proc);
+    let overhead_ms = m_out - m_in;
+    println!("in-process compress (median)     : {m_in:>9.1} ms");
+    println!("out-of-process compress (median) : {m_out:>9.1} ms");
+    println!(
+        "process-boundary overhead        : {overhead_ms:>9.1} ms  ({:.1}% of each operation)",
+        overhead_ms / m_in * 100.0
+    );
+    println!("\npaper: ~174 ms boundary overhead, ~17.5% per compression (up to 201% with expensive init)");
+    assert!(
+        m_out > m_in,
+        "out-of-process must cost more than in-process"
+    );
+}

@@ -1,0 +1,212 @@
+//! E2 — reproduces **Table I**: the feature comparison of compressor
+//! interface libraries.
+//!
+//! Competitor rows are encoded from the paper (they describe external C/C++
+//! and Python projects). The libpressio-rs row is *verified live*: each ✓ is
+//! backed by a runtime probe against this build — if a capability
+//! regresses, this experiment fails loudly rather than print a stale table.
+//!
+//! Run: `cargo run --release -p pressio-bench --bin exp_feature_table`
+
+use std::sync::Arc;
+
+use libpressio::prelude::*;
+
+const COLUMNS: [&str; 8] = [
+    "lossless",
+    "lossy",
+    "n-d aware",
+    "dtype aware",
+    "embeddable",
+    "arbitrary config",
+    "introspection",
+    "3rd-party ext",
+];
+
+/// Verified row: each probe returns true or panics with a diagnosis.
+fn probe_libpressio_rs() -> [bool; 8] {
+    let library = libpressio::instance();
+
+    // (1) lossless compressors present and bit-exact.
+    let lossless = {
+        let mut c = library.get_compressor("deflate").expect("deflate registered");
+        let input = Data::from_vec((0..512u32).collect::<Vec<_>>(), vec![512]).expect("data");
+        let comp = c.compress(&input).expect("compress");
+        let mut out = Data::owned(DType::U32, vec![512]);
+        c.decompress(&comp, &mut out).expect("decompress");
+        out == input
+    };
+
+    // (2) lossy error-bounded compressors present and bounded.
+    let lossy = {
+        let mut c = library.get_compressor("sz").expect("sz registered");
+        c.set_options(&Options::new().with(pressio_core::OPT_ABS, 1e-2f64))
+            .expect("options");
+        let vals: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
+        let input = Data::from_vec(vals, vec![64, 64]).expect("data");
+        let comp = c.compress(&input).expect("compress");
+        let mut out = Data::owned(DType::F64, vec![64, 64]);
+        c.decompress(&comp, &mut out).expect("decompress");
+        comp.size_in_bytes() < input.size_in_bytes()
+            && input
+                .to_f64_vec()
+                .expect("floats")
+                .iter()
+                .zip(out.to_f64_vec().expect("floats"))
+                .all(|(a, b)| (a - b).abs() <= 1e-2)
+    };
+
+    // (3) n-d aware: 2-d-aware compression beats the same bytes as 1-d.
+    let nd_aware = {
+        let mut c = library.get_compressor("sz").expect("sz");
+        c.set_options(&Options::new().with(pressio_core::OPT_ABS, 1e-4f64))
+            .expect("options");
+        let vals: Vec<f64> = (0..128 * 128)
+            .map(|i| ((i % 128) as f64 * 0.05).sin() + ((i / 128) as f64 * 0.04).cos())
+            .collect();
+        let d2 = Data::from_vec(vals.clone(), vec![128, 128]).expect("data");
+        let d1 = Data::from_vec(vals, vec![128 * 128]).expect("data");
+        let c2 = c.compress(&d2).expect("2d").size_in_bytes();
+        let c1 = c.compress(&d1).expect("1d").size_in_bytes();
+        c2 < c1
+    };
+
+    // (4) dtype aware: same buffer as f32 and f64 both work; int input to a
+    // float-only compressor errors *by dtype*, not by crashing.
+    let dtype_aware = {
+        let mut c = library.get_compressor("sz").expect("sz");
+        let f32s = Data::from_vec(vec![1.0f32; 256], vec![256]).expect("data");
+        let i32s = Data::from_vec(vec![1i32; 256], vec![256]).expect("data");
+        c.compress(&f32s).is_ok()
+            && matches!(
+                c.compress(&i32s),
+                Err(e) if e.code() == libpressio::ErrorCode::Unsupported
+            )
+    };
+
+    // (5) embeddable: this probe *is* in-process (no exec, no interpreter).
+    let embeddable = true;
+
+    // (6) arbitrary configuration: opaque pointers travel through options.
+    let arbitrary_config = {
+        struct FakeComm(#[allow(dead_code)] u64);
+        let mut c = library.get_compressor("sz").expect("sz");
+        let mut o = Options::new();
+        o.set_userdata("sz:user_params", Arc::new(FakeComm(7)));
+        c.set_options(&o).is_ok()
+            && c.get_options()
+                .get_userdata::<FakeComm>("sz:user_params")
+                .map(|v| v.is_some())
+                .unwrap_or(false)
+    };
+
+    // (7) introspection: options report types; configuration reports thread
+    // safety; documentation exists.
+    let introspection = {
+        let c = library.get_compressor("zfp").expect("zfp");
+        let opts = c.get_options();
+        let has_typed = opts
+            .iter()
+            .any(|(k, v)| k.starts_with("zfp:") && v.kind().name() != "unset");
+        let cfg = c.get_configuration();
+        has_typed
+            && cfg
+                .get_as::<String>("zfp:pressio:thread_safe")
+                .ok()
+                .flatten()
+                .is_some()
+            && !c.get_documentation().is_empty()
+    };
+
+    // (8) third-party extensions: register a new compressor at runtime
+    // without modifying any library crate, then use it by name.
+    let third_party = {
+        #[derive(Clone)]
+        struct External;
+        impl Compressor for External {
+            fn name(&self) -> &str {
+                "vendor_codec"
+            }
+            fn version(&self) -> libpressio::Version {
+                libpressio::Version::new(9, 9, 9)
+            }
+            fn get_options(&self) -> Options {
+                Options::new()
+            }
+            fn set_options(&mut self, _: &Options) -> libpressio::Result<()> {
+                Ok(())
+            }
+            fn compress(&mut self, input: &Data) -> libpressio::Result<Data> {
+                Ok(Data::from_bytes(input.as_bytes()))
+            }
+            fn decompress(&mut self, c: &Data, o: &mut Data) -> libpressio::Result<()> {
+                o.as_bytes_mut().copy_from_slice(c.as_bytes());
+                Ok(())
+            }
+            fn clone_compressor(&self) -> Box<dyn Compressor> {
+                Box::new(self.clone())
+            }
+        }
+        libpressio::registry().register_compressor("vendor_codec", || Box::new(External));
+        library.get_compressor("vendor_codec").is_ok()
+    };
+
+    [
+        lossless,
+        lossy,
+        nd_aware,
+        dtype_aware,
+        embeddable,
+        arbitrary_config,
+        introspection,
+        third_party,
+    ]
+}
+
+fn main() {
+    // Competitor capabilities as reported by the paper's Table I.
+    // '#' = partial (the paper's half-box), 'x' = no, 'v' = yes.
+    let competitors: [(&str, [char; 8]); 9] = [
+        ("ADIOS-2", ['v', 'v', 'v', 'v', 'v', 'x', 'x', 'x']),
+        ("ffmpeg", ['v', 'v', '#', 'v', 'v', 'x', 'v', 'x']),
+        ("Foresight/CBench", ['v', 'v', 'v', 'v', '#', 'x', 'x', 'x']),
+        ("HDF5", ['v', 'v', 'v', 'v', 'v', 'x', 'x', 'v']),
+        ("imagemagick", ['v', 'v', '#', 'v', 'v', 'x', 'v', 'x']),
+        ("libarchive", ['v', 'x', 'x', 'x', 'v', 'x', 'x', 'x']),
+        ("NumCodecs", ['v', 'v', 'v', 'v', '#', 'x', 'x', 'v']),
+        ("SCIL", ['v', 'v', 'v', 'v', 'v', 'x', 'x', 'x']),
+        ("Z-checker (0.7)", ['v', 'v', 'v', 'v', '#', 'x', 'x', 'x']),
+    ];
+
+    println!("E2 / Table I: feature comparison (libpressio-rs row probed live)\n");
+    print!("{:<18}", "library");
+    for col in COLUMNS {
+        print!(" {col:>16}");
+    }
+    println!();
+    for (name, caps) in competitors {
+        print!("{name:<18}");
+        for c in caps {
+            let s = match c {
+                'v' => "yes",
+                '#' => "partial",
+                _ => "no",
+            };
+            print!(" {s:>16}");
+        }
+        println!();
+    }
+
+    let probed = probe_libpressio_rs();
+    print!("{:<18}", "libpressio-rs");
+    for ok in probed {
+        print!(" {:>16}", if ok { "yes (verified)" } else { "NO" });
+    }
+    println!();
+
+    assert!(
+        probed.iter().all(|&p| p),
+        "a capability probe failed — the build regressed a Table I feature"
+    );
+    println!("\nall 8 capability probes passed: libpressio-rs is the only row with every feature");
+}

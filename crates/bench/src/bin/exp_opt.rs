@@ -1,0 +1,55 @@
+//! E8 — FRaZ-style fixed-ratio optimizer convergence (LibPressio-Opt):
+//! for a grid of target ratios and child compressors, how many trial
+//! compressions the search needs and how close it lands.
+//!
+//! Run: `cargo run --release -p pressio-bench --bin exp_opt`
+
+use libpressio::prelude::*;
+
+fn main() -> libpressio::Result<()> {
+    let library = libpressio::instance();
+    let field = libpressio::datagen::nyx_density(48, 77);
+    println!(
+        "E8: fixed-ratio optimizer convergence on nyx-like {:?}\n",
+        field.dims()
+    );
+    println!(
+        "{:<6} {:>8} {:>14} {:>12} {:>8} {:>10}",
+        "child", "target", "chosen bound", "achieved", "trials", "miss"
+    );
+    for child in ["sz", "zfp", "mgard"] {
+        for target in [5.0f64, 10.0, 20.0, 50.0, 100.0] {
+            let mut opt = library.get_compressor("opt")?;
+            opt.set_options(
+                &Options::new()
+                    .with("opt:compressor", child)
+                    .with("opt:target_ratio", target)
+                    .with("opt:lower", 1e-10f64)
+                    .with("opt:upper", 50.0f64)
+                    .with("opt:max_iters", 40u32),
+            )?;
+            match opt.compress(&field) {
+                Ok(compressed) => {
+                    let achieved =
+                        field.size_in_bytes() as f64 / compressed.size_in_bytes() as f64;
+                    let r = opt.get_options();
+                    let chosen = r.get_as::<f64>("opt:chosen_value")?.unwrap_or(f64::NAN);
+                    let trials = r.get_as::<u32>("opt:evaluations")?.unwrap_or(0);
+                    println!(
+                        "{:<6} {:>8.0} {:>14.3e} {:>12.2} {:>8} {:>9.1}%",
+                        child,
+                        target,
+                        chosen,
+                        achieved,
+                        trials,
+                        (achieved - target) / target * 100.0
+                    );
+                    assert!(achieved >= target * 0.8, "{child} target {target}: landed at {achieved:.1}");
+                }
+                Err(e) => println!("{child:<6} {target:>8.0} unreachable: {e}"),
+            }
+        }
+    }
+    println!("\n(positive miss = overshoot above the target, i.e. smaller files than required)");
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! E1 — reproduces **Figure 3 and Section VI**: the runtime overhead of the
+//! generic interface relative to calling compressors natively.
+//!
+//! Methodology mirrors the paper: matched pairs (one native call, one
+//! through the generic handle) per configuration; ~36 configurations = 3
+//! SDRBench-like datasets × 3 compressors × 4 value-range relative bounds
+//! (1e-4 … 2e-2); 30 runs each; per-configuration median overhead; a
+//! Wilcoxon signed-rank test on the medians.
+//!
+//! "Native" here is a monomorphized call on the concrete compressor struct
+//! (no trait object, no options layer, no metrics hooks) — the honest
+//! analog of calling `SZ_compress` directly. "LibPressio" is the
+//! registry-created `CompressorHandle`.
+//!
+//! Run: `cargo run --release -p pressio-bench --bin exp_overhead [runs]`
+
+use std::time::Instant;
+
+use libpressio::prelude::*;
+use pressio_bench::{ascii_histogram, median};
+use pressio_metrics::stats::wilcoxon_signed_rank;
+use pressio_sz::{Sz, SzVariant};
+use pressio_zfp::Zfp;
+
+struct Config {
+    dataset: &'static str,
+    compressor: &'static str,
+    rel_bound: f64,
+}
+
+/// One timed native + one timed generic operation pair on the same buffer.
+/// The timed region covers one compress **and** one decompress, matching the
+/// paper's instrumentation of both calls. `flip` alternates which side runs
+/// first, cancelling cache-warming bias between the members of a pair.
+fn matched_pair(
+    cfg: &Config,
+    input: &Data,
+    handle: &mut CompressorHandle,
+    flip: bool,
+) -> (f64, f64) {
+    let mut t_generic = 0.0;
+    if flip {
+        t_generic = time_generic(handle, input);
+    }
+    let t_native = match cfg.compressor {
+        "sz" => time_native(Sz::new(SzVariant::Global), cfg, input),
+        "zfp" => time_native(Zfp::default(), cfg, input),
+        _ => time_native(pressio_mgard::Mgard::default(), cfg, input),
+    };
+    if !flip {
+        t_generic = time_generic(handle, input);
+    }
+    (t_native, t_generic)
+}
+
+/// Time compress + decompress on a concrete compressor type: static
+/// dispatch, no handle layer — the native-call analog.
+fn time_native<C: Compressor>(mut c: C, cfg: &Config, input: &Data) -> f64 {
+    c.set_options(&Options::new().with(pressio_core::OPT_REL, cfg.rel_bound))
+        .expect("options");
+    let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+    let t = Instant::now();
+    let compressed = c.compress(input).expect("native compress");
+    c.decompress(&compressed, &mut output)
+        .expect("native decompress");
+    let dt = t.elapsed().as_secs_f64();
+    std::hint::black_box((compressed, output));
+    dt
+}
+
+/// Time compress + decompress through the pre-configured generic handle (the
+/// timing includes the handle layer, exactly like the paper times
+/// `pressio_compressor_compress` / `_decompress`).
+fn time_generic(handle: &mut CompressorHandle, input: &Data) -> f64 {
+    let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+    let t = Instant::now();
+    let compressed = handle.compress(input).expect("generic compress");
+    handle
+        .decompress(&compressed, &mut output)
+        .expect("generic decompress");
+    let dt = t.elapsed().as_secs_f64();
+    std::hint::black_box((compressed, output));
+    dt
+}
+
+fn main() {
+    libpressio::init();
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let library = libpressio::instance();
+
+    let datasets = ["hurricane", "nyx", "hacc"];
+    let compressors = ["sz", "zfp", "mgard"];
+    let bounds = [1e-4, 1e-3, 1e-2, 2e-2];
+
+    let mut configs = Vec::new();
+    for dataset in datasets {
+        for compressor in compressors {
+            for rel_bound in bounds {
+                configs.push(Config {
+                    dataset,
+                    compressor,
+                    rel_bound,
+                });
+            }
+        }
+    }
+
+    println!(
+        "E1 / Figure 3: interface overhead, {} configurations x {runs} matched pairs\n",
+        configs.len()
+    );
+
+    let mut config_medians = Vec::new();
+    let mut worst_single: f64 = f64::NEG_INFINITY;
+    let mut best_single: f64 = f64::INFINITY;
+    let mut all_native = Vec::new();
+    let mut all_generic = Vec::new();
+
+    for cfg in &configs {
+        let input = libpressio::datagen::by_name(cfg.dataset, 1, 7).expect("dataset");
+        let mut handle = library.get_compressor(cfg.compressor).expect("registered");
+        handle
+            .set_options(&Options::new().with(pressio_core::OPT_REL, cfg.rel_bound))
+            .expect("options");
+        // Warm-up pair (excluded, amortizes page faults and allocator state).
+        let _ = matched_pair(cfg, &input, &mut handle, false);
+        let mut overheads = Vec::with_capacity(runs);
+        for r in 0..runs {
+            let (tn, tg) = matched_pair(cfg, &input, &mut handle, r % 2 == 1);
+            let pct = (tg - tn) / tn * 100.0;
+            overheads.push(pct);
+            worst_single = worst_single.max(pct);
+            best_single = best_single.min(pct);
+            all_native.push(tn);
+            all_generic.push(tg);
+        }
+        let med = median(&overheads);
+        config_medians.push(med);
+        println!(
+            "{:<12} {:<6} rel {:>6.0e}: median overhead {:>7.3}%",
+            cfg.dataset, cfg.compressor, cfg.rel_bound, med
+        );
+    }
+
+    println!("\ndistribution of per-configuration median overheads (Fig. 3):");
+    print!("{}", ascii_histogram(&config_medians, 9, 40));
+
+    let largest_median = config_medians
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("\nlargest single-observation overhead : {worst_single:>7.3}% (paper: 2.08%)");
+    println!("fastest single observation           : {best_single:>7.3}%");
+    println!("largest median overhead              : {largest_median:>7.3}% (paper: 0.47%)");
+    println!(
+        "median of medians                    : {:>7.3}%",
+        median(&config_medians)
+    );
+
+    // Wilcoxon signed-rank: do the per-configuration median overheads
+    // differ from 0? (One-sample form, matching the paper's Sec. VI test.)
+    let zeros = vec![0.0; config_medians.len()];
+    let w = wilcoxon_signed_rank(&config_medians, &zeros);
+    println!(
+        "\nWilcoxon signed-rank on {} configuration medians vs 0: p = {:.3} (paper: p = .600)",
+        w.n, w.p_value
+    );
+    if w.p_value > 0.05 {
+        println!("=> insufficient evidence that the interface overhead differs from 0");
+    } else {
+        println!("=> overhead statistically detectable on this machine (small but nonzero)");
+    }
+    // Secondary: all raw pairs (sensitive to single-core scheduling noise).
+    let wp = wilcoxon_signed_rank(&all_generic, &all_native);
+    println!(
+        "secondary test on all {} raw pairs: p = {:.3}",
+        wp.n, wp.p_value
+    );
+}

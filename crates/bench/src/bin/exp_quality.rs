@@ -1,0 +1,44 @@
+//! E7 — supporting sweep: compression ratio / PSNR / max error per
+//! compressor per dataset per bound, the rate–distortion data behind the
+//! Section V claims, produced by the Z-Checker-analog.
+//!
+//! Run: `cargo run --release -p pressio-bench --bin exp_quality`
+
+use libpressio::zchecker::Sweep;
+
+fn main() -> libpressio::Result<()> {
+    libpressio::init();
+    println!("E7: compression-quality sweep (Z-Checker-analog)\n");
+    for dataset in ["hurricane", "nyx", "scale-letkf", "hacc"] {
+        let input = libpressio::datagen::by_name(dataset, 1, 31)?;
+        println!(
+            "== {dataset} ({} {:?}, {} KiB)",
+            input.dtype(),
+            input.dims(),
+            input.size_in_bytes() / 1024
+        );
+        // hacc is 1-d particle data: mgard still works (262144 >= 3) but is
+        // not designed for it; the table shows that honestly.
+        let mut sweep = Sweep::new(&["sz", "sz_interp", "zfp", "mgard"], &[1e-2, 1e-3, 1e-4, 1e-5]);
+        sweep.run(&input)?;
+        println!("{}", sweep.to_table());
+
+        // Sanity assertions on the tradeoff shape: looser bound => higher
+        // ratio, per compressor.
+        for comp in ["sz", "sz_interp", "zfp", "mgard"] {
+            let ratios: Vec<f64> = sweep
+                .rows
+                .iter()
+                .filter(|r| r.compressor == comp)
+                .map(|r| r.ratio)
+                .collect();
+            for w in ratios.windows(2) {
+                assert!(
+                    w[0] >= w[1] * 0.95,
+                    "{dataset}/{comp}: ratio not monotone in bound: {ratios:?}"
+                );
+            }
+        }
+    }
+    Ok(())
+}

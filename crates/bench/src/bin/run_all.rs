@@ -1,0 +1,48 @@
+//! Runs every experiment binary in sequence — the one-command regeneration
+//! of all paper artifacts (the data behind EXPERIMENTS.md).
+//!
+//! Run: `cargo run --release -p pressio-bench --bin run_all [overhead_runs]`
+
+use std::process::Command;
+
+fn main() {
+    let runs = std::env::args().nth(1).unwrap_or_else(|| "30".to_string());
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let experiments: &[(&str, Vec<String>)] = &[
+        ("exp_feature_table", vec![]),
+        ("exp_loc", vec![]),
+        ("exp_dims", vec![]),
+        ("exp_embedding", vec!["12".to_string()]),
+        ("exp_quality", vec![]),
+        ("exp_opt", vec![]),
+        ("exp_ablation", vec![]),
+        ("exp_overhead", vec![runs.clone()]),
+    ];
+
+    let mut failures = Vec::new();
+    for (name, args) in experiments {
+        println!("\n================================================================");
+        println!("== {name} {}", args.join(" "));
+        println!("================================================================");
+        let bin = exe_dir.join(name);
+        let status = Command::new(&bin)
+            .args(args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all experiments completed successfully");
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,111 @@
+/* The paper's Appendix A usage example, adapted only where the original
+ * elides code ("make_input_data"), compiled against the Rust library
+ * through its C ABI. It takes a buffer in memory and compresses it with
+ * the SZ compressor using an absolute error bound of 0.5. To adapt this
+ * example for ZFP or another supported compressor, only the compressor id
+ * and the two option keys change.
+ *
+ * Built and executed automatically by `cargo test -p pressio-capi`
+ * (tests/c_example.rs); manual build:
+ *   cc appendix_a.c -I../include -L<target-dir> -lpressio_capi \
+ *      -Wl,-rpath,<target-dir> -lm -o appendix_a
+ */
+#include <math.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+#include "pressio.h"
+
+static double* make_input_data(void) {
+  double* data = (double*)malloc(300 * 300 * 300 * sizeof(double));
+  size_t i;
+  for (i = 0; i < 300 * 300 * 300; ++i) {
+    data[i] = sin(i * 0.001) * 100.0;
+  }
+  return data;
+}
+
+int main(int argc, char* argv[]) {
+  (void)argc;
+  (void)argv;
+
+  /* get a handle to a compressor */
+  struct pressio* library = pressio_instance();
+  struct pressio_compressor* compressor =
+      pressio_get_compressor(library, "sz");
+  if (!compressor) {
+    fprintf(stderr, "failed to get compressor: %s\n", pressio_error_msg(library));
+    return 1;
+  }
+
+  /* configure metrics */
+  const char* metrics[] = {"size"};
+  struct pressio_metrics* metrics_plugin =
+      pressio_new_metrics(library, metrics, 1);
+  pressio_compressor_set_metrics(compressor, metrics_plugin);
+
+  /* configure the compressor */
+  struct pressio_options* sz_options =
+      pressio_compressor_get_options(compressor);
+  pressio_options_set_string(sz_options, "sz:error_bound_mode_str", "abs");
+  pressio_options_set_double(sz_options, "sz:abs_err_bound", 0.5);
+  if (pressio_compressor_check_options(compressor, sz_options)) {
+    fprintf(stderr, "check_options: %s\n",
+            pressio_compressor_error_msg(compressor));
+    return 1;
+  }
+  if (pressio_compressor_set_options(compressor, sz_options)) {
+    fprintf(stderr, "set_options: %s\n",
+            pressio_compressor_error_msg(compressor));
+    return 1;
+  }
+
+  /* load a 300x300x300 dataset into data created with malloc */
+  double* rawinput_data = make_input_data();
+  size_t dims[] = {300, 300, 300};
+  struct pressio_data* input_data =
+      pressio_data_new_move(pressio_double_dtype, rawinput_data, 3, dims,
+                            pressio_data_libc_free_fn, NULL);
+
+  /* setup compressed and decompressed data buffers */
+  struct pressio_data* compressed_data =
+      pressio_data_new_empty(pressio_byte_dtype, 0, NULL);
+  struct pressio_data* decompressed_data =
+      pressio_data_new_empty(pressio_double_dtype, 3, dims);
+
+  /* compress and decompress the data */
+  if (pressio_compressor_compress(compressor, input_data, compressed_data)) {
+    fprintf(stderr, "compress: %s\n", pressio_compressor_error_msg(compressor));
+    return 1;
+  }
+  if (pressio_compressor_decompress(compressor, compressed_data,
+                                    decompressed_data)) {
+    fprintf(stderr, "decompress: %s\n",
+            pressio_compressor_error_msg(compressor));
+    return 1;
+  }
+
+  /* get the compression ratio */
+  struct pressio_options* metric_results =
+      pressio_compressor_get_metrics_results(compressor);
+  double compression_ratio = 0;
+  pressio_options_get_double(metric_results, "size:compression_ratio",
+                             &compression_ratio);
+  printf("compression ratio: %lf\n", compression_ratio);
+  if (compression_ratio <= 1.0) {
+    fprintf(stderr, "unexpected ratio\n");
+    return 1;
+  }
+
+  /* free the input, decompressed, and compressed data */
+  pressio_data_free(decompressed_data);
+  pressio_data_free(compressed_data);
+  pressio_data_free(input_data);
+
+  /* free options and the library */
+  pressio_options_free(sz_options);
+  pressio_options_free(metric_results);
+  pressio_compressor_release(compressor);
+  pressio_release(library);
+  return 0;
+}

@@ -1,0 +1,109 @@
+/* pressio.h — C interface of libpressio-rs, mirroring the original
+ * LibPressio C API surface used by the paper's Appendix A example.
+ *
+ * Link against the `pressio_capi` cdylib:
+ *   cc app.c -L<target-dir> -lpressio_capi -Wl,-rpath,<target-dir>
+ */
+#ifndef LIBPRESSIO_RS_PRESSIO_H
+#define LIBPRESSIO_RS_PRESSIO_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Opaque handle types. */
+struct pressio;
+struct pressio_compressor;
+struct pressio_options;
+struct pressio_metrics;
+struct pressio_data;
+
+/* Element types (tags match the Rust side). */
+enum pressio_dtype {
+  pressio_int8_dtype = 0,
+  pressio_int16_dtype = 1,
+  pressio_int32_dtype = 2,
+  pressio_int64_dtype = 3,
+  pressio_uint8_dtype = 4,
+  pressio_uint16_dtype = 5,
+  pressio_uint32_dtype = 6,
+  pressio_uint64_dtype = 7,
+  pressio_float_dtype = 8,
+  pressio_double_dtype = 9,
+  pressio_byte_dtype = 10,
+};
+
+typedef void (*pressio_data_delete_fn)(void* ptr, void* metadata);
+
+/* Library lifetime. */
+struct pressio* pressio_instance(void);
+void pressio_release(struct pressio* library);
+const char* pressio_error_msg(struct pressio* library);
+
+/* Compressors. */
+struct pressio_compressor* pressio_get_compressor(struct pressio* library,
+                                                  const char* compressor_id);
+void pressio_compressor_release(struct pressio_compressor* compressor);
+const char* pressio_compressor_error_msg(struct pressio_compressor* compressor);
+
+/* Metrics. */
+struct pressio_metrics* pressio_new_metrics(struct pressio* library,
+                                            const char* const* metric_ids,
+                                            size_t n_metrics);
+void pressio_metrics_free(struct pressio_metrics* metrics);
+/* Attaches and consumes the metrics handle. */
+void pressio_compressor_set_metrics(struct pressio_compressor* compressor,
+                                    struct pressio_metrics* metrics);
+struct pressio_options* pressio_compressor_get_metrics_results(
+    struct pressio_compressor* compressor);
+
+/* Options: typed, introspectable configuration. Return 0 on success. */
+struct pressio_options* pressio_options_new(void);
+struct pressio_options* pressio_compressor_get_options(
+    struct pressio_compressor* compressor);
+void pressio_options_free(struct pressio_options* options);
+int pressio_options_set_string(struct pressio_options* options, const char* key,
+                               const char* value);
+int pressio_options_set_double(struct pressio_options* options, const char* key,
+                               double value);
+int pressio_options_set_integer(struct pressio_options* options, const char* key,
+                                int value);
+int pressio_options_get_double(struct pressio_options* options, const char* key,
+                               double* value);
+
+int pressio_compressor_check_options(struct pressio_compressor* compressor,
+                                     struct pressio_options* options);
+int pressio_compressor_set_options(struct pressio_compressor* compressor,
+                                   struct pressio_options* options);
+
+/* Data buffers: dims are given in C order (slowest varying first). */
+struct pressio_data* pressio_data_new_move(enum pressio_dtype dtype, void* data,
+                                           size_t num_dims, const size_t dims[],
+                                           pressio_data_delete_fn deleter,
+                                           void* metadata);
+struct pressio_data* pressio_data_new_empty(enum pressio_dtype dtype,
+                                            size_t num_dims, const size_t dims[]);
+void pressio_data_free(struct pressio_data* data);
+size_t pressio_data_get_bytes(const struct pressio_data* data);
+size_t pressio_data_num_dimensions(const struct pressio_data* data);
+size_t pressio_data_get_dimension(const struct pressio_data* data, size_t dim);
+const void* pressio_data_ptr(const struct pressio_data* data, size_t* size_out);
+/* Standard deleter for malloc'ed buffers. */
+void pressio_data_libc_free_fn(void* ptr, void* metadata);
+
+/* Compression. Return 0 on success; error details via
+ * pressio_compressor_error_msg. */
+int pressio_compressor_compress(struct pressio_compressor* compressor,
+                                const struct pressio_data* input,
+                                struct pressio_data* output);
+int pressio_compressor_decompress(struct pressio_compressor* compressor,
+                                  const struct pressio_data* input,
+                                  struct pressio_data* output);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* LIBPRESSIO_RS_PRESSIO_H */

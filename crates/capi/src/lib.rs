@@ -1,0 +1,640 @@
+//! # pressio-capi
+//!
+//! A C ABI over libpressio-rs mirroring the original LibPressio C API, so
+//! C/Fortran applications — and the paper's Appendix A example verbatim —
+//! can use the Rust library. See `include/pressio.h` for the header and
+//! `examples/appendix_a.c` for the compiled-and-tested C client.
+//!
+//! Handle types are opaque boxed Rust objects; every function catches
+//! panics at the FFI boundary and converts them (and `Err`s) into the
+//! nonzero error codes + per-compressor error messages of the C API.
+
+#![warn(missing_docs)]
+// An FFI layer is necessarily unsafe; every function documents its
+// invariants in `include/pressio.h`.
+#![allow(clippy::missing_safety_doc)]
+
+use std::ffi::{c_char, c_int, c_void, CStr, CString};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use libpressio::prelude::*;
+
+/// Opaque library instance (`struct pressio`).
+pub struct CPressio {
+    _instance: Pressio,
+    last_error: Option<CString>,
+}
+
+/// Opaque compressor handle (`struct pressio_compressor`).
+pub struct CCompressor {
+    inner: CompressorHandle,
+    last_error: Option<CString>,
+}
+
+/// Opaque options handle (`struct pressio_options`).
+pub struct COptions {
+    inner: Options,
+}
+
+/// Opaque metrics list handle (`struct pressio_metrics`).
+pub struct CMetrics {
+    inner: Vec<Box<dyn MetricsPlugin>>,
+}
+
+/// Opaque data handle (`struct pressio_data`).
+pub struct CData {
+    inner: Data,
+}
+
+fn dtype_from_c(v: c_int) -> Option<DType> {
+    // Matches the enum order in include/pressio.h.
+    Some(match v {
+        0 => DType::I8,
+        1 => DType::I16,
+        2 => DType::I32,
+        3 => DType::I64,
+        4 => DType::U8,
+        5 => DType::U16,
+        6 => DType::U32,
+        7 => DType::U64,
+        8 => DType::F32,
+        9 => DType::F64,
+        10 => DType::Byte,
+        _ => return None,
+    })
+}
+
+unsafe fn cstr<'a>(p: *const c_char) -> Option<&'a str> {
+    if p.is_null() {
+        return None;
+    }
+    CStr::from_ptr(p).to_str().ok()
+}
+
+/// `struct pressio* pressio_instance(void)` — acquire the library.
+#[no_mangle]
+pub extern "C" fn pressio_instance() -> *mut CPressio {
+    catch_unwind(|| {
+        Box::into_raw(Box::new(CPressio {
+            _instance: libpressio::instance(),
+            last_error: None,
+        }))
+    })
+    .unwrap_or(std::ptr::null_mut())
+}
+
+/// `void pressio_release(struct pressio*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_release(library: *mut CPressio) {
+    if !library.is_null() {
+        drop(Box::from_raw(library));
+    }
+}
+
+/// `const char* pressio_error_msg(struct pressio*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_error_msg(library: *mut CPressio) -> *const c_char {
+    match library.as_ref().and_then(|l| l.last_error.as_ref()) {
+        Some(s) => s.as_ptr(),
+        None => c"".as_ptr(),
+    }
+}
+
+/// `struct pressio_compressor* pressio_get_compressor(struct pressio*, const char*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_get_compressor(
+    library: *mut CPressio,
+    id: *const c_char,
+) -> *mut CCompressor {
+    let Some(lib) = library.as_mut() else {
+        return std::ptr::null_mut();
+    };
+    let Some(name) = cstr(id) else {
+        lib.last_error = Some(c"compressor id is null or not UTF-8".into());
+        return std::ptr::null_mut();
+    };
+    match libpressio::registry().compressor(name) {
+        Ok(handle) => Box::into_raw(Box::new(CCompressor {
+            inner: handle,
+            last_error: None,
+        })),
+        Err(e) => {
+            lib.last_error = CString::new(e.to_string()).ok();
+            std::ptr::null_mut()
+        }
+    }
+}
+
+/// `void pressio_compressor_release(struct pressio_compressor*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_release(compressor: *mut CCompressor) {
+    if !compressor.is_null() {
+        drop(Box::from_raw(compressor));
+    }
+}
+
+/// `const char* pressio_compressor_error_msg(struct pressio_compressor*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_error_msg(
+    compressor: *mut CCompressor,
+) -> *const c_char {
+    match compressor.as_ref().and_then(|c| c.last_error.as_ref()) {
+        Some(s) => s.as_ptr(),
+        None => c"".as_ptr(),
+    }
+}
+
+// ------------------------------------------------------------------ metrics
+
+/// `struct pressio_metrics* pressio_new_metrics(struct pressio*, const char* const*, size_t)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_new_metrics(
+    library: *mut CPressio,
+    ids: *const *const c_char,
+    n: usize,
+) -> *mut CMetrics {
+    let Some(lib) = library.as_mut() else {
+        return std::ptr::null_mut();
+    };
+    let mut names = Vec::with_capacity(n);
+    for i in 0..n {
+        let Some(name) = cstr(*ids.add(i)) else {
+            lib.last_error = Some(c"metrics id is null or not UTF-8".into());
+            return std::ptr::null_mut();
+        };
+        names.push(name);
+    }
+    match libpressio::registry().metrics_composite(&names) {
+        Ok(inner) => Box::into_raw(Box::new(CMetrics { inner })),
+        Err(e) => {
+            lib.last_error = CString::new(e.to_string()).ok();
+            std::ptr::null_mut()
+        }
+    }
+}
+
+/// `void pressio_metrics_free(struct pressio_metrics*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_metrics_free(metrics: *mut CMetrics) {
+    if !metrics.is_null() {
+        drop(Box::from_raw(metrics));
+    }
+}
+
+/// `void pressio_compressor_set_metrics(struct pressio_compressor*, struct pressio_metrics*)`
+/// — consumes the metrics handle, like the C library's attach semantics.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_set_metrics(
+    compressor: *mut CCompressor,
+    metrics: *mut CMetrics,
+) {
+    if metrics.is_null() {
+        return;
+    }
+    // Consume the handle unconditionally (the attach contract) so a null
+    // compressor does not leak it.
+    let m = Box::from_raw(metrics);
+    if let Some(c) = compressor.as_mut() {
+        c.inner.set_metrics(m.inner);
+    }
+}
+
+/// `struct pressio_options* pressio_compressor_get_metrics_results(struct pressio_compressor*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_get_metrics_results(
+    compressor: *mut CCompressor,
+) -> *mut COptions {
+    match compressor.as_ref() {
+        Some(c) => Box::into_raw(Box::new(COptions {
+            inner: c.inner.metrics_results(),
+        })),
+        None => std::ptr::null_mut(),
+    }
+}
+
+// ------------------------------------------------------------------ options
+
+/// `struct pressio_options* pressio_options_new(void)`.
+#[no_mangle]
+pub extern "C" fn pressio_options_new() -> *mut COptions {
+    Box::into_raw(Box::new(COptions {
+        inner: Options::new(),
+    }))
+}
+
+/// `struct pressio_options* pressio_compressor_get_options(struct pressio_compressor*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_get_options(
+    compressor: *mut CCompressor,
+) -> *mut COptions {
+    match compressor.as_ref() {
+        Some(c) => Box::into_raw(Box::new(COptions {
+            inner: c.inner.get_options(),
+        })),
+        None => std::ptr::null_mut(),
+    }
+}
+
+/// `void pressio_options_free(struct pressio_options*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_options_free(options: *mut COptions) {
+    if !options.is_null() {
+        drop(Box::from_raw(options));
+    }
+}
+
+/// `int pressio_options_set_string(struct pressio_options*, const char*, const char*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_options_set_string(
+    options: *mut COptions,
+    key: *const c_char,
+    value: *const c_char,
+) -> c_int {
+    let (Some(o), Some(k), Some(v)) = (options.as_mut(), cstr(key), cstr(value)) else {
+        return 1;
+    };
+    o.inner.set(k, v);
+    0
+}
+
+/// `int pressio_options_set_double(struct pressio_options*, const char*, double)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_options_set_double(
+    options: *mut COptions,
+    key: *const c_char,
+    value: f64,
+) -> c_int {
+    let (Some(o), Some(k)) = (options.as_mut(), cstr(key)) else {
+        return 1;
+    };
+    o.inner.set(k, value);
+    0
+}
+
+/// `int pressio_options_set_integer(struct pressio_options*, const char*, int)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_options_set_integer(
+    options: *mut COptions,
+    key: *const c_char,
+    value: c_int,
+) -> c_int {
+    let (Some(o), Some(k)) = (options.as_mut(), cstr(key)) else {
+        return 1;
+    };
+    o.inner.set(k, value);
+    0
+}
+
+/// `int pressio_options_get_double(struct pressio_options*, const char*, double*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_options_get_double(
+    options: *mut COptions,
+    key: *const c_char,
+    value: *mut f64,
+) -> c_int {
+    let (Some(o), Some(k)) = (options.as_ref(), cstr(key)) else {
+        return 1;
+    };
+    match o.inner.get_as::<f64>(k) {
+        Ok(Some(v)) if !value.is_null() => {
+            *value = v;
+            0
+        }
+        _ => 1,
+    }
+}
+
+// --------------------------------------------------------------- compressor
+
+/// `int pressio_compressor_check_options(struct pressio_compressor*, struct pressio_options*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_check_options(
+    compressor: *mut CCompressor,
+    options: *mut COptions,
+) -> c_int {
+    let (Some(c), Some(o)) = (compressor.as_mut(), options.as_ref()) else {
+        return 1;
+    };
+    match c.inner.check_options(&o.inner) {
+        Ok(()) => 0,
+        Err(e) => {
+            c.last_error = CString::new(e.to_string()).ok();
+            e.code().code()
+        }
+    }
+}
+
+/// `int pressio_compressor_set_options(struct pressio_compressor*, struct pressio_options*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_set_options(
+    compressor: *mut CCompressor,
+    options: *mut COptions,
+) -> c_int {
+    let (Some(c), Some(o)) = (compressor.as_mut(), options.as_ref()) else {
+        return 1;
+    };
+    match c.inner.set_options(&o.inner) {
+        Ok(()) => 0,
+        Err(e) => {
+            c.last_error = CString::new(e.to_string()).ok();
+            e.code().code()
+        }
+    }
+}
+
+/// `int pressio_compressor_compress(struct pressio_compressor*, const struct pressio_data*, struct pressio_data*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_compress(
+    compressor: *mut CCompressor,
+    input: *const CData,
+    output: *mut CData,
+) -> c_int {
+    let (Some(c), Some(i), Some(o)) = (compressor.as_mut(), input.as_ref(), output.as_mut())
+    else {
+        return 1;
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| c.inner.compress(&i.inner)));
+    match result {
+        Ok(Ok(data)) => {
+            o.inner = data;
+            0
+        }
+        Ok(Err(e)) => {
+            c.last_error = CString::new(e.to_string()).ok();
+            e.code().code()
+        }
+        Err(_) => {
+            c.last_error = Some(c"panic across FFI boundary".into());
+            7
+        }
+    }
+}
+
+/// `int pressio_compressor_decompress(struct pressio_compressor*, const struct pressio_data*, struct pressio_data*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_compressor_decompress(
+    compressor: *mut CCompressor,
+    input: *const CData,
+    output: *mut CData,
+) -> c_int {
+    let (Some(c), Some(i), Some(o)) = (compressor.as_mut(), input.as_ref(), output.as_mut())
+    else {
+        return 1;
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        c.inner.decompress(&i.inner, &mut o.inner)
+    }));
+    match result {
+        Ok(Ok(())) => 0,
+        Ok(Err(e)) => {
+            c.last_error = CString::new(e.to_string()).ok();
+            e.code().code()
+        }
+        Err(_) => {
+            c.last_error = Some(c"panic across FFI boundary".into());
+            7
+        }
+    }
+}
+
+// --------------------------------------------------------------------- data
+
+/// `struct pressio_data* pressio_data_new_move(enum pressio_dtype, void*, size_t, const size_t*, pressio_data_delete_fn, void*)`
+/// — takes ownership of `ptr`: the bytes are captured and the deleter is
+/// invoked (the Rust side owns aligned storage internally).
+#[no_mangle]
+pub unsafe extern "C" fn pressio_data_new_move(
+    dtype: c_int,
+    ptr: *mut c_void,
+    num_dims: usize,
+    dims: *const usize,
+    deleter: Option<unsafe extern "C" fn(*mut c_void, *mut c_void)>,
+    metadata: *mut c_void,
+) -> *mut CData {
+    let Some(dt) = dtype_from_c(dtype) else {
+        return std::ptr::null_mut();
+    };
+    if ptr.is_null() || (num_dims > 0 && dims.is_null()) {
+        return std::ptr::null_mut();
+    }
+    let dims: Vec<usize> = (0..num_dims).map(|i| *dims.add(i)).collect();
+    let n: usize = dims.iter().product();
+    let bytes = std::slice::from_raw_parts(ptr as *const u8, n * dt.size());
+    let mut data = Data::owned(dt, dims);
+    data.as_bytes_mut().copy_from_slice(bytes);
+    if let Some(del) = deleter {
+        del(ptr, metadata);
+    }
+    Box::into_raw(Box::new(CData { inner: data }))
+}
+
+/// `struct pressio_data* pressio_data_new_empty(enum pressio_dtype, size_t, const size_t*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_data_new_empty(
+    dtype: c_int,
+    num_dims: usize,
+    dims: *const usize,
+) -> *mut CData {
+    let Some(dt) = dtype_from_c(dtype) else {
+        return std::ptr::null_mut();
+    };
+    let dims: Vec<usize> = if num_dims == 0 || dims.is_null() {
+        vec![0]
+    } else {
+        (0..num_dims).map(|i| *dims.add(i)).collect()
+    };
+    Box::into_raw(Box::new(CData {
+        inner: Data::owned(dt, dims),
+    }))
+}
+
+/// `void pressio_data_free(struct pressio_data*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_data_free(data: *mut CData) {
+    if !data.is_null() {
+        drop(Box::from_raw(data));
+    }
+}
+
+/// `size_t pressio_data_get_bytes(const struct pressio_data*)` — payload size.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_data_get_bytes(data: *const CData) -> usize {
+    data.as_ref().map(|d| d.inner.size_in_bytes()).unwrap_or(0)
+}
+
+/// `size_t pressio_data_num_dimensions(const struct pressio_data*)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_data_num_dimensions(data: *const CData) -> usize {
+    data.as_ref().map(|d| d.inner.num_dims()).unwrap_or(0)
+}
+
+/// `size_t pressio_data_get_dimension(const struct pressio_data*, size_t)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_data_get_dimension(data: *const CData, dim: usize) -> usize {
+    data.as_ref()
+        .and_then(|d| d.inner.dims().get(dim).copied())
+        .unwrap_or(0)
+}
+
+/// `const void* pressio_data_ptr(const struct pressio_data*, size_t* size_out)`.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_data_ptr(
+    data: *const CData,
+    size_out: *mut usize,
+) -> *const c_void {
+    match data.as_ref() {
+        Some(d) => {
+            if !size_out.is_null() {
+                *size_out = d.inner.size_in_bytes();
+            }
+            d.inner.as_bytes().as_ptr() as *const c_void
+        }
+        None => std::ptr::null(),
+    }
+}
+
+/// `void pressio_data_libc_free_fn(void*, void*)` — the standard deleter
+/// from the C API, freeing a `malloc`ed buffer.
+#[no_mangle]
+pub unsafe extern "C" fn pressio_data_libc_free_fn(ptr: *mut c_void, _metadata: *mut c_void) {
+    // SAFETY: per the C API contract, ptr was allocated with malloc.
+    libc_free(ptr);
+}
+
+extern "C" {
+    #[link_name = "free"]
+    fn libc_free(ptr: *mut c_void);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_a_flow_via_c_abi() {
+        unsafe {
+            let lib = pressio_instance();
+            assert!(!lib.is_null());
+            let comp = pressio_get_compressor(lib, c"sz".as_ptr());
+            assert!(!comp.is_null());
+
+            let metrics_ids = [c"size".as_ptr()];
+            let metrics = pressio_new_metrics(lib, metrics_ids.as_ptr(), 1);
+            assert!(!metrics.is_null());
+            pressio_compressor_set_metrics(comp, metrics);
+
+            let options = pressio_compressor_get_options(comp);
+            assert_eq!(
+                pressio_options_set_string(
+                    options,
+                    c"sz:error_bound_mode_str".as_ptr(),
+                    c"abs".as_ptr()
+                ),
+                0
+            );
+            assert_eq!(
+                pressio_options_set_double(options, c"sz:abs_err_bound".as_ptr(), 0.5),
+                0
+            );
+            assert_eq!(pressio_compressor_check_options(comp, options), 0);
+            assert_eq!(pressio_compressor_set_options(comp, options), 0);
+
+            // 30^3 doubles through the move constructor.
+            let n = 30usize * 30 * 30;
+            let raw = std::alloc::alloc(
+                std::alloc::Layout::array::<f64>(n).expect("layout"),
+            ) as *mut f64;
+            for i in 0..n {
+                *raw.add(i) = (i as f64 * 0.001).sin() * 100.0;
+            }
+            let dims = [30usize, 30, 30];
+            let input = pressio_data_new_move(
+                9, // pressio_double_dtype
+                raw as *mut c_void,
+                3,
+                dims.as_ptr(),
+                None, // freed manually below (alloc, not malloc)
+                std::ptr::null_mut(),
+            );
+            std::alloc::dealloc(
+                raw as *mut u8,
+                std::alloc::Layout::array::<f64>(n).expect("layout"),
+            );
+            assert!(!input.is_null());
+
+            let compressed = pressio_data_new_empty(10, 0, std::ptr::null());
+            let decompressed = pressio_data_new_empty(9, 3, dims.as_ptr());
+            assert_eq!(pressio_compressor_compress(comp, input, compressed), 0);
+            assert!(pressio_data_get_bytes(compressed) < n * 8);
+            assert_eq!(
+                pressio_compressor_decompress(comp, compressed, decompressed),
+                0
+            );
+            assert_eq!(pressio_data_num_dimensions(decompressed), 3);
+            assert_eq!(pressio_data_get_dimension(decompressed, 0), 30);
+
+            let results = pressio_compressor_get_metrics_results(comp);
+            let mut ratio = 0.0f64;
+            assert_eq!(
+                pressio_options_get_double(
+                    results,
+                    c"size:compression_ratio".as_ptr(),
+                    &mut ratio
+                ),
+                0
+            );
+            assert!(ratio > 1.0, "ratio {ratio}");
+
+            pressio_data_free(input);
+            pressio_data_free(compressed);
+            pressio_data_free(decompressed);
+            pressio_options_free(options);
+            pressio_options_free(results);
+            pressio_compressor_release(comp);
+            pressio_release(lib);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_crashed() {
+        unsafe {
+            let lib = pressio_instance();
+            // Unknown compressor: null + message on the library handle.
+            let missing = pressio_get_compressor(lib, c"not_a_codec".as_ptr());
+            assert!(missing.is_null());
+            let msg = CStr::from_ptr(pressio_error_msg(lib));
+            assert!(msg.to_string_lossy().contains("not_a_codec"));
+
+            // Bad option value: nonzero code + message on the compressor.
+            let comp = pressio_get_compressor(lib, c"sz".as_ptr());
+            let opts = pressio_options_new();
+            pressio_options_set_double(opts, c"sz:abs_err_bound".as_ptr(), -1.0);
+            let rc = pressio_compressor_set_options(comp, opts);
+            assert_ne!(rc, 0);
+            let msg = CStr::from_ptr(pressio_compressor_error_msg(comp));
+            assert!(!msg.to_bytes().is_empty());
+
+            pressio_options_free(opts);
+            pressio_compressor_release(comp);
+            pressio_release(lib);
+        }
+    }
+
+    #[test]
+    fn null_arguments_are_tolerated() {
+        unsafe {
+            assert_eq!(pressio_data_get_bytes(std::ptr::null()), 0);
+            pressio_data_free(std::ptr::null_mut());
+            pressio_options_free(std::ptr::null_mut());
+            pressio_compressor_release(std::ptr::null_mut());
+            pressio_release(std::ptr::null_mut());
+            assert_eq!(
+                pressio_options_set_double(std::ptr::null_mut(), c"x".as_ptr(), 1.0),
+                1
+            );
+            let lib = pressio_instance();
+            assert!(pressio_get_compressor(lib, std::ptr::null()).is_null());
+            pressio_release(lib);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Compiles and runs the paper's Appendix A example (`examples/appendix_a.c`)
+//! as a real C program against the `pressio_capi` cdylib — the strongest
+//! possible check that the C ABI matches the header and the original API's
+//! semantics. Skips cleanly when no C compiler is available.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn find_cc() -> Option<&'static str> {
+    ["cc", "gcc", "clang"].into_iter().find(|&cc| Command::new(cc)
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)).map(|v| v as _)
+}
+
+/// The directory containing libpressio_capi.so (target/<profile>).
+fn cdylib_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test exe path");
+    // target/<profile>/deps/<test-bin> -> target/<profile>
+    exe.parent()
+        .and_then(|p| p.parent())
+        .expect("target profile dir")
+        .to_path_buf()
+}
+
+#[test]
+fn appendix_a_compiles_and_runs_in_c() {
+    let Some(cc) = find_cc() else {
+        eprintln!("skipping: no C compiler found");
+        return;
+    };
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let lib_dir = cdylib_dir();
+    let so = lib_dir.join("libpressio_capi.so");
+    let dylib = lib_dir.join("libpressio_capi.dylib");
+    if !so.exists() && !dylib.exists() {
+        // The cdylib is built alongside the test by cargo; if the artifact
+        // name/location differs on this platform, skip rather than fail.
+        eprintln!("skipping: cdylib not found in {}", lib_dir.display());
+        return;
+    }
+
+    let out_dir = std::env::temp_dir().join("pressio-capi-test");
+    std::fs::create_dir_all(&out_dir).expect("temp dir");
+    let binary = out_dir.join("appendix_a");
+
+    let status = Command::new(cc)
+        .arg(manifest.join("examples/appendix_a.c"))
+        .arg(format!("-I{}", manifest.join("include").display()))
+        .arg(format!("-L{}", lib_dir.display()))
+        .arg("-lpressio_capi")
+        .arg(format!("-Wl,-rpath,{}", lib_dir.display()))
+        .arg("-lm")
+        .arg("-O2")
+        .arg("-Wall")
+        .arg("-Werror")
+        .arg("-o")
+        .arg(&binary)
+        .status()
+        .expect("invoke C compiler");
+    assert!(status.success(), "C compilation failed");
+
+    let output = Command::new(&binary).output().expect("run C example");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "C example failed: {stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("compression ratio:"),
+        "unexpected output: {stdout}"
+    );
+    // The ratio printed must parse and exceed 1 (it asserts this in C too).
+    let ratio: f64 = stdout
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("ratio token")
+        .parse()
+        .expect("parseable ratio");
+    assert!(ratio > 10.0, "smooth 300^3 data should compress well: {ratio}");
+}

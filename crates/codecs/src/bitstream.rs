@@ -1,0 +1,285 @@
+//! LSB-first bit streams.
+//!
+//! The write/read order matches ZFP's stream convention: bits are packed into
+//! 64-bit words least-significant-bit first, so `write_bits(v, n)` emits the
+//! low `n` bits of `v` starting with bit 0. Both the ZFP-style embedded
+//! coder and the canonical Huffman coders are built on these.
+
+use pressio_core::{Error, Result};
+
+/// An append-only bit sink.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    /// Bits used in the last word (0..=63; a full word is pushed eagerly).
+    used: u32,
+    total_bits: u64,
+}
+
+impl BitWriter {
+    /// An empty bit stream.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Total number of bits written.
+    pub fn len_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Append a single bit (any nonzero `bit` writes 1).
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.words.push(0);
+        }
+        if bit {
+            let last = self.words.last_mut().expect("word pushed above");
+            *last |= 1u64 << self.used;
+        }
+        self.used = (self.used + 1) & 63;
+        self.total_bits += 1;
+    }
+
+    /// Append the low `n` bits of `v`, LSB first (`n <= 64`).
+    #[inline]
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let v = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+        if self.used == 0 {
+            self.words.push(v);
+            self.used = n & 63;
+        } else {
+            let free = 64 - self.used;
+            let last = self.words.last_mut().expect("non-empty when used > 0");
+            *last |= v << self.used;
+            if n >= free {
+                let hi = if free == 64 { 0 } else { v >> free };
+                let rem = n - free;
+                if rem > 0 || n == free {
+                    // Start a new word only if bits spill over.
+                    if rem > 0 {
+                        self.words.push(hi);
+                    }
+                }
+                self.used = rem & 63;
+                if rem == 0 {
+                    self.used = 0;
+                }
+            } else {
+                self.used += n;
+            }
+        }
+        self.total_bits += n as u64;
+    }
+
+    /// Finish, returning little-endian bytes (padded with zero bits).
+    pub fn into_bytes(self) -> Vec<u8> {
+        let nbytes = self.total_bits.div_ceil(8) as usize;
+        let mut out = Vec::with_capacity(self.words.len() * 8);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(nbytes);
+        out
+    }
+}
+
+/// A bounds-checked bit source over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits still available.
+    pub fn remaining_bits(&self) -> u64 {
+        (self.bytes.len() as u64 * 8).saturating_sub(self.pos)
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        if self.pos >= self.bytes.len() as u64 * 8 {
+            return Err(Error::corrupt("bit stream exhausted"));
+        }
+        let byte = self.bytes[(self.pos / 8) as usize];
+        let bit = (byte >> (self.pos % 8)) & 1;
+        self.pos += 1;
+        Ok(bit != 0)
+    }
+
+    /// Read `n` bits (LSB first), `n <= 64`.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.remaining_bits() < n as u64 {
+            return Err(Error::corrupt(format!(
+                "bit stream exhausted: wanted {n} bits, {} remain",
+                self.remaining_bits()
+            )));
+        }
+        let mut v: u64 = 0;
+        let mut got: u32 = 0;
+        while got < n {
+            let byte_idx = (self.pos / 8) as usize;
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(n - got);
+            let chunk = ((self.bytes[byte_idx] as u64) >> bit_off) & ((1u64 << take) - 1);
+            v |= chunk << got;
+            got += take;
+            self.pos += take as u64;
+        }
+        Ok(v)
+    }
+
+    /// Skip forward `n` bits.
+    pub fn skip(&mut self, n: u64) -> Result<()> {
+        if self.remaining_bits() < n {
+            return Err(Error::corrupt("bit stream exhausted on skip"));
+        }
+        self.pos += n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        w.write_bits(0x3FF, 10);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+    }
+
+    #[test]
+    fn word_boundary_cases() {
+        // Write exactly 64, then more: exercises the spill logic.
+        let mut w = BitWriter::new();
+        w.write_bits(0x0123456789ABCDEF, 64);
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), 0x0123456789ABCDEF);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+
+        // Unaligned then 64-bit read across words.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(u64::MAX - 12345, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX - 12345);
+    }
+
+    #[test]
+    fn exhaustion_is_error() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // Reading padded bits inside the final byte is allowed...
+        assert_eq!(r.read_bits(8).unwrap(), 0b11);
+        // ...but running past the buffer is an error.
+        assert!(r.read_bits(8).is_err());
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn skip_moves_cursor() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAA, 8);
+        w.write_bits(0x55, 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.skip(8).unwrap();
+        assert_eq!(r.read_bits(8).unwrap(), 0x55);
+        assert!(r.skip(1).is_err());
+    }
+
+    #[test]
+    fn zero_width_ops() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.len_bits(), 0);
+        let bytes = w.into_bytes();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn dense_randomish_roundtrip() {
+        // Deterministic pseudo-random widths/values.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut vals = vec![];
+        let mut w = BitWriter::new();
+        for _ in 0..1000 {
+            let n = (next() % 65) as u32;
+            let v = next();
+            let masked = if n == 64 {
+                v
+            } else if n == 0 {
+                0
+            } else {
+                v & ((1u64 << n) - 1)
+            };
+            w.write_bits(v, n);
+            vals.push((masked, n));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in vals {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+    }
+}

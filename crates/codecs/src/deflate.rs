@@ -1,0 +1,64 @@
+//! "deflate-lite": LZ77 followed by canonical Huffman over the LZ bytes.
+//!
+//! The general-purpose lossless backend used by the lossy compressors for
+//! their entropy-coded sections (the role zlib/zstd play for SZ).
+
+use pressio_core::Result;
+
+use crate::{huffman, lz77};
+
+/// Compress bytes: LZ77 then byte-Huffman.
+///
+/// ```
+/// let data = b"abcabcabcabcabc".repeat(100);
+/// let packed = pressio_codecs::deflate::compress(&data);
+/// assert!(packed.len() < data.len() / 4);
+/// assert_eq!(pressio_codecs::deflate::decompress(&packed).unwrap(), data);
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    huffman::encode_bytes(&lz77::compress(data))
+}
+
+/// Inverse of [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    lz77::decompress(&huffman::decode_bytes(data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various() {
+        for data in [
+            vec![],
+            vec![0u8; 1],
+            vec![1u8; 50_000],
+            (0..10_000u32).flat_map(|i| (i % 251).to_le_bytes()).collect::<Vec<_>>(),
+            b"the quick brown fox jumps over the lazy dog".repeat(500),
+        ] {
+            let c = compress(&data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn compresses_structured_data() {
+        let data: Vec<u8> = (0..100_000u32).flat_map(|i| ((i / 64) as u16).to_le_bytes()).collect();
+        let c = compress(&data);
+        assert!(
+            c.len() * 4 < data.len(),
+            "deflate-lite should achieve >4x on slowly varying data: {} vs {}",
+            c.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_stream_errors() {
+        let c = compress(b"some data some data some data");
+        for cut in [0, 1, c.len() / 2] {
+            assert!(decompress(&c[..cut]).is_err());
+        }
+    }
+}

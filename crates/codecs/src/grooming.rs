@@ -1,0 +1,179 @@
+//! Bit Grooming and Digit Rounding mantissa-manipulation codecs.
+//!
+//! Both improve the *compressibility* of IEEE floats by discarding mantissa
+//! bits below a requested number of significant decimal digits (NSD), so a
+//! downstream lossless coder sees long zero runs. Bit Grooming alternately
+//! *shaves* (zeroes) and *sets* (ones) the discarded bits to cancel the bias
+//! that pure truncation introduces; Digit Rounding rounds to nearest at the
+//! kept precision.
+
+/// Mantissa bits that must be kept to preserve `nsd` significant decimal
+/// digits (`nsd * log2(10)`, plus a guard bit).
+pub fn keep_bits_for_nsd(nsd: u32, mantissa_bits: u32) -> u32 {
+    let needed = (nsd as f64 * std::f64::consts::LOG2_10).ceil() as u32 + 1;
+    needed.min(mantissa_bits)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which mantissa manipulation to apply.
+pub enum GroomMode {
+    /// Zero the discarded bits (biased low).
+    Shave,
+    /// Set the discarded bits (biased high).
+    Set,
+    /// Alternate shave/set per element (Bit Grooming proper; unbiased).
+    Groom,
+    /// Round to nearest at the kept precision (Digit Rounding).
+    Round,
+}
+
+macro_rules! groom_impl {
+    ($name:ident, $t:ty, $bits:ty, $mant:expr, $exp_mask:expr) => {
+        /// Apply the mantissa manipulation in place.
+        pub fn $name(values: &mut [$t], nsd: u32, mode: GroomMode) {
+            let keep = keep_bits_for_nsd(nsd, $mant);
+            if keep >= $mant {
+                return;
+            }
+            let drop = $mant - keep;
+            let mask: $bits = !(((1 as $bits) << drop) - 1);
+            let half: $bits = (1 as $bits) << (drop - 1);
+            let set_bits: $bits = ((1 as $bits) << drop) - 1;
+            for (i, v) in values.iter_mut().enumerate() {
+                let bits = v.to_bits();
+                // Leave non-finite values untouched (Inf/NaN).
+                if bits & $exp_mask == $exp_mask {
+                    continue;
+                }
+                let new = match mode {
+                    GroomMode::Shave => bits & mask,
+                    GroomMode::Set => bits | set_bits,
+                    GroomMode::Groom => {
+                        if i % 2 == 0 {
+                            bits & mask
+                        } else {
+                            bits | set_bits
+                        }
+                    }
+                    GroomMode::Round => {
+                        // Round-to-nearest: adding half the dropped ULP may
+                        // carry into the exponent, which is exactly IEEE
+                        // round-up across a binade. Saturate near the top to
+                        // avoid manufacturing infinity.
+                        let candidate = bits.wrapping_add(half) & mask;
+                        if candidate & $exp_mask == $exp_mask {
+                            bits & mask
+                        } else {
+                            candidate
+                        }
+                    }
+                };
+                *v = <$t>::from_bits(new);
+            }
+        }
+    };
+}
+
+groom_impl!(groom_f32, f32, u32, 23u32, 0x7F80_0000u32);
+groom_impl!(groom_f64, f64, u64, 52u32, 0x7FF0_0000_0000_0000u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_bits_monotone() {
+        assert!(keep_bits_for_nsd(1, 52) < keep_bits_for_nsd(4, 52));
+        assert_eq!(keep_bits_for_nsd(30, 52), 52);
+        // 3 digits needs ~11 bits.
+        assert_eq!(keep_bits_for_nsd(3, 52), 11);
+    }
+
+    #[test]
+    fn shave_preserves_requested_digits_f64() {
+        let orig: Vec<f64> = (1..1000).map(|i| i as f64 * 0.137 + 0.5).collect();
+        for nsd in [2u32, 4, 6] {
+            let mut v = orig.clone();
+            groom_f64(&mut v, nsd, GroomMode::Shave);
+            for (a, b) in orig.iter().zip(&v) {
+                let rel = ((a - b) / a).abs();
+                assert!(
+                    rel < 10f64.powi(-(nsd as i32)) * 5.0,
+                    "nsd={nsd}: {a} -> {b} rel={rel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_is_closer_than_shave() {
+        let orig: Vec<f64> = (1..500).map(|i| (i as f64).sqrt() * 3.7).collect();
+        let mut shaved = orig.clone();
+        let mut rounded = orig.clone();
+        groom_f64(&mut shaved, 3, GroomMode::Shave);
+        groom_f64(&mut rounded, 3, GroomMode::Round);
+        let err = |v: &[f64]| -> f64 {
+            orig.iter().zip(v).map(|(a, b)| (a - b).abs()).sum::<f64>()
+        };
+        assert!(err(&rounded) <= err(&shaved));
+    }
+
+    #[test]
+    fn groom_reduces_bias_vs_shave() {
+        let orig: Vec<f64> = (1..2000).map(|i| 1.0 + i as f64 * 1e-5).collect();
+        let mut shaved = orig.clone();
+        let mut groomed = orig.clone();
+        groom_f64(&mut shaved, 2, GroomMode::Shave);
+        groom_f64(&mut groomed, 2, GroomMode::Groom);
+        let bias = |v: &[f64]| -> f64 {
+            orig.iter().zip(v).map(|(a, b)| b - a).sum::<f64>()
+        };
+        assert!(bias(&groomed).abs() < bias(&shaved).abs());
+    }
+
+    #[test]
+    fn nonfinite_untouched() {
+        let mut v = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0];
+        let before: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        groom_f64(&mut v, 2, GroomMode::Groom);
+        assert_eq!(v[0].to_bits(), before[0]);
+        assert_eq!(v[1].to_bits(), before[1]);
+        assert_eq!(v[2].to_bits(), before[2]);
+        assert_ne!(v[3].to_bits(), before[3]);
+    }
+
+    #[test]
+    fn f32_variant_works() {
+        let orig: Vec<f32> = (1..100).map(|i| i as f32 * 0.31).collect();
+        let mut v = orig.clone();
+        groom_f32(&mut v, 2, GroomMode::Round);
+        for (a, b) in orig.iter().zip(&v) {
+            assert!(((a - b) / a).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn shaving_improves_compression() {
+        let orig: Vec<f64> = (0..20_000)
+            .map(|i| (i as f64 * 0.0007).sin() * 1013.25)
+            .collect();
+        let mut shaved = orig.clone();
+        groom_f64(&mut shaved, 3, GroomMode::Shave);
+        let raw = crate::deflate::compress(pressio_core::elements_as_bytes(&orig));
+        let s = crate::deflate::compress(pressio_core::elements_as_bytes(&shaved));
+        assert!(
+            s.len() < raw.len(),
+            "shaved should compress better: {} vs {}",
+            s.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn high_nsd_is_identity() {
+        let orig: Vec<f64> = vec![1.23456789, 9.87654321];
+        let mut v = orig.clone();
+        groom_f64(&mut v, 30, GroomMode::Round);
+        assert_eq!(v, orig);
+    }
+}

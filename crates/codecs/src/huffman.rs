@@ -1,0 +1,387 @@
+//! Canonical Huffman coding over a `u32` symbol alphabet.
+//!
+//! Used both as a generic byte entropy coder (alphabet 256) and as the
+//! quantization-code coder of the SZ-style compressor (alphabet up to
+//! 2·radius+2). Codes are canonical, so the table serializes as just the
+//! per-symbol code lengths of the present symbols.
+
+use std::collections::BinaryHeap;
+
+use pressio_core::{ByteReader, ByteWriter, Error, Result};
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Longest permitted code, in bits.
+const MAX_CODE_LEN: u8 = 32;
+/// Largest permitted alphabet (guards allocations on corrupt streams).
+const MAX_ALPHABET: u32 = 1 << 22;
+
+/// Compute canonical code lengths for `freq` (0 entries absent), limiting the
+/// maximum length by frequency rescaling (the zlib trick).
+fn code_lengths(freq: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        // Tie-break on id for determinism.
+        id: u32,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u32),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    fn assign(node: &Node, depth: u8, lens: &mut [u8]) {
+        match &node.kind {
+            NodeKind::Leaf(s) => lens[*s as usize] = depth.max(1),
+            NodeKind::Internal(a, b) => {
+                assign(a, depth + 1, lens);
+                assign(b, depth + 1, lens);
+            }
+        }
+    }
+
+    let mut scaled: Vec<u64> = freq.to_vec();
+    loop {
+        let mut heap: BinaryHeap<Node> = scaled
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(s, &f)| Node {
+                weight: f,
+                id: s as u32,
+                kind: NodeKind::Leaf(s as u32),
+            })
+            .collect();
+        let mut lens = vec![0u8; freq.len()];
+        if heap.is_empty() {
+            return lens;
+        }
+        if heap.len() == 1 {
+            let only = heap.pop().expect("one element");
+            if let NodeKind::Leaf(s) = only.kind {
+                lens[s as usize] = 1;
+            }
+            return lens;
+        }
+        let mut next_id = freq.len() as u32;
+        while heap.len() > 1 {
+            let a = heap.pop().expect("len > 1");
+            let b = heap.pop().expect("len > 1");
+            let w = a.weight + b.weight;
+            heap.push(Node {
+                weight: w,
+                id: next_id,
+                kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+            });
+            next_id += 1;
+        }
+        let root = heap.pop().expect("root");
+        assign(&root, 0, &mut lens);
+        if lens.iter().all(|&l| l <= MAX_CODE_LEN) {
+            return lens;
+        }
+        // Depth overflow: flatten the distribution and rebuild.
+        for f in scaled.iter_mut() {
+            if *f > 0 {
+                *f = (*f >> 1) + 1;
+            }
+        }
+    }
+}
+
+/// Canonical code assignment from lengths: returns `(code, len)` per symbol,
+/// with `code` stored bit-reversed so it can be emitted LSB-first while
+/// decoding MSB-first.
+struct Codebook {
+    rev_codes: Vec<u32>,
+}
+
+fn build_codebook(lens: &[u8]) -> Codebook {
+    let mut order: Vec<u32> = (0..lens.len() as u32)
+        .filter(|&s| lens[s as usize] > 0)
+        .collect();
+    order.sort_by_key(|&s| (lens[s as usize], s));
+    let mut rev_codes = vec![0u32; lens.len()];
+    let mut code: u32 = 0;
+    let mut prev_len: u8 = 0;
+    for &s in &order {
+        let l = lens[s as usize];
+        if prev_len != 0 {
+            code = (code + 1) << (l - prev_len);
+        }
+        prev_len = l;
+        rev_codes[s as usize] = code.reverse_bits() >> (32 - l as u32);
+    }
+    Codebook { rev_codes }
+}
+
+/// Canonical decoder state built from lengths.
+struct Decoder {
+    /// first canonical code per length (index 1..=MAX).
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    /// number of codes per length.
+    count: [u32; MAX_CODE_LEN as usize + 1],
+    /// start offset into `symbols` per length.
+    offset: [u32; MAX_CODE_LEN as usize + 1],
+    /// symbols sorted by (len, symbol).
+    symbols: Vec<u32>,
+}
+
+fn build_decoder(lens: &[u8]) -> Result<Decoder> {
+    let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+    for &l in lens {
+        if l as usize > MAX_CODE_LEN as usize {
+            return Err(Error::corrupt("huffman code length exceeds maximum"));
+        }
+        if l > 0 {
+            count[l as usize] += 1;
+        }
+    }
+    let mut symbols: Vec<u32> = (0..lens.len() as u32)
+        .filter(|&s| lens[s as usize] > 0)
+        .collect();
+    symbols.sort_by_key(|&s| (lens[s as usize], s));
+    let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+    let mut offset = [0u32; MAX_CODE_LEN as usize + 1];
+    let mut code: u32 = 0;
+    let mut total: u32 = 0;
+    for l in 1..=MAX_CODE_LEN as usize {
+        first_code[l] = code;
+        offset[l] = total;
+        // Kraft check: codes must fit in l bits.
+        if count[l] > 0 && (code as u64 + count[l] as u64 - 1) >> l != 0 {
+            return Err(Error::corrupt("huffman table violates Kraft inequality"));
+        }
+        code = (code + count[l]) << 1;
+        total += count[l];
+    }
+    Ok(Decoder {
+        first_code,
+        count,
+        offset,
+        symbols,
+    })
+}
+
+impl Decoder {
+    fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        let mut code: u32 = 0;
+        for l in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | r.read_bit()? as u32;
+            let c = self.count[l];
+            if c > 0 && code >= self.first_code[l] && code < self.first_code[l] + c {
+                let idx = self.offset[l] + (code - self.first_code[l]);
+                return Ok(self.symbols[idx as usize]);
+            }
+        }
+        Err(Error::corrupt("invalid huffman code"))
+    }
+}
+
+/// Encode `symbols` (each `< alphabet`) into a self-contained byte stream.
+pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>> {
+    if alphabet == 0 || alphabet > MAX_ALPHABET {
+        return Err(Error::invalid_argument(format!(
+            "huffman alphabet size {alphabet} out of range"
+        )));
+    }
+    let mut freq = vec![0u64; alphabet as usize];
+    for &s in symbols {
+        let f = freq.get_mut(s as usize).ok_or_else(|| {
+            Error::invalid_argument(format!("symbol {s} outside alphabet {alphabet}"))
+        })?;
+        *f += 1;
+    }
+    let lens = code_lengths(&freq);
+    let book = build_codebook(&lens);
+
+    let mut w = ByteWriter::new();
+    w.put_u32(alphabet);
+    w.put_u64(symbols.len() as u64);
+    let present: Vec<u32> = (0..alphabet).filter(|&s| lens[s as usize] > 0).collect();
+    w.put_u32(present.len() as u32);
+    for &s in &present {
+        w.put_u32(s);
+        w.put_u8(lens[s as usize]);
+    }
+    let mut bits = BitWriter::new();
+    for &s in symbols {
+        bits.write_bits(book.rev_codes[s as usize] as u64, lens[s as usize] as u32);
+    }
+    w.put_section(&bits.into_bytes());
+    Ok(w.into_vec())
+}
+
+/// Decode a stream produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
+    let mut r = ByteReader::new(bytes);
+    let alphabet = r.get_u32()?;
+    if alphabet == 0 || alphabet > MAX_ALPHABET {
+        return Err(Error::corrupt(format!(
+            "huffman alphabet size {alphabet} out of range"
+        )));
+    }
+    let n = r.get_u64()? as usize;
+    let n_present = r.get_u32()?;
+    if n_present > alphabet {
+        return Err(Error::corrupt("more huffman symbols than alphabet"));
+    }
+    let mut lens = vec![0u8; alphabet as usize];
+    for _ in 0..n_present {
+        let s = r.get_u32()?;
+        let l = r.get_u8()?;
+        if s >= alphabet || l == 0 || l > MAX_CODE_LEN {
+            return Err(Error::corrupt("invalid huffman table entry"));
+        }
+        lens[s as usize] = l;
+    }
+    let payload = r.get_section()?;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n_present == 0 {
+        return Err(Error::corrupt("symbols present but table empty"));
+    }
+    let dec = build_decoder(&lens)?;
+    let mut bits = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n.min(1 << 28));
+    for _ in 0..n {
+        out.push(dec.decode_symbol(&mut bits)?);
+    }
+    Ok(out)
+}
+
+/// Huffman-encode raw bytes (alphabet 256) — the entropy stage of
+/// deflate-lite.
+pub fn encode_bytes(data: &[u8]) -> Vec<u8> {
+    let symbols: Vec<u32> = data.iter().map(|&b| b as u32).collect();
+    encode(&symbols, 256).expect("byte alphabet is always valid")
+}
+
+/// Decode a stream produced by [`encode_bytes`].
+pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<u8>> {
+    let symbols = decode(bytes)?;
+    symbols
+        .into_iter()
+        .map(|s| {
+            u8::try_from(s).map_err(|_| Error::corrupt("byte-huffman symbol out of range"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let enc = encode(&[], 256).unwrap();
+        assert_eq!(decode(&enc).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn single_symbol_roundtrip() {
+        let syms = vec![7u32; 1000];
+        let enc = encode(&syms, 16).unwrap();
+        // 1000 repeated symbols cost ~1 bit each plus the header.
+        assert!(enc.len() < 200);
+        assert_eq!(decode(&enc).unwrap(), syms);
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrip_and_compresses() {
+        // Zipf-ish: symbol s appears ~ 2^(10-s) times.
+        let mut syms = vec![];
+        for s in 0..10u32 {
+            for _ in 0..(1 << (10 - s)) {
+                syms.push(s);
+            }
+        }
+        let enc = encode(&syms, 1024).unwrap();
+        assert_eq!(decode(&enc).unwrap(), syms);
+        // Entropy ~2 bits/symbol vs. 10-bit alphabet: must beat 4 bits/sym.
+        assert!(enc.len() * 8 < syms.len() * 4);
+    }
+
+    #[test]
+    fn uniform_bytes_roundtrip() {
+        let data: Vec<u8> = (0..=255).cycle().take(4096).collect();
+        let enc = encode_bytes(&data);
+        assert_eq!(decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn wide_alphabet_roundtrip() {
+        // SZ-like: alphabet 65538, most mass near the center.
+        let center = 32769u32;
+        let mut state = 1u64;
+        let mut syms = vec![];
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let spread = ((state >> 33) % 64) as i64 - 32;
+            syms.push((center as i64 + spread) as u32);
+        }
+        let enc = encode(&syms, 65538).unwrap();
+        assert_eq!(decode(&enc).unwrap(), syms);
+    }
+
+    #[test]
+    fn out_of_alphabet_symbol_rejected() {
+        assert!(encode(&[300], 256).is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let enc = encode(&[1, 2, 3, 1, 2, 1], 16).unwrap();
+        // Truncations anywhere must error (or decode fewer symbols), not panic.
+        for cut in 0..enc.len() {
+            let _ = decode(&enc[..cut]);
+        }
+        // Flipped bytes must error or produce garbage, not panic.
+        for i in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[i] ^= 0xFF;
+            let _ = decode(&bad);
+        }
+    }
+
+    #[test]
+    fn two_symbols_equal_freq() {
+        let syms: Vec<u32> = (0..100).map(|i| i % 2).collect();
+        let enc = encode(&syms, 2).unwrap();
+        assert_eq!(decode(&enc).unwrap(), syms);
+    }
+
+    #[test]
+    fn deep_tree_rescaling() {
+        // Fibonacci-like frequencies force deep trees; lengths must be capped.
+        let mut syms = vec![];
+        let mut a: u64 = 1;
+        let mut b: u64 = 1;
+        for s in 0..40u32 {
+            let reps = (a % 500 + 1) as usize;
+            syms.extend(std::iter::repeat_n(s, reps));
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let enc = encode(&syms, 64).unwrap();
+        assert_eq!(decode(&enc).unwrap(), syms);
+    }
+}

@@ -1,0 +1,35 @@
+//! # pressio-codecs
+//!
+//! From-scratch lossless (and simple error-controlled) codec substrates for
+//! libpressio-rs, plus [`Compressor`](pressio_core::Compressor) plugin
+//! wrappers for each:
+//!
+//! * [`bitstream`] — LSB-first bit streams (shared with the ZFP-style coder)
+//! * [`varint`] — LEB128 + zigzag integer coding
+//! * [`rle`] — PackBits run-length coding
+//! * [`lz77`] — LZ4-flavored dictionary coder
+//! * [`huffman`] — canonical Huffman over wide alphabets
+//! * [`deflate`] — LZ77 + Huffman ("deflate-lite", the general backend)
+//! * [`shuffle`] — byte/bit shuffle transforms (BLOSC-style)
+//! * [`float`] — fpzip-style bit-exact float compression
+//! * [`grooming`] — Bit Grooming / Digit Rounding mantissa filters
+//! * [`quantize`] — error-bounded linear quantization
+//!
+//! Call [`register_builtins`] (or use the `libpressio` facade) to make all
+//! plugins available through the global registry.
+
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod deflate;
+pub mod float;
+pub mod grooming;
+pub mod huffman;
+pub mod lz77;
+pub mod plugins;
+pub mod quantize;
+pub mod rle;
+pub mod shuffle;
+pub mod varint;
+
+pub use plugins::{register_builtins, Blosc, ByteCodec, CodecKind, Delta, Fpzip, LinearQuantizer};

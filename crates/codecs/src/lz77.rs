@@ -1,0 +1,269 @@
+//! An LZ4-flavored LZ77 byte compressor.
+//!
+//! Greedy hash-chain match finding over a 64 KiB window. The format is a
+//! sequence of `[token][ext-literal-len][literals][offset u16][ext-match-len]`
+//! records, LZ4 style: the token's high nibble is the literal count and its
+//! low nibble is `match_len - MIN_MATCH`, each extended by 255-run bytes when
+//! saturated. The final record carries only literals.
+
+use pressio_core::{Error, Result};
+
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum match offset (window size).
+const MAX_OFFSET: usize = 65_535;
+/// log2 of the hash table size.
+const HASH_BITS: u32 = 16;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+fn write_len_ext(out: &mut Vec<u8>, mut extra: usize) {
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    out.push(extra as u8);
+}
+
+fn read_len_ext(buf: &[u8], pos: &mut usize) -> Result<usize> {
+    let mut total = 0usize;
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| Error::corrupt("lz length extension truncated"))?;
+        *pos += 1;
+        total += b as usize;
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+/// Compress `data`.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    // Header: decompressed size (u64 LE).
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    if n == 0 {
+        return out;
+    }
+
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+
+    let emit = |out: &mut Vec<u8>, literals: &[u8], match_len: usize, offset: usize| {
+        let lit_nibble = literals.len().min(15);
+        let match_code = if match_len == 0 {
+            0
+        } else {
+            (match_len - MIN_MATCH).min(15)
+        };
+        out.push(((lit_nibble << 4) | match_code) as u8);
+        if lit_nibble == 15 {
+            write_len_ext(out, literals.len() - 15);
+        }
+        out.extend_from_slice(literals);
+        if match_len > 0 {
+            out.extend_from_slice(&(offset as u16).to_le_bytes());
+            if match_code == 15 {
+                write_len_ext(out, match_len - MIN_MATCH - 15);
+            }
+        }
+    };
+
+    while i + MIN_MATCH <= n {
+        let h = hash4(&data[i..]);
+        let cand = table[h];
+        table[h] = i;
+        let found = if cand != usize::MAX && i - cand <= MAX_OFFSET && cand + MIN_MATCH <= n {
+            // Verify and extend the candidate match.
+            let mut len = 0;
+            let max = n - i;
+            while len < max && data[cand + len] == data[i + len] {
+                len += 1;
+            }
+            if len >= MIN_MATCH {
+                Some((len, i - cand))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        match found {
+            Some((len, offset)) => {
+                emit(&mut out, &data[lit_start..i], len, offset);
+                // Insert a few positions inside the match to keep the table
+                // warm without paying for every byte.
+                let end = i + len;
+                let mut j = i + 1;
+                while j + MIN_MATCH <= n && j < end && j < i + 16 {
+                    table[hash4(&data[j..])] = j;
+                    j += 1;
+                }
+                i = end;
+                lit_start = i;
+            }
+            None => {
+                i += 1;
+            }
+        }
+    }
+    // Trailing literals (possibly empty) terminate the stream.
+    emit(&mut out, &data[lit_start..], 0, 0);
+    out
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
+    if buf.len() < 8 {
+        return Err(Error::corrupt("lz stream missing header"));
+    }
+    let expect = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
+    // Guard absurd sizes relative to the stream (max ratio is bounded by the
+    // 255-run length encoding: each input byte can emit < 500 output bytes).
+    if expect > buf.len().saturating_mul(512).max(1 << 16) {
+        return Err(Error::corrupt("lz declared size implausibly large"));
+    }
+    let mut out = Vec::with_capacity(expect);
+    let mut pos = 8usize;
+    while out.len() < expect {
+        let token = *buf
+            .get(pos)
+            .ok_or_else(|| Error::corrupt("lz token truncated"))?;
+        pos += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_len_ext(buf, &mut pos)?;
+        }
+        let lits = buf
+            .get(pos..pos + lit_len)
+            .ok_or_else(|| Error::corrupt("lz literals truncated"))?;
+        out.extend_from_slice(lits);
+        pos += lit_len;
+        if out.len() >= expect {
+            break;
+        }
+        let off_bytes = buf
+            .get(pos..pos + 2)
+            .ok_or_else(|| Error::corrupt("lz offset truncated"))?;
+        let offset = u16::from_le_bytes(off_bytes.try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        let mut match_len = (token & 0x0F) as usize + MIN_MATCH;
+        if token & 0x0F == 15 {
+            match_len += read_len_ext(buf, &mut pos)?;
+        }
+        if offset == 0 || offset > out.len() {
+            return Err(Error::corrupt("lz match offset out of range"));
+        }
+        if out.len() + match_len > expect {
+            return Err(Error::corrupt("lz match overruns declared size"));
+        }
+        // Byte-by-byte copy: overlapping matches replicate correctly.
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    if out.len() != expect {
+        return Err(Error::corrupt("lz stream ended early"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(&[]);
+        roundtrip(&[1]);
+        roundtrip(&[1, 2, 3]);
+        roundtrip(&[0; 4]);
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let data: Vec<u8> = b"abcabcabcabcabcabcabcabcabcabc".repeat(100);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_case() {
+        // A single repeated byte forces offset-1 overlapping copies.
+        let data = vec![7u8; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 100);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_survives() {
+        // Pseudo-random bytes: no matches, everything literal.
+        let mut state = 0x12345678u64;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_literals_and_matches() {
+        let mut data = vec![];
+        // > 15+255 literals to exercise extension bytes.
+        data.extend((0..600).map(|i| (i % 251) as u8));
+        // > 15+MIN_MATCH match length.
+        data.extend(std::iter::repeat_n(99, 700));
+        data.extend((0..600).map(|i| (i % 241) as u8));
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn far_matches_beyond_window_become_literals() {
+        let mut data = vec![];
+        data.extend_from_slice(b"unique-prefix-pattern");
+        data.extend(std::iter::repeat_n(0, 70_000));
+        data.extend_from_slice(b"unique-prefix-pattern");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let data: Vec<u8> = b"hello hello hello hello".repeat(20);
+        let c = compress(&data);
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]);
+        }
+        for i in 8..c.len() {
+            let mut bad = c.clone();
+            bad[i] ^= 0x5A;
+            let _ = decompress(&bad);
+        }
+    }
+
+    #[test]
+    fn declared_size_guard() {
+        let mut c = compress(b"x");
+        c[..8].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(decompress(&c).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Linear quantization: the error-bounded map from floats to small integers.
+//!
+//! `Q(x) = round((x - m) / Δ)` with reconstruction `m + Q(x)·Δ` guarantees
+//! an absolute error of at most `Δ/2`. This is both a standalone lossy codec
+//! (the `linear_quantizer` plugin) and a reusable building block for
+//! compressor pipelines, per the paper's "consistent functional parts"
+//! argument for meta-compressors.
+
+use pressio_core::{Error, Result};
+
+/// Quantize values with step `delta` around center `center`.
+///
+/// Returns `i64` codes. Values that are NaN or would overflow the code range
+/// are reported via `Err` so callers can fall back to verbatim storage.
+pub fn quantize(values: &[f64], center: f64, delta: f64) -> Result<Vec<i64>> {
+    if !(delta.is_finite() && delta > 0.0) {
+        return Err(Error::invalid_argument(format!(
+            "quantization step must be positive and finite, got {delta}"
+        )));
+    }
+    values
+        .iter()
+        .map(|&x| {
+            let q = ((x - center) / delta).round();
+            if !q.is_finite() || q.abs() >= (i64::MAX / 2) as f64 {
+                Err(Error::unsupported(format!(
+                    "value {x} not quantizable with step {delta}"
+                )))
+            } else {
+                Ok(q as i64)
+            }
+        })
+        .collect()
+}
+
+/// Reconstruct values from codes.
+pub fn dequantize(codes: &[i64], center: f64, delta: f64) -> Vec<f64> {
+    codes.iter().map(|&q| center + q as f64 * delta).collect()
+}
+
+/// The quantization step achieving an absolute error bound `abs_bound`.
+pub fn step_for_bound(abs_bound: f64) -> f64 {
+    2.0 * abs_bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_respects_bound() {
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.01).sin() * 42.0).collect();
+        for bound in [1.0, 0.1, 1e-3, 1e-6] {
+            let delta = step_for_bound(bound);
+            let codes = quantize(&values, 0.0, delta).unwrap();
+            let back = dequantize(&codes, 0.0, delta);
+            for (a, b) in values.iter().zip(&back) {
+                assert!(
+                    (a - b).abs() <= bound + 1e-12 * a.abs(),
+                    "bound {bound}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn centered_quantization_reduces_magnitudes() {
+        let values: Vec<f64> = (0..100).map(|i| 1000.0 + i as f64 * 0.001).collect();
+        let codes = quantize(&values, 1000.0, 0.002).unwrap();
+        assert!(codes.iter().all(|&c| c.unsigned_abs() <= 64));
+    }
+
+    #[test]
+    fn bad_step_rejected() {
+        assert!(quantize(&[1.0], 0.0, 0.0).is_err());
+        assert!(quantize(&[1.0], 0.0, -1.0).is_err());
+        assert!(quantize(&[1.0], 0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn nan_value_reports_unsupported() {
+        assert!(quantize(&[f64::NAN], 0.0, 0.1).is_err());
+        assert!(quantize(&[f64::INFINITY], 0.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn tiny_step_on_huge_value_rejected() {
+        assert!(quantize(&[1e300], 0.0, 1e-300).is_err());
+    }
+}

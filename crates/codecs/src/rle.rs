@@ -1,0 +1,136 @@
+//! PackBits-style byte run-length coding.
+//!
+//! Control byte `c`: `0..=127` copies `c + 1` literal bytes; `129..=255`
+//! repeats the next byte `257 - c` times (runs of 2–128); `128` is reserved.
+
+use pressio_core::{Error, Result};
+
+/// Run-length encode `data`.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let n = data.len();
+    let mut i = 0;
+    while i < n {
+        // Measure the run at i.
+        let b = data[i];
+        let mut run = 1;
+        while i + run < n && data[i + run] == b && run < 128 {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push((257 - run) as u8);
+            out.push(b);
+            i += run;
+        } else {
+            // Collect literals until the next run of >= 3 (a run of 2 is not
+            // worth breaking a literal block for) or 128 bytes.
+            let start = i;
+            i += 1;
+            while i < n && (i - start) < 128 {
+                let c = data[i];
+                let mut r = 1;
+                while i + r < n && data[i + r] == c && r < 3 {
+                    r += 1;
+                }
+                if r >= 3 {
+                    break;
+                }
+                i += 1;
+            }
+            let len = i - start;
+            out.push((len - 1) as u8);
+            out.extend_from_slice(&data[start..i]);
+        }
+    }
+    out
+}
+
+/// Decode a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let c = data[i];
+        i += 1;
+        if c <= 127 {
+            let len = c as usize + 1;
+            let lit = data
+                .get(i..i + len)
+                .ok_or_else(|| Error::corrupt("rle literal block truncated"))?;
+            out.extend_from_slice(lit);
+            i += len;
+        } else if c == 128 {
+            return Err(Error::corrupt("rle reserved control byte"));
+        } else {
+            let run = 257 - c as usize;
+            let b = *data
+                .get(i)
+                .ok_or_else(|| Error::corrupt("rle run byte truncated"))?;
+            i += 1;
+            out.extend(std::iter::repeat_n(b, run));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data, "input {data:?}");
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(&[]);
+        roundtrip(&[1]);
+        roundtrip(&[1, 1]);
+        roundtrip(&[1, 2]);
+        roundtrip(&[1, 1, 1]);
+    }
+
+    #[test]
+    fn long_runs_compress_well() {
+        let data = vec![42u8; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 200);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_expands_bounded() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        let c = compress(&data);
+        // Worst-case expansion is 1 control byte per 128 literals.
+        assert!(c.len() <= data.len() + data.len() / 128 + 2);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_content() {
+        let mut data = vec![];
+        data.extend_from_slice(&[7; 300]);
+        data.extend((0..100).map(|i| (i * 37) as u8));
+        data.extend_from_slice(&[0; 5]);
+        data.extend_from_slice(&[1, 2, 2, 3, 3, 3, 4, 4, 4, 4]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn runs_longer_than_128_split() {
+        let data = vec![9u8; 128 * 3 + 17];
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_input_errors() {
+        // Literal block promising more bytes than available.
+        assert!(decompress(&[50, 1, 2]).is_err());
+        // Run missing its byte.
+        assert!(decompress(&[200]).is_err());
+        // Reserved control byte.
+        assert!(decompress(&[128, 0]).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Byte- and bit-shuffle transforms (the BLOSC preprocessing family).
+//!
+//! Shuffling transposes the bytes (or bits) of fixed-size elements so that
+//! like-significance bytes become contiguous, which dramatically improves
+//! downstream LZ/entropy coding on slowly varying numeric data. Both
+//! transforms are exact involutions-with-inverse and leave any trailing
+//! partial element untouched.
+
+/// Byte-shuffle: gather byte `k` of every element together, for each `k`.
+pub fn shuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
+    assert!(elem_size > 0, "element size must be positive");
+    let n_elems = data.len() / elem_size;
+    let body = n_elems * elem_size;
+    let mut out = vec![0; data.len()];
+    for k in 0..elem_size {
+        for e in 0..n_elems {
+            out[k * n_elems + e] = data[e * elem_size + k];
+        }
+    }
+    out[body..].copy_from_slice(&data[body..]);
+    out
+}
+
+/// Inverse of [`shuffle`].
+pub fn unshuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
+    assert!(elem_size > 0, "element size must be positive");
+    let n_elems = data.len() / elem_size;
+    let body = n_elems * elem_size;
+    let mut out = vec![0u8; data.len()];
+    for k in 0..elem_size {
+        for e in 0..n_elems {
+            out[e * elem_size + k] = data[k * n_elems + e];
+        }
+    }
+    out[body..].copy_from_slice(&data[body..]);
+    out
+}
+
+/// Bit-shuffle: gather bit `b` of every element together, for each of the
+/// `8 * elem_size` bit positions.
+pub fn bitshuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
+    assert!(elem_size > 0, "element size must be positive");
+    let n_elems = data.len() / elem_size;
+    let body = n_elems * elem_size;
+    let nbits = elem_size * 8;
+    let mut out = vec![0u8; data.len()];
+    for b in 0..nbits {
+        let src_byte = b / 8;
+        let src_bit = b % 8;
+        for e in 0..n_elems {
+            let bit = (data[e * elem_size + src_byte] >> src_bit) & 1;
+            let dst_index = b * n_elems + e;
+            out[dst_index / 8] |= bit << (dst_index % 8);
+        }
+    }
+    out[body..].copy_from_slice(&data[body..]);
+    out
+}
+
+/// Inverse of [`bitshuffle`].
+pub fn bitunshuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
+    assert!(elem_size > 0, "element size must be positive");
+    let n_elems = data.len() / elem_size;
+    let body = n_elems * elem_size;
+    let nbits = elem_size * 8;
+    let mut out = vec![0u8; data.len()];
+    for b in 0..nbits {
+        let dst_byte = b / 8;
+        let dst_bit = b % 8;
+        for e in 0..n_elems {
+            let src_index = b * n_elems + e;
+            let bit = (data[src_index / 8] >> (src_index % 8)) & 1;
+            out[e * elem_size + dst_byte] |= bit << dst_bit;
+        }
+    }
+    out[body..].copy_from_slice(&data[body..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 131 + 7) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn shuffle_roundtrip_all_elem_sizes() {
+        for elem in [1usize, 2, 4, 8, 16] {
+            for n in [0usize, 1, 7, 64, 1000, 1001] {
+                let data = sample(n);
+                let s = shuffle(&data, elem);
+                assert_eq!(unshuffle(&s, elem), data, "elem={elem} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitshuffle_roundtrip_all_elem_sizes() {
+        for elem in [1usize, 2, 4, 8] {
+            for n in [0usize, 1, 8, 63, 257] {
+                let data = sample(n);
+                let s = bitshuffle(&data, elem);
+                assert_eq!(bitunshuffle(&s, elem), data, "elem={elem} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_layout_is_transposed() {
+        // Elements [0x0102, 0x0304] (LE bytes 02 01 04 03) shuffle to the
+        // low bytes then the high bytes.
+        let data = [0x02, 0x01, 0x04, 0x03];
+        let s = shuffle(&data, 2);
+        assert_eq!(s, [0x02, 0x04, 0x01, 0x03]);
+    }
+
+    #[test]
+    fn trailing_partial_element_preserved() {
+        let data = sample(10);
+        let s = shuffle(&data, 4);
+        // 2 full elements, 2 tail bytes unchanged in place.
+        assert_eq!(&s[8..], &data[8..]);
+        assert_eq!(unshuffle(&s, 4), data);
+    }
+
+    #[test]
+    fn shuffle_improves_lz_on_numeric_data() {
+        // Slowly increasing u32 values: high bytes are nearly constant.
+        let data: Vec<u8> = (0..20_000u32).flat_map(|i| (i / 8).to_le_bytes()).collect();
+        let plain = crate::lz77::compress(&data);
+        let shuffled = crate::lz77::compress(&shuffle(&data, 4));
+        assert!(
+            shuffled.len() < plain.len(),
+            "shuffle should help: {} vs {}",
+            shuffled.len(),
+            plain.len()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! LEB128 variable-length integers and zigzag mapping.
+
+use pressio_core::{Error, Result};
+
+/// Append `v` as LEB128 (7 bits per byte, continuation in the high bit).
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 integer starting at `pos`, advancing it.
+#[inline]
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| Error::corrupt("varint truncated"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(Error::corrupt("varint too long"));
+        }
+        // The 10th byte may only contribute the lowest bit.
+        if shift == 63 && (byte & 0x7E) != 0 {
+            return Err(Error::corrupt("varint overflows u64"));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed value onto an unsigned one with small magnitudes first.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = vec![];
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut buf = vec![];
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(read_u64(&buf[..cut], &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes cannot encode a u64.
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 123456, -654321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the codec substrates: every lossless codec must
+//! roundtrip arbitrary inputs; the error-controlled filters must honor
+//! their stated guarantees on arbitrary finite data.
+
+use pressio_codecs::{deflate, float, grooming, huffman, lz77, quantize, rle, shuffle, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rle_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        prop_assert_eq!(rle::decompress(&rle::compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_runs_roundtrip(byte in any::<u8>(), len in 0usize..5000) {
+        let data = vec![byte; len];
+        prop_assert_eq!(rle::decompress(&rle::compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lz77_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        prop_assert_eq!(lz77::decompress(&lz77::compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lz77_roundtrips_repetitive(
+        pattern in proptest::collection::vec(any::<u8>(), 1..64),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * reps).collect();
+        prop_assert_eq!(lz77::decompress(&lz77::compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        prop_assert_eq!(deflate::decompress(&deflate::compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let enc = huffman::encode_bytes(&data);
+        prop_assert_eq!(huffman::decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_wide_alphabet_roundtrip(
+        symbols in proptest::collection::vec(0u32..10_000, 0..4096),
+    ) {
+        let enc = huffman::encode(&symbols, 10_000).unwrap();
+        prop_assert_eq!(huffman::decode(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn shuffle_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096), elem in 1usize..16) {
+        let s = shuffle::shuffle(&data, elem);
+        prop_assert_eq!(shuffle::unshuffle(&s, elem), data);
+    }
+
+    #[test]
+    fn bitshuffle_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..1024), elem in 1usize..9) {
+        let s = shuffle::bitshuffle(&data, elem);
+        prop_assert_eq!(shuffle::bitunshuffle(&s, elem), data);
+    }
+
+    #[test]
+    fn fpzip_roundtrips_arbitrary_bit_patterns(bits in proptest::collection::vec(any::<u64>(), 0..2048)) {
+        let vals: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let enc = float::compress_f64(&vals);
+        let dec = float::decompress_f64(&enc).unwrap();
+        prop_assert_eq!(dec.len(), vals.len());
+        for (a, b) in vals.iter().zip(&dec) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fpzip_f32_roundtrips(bits in proptest::collection::vec(any::<u32>(), 0..2048)) {
+        let vals: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let enc = float::compress_f32(&vals);
+        let dec = float::decompress_f32(&enc).unwrap();
+        for (a, b) in vals.iter().zip(&dec) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn varint_roundtrips(values in proptest::collection::vec(any::<u64>(), 0..2048)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection(v in any::<i64>()) {
+        prop_assert_eq!(varint::unzigzag(varint::zigzag(v)), v);
+    }
+
+    #[test]
+    fn quantize_respects_bound(
+        vals in proptest::collection::vec(-1e12f64..1e12, 1..2048),
+        bound_exp in -6i32..3,
+    ) {
+        let bound = 10f64.powi(bound_exp);
+        let delta = quantize::step_for_bound(bound);
+        if let Ok(codes) = quantize::quantize(&vals, 0.0, delta) {
+            let back = quantize::dequantize(&codes, 0.0, delta);
+            for (a, b) in vals.iter().zip(&back) {
+                // Allow relative slop for values where |x| >> bound and the
+                // f64 grid itself is coarser than the bound.
+                let tol = bound + a.abs() * 1e-12;
+                prop_assert!((a - b).abs() <= tol, "{} vs {} bound {}", a, b, bound);
+            }
+        }
+    }
+
+    #[test]
+    fn grooming_keeps_significant_digits(
+        vals in proptest::collection::vec(1e-30f64..1e30, 1..512),
+        nsd in 1u32..8,
+    ) {
+        let mut groomed = vals.clone();
+        grooming::groom_f64(&mut groomed, nsd, grooming::GroomMode::Round);
+        let tol = 10f64.powi(-(nsd as i32));
+        for (a, b) in vals.iter().zip(&groomed) {
+            let rel = ((a - b) / a).abs();
+            prop_assert!(rel <= tol, "nsd {}: {} -> {} rel {}", nsd, a, b, rel);
+        }
+    }
+
+    #[test]
+    fn corrupted_deflate_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..8),
+    ) {
+        let mut enc = deflate::compress(&data);
+        for (pos, bit) in flips {
+            let at = pos as usize % enc.len();
+            enc[at] ^= 1 << bit;
+        }
+        // Must return (Ok with garbage or Err), never panic.
+        let _ = deflate::decompress(&enc);
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(data in proptest::collection::vec(any::<u8>(), 1..512), cut_at in any::<u16>()) {
+        for enc in [
+            rle::compress(&data),
+            lz77::compress(&data),
+            deflate::compress(&data),
+            huffman::encode_bytes(&data),
+        ] {
+            let cut = cut_at as usize % (enc.len() + 1);
+            let _ = rle::decompress(&enc[..cut]);
+            let _ = lz77::decompress(&enc[..cut]);
+            let _ = deflate::decompress(&enc[..cut]);
+            let _ = huffman::decode_bytes(&enc[..cut]);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Common option names and shared error-bound semantics.
+//!
+//! The paper: "LibPressio allows compressors to have arbitrarily many
+//! options, while at the same time providing a list of *common* options
+//! understood by one or more compressors." Generic tools (the optimizer, the
+//! CLI, Z-Checker) configure any error-bounded compressor through the
+//! `pressio:*` keys below; each plugin maps them onto its native options.
+
+use crate::dtype::Element;
+use crate::error::{Error, Result};
+use crate::options::Options;
+
+/// Generic absolute error bound (`f64`): every error-bounded lossy plugin
+/// honors this.
+pub const OPT_ABS: &str = "pressio:abs";
+/// Generic value-range relative error bound (`f64`): the absolute bound is
+/// this fraction of `(max - min)` of the input.
+pub const OPT_REL: &str = "pressio:rel";
+/// Generic fixed rate in bits per value (`f64`), for rate-mode compressors.
+pub const OPT_RATE: &str = "pressio:rate";
+/// Generic precision in bit planes (`u32`), for precision-mode compressors.
+pub const OPT_PREC: &str = "pressio:prec";
+/// Generic lossless toggle (`u8`/bool) for plugins with a lossless mode.
+pub const OPT_LOSSLESS: &str = "pressio:lossless";
+/// Generic worker-thread count (`u32`) for parallel plugins.
+pub const OPT_NTHREADS: &str = "pressio:nthreads";
+
+/// An error-bound specification shared by the lossy compressors.
+///
+/// `Abs` is a direct L∞ bound; `ValueRangeRel` scales by the input's value
+/// range (the bound family used throughout the paper's experiments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute (L∞) bound.
+    Abs(f64),
+    /// Value-range relative bound: `abs = ratio * (max - min)`.
+    ValueRangeRel(f64),
+}
+
+impl ErrorBound {
+    /// Resolve to an absolute bound given the data's value range.
+    ///
+    /// A zero range (constant data) resolves relative bounds to 0, which
+    /// plugins treat as "smallest representable bound" — constant data
+    /// compresses perfectly anyway.
+    pub fn resolve(self, value_range: f64) -> f64 {
+        match self {
+            ErrorBound::Abs(b) => b,
+            ErrorBound::ValueRangeRel(r) => r * value_range,
+        }
+    }
+
+    /// Validate that the bound parameter is finite and non-negative.
+    pub fn validate(self) -> Result<()> {
+        let v = match self {
+            ErrorBound::Abs(b) => b,
+            ErrorBound::ValueRangeRel(r) => r,
+        };
+        if !v.is_finite() || v < 0.0 {
+            return Err(Error::invalid_argument(format!(
+                "error bound must be finite and non-negative, got {v}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read the generic `pressio:abs` / `pressio:rel` keys from `options`,
+    /// returning the bound if either is present (abs wins if both are).
+    pub fn from_common_options(options: &Options) -> Result<Option<ErrorBound>> {
+        if let Some(b) = options.get_as::<f64>(OPT_ABS)? {
+            return Ok(Some(ErrorBound::Abs(b)));
+        }
+        if let Some(r) = options.get_as::<f64>(OPT_REL)? {
+            return Ok(Some(ErrorBound::ValueRangeRel(r)));
+        }
+        Ok(None)
+    }
+}
+
+/// Minimum and maximum of a typed slice as `f64`, ignoring NaNs.
+///
+/// Returns `(0.0, 0.0)` for empty or all-NaN input.
+pub fn value_min_max<T: Element>(values: &[T]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        let x = v.to_f64();
+        if x.is_nan() {
+            continue;
+        }
+        if x < min {
+            min = x;
+        }
+        if x > max {
+            max = x;
+        }
+    }
+    if min > max {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+/// The value range `(max - min)` of a typed slice, NaN-tolerant.
+pub fn value_range<T: Element>(values: &[T]) -> f64 {
+    let (min, max) = value_min_max(values);
+    max - min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_bound_resolution() {
+        assert_eq!(ErrorBound::Abs(0.5).resolve(100.0), 0.5);
+        assert_eq!(ErrorBound::ValueRangeRel(1e-3).resolve(200.0), 0.2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_bounds() {
+        assert!(ErrorBound::Abs(0.0).validate().is_ok());
+        assert!(ErrorBound::Abs(-1.0).validate().is_err());
+        assert!(ErrorBound::ValueRangeRel(f64::NAN).validate().is_err());
+        assert!(ErrorBound::Abs(f64::INFINITY).validate().is_err());
+    }
+
+    #[test]
+    fn common_options_parse() {
+        let o = Options::new().with(OPT_REL, 1e-4f64);
+        assert_eq!(
+            ErrorBound::from_common_options(&o).unwrap(),
+            Some(ErrorBound::ValueRangeRel(1e-4))
+        );
+        let o = Options::new().with(OPT_ABS, 0.5f64).with(OPT_REL, 1e-4f64);
+        assert_eq!(
+            ErrorBound::from_common_options(&o).unwrap(),
+            Some(ErrorBound::Abs(0.5))
+        );
+        assert_eq!(
+            ErrorBound::from_common_options(&Options::new()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn range_ignores_nan() {
+        let v = [1.0f32, f32::NAN, 3.0, -2.0];
+        assert_eq!(value_min_max(&v), (-2.0, 3.0));
+        assert_eq!(value_range(&v), 5.0);
+        assert_eq!(value_range::<f64>(&[]), 0.0);
+        assert_eq!(value_range(&[f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn integer_range() {
+        let v = [5i32, -5, 10];
+        assert_eq!(value_range(&v), 15.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The compressor plugin interface (`pressio_compressor` analog).
+//!
+//! Every compressor — real codecs and meta-compressors alike — implements
+//! [`Compressor`]. The design decisions follow Section IV-B of the paper:
+//!
+//! * **Uniform dimension ordering.** `compress` always receives dimensions in
+//!   C order; plugins whose native convention differs reorder internally.
+//! * **Const inputs.** `compress` takes `&Data`; a plugin whose algorithm
+//!   clobbers its input must copy first (Rust's borrow checker enforces the
+//!   policy the paper merely recommends).
+//! * **Introspection.** [`get_options`](Compressor::get_options) reports
+//!   current settings *and declares unset ones with their types*;
+//!   [`get_configuration`](Compressor::get_configuration) reports invariants
+//!   such as thread safety; [`get_documentation`](Compressor::get_documentation)
+//!   reports docstrings.
+//! * **Thread-safety introspection.** [`thread_safety`](Compressor::thread_safety)
+//!   lets parallel meta-compressors decide whether instances may run
+//!   concurrently (the SZ-global-state problem from the paper).
+
+use crate::data::Data;
+use crate::error::{Error, Result};
+use crate::options::Options;
+use crate::version::Version;
+
+/// How instances of a compressor may be used across threads.
+///
+/// Mirrors `pressio_thread_safety`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ThreadSafety {
+    /// Only one thread may use the plugin, ever (hidden global state).
+    Single,
+    /// Multiple instances exist but share state; calls must be serialized
+    /// across *all* instances (e.g. SZ's shared configuration store).
+    Serialized,
+    /// Distinct instances are fully independent; concurrent use is safe.
+    Multiple,
+}
+
+impl ThreadSafety {
+    /// Stable lowercase name used in `get_configuration`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ThreadSafety::Single => "single",
+            ThreadSafety::Serialized => "serialized",
+            ThreadSafety::Multiple => "multiple",
+        }
+    }
+}
+
+/// API stability level advertised in `get_configuration`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Stability {
+    Experimental,
+    Unstable,
+    Stable,
+}
+
+impl Stability {
+    /// Stable lowercase name used in `get_configuration`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stability::Experimental => "experimental",
+            Stability::Unstable => "unstable",
+            Stability::Stable => "stable",
+        }
+    }
+}
+
+/// The uniform compressor interface.
+///
+/// Implementations must be [`Send`] so meta-compressors can move them across
+/// worker threads; whether *concurrent* use is allowed is reported separately
+/// via [`thread_safety`](Compressor::thread_safety).
+pub trait Compressor: Send {
+    /// Stable plugin id (registry key), e.g. `"sz"`.
+    fn name(&self) -> &str;
+
+    /// Plugin version pedigree.
+    fn version(&self) -> Version;
+
+    /// Thread-safety class of this plugin (see [`ThreadSafety`]).
+    fn thread_safety(&self) -> ThreadSafety {
+        ThreadSafety::Multiple
+    }
+
+    /// API stability class of this plugin.
+    fn stability(&self) -> Stability {
+        Stability::Stable
+    }
+
+    /// Current option values, with unset-but-supported options declared via
+    /// [`OptionValue::Unset`](crate::OptionValue::Unset).
+    fn get_options(&self) -> Options;
+
+    /// Apply option values. Unknown keys are ignored (so one option set can
+    /// configure a whole composition of plugins); ill-typed or out-of-range
+    /// values for known keys are errors.
+    fn set_options(&mut self, options: &Options) -> Result<()>;
+
+    /// Validate options without applying them.
+    fn check_options(&self, _options: &Options) -> Result<()> {
+        Ok(())
+    }
+
+    /// Invariant runtime facts: thread safety, stability, pedigree, and
+    /// whether the compressor is lossless/lossy, etc.
+    ///
+    /// Overrides should start from [`base_configuration`] and add entries.
+    fn get_configuration(&self) -> Options {
+        base_configuration(self)
+    }
+
+    /// Human-readable documentation per option key.
+    fn get_documentation(&self) -> Options {
+        Options::new()
+    }
+
+    /// Compress `input` into a fresh byte buffer.
+    fn compress(&mut self, input: &Data) -> Result<Data>;
+
+    /// Decompress `compressed` into `output`.
+    ///
+    /// `output` arrives pre-shaped with the expected dtype and dimensions
+    /// (like the C API); plugins that encode metadata into their streams may
+    /// also reshape it to the recorded geometry.
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()>;
+
+    /// Compress many buffers; the default loops, parallel meta-compressors
+    /// override.
+    fn compress_many(&mut self, inputs: &[&Data]) -> Result<Vec<Data>> {
+        inputs.iter().map(|d| self.compress(d)).collect()
+    }
+
+    /// Decompress many buffers; the default loops.
+    fn decompress_many(&mut self, compressed: &[&Data], outputs: &mut [Data]) -> Result<()> {
+        if compressed.len() != outputs.len() {
+            return Err(Error::invalid_argument(format!(
+                "decompress_many: {} inputs but {} outputs",
+                compressed.len(),
+                outputs.len()
+            )));
+        }
+        for (c, o) in compressed.iter().zip(outputs.iter_mut()) {
+            self.decompress(c, o)?;
+        }
+        Ok(())
+    }
+
+    /// Clone into a boxed trait object (used by parallel meta-compressors to
+    /// give each worker its own instance).
+    fn clone_compressor(&self) -> Box<dyn Compressor>;
+}
+
+impl Clone for Box<dyn Compressor> {
+    fn clone(&self) -> Self {
+        self.clone_compressor()
+    }
+}
+
+/// The invariant facts every compressor reports: thread safety, stability,
+/// and version pedigree. Plugin `get_configuration` overrides start from
+/// this and append their own entries (avoiding default-method recursion).
+pub fn base_configuration<C: Compressor + ?Sized>(c: &C) -> Options {
+    let mut o = Options::new();
+    let prefix = c.name().to_string();
+    o.set(
+        format!("{prefix}:pressio:thread_safe"),
+        c.thread_safety().name(),
+    );
+    o.set(format!("{prefix}:pressio:stability"), c.stability().name());
+    o.set(format!("{prefix}:pressio:version"), c.version().to_string());
+    o
+}
+
+/// Helper validating that a buffer has one of the accepted dtypes, producing
+/// the uniform unsupported-dtype error message.
+pub fn require_dtype(plugin: &str, data: &Data, accepted: &[crate::DType]) -> Result<()> {
+    if accepted.contains(&data.dtype()) {
+        Ok(())
+    } else {
+        Err(Error::unsupported(format!(
+            "dtype {} not supported (accepted: {})",
+            data.dtype(),
+            accepted
+                .iter()
+                .map(|d| d.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+        .in_plugin(plugin))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DType;
+
+    /// A trivial store-only compressor used to exercise trait defaults.
+    #[derive(Clone, Default)]
+    struct StoreCompressor {
+        calls: usize,
+    }
+
+    impl Compressor for StoreCompressor {
+        fn name(&self) -> &str {
+            "store"
+        }
+        fn version(&self) -> Version {
+            Version::new(1, 0, 0)
+        }
+        fn get_options(&self) -> Options {
+            Options::new()
+        }
+        fn set_options(&mut self, _: &Options) -> Result<()> {
+            Ok(())
+        }
+        fn compress(&mut self, input: &Data) -> Result<Data> {
+            self.calls += 1;
+            Ok(Data::from_bytes(input.as_bytes()))
+        }
+        fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+            output.as_bytes_mut().copy_from_slice(compressed.as_bytes());
+            Ok(())
+        }
+        fn clone_compressor(&self) -> Box<dyn Compressor> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn default_configuration_reports_invariants() {
+        let c = StoreCompressor::default();
+        let cfg = c.get_configuration();
+        assert_eq!(
+            cfg.get_as::<String>("store:pressio:thread_safe").unwrap(),
+            Some("multiple".to_string())
+        );
+        assert_eq!(
+            cfg.get_as::<String>("store:pressio:version").unwrap(),
+            Some("1.0.0".to_string())
+        );
+    }
+
+    #[test]
+    fn compress_many_default_loops() {
+        let mut c = StoreCompressor::default();
+        let a = Data::from_slice(&[1.0f32, 2.0], vec![2]).unwrap();
+        let b = Data::from_slice(&[3.0f32], vec![1]).unwrap();
+        let outs = c.compress_many(&[&a, &b]).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(c.calls, 2);
+
+        let mut d1 = Data::owned(DType::F32, vec![2]);
+        let mut d2 = Data::owned(DType::F32, vec![1]);
+        let mut outputs = vec![];
+        outputs.push(std::mem::replace(&mut d1, Data::empty(DType::F32)));
+        outputs.push(std::mem::replace(&mut d2, Data::empty(DType::F32)));
+        c.decompress_many(&[&outs[0], &outs[1]], &mut outputs).unwrap();
+        assert_eq!(outputs[0].as_slice::<f32>().unwrap(), &[1.0, 2.0]);
+        assert_eq!(outputs[1].as_slice::<f32>().unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn decompress_many_length_mismatch() {
+        let mut c = StoreCompressor::default();
+        let a = Data::from_bytes(&[0; 4]);
+        let mut outs = vec![Data::owned(DType::F32, vec![1])];
+        assert!(c.decompress_many(&[&a, &a], &mut outs).is_err());
+    }
+
+    #[test]
+    fn boxed_clone_works() {
+        let b: Box<dyn Compressor> = Box::new(StoreCompressor::default());
+        let c = b.clone();
+        assert_eq!(c.name(), "store");
+    }
+
+    #[test]
+    fn require_dtype_messages() {
+        let d = Data::owned(DType::I32, vec![1]);
+        let e = require_dtype("sz", &d, &[DType::F32, DType::F64]).unwrap_err();
+        assert!(e.to_string().contains("int32"));
+        assert!(e.to_string().contains("sz"));
+        assert!(require_dtype("sz", &d, &[DType::I32]).is_ok());
+    }
+}

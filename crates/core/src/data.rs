@@ -1,0 +1,421 @@
+//! The `pressio_data` analog: a dynamically typed, n-dimensional, owned data
+//! buffer.
+//!
+//! [`Data`] couples raw bytes with a [`DType`] and a dimension list so that
+//! compressors can exploit type and layout information (the paper's
+//! "datatype-aware" and "n-d data aware" criteria), while memory management
+//! stays inside the abstraction. Dimensions are stored in **C order**
+//! (slowest-varying first); plugins whose native convention is Fortran order
+//! (e.g. the ZFP-style compressor) reorder internally, transparently to the
+//! user — exactly the uniform-ordering policy the paper argues for.
+//!
+//! The C library's deleter-function design (owning, non-owning, and shallow
+//! copies) maps onto Rust as: owned aligned buffers ([`Data::owned`] et al.)
+//! and reference-counted shallow copies ([`Data::shallow_clone`]) with
+//! copy-on-write upon mutation.
+
+use std::sync::Arc;
+
+use crate::alloc::AlignedVec;
+use crate::dtype::{DType, Element};
+use crate::error::{Error, Result};
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Owned(AlignedVec),
+    Shared(Arc<AlignedVec>),
+}
+
+impl Storage {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Storage::Owned(v) => v.as_slice(),
+            Storage::Shared(v) => v.as_slice(),
+        }
+    }
+
+    #[inline]
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        match self {
+            Storage::Owned(v) => v.as_mut_slice(),
+            // Copy-on-write: writing through a shallow copy must not disturb
+            // other holders (a shallow copy with a no-op deleter in the C
+            // library is read-only by convention; we make it safe instead).
+            Storage::Shared(v) => Arc::make_mut(v).as_mut_slice(),
+        }
+    }
+}
+
+/// A dynamically typed n-dimensional data buffer.
+///
+/// This is the single currency passed between compressors, metrics, and IO
+/// plugins. See the [module docs](self) for the design rationale.
+#[derive(Debug, Clone)]
+pub struct Data {
+    dtype: DType,
+    dims: Vec<usize>,
+    storage: Storage,
+}
+
+impl Data {
+    // ---------------------------------------------------------------- ctors
+
+    /// A zero-filled buffer of the given type and dimensions.
+    pub fn owned(dtype: DType, dims: impl Into<Vec<usize>>) -> Data {
+        let dims = dims.into();
+        let n: usize = dims.iter().product::<usize>();
+        Data {
+            dtype,
+            storage: Storage::Owned(AlignedVec::zeroed(n * dtype.size())),
+            dims,
+        }
+    }
+
+    /// An empty 0-element buffer of the given type (used as an output
+    /// placeholder, like `pressio_data_new_empty`).
+    pub fn empty(dtype: DType) -> Data {
+        Data::owned(dtype, vec![0usize])
+    }
+
+    /// Copy a typed slice into a new buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dims` do not multiply to `src.len()`.
+    pub fn from_slice<T: Element>(src: &[T], dims: impl Into<Vec<usize>>) -> Result<Data> {
+        let dims = dims.into();
+        let n: usize = dims.iter().product();
+        if n != src.len() {
+            return Err(Error::invalid_argument(format!(
+                "dims {dims:?} describe {n} elements but slice has {}",
+                src.len()
+            )));
+        }
+        // SAFETY: Element guarantees T is plain-old-data with no padding, so
+        // viewing the slice as bytes is sound.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(src.as_ptr() as *const u8, std::mem::size_of_val(src))
+        };
+        Ok(Data {
+            dtype: T::DTYPE,
+            dims,
+            storage: Storage::Owned(AlignedVec::from_slice(bytes)),
+        })
+    }
+
+    /// Take ownership of a typed vector (the `pressio_data_new_move` analog;
+    /// one copy is made to guarantee alignment).
+    pub fn from_vec<T: Element>(src: Vec<T>, dims: impl Into<Vec<usize>>) -> Result<Data> {
+        Data::from_slice(&src, dims)
+    }
+
+    /// Wrap raw bytes as a 1-d `Byte` buffer (compressed streams).
+    pub fn from_bytes(bytes: &[u8]) -> Data {
+        Data {
+            dtype: DType::Byte,
+            dims: vec![bytes.len()],
+            storage: Storage::Owned(AlignedVec::from_slice(bytes)),
+        }
+    }
+
+    /// Wrap an already-aligned buffer as a 1-d `Byte` buffer without copying.
+    pub fn from_aligned_bytes(bytes: AlignedVec) -> Data {
+        Data {
+            dtype: DType::Byte,
+            dims: vec![bytes.len()],
+            storage: Storage::Owned(bytes),
+        }
+    }
+
+    // ------------------------------------------------------------- geometry
+
+    /// The element type.
+    #[inline]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Dimensions in C order (slowest-varying first).
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Total payload size in bytes.
+    #[inline]
+    pub fn size_in_bytes(&self) -> usize {
+        self.storage.bytes().len()
+    }
+
+    /// Reinterpret the buffer with new dimensions (same dtype, same element
+    /// count) — the `resize` meta-compressor builds on this.
+    pub fn reshape(&mut self, dims: impl Into<Vec<usize>>) -> Result<()> {
+        let dims = dims.into();
+        let n: usize = dims.iter().product();
+        if n != self.num_elements() {
+            return Err(Error::invalid_argument(format!(
+                "reshape to {dims:?} ({n} elements) from {:?} ({} elements)",
+                self.dims,
+                self.num_elements()
+            )));
+        }
+        self.dims = dims;
+        Ok(())
+    }
+
+    // --------------------------------------------------------------- access
+
+    /// The raw bytes of the buffer.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        self.storage.bytes()
+    }
+
+    /// Mutable raw bytes (copy-on-write if this is a shallow copy).
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        self.storage.bytes_mut()
+    }
+
+    /// View the buffer as a typed slice.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TypeMismatch`](crate::ErrorCode::TypeMismatch) if `T` does
+    /// not match the buffer's dtype (`u8` additionally matches `Byte`).
+    pub fn as_slice<T: Element>(&self) -> Result<&[T]> {
+        self.check_view::<T>()?;
+        let bytes = self.storage.bytes();
+        // SAFETY: dtype matches T, byte length is a multiple of size_of::<T>()
+        // by construction, and AlignedVec guarantees 64-byte alignment.
+        Ok(unsafe {
+            std::slice::from_raw_parts(
+                bytes.as_ptr() as *const T,
+                bytes.len() / std::mem::size_of::<T>(),
+            )
+        })
+    }
+
+    /// View the buffer as a mutable typed slice (copy-on-write if shared).
+    pub fn as_mut_slice<T: Element>(&mut self) -> Result<&mut [T]> {
+        self.check_view::<T>()?;
+        let bytes = self.storage.bytes_mut();
+        // SAFETY: as in `as_slice`, plus exclusive access through &mut self.
+        Ok(unsafe {
+            std::slice::from_raw_parts_mut(
+                bytes.as_mut_ptr() as *mut T,
+                bytes.len() / std::mem::size_of::<T>(),
+            )
+        })
+    }
+
+    fn check_view<T: Element>(&self) -> Result<()> {
+        let compatible = T::DTYPE == self.dtype
+            || (T::DTYPE == DType::U8 && self.dtype == DType::Byte)
+            || (T::DTYPE == DType::U8 && self.dtype == DType::U8);
+        if !compatible {
+            return Err(Error::type_mismatch(format!(
+                "buffer holds {} but a {} view was requested",
+                self.dtype,
+                T::DTYPE
+            )));
+        }
+        debug_assert_eq!(self.storage.bytes().len() % std::mem::size_of::<T>(), 0);
+        Ok(())
+    }
+
+    /// Copy out as a typed vector.
+    pub fn to_vec<T: Element>(&self) -> Result<Vec<T>> {
+        Ok(self.as_slice::<T>()?.to_vec())
+    }
+
+    // ------------------------------------------------------------- sharing
+
+    /// A shallow (reference-counted) copy: O(1), shares the payload.
+    ///
+    /// The analog of `pressio_data_new_nonowning` with a no-op deleter.
+    /// Mutating either copy afterwards triggers copy-on-write.
+    pub fn shallow_clone(&mut self) -> Data {
+        let arc = match &mut self.storage {
+            Storage::Shared(a) => a.clone(),
+            Storage::Owned(v) => {
+                // Promote to shared in place without copying the payload.
+                let owned = std::mem::replace(v, AlignedVec::zeroed(0));
+                let arc = Arc::new(owned);
+                self.storage = Storage::Shared(arc.clone());
+                arc
+            }
+        };
+        Data {
+            dtype: self.dtype,
+            dims: self.dims.clone(),
+            storage: Storage::Shared(arc),
+        }
+    }
+
+    /// True when this buffer shares its payload with another [`Data`].
+    pub fn is_shared(&self) -> bool {
+        match &self.storage {
+            Storage::Shared(a) => Arc::strong_count(a) > 1,
+            Storage::Owned(_) => false,
+        }
+    }
+
+    // ---------------------------------------------------------- conversion
+
+    /// Element-wise numeric cast to another dtype (via `f64`); `Byte` buffers
+    /// cannot be cast.
+    pub fn cast(&self, to: DType) -> Result<Data> {
+        if self.dtype == DType::Byte || to == DType::Byte {
+            return Err(Error::unsupported("cannot numerically cast byte buffers"));
+        }
+        if to == self.dtype {
+            return Ok(self.clone());
+        }
+        let values: Vec<f64> = crate::dispatch_dtype!(self.dtype, T => {
+            self.as_slice::<T>()?.iter().map(|v| v.to_f64()).collect()
+        });
+        crate::dispatch_dtype!(to, U => {
+            let out: Vec<U> = values.into_iter().map(U::from_f64).collect();
+            Data::from_vec(out, self.dims.clone())
+        })
+    }
+
+    /// Every element converted to `f64` — the common path for metrics.
+    pub fn to_f64_vec(&self) -> Result<Vec<f64>> {
+        crate::dispatch_dtype!(self.dtype, T => {
+            Ok(self.as_slice::<T>()?.iter().map(|v| v.to_f64()).collect())
+        })
+    }
+}
+
+impl PartialEq for Data {
+    fn eq(&self, other: &Self) -> bool {
+        self.dtype == other.dtype
+            && self.dims == other.dims
+            && self.as_bytes() == other.as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_zeroed() {
+        let d = Data::owned(DType::F64, vec![10, 20]);
+        assert_eq!(d.num_elements(), 200);
+        assert_eq!(d.size_in_bytes(), 1600);
+        assert!(d.as_slice::<f64>().unwrap().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let src = [1.5f32, -2.0, 3.25, 0.0, 7.0, 8.0];
+        let d = Data::from_slice(&src, vec![2, 3]).unwrap();
+        assert_eq!(d.dtype(), DType::F32);
+        assert_eq!(d.dims(), &[2, 3]);
+        assert_eq!(d.as_slice::<f32>().unwrap(), &src);
+    }
+
+    #[test]
+    fn dims_must_match_length() {
+        assert!(Data::from_slice(&[1.0f64; 5], vec![2, 3]).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let d = Data::from_slice(&[1i32, 2, 3], vec![3]).unwrap();
+        assert!(d.as_slice::<f32>().is_err());
+        assert!(d.as_slice::<i32>().is_ok());
+    }
+
+    #[test]
+    fn byte_buffers_view_as_u8() {
+        let d = Data::from_bytes(&[1, 2, 3]);
+        assert_eq!(d.dtype(), DType::Byte);
+        assert_eq!(d.as_slice::<u8>().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn reshape_checks_count() {
+        let mut d = Data::owned(DType::I16, vec![4, 6]);
+        d.reshape(vec![24]).unwrap();
+        assert_eq!(d.dims(), &[24]);
+        d.reshape(vec![2, 3, 4]).unwrap();
+        assert!(d.reshape(vec![5, 5]).is_err());
+    }
+
+    #[test]
+    fn shallow_clone_shares_then_cow() {
+        let mut a = Data::from_slice(&[1.0f64, 2.0, 3.0], vec![3]).unwrap();
+        let mut b = a.shallow_clone();
+        assert!(a.is_shared());
+        assert!(b.is_shared());
+        assert_eq!(b.as_slice::<f64>().unwrap(), &[1.0, 2.0, 3.0]);
+        // Mutate the copy: original must be untouched (copy-on-write).
+        b.as_mut_slice::<f64>().unwrap()[0] = 99.0;
+        assert_eq!(a.as_slice::<f64>().unwrap()[0], 1.0);
+        assert_eq!(b.as_slice::<f64>().unwrap()[0], 99.0);
+    }
+
+    #[test]
+    fn cast_f64_to_i32_rounds() {
+        let d = Data::from_slice(&[1.4f64, 2.6, -3.5], vec![3]).unwrap();
+        let c = d.cast(DType::I32).unwrap();
+        assert_eq!(c.as_slice::<i32>().unwrap(), &[1, 3, -4]);
+    }
+
+    #[test]
+    fn cast_same_type_is_identity() {
+        let d = Data::from_slice(&[5u16, 6], vec![2]).unwrap();
+        let c = d.cast(DType::U16).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn cast_byte_rejected() {
+        let d = Data::from_bytes(&[0, 1]);
+        assert!(d.cast(DType::F32).is_err());
+    }
+
+    #[test]
+    fn to_f64_vec_all_types() {
+        let d = Data::from_slice(&[1u8, 2, 3], vec![3]).unwrap();
+        assert_eq!(d.to_f64_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+        let d = Data::from_slice(&[-1i64, 4], vec![2]).unwrap();
+        assert_eq!(d.to_f64_vec().unwrap(), vec![-1.0, 4.0]);
+    }
+
+    #[test]
+    fn alignment_supports_f64_views() {
+        // Many small buffers: all must be aligned for f64 access.
+        for n in 1..32 {
+            let d = Data::owned(DType::F64, vec![n]);
+            let s = d.as_slice::<f64>().unwrap();
+            assert_eq!(s.len(), n);
+        }
+    }
+
+    #[test]
+    fn equality_compares_payload() {
+        let a = Data::from_slice(&[1.0f32, 2.0], vec![2]).unwrap();
+        let b = Data::from_slice(&[1.0f32, 2.0], vec![2]).unwrap();
+        let c = Data::from_slice(&[1.0f32, 2.5], vec![2]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,367 @@
+//! Element data types understood by the library.
+//!
+//! Every [`Data`](crate::data::Data) buffer carries a [`DType`] describing the
+//! scalar type of its elements. Compressors use this to select type-specific
+//! code paths (the paper's "datatype-aware" criterion) and metrics use it to
+//! interpret buffers numerically.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// Scalar element type of a [`Data`](crate::data::Data) buffer.
+///
+/// Mirrors `pressio_dtype`: signed and unsigned integers of 8–64 bits, IEEE
+/// single and double precision floats, and an opaque `Byte` type used for
+/// compressed streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 8-bit signed integer.
+    I8,
+    /// 16-bit signed integer.
+    I16,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 8-bit unsigned integer.
+    U8,
+    /// 16-bit unsigned integer.
+    U16,
+    /// 32-bit unsigned integer.
+    U32,
+    /// 64-bit unsigned integer.
+    U64,
+    /// IEEE 754 single precision floating point.
+    F32,
+    /// IEEE 754 double precision floating point.
+    F64,
+    /// Raw bytes with no numeric interpretation (compressed streams).
+    Byte,
+}
+
+/// All data types, in a stable enumeration order.
+pub const ALL_DTYPES: [DType; 11] = [
+    DType::I8,
+    DType::I16,
+    DType::I32,
+    DType::I64,
+    DType::U8,
+    DType::U16,
+    DType::U32,
+    DType::U64,
+    DType::F32,
+    DType::F64,
+    DType::Byte,
+];
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size(self) -> usize {
+        match self {
+            DType::I8 | DType::U8 | DType::Byte => 1,
+            DType::I16 | DType::U16 => 2,
+            DType::I32 | DType::U32 | DType::F32 => 4,
+            DType::I64 | DType::U64 | DType::F64 => 8,
+        }
+    }
+
+    /// Required alignment of one element in bytes.
+    #[inline]
+    pub const fn align(self) -> usize {
+        self.size()
+    }
+
+    /// True for `F32` and `F64`.
+    #[inline]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F64)
+    }
+
+    /// True for the signed integer types.
+    #[inline]
+    pub const fn is_signed_int(self) -> bool {
+        matches!(self, DType::I8 | DType::I16 | DType::I32 | DType::I64)
+    }
+
+    /// True for the unsigned integer types (excluding `Byte`).
+    #[inline]
+    pub const fn is_unsigned_int(self) -> bool {
+        matches!(self, DType::U8 | DType::U16 | DType::U32 | DType::U64)
+    }
+
+    /// Stable lowercase name, matching the names used in options and headers.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::I8 => "int8",
+            DType::I16 => "int16",
+            DType::I32 => "int32",
+            DType::I64 => "int64",
+            DType::U8 => "uint8",
+            DType::U16 => "uint16",
+            DType::U32 => "uint32",
+            DType::U64 => "uint64",
+            DType::F32 => "float",
+            DType::F64 => "double",
+            DType::Byte => "byte",
+        }
+    }
+
+    /// Parse a dtype from its stable [`name`](DType::name) (several aliases
+    /// are accepted, e.g. `f32`, `float32`).
+    pub fn from_name(name: &str) -> Result<DType> {
+        Ok(match name {
+            "int8" | "i8" => DType::I8,
+            "int16" | "i16" => DType::I16,
+            "int32" | "i32" => DType::I32,
+            "int64" | "i64" => DType::I64,
+            "uint8" | "u8" => DType::U8,
+            "uint16" | "u16" => DType::U16,
+            "uint32" | "u32" => DType::U32,
+            "uint64" | "u64" => DType::U64,
+            "float" | "f32" | "float32" => DType::F32,
+            "double" | "f64" | "float64" => DType::F64,
+            "byte" | "bytes" => DType::Byte,
+            other => {
+                return Err(Error::invalid_argument(format!(
+                    "unknown dtype name: {other:?}"
+                )))
+            }
+        })
+    }
+
+    /// Stable numeric tag for binary headers.
+    pub const fn tag(self) -> u8 {
+        match self {
+            DType::I8 => 0,
+            DType::I16 => 1,
+            DType::I32 => 2,
+            DType::I64 => 3,
+            DType::U8 => 4,
+            DType::U16 => 5,
+            DType::U32 => 6,
+            DType::U64 => 7,
+            DType::F32 => 8,
+            DType::F64 => 9,
+            DType::Byte => 10,
+        }
+    }
+
+    /// Inverse of [`tag`](DType::tag).
+    pub fn from_tag(tag: u8) -> Result<DType> {
+        ALL_DTYPES
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| Error::corrupt(format!("invalid dtype tag {tag}")))
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scalar type usable as an element of a [`Data`](crate::data::Data) buffer.
+///
+/// # Safety
+///
+/// Implementors must be plain-old-data: any bit pattern of `Self::DTYPE.size()`
+/// bytes must be a valid value of `Self`, `size_of::<Self>()` must equal
+/// `Self::DTYPE.size()`, and the type must contain no padding or pointers.
+/// All implementations live in this crate; the trait is sealed.
+pub unsafe trait Element: Copy + Send + Sync + PartialOrd + 'static + private::Sealed {
+    /// The corresponding runtime [`DType`].
+    const DTYPE: DType;
+
+    /// Lossy conversion to `f64` for metrics computations.
+    fn to_f64(self) -> f64;
+
+    /// Lossy conversion from `f64` (rounds / saturates for integers).
+    fn from_f64(v: f64) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for i8 {}
+    impl Sealed for i16 {}
+    impl Sealed for i32 {}
+    impl Sealed for i64 {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+macro_rules! impl_element_int {
+    ($($t:ty => $d:expr),* $(,)?) => {$(
+        unsafe impl Element for $t {
+            const DTYPE: DType = $d;
+            #[inline]
+            fn to_f64(self) -> f64 { self as f64 }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                if v.is_nan() { 0 as $t } else { v.round().clamp(<$t>::MIN as f64, <$t>::MAX as f64) as $t }
+            }
+        }
+    )*};
+}
+
+impl_element_int! {
+    i8 => DType::I8, i16 => DType::I16, i32 => DType::I32, i64 => DType::I64,
+    u8 => DType::U8, u16 => DType::U16, u32 => DType::U32, u64 => DType::U64,
+}
+
+unsafe impl Element for f32 {
+    const DTYPE: DType = DType::F32;
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+unsafe impl Element for f64 {
+    const DTYPE: DType = DType::F64;
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+/// Invoke a generic function over the [`Element`] type matching a runtime
+/// [`DType`].
+///
+/// `Byte` is dispatched as `u8`. This is the core mechanism by which
+/// dynamically typed [`Data`](crate::data::Data) buffers reach statically
+/// typed kernels.
+///
+/// ```
+/// use pressio_core::{dispatch_dtype, DType};
+/// fn elem_size<T: pressio_core::Element>() -> usize { std::mem::size_of::<T>() }
+/// let d = DType::F32;
+/// let s = dispatch_dtype!(d, T => elem_size::<T>());
+/// assert_eq!(s, 4);
+/// ```
+#[macro_export]
+macro_rules! dispatch_dtype {
+    ($dtype:expr, $T:ident => $body:expr) => {{
+        match $dtype {
+            $crate::DType::I8 => {
+                type $T = i8;
+                $body
+            }
+            $crate::DType::I16 => {
+                type $T = i16;
+                $body
+            }
+            $crate::DType::I32 => {
+                type $T = i32;
+                $body
+            }
+            $crate::DType::I64 => {
+                type $T = i64;
+                $body
+            }
+            $crate::DType::U8 | $crate::DType::Byte => {
+                type $T = u8;
+                $body
+            }
+            $crate::DType::U16 => {
+                type $T = u16;
+                $body
+            }
+            $crate::DType::U32 => {
+                type $T = u32;
+                $body
+            }
+            $crate::DType::U64 => {
+                type $T = u64;
+                $body
+            }
+            $crate::DType::F32 => {
+                type $T = f32;
+                $body
+            }
+            $crate::DType::F64 => {
+                type $T = f64;
+                $body
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_rust_types() {
+        assert_eq!(DType::I8.size(), std::mem::size_of::<i8>());
+        assert_eq!(DType::I16.size(), std::mem::size_of::<i16>());
+        assert_eq!(DType::I32.size(), std::mem::size_of::<i32>());
+        assert_eq!(DType::I64.size(), std::mem::size_of::<i64>());
+        assert_eq!(DType::U8.size(), 1);
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::F64.size(), 8);
+        assert_eq!(DType::Byte.size(), 1);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for d in ALL_DTYPES {
+            assert_eq!(DType::from_name(d.name()).unwrap(), d);
+        }
+        assert!(DType::from_name("complex128").is_err());
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for d in ALL_DTYPES {
+            assert_eq!(DType::from_tag(d.tag()).unwrap(), d);
+        }
+        assert!(DType::from_tag(200).is_err());
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!(DType::from_name("f32").unwrap(), DType::F32);
+        assert_eq!(DType::from_name("float64").unwrap(), DType::F64);
+        assert_eq!(DType::from_name("u16").unwrap(), DType::U16);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DType::F32.is_float());
+        assert!(!DType::I32.is_float());
+        assert!(DType::I64.is_signed_int());
+        assert!(DType::U8.is_unsigned_int());
+        assert!(!DType::Byte.is_unsigned_int());
+    }
+
+    #[test]
+    fn element_from_f64_saturates() {
+        assert_eq!(<u8 as Element>::from_f64(300.0), 255);
+        assert_eq!(<i8 as Element>::from_f64(-1000.0), -128);
+        assert_eq!(<u32 as Element>::from_f64(f64::NAN), 0);
+        assert_eq!(<i16 as Element>::from_f64(3.6), 4);
+    }
+
+    #[test]
+    fn dispatch_macro_covers_all() {
+        for d in ALL_DTYPES {
+            let sz = dispatch_dtype!(d, T => std::mem::size_of::<T>());
+            assert_eq!(sz, d.size());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Error handling.
+//!
+//! Mirrors `pressio`'s error-code + error-message design while staying
+//! idiomatic Rust: every fallible operation returns [`Result<T>`], and the
+//! error carries a machine-readable [`ErrorCode`], a human-readable message,
+//! and optionally the name of the plugin that raised it.
+
+use std::fmt;
+
+/// Machine-readable category of an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// A caller supplied an invalid argument (bad option value, wrong dtype,
+    /// mismatched dimensions, ...).
+    InvalidArgument,
+    /// The requested plugin, option, or feature does not exist.
+    NotFound,
+    /// The option exists but the supplied value has an incompatible type.
+    TypeMismatch,
+    /// A compressed stream failed validation during decompression.
+    CorruptStream,
+    /// The plugin does not support the requested operation for this input
+    /// (e.g. lossy float compressor given integer data).
+    Unsupported,
+    /// An underlying IO operation failed.
+    Io,
+    /// An internal invariant was violated; indicates a bug in a plugin.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable numeric code (useful for FFI-style interop and the CLI exit
+    /// status).
+    pub const fn code(self) -> i32 {
+        match self {
+            ErrorCode::InvalidArgument => 1,
+            ErrorCode::NotFound => 2,
+            ErrorCode::TypeMismatch => 3,
+            ErrorCode::CorruptStream => 4,
+            ErrorCode::Unsupported => 5,
+            ErrorCode::Io => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+}
+
+/// Error type for the whole library.
+#[derive(Debug, Clone)]
+pub struct Error {
+    code: ErrorCode,
+    message: String,
+    /// Name of the plugin that raised the error, if known.
+    plugin: Option<String>,
+}
+
+/// Convenience result alias used across all pressio crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Error {
+    /// Create an error with an explicit [`ErrorCode`].
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Error {
+            code,
+            message: message.into(),
+            plugin: None,
+        }
+    }
+
+    /// Attach the raising plugin's name (builder style).
+    pub fn in_plugin(mut self, plugin: impl Into<String>) -> Self {
+        self.plugin = Some(plugin.into());
+        self
+    }
+
+    /// The machine-readable category.
+    pub fn code(&self) -> ErrorCode {
+        self.code
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The plugin that raised this error, if recorded.
+    pub fn plugin(&self) -> Option<&str> {
+        self.plugin.as_deref()
+    }
+
+    /// Shorthand for [`ErrorCode::InvalidArgument`].
+    pub fn invalid_argument(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::InvalidArgument, message)
+    }
+
+    /// Shorthand for [`ErrorCode::NotFound`].
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::NotFound, message)
+    }
+
+    /// Shorthand for [`ErrorCode::TypeMismatch`].
+    pub fn type_mismatch(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::TypeMismatch, message)
+    }
+
+    /// Shorthand for [`ErrorCode::CorruptStream`].
+    pub fn corrupt(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::CorruptStream, message)
+    }
+
+    /// Shorthand for [`ErrorCode::Unsupported`].
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::Unsupported, message)
+    }
+
+    /// Shorthand for [`ErrorCode::Internal`].
+    pub fn internal(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::Internal, message)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.plugin {
+            Some(p) => write!(f, "[{p}] {:?}: {}", self.code, self.message),
+            None => write!(f, "{:?}: {}", self.code, self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(ErrorCode::Io, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_plugin() {
+        let e = Error::invalid_argument("bad bound").in_plugin("sz");
+        let s = e.to_string();
+        assert!(s.contains("sz"));
+        assert!(s.contains("bad bound"));
+        assert_eq!(e.code(), ErrorCode::InvalidArgument);
+        assert_eq!(e.plugin(), Some("sz"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let codes = [
+            ErrorCode::InvalidArgument,
+            ErrorCode::NotFound,
+            ErrorCode::TypeMismatch,
+            ErrorCode::CorruptStream,
+            ErrorCode::Unsupported,
+            ErrorCode::Io,
+            ErrorCode::Internal,
+        ];
+        let mut nums: Vec<i32> = codes.iter().map(|c| c.code()).collect();
+        nums.sort_unstable();
+        nums.dedup();
+        assert_eq!(nums.len(), codes.len());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = ioe.into();
+        assert_eq!(e.code(), ErrorCode::Io);
+        assert!(e.message().contains("gone"));
+    }
+}

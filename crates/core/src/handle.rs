@@ -1,0 +1,285 @@
+//! [`CompressorHandle`]: a compressor plus its attached metrics.
+//!
+//! This is the object `Pressio::get_compressor` hands out. It forwards the
+//! whole [`Compressor`] interface and, around each `compress`/`decompress`
+//! call, drives the attached [`MetricsPlugin`] lifecycle hooks and wall-clock
+//! timing — the instrumentation that the overhead experiment (paper Sec. VI)
+//! measures against native calls.
+
+use std::ops::{Deref, DerefMut};
+use std::time::Instant;
+
+use crate::compressor::Compressor;
+use crate::data::Data;
+use crate::error::Result;
+use crate::metrics::MetricsPlugin;
+use crate::options::Options;
+
+/// A compressor instance with optional attached metrics.
+pub struct CompressorHandle {
+    inner: Box<dyn Compressor>,
+    metrics: Vec<Box<dyn MetricsPlugin>>,
+}
+
+impl CompressorHandle {
+    /// Wrap a boxed compressor with no metrics attached.
+    pub fn new(inner: Box<dyn Compressor>) -> CompressorHandle {
+        CompressorHandle {
+            inner,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Attach metrics plugins, replacing any already attached
+    /// (`pressio_compressor_set_metrics`).
+    pub fn set_metrics(&mut self, metrics: Vec<Box<dyn MetricsPlugin>>) {
+        self.metrics = metrics;
+    }
+
+    /// Attach one more metrics plugin.
+    pub fn add_metrics(&mut self, metric: Box<dyn MetricsPlugin>) {
+        self.metrics.push(metric);
+    }
+
+    /// Names of the attached metrics plugins.
+    pub fn metrics_names(&self) -> Vec<String> {
+        self.metrics.iter().map(|m| m.name().to_string()).collect()
+    }
+
+    /// Merged results of every attached metric
+    /// (`pressio_compressor_get_metrics_results`).
+    pub fn metrics_results(&self) -> Options {
+        let mut all = Options::new();
+        for m in &self.metrics {
+            all.merge(&m.results());
+        }
+        all
+    }
+
+    /// Forward options to the attached metrics plugins (lags, thresholds, ...).
+    pub fn set_metrics_options(&mut self, options: &Options) -> Result<()> {
+        for m in &mut self.metrics {
+            m.set_options(options)?;
+        }
+        Ok(())
+    }
+
+    /// Compress with metrics hooks and timing.
+    pub fn compress(&mut self, input: &Data) -> Result<Data> {
+        for m in &mut self.metrics {
+            m.begin_compress(input);
+        }
+        let start = Instant::now();
+        let compressed = self.inner.compress(input)?;
+        let elapsed = start.elapsed();
+        for m in &mut self.metrics {
+            m.end_compress(input, &compressed, elapsed);
+        }
+        Ok(compressed)
+    }
+
+    /// Decompress with metrics hooks and timing.
+    pub fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        for m in &mut self.metrics {
+            m.begin_decompress(compressed);
+        }
+        let start = Instant::now();
+        self.inner.decompress(compressed, output)?;
+        let elapsed = start.elapsed();
+        for m in &mut self.metrics {
+            m.end_decompress(compressed, output, elapsed);
+        }
+        Ok(())
+    }
+
+    /// Compress many buffers through the wrapped plugin.
+    ///
+    /// Note: attached metrics hooks are per-buffer instruments and are NOT
+    /// driven for batch calls; use per-buffer [`compress`](Self::compress)
+    /// when metrics are needed.
+    pub fn compress_many(&mut self, inputs: &[&Data]) -> Result<Vec<Data>> {
+        self.inner.compress_many(inputs)
+    }
+
+    /// Decompress many buffers through the wrapped plugin.
+    pub fn decompress_many(&mut self, compressed: &[&Data], outputs: &mut [Data]) -> Result<()> {
+        self.inner.decompress_many(compressed, outputs)
+    }
+
+    /// Consume the handle, returning the inner boxed plugin.
+    pub fn into_inner(self) -> Box<dyn Compressor> {
+        self.inner
+    }
+}
+
+impl Deref for CompressorHandle {
+    type Target = dyn Compressor;
+    fn deref(&self) -> &Self::Target {
+        &*self.inner
+    }
+}
+
+impl DerefMut for CompressorHandle {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut *self.inner
+    }
+}
+
+impl Clone for CompressorHandle {
+    fn clone(&self) -> Self {
+        CompressorHandle {
+            inner: self.inner.clone_compressor(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::Compressor;
+    use crate::version::Version;
+    use std::time::Duration;
+
+    #[derive(Clone, Default)]
+    struct Passthrough;
+    impl Compressor for Passthrough {
+        fn name(&self) -> &str {
+            "pass"
+        }
+        fn version(&self) -> Version {
+            Version::new(0, 1, 0)
+        }
+        fn get_options(&self) -> Options {
+            Options::new()
+        }
+        fn set_options(&mut self, _: &Options) -> Result<()> {
+            Ok(())
+        }
+        fn compress(&mut self, input: &Data) -> Result<Data> {
+            Ok(Data::from_bytes(input.as_bytes()))
+        }
+        fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+            output.as_bytes_mut().copy_from_slice(compressed.as_bytes());
+            Ok(())
+        }
+        fn clone_compressor(&self) -> Box<dyn Compressor> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[derive(Clone, Default)]
+    struct SizeMetric {
+        in_bytes: u64,
+        out_bytes: u64,
+        timed: bool,
+    }
+    impl MetricsPlugin for SizeMetric {
+        fn name(&self) -> &str {
+            "size"
+        }
+        fn end_compress(&mut self, input: &Data, compressed: &Data, t: Duration) {
+            self.in_bytes = input.size_in_bytes() as u64;
+            self.out_bytes = compressed.size_in_bytes() as u64;
+            self.timed = t >= Duration::ZERO;
+        }
+        fn results(&self) -> Options {
+            Options::new()
+                .with("size:uncompressed_size", self.in_bytes)
+                .with("size:compressed_size", self.out_bytes)
+        }
+        fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn handle_drives_metrics() {
+        let mut h = CompressorHandle::new(Box::new(Passthrough));
+        h.set_metrics(vec![Box::new(SizeMetric::default())]);
+        let input = Data::from_slice(&[1.0f64; 100], vec![100]).unwrap();
+        let c = h.compress(&input).unwrap();
+        let mut out = Data::owned(crate::DType::F64, vec![100]);
+        h.decompress(&c, &mut out).unwrap();
+        let r = h.metrics_results();
+        assert_eq!(r.get_as::<u64>("size:uncompressed_size").unwrap(), Some(800));
+        assert_eq!(r.get_as::<u64>("size:compressed_size").unwrap(), Some(800));
+        assert_eq!(h.metrics_names(), vec!["size"]);
+    }
+
+    #[test]
+    fn deref_exposes_compressor_api() {
+        let h = CompressorHandle::new(Box::new(Passthrough));
+        assert_eq!(h.name(), "pass");
+        assert_eq!(h.version(), Version::new(0, 1, 0));
+    }
+
+    #[test]
+    fn clone_preserves_metrics() {
+        let mut h = CompressorHandle::new(Box::new(Passthrough));
+        h.set_metrics(vec![Box::new(SizeMetric::default())]);
+        let h2 = h.clone();
+        assert_eq!(h2.metrics_names(), vec!["size"]);
+    }
+
+    #[test]
+    fn batch_calls_delegate_to_plugin() {
+        let mut h = CompressorHandle::new(Box::new(Passthrough));
+        let a = Data::from_slice(&[1.0f32, 2.0], vec![2]).unwrap();
+        let b = Data::from_slice(&[3.0f32, 4.0, 5.0], vec![3]).unwrap();
+        let outs = h.compress_many(&[&a, &b]).unwrap();
+        assert_eq!(outs.len(), 2);
+        let refs: Vec<&Data> = outs.iter().collect();
+        let mut results = vec![
+            Data::owned(crate::DType::F32, vec![2]),
+            Data::owned(crate::DType::F32, vec![3]),
+        ];
+        h.decompress_many(&refs, &mut results).unwrap();
+        assert_eq!(results[0], a);
+        assert_eq!(results[1], b);
+    }
+
+    #[test]
+    fn add_metrics_appends_and_options_forward() {
+        #[derive(Clone, Default)]
+        struct Configurable {
+            factor: u64,
+        }
+        impl MetricsPlugin for Configurable {
+            fn name(&self) -> &str {
+                "configurable"
+            }
+            fn set_options(&mut self, o: &Options) -> Result<()> {
+                if let Some(f) = o.get_as::<u64>("configurable:factor")? {
+                    self.factor = f;
+                }
+                Ok(())
+            }
+            fn results(&self) -> Options {
+                Options::new().with("configurable:factor", self.factor)
+            }
+            fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+                Box::new(self.clone())
+            }
+        }
+        let mut h = CompressorHandle::new(Box::new(Passthrough));
+        h.set_metrics(vec![Box::new(SizeMetric::default())]);
+        h.add_metrics(Box::new(Configurable::default()));
+        assert_eq!(h.metrics_names(), vec!["size", "configurable"]);
+        h.set_metrics_options(&Options::new().with("configurable:factor", 9u64))
+            .unwrap();
+        assert_eq!(
+            h.metrics_results()
+                .get_as::<u64>("configurable:factor")
+                .unwrap(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn into_inner_unwraps_plugin() {
+        let h = CompressorHandle::new(Box::new(Passthrough));
+        let inner = h.into_inner();
+        assert_eq!(inner.name(), "pass");
+    }
+}

@@ -1,0 +1,46 @@
+//! The IO plugin interface (`pressio_io` analog).
+//!
+//! IO plugins move [`Data`] buffers in and out of external representations —
+//! flat binary files, CSV, `.npy`, synthetic generators, container formats.
+//! Like compressors they are configured through [`Options`] (e.g.
+//! `io:path`) and are registered in the global registry so applications can
+//! select a format at runtime by name.
+
+use crate::data::Data;
+use crate::error::Result;
+use crate::options::Options;
+
+/// A source/sink of [`Data`] buffers.
+pub trait IoPlugin: Send {
+    /// Stable plugin id (registry key), e.g. `"posix"`.
+    fn name(&self) -> &str;
+
+    /// Configure the plugin (`io:path`, delimiter, region, ...).
+    fn set_options(&mut self, _options: &Options) -> Result<()> {
+        Ok(())
+    }
+
+    /// Current configuration, with supported-but-unset options declared.
+    fn get_options(&self) -> Options {
+        Options::new()
+    }
+
+    /// Read a buffer.
+    ///
+    /// Formats that do not self-describe (e.g. flat binary) require a
+    /// `template` providing the dtype and dimensions; self-describing formats
+    /// ignore it.
+    fn read(&mut self, template: Option<&Data>) -> Result<Data>;
+
+    /// Write a buffer.
+    fn write(&mut self, data: &Data) -> Result<()>;
+
+    /// Clone into a boxed trait object.
+    fn clone_io(&self) -> Box<dyn IoPlugin>;
+}
+
+impl Clone for Box<dyn IoPlugin> {
+    fn clone(&self) -> Self {
+        self.clone_io()
+    }
+}

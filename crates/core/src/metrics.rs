@@ -1,0 +1,105 @@
+//! The metrics plugin interface (`pressio_metrics` analog).
+//!
+//! Metrics observe compression through lifecycle hooks and expose their
+//! results as an [`Options`] set keyed `metric:result_name` (e.g.
+//! `size:compression_ratio`). They attach to a
+//! [`CompressorHandle`](crate::handle::CompressorHandle), which invokes the
+//! hooks around `compress`/`decompress` — client code never instruments
+//! anything by hand, which is a large part of the paper's productivity claim.
+
+use std::time::Duration;
+
+use crate::data::Data;
+use crate::error::Result;
+use crate::options::Options;
+
+/// A metrics plugin observing compression and decompression.
+///
+/// All hooks have no-op defaults so plugins implement only what they need.
+/// Quality metrics (error statistics etc.) typically retain a shallow copy of
+/// the input from [`end_compress`](MetricsPlugin::end_compress) and compare
+/// it to the output in [`end_decompress`](MetricsPlugin::end_decompress).
+pub trait MetricsPlugin: Send {
+    /// Stable plugin id (registry key), e.g. `"size"`.
+    fn name(&self) -> &str;
+
+    /// Configure the metric (e.g. autocorrelation lags); defaults to
+    /// accepting nothing.
+    fn set_options(&mut self, _options: &Options) -> Result<()> {
+        Ok(())
+    }
+
+    /// Current metric configuration.
+    fn get_options(&self) -> Options {
+        Options::new()
+    }
+
+    /// Called before `compress` with the uncompressed input.
+    fn begin_compress(&mut self, _input: &Data) {}
+
+    /// Called after `compress` with input, compressed output, and wall time.
+    fn end_compress(&mut self, _input: &Data, _compressed: &Data, _time: Duration) {}
+
+    /// Called before `decompress` with the compressed input.
+    fn begin_decompress(&mut self, _compressed: &Data) {}
+
+    /// Called after `decompress` with the compressed input, the decompressed
+    /// output, and wall time.
+    fn end_decompress(&mut self, _compressed: &Data, _output: &Data, _time: Duration) {}
+
+    /// Results accumulated so far, keyed `name:result`.
+    fn results(&self) -> Options;
+
+    /// Clone into a boxed trait object.
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin>;
+}
+
+impl Clone for Box<dyn MetricsPlugin> {
+    fn clone(&self) -> Self {
+        self.clone_metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Default)]
+    struct CountMetric {
+        compressions: u32,
+    }
+
+    impl MetricsPlugin for CountMetric {
+        fn name(&self) -> &str {
+            "count"
+        }
+        fn end_compress(&mut self, _: &Data, _: &Data, _: Duration) {
+            self.compressions += 1;
+        }
+        fn results(&self) -> Options {
+            Options::new().with("count:compressions", self.compressions)
+        }
+        fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn hooks_accumulate() {
+        let mut m = CountMetric::default();
+        let d = Data::from_bytes(&[1, 2, 3]);
+        m.begin_compress(&d);
+        m.end_compress(&d, &d, Duration::from_millis(1));
+        m.end_compress(&d, &d, Duration::from_millis(1));
+        assert_eq!(
+            m.results().get_as::<u32>("count:compressions").unwrap(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn boxed_clone() {
+        let b: Box<dyn MetricsPlugin> = Box::new(CountMetric::default());
+        assert_eq!(b.clone().name(), "count");
+    }
+}

@@ -1,0 +1,783 @@
+//! The `pressio_options` analog: typed, introspectable configuration.
+//!
+//! Each option value reports its type as one of the kinds the paper lists
+//! (signed/unsigned integers of 8–64 bits, `f32`, `f64`, string, string
+//! array, a full [`Data`] buffer, opaque *user data*, and *unset*). This is
+//! deliberately **not** string-ly typed: opaque native handles (the stand-in
+//! for `MPI_Comm` / `cudaStream_t`) travel through [`OptionValue::UserData`]
+//! without serialization, which is the paper's "arbitrary configuration"
+//! criterion in Table I.
+//!
+//! Casting follows the C library's two-tier rule: *implicit* casts are
+//! value-preserving (widening); *explicit* casts may narrow but fail if the
+//! exact value cannot be represented, instead of silently truncating.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::data::Data;
+use crate::error::{Error, Result};
+
+/// The introspectable kind of an [`OptionValue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // kinds mirror OptionValue variants
+pub enum OptionKind {
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    F32,
+    F64,
+    Str,
+    StrArr,
+    Data,
+    UserData,
+    Unset,
+}
+
+impl OptionKind {
+    /// Stable lowercase name for display and the CLI.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OptionKind::I8 => "int8",
+            OptionKind::I16 => "int16",
+            OptionKind::I32 => "int32",
+            OptionKind::I64 => "int64",
+            OptionKind::U8 => "uint8",
+            OptionKind::U16 => "uint16",
+            OptionKind::U32 => "uint32",
+            OptionKind::U64 => "uint64",
+            OptionKind::F32 => "float",
+            OptionKind::F64 => "double",
+            OptionKind::Str => "string",
+            OptionKind::StrArr => "string[]",
+            OptionKind::Data => "data",
+            OptionKind::UserData => "userdata",
+            OptionKind::Unset => "unset",
+        }
+    }
+
+    /// True for the 8 integer kinds.
+    pub const fn is_integer(self) -> bool {
+        matches!(
+            self,
+            OptionKind::I8
+                | OptionKind::I16
+                | OptionKind::I32
+                | OptionKind::I64
+                | OptionKind::U8
+                | OptionKind::U16
+                | OptionKind::U32
+                | OptionKind::U64
+        )
+    }
+
+    /// True for any numeric kind (integers and floats).
+    pub const fn is_numeric(self) -> bool {
+        self.is_integer() || matches!(self, OptionKind::F32 | OptionKind::F64)
+    }
+}
+
+/// How strict a cast between option kinds should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CastSafety {
+    /// Only value-preserving widening conversions.
+    Implicit,
+    /// Any numeric↔numeric or string↔numeric conversion, failing (rather than
+    /// truncating) when the exact value is unrepresentable.
+    Explicit,
+}
+
+/// A single typed option value.
+#[derive(Clone)]
+#[allow(missing_docs)] // scalar variants are self-describing
+pub enum OptionValue {
+    I8(i8),
+    I16(i16),
+    I32(i32),
+    I64(i64),
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    F32(f32),
+    F64(f64),
+    Str(String),
+    StrArr(Vec<String>),
+    /// A full data buffer (e.g. a mask like SZ's ExaFEL mode).
+    Data(Data),
+    /// An opaque shared native handle (e.g. a communicator or device queue);
+    /// never serialized, compared by pointer identity.
+    UserData(Arc<dyn Any + Send + Sync>),
+    /// Declares that an option exists and its expected kind, without a value.
+    /// Used by `get_options` to advertise settable-but-unset options.
+    Unset(OptionKind),
+}
+
+impl fmt::Debug for OptionValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionValue::I8(v) => write!(f, "{v}i8"),
+            OptionValue::I16(v) => write!(f, "{v}i16"),
+            OptionValue::I32(v) => write!(f, "{v}i32"),
+            OptionValue::I64(v) => write!(f, "{v}i64"),
+            OptionValue::U8(v) => write!(f, "{v}u8"),
+            OptionValue::U16(v) => write!(f, "{v}u16"),
+            OptionValue::U32(v) => write!(f, "{v}u32"),
+            OptionValue::U64(v) => write!(f, "{v}u64"),
+            OptionValue::F32(v) => write!(f, "{v}f32"),
+            OptionValue::F64(v) => write!(f, "{v}f64"),
+            OptionValue::Str(v) => write!(f, "{v:?}"),
+            OptionValue::StrArr(v) => write!(f, "{v:?}"),
+            OptionValue::Data(d) => write!(f, "data<{} {:?}>", d.dtype(), d.dims()),
+            OptionValue::UserData(_) => write!(f, "<userdata>"),
+            OptionValue::Unset(k) => write!(f, "<unset:{}>", k.name()),
+        }
+    }
+}
+
+impl PartialEq for OptionValue {
+    fn eq(&self, other: &Self) -> bool {
+        use OptionValue::*;
+        match (self, other) {
+            (I8(a), I8(b)) => a == b,
+            (I16(a), I16(b)) => a == b,
+            (I32(a), I32(b)) => a == b,
+            (I64(a), I64(b)) => a == b,
+            (U8(a), U8(b)) => a == b,
+            (U16(a), U16(b)) => a == b,
+            (U32(a), U32(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (F32(a), F32(b)) => a == b,
+            (F64(a), F64(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (StrArr(a), StrArr(b)) => a == b,
+            (Data(a), Data(b)) => a == b,
+            (UserData(a), UserData(b)) => Arc::ptr_eq(a, b),
+            (Unset(a), Unset(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl OptionValue {
+    /// The introspectable kind of this value.
+    pub fn kind(&self) -> OptionKind {
+        match self {
+            OptionValue::I8(_) => OptionKind::I8,
+            OptionValue::I16(_) => OptionKind::I16,
+            OptionValue::I32(_) => OptionKind::I32,
+            OptionValue::I64(_) => OptionKind::I64,
+            OptionValue::U8(_) => OptionKind::U8,
+            OptionValue::U16(_) => OptionKind::U16,
+            OptionValue::U32(_) => OptionKind::U32,
+            OptionValue::U64(_) => OptionKind::U64,
+            OptionValue::F32(_) => OptionKind::F32,
+            OptionValue::F64(_) => OptionKind::F64,
+            OptionValue::Str(_) => OptionKind::Str,
+            OptionValue::StrArr(_) => OptionKind::StrArr,
+            OptionValue::Data(_) => OptionKind::Data,
+            OptionValue::UserData(_) => OptionKind::UserData,
+            OptionValue::Unset(_) => OptionKind::Unset,
+        }
+    }
+
+    /// True unless this is [`OptionValue::Unset`].
+    pub fn has_value(&self) -> bool {
+        !matches!(self, OptionValue::Unset(_))
+    }
+
+    fn as_i128(&self) -> Option<i128> {
+        Some(match self {
+            OptionValue::I8(v) => *v as i128,
+            OptionValue::I16(v) => *v as i128,
+            OptionValue::I32(v) => *v as i128,
+            OptionValue::I64(v) => *v as i128,
+            OptionValue::U8(v) => *v as i128,
+            OptionValue::U16(v) => *v as i128,
+            OptionValue::U32(v) => *v as i128,
+            OptionValue::U64(v) => *v as i128,
+            _ => return None,
+        })
+    }
+
+    fn as_f64_lossy(&self) -> Option<f64> {
+        Some(match self {
+            OptionValue::F32(v) => *v as f64,
+            OptionValue::F64(v) => *v,
+            other => other.as_i128()? as f64,
+        })
+    }
+
+    fn from_i128(v: i128, to: OptionKind) -> Result<OptionValue> {
+        macro_rules! narrow {
+            ($t:ty, $variant:ident) => {{
+                let x: $t = v.try_into().map_err(|_| {
+                    Error::type_mismatch(format!("value {v} does not fit in {}", to.name()))
+                })?;
+                Ok(OptionValue::$variant(x))
+            }};
+        }
+        match to {
+            OptionKind::I8 => narrow!(i8, I8),
+            OptionKind::I16 => narrow!(i16, I16),
+            OptionKind::I32 => narrow!(i32, I32),
+            OptionKind::I64 => narrow!(i64, I64),
+            OptionKind::U8 => narrow!(u8, U8),
+            OptionKind::U16 => narrow!(u16, U16),
+            OptionKind::U32 => narrow!(u32, U32),
+            OptionKind::U64 => narrow!(u64, U64),
+            OptionKind::F32 => {
+                let f = v as f32;
+                if f as i128 == v {
+                    Ok(OptionValue::F32(f))
+                } else {
+                    Err(Error::type_mismatch(format!(
+                        "integer {v} is not exactly representable as float"
+                    )))
+                }
+            }
+            OptionKind::F64 => {
+                let f = v as f64;
+                if f as i128 == v {
+                    Ok(OptionValue::F64(f))
+                } else {
+                    Err(Error::type_mismatch(format!(
+                        "integer {v} is not exactly representable as double"
+                    )))
+                }
+            }
+            _ => Err(Error::type_mismatch(format!(
+                "cannot cast integer to {}",
+                to.name()
+            ))),
+        }
+    }
+
+    /// True when an *implicit* (value-preserving, widening) cast from `from`
+    /// to `to` is permitted regardless of the value.
+    pub fn implicit_castable(from: OptionKind, to: OptionKind) -> bool {
+        use OptionKind::*;
+        if from == to {
+            return true;
+        }
+        // Rank = bit width; signed may widen to larger signed, unsigned to
+        // strictly larger signed or any larger-or-equal unsigned.
+        fn bits(k: OptionKind) -> Option<(u32, bool)> {
+            Some(match k {
+                I8 => (8, true),
+                I16 => (16, true),
+                I32 => (32, true),
+                I64 => (64, true),
+                U8 => (8, false),
+                U16 => (16, false),
+                U32 => (32, false),
+                U64 => (64, false),
+                _ => return None,
+            })
+        }
+        match (bits(from), bits(to)) {
+            (Some((fb, fs)), Some((tb, ts))) => {
+                if fs == ts {
+                    tb >= fb
+                } else if !fs && ts {
+                    tb > fb
+                } else {
+                    false
+                }
+            }
+            _ => match (from, to) {
+                (F32, F64) => true,
+                // Small integers are exactly representable in floats.
+                (I8 | I16 | U8 | U16, F32) => true,
+                (I8 | I16 | I32 | U8 | U16 | U32, F64) => true,
+                _ => false,
+            },
+        }
+    }
+
+    /// Cast this value to another kind under the given [`CastSafety`] rules.
+    pub fn cast(&self, to: OptionKind, safety: CastSafety) -> Result<OptionValue> {
+        let from = self.kind();
+        if from == to {
+            return Ok(self.clone());
+        }
+        if safety == CastSafety::Implicit && !Self::implicit_castable(from, to) {
+            return Err(Error::type_mismatch(format!(
+                "no implicit cast from {} to {}",
+                from.name(),
+                to.name()
+            )));
+        }
+        // Numeric → numeric.
+        if from.is_numeric() && to.is_numeric() {
+            if let Some(i) = self.as_i128() {
+                return OptionValue::from_i128(i, to);
+            }
+            // Float source.
+            let f = self.as_f64_lossy().expect("numeric value");
+            return match to {
+                OptionKind::F32 => {
+                    let g = f as f32;
+                    // Allow rounding float64→float32 only explicitly.
+                    Ok(OptionValue::F32(g))
+                }
+                OptionKind::F64 => Ok(OptionValue::F64(f)),
+                k if k.is_integer() => {
+                    if f.fract() != 0.0 || !f.is_finite() {
+                        Err(Error::type_mismatch(format!(
+                            "float {f} is not an integer value"
+                        )))
+                    } else {
+                        OptionValue::from_i128(f as i128, k)
+                    }
+                }
+                _ => unreachable!(),
+            };
+        }
+        if safety == CastSafety::Implicit {
+            return Err(Error::type_mismatch(format!(
+                "no implicit cast from {} to {}",
+                from.name(),
+                to.name()
+            )));
+        }
+        // Explicit string conversions.
+        match (self, to) {
+            (OptionValue::Str(s), k) if k.is_numeric() => {
+                if matches!(k, OptionKind::F32 | OptionKind::F64) {
+                    let f: f64 = s.trim().parse().map_err(|_| {
+                        Error::type_mismatch(format!("cannot parse {s:?} as {}", k.name()))
+                    })?;
+                    if k == OptionKind::F32 {
+                        Ok(OptionValue::F32(f as f32))
+                    } else {
+                        Ok(OptionValue::F64(f))
+                    }
+                } else {
+                    let i: i128 = s.trim().parse().map_err(|_| {
+                        Error::type_mismatch(format!("cannot parse {s:?} as {}", k.name()))
+                    })?;
+                    OptionValue::from_i128(i, k)
+                }
+            }
+            (v, OptionKind::Str) if v.kind().is_numeric() => {
+                Ok(OptionValue::Str(match v {
+                    OptionValue::F32(x) => format!("{x}"),
+                    OptionValue::F64(x) => format!("{x}"),
+                    other => format!("{}", other.as_i128().expect("integer value")),
+                }))
+            }
+            _ => Err(Error::type_mismatch(format!(
+                "cannot cast {} to {}",
+                from.name(),
+                to.name()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($t:ty => $variant:ident),* $(,)?) => {$(
+        impl From<$t> for OptionValue {
+            fn from(v: $t) -> Self { OptionValue::$variant(v) }
+        }
+    )*};
+}
+impl_from! {
+    i8 => I8, i16 => I16, i32 => I32, i64 => I64,
+    u8 => U8, u16 => U16, u32 => U32, u64 => U64,
+    f32 => F32, f64 => F64, String => Str, Vec<String> => StrArr,
+    Data => Data,
+}
+impl From<&str> for OptionValue {
+    fn from(v: &str) -> Self {
+        OptionValue::Str(v.to_string())
+    }
+}
+impl From<usize> for OptionValue {
+    fn from(v: usize) -> Self {
+        OptionValue::U64(v as u64)
+    }
+}
+impl From<bool> for OptionValue {
+    fn from(v: bool) -> Self {
+        OptionValue::U8(v as u8)
+    }
+}
+
+/// A typed value extractable from an [`OptionValue`] via an explicit cast.
+pub trait FromOptionValue: Sized {
+    /// The kind this extractor targets.
+    fn target_kind() -> OptionKind;
+    /// Extract, casting explicitly if needed.
+    fn from_option_value(v: &OptionValue) -> Result<Self>;
+}
+
+macro_rules! impl_from_option_value {
+    ($($t:ty => $kind:expr, $variant:ident);* $(;)?) => {$(
+        impl FromOptionValue for $t {
+            fn target_kind() -> OptionKind { $kind }
+            fn from_option_value(v: &OptionValue) -> Result<Self> {
+                match v.cast($kind, CastSafety::Explicit)? {
+                    OptionValue::$variant(x) => Ok(x),
+                    _ => Err(Error::internal("cast returned wrong variant")),
+                }
+            }
+        }
+    )*};
+}
+impl_from_option_value! {
+    i8 => OptionKind::I8, I8;
+    i16 => OptionKind::I16, I16;
+    i32 => OptionKind::I32, I32;
+    i64 => OptionKind::I64, I64;
+    u8 => OptionKind::U8, U8;
+    u16 => OptionKind::U16, U16;
+    u32 => OptionKind::U32, U32;
+    u64 => OptionKind::U64, U64;
+    f32 => OptionKind::F32, F32;
+    f64 => OptionKind::F64, F64;
+    String => OptionKind::Str, Str;
+}
+
+impl FromOptionValue for Vec<String> {
+    fn target_kind() -> OptionKind {
+        OptionKind::StrArr
+    }
+    fn from_option_value(v: &OptionValue) -> Result<Self> {
+        match v {
+            OptionValue::StrArr(a) => Ok(a.clone()),
+            OptionValue::Str(s) => Ok(vec![s.clone()]),
+            other => Err(Error::type_mismatch(format!(
+                "cannot extract string[] from {}",
+                other.kind().name()
+            ))),
+        }
+    }
+}
+
+impl FromOptionValue for bool {
+    fn target_kind() -> OptionKind {
+        OptionKind::U8
+    }
+    fn from_option_value(v: &OptionValue) -> Result<Self> {
+        match v {
+            OptionValue::Str(s) => match s.as_str() {
+                "true" | "1" | "yes" | "on" => Ok(true),
+                "false" | "0" | "no" | "off" => Ok(false),
+                _ => Err(Error::type_mismatch(format!("cannot parse {s:?} as bool"))),
+            },
+            other => Ok(u8::from_option_value(other)? != 0),
+        }
+    }
+}
+
+/// An ordered, string-keyed collection of [`OptionValue`]s.
+///
+/// Keys follow the `plugin:option` convention (e.g. `sz:abs_err_bound`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    entries: BTreeMap<String, OptionValue>,
+}
+
+impl Options {
+    /// An empty option set.
+    pub fn new() -> Options {
+        Options::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace a value (builder-friendly: see [`Options::with`]).
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<OptionValue>) {
+        self.entries.insert(key.into(), value.into());
+    }
+
+    /// Builder-style [`set`](Options::set).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<OptionValue>) -> Options {
+        self.set(key, value);
+        self
+    }
+
+    /// Declare an option's existence and kind without a value.
+    pub fn declare(&mut self, key: impl Into<String>, kind: OptionKind) {
+        self.entries.insert(key.into(), OptionValue::Unset(kind));
+    }
+
+    /// Remove an entry, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<OptionValue> {
+        self.entries.remove(key)
+    }
+
+    /// Raw value lookup.
+    pub fn get(&self, key: &str) -> Option<&OptionValue> {
+        self.entries.get(key)
+    }
+
+    /// True when `key` exists (set or declared).
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Typed lookup with explicit casting; `Ok(None)` when absent or unset.
+    pub fn get_as<T: FromOptionValue>(&self, key: &str) -> Result<Option<T>> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(OptionValue::Unset(_)) => Ok(None),
+            Some(v) => T::from_option_value(v).map(Some).map_err(|e| {
+                Error::type_mismatch(format!("option {key:?}: {}", e.message()))
+            }),
+        }
+    }
+
+    /// Typed lookup that fails when the key is absent.
+    pub fn require<T: FromOptionValue>(&self, key: &str) -> Result<T> {
+        self.get_as::<T>(key)?
+            .ok_or_else(|| Error::not_found(format!("required option {key:?} is not set")))
+    }
+
+    /// Fetch an opaque user-data handle of concrete type `T`.
+    pub fn get_userdata<T: Any + Send + Sync>(&self, key: &str) -> Result<Option<Arc<T>>> {
+        match self.entries.get(key) {
+            None | Some(OptionValue::Unset(_)) => Ok(None),
+            Some(OptionValue::UserData(p)) => p
+                .clone()
+                .downcast::<T>()
+                .map(Some)
+                .map_err(|_| Error::type_mismatch(format!("option {key:?}: wrong userdata type"))),
+            Some(other) => Err(Error::type_mismatch(format!(
+                "option {key:?} is {} not userdata",
+                other.kind().name()
+            ))),
+        }
+    }
+
+    /// Store an opaque shared handle.
+    pub fn set_userdata<T: Any + Send + Sync>(&mut self, key: impl Into<String>, value: Arc<T>) {
+        self.entries
+            .insert(key.into(), OptionValue::UserData(value));
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &OptionValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|k| k.as_str())
+    }
+
+    /// Copy all entries of `other` into `self` (later wins).
+    pub fn merge(&mut self, other: &Options) {
+        for (k, v) in other.iter() {
+            self.entries.insert(k.to_string(), v.clone());
+        }
+    }
+
+    /// The subset of entries whose key starts with `prefix`.
+    pub fn with_prefix(&self, prefix: &str) -> Options {
+        Options {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Options {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k} <{}> = {v:?}", v.kind().name())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, OptionValue)> for Options {
+    fn from_iter<I: IntoIterator<Item = (String, OptionValue)>>(iter: I) -> Self {
+        Options {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut o = Options::new();
+        o.set("sz:abs_err_bound", 0.5f64);
+        o.set("sz:mode", "abs");
+        o.set("sz:max_quant_intervals", 65536u32);
+        assert_eq!(o.get_as::<f64>("sz:abs_err_bound").unwrap(), Some(0.5));
+        assert_eq!(
+            o.get_as::<String>("sz:mode").unwrap(),
+            Some("abs".to_string())
+        );
+        assert_eq!(
+            o.get_as::<u32>("sz:max_quant_intervals").unwrap(),
+            Some(65536)
+        );
+        assert_eq!(o.get_as::<f64>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn implicit_widening_allowed() {
+        assert!(OptionValue::implicit_castable(OptionKind::I8, OptionKind::I64));
+        assert!(OptionValue::implicit_castable(OptionKind::U16, OptionKind::U64));
+        assert!(OptionValue::implicit_castable(OptionKind::U16, OptionKind::I32));
+        assert!(OptionValue::implicit_castable(OptionKind::F32, OptionKind::F64));
+        assert!(OptionValue::implicit_castable(OptionKind::I32, OptionKind::F64));
+    }
+
+    #[test]
+    fn implicit_narrowing_rejected() {
+        assert!(!OptionValue::implicit_castable(OptionKind::I64, OptionKind::I8));
+        assert!(!OptionValue::implicit_castable(OptionKind::U32, OptionKind::I32));
+        assert!(!OptionValue::implicit_castable(OptionKind::F64, OptionKind::F32));
+        assert!(!OptionValue::implicit_castable(OptionKind::I64, OptionKind::F64));
+        let v = OptionValue::I64(300);
+        assert!(v.cast(OptionKind::I8, CastSafety::Implicit).is_err());
+    }
+
+    #[test]
+    fn explicit_narrowing_checks_value() {
+        let v = OptionValue::I64(100);
+        assert_eq!(
+            v.cast(OptionKind::I8, CastSafety::Explicit).unwrap(),
+            OptionValue::I8(100)
+        );
+        let big = OptionValue::I64(1000);
+        assert!(big.cast(OptionKind::I8, CastSafety::Explicit).is_err());
+        let neg = OptionValue::I32(-1);
+        assert!(neg.cast(OptionKind::U32, CastSafety::Explicit).is_err());
+    }
+
+    #[test]
+    fn float_to_int_requires_exact() {
+        let v = OptionValue::F64(3.0);
+        assert_eq!(
+            v.cast(OptionKind::U8, CastSafety::Explicit).unwrap(),
+            OptionValue::U8(3)
+        );
+        let frac = OptionValue::F64(3.5);
+        assert!(frac.cast(OptionKind::I32, CastSafety::Explicit).is_err());
+    }
+
+    #[test]
+    fn string_numeric_conversions_are_explicit_only() {
+        let s = OptionValue::Str("2.5".into());
+        assert!(s.cast(OptionKind::F64, CastSafety::Implicit).is_err());
+        assert_eq!(
+            s.cast(OptionKind::F64, CastSafety::Explicit).unwrap(),
+            OptionValue::F64(2.5)
+        );
+        let n = OptionValue::U32(7);
+        assert_eq!(
+            n.cast(OptionKind::Str, CastSafety::Explicit).unwrap(),
+            OptionValue::Str("7".into())
+        );
+        let bad = OptionValue::Str("not a number".into());
+        assert!(bad.cast(OptionKind::I32, CastSafety::Explicit).is_err());
+    }
+
+    #[test]
+    fn unset_reports_kind_but_no_value() {
+        let mut o = Options::new();
+        o.declare("zfp:rate", OptionKind::F64);
+        assert!(o.contains("zfp:rate"));
+        assert_eq!(o.get("zfp:rate").unwrap().kind(), OptionKind::Unset);
+        assert_eq!(o.get_as::<f64>("zfp:rate").unwrap(), None);
+        assert!(o.require::<f64>("zfp:rate").is_err());
+    }
+
+    #[test]
+    fn userdata_is_pointer_typed() {
+        #[derive(Debug)]
+        struct FakeComm(u32);
+        let mut o = Options::new();
+        let comm = Arc::new(FakeComm(42));
+        o.set_userdata("sz:comm", comm.clone());
+        let got = o.get_userdata::<FakeComm>("sz:comm").unwrap().unwrap();
+        assert_eq!(got.0, 42);
+        assert!(Arc::ptr_eq(&got, &comm));
+        // Wrong type fails, not silently coerces.
+        assert!(o.get_userdata::<String>("sz:comm").is_err());
+    }
+
+    #[test]
+    fn data_option_carries_buffer() {
+        use crate::dtype::DType;
+        let mask = Data::owned(DType::U8, vec![4]);
+        let mut o = Options::new();
+        o.set("sz:exafel_mask", mask.clone());
+        match o.get("sz:exafel_mask").unwrap() {
+            OptionValue::Data(d) => assert_eq!(d.dims(), &[4]),
+            _ => panic!("expected data option"),
+        }
+    }
+
+    #[test]
+    fn prefix_filter_and_merge() {
+        let mut a = Options::new()
+            .with("sz:abs", 1.0f64)
+            .with("zfp:rate", 8.0f64);
+        let sz = a.with_prefix("sz:");
+        assert_eq!(sz.len(), 1);
+        let b = Options::new().with("sz:abs", 2.0f64);
+        a.merge(&b);
+        assert_eq!(a.get_as::<f64>("sz:abs").unwrap(), Some(2.0));
+    }
+
+    #[test]
+    fn bool_conversion() {
+        let mut o = Options::new();
+        o.set("x", true);
+        assert_eq!(o.get_as::<bool>("x").unwrap(), Some(true));
+        o.set("y", "false");
+        assert_eq!(o.get_as::<bool>("y").unwrap(), Some(false));
+        o.set("z", 0u32);
+        assert_eq!(o.get_as::<bool>("z").unwrap(), Some(false));
+    }
+
+    #[test]
+    fn strarr_from_single_string() {
+        let mut o = Options::new();
+        o.set("metrics", "size");
+        assert_eq!(
+            o.get_as::<Vec<String>>("metrics").unwrap(),
+            Some(vec!["size".to_string()])
+        );
+        o.set("metrics2", vec!["size".to_string(), "time".to_string()]);
+        assert_eq!(o.get_as::<Vec<String>>("metrics2").unwrap().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let o = Options::new().with("a:x", 1i32).with("a:y", "s");
+        let s = o.to_string();
+        assert!(s.contains("a:x <int32>"));
+        assert!(s.contains("a:y <string>"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The plugin registry and the [`Pressio`] library instance.
+//!
+//! All compressor, metrics, and IO plugins — first-party and third-party —
+//! register factories under a string name. Third-party extension *without
+//! modifying the interface library* (Table I's last column) is exactly a call
+//! to [`register_compressor`](Registry::register_compressor) from downstream
+//! code; the fuzzer example and the integration tests exercise this.
+//!
+//! [`Pressio`] is the `pressio_instance()` analog: a cheap handle over the
+//! global registry with reference-counted lifetime semantics (the paper's
+//! "safest approach is reference count instances" discussion).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::compressor::Compressor;
+use crate::error::{Error, Result};
+use crate::handle::CompressorHandle;
+use crate::io::IoPlugin;
+use crate::metrics::MetricsPlugin;
+
+/// Factory producing a fresh compressor instance.
+pub type CompressorFactory = Arc<dyn Fn() -> Box<dyn Compressor> + Send + Sync>;
+/// Factory producing a fresh metrics instance.
+pub type MetricsFactory = Arc<dyn Fn() -> Box<dyn MetricsPlugin> + Send + Sync>;
+/// Factory producing a fresh IO instance.
+pub type IoFactory = Arc<dyn Fn() -> Box<dyn IoPlugin> + Send + Sync>;
+
+/// A registry of plugin factories keyed by name.
+#[derive(Default)]
+pub struct Registry {
+    compressors: RwLock<BTreeMap<String, CompressorFactory>>,
+    metrics: RwLock<BTreeMap<String, MetricsFactory>>,
+    io: RwLock<BTreeMap<String, IoFactory>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (useful in tests; most code uses
+    /// [`registry()`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    // -------------------------------------------------------- compressors
+
+    /// Register (or replace) a compressor factory under `name`.
+    pub fn register_compressor<F>(&self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn Compressor> + Send + Sync + 'static,
+    {
+        self.compressors
+            .write()
+            .insert(name.into(), Arc::new(factory));
+    }
+
+    /// Instantiate a compressor by name, wrapped in a
+    /// [`CompressorHandle`].
+    pub fn compressor(&self, name: &str) -> Result<CompressorHandle> {
+        let f = self
+            .compressors
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("no compressor named {name:?}")))?;
+        Ok(CompressorHandle::new(f()))
+    }
+
+    /// Sorted names of all registered compressors.
+    pub fn compressor_names(&self) -> Vec<String> {
+        self.compressors.read().keys().cloned().collect()
+    }
+
+    /// True when a compressor named `name` is registered.
+    pub fn has_compressor(&self, name: &str) -> bool {
+        self.compressors.read().contains_key(name)
+    }
+
+    // ------------------------------------------------------------ metrics
+
+    /// Register (or replace) a metrics factory under `name`.
+    pub fn register_metrics<F>(&self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn MetricsPlugin> + Send + Sync + 'static,
+    {
+        self.metrics.write().insert(name.into(), Arc::new(factory));
+    }
+
+    /// Instantiate a metrics plugin by name.
+    pub fn metrics(&self, name: &str) -> Result<Box<dyn MetricsPlugin>> {
+        let f = self
+            .metrics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("no metrics plugin named {name:?}")))?;
+        Ok(f())
+    }
+
+    /// Instantiate several metrics plugins (`pressio_new_metrics`).
+    pub fn metrics_composite(&self, names: &[&str]) -> Result<Vec<Box<dyn MetricsPlugin>>> {
+        names.iter().map(|n| self.metrics(n)).collect()
+    }
+
+    /// Sorted names of all registered metrics plugins.
+    pub fn metrics_names(&self) -> Vec<String> {
+        self.metrics.read().keys().cloned().collect()
+    }
+
+    // ----------------------------------------------------------------- io
+
+    /// Register (or replace) an IO factory under `name`.
+    pub fn register_io<F>(&self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn IoPlugin> + Send + Sync + 'static,
+    {
+        self.io.write().insert(name.into(), Arc::new(factory));
+    }
+
+    /// Instantiate an IO plugin by name.
+    pub fn io(&self, name: &str) -> Result<Box<dyn IoPlugin>> {
+        let f = self
+            .io
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("no io plugin named {name:?}")))?;
+        Ok(f())
+    }
+
+    /// Sorted names of all registered IO plugins.
+    pub fn io_names(&self) -> Vec<String> {
+        self.io.read().keys().cloned().collect()
+    }
+}
+
+/// The process-wide plugin registry.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+static INSTANCES: AtomicUsize = AtomicUsize::new(0);
+
+/// A reference-counted handle to the library (the `pressio_instance()`
+/// analog). All instances share the global registry; the live-instance count
+/// is observable for diagnostics.
+pub struct Pressio {
+    _private: (),
+}
+
+impl Pressio {
+    /// Acquire a library handle.
+    pub fn new() -> Pressio {
+        INSTANCES.fetch_add(1, Ordering::Relaxed);
+        Pressio { _private: () }
+    }
+
+    /// Number of live [`Pressio`] handles in this process.
+    pub fn live_instances() -> usize {
+        INSTANCES.load(Ordering::Relaxed)
+    }
+
+    /// Instantiate a compressor by name (`pressio_get_compressor`).
+    pub fn get_compressor(&self, name: &str) -> Result<CompressorHandle> {
+        registry().compressor(name)
+    }
+
+    /// Instantiate metrics plugins by name (`pressio_new_metrics`).
+    pub fn new_metrics(&self, names: &[&str]) -> Result<Vec<Box<dyn MetricsPlugin>>> {
+        registry().metrics_composite(names)
+    }
+
+    /// Instantiate an IO plugin by name (`pressio_get_io`).
+    pub fn get_io(&self, name: &str) -> Result<Box<dyn IoPlugin>> {
+        registry().io(name)
+    }
+
+    /// Names of every registered compressor.
+    pub fn supported_compressors(&self) -> Vec<String> {
+        registry().compressor_names()
+    }
+
+    /// Names of every registered metrics plugin.
+    pub fn supported_metrics(&self) -> Vec<String> {
+        registry().metrics_names()
+    }
+
+    /// Names of every registered IO plugin.
+    pub fn supported_io(&self) -> Vec<String> {
+        registry().io_names()
+    }
+}
+
+impl Default for Pressio {
+    fn default() -> Self {
+        Pressio::new()
+    }
+}
+
+impl Drop for Pressio {
+    fn drop(&mut self) {
+        INSTANCES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Data;
+    use crate::options::Options;
+    use crate::version::Version;
+
+    #[derive(Clone, Default)]
+    struct Dummy;
+    impl Compressor for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn version(&self) -> Version {
+            Version::new(0, 0, 1)
+        }
+        fn get_options(&self) -> Options {
+            Options::new()
+        }
+        fn set_options(&mut self, _: &Options) -> Result<()> {
+            Ok(())
+        }
+        fn compress(&mut self, input: &Data) -> Result<Data> {
+            Ok(Data::from_bytes(input.as_bytes()))
+        }
+        fn decompress(&mut self, c: &Data, o: &mut Data) -> Result<()> {
+            o.as_bytes_mut().copy_from_slice(c.as_bytes());
+            Ok(())
+        }
+        fn clone_compressor(&self) -> Box<dyn Compressor> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn third_party_registration_round_trips() {
+        let reg = Registry::new();
+        assert!(!reg.has_compressor("dummy"));
+        reg.register_compressor("dummy", || Box::new(Dummy));
+        assert!(reg.has_compressor("dummy"));
+        let h = reg.compressor("dummy").unwrap();
+        assert_eq!(h.name(), "dummy");
+        assert_eq!(reg.compressor_names(), vec!["dummy".to_string()]);
+        assert!(reg.compressor("missing").is_err());
+    }
+
+    #[test]
+    fn instance_counting() {
+        let before = Pressio::live_instances();
+        {
+            let _a = Pressio::new();
+            let _b = Pressio::new();
+            assert_eq!(Pressio::live_instances(), before + 2);
+        }
+        assert_eq!(Pressio::live_instances(), before);
+    }
+
+    #[test]
+    fn concurrent_registration_is_safe() {
+        let reg = Arc::new(Registry::new());
+        let mut handles = vec![];
+        for i in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                reg.register_compressor(format!("c{i}"), || Box::new(Dummy));
+                let _ = reg.compressor_names();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.compressor_names().len(), 8);
+    }
+}

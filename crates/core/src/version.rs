@@ -1,0 +1,42 @@
+//! Plugin version pedigree.
+
+use std::fmt;
+
+/// Semantic version triple reported by every plugin (the analog of
+/// `pressio_compressor_*_version`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // major.minor.patch
+pub struct Version {
+    pub major: u32,
+    pub minor: u32,
+    pub patch: u32,
+}
+
+impl Version {
+    /// Construct a version triple.
+    pub const fn new(major: u32, minor: u32, patch: u32) -> Version {
+        Version {
+            major,
+            minor,
+            patch,
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_order() {
+        assert_eq!(Version::new(0, 70, 4).to_string(), "0.70.4");
+        assert!(Version::new(1, 0, 0) > Version::new(0, 99, 99));
+        assert!(Version::new(0, 2, 0) > Version::new(0, 1, 9));
+    }
+}

@@ -1,0 +1,232 @@
+//! Named synthetic datasets standing in for the SDRBench buffers the paper
+//! evaluates on (Hurricane CLOUD, NYX, HACC, Scale-LetKF).
+//!
+//! The overhead and dimension-ordering experiments need floating-point
+//! buffers with realistic *structure* (smooth, multiscale, anisotropic, or
+//! clustered), matching shapes and dtypes — not the actual simulation
+//! values. Every generator is deterministic in its seed.
+
+use pressio_core::{Data, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fields::{gaussian_random_field, white_noise};
+
+/// Hurricane-Isabel-like field (the CLOUD variable): a smooth vortex plus
+/// multiscale turbulence, mostly-zero background like real cloud water.
+/// Shape `(nz, ny, nx)`, `f32` like SDRBench.
+pub fn hurricane_cloud(nz: usize, ny: usize, nx: usize, seed: u64) -> Data {
+    let smooth = gaussian_random_field((nz, ny, nx), 4, seed);
+    let fine = gaussian_random_field((nz, ny, nx), 1, seed ^ 0xABCD);
+    let mut v = Vec::with_capacity(nz * ny * nx);
+    let (cy, cx) = (ny as f64 / 2.0, nx as f64 / 2.0);
+    let rscale = (nx.min(ny) as f64 / 3.0).max(1.0);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = (z * ny + y) * nx + x;
+                let dy = (y as f64 - cy) / rscale;
+                let dx = (x as f64 - cx) / rscale;
+                let r2 = dx * dx + dy * dy;
+                // Eyewall-like annulus modulated by altitude.
+                let vortex = (-(r2 - 1.0) * (r2 - 1.0) * 2.0).exp()
+                    * (1.0 - (z as f64 / nz.max(1) as f64 - 0.4).abs());
+                let val = (vortex * (1.5 + 0.5 * smooth[i]) + 0.05 * fine[i]).max(0.0);
+                // Cloud water is sparse: clamp the weak background to exactly zero.
+                v.push(if val < 0.1 { 0.0f32 } else { val as f32 });
+            }
+        }
+    }
+    Data::from_vec(v, vec![nz, ny, nx]).expect("dims match")
+}
+
+/// NYX-like cosmology baryon density: exp of a smooth Gaussian field
+/// (lognormal, strongly skewed like structure formation). Shape
+/// `(n, n, n)`, `f32`.
+pub fn nyx_density(n: usize, seed: u64) -> Data {
+    let g = gaussian_random_field((n, n, n), 3, seed);
+    let v: Vec<f32> = g.iter().map(|&x| (1.2 * x).exp() as f32).collect();
+    Data::from_vec(v, vec![n, n, n]).expect("dims match")
+}
+
+/// HACC-like particle coordinate stream: positions clustered around halo
+/// centers inside a periodic box, as a 1-d `f32` buffer (HACC's `xx`).
+pub fn hacc_positions(n_particles: usize, box_size: f64, seed: u64) -> Data {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_halos = (n_particles / 512).max(1);
+    let centers: Vec<f64> = (0..n_halos).map(|_| rng.gen_range(0.0..box_size)).collect();
+    let gauss = white_noise(n_particles, seed ^ 0x5555);
+    let mut v = Vec::with_capacity(n_particles);
+    for g in gauss {
+        let c = centers[rng.gen_range(0..n_halos)];
+        let sigma = box_size / 200.0;
+        let mut x = c + g * sigma;
+        // Periodic wrap.
+        x -= (x / box_size).floor() * box_size;
+        v.push(x as f32);
+    }
+    Data::from_vec(v, vec![n_particles]).expect("dims match")
+}
+
+/// Scale-LetKF-like numerical-weather field: smooth background with a sharp
+/// frontal discontinuity. Shape `(nz, ny, nx)`, `f32`.
+pub fn scale_letkf(nz: usize, ny: usize, nx: usize, seed: u64) -> Data {
+    let smooth = gaussian_random_field((nz, ny, nx), 5, seed);
+    let mut v = Vec::with_capacity(nz * ny * nx);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = (z * ny + y) * nx + x;
+                // A diagonal front: values jump across it.
+                let front = if (x as f64 / nx.max(1) as f64 + y as f64 / ny.max(1) as f64) > 1.0 {
+                    8.0
+                } else {
+                    0.0
+                };
+                let lapse = 280.0 - 0.5 * z as f64;
+                v.push((lapse + 3.0 * smooth[i] + front) as f32);
+            }
+        }
+    }
+    Data::from_vec(v, vec![nz, ny, nx]).expect("dims match")
+}
+
+/// Miranda-like hydrodynamics turbulence: several octaves of Gaussian
+/// random fields summed with decaying amplitude (a rough Kolmogorov-style
+/// spectrum), the structure radiation-hydro codes emit. Shape
+/// `(nz, ny, nx)`, `f64` like the SDRBench Miranda buffers.
+pub fn miranda_velocity(nz: usize, ny: usize, nx: usize, seed: u64) -> Data {
+    let octaves = [
+        (6usize, 1.0f64),
+        (3, 0.5),
+        (1, 0.25),
+    ];
+    let mut v = vec![0.0f64; nz * ny * nx];
+    for (k, (radius, amp)) in octaves.iter().enumerate() {
+        let g = gaussian_random_field((nz, ny, nx), *radius, seed ^ (k as u64 * 0x9E37));
+        for (dst, src) in v.iter_mut().zip(&g) {
+            *dst += amp * src;
+        }
+    }
+    Data::from_vec(v, vec![nz, ny, nx]).expect("dims match")
+}
+
+/// Build one of the named datasets at a scale suitable for tests and
+/// benchmarks. `scale` multiplies the linear extents (1 = small default).
+pub fn by_name(name: &str, scale: usize, seed: u64) -> Result<Data> {
+    let s = scale.max(1);
+    Ok(match name {
+        "hurricane" | "hurricane-cloud" => hurricane_cloud(10 * s, 50 * s, 50 * s, seed),
+        "nyx" | "nyx-density" => nyx_density(32 * s, seed),
+        "hacc" | "hacc-xx" => hacc_positions(262_144 * s, 256.0, seed),
+        "scale-letkf" | "letkf" => scale_letkf(10 * s, 60 * s, 60 * s, seed),
+        "miranda" | "miranda-velocity" => miranda_velocity(16 * s, 48 * s, 48 * s, seed),
+        other => {
+            return Err(pressio_core::Error::not_found(format!(
+                "unknown dataset {other:?} (try hurricane, nyx, hacc, scale-letkf, miranda)"
+            )))
+        }
+    })
+}
+
+/// All dataset names accepted by [`by_name`].
+pub const DATASET_NAMES: [&str; 5] =
+    ["hurricane", "nyx", "hacc", "scale-letkf", "miranda"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::smoothness;
+
+    #[test]
+    fn hurricane_is_sparse_nonnegative_f32() {
+        let d = hurricane_cloud(8, 40, 40, 1);
+        assert_eq!(d.dtype(), pressio_core::DType::F32);
+        assert_eq!(d.dims(), &[8, 40, 40]);
+        let v = d.as_slice::<f32>().unwrap();
+        assert!(v.iter().all(|&x| x >= 0.0));
+        let zeros = v.iter().filter(|&&x| x == 0.0).count();
+        assert!(
+            zeros > v.len() / 4,
+            "cloud water should be sparse: {zeros}/{}",
+            v.len()
+        );
+        assert!(v.iter().any(|&x| x > 0.5), "vortex should produce signal");
+    }
+
+    #[test]
+    fn nyx_is_positive_and_skewed() {
+        let d = nyx_density(16, 2);
+        let v = d.to_f64_vec().unwrap();
+        assert!(v.iter().all(|&x| x > 0.0));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let median = {
+            let mut s = v.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            s[s.len() / 2]
+        };
+        assert!(mean > median, "lognormal is right-skewed: {mean} vs {median}");
+    }
+
+    #[test]
+    fn hacc_positions_cluster_in_box() {
+        let d = hacc_positions(20_000, 256.0, 3);
+        let v = d.to_f64_vec().unwrap();
+        assert!(v.iter().all(|&x| (0.0..256.0).contains(&x)));
+        // Clustering: the histogram must be far from uniform.
+        let mut counts = [0u32; 64];
+        for &x in &v {
+            counts[((x / 256.0 * 64.0) as usize).min(63)] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty") as f64;
+        let avg = v.len() as f64 / 64.0;
+        assert!(max > 3.0 * avg, "expected clustering: max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn letkf_has_front_discontinuity() {
+        let d = scale_letkf(4, 40, 40, 4);
+        let v = d.to_f64_vec().unwrap();
+        let (min, max) = pressio_core::value_min_max(&v);
+        assert!(max - min > 7.0, "front jump missing: range {}", max - min);
+    }
+
+    #[test]
+    fn miranda_is_multiscale_f64() {
+        let d = miranda_velocity(8, 24, 24, 6);
+        assert_eq!(d.dtype(), pressio_core::DType::F64);
+        let v = d.to_f64_vec().unwrap();
+        // Smooth overall, but with fine-scale energy: lag-1 autocorrelation
+        // high yet below the single-octave fields'.
+        let s = smoothness(&v);
+        assert!(s > 0.5 && s < 0.999, "smoothness {s}");
+    }
+
+    #[test]
+    fn fields_are_smooth_enough_to_compress() {
+        for name in DATASET_NAMES {
+            if name == "hacc" {
+                continue; // particle streams are not spatially smooth
+            }
+            let d = by_name(name, 1, 9).unwrap();
+            let v = d.to_f64_vec().unwrap();
+            assert!(
+                smoothness(&v) > 0.5,
+                "{name}: smoothness {}",
+                smoothness(&v)
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for name in DATASET_NAMES {
+            let a = by_name(name, 1, 123).unwrap();
+            let b = by_name(name, 1, 123).unwrap();
+            let c = by_name(name, 1, 124).unwrap();
+            assert_eq!(a, b, "{name}");
+            assert_ne!(a, c, "{name}");
+        }
+        assert!(by_name("not-a-dataset", 1, 0).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! # pressio-datagen
+//!
+//! Seeded synthetic scientific-data generators standing in for the SDRBench
+//! datasets of the paper's evaluation (Hurricane CLOUD, NYX, HACC,
+//! Scale-LetKF) — see the substitution table in the workspace DESIGN.md.
+//!
+//! Also registers a `datagen` IO plugin so tools can read synthetic data by
+//! name (`datagen:name`, `datagen:scale`, `datagen:seed`).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod fields;
+
+pub use datasets::{
+    by_name, hacc_positions, hurricane_cloud, miranda_velocity, nyx_density, scale_letkf,
+    DATASET_NAMES,
+};
+pub use fields::{box_blur_axis, gaussian_random_field, smoothness, white_noise};
+
+use pressio_core::{Data, Error, IoPlugin, Options, Result};
+
+/// IO plugin serving the synthetic datasets by name.
+#[derive(Debug, Clone)]
+pub struct DatagenIo {
+    name: String,
+    scale: usize,
+    seed: u64,
+}
+
+impl Default for DatagenIo {
+    fn default() -> Self {
+        DatagenIo {
+            name: "hurricane".to_string(),
+            scale: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl IoPlugin for DatagenIo {
+    fn name(&self) -> &str {
+        "datagen"
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new()
+            .with("datagen:name", self.name.as_str())
+            .with("datagen:scale", self.scale as u64)
+            .with("datagen:seed", self.seed)
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(n) = options.get_as::<String>("datagen:name")? {
+            if !DATASET_NAMES.contains(&n.as_str()) {
+                // Accept aliases handled by by_name as well.
+                by_name(&n, 1, 0)?;
+            }
+            self.name = n;
+        }
+        if let Some(s) = options.get_as::<u64>("datagen:scale")? {
+            if s == 0 || s > 64 {
+                return Err(Error::invalid_argument("datagen:scale must be in [1, 64]")
+                    .in_plugin("datagen"));
+            }
+            self.scale = s as usize;
+        }
+        if let Some(s) = options.get_as::<u64>("datagen:seed")? {
+            self.seed = s;
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, _template: Option<&Data>) -> Result<Data> {
+        by_name(&self.name, self.scale, self.seed)
+    }
+
+    fn write(&mut self, _data: &Data) -> Result<()> {
+        Err(Error::unsupported("datagen is a read-only synthetic source").in_plugin("datagen"))
+    }
+
+    fn clone_io(&self) -> Box<dyn IoPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Register the `datagen` IO plugin.
+pub fn register_builtins() {
+    pressio_core::registry().register_io("datagen", || Box::new(DatagenIo::default()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_plugin_serves_datasets() {
+        register_builtins();
+        let mut io = pressio_core::registry().io("datagen").unwrap();
+        io.set_options(
+            &Options::new()
+                .with("datagen:name", "nyx")
+                .with("datagen:seed", 5u64),
+        )
+        .unwrap();
+        let d = io.read(None).unwrap();
+        assert_eq!(d.dims(), &[32, 32, 32]);
+        assert!(io.write(&d).is_err());
+        assert!(io
+            .set_options(&Options::new().with("datagen:name", "nope"))
+            .is_err());
+        assert!(io
+            .set_options(&Options::new().with("datagen:scale", 0u64))
+            .is_err());
+    }
+}

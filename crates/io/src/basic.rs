@@ -1,0 +1,582 @@
+//! Basic IO plugins: `posix` (flat binary), `csv`, `iota` (synthetic),
+//! `memory` (in-process store), and `select` (sub-region reads).
+
+use std::io::{Read, Write};
+use std::sync::{Arc, Mutex};
+
+use pressio_core::{
+    dispatch_dtype, DType, Data, Element, Error, IoPlugin, OptionKind, Options, Result,
+};
+
+fn require_path(path: &Option<String>, plugin: &str) -> Result<String> {
+    path.clone()
+        .ok_or_else(|| Error::invalid_argument("io:path is not set").in_plugin(plugin))
+}
+
+/// Flat binary files via std file IO (the `posix` plugin). Not
+/// self-describing: `read` requires a template with dtype and dims.
+#[derive(Debug, Clone, Default)]
+pub struct PosixIo {
+    path: Option<String>,
+}
+
+impl IoPlugin for PosixIo {
+    fn name(&self) -> &str {
+        "posix"
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new();
+        match &self.path {
+            Some(p) => o.set("io:path", p.as_str()),
+            None => o.declare("io:path", OptionKind::Str),
+        }
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(p) = options.get_as::<String>("io:path")? {
+            self.path = Some(p);
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, template: Option<&Data>) -> Result<Data> {
+        let path = require_path(&self.path, "posix")?;
+        let template = template.ok_or_else(|| {
+            Error::invalid_argument("posix is not self-describing: a template with dtype and dims is required")
+                .in_plugin("posix")
+        })?;
+        let mut f = std::fs::File::open(&path)?;
+        let mut out = Data::owned(template.dtype(), template.dims().to_vec());
+        let want = out.size_in_bytes();
+        f.read_exact(out.as_bytes_mut()).map_err(|e| {
+            Error::new(
+                pressio_core::ErrorCode::Io,
+                format!("reading {want} bytes from {path}: {e}"),
+            )
+            .in_plugin("posix")
+        })?;
+        Ok(out)
+    }
+
+    fn write(&mut self, data: &Data) -> Result<()> {
+        let path = require_path(&self.path, "posix")?;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(data.as_bytes())?;
+        Ok(())
+    }
+
+    fn clone_io(&self) -> Box<dyn IoPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Character-delimited text files (the `csv` plugin). Reads as `f64` (or the
+/// template's dtype); writes one row per slowest-dimension slice.
+#[derive(Debug, Clone)]
+pub struct CsvIo {
+    path: Option<String>,
+    delimiter: char,
+    skip_header_lines: u32,
+}
+
+impl Default for CsvIo {
+    fn default() -> Self {
+        CsvIo {
+            path: None,
+            delimiter: ',',
+            skip_header_lines: 0,
+        }
+    }
+}
+
+impl IoPlugin for CsvIo {
+    fn name(&self) -> &str {
+        "csv"
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new()
+            .with("csv:delimiter", self.delimiter.to_string())
+            .with("csv:skip_header_lines", self.skip_header_lines);
+        match &self.path {
+            Some(p) => o.set("io:path", p.as_str()),
+            None => o.declare("io:path", OptionKind::Str),
+        }
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(p) = options.get_as::<String>("io:path")? {
+            self.path = Some(p);
+        }
+        if let Some(d) = options.get_as::<String>("csv:delimiter")? {
+            let mut chars = d.chars();
+            match (chars.next(), chars.next()) {
+                (Some(c), None) => self.delimiter = c,
+                _ => {
+                    return Err(Error::invalid_argument(
+                        "csv:delimiter must be a single character",
+                    )
+                    .in_plugin("csv"))
+                }
+            }
+        }
+        if let Some(s) = options.get_as::<u32>("csv:skip_header_lines")? {
+            self.skip_header_lines = s;
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, template: Option<&Data>) -> Result<Data> {
+        let path = require_path(&self.path, "csv")?;
+        let text = std::fs::read_to_string(&path)?;
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for line in text.lines().skip(self.skip_header_lines as usize) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Result<Vec<f64>> = line
+                .split(self.delimiter)
+                .map(|cell| {
+                    cell.trim().parse::<f64>().map_err(|_| {
+                        Error::corrupt(format!("cannot parse {cell:?} as a number")).in_plugin("csv")
+                    })
+                })
+                .collect();
+            rows.push(row?);
+        }
+        let ncols = rows.first().map(|r| r.len()).unwrap_or(0);
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(Error::corrupt("csv rows have inconsistent column counts").in_plugin("csv"));
+        }
+        let flat: Vec<f64> = rows.into_iter().flatten().collect();
+        let dims = if ncols <= 1 {
+            vec![flat.len()]
+        } else {
+            vec![flat.len() / ncols, ncols]
+        };
+        let data = Data::from_vec(flat, dims)?;
+        match template {
+            Some(t) if t.dtype() != DType::F64 => data.cast(t.dtype()),
+            _ => Ok(data),
+        }
+    }
+
+    fn write(&mut self, data: &Data) -> Result<()> {
+        let path = require_path(&self.path, "csv")?;
+        let values = data.to_f64_vec()?;
+        let ncols = if data.num_dims() >= 2 {
+            *data.dims().last().expect("non-empty dims")
+        } else {
+            1
+        };
+        let mut out = String::with_capacity(values.len() * 8);
+        for (i, v) in values.iter().enumerate() {
+            out.push_str(&format!("{v}"));
+            if ncols > 0 && (i + 1) % ncols == 0 {
+                out.push('\n');
+            } else {
+                out.push(self.delimiter);
+            }
+        }
+        std::fs::write(path, out)?;
+        Ok(())
+    }
+
+    fn clone_io(&self) -> Box<dyn IoPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Synthetic sequentially increasing data (the `iota` plugin).
+#[derive(Debug, Clone)]
+pub struct IotaIo {
+    dims: Vec<usize>,
+    dtype: DType,
+    start: f64,
+}
+
+impl Default for IotaIo {
+    fn default() -> Self {
+        IotaIo {
+            dims: vec![1024],
+            dtype: DType::F64,
+            start: 0.0,
+        }
+    }
+}
+
+impl IoPlugin for IotaIo {
+    fn name(&self) -> &str {
+        "iota"
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new()
+            .with(
+                "iota:dims",
+                self.dims
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+            .with("iota:dtype", self.dtype.name())
+            .with("iota:start", self.start)
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(d) = options.get_as::<String>("iota:dims")? {
+            let dims: Result<Vec<usize>> = d
+                .split(',')
+                .map(|p| {
+                    p.trim().parse::<usize>().map_err(|_| {
+                        Error::invalid_argument(format!("bad dim {p:?}")).in_plugin("iota")
+                    })
+                })
+                .collect();
+            self.dims = dims?;
+        }
+        if let Some(t) = options.get_as::<String>("iota:dtype")? {
+            self.dtype = DType::from_name(&t)?;
+        }
+        if let Some(s) = options.get_as::<f64>("iota:start")? {
+            self.start = s;
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, template: Option<&Data>) -> Result<Data> {
+        let (dtype, dims) = match template {
+            Some(t) if t.num_elements() > 0 => (t.dtype(), t.dims().to_vec()),
+            _ => (self.dtype, self.dims.clone()),
+        };
+        let n: usize = dims.iter().product();
+        dispatch_dtype!(dtype, T => {
+            let v: Vec<T> = (0..n).map(|i| T::from_f64(self.start + i as f64)).collect();
+            Data::from_vec(v, dims)
+        })
+    }
+
+    fn write(&mut self, _data: &Data) -> Result<()> {
+        Err(Error::unsupported("iota is a read-only synthetic source").in_plugin("iota"))
+    }
+
+    fn clone_io(&self) -> Box<dyn IoPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// In-process shared buffer store (the `memory` plugin): the written buffer
+/// becomes readable, including across clones.
+#[derive(Clone, Default)]
+pub struct MemoryIo {
+    slot: Arc<Mutex<Option<Data>>>,
+}
+
+impl IoPlugin for MemoryIo {
+    fn name(&self) -> &str {
+        "memory"
+    }
+
+    fn read(&mut self, _template: Option<&Data>) -> Result<Data> {
+        self.slot
+            .lock()
+            .expect("memory io poisoned")
+            .clone()
+            .ok_or_else(|| Error::not_found("no buffer has been written").in_plugin("memory"))
+    }
+
+    fn write(&mut self, data: &Data) -> Result<()> {
+        *self.slot.lock().expect("memory io poisoned") = Some(data.clone());
+        Ok(())
+    }
+
+    fn clone_io(&self) -> Box<dyn IoPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Reads a rectangular sub-region of another IO plugin's output (the
+/// `select` plugin).
+pub struct SelectIo {
+    inner_name: String,
+    inner: Box<dyn IoPlugin>,
+    start: Vec<usize>,
+    count: Vec<usize>,
+}
+
+impl SelectIo {
+    /// Select over `posix` until configured.
+    pub fn new() -> SelectIo {
+        SelectIo {
+            inner_name: "posix".to_string(),
+            inner: Box::new(PosixIo::default()),
+            start: Vec::new(),
+            count: Vec::new(),
+        }
+    }
+}
+
+impl Default for SelectIo {
+    fn default() -> Self {
+        SelectIo::new()
+    }
+}
+
+fn parse_dims(s: &str, plugin: &str) -> Result<Vec<usize>> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| Error::invalid_argument(format!("bad index {p:?}")).in_plugin(plugin))
+        })
+        .collect()
+}
+
+impl IoPlugin for SelectIo {
+    fn name(&self) -> &str {
+        "select"
+    }
+
+    fn get_options(&self) -> Options {
+        let join = |v: &[usize]| {
+            v.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut o = Options::new()
+            .with("select:io", self.inner_name.as_str())
+            .with("select:start", join(&self.start))
+            .with("select:count", join(&self.count));
+        o.merge(&self.inner.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(name) = options.get_as::<String>("select:io")? {
+            self.inner = pressio_core::registry().io(&name)?;
+            self.inner_name = name;
+        }
+        if let Some(s) = options.get_as::<String>("select:start")? {
+            self.start = if s.trim().is_empty() { vec![] } else { parse_dims(&s, "select")? };
+        }
+        if let Some(c) = options.get_as::<String>("select:count")? {
+            self.count = if c.trim().is_empty() { vec![] } else { parse_dims(&c, "select")? };
+        }
+        self.inner.set_options(options)
+    }
+
+    fn read(&mut self, template: Option<&Data>) -> Result<Data> {
+        let full = self.inner.read(template)?;
+        if self.start.is_empty() && self.count.is_empty() {
+            return Ok(full);
+        }
+        let nd = full.num_dims();
+        if self.start.len() != nd || self.count.len() != nd {
+            return Err(Error::invalid_argument(format!(
+                "select start/count must have {nd} entries"
+            ))
+            .in_plugin("select"));
+        }
+        for k in 0..nd {
+            if self.start[k] + self.count[k] > full.dims()[k] || self.count[k] == 0 {
+                return Err(Error::invalid_argument(format!(
+                    "region start {:?} count {:?} exceeds dims {:?}",
+                    self.start,
+                    self.count,
+                    full.dims()
+                ))
+                .in_plugin("select"));
+            }
+        }
+        // Copy the region element by element (strided gather).
+        let elem = full.dtype().size();
+        let mut out = Data::owned(full.dtype(), self.count.clone());
+        let src = full.as_bytes();
+        let in_dims = full.dims().to_vec();
+        let mut in_strides = vec![1usize; nd];
+        for i in (0..nd.saturating_sub(1)).rev() {
+            in_strides[i] = in_strides[i + 1] * in_dims[i + 1];
+        }
+        let total: usize = self.count.iter().product();
+        let dst = out.as_bytes_mut();
+        let mut coord = vec![0usize; nd];
+        for oi in 0..total {
+            let mut rem = oi;
+            for k in (0..nd).rev() {
+                coord[k] = rem % self.count[k];
+                rem /= self.count[k];
+            }
+            let mut ii = 0usize;
+            for k in 0..nd {
+                ii += (self.start[k] + coord[k]) * in_strides[k];
+            }
+            dst[oi * elem..(oi + 1) * elem].copy_from_slice(&src[ii * elem..(ii + 1) * elem]);
+        }
+        Ok(out)
+    }
+
+    fn write(&mut self, data: &Data) -> Result<()> {
+        self.inner.write(data)
+    }
+
+    fn clone_io(&self) -> Box<dyn IoPlugin> {
+        Box::new(SelectIo {
+            inner_name: self.inner_name.clone(),
+            inner: self.inner.clone_io(),
+            start: self.start.clone(),
+            count: self.count.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("pressio-io-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn posix_roundtrip_with_template() {
+        let path = tmp("posix.bin");
+        let data = Data::from_vec((0..100i32).collect::<Vec<_>>(), vec![10, 10]).unwrap();
+        let mut io = PosixIo::default();
+        io.set_options(&Options::new().with("io:path", path.as_str())).unwrap();
+        io.write(&data).unwrap();
+        let template = Data::owned(DType::I32, vec![10, 10]);
+        let back = io.read(Some(&template)).unwrap();
+        assert_eq!(back, data);
+        // Reading without a template fails with a clear message.
+        assert!(io.read(None).is_err());
+    }
+
+    #[test]
+    fn posix_short_file_errors() {
+        let path = tmp("short.bin");
+        std::fs::write(&path, [1u8, 2, 3]).unwrap();
+        let mut io = PosixIo::default();
+        io.set_options(&Options::new().with("io:path", path.as_str())).unwrap();
+        let template = Data::owned(DType::F64, vec![100]);
+        assert!(io.read(Some(&template)).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip_2d() {
+        let path = tmp("data.csv");
+        let data = Data::from_vec(vec![1.5f64, 2.0, 3.0, -4.25, 5.0, 6.0], vec![2, 3]).unwrap();
+        let mut io = CsvIo::default();
+        io.set_options(&Options::new().with("io:path", path.as_str())).unwrap();
+        io.write(&data).unwrap();
+        let back = io.read(None).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn csv_custom_delimiter_and_header() {
+        let path = tmp("semi.csv");
+        std::fs::write(&path, "a;b\n1;2\n3;4\n").unwrap();
+        let mut io = CsvIo::default();
+        io.set_options(
+            &Options::new()
+                .with("io:path", path.as_str())
+                .with("csv:delimiter", ";")
+                .with("csv:skip_header_lines", 1u32),
+        )
+        .unwrap();
+        let back = io.read(None).unwrap();
+        assert_eq!(back.dims(), &[2, 2]);
+        assert_eq!(back.as_slice::<f64>().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn csv_bad_cells_error() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1,2\n3,oops\n").unwrap();
+        let mut io = CsvIo::default();
+        io.set_options(&Options::new().with("io:path", path.as_str())).unwrap();
+        assert!(io.read(None).is_err());
+    }
+
+    #[test]
+    fn iota_generates_sequences() {
+        let mut io = IotaIo::default();
+        io.set_options(
+            &Options::new()
+                .with("iota:dims", "3,4")
+                .with("iota:dtype", "float")
+                .with("iota:start", 10.0f64),
+        )
+        .unwrap();
+        let d = io.read(None).unwrap();
+        assert_eq!(d.dims(), &[3, 4]);
+        assert_eq!(d.dtype(), DType::F32);
+        assert_eq!(d.as_slice::<f32>().unwrap()[0], 10.0);
+        assert_eq!(d.as_slice::<f32>().unwrap()[11], 21.0);
+        assert!(io.write(&d).is_err());
+    }
+
+    #[test]
+    fn memory_io_shares_across_clones() {
+        let mut a = MemoryIo::default();
+        let mut b = a.clone_io();
+        assert!(a.read(None).is_err());
+        let data = Data::from_bytes(&[1, 2, 3]);
+        b.write(&data).unwrap();
+        assert_eq!(a.read(None).unwrap(), data);
+    }
+
+    #[test]
+    fn select_extracts_subregion() {
+        // Register the plugins select depends on.
+        crate::register_builtins();
+        let path = tmp("select.bin");
+        let full: Vec<f64> = (0..36).map(|i| i as f64).collect();
+        let data = Data::from_vec(full, vec![6, 6]).unwrap();
+        let mut posix = PosixIo::default();
+        posix
+            .set_options(&Options::new().with("io:path", path.as_str()))
+            .unwrap();
+        posix.write(&data).unwrap();
+
+        let mut sel = SelectIo::new();
+        sel.set_options(
+            &Options::new()
+                .with("io:path", path.as_str())
+                .with("select:io", "posix")
+                .with("select:start", "1,2")
+                .with("select:count", "2,3"),
+        )
+        .unwrap();
+        let template = Data::owned(DType::F64, vec![6, 6]);
+        let region = sel.read(Some(&template)).unwrap();
+        assert_eq!(region.dims(), &[2, 3]);
+        // Rows 1..3, cols 2..5 of the 6x6 grid.
+        assert_eq!(
+            region.as_slice::<f64>().unwrap(),
+            &[8.0, 9.0, 10.0, 14.0, 15.0, 16.0]
+        );
+    }
+
+    #[test]
+    fn select_out_of_bounds_errors() {
+        crate::register_builtins();
+        let mut sel = SelectIo::new();
+        sel.set_options(
+            &Options::new()
+                .with("select:io", "iota")
+                .with("iota:dims", "4,4")
+                .with("select:start", "3,3")
+                .with("select:count", "3,3"),
+        )
+        .unwrap();
+        assert!(sel.read(None).is_err());
+    }
+}

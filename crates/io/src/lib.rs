@@ -1,0 +1,51 @@
+//! # pressio-io
+//!
+//! IO plugins of libpressio-rs:
+//!
+//! * `posix` — flat binary files (template-described)
+//! * `csv` — character-delimited text
+//! * `numpy` — NumPy `.npy` v1.0 (self-describing, from scratch)
+//! * `iota` — synthetic sequential data
+//! * `memory` — in-process buffer store
+//! * `select` — rectangular sub-region of another plugin's output
+//! * `h5lite` — a small HDF5-like container with *generic* compression
+//!   filters ([`h5lite::H5File`])
+//! * plus [`bplite`], a minimal ADIOS2-like timestep-stream engine whose
+//!   operators are registered compressors.
+
+#![warn(missing_docs)]
+
+pub mod basic;
+pub mod bplite;
+pub mod h5lite;
+pub mod npy;
+
+pub use basic::{CsvIo, IotaIo, MemoryIo, PosixIo, SelectIo};
+pub use bplite::{BpReader, BpWriter};
+pub use h5lite::{H5File, H5LiteIo};
+pub use npy::{from_npy_bytes, to_npy_bytes, NpyIo};
+
+/// Register every IO plugin of this crate into the global registry.
+pub fn register_builtins() {
+    let reg = pressio_core::registry();
+    reg.register_io("posix", || Box::new(PosixIo::default()));
+    reg.register_io("csv", || Box::new(CsvIo::default()));
+    reg.register_io("numpy", || Box::new(NpyIo::default()));
+    reg.register_io("iota", || Box::new(IotaIo::default()));
+    reg.register_io("memory", || Box::new(MemoryIo::default()));
+    reg.register_io("select", || Box::new(SelectIo::new()));
+    reg.register_io("h5lite", || Box::new(H5LiteIo::default()));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_io_plugins_registered() {
+        super::register_builtins();
+        let reg = pressio_core::registry();
+        for name in ["posix", "csv", "numpy", "iota", "memory", "select", "h5lite"] {
+            let io = reg.io(name).unwrap();
+            assert_eq!(io.name(), name);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the IO substrates: format roundtrips for
+//! arbitrary geometry and content, container integrity under corruption.
+
+use pressio_core::{dispatch_dtype, DType, Data, Options, ALL_DTYPES};
+use pressio_io::{from_npy_bytes, to_npy_bytes, H5File};
+use proptest::prelude::*;
+
+fn arb_data(dtype_idx: usize, dims: &[usize], seed: u64) -> Data {
+    let dtype = ALL_DTYPES[dtype_idx % ALL_DTYPES.len()];
+    let n: usize = dims.iter().product();
+    let mut s = seed | 1;
+    dispatch_dtype!(dtype, T => {
+        let vals: Vec<T> = (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                <T as pressio_core::Element>::from_f64(((s >> 40) as f64) - 8_000_000.0)
+            })
+            .collect();
+        let mut d = Data::from_vec(vals, vec![n]).unwrap();
+        d.reshape(dims.to_vec()).unwrap();
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn npy_roundtrips_every_dtype_and_shape(
+        dtype_idx in 0usize..10,
+        dims in proptest::collection::vec(1usize..12, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let data = arb_data(dtype_idx, &dims, seed);
+        let bytes = to_npy_bytes(&data);
+        let back = from_npy_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.dtype(), data.dtype());
+        prop_assert_eq!(back.dims(), data.dims());
+        prop_assert_eq!(back.as_bytes(), data.as_bytes());
+    }
+
+    #[test]
+    fn npy_truncation_never_panics(
+        dims in proptest::collection::vec(1usize..8, 1..3),
+        cut_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let data = arb_data(9, &dims, seed);
+        let bytes = to_npy_bytes(&data);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = from_npy_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn h5lite_many_datasets_roundtrip(
+        specs in proptest::collection::vec(
+            (0usize..10, proptest::collection::vec(1usize..8, 1..3), any::<u64>()),
+            1..8,
+        ),
+    ) {
+        let mut file = H5File::new();
+        let mut expect = Vec::new();
+        for (i, (dtype_idx, dims, seed)) in specs.iter().enumerate() {
+            let d = arb_data(*dtype_idx, dims, *seed);
+            let name = format!("group/ds{i}");
+            file.put(&name, &d).unwrap();
+            expect.push((name, d));
+        }
+        let bytes = file.to_bytes();
+        let back = H5File::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.names().len(), expect.len());
+        for (name, d) in expect {
+            prop_assert_eq!(back.get(&name).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn h5lite_corruption_never_panics(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..8),
+    ) {
+        pressio_codecs::register_builtins();
+        let mut file = H5File::new();
+        let d = arb_data(9, &[4, 4], seed);
+        file.put("a", &d).unwrap();
+        file.put_filtered("b", &d, "deflate", &Options::new()).unwrap();
+        let mut bytes = file.to_bytes();
+        for (pos, bit) in flips {
+            let at = pos as usize % bytes.len();
+            bytes[at] ^= 1 << bit;
+        }
+        if let Ok(f) = H5File::from_bytes(&bytes) {
+            let _ = f.get("a");
+            let _ = f.get("b");
+        }
+    }
+
+    #[test]
+    fn csv_roundtrips_finite_doubles(
+        rows in 1usize..20,
+        cols in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join("pressio-io-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("p{seed}.csv"));
+        let mut s = seed | 1;
+        let vals: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e6
+            })
+            .collect();
+        let data = Data::from_vec(vals, vec![rows, cols]).unwrap();
+        use pressio_core::IoPlugin;
+        let mut io = pressio_io::CsvIo::default();
+        io.set_options(&Options::new().with("io:path", path.to_str().unwrap())).unwrap();
+        io.write(&data).unwrap();
+        let back = io.read(None).unwrap();
+        // Single-column CSV cannot distinguish [n] from [n, 1]; multi-column
+        // shapes roundtrip exactly.
+        if cols >= 2 {
+            prop_assert_eq!(back.dims(), data.dims());
+        }
+        prop_assert_eq!(back.num_elements(), data.num_elements());
+        // Text roundtrip of f64 via {} formatting is exact in Rust.
+        prop_assert_eq!(back.as_slice::<f64>().unwrap(), data.as_slice::<f64>().unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn select_region_matches_manual_slice(
+        ny in 2usize..12,
+        nx in 2usize..12,
+        sy in 0usize..6,
+        sx in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        pressio_io::register_builtins();
+        prop_assume!(sy < ny && sx < nx);
+        let cy = ny - sy;
+        let cx = nx - sx;
+        let data = arb_data(2, &[ny, nx], seed);
+        // Write via memory io shared slot? Use posix temp file instead.
+        let dir = std::env::temp_dir().join("pressio-io-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sel{seed}.bin"));
+        use pressio_core::IoPlugin;
+        let mut posix = pressio_io::PosixIo::default();
+        posix.set_options(&Options::new().with("io:path", path.to_str().unwrap())).unwrap();
+        posix.write(&data).unwrap();
+
+        let mut sel = pressio_io::SelectIo::new();
+        sel.set_options(
+            &Options::new()
+                .with("io:path", path.to_str().unwrap())
+                .with("select:io", "posix")
+                .with("select:start", format!("{sy},{sx}"))
+                .with("select:count", format!("{cy},{cx}")),
+        ).unwrap();
+        let template = Data::owned(DType::I32, vec![ny, nx]);
+        let region = sel.read(Some(&template)).unwrap();
+        prop_assert_eq!(region.dims(), &[cy, cx]);
+        let full = data.as_slice::<i32>().unwrap();
+        let got = region.as_slice::<i32>().unwrap();
+        for y in 0..cy {
+            for x in 0..cx {
+                prop_assert_eq!(got[y * cx + x], full[(sy + y) * nx + (sx + x)]);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

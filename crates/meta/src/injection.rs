@@ -1,0 +1,274 @@
+//! Fault and statistical error injection meta-compressors (the glossary's
+//! *Fault Injector* and *Random Error Injector*): testing tools that fit the
+//! compressor interface so they compose with everything else.
+
+use pressio_core::{
+    ByteReader, ByteWriter, Compressor, Data, Error, Options, Result, ThreadSafety, Version,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::util::resolve_child;
+
+const FAULT_MAGIC: u32 = 0x464C_5421;
+
+/// Flips random bits in the child's *compressed* stream — the engine behind
+/// fuzz-style robustness testing of decompressors.
+pub struct FaultInjector {
+    num_bits: u32,
+    seed: u64,
+    child_name: String,
+    child: Box<dyn Compressor>,
+}
+
+impl FaultInjector {
+    /// Injector over `noop` until configured; injects nothing by default.
+    pub fn new() -> FaultInjector {
+        FaultInjector {
+            num_bits: 0,
+            seed: 0,
+            child_name: "noop".to_string(),
+            child: resolve_child("noop").expect("noop is always registered"),
+        }
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new()
+    }
+}
+
+impl Compressor for FaultInjector {
+    fn name(&self) -> &str {
+        "fault_injector"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn thread_safety(&self) -> ThreadSafety {
+        self.child.thread_safety()
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new()
+            .with("fault_injector:num_bits", self.num_bits)
+            .with("fault_injector:seed", self.seed)
+            .with("fault_injector:compressor", self.child_name.as_str());
+        o.merge(&self.child.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(name) = options.get_as::<String>("fault_injector:compressor")? {
+            self.child = resolve_child(&name).map_err(|e| e.in_plugin("fault_injector"))?;
+            self.child_name = name;
+        }
+        if let Some(n) = options.get_as::<u32>("fault_injector:num_bits")? {
+            self.num_bits = n;
+        }
+        if let Some(s) = options.get_as::<u64>("fault_injector:seed")? {
+            self.seed = s;
+        }
+        self.child.set_options(options)
+    }
+
+    fn get_documentation(&self) -> Options {
+        Options::new()
+            .with(
+                "fault_injector",
+                "flips random bits in the child's compressed stream (decompression \
+                 robustness / fuzz testing)",
+            )
+            .with("fault_injector:num_bits", "number of bit flips to inject")
+            .with("fault_injector:seed", "PRNG seed for reproducible faults")
+            .with("fault_injector:compressor", "registry name of the child")
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        let inner = self.child.compress(input)?;
+        let mut bytes = inner.as_bytes().to_vec();
+        if self.num_bits > 0 && !bytes.is_empty() {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            for _ in 0..self.num_bits {
+                let byte = rng.gen_range(0..bytes.len());
+                let bit = rng.gen_range(0..8u32);
+                bytes[byte] ^= 1 << bit;
+            }
+        }
+        let mut w = ByteWriter::with_capacity(bytes.len() + 32);
+        w.put_u32(FAULT_MAGIC);
+        w.put_str(&self.child_name);
+        w.put_section(&bytes);
+        Ok(Data::from_bytes(&w.into_vec()))
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        let mut r = ByteReader::new(compressed.as_bytes());
+        if r.get_u32()? != FAULT_MAGIC {
+            return Err(Error::corrupt("bad fault_injector magic").in_plugin("fault_injector"));
+        }
+        let name = r.get_str()?.to_string();
+        let inner = r.get_section()?;
+        if name != self.child_name {
+            self.child = resolve_child(&name).map_err(|e| e.in_plugin("fault_injector"))?;
+            self.child_name = name;
+        }
+        self.child.decompress(&Data::from_bytes(inner), output)
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(FaultInjector {
+            num_bits: self.num_bits,
+            seed: self.seed,
+            child_name: self.child_name.clone(),
+            child: self.child.clone_compressor(),
+        })
+    }
+}
+
+/// Adds random noise to every input element *before* compression — for
+/// studying how compressors respond to measurement error.
+pub struct NoiseInjector {
+    /// "gaussian" or "uniform".
+    dist: String,
+    scale: f64,
+    seed: u64,
+    child_name: String,
+    child: Box<dyn Compressor>,
+}
+
+impl NoiseInjector {
+    /// Injector over `noop` until configured; zero noise by default.
+    pub fn new() -> NoiseInjector {
+        NoiseInjector {
+            dist: "gaussian".to_string(),
+            scale: 0.0,
+            seed: 0,
+            child_name: "noop".to_string(),
+            child: resolve_child("noop").expect("noop is always registered"),
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        match self.dist.as_str() {
+            "uniform" => rng.gen_range(-1.0..1.0) * self.scale,
+            _ => {
+                // Box-Muller transform for a standard normal.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * self.scale
+            }
+        }
+    }
+}
+
+impl Default for NoiseInjector {
+    fn default() -> Self {
+        NoiseInjector::new()
+    }
+}
+
+impl Compressor for NoiseInjector {
+    fn name(&self) -> &str {
+        "noise"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn thread_safety(&self) -> ThreadSafety {
+        self.child.thread_safety()
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new()
+            .with("noise:dist", self.dist.as_str())
+            .with("noise:scale", self.scale)
+            .with("noise:seed", self.seed)
+            .with("noise:compressor", self.child_name.as_str());
+        o.merge(&self.child.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(name) = options.get_as::<String>("noise:compressor")? {
+            self.child = resolve_child(&name).map_err(|e| e.in_plugin("noise"))?;
+            self.child_name = name;
+        }
+        if let Some(d) = options.get_as::<String>("noise:dist")? {
+            if d != "gaussian" && d != "uniform" {
+                return Err(Error::invalid_argument(
+                    "noise:dist must be 'gaussian' or 'uniform'",
+                )
+                .in_plugin("noise"));
+            }
+            self.dist = d;
+        }
+        if let Some(s) = options.get_as::<f64>("noise:scale")? {
+            if !(s.is_finite() && s >= 0.0) {
+                return Err(Error::invalid_argument(
+                    "noise:scale must be finite and non-negative",
+                )
+                .in_plugin("noise"));
+            }
+            self.scale = s;
+        }
+        if let Some(s) = options.get_as::<u64>("noise:seed")? {
+            self.seed = s;
+        }
+        self.child.set_options(options)
+    }
+
+    fn get_documentation(&self) -> Options {
+        Options::new()
+            .with("noise", "adds random noise to each input element before compression")
+            .with("noise:dist", "gaussian | uniform")
+            .with("noise:scale", "standard deviation (gaussian) or half-width (uniform)")
+            .with("noise:seed", "PRNG seed for reproducibility")
+            .with("noise:compressor", "registry name of the child")
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        if self.scale == 0.0 {
+            return self.child.compress(input);
+        }
+        pressio_core::require_dtype(
+            "noise",
+            input,
+            &[pressio_core::DType::F32, pressio_core::DType::F64],
+        )?;
+        let mut staged = input.clone();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match staged.dtype() {
+            pressio_core::DType::F32 => {
+                for v in staged.as_mut_slice::<f32>()? {
+                    *v += self.sample(&mut rng) as f32;
+                }
+            }
+            _ => {
+                for v in staged.as_mut_slice::<f64>()? {
+                    *v += self.sample(&mut rng);
+                }
+            }
+        }
+        self.child.compress(&staged)
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        self.child.decompress(compressed, output)
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(NoiseInjector {
+            dist: self.dist.clone(),
+            scale: self.scale,
+            seed: self.seed,
+            child_name: self.child_name.clone(),
+            child: self.child.clone_compressor(),
+        })
+    }
+}

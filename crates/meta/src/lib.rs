@@ -1,0 +1,466 @@
+//! # pressio-meta
+//!
+//! Meta-compressors: plugins that implement the compressor interface but
+//! delegate the actual coding to child plugins, adding shape manipulation,
+//! parallelism, testing instrumentation, or configuration search on top —
+//! the paper's Section IV-D.
+//!
+//! | plugin | role |
+//! |---|---|
+//! | `cast`      | dtype conversion (e.g. store f64 as f32) |
+//! | `transpose` | axis permutation pre/post processing |
+//! | `resize`    | dimension reinterpretation (e.g. `A×B×1` → `A×B` for ZFP) |
+//! | `sample`    | decimating sampler for analysis workflows |
+//! | `switch`    | runtime-selectable child compressor |
+//! | `pipeline`  | compose compressors out of reusable stages |
+//! | `chunking`  | parallel row-block compression (crossbeam) |
+//! | `many_independent` | embarrassingly parallel multi-buffer compression |
+//! | `many_dependent`   | config forwarding between time steps |
+//! | `fault_injector`   | bit flips in compressed streams (fuzzing) |
+//! | `noise`     | statistical error injection into inputs |
+//! | `opt`       | FRaZ-style fixed-ratio configuration optimizer |
+//!
+//! The parallel plugins consume the child's thread-safety introspection:
+//! `Serialized`/`Single` children degrade to sequential execution instead of
+//! racing on shared state.
+
+#![warn(missing_docs)]
+
+pub mod cast;
+pub mod injection;
+pub mod opt;
+pub mod parallel;
+pub mod pipeline;
+pub mod shape;
+pub mod util;
+
+pub use cast::Cast;
+pub use injection::{FaultInjector, NoiseInjector};
+pub use opt::{Objective, Opt, OptOutcome};
+pub use parallel::{Chunking, ManyDependent, ManyIndependent};
+pub use pipeline::Pipeline;
+pub use shape::{Resize, Sample, Switch, Transpose};
+
+/// Register every meta-compressor into the global registry.
+///
+/// Requires a `noop` compressor to already be registered (the codecs crate
+/// provides it), since meta-compressors default their child to `noop`.
+pub fn register_builtins() {
+    let reg = pressio_core::registry();
+    reg.register_compressor("cast", || Box::new(Cast::new()));
+    reg.register_compressor("transpose", || Box::new(Transpose::new()));
+    reg.register_compressor("resize", || Box::new(Resize::new()));
+    reg.register_compressor("sample", || Box::new(Sample::new()));
+    reg.register_compressor("switch", || Box::new(Switch::new()));
+    reg.register_compressor("pipeline", || Box::new(Pipeline::new()));
+    reg.register_compressor("chunking", || Box::new(Chunking::new()));
+    reg.register_compressor("many_independent", || Box::new(ManyIndependent::new()));
+    reg.register_compressor("many_dependent", || Box::new(ManyDependent::new()));
+    reg.register_compressor("fault_injector", || Box::new(FaultInjector::new()));
+    reg.register_compressor("noise", || Box::new(NoiseInjector::new()));
+    reg.register_compressor("opt", || Box::new(Opt::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pressio_core::{Compressor, DType, Data, Options, ThreadSafety};
+
+    fn init() {
+        pressio_codecs::register_builtins();
+        pressio_sz::register_builtins();
+        pressio_zfp::register_builtins();
+        register_builtins();
+    }
+
+    fn field(dims: &[usize]) -> Data {
+        let n: usize = dims.iter().product();
+        let nx = *dims.last().expect("non-empty");
+        let v: Vec<f64> = (0..n)
+            .map(|i| ((i % nx) as f64 * 0.05).sin() + ((i / nx) as f64 * 0.04).cos())
+            .collect();
+        Data::from_vec(v, dims.to_vec()).unwrap()
+    }
+
+    fn max_err(a: &Data, b: &Data) -> f64 {
+        a.to_f64_vec()
+            .unwrap()
+            .iter()
+            .zip(b.to_f64_vec().unwrap().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn transpose_roundtrips_through_lossless_child() {
+        init();
+        let input = field(&[6, 8, 10]);
+        let mut t = Transpose::new();
+        t.set_options(
+            &Options::new()
+                .with("transpose:axes", "2,0,1")
+                .with("transpose:compressor", "deflate"),
+        )
+        .unwrap();
+        let c = t.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![6, 8, 10]);
+        t.decompress(&c, &mut out).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn transpose_preserves_error_bound_of_lossy_child() {
+        init();
+        let input = field(&[8, 16, 16]);
+        let mut t = Transpose::new();
+        t.set_options(
+            &Options::new()
+                .with("transpose:compressor", "sz")
+                .with("sz:abs_err_bound", 1e-4f64),
+        )
+        .unwrap();
+        let c = t.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![8, 16, 16]);
+        t.decompress(&c, &mut out).unwrap();
+        assert!(max_err(&input, &out) <= 1e-4);
+    }
+
+    #[test]
+    fn resize_helps_zfp_with_degenerate_dims() {
+        init();
+        // A 64x64x1 buffer: natively ZFP pads the z dimension; resized to
+        // 64x64 it codes well-shaped 2-d blocks. This is the glossary's
+        // motivating example for `resize`.
+        let mut input = field(&[64, 64]);
+        input.reshape(vec![64, 64, 1]).unwrap();
+        let mut native = pressio_core::registry().compressor("zfp").unwrap();
+        native
+            .set_options(&Options::new().with("zfp:accuracy", 1e-4f64))
+            .unwrap();
+        let raw = native.compress(&input).unwrap();
+
+        let mut r = Resize::new();
+        r.set_options(
+            &Options::new()
+                .with("resize:dims", "64,64")
+                .with("resize:compressor", "zfp")
+                .with("zfp:accuracy", 1e-4f64),
+        )
+        .unwrap();
+        let resized = r.compress(&input).unwrap();
+        assert!(
+            resized.size_in_bytes() < raw.size_in_bytes(),
+            "resize should help: {} vs {}",
+            resized.size_in_bytes(),
+            raw.size_in_bytes()
+        );
+        let mut out = Data::owned(DType::F64, vec![64, 64, 1]);
+        r.decompress(&resized, &mut out).unwrap();
+        assert_eq!(out.dims(), &[64, 64, 1]);
+        assert!(max_err(&input, &out) <= 1e-4);
+    }
+
+    #[test]
+    fn sample_decimates_and_reconstructs_shape() {
+        init();
+        let input = field(&[100]);
+        let mut s = Sample::new();
+        s.set_options(
+            &Options::new()
+                .with("sample:rate", 4u64)
+                .with("sample:compressor", "deflate"),
+        )
+        .unwrap();
+        let c = s.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![100]);
+        s.decompress(&c, &mut out).unwrap();
+        assert_eq!(out.dims(), &[100]);
+        // Kept samples are exact; in-between values are held.
+        let orig = input.as_slice::<f64>().unwrap();
+        let got = out.as_slice::<f64>().unwrap();
+        for i in (0..100).step_by(4) {
+            assert_eq!(orig[i], got[i]);
+        }
+        assert_eq!(got[1], orig[0]);
+    }
+
+    #[test]
+    fn switch_changes_child_at_runtime() {
+        init();
+        let input = field(&[32, 32]);
+        let mut s = Switch::new();
+        s.set_options(&Options::new().with("switch:active", "fpzip")).unwrap();
+        let c1 = s.compress(&input).unwrap();
+        s.set_options(
+            &Options::new()
+                .with("switch:active", "sz")
+                .with("sz:abs_err_bound", 1e-3f64),
+        )
+        .unwrap();
+        let c2 = s.compress(&input).unwrap();
+        // Both decompress correctly even on a *fresh* switch instance,
+        // because the stream records the active child.
+        for (c, tol) in [(c1, 0.0), (c2, 1e-3)] {
+            let mut fresh = Switch::new();
+            let mut out = Data::owned(DType::F64, vec![32, 32]);
+            fresh.decompress(&c, &mut out).unwrap();
+            assert!(max_err(&input, &out) <= tol);
+        }
+        assert!(s
+            .set_options(&Options::new().with("switch:active", "no_such"))
+            .is_err());
+    }
+
+    #[test]
+    fn pipeline_composes_stages() {
+        init();
+        let input = field(&[64, 64]);
+        let mut p = Pipeline::new();
+        p.set_options(
+            &Options::new()
+                .with(
+                    "pipeline:stages",
+                    vec!["linear_quantizer".to_string(), "rle".to_string()],
+                )
+                .with("linear_quantizer:abs", 1e-3f64),
+        )
+        .unwrap();
+        let c = p.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![64, 64]);
+        p.decompress(&c, &mut out).unwrap();
+        assert!(max_err(&input, &out) <= 1e-3);
+        // Empty pipeline is an error.
+        assert!(Pipeline::new().compress(&input).is_err());
+    }
+
+    #[test]
+    fn chunking_parallel_matches_bound() {
+        init();
+        let input = field(&[32, 64, 64]);
+        for threads in [1u32, 3, 8] {
+            let mut c = Chunking::new();
+            c.set_options(
+                &Options::new()
+                    .with("chunking:compressor", "sz_threadsafe")
+                    .with("chunking:nthreads", threads)
+                    .with("sz_threadsafe:abs_err_bound", 1e-4f64),
+            )
+            .unwrap();
+            let compressed = c.compress(&input).unwrap();
+            let mut out = Data::owned(DType::F64, vec![32, 64, 64]);
+            c.decompress(&compressed, &mut out).unwrap();
+            assert!(max_err(&input, &out) <= 1e-4, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunking_serializes_unsafe_children() {
+        init();
+        // `sz` is Serialized: chunking must still produce correct results
+        // (sequentially).
+        let input = field(&[16, 32, 32]);
+        let mut c = Chunking::new();
+        c.set_options(
+            &Options::new()
+                .with("chunking:compressor", "sz")
+                .with("chunking:nthreads", 4u32)
+                .with("sz:abs_err_bound", 1e-3f64),
+        )
+        .unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![16, 32, 32]);
+        c.decompress(&compressed, &mut out).unwrap();
+        assert!(max_err(&input, &out) <= 1e-3);
+    }
+
+    #[test]
+    fn many_independent_parallel_batch() {
+        init();
+        let buffers: Vec<Data> = (0..8)
+            .map(|i| {
+                let v: Vec<f64> = (0..4096).map(|j| ((i * 4096 + j) as f64 * 0.001).sin()).collect();
+                Data::from_vec(v, vec![64, 64]).unwrap()
+            })
+            .collect();
+        let refs: Vec<&Data> = buffers.iter().collect();
+        let mut m = ManyIndependent::new();
+        m.set_options(
+            &Options::new()
+                .with("many_independent:compressor", "sz_threadsafe")
+                .with("many_independent:nthreads", 4u32)
+                .with("sz_threadsafe:abs_err_bound", 1e-4f64),
+        )
+        .unwrap();
+        let compressed = m.compress_many(&refs).unwrap();
+        assert_eq!(compressed.len(), 8);
+        let crefs: Vec<&Data> = compressed.iter().collect();
+        let mut outputs: Vec<Data> = (0..8).map(|_| Data::owned(DType::F64, vec![64, 64])).collect();
+        m.decompress_many(&crefs, &mut outputs).unwrap();
+        for (orig, out) in buffers.iter().zip(&outputs) {
+            assert!(max_err(orig, out) <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn many_dependent_forwards_configuration() {
+        init();
+        let buffers: Vec<Data> = (0..3)
+            .map(|i| {
+                let scale = 10f64.powi(i);
+                let v: Vec<f64> = (0..1000).map(|j| (j as f64 * 0.01).sin() * scale).collect();
+                Data::from_vec(v, vec![1000]).unwrap()
+            })
+            .collect();
+        let refs: Vec<&Data> = buffers.iter().collect();
+        let mut m = ManyDependent::new();
+        m.set_options(
+            &Options::new()
+                .with("many_dependent:compressor", "sz_threadsafe")
+                .with("many_dependent:source", "error_stat:value_range")
+                .with("many_dependent:target", pressio_core::OPT_ABS)
+                .with("many_dependent:scale", 1e-4f64),
+        )
+        .unwrap();
+        let compressed = m.compress_many(&refs).unwrap();
+        // Each buffer's bound was derived from its own range: decompress and
+        // verify a 1e-4-relative bound per buffer.
+        for (i, (orig, c)) in buffers.iter().zip(&compressed).enumerate() {
+            let mut out = Data::owned(DType::F64, vec![1000]);
+            let mut dec = pressio_core::registry().compressor("sz_threadsafe").unwrap();
+            dec.decompress(c, &mut out).unwrap();
+            let range = pressio_core::value_range(orig.as_slice::<f64>().unwrap());
+            assert!(max_err(orig, &out) <= 1e-4 * range * 1.001, "buffer {i}");
+        }
+    }
+
+    #[test]
+    fn fault_injector_corrupts_streams_detectably() {
+        init();
+        let input = field(&[32, 32]);
+        let mut f = FaultInjector::new();
+        f.set_options(
+            &Options::new()
+                .with("fault_injector:compressor", "sz")
+                .with("sz:abs_err_bound", 1e-3f64)
+                .with("fault_injector:num_bits", 16u32)
+                .with("fault_injector:seed", 7u64),
+        )
+        .unwrap();
+        let c = f.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![32, 32]);
+        // Corrupt stream must not panic: either clean error or silent damage.
+        let _ = f.decompress(&c, &mut out);
+        // With zero faults the roundtrip is intact.
+        let mut clean = FaultInjector::new();
+        clean
+            .set_options(
+                &Options::new()
+                    .with("fault_injector:compressor", "sz")
+                    .with("sz:abs_err_bound", 1e-3f64),
+            )
+            .unwrap();
+        let c = clean.compress(&input).unwrap();
+        clean.decompress(&c, &mut out).unwrap();
+        assert!(max_err(&input, &out) <= 1e-3);
+    }
+
+    #[test]
+    fn noise_injection_is_seeded_and_bounded() {
+        init();
+        let input = field(&[1000]);
+        let mut n = NoiseInjector::new();
+        n.set_options(
+            &Options::new()
+                .with("noise:compressor", "noop")
+                .with("noise:dist", "uniform")
+                .with("noise:scale", 0.01f64)
+                .with("noise:seed", 42u64),
+        )
+        .unwrap();
+        let c1 = n.compress(&input).unwrap();
+        let c2 = n.compress(&input).unwrap();
+        assert_eq!(c1, c2, "same seed must give identical noise");
+        let mut out = Data::owned(DType::F64, vec![1000]);
+        n.decompress(&c1, &mut out).unwrap();
+        let err = max_err(&input, &out);
+        assert!(err > 0.0 && err <= 0.01);
+    }
+
+    #[test]
+    fn opt_reaches_target_ratio() {
+        init();
+        let input = field(&[64, 64]);
+        let mut o = Opt::new();
+        o.set_options(
+            &Options::new()
+                .with("opt:compressor", "sz")
+                .with("opt:target_ratio", 20.0f64)
+                .with("opt:lower", 1e-10f64)
+                .with("opt:upper", 1.0f64),
+        )
+        .unwrap();
+        let compressed = o.compress(&input).unwrap();
+        let ratio = input.size_in_bytes() as f64 / compressed.size_in_bytes() as f64;
+        assert!(ratio >= 20.0 * 0.9, "achieved {ratio:.2}");
+        let outcome = o.last_outcome().unwrap();
+        assert!(outcome.evaluations >= 2);
+        let mut out = Data::owned(DType::F64, vec![64, 64]);
+        o.decompress(&compressed, &mut out).unwrap();
+        assert!(max_err(&input, &out) <= outcome.value * 1.001);
+        let results = o.get_options();
+        assert!(results.get_as::<f64>("opt:achieved_ratio").unwrap().is_some());
+    }
+
+    #[test]
+    fn opt_rejects_unreachable_target() {
+        init();
+        // Random data barely compresses: a huge target must fail cleanly.
+        let mut v = Vec::with_capacity(4096);
+        let mut st = 1u64;
+        for _ in 0..4096 {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            v.push((st >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        let input = Data::from_vec(v, vec![4096]).unwrap();
+        let mut o = Opt::new();
+        o.set_options(
+            &Options::new()
+                .with("opt:compressor", "sz")
+                .with("opt:target_ratio", 100000.0f64)
+                .with("opt:upper", 1e-6f64),
+        )
+        .unwrap();
+        assert!(o.compress(&input).is_err());
+    }
+
+    #[test]
+    fn thread_safety_propagates_from_child() {
+        init();
+        let mut t = Transpose::new();
+        t.set_options(&Options::new().with("transpose:compressor", "sz")).unwrap();
+        assert_eq!(t.thread_safety(), ThreadSafety::Serialized);
+        t.set_options(&Options::new().with("transpose:compressor", "zfp")).unwrap();
+        assert_eq!(t.thread_safety(), ThreadSafety::Multiple);
+    }
+
+    #[test]
+    fn all_meta_plugins_registered() {
+        init();
+        for name in [
+            "cast",
+            "transpose",
+            "resize",
+            "sample",
+            "switch",
+            "pipeline",
+            "chunking",
+            "many_independent",
+            "many_dependent",
+            "fault_injector",
+            "noise",
+            "opt",
+        ] {
+            assert!(pressio_core::registry().has_compressor(name), "{name}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! `opt`: a FRaZ-style configuration optimizer (LibPressio-Opt).
+//!
+//! Given a *target compression ratio* (or a target maximum error), the
+//! optimizer searches a numeric option of the child compressor — by default
+//! the generic error bound `pressio:abs` — using bisection in log space,
+//! exploiting that compression ratio grows monotonically with the bound.
+//! This is the fixed-ratio workflow of FRaZ (the paper's citation \[4\]) and
+//! the core of the LibPressio-Opt / OptZConfig lineage \[25\].
+//!
+//! Because the whole search happens through the *generic* interface, the
+//! same optimizer tunes SZ, ZFP, MGARD, or any third-party plugin — the
+//! paper's central productivity argument.
+
+use pressio_core::{
+    Compressor, Data, Error, Options, Result, ThreadSafety, Version,
+};
+
+use crate::util::resolve_child;
+
+/// What the optimizer drives toward.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Achieve at least this compression ratio (uncompressed/compressed),
+    /// as close to it as possible from above.
+    Ratio(f64),
+    /// Stay under this maximum absolute error while maximizing ratio.
+    MaxError(f64),
+}
+
+/// Outcome of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptOutcome {
+    /// The tuned option value (e.g. the error bound).
+    pub value: f64,
+    /// The compression ratio it achieved.
+    pub ratio: f64,
+    /// Trial compressions performed.
+    pub evaluations: u32,
+}
+
+/// The optimizer meta-compressor.
+///
+/// ```
+/// use pressio_core::{Compressor, Data, Options};
+/// pressio_codecs::register_builtins();
+/// pressio_sz::register_builtins();
+///
+/// let vals: Vec<f64> = (0..64 * 64).map(|i| (i as f64 * 0.01).sin()).collect();
+/// let input = Data::from_vec(vals, vec![64, 64]).unwrap();
+/// let mut opt = pressio_meta::Opt::new();
+/// opt.set_options(
+///     &Options::new()
+///         .with("opt:compressor", "sz")
+///         .with("opt:target_ratio", 15.0f64),
+/// )
+/// .unwrap();
+/// let compressed = opt.compress(&input).unwrap();
+/// let achieved = input.size_in_bytes() as f64 / compressed.size_in_bytes() as f64;
+/// assert!(achieved >= 15.0 * 0.9);
+/// ```
+pub struct Opt {
+    child_name: String,
+    child: Box<dyn Compressor>,
+    option: String,
+    objective: Objective,
+    lower: f64,
+    upper: f64,
+    max_iters: u32,
+    /// Acceptable relative distance from the ratio target.
+    rel_tol: f64,
+    last: Option<OptOutcome>,
+}
+
+impl Opt {
+    /// Optimizer over `noop` until configured.
+    pub fn new() -> Opt {
+        Opt {
+            child_name: "noop".to_string(),
+            child: resolve_child("noop").expect("noop is always registered"),
+            option: pressio_core::OPT_ABS.to_string(),
+            objective: Objective::Ratio(10.0),
+            lower: 1e-12,
+            upper: 1e3,
+            max_iters: 32,
+            rel_tol: 0.05,
+            last: None,
+        }
+    }
+
+    /// The most recent search outcome, if any.
+    pub fn last_outcome(&self) -> Option<OptOutcome> {
+        self.last
+    }
+
+    fn trial(&mut self, input: &Data, value: f64) -> Result<f64> {
+        let mut o = Options::new();
+        o.set(self.option.clone(), value);
+        self.child.set_options(&o)?;
+        let compressed = self.child.compress(input)?;
+        Ok(input.size_in_bytes() as f64 / compressed.size_in_bytes() as f64)
+    }
+
+    /// Run the search, returning the outcome and leaving the child
+    /// configured at the chosen value.
+    pub fn optimize(&mut self, input: &Data) -> Result<OptOutcome> {
+        let target = match self.objective {
+            Objective::Ratio(r) => r,
+            Objective::MaxError(e) => {
+                // Error-bounded children meet this directly.
+                let ratio = self.trial(input, e)?;
+                let out = OptOutcome {
+                    value: e,
+                    ratio,
+                    evaluations: 1,
+                };
+                self.last = Some(out);
+                return Ok(out);
+            }
+        };
+        if !(target.is_finite() && target > 1.0) {
+            return Err(
+                Error::invalid_argument(format!("ratio target must exceed 1, got {target}"))
+                    .in_plugin("opt"),
+            );
+        }
+        let mut evals = 0u32;
+        let (lo, hi) = (self.lower.max(f64::MIN_POSITIVE), self.upper);
+        if lo >= hi {
+            return Err(Error::invalid_argument("opt:lower must be below opt:upper")
+                .in_plugin("opt"));
+        }
+        // Bisection on log10(bound): ratio(bound) is monotone increasing for
+        // error-bounded compressors. Track the best value that meets the
+        // target from above.
+        let mut llo = lo.log10();
+        let mut lhi = hi.log10();
+        // Seed with the endpoints to detect infeasible targets early.
+        let r_hi = self.trial(input, hi)?;
+        evals += 1;
+        if r_hi < target {
+            return Err(Error::invalid_argument(format!(
+                "target ratio {target} is unreachable: even bound {hi} achieves only {r_hi:.2}"
+            ))
+            .in_plugin("opt"));
+        }
+        let mut best = (hi, r_hi);
+        let r_lo = self.trial(input, lo)?;
+        evals += 1;
+        if r_lo >= target {
+            // Already above target at the tightest bound.
+            best = (lo, r_lo);
+            llo = lhi; // skip the loop
+        }
+        while evals < self.max_iters && lhi - llo > 1e-4 {
+            let mid = 10f64.powf((llo + lhi) / 2.0);
+            let r = self.trial(input, mid)?;
+            evals += 1;
+            if r >= target {
+                best = (mid, r);
+                lhi = mid.log10();
+                if (r - target) / target <= self.rel_tol {
+                    break;
+                }
+            } else {
+                llo = mid.log10();
+            }
+        }
+        let (value, ratio) = best;
+        // Leave the child configured at the chosen operating point.
+        let mut o = Options::new();
+        o.set(self.option.clone(), value);
+        self.child.set_options(&o)?;
+        let out = OptOutcome {
+            value,
+            ratio,
+            evaluations: evals,
+        };
+        self.last = Some(out);
+        Ok(out)
+    }
+}
+
+impl Default for Opt {
+    fn default() -> Self {
+        Opt::new()
+    }
+}
+
+impl Compressor for Opt {
+    fn name(&self) -> &str {
+        "opt"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(2, 0, 0)
+    }
+
+    fn thread_safety(&self) -> ThreadSafety {
+        self.child.thread_safety()
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new()
+            .with("opt:compressor", self.child_name.as_str())
+            .with("opt:option", self.option.as_str())
+            .with("opt:lower", self.lower)
+            .with("opt:upper", self.upper)
+            .with("opt:max_iters", self.max_iters)
+            .with("opt:rel_tolerance", self.rel_tol);
+        match self.objective {
+            Objective::Ratio(r) => o.set("opt:target_ratio", r),
+            Objective::MaxError(e) => o.set("opt:target_max_error", e),
+        }
+        if let Some(last) = self.last {
+            o.set("opt:chosen_value", last.value);
+            o.set("opt:achieved_ratio", last.ratio);
+            o.set("opt:evaluations", last.evaluations);
+        }
+        o.merge(&self.child.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(name) = options.get_as::<String>("opt:compressor")? {
+            self.child = resolve_child(&name).map_err(|e| e.in_plugin("opt"))?;
+            self.child_name = name;
+        }
+        if let Some(opt) = options.get_as::<String>("opt:option")? {
+            self.option = opt;
+        }
+        if let Some(r) = options.get_as::<f64>("opt:target_ratio")? {
+            self.objective = Objective::Ratio(r);
+        }
+        if let Some(e) = options.get_as::<f64>("opt:target_max_error")? {
+            self.objective = Objective::MaxError(e);
+        }
+        if let Some(l) = options.get_as::<f64>("opt:lower")? {
+            self.lower = l;
+        }
+        if let Some(u) = options.get_as::<f64>("opt:upper")? {
+            self.upper = u;
+        }
+        if let Some(m) = options.get_as::<u32>("opt:max_iters")? {
+            if m == 0 {
+                return Err(Error::invalid_argument("opt:max_iters must be >= 1").in_plugin("opt"));
+            }
+            self.max_iters = m;
+        }
+        if let Some(t) = options.get_as::<f64>("opt:rel_tolerance")? {
+            self.rel_tol = t;
+        }
+        self.child.set_options(options)
+    }
+
+    fn get_documentation(&self) -> Options {
+        Options::new()
+            .with(
+                "opt",
+                "FRaZ-style optimizer: searches a numeric child option to reach a target \
+                 compression ratio (or max error), then compresses at the chosen point",
+            )
+            .with("opt:compressor", "registry name of the child compressor")
+            .with("opt:option", "numeric option to tune (default pressio:abs)")
+            .with("opt:target_ratio", "compression ratio to reach")
+            .with("opt:target_max_error", "alternative objective: max abs error")
+            .with("opt:lower", "search lower bound")
+            .with("opt:upper", "search upper bound")
+            .with("opt:max_iters", "maximum trial compressions")
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        self.optimize(input)?;
+        self.child.compress(input)
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        self.child.decompress(compressed, output)
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(Opt {
+            child_name: self.child_name.clone(),
+            child: self.child.clone_compressor(),
+            option: self.option.clone(),
+            objective: self.objective,
+            lower: self.lower,
+            upper: self.upper,
+            max_iters: self.max_iters,
+            rel_tol: self.rel_tol,
+            last: self.last,
+        })
+    }
+}

@@ -1,0 +1,573 @@
+//! Parallel meta-compressors: `chunking`, `many_independent`, and
+//! `many_dependent`.
+//!
+//! These consume the thread-safety introspection of the child plugin
+//! (Section IV-B of the paper): a `Multiple`-safe child runs with one clone
+//! per worker thread; a `Serialized` or `Single` child silently degrades to
+//! sequential execution instead of racing on shared state — which is exactly
+//! the reason the interface exposes thread safety at all.
+
+use pressio_core::{
+    ByteReader, ByteWriter, Compressor, Data, Error, Options, Result, ThreadSafety, Version,
+};
+
+use crate::util::resolve_child;
+
+const CHUNK_MAGIC: u32 = 0x4348_4E4B;
+
+/// Splits the input into contiguous row blocks along the slowest dimension,
+/// compressing them in parallel when the child allows it.
+pub struct Chunking {
+    nthreads: usize,
+    child_name: String,
+    child: Box<dyn Compressor>,
+}
+
+impl Chunking {
+    /// Chunking over `noop` until configured.
+    pub fn new() -> Chunking {
+        Chunking {
+            nthreads: 4,
+            child_name: "noop".to_string(),
+            child: resolve_child("noop").expect("noop is always registered"),
+        }
+    }
+
+    fn parallel_allowed(&self) -> bool {
+        self.child.thread_safety() == ThreadSafety::Multiple
+    }
+
+    fn split(&self, dims: &[usize]) -> Vec<(usize, usize, Vec<usize>)> {
+        // (element start, element end, chunk dims)
+        let slow = dims.first().copied().unwrap_or(1).max(1);
+        let row: usize = dims.iter().skip(1).product::<usize>().max(1);
+        let workers = self.nthreads.max(1).min(slow);
+        let base = slow / workers;
+        let extra = slow % workers;
+        let mut out = Vec::with_capacity(workers);
+        let mut start_row = 0usize;
+        for w in 0..workers {
+            let rows = base + usize::from(w < extra);
+            let mut cdims = vec![rows];
+            cdims.extend_from_slice(&dims[1.min(dims.len())..]);
+            out.push((start_row * row, (start_row + rows) * row, cdims));
+            start_row += rows;
+        }
+        out
+    }
+}
+
+impl Default for Chunking {
+    fn default() -> Self {
+        Chunking::new()
+    }
+}
+
+impl Compressor for Chunking {
+    fn name(&self) -> &str {
+        "chunking"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn thread_safety(&self) -> ThreadSafety {
+        ThreadSafety::Multiple
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new()
+            .with("chunking:nthreads", self.nthreads as u32)
+            .with("chunking:compressor", self.child_name.as_str());
+        o.merge(&self.child.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(name) = options.get_as::<String>("chunking:compressor")? {
+            self.child = resolve_child(&name).map_err(|e| e.in_plugin("chunking"))?;
+            self.child_name = name;
+        }
+        if let Some(n) = options
+            .get_as::<u32>("chunking:nthreads")?
+            .or(options.get_as::<u32>(pressio_core::OPT_NTHREADS)?)
+        {
+            if n == 0 {
+                return Err(
+                    Error::invalid_argument("chunking:nthreads must be >= 1").in_plugin("chunking")
+                );
+            }
+            self.nthreads = n as usize;
+        }
+        self.child.set_options(options)
+    }
+
+    fn get_documentation(&self) -> Options {
+        Options::new()
+            .with(
+                "chunking",
+                "splits the buffer into row blocks compressed independently; runs in \
+                 parallel when the child reports thread safety 'multiple'",
+            )
+            .with("chunking:nthreads", "maximum worker threads")
+            .with("chunking:compressor", "registry name of the child compressor")
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        let chunks = self.split(input.dims());
+        let elem = input.dtype().size();
+        let bytes = input.as_bytes();
+        let dtype = input.dtype();
+        let results: Vec<Result<Data>> = if self.parallel_allowed() && chunks.len() > 1 {
+            let mut results = Vec::with_capacity(chunks.len());
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(chunks.len());
+                for (lo, hi, cdims) in &chunks {
+                    let mut worker = self.child.clone_compressor();
+                    let slice = &bytes[lo * elem..hi * elem];
+                    let cdims = cdims.clone();
+                    handles.push(scope.spawn(move |_| {
+                        let mut staged = Data::owned(dtype, cdims);
+                        staged.as_bytes_mut().copy_from_slice(slice);
+                        worker.compress(&staged)
+                    }));
+                }
+                for h in handles {
+                    results.push(h.join().expect("chunking worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            results
+        } else {
+            chunks
+                .iter()
+                .map(|(lo, hi, cdims)| {
+                    let mut staged = Data::owned(dtype, cdims.clone());
+                    staged
+                        .as_bytes_mut()
+                        .copy_from_slice(&bytes[lo * elem..hi * elem]);
+                    self.child.compress(&staged)
+                })
+                .collect()
+        };
+        let mut w = ByteWriter::new();
+        w.put_u32(CHUNK_MAGIC);
+        w.put_str(&self.child_name);
+        w.put_dtype(dtype);
+        w.put_dims(input.dims());
+        w.put_u32(chunks.len() as u32);
+        for r in results {
+            w.put_section(r?.as_bytes());
+        }
+        Ok(Data::from_bytes(&w.into_vec()))
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        let mut r = ByteReader::new(compressed.as_bytes());
+        if r.get_u32()? != CHUNK_MAGIC {
+            return Err(Error::corrupt("bad chunking magic").in_plugin("chunking"));
+        }
+        let child_name = r.get_str()?.to_string();
+        let dtype = r.get_dtype()?;
+        let dims = r.get_dims()?;
+        pressio_core::checked_geometry(dtype, &dims).map_err(|e| e.in_plugin("chunking"))?;
+        let n_chunks = r.get_u32()? as usize;
+        if child_name != self.child_name {
+            self.child = resolve_child(&child_name).map_err(|e| e.in_plugin("chunking"))?;
+            self.child_name = child_name;
+        }
+        let slow = dims.first().copied().unwrap_or(1).max(1);
+        if n_chunks == 0 || n_chunks > slow {
+            return Err(Error::corrupt("chunk count out of range").in_plugin("chunking"));
+        }
+        let mut sections = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            sections.push(r.get_section()?);
+        }
+        let row: usize = dims.iter().skip(1).product::<usize>().max(1);
+        let base = slow / n_chunks;
+        let extra = slow % n_chunks;
+        let n: usize = dims.iter().product();
+        if output.dtype() != dtype || output.num_elements() != n {
+            *output = Data::owned(dtype, dims.clone());
+        } else if output.dims() != dims {
+            output.reshape(dims.clone())?;
+        }
+        let elem = dtype.size();
+        let chunk_results: Vec<Result<Data>> = if self.parallel_allowed() && n_chunks > 1 {
+            let mut results = Vec::with_capacity(n_chunks);
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n_chunks);
+                for (wi, sec) in sections.iter().enumerate() {
+                    let rows = base + usize::from(wi < extra);
+                    let mut cdims = vec![rows];
+                    cdims.extend_from_slice(&dims[1.min(dims.len())..]);
+                    let mut worker = self.child.clone_compressor();
+                    handles.push(scope.spawn(move |_| {
+                        let mut staged = Data::owned(dtype, cdims);
+                        worker.decompress(&Data::from_bytes(sec), &mut staged)?;
+                        Ok(staged)
+                    }));
+                }
+                for h in handles {
+                    results.push(h.join().expect("chunking worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            results
+        } else {
+            sections
+                .iter()
+                .enumerate()
+                .map(|(wi, sec)| {
+                    let rows = base + usize::from(wi < extra);
+                    let mut cdims = vec![rows];
+                    cdims.extend_from_slice(&dims[1.min(dims.len())..]);
+                    let mut staged = Data::owned(dtype, cdims);
+                    self.child.decompress(&Data::from_bytes(sec), &mut staged)?;
+                    Ok(staged)
+                })
+                .collect()
+        };
+        let out_bytes = output.as_bytes_mut();
+        let mut start_row = 0usize;
+        for (wi, chunk) in chunk_results.into_iter().enumerate() {
+            let chunk = chunk?;
+            let rows = base + usize::from(wi < extra);
+            let lo = start_row * row * elem;
+            let hi = (start_row + rows) * row * elem;
+            if chunk.as_bytes().len() != hi - lo {
+                return Err(Error::corrupt("chunk size mismatch").in_plugin("chunking"));
+            }
+            out_bytes[lo..hi].copy_from_slice(chunk.as_bytes());
+            start_row += rows;
+        }
+        Ok(())
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(Chunking {
+            nthreads: self.nthreads,
+            child_name: self.child_name.clone(),
+            child: self.child.clone_compressor(),
+        })
+    }
+}
+
+/// Embarrassingly parallel compression of *multiple buffers*
+/// (`compress_many`), one child clone per worker.
+pub struct ManyIndependent {
+    nthreads: usize,
+    child_name: String,
+    child: Box<dyn Compressor>,
+}
+
+impl ManyIndependent {
+    /// Wrapper over `noop` until configured.
+    pub fn new() -> ManyIndependent {
+        ManyIndependent {
+            nthreads: 4,
+            child_name: "noop".to_string(),
+            child: resolve_child("noop").expect("noop is always registered"),
+        }
+    }
+}
+
+impl Default for ManyIndependent {
+    fn default() -> Self {
+        ManyIndependent::new()
+    }
+}
+
+impl Compressor for ManyIndependent {
+    fn name(&self) -> &str {
+        "many_independent"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn thread_safety(&self) -> ThreadSafety {
+        ThreadSafety::Multiple
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new()
+            .with("many_independent:nthreads", self.nthreads as u32)
+            .with("many_independent:compressor", self.child_name.as_str());
+        o.merge(&self.child.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(name) = options.get_as::<String>("many_independent:compressor")? {
+            self.child = resolve_child(&name).map_err(|e| e.in_plugin("many_independent"))?;
+            self.child_name = name;
+        }
+        if let Some(n) = options
+            .get_as::<u32>("many_independent:nthreads")?
+            .or(options.get_as::<u32>(pressio_core::OPT_NTHREADS)?)
+        {
+            if n == 0 {
+                return Err(Error::invalid_argument("nthreads must be >= 1")
+                    .in_plugin("many_independent"));
+            }
+            self.nthreads = n as usize;
+        }
+        self.child.set_options(options)
+    }
+
+    fn get_documentation(&self) -> Options {
+        Options::new()
+            .with(
+                "many_independent",
+                "embarrassingly parallel compression of multiple buffers; respects the \
+                 child's thread-safety introspection",
+            )
+            .with("many_independent:nthreads", "maximum worker threads")
+            .with(
+                "many_independent:compressor",
+                "registry name of the child compressor",
+            )
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        self.child.compress(input)
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        self.child.decompress(compressed, output)
+    }
+
+    fn compress_many(&mut self, inputs: &[&Data]) -> Result<Vec<Data>> {
+        if self.child.thread_safety() != ThreadSafety::Multiple || inputs.len() <= 1 {
+            // Serialized/Single children must not run concurrently.
+            return inputs.iter().map(|d| self.child.compress(d)).collect();
+        }
+        let workers = self.nthreads.min(inputs.len()).max(1);
+        let cells: Vec<ResultCell> = (0..inputs.len()).map(|_| ResultCell::default()).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let mut worker = self.child.clone_compressor();
+                let next = &next;
+                let cells = &cells;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let r = worker.compress(inputs[i]);
+                    cells[i].store(r);
+                });
+            }
+        })
+        .expect("crossbeam scope");
+        cells.into_iter().map(|c| c.take()).collect()
+    }
+
+    fn decompress_many(&mut self, compressed: &[&Data], outputs: &mut [Data]) -> Result<()> {
+        if compressed.len() != outputs.len() {
+            return Err(Error::invalid_argument("length mismatch").in_plugin("many_independent"));
+        }
+        if self.child.thread_safety() != ThreadSafety::Multiple || compressed.len() <= 1 {
+            for (c, o) in compressed.iter().zip(outputs.iter_mut()) {
+                self.child.decompress(c, o)?;
+            }
+            return Ok(());
+        }
+        let workers = self.nthreads.min(compressed.len()).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut errs: Vec<Result<()>> = Vec::new();
+        // Distribute outputs across workers via work stealing on index; each
+        // output cell is claimed by exactly one task.
+        let cells: Vec<parking_lot::Mutex<Option<&mut Data>>> = outputs
+            .iter_mut()
+            .map(|o| parking_lot::Mutex::new(Some(o)))
+            .collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let cells = &cells;
+            for _ in 0..workers {
+                let mut worker = self.child.clone_compressor();
+                let next = &next;
+                handles.push(scope.spawn(move |_| -> Result<()> {
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= compressed.len() {
+                            return Ok(());
+                        }
+                        let mut guard = cells[i].lock();
+                        let out = guard.as_mut().expect("each cell taken once");
+                        worker.decompress(compressed[i], out)?;
+                    }
+                }));
+            }
+            for h in handles {
+                errs.push(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        for e in errs {
+            e?;
+        }
+        Ok(())
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(ManyIndependent {
+            nthreads: self.nthreads,
+            child_name: self.child_name.clone(),
+            child: self.child.clone_compressor(),
+        })
+    }
+}
+
+/// A write-once result cell used by the parallel fan-out above.
+#[derive(Default)]
+struct ResultCell {
+    slot: parking_lot::Mutex<Option<Result<Data>>>,
+}
+
+impl ResultCell {
+    fn store(&self, r: Result<Data>) {
+        *self.slot.lock() = Some(r);
+    }
+
+    fn take(self) -> Result<Data> {
+        self.slot
+            .into_inner()
+            .unwrap_or_else(|| Err(Error::internal("worker never produced a result")))
+    }
+}
+
+/// Sequential pipeline over multiple buffers where a metric observed on each
+/// buffer configures the next one (the glossary's *Many Dependent*, used to
+/// forward a configuration guess between time steps).
+pub struct ManyDependent {
+    child_name: String,
+    child: Box<dyn Compressor>,
+    /// Metrics result key to observe (e.g. `error_stat:value_range`).
+    source: String,
+    /// Child option key to set from the observed value (e.g. `pressio:abs`).
+    target: String,
+    /// Scale factor applied to the observed value before forwarding.
+    scale: f64,
+}
+
+impl ManyDependent {
+    /// Pipeline over `noop` until configured.
+    pub fn new() -> ManyDependent {
+        ManyDependent {
+            child_name: "noop".to_string(),
+            child: resolve_child("noop").expect("noop is always registered"),
+            source: "error_stat:value_range".to_string(),
+            target: String::new(),
+            scale: 1.0,
+        }
+    }
+}
+
+impl Default for ManyDependent {
+    fn default() -> Self {
+        ManyDependent::new()
+    }
+}
+
+impl Compressor for ManyDependent {
+    fn name(&self) -> &str {
+        "many_dependent"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn thread_safety(&self) -> ThreadSafety {
+        self.child.thread_safety()
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new()
+            .with("many_dependent:compressor", self.child_name.as_str())
+            .with("many_dependent:source", self.source.as_str())
+            .with("many_dependent:target", self.target.as_str())
+            .with("many_dependent:scale", self.scale);
+        o.merge(&self.child.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(name) = options.get_as::<String>("many_dependent:compressor")? {
+            self.child = resolve_child(&name).map_err(|e| e.in_plugin("many_dependent"))?;
+            self.child_name = name;
+        }
+        if let Some(s) = options.get_as::<String>("many_dependent:source")? {
+            self.source = s;
+        }
+        if let Some(t) = options.get_as::<String>("many_dependent:target")? {
+            self.target = t;
+        }
+        if let Some(s) = options.get_as::<f64>("many_dependent:scale")? {
+            self.scale = s;
+        }
+        self.child.set_options(options)
+    }
+
+    fn get_documentation(&self) -> Options {
+        Options::new()
+            .with(
+                "many_dependent",
+                "sequential multi-buffer pipeline: a metric observed on buffer i \
+                 configures buffer i+1 (configuration forwarding between time steps)",
+            )
+            .with("many_dependent:source", "metrics result key to observe")
+            .with("many_dependent:target", "child option key to set from it")
+            .with("many_dependent:scale", "factor applied before forwarding")
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        self.child.compress(input)
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        self.child.decompress(compressed, output)
+    }
+
+    fn compress_many(&mut self, inputs: &[&Data]) -> Result<Vec<Data>> {
+        let mut out = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            // Observe the source metric on this buffer...
+            if !self.target.is_empty() {
+                let observed = match self.source.as_str() {
+                    "error_stat:value_range" => {
+                        let vals = input.to_f64_vec()?;
+                        Some(pressio_core::value_range(&vals))
+                    }
+                    _ => None,
+                };
+                // ...and forward it (scaled) to configure this and later
+                // buffers — the first buffer establishes the guess.
+                if let Some(v) = observed {
+                    let mut o = Options::new();
+                    o.set(self.target.clone(), v * self.scale);
+                    self.child.set_options(&o)?;
+                }
+            }
+            out.push(self.child.compress(input)?);
+        }
+        Ok(out)
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(ManyDependent {
+            child_name: self.child_name.clone(),
+            child: self.child.clone_compressor(),
+            source: self.source.clone(),
+            target: self.target.clone(),
+            scale: self.scale,
+        })
+    }
+}

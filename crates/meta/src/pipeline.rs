@@ -1,0 +1,146 @@
+//! `pipeline`: chains several compressor plugins into one.
+//!
+//! The first stage sees the real typed data; each later stage compresses the
+//! previous stage's byte stream. This is the paper's "experiment with
+//! different compressor designs out of their consistent functional parts"
+//! mechanism — e.g. `linear_quantizer` → `shuffle` → `deflate` composes a new
+//! lossy compressor out of reusable stages.
+
+use pressio_core::{
+    ByteReader, ByteWriter, Compressor, DType, Data, Error, Options, Result, ThreadSafety,
+    Version,
+};
+
+use crate::util::resolve_child;
+
+const PIPELINE_MAGIC: u32 = 0x5049_5045;
+
+/// A chain of compressor stages applied in sequence.
+pub struct Pipeline {
+    names: Vec<String>,
+    stages: Vec<Box<dyn Compressor>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (identity until configured).
+    pub fn new() -> Pipeline {
+        Pipeline {
+            names: Vec::new(),
+            stages: Vec::new(),
+        }
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+impl Compressor for Pipeline {
+    fn name(&self) -> &str {
+        "pipeline"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn thread_safety(&self) -> ThreadSafety {
+        self.stages
+            .iter()
+            .map(|s| s.thread_safety())
+            .min()
+            .unwrap_or(ThreadSafety::Multiple)
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new().with("pipeline:stages", self.names.clone());
+        for s in &self.stages {
+            o.merge(&s.get_options());
+        }
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(names) = options.get_as::<Vec<String>>("pipeline:stages")? {
+            let mut stages = Vec::with_capacity(names.len());
+            for n in &names {
+                stages.push(resolve_child(n).map_err(|e| e.in_plugin("pipeline"))?);
+            }
+            self.names = names;
+            self.stages = stages;
+        }
+        for s in &mut self.stages {
+            s.set_options(options)?;
+        }
+        Ok(())
+    }
+
+    fn get_documentation(&self) -> Options {
+        Options::new()
+            .with(
+                "pipeline",
+                "chains compressor stages; stage 1 sees typed data, later stages see bytes",
+            )
+            .with("pipeline:stages", "ordered list of stage plugin names")
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        if self.stages.is_empty() {
+            return Err(Error::invalid_argument("pipeline:stages is not set").in_plugin("pipeline"));
+        }
+        let mut current = self.stages[0].compress(input)?;
+        for s in self.stages.iter_mut().skip(1) {
+            current = s.compress(&current)?;
+        }
+        let mut w = ByteWriter::with_capacity(current.size_in_bytes() + 64);
+        w.put_u32(PIPELINE_MAGIC);
+        w.put_u32(self.names.len() as u32);
+        for n in &self.names {
+            w.put_str(n);
+        }
+        w.put_section(current.as_bytes());
+        Ok(Data::from_bytes(&w.into_vec()))
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        let mut r = ByteReader::new(compressed.as_bytes());
+        if r.get_u32()? != PIPELINE_MAGIC {
+            return Err(Error::corrupt("bad pipeline magic").in_plugin("pipeline"));
+        }
+        let n = r.get_u32()? as usize;
+        if n == 0 || n > 64 {
+            return Err(Error::corrupt("pipeline stage count out of range"));
+        }
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            names.push(r.get_str()?.to_string());
+        }
+        let payload = r.get_section()?;
+        if names != self.names {
+            let mut stages = Vec::with_capacity(names.len());
+            for nm in &names {
+                stages.push(resolve_child(nm).map_err(|e| e.in_plugin("pipeline"))?);
+            }
+            self.names = names;
+            self.stages = stages;
+        }
+        // Unwind the stages: streams are self-describing, so intermediate
+        // buffers start as empty byte buffers the plugins reshape.
+        let mut current = Data::from_bytes(payload);
+        for i in (1..self.stages.len()).rev() {
+            let mut staged = Data::owned(DType::Byte, vec![0]);
+            self.stages[i].decompress(&current, &mut staged)?;
+            current = staged;
+        }
+        self.stages[0].decompress(&current, output)
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(Pipeline {
+            names: self.names.clone(),
+            stages: self.stages.iter().map(|s| s.clone_compressor()).collect(),
+        })
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared helpers for meta-compressors.
+
+use pressio_core::{registry, Compressor, Error, Result};
+
+/// Instantiate a child compressor by registry name.
+pub fn resolve_child(name: &str) -> Result<Box<dyn Compressor>> {
+    Ok(registry().compressor(name)?.into_inner())
+}
+
+/// Nd transpose of raw element bytes.
+///
+/// `dims` are the input dims (C order), `axes` maps output axis -> input
+/// axis (a permutation). Returns the permuted bytes and the output dims.
+pub fn transpose_bytes(
+    bytes: &[u8],
+    dims: &[usize],
+    axes: &[usize],
+    elem: usize,
+) -> Result<(Vec<u8>, Vec<usize>)> {
+    let nd = dims.len();
+    if axes.len() != nd {
+        return Err(Error::invalid_argument(format!(
+            "axes {axes:?} must have the same length as dims {dims:?}"
+        )));
+    }
+    let mut seen = vec![false; nd];
+    for &a in axes {
+        if a >= nd || seen[a] {
+            return Err(Error::invalid_argument(format!(
+                "axes {axes:?} is not a permutation of 0..{nd}"
+            )));
+        }
+        seen[a] = true;
+    }
+    let n: usize = dims.iter().product();
+    if bytes.len() != n * elem {
+        return Err(Error::invalid_argument(
+            "byte length does not match dims and element size",
+        ));
+    }
+    // Input strides (elements).
+    let mut in_strides = vec![1usize; nd];
+    for i in (0..nd.saturating_sub(1)).rev() {
+        in_strides[i] = in_strides[i + 1] * dims[i + 1];
+    }
+    let out_dims: Vec<usize> = axes.iter().map(|&a| dims[a]).collect();
+    let mut out = vec![0u8; bytes.len()];
+    // Iterate output indices in order; compute the matching input index.
+    let mut coord = vec![0usize; nd];
+    for (oi, chunk) in out.chunks_exact_mut(elem).enumerate() {
+        // Decompose oi into output coords.
+        let mut rem = oi;
+        for (k, &od) in out_dims.iter().enumerate().rev() {
+            coord[k] = rem % od;
+            rem /= od;
+        }
+        let mut ii = 0usize;
+        for (k, &a) in axes.iter().enumerate() {
+            ii += coord[k] * in_strides[a];
+        }
+        chunk.copy_from_slice(&bytes[ii * elem..(ii + 1) * elem]);
+    }
+    Ok((out, out_dims))
+}
+
+/// Parse a comma-separated list of unsigned integers (e.g. `"2,0,1"`).
+pub fn parse_usize_list(s: &str) -> Result<Vec<usize>> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| Error::invalid_argument(format!("cannot parse {p:?} as an index")))
+        })
+        .collect()
+}
+
+/// Inverse of a permutation.
+pub fn invert_axes(axes: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; axes.len()];
+    for (i, &a) in axes.iter().enumerate() {
+        inv[a] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_2d_known() {
+        // 2x3 row-major [[1,2,3],[4,5,6]] -> 3x2 [[1,4],[2,5],[3,6]].
+        let vals: Vec<u8> = vec![1, 2, 3, 4, 5, 6];
+        let (out, dims) = transpose_bytes(&vals, &[2, 3], &[1, 0], 1).unwrap();
+        assert_eq!(dims, vec![3, 2]);
+        assert_eq!(out, vec![1, 4, 2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn transpose_roundtrip_3d_multibyte() {
+        let dims = [3usize, 4, 5];
+        let n: usize = dims.iter().product();
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let bytes = pressio_core::elements_as_bytes(&vals);
+        let axes = [2usize, 0, 1];
+        let (t, tdims) = transpose_bytes(bytes, &dims, &axes, 4).unwrap();
+        assert_eq!(tdims, vec![5, 3, 4]);
+        let inv = invert_axes(&axes);
+        let (back, bdims) = transpose_bytes(&t, &tdims, &inv, 4).unwrap();
+        assert_eq!(bdims, dims.to_vec());
+        assert_eq!(back, bytes);
+    }
+
+    #[test]
+    fn identity_permutation() {
+        let vals = vec![9u8, 8, 7, 6];
+        let (out, dims) = transpose_bytes(&vals, &[4], &[0], 1).unwrap();
+        assert_eq!(out, vals);
+        assert_eq!(dims, vec![4]);
+    }
+
+    #[test]
+    fn invalid_axes_rejected() {
+        let vals = vec![0u8; 6];
+        assert!(transpose_bytes(&vals, &[2, 3], &[0], 1).is_err());
+        assert!(transpose_bytes(&vals, &[2, 3], &[0, 0], 1).is_err());
+        assert!(transpose_bytes(&vals, &[2, 3], &[0, 2], 1).is_err());
+    }
+
+    #[test]
+    fn parse_list() {
+        assert_eq!(parse_usize_list("2, 0,1").unwrap(), vec![2, 0, 1]);
+        assert!(parse_usize_list("a,b").is_err());
+    }
+
+    #[test]
+    fn invert() {
+        assert_eq!(invert_axes(&[2, 0, 1]), vec![1, 2, 0]);
+        assert_eq!(invert_axes(&[0, 1]), vec![0, 1]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the meta-compressors: composition must preserve
+//! the child's guarantees for arbitrary geometry and thread counts, and
+//! corrupt envelopes must fail cleanly.
+
+use pressio_core::{Compressor, DType, Data, Options};
+use proptest::prelude::*;
+
+fn init() {
+    pressio_codecs::register_builtins();
+    pressio_sz::register_builtins();
+    pressio_meta::register_builtins();
+}
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn chunking_preserves_bound_for_any_geometry(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        threads in 1u32..9,
+        seed in any::<u64>(),
+    ) {
+        init();
+        let mut s = seed | 1;
+        let vals: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 100.0
+            })
+            .collect();
+        let input = Data::from_vec(vals.clone(), vec![rows, cols]).unwrap();
+        let mut c = pressio_meta::Chunking::new();
+        c.set_options(
+            &Options::new()
+                .with("chunking:compressor", "sz_threadsafe")
+                .with("chunking:nthreads", threads)
+                .with(pressio_core::OPT_ABS, 1e-3f64),
+        )
+        .unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![rows, cols]);
+        c.decompress(&compressed, &mut out).unwrap();
+        prop_assert!(max_err(&vals, out.as_slice::<f64>().unwrap()) <= 1e-3);
+    }
+
+    #[test]
+    fn transpose_roundtrips_any_permutation(
+        dims in proptest::collection::vec(1usize..8, 1..4),
+        perm_seed in any::<u64>(),
+    ) {
+        init();
+        let n: usize = dims.iter().product();
+        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        let input = Data::from_vec(vals, dims.clone()).unwrap();
+        let mut axes: Vec<usize> = (0..dims.len()).collect();
+        let mut s = perm_seed;
+        for i in (1..axes.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            axes.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let axes_str = axes.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",");
+        let mut t = pressio_meta::Transpose::new();
+        t.set_options(
+            &Options::new()
+                .with("transpose:axes", axes_str)
+                .with("transpose:compressor", "deflate"),
+        )
+        .unwrap();
+        let compressed = t.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, dims.clone());
+        t.decompress(&compressed, &mut out).unwrap();
+        prop_assert_eq!(out, input);
+    }
+
+    #[test]
+    fn pipeline_of_lossless_stages_is_lossless(
+        stage_pick in proptest::collection::vec(0usize..4, 1..4),
+        vals in proptest::collection::vec(any::<u32>(), 1..512),
+    ) {
+        init();
+        let names = ["rle", "lz", "deflate", "huffman"];
+        let stages: Vec<String> = stage_pick.iter().map(|&i| names[i].to_string()).collect();
+        let n = vals.len();
+        let input = Data::from_vec(vals, vec![n]).unwrap();
+        let mut p = pressio_meta::Pipeline::new();
+        p.set_options(&Options::new().with("pipeline:stages", stages)).unwrap();
+        let compressed = p.compress(&input).unwrap();
+        let mut out = Data::owned(DType::U32, vec![n]);
+        p.decompress(&compressed, &mut out).unwrap();
+        prop_assert_eq!(out, input);
+    }
+
+    #[test]
+    fn corrupt_meta_envelopes_never_panic(
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..8),
+        which in 0usize..4,
+    ) {
+        init();
+        let vals: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+        let input = Data::from_vec(vals, vec![16, 16]).unwrap();
+        let (name, opts) = match which {
+            0 => ("chunking", Options::new().with("chunking:compressor", "deflate")),
+            1 => ("transpose", Options::new().with("transpose:compressor", "deflate")),
+            2 => ("cast", Options::new().with("cast:dtype", "float").with("cast:compressor", "deflate")),
+            _ => ("sample", Options::new().with("sample:rate", 2u64).with("sample:compressor", "deflate")),
+        };
+        let mut c = pressio_core::registry().compressor(name).unwrap();
+        c.set_options(&opts).unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut bad = compressed.as_bytes().to_vec();
+        for (pos, bit) in flips {
+            let at = pos as usize % bad.len();
+            bad[at] ^= 1 << bit;
+        }
+        let mut out = Data::owned(DType::F64, vec![16, 16]);
+        let _ = c.decompress(&Data::from_bytes(&bad), &mut out);
+        let _ = c.decompress(&Data::from_bytes(&bad[..bad.len() / 3]), &mut out);
+    }
+
+    #[test]
+    fn noise_scale_controls_error_magnitude(
+        scale_exp in -6i32..0,
+        seed in any::<u64>(),
+    ) {
+        init();
+        let scale = 10f64.powi(scale_exp);
+        let vals: Vec<f64> = (0..512).map(|i| i as f64 * 0.01).collect();
+        let input = Data::from_vec(vals.clone(), vec![512]).unwrap();
+        let mut n = pressio_meta::NoiseInjector::new();
+        n.set_options(
+            &Options::new()
+                .with("noise:compressor", "noop")
+                .with("noise:dist", "uniform")
+                .with("noise:scale", scale)
+                .with("noise:seed", seed),
+        )
+        .unwrap();
+        let compressed = n.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![512]);
+        n.decompress(&compressed, &mut out).unwrap();
+        let err = max_err(&vals, out.as_slice::<f64>().unwrap());
+        prop_assert!(err <= scale);
+    }
+}

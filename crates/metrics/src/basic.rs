@@ -1,0 +1,129 @@
+//! The `size` and `time` metrics plugins.
+
+use std::time::Duration;
+
+use pressio_core::{Data, MetricsPlugin, Options};
+
+/// Compressed/uncompressed sizes, compression ratio, and bit rate.
+#[derive(Debug, Clone, Default)]
+pub struct SizeMetric {
+    uncompressed: Option<u64>,
+    compressed: Option<u64>,
+    decompressed: Option<u64>,
+    elements: Option<u64>,
+}
+
+impl MetricsPlugin for SizeMetric {
+    fn name(&self) -> &str {
+        "size"
+    }
+
+    fn end_compress(&mut self, input: &Data, compressed: &Data, _t: Duration) {
+        self.uncompressed = Some(input.size_in_bytes() as u64);
+        self.compressed = Some(compressed.size_in_bytes() as u64);
+        self.elements = Some(input.num_elements() as u64);
+    }
+
+    fn end_decompress(&mut self, _compressed: &Data, output: &Data, _t: Duration) {
+        self.decompressed = Some(output.size_in_bytes() as u64);
+    }
+
+    fn results(&self) -> Options {
+        let mut o = Options::new();
+        if let Some(u) = self.uncompressed {
+            o.set("size:uncompressed_size", u);
+        }
+        if let Some(c) = self.compressed {
+            o.set("size:compressed_size", c);
+        }
+        if let Some(d) = self.decompressed {
+            o.set("size:decompressed_size", d);
+        }
+        if let (Some(u), Some(c)) = (self.uncompressed, self.compressed) {
+            if c > 0 {
+                o.set("size:compression_ratio", u as f64 / c as f64);
+            }
+            if let Some(n) = self.elements {
+                if n > 0 {
+                    o.set("size:bit_rate", c as f64 * 8.0 / n as f64);
+                }
+            }
+        }
+        o
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Wall-clock compression and decompression times.
+#[derive(Debug, Clone, Default)]
+pub struct TimeMetric {
+    compress_ms: Option<f64>,
+    decompress_ms: Option<f64>,
+}
+
+impl MetricsPlugin for TimeMetric {
+    fn name(&self) -> &str {
+        "time"
+    }
+
+    fn end_compress(&mut self, _i: &Data, _c: &Data, t: Duration) {
+        self.compress_ms = Some(t.as_secs_f64() * 1e3);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, _o: &Data, t: Duration) {
+        self.decompress_ms = Some(t.as_secs_f64() * 1e3);
+    }
+
+    fn results(&self) -> Options {
+        let mut o = Options::new();
+        if let Some(t) = self.compress_ms {
+            o.set("time:compress", t);
+        }
+        if let Some(t) = self.decompress_ms {
+            o.set("time:decompress", t);
+        }
+        o
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_metric_computes_ratio_and_bitrate() {
+        let mut m = SizeMetric::default();
+        let input = Data::from_vec(vec![0.0f64; 1000], vec![1000]).unwrap();
+        let compressed = Data::from_bytes(&vec![0u8; 800]);
+        m.end_compress(&input, &compressed, Duration::from_millis(1));
+        let r = m.results();
+        assert_eq!(r.get_as::<u64>("size:uncompressed_size").unwrap(), Some(8000));
+        assert_eq!(r.get_as::<u64>("size:compressed_size").unwrap(), Some(800));
+        assert_eq!(r.get_as::<f64>("size:compression_ratio").unwrap(), Some(10.0));
+        assert_eq!(r.get_as::<f64>("size:bit_rate").unwrap(), Some(6.4));
+    }
+
+    #[test]
+    fn size_metric_empty_before_use() {
+        let m = SizeMetric::default();
+        assert!(m.results().is_empty());
+    }
+
+    #[test]
+    fn time_metric_records_both_phases() {
+        let mut m = TimeMetric::default();
+        let d = Data::from_bytes(&[1, 2, 3]);
+        m.end_compress(&d, &d, Duration::from_micros(1500));
+        m.end_decompress(&d, &d, Duration::from_micros(500));
+        let r = m.results();
+        assert!((r.get_as::<f64>("time:compress").unwrap().unwrap() - 1.5).abs() < 1e-9);
+        assert!((r.get_as::<f64>("time:decompress").unwrap().unwrap() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! The `composite` metric: derived quantities computed from other metrics'
+//! raw observations (compression/decompression bandwidth, total time),
+//! mirroring LibPressio's composite metrics module.
+
+use std::time::Duration;
+
+use pressio_core::{Data, MetricsPlugin, Options};
+
+/// Derives bandwidths and aggregate timings from the sizes and wall times it
+/// observes directly.
+#[derive(Debug, Clone, Default)]
+pub struct CompositeMetric {
+    uncompressed_bytes: Option<u64>,
+    compressed_bytes: Option<u64>,
+    compress_s: Option<f64>,
+    decompress_s: Option<f64>,
+}
+
+impl MetricsPlugin for CompositeMetric {
+    fn name(&self) -> &str {
+        "composite"
+    }
+
+    fn end_compress(&mut self, input: &Data, compressed: &Data, t: Duration) {
+        self.uncompressed_bytes = Some(input.size_in_bytes() as u64);
+        self.compressed_bytes = Some(compressed.size_in_bytes() as u64);
+        self.compress_s = Some(t.as_secs_f64());
+    }
+
+    fn end_decompress(&mut self, _compressed: &Data, _output: &Data, t: Duration) {
+        self.decompress_s = Some(t.as_secs_f64());
+    }
+
+    fn results(&self) -> Options {
+        let mut o = Options::new();
+        if let (Some(bytes), Some(secs)) = (self.uncompressed_bytes, self.compress_s) {
+            if secs > 0.0 {
+                o.set(
+                    "composite:compression_rate",
+                    bytes as f64 / secs / 1e6, // MB/s of input consumed
+                );
+            }
+        }
+        if let (Some(bytes), Some(secs)) = (self.uncompressed_bytes, self.decompress_s) {
+            if secs > 0.0 {
+                o.set(
+                    "composite:decompression_rate",
+                    bytes as f64 / secs / 1e6, // MB/s of output produced
+                );
+            }
+        }
+        if let (Some(c), Some(d)) = (self.compress_s, self.decompress_s) {
+            o.set("composite:total_time_ms", (c + d) * 1e3);
+        }
+        if let (Some(u), Some(c)) = (self.uncompressed_bytes, self.compressed_bytes) {
+            if u > 0 {
+                o.set("composite:space_saving_percent", (1.0 - c as f64 / u as f64) * 100.0);
+            }
+        }
+        o
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_rates_and_savings() {
+        let mut m = CompositeMetric::default();
+        let input = Data::owned(pressio_core::DType::F64, vec![125_000]); // 1 MB
+        let compressed = Data::from_bytes(&vec![0u8; 250_000]); // 4x
+        m.end_compress(&input, &compressed, Duration::from_millis(100));
+        m.end_decompress(&compressed, &input, Duration::from_millis(50));
+        let r = m.results();
+        let comp_rate = r.get_as::<f64>("composite:compression_rate").unwrap().unwrap();
+        assert!((comp_rate - 10.0).abs() < 1e-9, "1MB/0.1s = 10 MB/s, got {comp_rate}");
+        let dec_rate = r
+            .get_as::<f64>("composite:decompression_rate")
+            .unwrap()
+            .unwrap();
+        assert!((dec_rate - 20.0).abs() < 1e-9);
+        assert!(
+            (r.get_as::<f64>("composite:total_time_ms").unwrap().unwrap() - 150.0).abs() < 1e-9
+        );
+        assert!(
+            (r.get_as::<f64>("composite:space_saving_percent").unwrap().unwrap() - 75.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn empty_until_observed() {
+        let m = CompositeMetric::default();
+        assert!(m.results().is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Distributional quality metrics: `ks_test`, `kl_divergence`, and
+//! `diff_pdf` (the empirical probability density of the errors).
+
+use std::time::Duration;
+
+use pressio_core::{Data, MetricsPlugin, Options, Result};
+
+use crate::quality::Captured;
+use crate::stats::{self, Histogram};
+
+/// Two-sample Kolmogorov–Smirnov test between original and decompressed
+/// value distributions.
+#[derive(Debug, Clone, Default)]
+pub struct KsTestMetric {
+    captured: Captured,
+    results: Options,
+}
+
+impl MetricsPlugin for KsTestMetric {
+    fn name(&self) -> &str {
+        "ks_test"
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        self.captured.capture(input);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some(orig) = self.captured.values.as_deref() else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        let d = stats::ks_statistic(orig, &dec);
+        let p = stats::ks_pvalue(d, orig.len(), dec.len());
+        self.results = Options::new()
+            .with("ks_test:d", d)
+            .with("ks_test:pvalue", p);
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Kullback–Leibler divergence between the histograms of the original and
+/// decompressed values (both directions).
+#[derive(Debug, Clone)]
+pub struct KlDivergenceMetric {
+    bins: usize,
+    captured: Captured,
+    results: Options,
+}
+
+impl Default for KlDivergenceMetric {
+    fn default() -> Self {
+        KlDivergenceMetric {
+            bins: 256,
+            captured: Captured::default(),
+            results: Options::new(),
+        }
+    }
+}
+
+impl MetricsPlugin for KlDivergenceMetric {
+    fn name(&self) -> &str {
+        "kl_divergence"
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new().with("kl_divergence:bins", self.bins as u64)
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(b) = options.get_as::<u64>("kl_divergence:bins")? {
+            if b == 0 || b > 1 << 24 {
+                return Err(pressio_core::Error::invalid_argument(
+                    "kl_divergence:bins must be in [1, 2^24]",
+                ));
+            }
+            self.bins = b as usize;
+        }
+        Ok(())
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        self.captured.capture(input);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some(orig) = self.captured.values.as_deref() else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        // Shared binning over the union range so the pdfs are comparable.
+        let all = stats::describe(
+            orig.iter().chain(dec.iter()).copied().filter(|v| v.is_finite()),
+        );
+        let range = Some((all.min, all.max));
+        let p = Histogram::build_range(orig, self.bins, range).pdf();
+        let q = Histogram::build_range(&dec, self.bins, range).pdf();
+        self.results = Options::new()
+            .with("kl_divergence:forward", stats::kl_divergence(&p, &q))
+            .with("kl_divergence:reverse", stats::kl_divergence(&q, &p));
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Empirical probability density function of the (decompressed − original)
+/// differences, exposed as a data buffer plus its range.
+#[derive(Debug, Clone)]
+pub struct DiffPdfMetric {
+    bins: usize,
+    captured: Captured,
+    results: Options,
+}
+
+impl Default for DiffPdfMetric {
+    fn default() -> Self {
+        DiffPdfMetric {
+            bins: 101,
+            captured: Captured::default(),
+            results: Options::new(),
+        }
+    }
+}
+
+impl MetricsPlugin for DiffPdfMetric {
+    fn name(&self) -> &str {
+        "diff_pdf"
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new().with("diff_pdf:bins", self.bins as u64)
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(b) = options.get_as::<u64>("diff_pdf:bins")? {
+            if b == 0 || b > 1 << 24 {
+                return Err(pressio_core::Error::invalid_argument(
+                    "diff_pdf:bins must be in [1, 2^24]",
+                ));
+            }
+            self.bins = b as usize;
+        }
+        Ok(())
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        self.captured.capture(input);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some(orig) = self.captured.values.as_deref() else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        if orig.len() != dec.len() {
+            return;
+        }
+        let diffs: Vec<f64> = orig.iter().zip(&dec).map(|(a, b)| b - a).collect();
+        let h = Histogram::build(&diffs, self.bins);
+        let pdf = h.pdf();
+        let mut o = Options::new()
+            .with("diff_pdf:min", h.min)
+            .with("diff_pdf:max", h.max);
+        if let Ok(buf) = Data::from_slice(&pdf, vec![pdf.len()]) {
+            o.set("diff_pdf:pdf", buf);
+        }
+        self.results = o;
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pressio_core::OptionValue;
+
+    fn run_pair(m: &mut dyn MetricsPlugin, orig: &[f64], dec: &[f64]) -> Options {
+        let input = Data::from_slice(orig, vec![orig.len()]).unwrap();
+        let output = Data::from_slice(dec, vec![dec.len()]).unwrap();
+        let fake = Data::from_bytes(&[0]);
+        m.end_compress(&input, &fake, Duration::ZERO);
+        m.end_decompress(&fake, &output, Duration::ZERO);
+        m.results()
+    }
+
+    #[test]
+    fn ks_accepts_identical_distributions() {
+        let orig: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin()).collect();
+        let r = run_pair(&mut KsTestMetric::default(), &orig, &orig);
+        assert_eq!(r.get_as::<f64>("ks_test:d").unwrap(), Some(0.0));
+        assert!(r.get_as::<f64>("ks_test:pvalue").unwrap().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn ks_rejects_shifted_distributions() {
+        let orig: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let dec: Vec<f64> = orig.iter().map(|v| v + 10.0).collect();
+        let r = run_pair(&mut KsTestMetric::default(), &orig, &dec);
+        assert!(r.get_as::<f64>("ks_test:pvalue").unwrap().unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn kl_small_for_tiny_perturbation() {
+        let orig: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let dec: Vec<f64> = orig.iter().map(|v| v + 1e-9).collect();
+        let r = run_pair(&mut KlDivergenceMetric::default(), &orig, &dec);
+        let fwd = r.get_as::<f64>("kl_divergence:forward").unwrap().unwrap();
+        assert!(fwd < 1e-3, "kl = {fwd}");
+    }
+
+    #[test]
+    fn diff_pdf_centers_on_bias() {
+        let orig = vec![0.0f64; 1000];
+        let dec = vec![0.25f64; 1000];
+        let mut m = DiffPdfMetric::default();
+        m.set_options(&Options::new().with("diff_pdf:bins", 11u64)).unwrap();
+        let r = run_pair(&mut m, &orig, &dec);
+        match r.get("diff_pdf:pdf").unwrap() {
+            OptionValue::Data(d) => {
+                let pdf = d.as_slice::<f64>().unwrap();
+                assert_eq!(pdf.len(), 11);
+                assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            }
+            other => panic!("expected data option, got {other:?}"),
+        }
+        assert_eq!(r.get_as::<f64>("diff_pdf:min").unwrap(), Some(0.25));
+    }
+}

@@ -1,0 +1,205 @@
+//! The `critical_points` metric — a small FTK-style feature-preservation
+//! check (the glossary's Feature Detection Toolkit entry): does lossy
+//! compression preserve the *topological features* scientists visualize?
+//!
+//! Local extrema (strict maxima/minima over the face-adjacent neighborhood)
+//! are extracted from the original and the decompressed field; the metric
+//! reports counts and the fraction of original extrema preserved at the same
+//! location and kind.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use pressio_core::{Data, MetricsPlugin, Options};
+
+/// Kinds of detected critical points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    Min,
+    Max,
+}
+
+/// Find strict local extrema over face-adjacent neighbors of an n-d grid
+/// (n-d layout inferred from `dims`, C order).
+fn critical_points(values: &[f64], dims: &[usize]) -> BTreeSet<(usize, Kind)> {
+    let nd = dims.len();
+    let mut strides = vec![1usize; nd];
+    for i in (0..nd.saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    let n = values.len();
+    let mut out = BTreeSet::new();
+    let mut coord = vec![0usize; nd];
+    for (i, &v) in values.iter().enumerate() {
+        if !v.is_finite() {
+            continue;
+        }
+        // Decompose i into coords.
+        let mut rem = i;
+        for k in (0..nd).rev() {
+            coord[k] = rem % dims[k];
+            rem /= dims[k];
+        }
+        let mut is_max = true;
+        let mut is_min = true;
+        let mut has_neighbor = false;
+        for k in 0..nd {
+            for dir in [-1isize, 1] {
+                let c = coord[k] as isize + dir;
+                if c < 0 || c as usize >= dims[k] {
+                    continue;
+                }
+                let j = (i as isize + dir * strides[k] as isize) as usize;
+                debug_assert!(j < n);
+                has_neighbor = true;
+                let w = values[j];
+                // NaN neighbors (incomparable) disqualify both kinds,
+                // which the <= / >= forms encode directly.
+                if v <= w || v.partial_cmp(&w).is_none() {
+                    is_max = false;
+                }
+                if v >= w || v.partial_cmp(&w).is_none() {
+                    is_min = false;
+                }
+            }
+        }
+        if has_neighbor {
+            if is_max {
+                out.insert((i, Kind::Max));
+            } else if is_min {
+                out.insert((i, Kind::Min));
+            }
+        }
+    }
+    out
+}
+
+/// The `critical_points` metrics plugin.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPointsMetric {
+    original: Option<(Vec<f64>, Vec<usize>)>,
+    results: Options,
+}
+
+impl MetricsPlugin for CriticalPointsMetric {
+    fn name(&self) -> &str {
+        "critical_points"
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        if let Ok(v) = input.to_f64_vec() {
+            self.original = Some((v, input.dims().to_vec()));
+        }
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some((orig, dims)) = &self.original else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        if dec.len() != orig.len() {
+            return;
+        }
+        let before = critical_points(orig, dims);
+        let after = critical_points(&dec, dims);
+        let preserved = before.intersection(&after).count();
+        let mut o = Options::new();
+        o.set("critical_points:original", before.len() as u64);
+        o.set("critical_points:decompressed", after.len() as u64);
+        o.set(
+            "critical_points:spurious",
+            after.difference(&before).count() as u64,
+        );
+        if !before.is_empty() {
+            o.set(
+                "critical_points:preserved_fraction",
+                preserved as f64 / before.len() as f64,
+            );
+        }
+        self.results = o;
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_extrema_in_1d() {
+        //            min       max            max(edge has neighbor)
+        let v = [3.0, 1.0, 2.0, 5.0, 4.0, 4.5, 6.0];
+        let cps = critical_points(&v, &[7]);
+        assert!(cps.contains(&(1, Kind::Min)));
+        assert!(cps.contains(&(3, Kind::Max)));
+        assert!(cps.contains(&(6, Kind::Max)));
+        assert!(cps.contains(&(0, Kind::Max)));
+        assert_eq!(cps.len(), 5, "{cps:?}"); // + (4, Min)
+    }
+
+    #[test]
+    fn finds_extrema_in_2d() {
+        // A single peak at the center of a 3x3 grid.
+        let v = [0.0, 0.1, 0.0, 0.1, 9.0, 0.1, 0.0, 0.1, 0.0];
+        let cps = critical_points(&v, &[3, 3]);
+        assert!(cps.contains(&(4, Kind::Max)));
+        // Corners are strict minima vs their 2 face neighbors (0.0 < 0.1).
+        assert!(cps.contains(&(0, Kind::Min)));
+    }
+
+    #[test]
+    fn plateaus_are_not_strict_extrema() {
+        let v = [1.0, 1.0, 1.0, 1.0];
+        assert!(critical_points(&v, &[4]).is_empty());
+    }
+
+    #[test]
+    fn metric_reports_preservation() {
+        let dims = vec![64usize];
+        let orig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.5).sin()).collect();
+        // Tiny perturbation: extrema survive.
+        let good: Vec<f64> = orig.iter().map(|v| v + 1e-9).collect();
+        // Heavy quantization: many extrema flatten away.
+        let bad: Vec<f64> = orig.iter().map(|v| (v * 2.0).round() / 2.0).collect();
+
+        let run = |dec: &[f64]| {
+            let mut m = CriticalPointsMetric::default();
+            let input = Data::from_slice(&orig, dims.clone()).unwrap();
+            let output = Data::from_slice(dec, dims.clone()).unwrap();
+            let fake = Data::from_bytes(&[0]);
+            m.end_compress(&input, &fake, Duration::ZERO);
+            m.end_decompress(&fake, &output, Duration::ZERO);
+            m.results()
+        };
+        let r_good = run(&good);
+        let r_bad = run(&bad);
+        let f_good = r_good
+            .get_as::<f64>("critical_points:preserved_fraction")
+            .unwrap()
+            .unwrap();
+        let f_bad = r_bad
+            .get_as::<f64>("critical_points:preserved_fraction")
+            .unwrap()
+            .unwrap();
+        assert_eq!(f_good, 1.0);
+        assert!(f_bad < f_good, "{f_bad} vs {f_good}");
+        assert!(r_bad.get_as::<u64>("critical_points:original").unwrap().unwrap() > 0);
+    }
+
+    #[test]
+    fn nan_values_are_skipped() {
+        let v = [1.0, f64::NAN, 3.0, 0.5, 2.0];
+        let cps = critical_points(&v, &[5]);
+        // NaN itself is never a critical point.
+        assert!(!cps.iter().any(|&(i, _)| i == 1));
+    }
+}

@@ -1,0 +1,83 @@
+//! # pressio-metrics
+//!
+//! Metrics plugins and the statistics substrate of libpressio-rs.
+//!
+//! Plugins (attach by name via `Pressio::new_metrics(&["size", ...])`):
+//! `size`, `time`, `error_stat`, `pearson`, `autocorr`, `kth_error`,
+//! `ks_test`, `kl_divergence`, `diff_pdf`, `spatial_error`,
+//! `region_of_interest`, and the `masked` meta-metric.
+//!
+//! The [`stats`] module provides the underlying machinery — descriptive
+//! statistics, histograms, correlation, the Kolmogorov–Smirnov test, and
+//! the Wilcoxon signed-rank test that the paper's Section VI overhead
+//! analysis uses.
+
+#![warn(missing_docs)]
+
+pub mod basic;
+pub mod composite;
+pub mod distribution;
+pub mod features;
+pub mod quality;
+pub mod spatial;
+pub mod stats;
+
+pub use basic::{SizeMetric, TimeMetric};
+pub use composite::CompositeMetric;
+pub use features::CriticalPointsMetric;
+pub use distribution::{DiffPdfMetric, KlDivergenceMetric, KsTestMetric};
+pub use quality::{AutocorrMetric, ErrorStat, KthErrorMetric, PearsonMetric};
+pub use spatial::{MaskedMetric, RegionOfInterestMetric, SpatialErrorMetric};
+
+/// Register every metrics plugin of this crate into the global registry.
+pub fn register_builtins() {
+    let reg = pressio_core::registry();
+    reg.register_metrics("size", || Box::new(SizeMetric::default()));
+    reg.register_metrics("time", || Box::new(TimeMetric::default()));
+    reg.register_metrics("error_stat", || Box::new(ErrorStat::default()));
+    reg.register_metrics("pearson", || Box::new(PearsonMetric::default()));
+    reg.register_metrics("autocorr", || Box::new(AutocorrMetric::default()));
+    reg.register_metrics("kth_error", || Box::new(KthErrorMetric::default()));
+    reg.register_metrics("ks_test", || Box::new(KsTestMetric::default()));
+    reg.register_metrics("kl_divergence", || Box::new(KlDivergenceMetric::default()));
+    reg.register_metrics("diff_pdf", || Box::new(DiffPdfMetric::default()));
+    reg.register_metrics("spatial_error", || Box::new(SpatialErrorMetric::default()));
+    reg.register_metrics("region_of_interest", || {
+        Box::new(RegionOfInterestMetric::default())
+    });
+    reg.register_metrics("composite", || Box::new(CompositeMetric::default()));
+    reg.register_metrics("critical_points", || {
+        Box::new(CriticalPointsMetric::default())
+    });
+    reg.register_metrics("masked", || {
+        Box::new(MaskedMetric::new(Box::new(ErrorStat::default())))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_plugins_registered() {
+        super::register_builtins();
+        let reg = pressio_core::registry();
+        for name in [
+            "size",
+            "time",
+            "error_stat",
+            "pearson",
+            "autocorr",
+            "kth_error",
+            "ks_test",
+            "kl_divergence",
+            "diff_pdf",
+            "spatial_error",
+            "region_of_interest",
+            "composite",
+            "critical_points",
+            "masked",
+        ] {
+            let m = reg.metrics(name).unwrap();
+            assert_eq!(m.name(), name);
+        }
+    }
+}

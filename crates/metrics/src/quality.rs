@@ -1,0 +1,393 @@
+//! Quality metrics comparing the original input to the decompressed output:
+//! `error_stat`, `pearson`, `autocorr`, and `kth_error`.
+//!
+//! Like the C library's plugins, these capture the uncompressed input during
+//! `end_compress` and evaluate during `end_decompress`.
+
+use std::time::Duration;
+
+use pressio_core::{Data, MetricsPlugin, Options, Result};
+
+use crate::stats;
+
+/// Capture of the last compressed input as `f64` values.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Captured {
+    pub values: Option<Vec<f64>>,
+}
+
+impl Captured {
+    pub fn capture(&mut self, input: &Data) {
+        self.values = input.to_f64_vec().ok();
+    }
+}
+
+/// Basic error statistics computable in a single pass: MSE, RMSE, PSNR,
+/// max/average error, value range.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorStat {
+    captured: Captured,
+    results: Options,
+}
+
+impl MetricsPlugin for ErrorStat {
+    fn name(&self) -> &str {
+        "error_stat"
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        self.captured.capture(input);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some(orig) = self.captured.values.as_deref() else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        if orig.len() != dec.len() || orig.is_empty() {
+            return;
+        }
+        let n = orig.len() as f64;
+        let mut sq = 0.0f64;
+        let mut max_abs = 0.0f64;
+        let mut sum_diff = 0.0f64;
+        let mut sum_abs = 0.0f64;
+        let mut max_rel: f64 = 0.0;
+        let d = stats::describe(orig.iter().copied().filter(|v| v.is_finite()));
+        let range = d.max - d.min;
+        for (&a, &b) in orig.iter().zip(&dec) {
+            let e = b - a;
+            if !e.is_finite() {
+                continue;
+            }
+            sq += e * e;
+            sum_diff += e;
+            sum_abs += e.abs();
+            if e.abs() > max_abs {
+                max_abs = e.abs();
+            }
+            if range > 0.0 {
+                max_rel = max_rel.max(e.abs() / range);
+            }
+        }
+        let mse = sq / n;
+        let mut o = Options::new();
+        o.set("error_stat:n", orig.len() as u64);
+        o.set("error_stat:mse", mse);
+        o.set("error_stat:rmse", mse.sqrt());
+        o.set("error_stat:max_error", max_abs);
+        o.set("error_stat:average_difference", sum_diff / n);
+        o.set("error_stat:average_error", sum_abs / n);
+        o.set("error_stat:value_min", d.min);
+        o.set("error_stat:value_max", d.max);
+        o.set("error_stat:value_range", range);
+        o.set("error_stat:value_mean", d.mean);
+        o.set("error_stat:value_std", d.std_dev());
+        if range > 0.0 {
+            o.set("error_stat:max_rel_error", max_rel);
+            if mse > 0.0 {
+                o.set(
+                    "error_stat:psnr",
+                    20.0 * range.log10() - 10.0 * mse.log10(),
+                );
+            }
+        }
+        self.results = o;
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Pearson correlation between original and decompressed values.
+#[derive(Debug, Clone, Default)]
+pub struct PearsonMetric {
+    captured: Captured,
+    results: Options,
+}
+
+impl MetricsPlugin for PearsonMetric {
+    fn name(&self) -> &str {
+        "pearson"
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        self.captured.capture(input);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some(orig) = self.captured.values.as_deref() else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        if orig.len() != dec.len() {
+            return;
+        }
+        let r = stats::pearson(orig, &dec);
+        self.results = Options::new()
+            .with("pearson:r", r)
+            .with("pearson:r2", r * r);
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Autocorrelation of the *error* series at lags `1..=max_lags` (how
+/// spatially structured the compression error is).
+#[derive(Debug, Clone)]
+pub struct AutocorrMetric {
+    max_lags: usize,
+    captured: Captured,
+    results: Options,
+}
+
+impl Default for AutocorrMetric {
+    fn default() -> Self {
+        AutocorrMetric {
+            max_lags: 10,
+            captured: Captured::default(),
+            results: Options::new(),
+        }
+    }
+}
+
+impl MetricsPlugin for AutocorrMetric {
+    fn name(&self) -> &str {
+        "autocorr"
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new().with("autocorr:max_lags", self.max_lags as u64)
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(l) = options.get_as::<u64>("autocorr:max_lags")? {
+            if l == 0 {
+                return Err(pressio_core::Error::invalid_argument(
+                    "autocorr:max_lags must be >= 1",
+                ));
+            }
+            self.max_lags = l as usize;
+        }
+        Ok(())
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        self.captured.capture(input);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some(orig) = self.captured.values.as_deref() else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        if orig.len() != dec.len() {
+            return;
+        }
+        let errs: Vec<f64> = orig.iter().zip(&dec).map(|(a, b)| b - a).collect();
+        let lags: Vec<f64> = (1..=self.max_lags)
+            .map(|l| stats::autocorrelation(&errs, l))
+            .collect();
+        // Exposed as a full data buffer — one of the option kinds the paper
+        // calls out (a metrics result that is itself a pressio buffer).
+        let mut o = Options::new();
+        if let Ok(buf) = Data::from_slice(&lags, vec![lags.len()]) {
+            o.set("autocorr:autocorr", buf);
+        }
+        if let Some(first) = lags.first() {
+            o.set("autocorr:lag1", *first);
+        }
+        self.results = o;
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// The k-th largest absolute error (`kth_error` in the glossary).
+#[derive(Debug, Clone)]
+pub struct KthErrorMetric {
+    k: usize,
+    captured: Captured,
+    results: Options,
+}
+
+impl Default for KthErrorMetric {
+    fn default() -> Self {
+        KthErrorMetric {
+            k: 1,
+            captured: Captured::default(),
+            results: Options::new(),
+        }
+    }
+}
+
+impl MetricsPlugin for KthErrorMetric {
+    fn name(&self) -> &str {
+        "kth_error"
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new().with("kth_error:k", self.k as u64)
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(k) = options.get_as::<u64>("kth_error:k")? {
+            if k == 0 {
+                return Err(pressio_core::Error::invalid_argument(
+                    "kth_error:k is 1-based and must be >= 1",
+                ));
+            }
+            self.k = k as usize;
+        }
+        Ok(())
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        self.captured.capture(input);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some(orig) = self.captured.values.as_deref() else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        if orig.len() != dec.len() || self.k > orig.len() {
+            return;
+        }
+        let mut errs: Vec<f64> = orig
+            .iter()
+            .zip(&dec)
+            .map(|(a, b)| (b - a).abs())
+            .filter(|e| e.is_finite())
+            .collect();
+        errs.sort_by(|x, y| y.partial_cmp(x).expect("finite errors"));
+        if let Some(v) = errs.get(self.k - 1) {
+            self.results = Options::new().with("kth_error:value", *v);
+        }
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pressio_core::OptionValue;
+
+    fn run_pair(m: &mut dyn MetricsPlugin, orig: &[f64], dec: &[f64]) -> Options {
+        let input = Data::from_slice(orig, vec![orig.len()]).unwrap();
+        let output = Data::from_slice(dec, vec![dec.len()]).unwrap();
+        let fake = Data::from_bytes(&[0]);
+        m.begin_compress(&input);
+        m.end_compress(&input, &fake, Duration::ZERO);
+        m.begin_decompress(&fake);
+        m.end_decompress(&fake, &output, Duration::ZERO);
+        m.results()
+    }
+
+    #[test]
+    fn error_stat_known_values() {
+        let orig = [0.0, 1.0, 2.0, 3.0];
+        let dec = [0.5, 1.0, 1.5, 3.0];
+        let r = run_pair(&mut ErrorStat::default(), &orig, &dec);
+        assert_eq!(r.get_as::<f64>("error_stat:max_error").unwrap(), Some(0.5));
+        let mse = r.get_as::<f64>("error_stat:mse").unwrap().unwrap();
+        assert!((mse - (0.25 + 0.25) / 4.0).abs() < 1e-12);
+        assert_eq!(r.get_as::<f64>("error_stat:value_range").unwrap(), Some(3.0));
+        let psnr = r.get_as::<f64>("error_stat:psnr").unwrap().unwrap();
+        assert!(psnr > 10.0);
+    }
+
+    #[test]
+    fn error_stat_perfect_reconstruction() {
+        let orig = [1.0, 2.0, 3.0];
+        let r = run_pair(&mut ErrorStat::default(), &orig, &orig);
+        assert_eq!(r.get_as::<f64>("error_stat:max_error").unwrap(), Some(0.0));
+        assert_eq!(r.get_as::<f64>("error_stat:mse").unwrap(), Some(0.0));
+        // PSNR undefined (infinite) — key simply absent.
+        assert!(r.get_as::<f64>("error_stat:psnr").unwrap().is_none());
+    }
+
+    #[test]
+    fn pearson_near_one_for_good_reconstruction() {
+        let orig: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let dec: Vec<f64> = orig.iter().map(|v| v + 1e-6).collect();
+        let r = run_pair(&mut PearsonMetric::default(), &orig, &dec);
+        assert!(r.get_as::<f64>("pearson:r").unwrap().unwrap() > 0.999999);
+    }
+
+    #[test]
+    fn autocorr_returns_data_buffer() {
+        let orig: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let dec: Vec<f64> = orig
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + if i % 2 == 0 { 1e-3 } else { -1e-3 })
+            .collect();
+        let mut m = AutocorrMetric::default();
+        m.set_options(&Options::new().with("autocorr:max_lags", 5u64))
+            .unwrap();
+        let r = run_pair(&mut m, &orig, &dec);
+        match r.get("autocorr:autocorr").unwrap() {
+            OptionValue::Data(d) => {
+                assert_eq!(d.num_elements(), 5);
+                let lags = d.as_slice::<f64>().unwrap();
+                // Alternating error: lag-1 strongly negative, lag-2 positive.
+                assert!(lags[0] < -0.9);
+                assert!(lags[1] > 0.9);
+            }
+            other => panic!("expected data option, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kth_error_selects_order_statistic() {
+        let orig = [0.0; 5];
+        let dec = [0.1, -0.5, 0.3, 0.2, -0.4];
+        let mut m = KthErrorMetric::default();
+        m.set_options(&Options::new().with("kth_error:k", 2u64)).unwrap();
+        let r = run_pair(&mut m, &orig, &dec);
+        assert_eq!(r.get_as::<f64>("kth_error:value").unwrap(), Some(0.4));
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        assert!(AutocorrMetric::default()
+            .set_options(&Options::new().with("autocorr:max_lags", 0u64))
+            .is_err());
+        assert!(KthErrorMetric::default()
+            .set_options(&Options::new().with("kth_error:k", 0u64))
+            .is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! Spatially aware metrics: `spatial_error`, `region_of_interest`, and the
+//! `masked` meta-metric.
+
+use std::time::Duration;
+
+use pressio_core::{Data, Error, MetricsPlugin, OptionValue, Options, Result};
+
+use crate::quality::Captured;
+
+/// Percentage of elements whose absolute error exceeds a threshold
+/// (the glossary's *Spatial Error*).
+#[derive(Debug, Clone)]
+pub struct SpatialErrorMetric {
+    threshold: f64,
+    captured: Captured,
+    results: Options,
+}
+
+impl Default for SpatialErrorMetric {
+    fn default() -> Self {
+        SpatialErrorMetric {
+            threshold: 1e-4,
+            captured: Captured::default(),
+            results: Options::new(),
+        }
+    }
+}
+
+impl MetricsPlugin for SpatialErrorMetric {
+    fn name(&self) -> &str {
+        "spatial_error"
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new().with("spatial_error:threshold", self.threshold)
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(t) = options.get_as::<f64>("spatial_error:threshold")? {
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(Error::invalid_argument(
+                    "spatial_error:threshold must be finite and non-negative",
+                ));
+            }
+            self.threshold = t;
+        }
+        Ok(())
+    }
+
+    fn end_compress(&mut self, input: &Data, _c: &Data, _t: Duration) {
+        self.captured.capture(input);
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Some(orig) = self.captured.values.as_deref() else {
+            return;
+        };
+        let Ok(dec) = output.to_f64_vec() else {
+            return;
+        };
+        if orig.len() != dec.len() || orig.is_empty() {
+            return;
+        }
+        let exceed = orig
+            .iter()
+            .zip(&dec)
+            .filter(|(a, b)| (*b - *a).abs() > self.threshold)
+            .count();
+        self.results = Options::new().with(
+            "spatial_error:percent",
+            100.0 * exceed as f64 / orig.len() as f64,
+        );
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Arithmetic mean of a linear index range of the decompressed data (a
+/// simple region of interest).
+#[derive(Debug, Clone, Default)]
+pub struct RegionOfInterestMetric {
+    start: u64,
+    end: Option<u64>,
+    results: Options,
+}
+
+impl MetricsPlugin for RegionOfInterestMetric {
+    fn name(&self) -> &str {
+        "region_of_interest"
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new().with("region_of_interest:start", self.start);
+        match self.end {
+            Some(e) => o.set("region_of_interest:end", e),
+            None => o.declare("region_of_interest:end", pressio_core::OptionKind::U64),
+        }
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(s) = options.get_as::<u64>("region_of_interest:start")? {
+            self.start = s;
+        }
+        if let Some(e) = options.get_as::<u64>("region_of_interest:end")? {
+            self.end = Some(e);
+        }
+        if let Some(e) = self.end {
+            if e <= self.start {
+                return Err(Error::invalid_argument(
+                    "region_of_interest:end must be greater than start",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn end_decompress(&mut self, _c: &Data, output: &Data, _t: Duration) {
+        let Ok(vals) = output.to_f64_vec() else {
+            return;
+        };
+        let start = (self.start as usize).min(vals.len());
+        let end = self
+            .end
+            .map(|e| (e as usize).min(vals.len()))
+            .unwrap_or(vals.len());
+        if start >= end {
+            return;
+        }
+        let region = &vals[start..end];
+        let mean = region.iter().sum::<f64>() / region.len() as f64;
+        self.results = Options::new().with("region_of_interest:average", mean);
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(self.clone())
+    }
+}
+
+/// Meta-metric that removes masked points before forwarding data to an
+/// inner metric (the glossary's *masked*).
+pub struct MaskedMetric {
+    /// 1 = keep, 0 = drop; length must match the data.
+    mask: Option<Vec<u8>>,
+    inner: Box<dyn MetricsPlugin>,
+}
+
+impl MaskedMetric {
+    /// Wrap `inner`, initially with no mask (pass-through).
+    pub fn new(inner: Box<dyn MetricsPlugin>) -> MaskedMetric {
+        MaskedMetric { mask: None, inner }
+    }
+
+    fn apply_mask(&self, data: &Data) -> Data {
+        let Some(mask) = self.mask.as_deref() else {
+            return data.clone();
+        };
+        let Ok(vals) = data.to_f64_vec() else {
+            return data.clone();
+        };
+        if vals.len() != mask.len() {
+            return data.clone();
+        }
+        let kept: Vec<f64> = vals
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m != 0)
+            .map(|(v, _)| *v)
+            .collect();
+        let n = kept.len();
+        Data::from_vec(kept, vec![n]).expect("length matches")
+    }
+}
+
+impl MetricsPlugin for MaskedMetric {
+    fn name(&self) -> &str {
+        "masked"
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new();
+        match &self.mask {
+            Some(m) => {
+                if let Ok(d) = Data::from_slice(m, vec![m.len()]) {
+                    o.set("masked:mask", d);
+                }
+            }
+            None => o.declare("masked:mask", pressio_core::OptionKind::Data),
+        }
+        o.merge(&self.inner.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(OptionValue::Data(d)) = options.get("masked:mask") {
+            let bytes = d.to_f64_vec().map(|v| {
+                v.into_iter().map(|x| (x != 0.0) as u8).collect::<Vec<u8>>()
+            });
+            match (d.as_slice::<u8>(), bytes) {
+                (Ok(s), _) => self.mask = Some(s.to_vec()),
+                (_, Ok(b)) => self.mask = Some(b),
+                _ => {
+                    return Err(Error::invalid_argument(
+                        "masked:mask must be a u8 or numeric buffer",
+                    ))
+                }
+            }
+        }
+        self.inner.set_options(options)
+    }
+
+    fn begin_compress(&mut self, input: &Data) {
+        let masked = self.apply_mask(input);
+        self.inner.begin_compress(&masked);
+    }
+
+    fn end_compress(&mut self, input: &Data, compressed: &Data, t: Duration) {
+        let masked = self.apply_mask(input);
+        self.inner.end_compress(&masked, compressed, t);
+    }
+
+    fn begin_decompress(&mut self, compressed: &Data) {
+        self.inner.begin_decompress(compressed);
+    }
+
+    fn end_decompress(&mut self, compressed: &Data, output: &Data, t: Duration) {
+        let masked = self.apply_mask(output);
+        self.inner.end_decompress(compressed, &masked, t);
+    }
+
+    fn results(&self) -> Options {
+        self.inner.results()
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(MaskedMetric {
+            mask: self.mask.clone(),
+            inner: self.inner.clone_metrics(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::ErrorStat;
+
+    fn run_pair(m: &mut dyn MetricsPlugin, orig: &[f64], dec: &[f64]) -> Options {
+        let input = Data::from_slice(orig, vec![orig.len()]).unwrap();
+        let output = Data::from_slice(dec, vec![dec.len()]).unwrap();
+        let fake = Data::from_bytes(&[0]);
+        m.begin_compress(&input);
+        m.end_compress(&input, &fake, Duration::ZERO);
+        m.end_decompress(&fake, &output, Duration::ZERO);
+        m.results()
+    }
+
+    #[test]
+    fn spatial_error_percentage() {
+        let orig = vec![0.0f64; 10];
+        let mut dec = vec![0.0f64; 10];
+        dec[0] = 1.0;
+        dec[5] = -2.0;
+        let mut m = SpatialErrorMetric::default();
+        m.set_options(&Options::new().with("spatial_error:threshold", 0.5f64))
+            .unwrap();
+        let r = run_pair(&mut m, &orig, &dec);
+        assert_eq!(r.get_as::<f64>("spatial_error:percent").unwrap(), Some(20.0));
+    }
+
+    #[test]
+    fn roi_average_over_range() {
+        let orig: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut m = RegionOfInterestMetric::default();
+        m.set_options(
+            &Options::new()
+                .with("region_of_interest:start", 2u64)
+                .with("region_of_interest:end", 5u64),
+        )
+        .unwrap();
+        let r = run_pair(&mut m, &orig, &orig);
+        assert_eq!(
+            r.get_as::<f64>("region_of_interest:average").unwrap(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn roi_rejects_inverted_range() {
+        let mut m = RegionOfInterestMetric::default();
+        assert!(m
+            .set_options(
+                &Options::new()
+                    .with("region_of_interest:start", 5u64)
+                    .with("region_of_interest:end", 2u64),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn masked_excludes_bad_points() {
+        // Error only at index 1, which the mask removes: inner error_stat
+        // must report a perfect reconstruction.
+        let orig = vec![1.0f64, 2.0, 3.0, 4.0];
+        let dec = vec![1.0f64, 99.0, 3.0, 4.0];
+        let mask = Data::from_slice(&[1u8, 0, 1, 1], vec![4]).unwrap();
+        let mut m = MaskedMetric::new(Box::new(ErrorStat::default()));
+        m.set_options(&Options::new().with("masked:mask", mask)).unwrap();
+        let r = run_pair(&mut m, &orig, &dec);
+        assert_eq!(r.get_as::<f64>("error_stat:max_error").unwrap(), Some(0.0));
+    }
+
+    #[test]
+    fn masked_without_mask_passes_through() {
+        let orig = vec![1.0f64, 2.0];
+        let dec = vec![1.5f64, 2.0];
+        let mut m = MaskedMetric::new(Box::new(ErrorStat::default()));
+        let r = run_pair(&mut m, &orig, &dec);
+        assert_eq!(r.get_as::<f64>("error_stat:max_error").unwrap(), Some(0.5));
+    }
+}

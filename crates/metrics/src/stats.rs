@@ -1,0 +1,460 @@
+//! Statistics substrate: descriptive statistics, histograms, correlation,
+//! and the hypothesis tests the paper's evaluation uses (Kolmogorov–Smirnov
+//! for distribution comparison; Wilcoxon signed-rank for the overhead
+//! significance analysis of Section VI).
+
+/// Single-pass descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Descriptive {
+    /// Sample size.
+    pub n: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+}
+
+#[allow(missing_docs)]
+impl Descriptive {
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Compute [`Descriptive`] statistics in one pass (Welford's algorithm).
+pub fn describe(values: impl IntoIterator<Item = f64>) -> Descriptive {
+    let mut n = 0usize;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for x in values {
+        n += 1;
+        let d = x - mean;
+        mean += d / n as f64;
+        m2 += d * (x - mean);
+        if x < min {
+            min = x;
+        }
+        if x > max {
+            max = x;
+        }
+    }
+    if n == 0 {
+        return Descriptive {
+            n,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            variance: 0.0,
+        };
+    }
+    Descriptive {
+        n,
+        min,
+        max,
+        mean,
+        variance: m2 / n as f64,
+    }
+}
+
+/// Median of a sample (averages the middle pair for even sizes).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// A fixed-range equal-width histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub min: f64,
+    /// Right edge of the last bin.
+    pub max: f64,
+    /// Bin counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Histogram `values` into `bins` equal-width bins over their range.
+    pub fn build(values: &[f64], bins: usize) -> Histogram {
+        Self::build_range(values, bins, None)
+    }
+
+    /// Histogram with an explicit `(min, max)` range (values outside clamp
+    /// to the edge bins).
+    pub fn build_range(values: &[f64], bins: usize, range: Option<(f64, f64)>) -> Histogram {
+        let bins = bins.max(1);
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        let (min, max) = range.unwrap_or_else(|| {
+            let d = describe(finite.iter().copied());
+            (d.min, d.max)
+        });
+        let mut counts = vec![0u64; bins];
+        let width = (max - min).max(f64::MIN_POSITIVE);
+        for &v in &finite {
+            let t = ((v - min) / width * bins as f64).floor();
+            let b = (t as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[b] += 1;
+        }
+        Histogram { min, max, counts }
+    }
+
+    /// Normalized bin probabilities (empirical pdf).
+    pub fn pdf(&self) -> Vec<f64> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// Pearson's correlation coefficient between two equal-length samples.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal lengths");
+    let n = a.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        // A constant series is perfectly correlated with an identical one.
+        return if a == b { 1.0 } else { f64::NAN };
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Autocorrelation of a series at the given lag (Pearson of `v[..n-lag]`
+/// with `v[lag..]`, matching the paper's glossary definition).
+pub fn autocorrelation(v: &[f64], lag: usize) -> f64 {
+    if lag >= v.len() {
+        return f64::NAN;
+    }
+    pearson(&v[..v.len() - lag], &v[lag..])
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the largest distance between
+/// the empirical CDFs.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    let mut sa: Vec<f64> = a.iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut sb: Vec<f64> = b.iter().copied().filter(|v| !v.is_nan()).collect();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaNs filtered"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaNs filtered"));
+    let (na, nb) = (sa.len(), sb.len());
+    if na == 0 || nb == 0 {
+        return f64::NAN;
+    }
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let x = sa[i].min(sb[j]);
+        while i < na && sa[i] <= x {
+            i += 1;
+        }
+        while j < nb && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Asymptotic two-sample KS p-value (Kolmogorov distribution tail).
+pub fn ks_pvalue(d: f64, na: usize, nb: usize) -> f64 {
+    if !(d.is_finite() && na > 0 && nb > 0) {
+        return f64::NAN;
+    }
+    let en = ((na * nb) as f64 / (na + nb) as f64).sqrt();
+    let t = (en + 0.12 + 0.11 / en) * d;
+    // The alternating series does not converge for tiny t; the distribution
+    // value there is indistinguishable from 1.
+    if t < 0.2 {
+        return 1.0;
+    }
+    // Q_KS(t) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2)
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * t * t).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Kullback–Leibler divergence `D(P || Q)` between two histograms over the
+/// same binning; zero-probability bins in `Q` are smoothed with a small
+/// epsilon so the divergence stays finite.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "kl requires equal bin counts");
+    const EPS: f64 = 1e-12;
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * (pi / qi.max(EPS)).ln()
+            }
+        })
+        .sum()
+}
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub struct Wilcoxon {
+    /// Sum of positive-difference ranks.
+    pub w_plus: f64,
+    /// Sum of negative-difference ranks.
+    pub w_minus: f64,
+    /// Effective sample size (zero differences discarded).
+    pub n: usize,
+    /// Two-sided p-value (normal approximation with tie correction).
+    pub p_value: f64,
+}
+
+/// Paired two-sided Wilcoxon signed-rank test (the test the paper uses to
+/// show the interface overhead is statistically indistinguishable from 0).
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Wilcoxon {
+    assert_eq!(a.len(), b.len(), "wilcoxon requires paired samples");
+    // Differences, discarding exact zeros per standard practice.
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| x - y)
+        .filter(|d| *d != 0.0 && d.is_finite())
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return Wilcoxon {
+            w_plus: 0.0,
+            w_minus: 0.0,
+            n: 0,
+            p_value: 1.0,
+        };
+    }
+    diffs.sort_by(|x, y| {
+        x.abs()
+            .partial_cmp(&y.abs())
+            .expect("finite diffs")
+    });
+    // Average ranks over ties; accumulate the tie correction term.
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_term = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[j + 1].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let avg_rank = ((i + 1 + j + 1) as f64) / 2.0;
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        i = j + 1;
+    }
+    let mut w_plus = 0.0;
+    let mut w_minus = 0.0;
+    for (d, r) in diffs.iter().zip(&ranks) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+    let w = w_plus.min(w_minus);
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    let p_value = if var <= 0.0 {
+        1.0
+    } else {
+        // Continuity-corrected normal approximation, two-sided.
+        let z = (w - mean + 0.5) / var.sqrt();
+        (2.0 * normal_cdf(z)).clamp(0.0, 1.0)
+    };
+    Wilcoxon {
+        w_plus,
+        w_minus,
+        n,
+        p_value,
+    }
+}
+
+/// Standard normal CDF via the complementary error function.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Numerical Recipes rational approximation,
+/// |error| < 1.2e-7 everywhere).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_basics() {
+        let d = describe([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.n, 4);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+        assert_eq!(d.mean, 2.5);
+        assert!((d.variance - 1.25).abs() < 1e-12);
+        let e = describe(std::iter::empty());
+        assert_eq!(e.n, 0);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn histogram_counts_and_pdf() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&v, 10);
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+        assert!(h.counts.iter().all(|&c| c == 10));
+        let p = h.pdf();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // NaNs are ignored.
+        let h2 = Histogram::build(&[1.0, f64::NAN, 2.0], 2);
+        assert_eq!(h2.counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x + 1.0).collect();
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[5.0; 10], &[5.0; 10]), 1.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        let v: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * std::f64::consts::PI / 5.0).sin())
+            .collect();
+        // Period 10: lag-10 autocorrelation ~ 1, lag-5 ~ -1.
+        assert!(autocorrelation(&v, 10) > 0.99);
+        assert!(autocorrelation(&v, 5) < -0.99);
+        assert!(autocorrelation(&v, 1001).is_nan());
+    }
+
+    #[test]
+    fn ks_identical_vs_shifted() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let same = ks_statistic(&a, &a);
+        assert!(same.abs() < 1e-12);
+        let shifted: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+        let d = ks_statistic(&a, &shifted);
+        assert!(d > 0.45, "d = {d}");
+        assert!(ks_pvalue(d, 500, 500) < 1e-6);
+        assert!(ks_pvalue(0.01, 500, 500) > 0.9);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+        let q = [0.5, 0.25, 0.25];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn wilcoxon_detects_a_real_shift() {
+        let a: Vec<f64> = (0..60).map(|i| 10.0 + (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        let w = wilcoxon_signed_rank(&a, &b);
+        assert!(w.p_value < 1e-6, "p = {}", w.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_accepts_symmetric_noise() {
+        // Alternating ±, same magnitudes: perfectly symmetric.
+        let a = vec![0.0; 40];
+        let b: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.5 + i as f64 } else { -(0.5 + i as f64) })
+            .collect();
+        let w = wilcoxon_signed_rank(&a, &b);
+        assert!(w.p_value > 0.5, "p = {}", w.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_zero_diffs_dropped() {
+        let a = [1.0, 2.0, 3.0];
+        let w = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(w.n, 0);
+        assert_eq!(w.p_value, 1.0);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!((normal_cdf(2.0) + normal_cdf(-2.0) - 1.0).abs() < 1e-7);
+    }
+}

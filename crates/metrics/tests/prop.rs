@@ -1,0 +1,135 @@
+//! Property-based tests of the statistics substrate: range invariants and
+//! consistency laws that must hold for arbitrary inputs.
+
+use pressio_metrics::stats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn describe_matches_naive_computation(
+        vals in proptest::collection::vec(-1e6f64..1e6, 1..512),
+    ) {
+        let d = stats::describe(vals.iter().copied());
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let var = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert_eq!(d.n, vals.len());
+        prop_assert!((d.mean - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((d.variance - var).abs() <= 1e-4 * (1.0 + var));
+        prop_assert!(d.min <= d.mean && d.mean <= d.max);
+    }
+
+    #[test]
+    fn median_is_order_statistic(
+        vals in proptest::collection::vec(-1e6f64..1e6, 1..256),
+    ) {
+        let m = stats::median(&vals);
+        let below = vals.iter().filter(|&&v| v <= m).count();
+        let above = vals.iter().filter(|&&v| v >= m).count();
+        prop_assert!(below * 2 >= vals.len());
+        prop_assert!(above * 2 >= vals.len());
+    }
+
+    #[test]
+    fn histogram_conserves_mass(
+        vals in proptest::collection::vec(-1e3f64..1e3, 1..512),
+        bins in 1usize..64,
+    ) {
+        let h = stats::Histogram::build(&vals, bins);
+        prop_assert_eq!(h.counts.iter().sum::<u64>() as usize, vals.len());
+        let pdf = h.pdf();
+        prop_assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..256),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = stats::pearson(&a, &b);
+        if r.is_finite() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = stats::pearson(&b, &a);
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_scale_invariance(
+        vals in proptest::collection::vec(-1e3f64..1e3, 3..128),
+        scale in 0.1f64..100.0,
+        shift in -100.0f64..100.0,
+    ) {
+        let scaled: Vec<f64> = vals.iter().map(|v| v * scale + shift).collect();
+        let r = stats::pearson(&vals, &scaled);
+        if r.is_finite() {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {}", r);
+        }
+    }
+
+    #[test]
+    fn ks_statistic_in_unit_interval(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..256),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..256),
+    ) {
+        let d = stats::ks_statistic(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        // Symmetric.
+        let d2 = stats::ks_statistic(&b, &a);
+        prop_assert!((d - d2).abs() < 1e-12);
+        // p-value in [0, 1].
+        let p = stats::ks_pvalue(d, a.len(), b.len());
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn kl_divergence_nonnegative_and_zero_on_self(
+        weights in proptest::collection::vec(0.01f64..10.0, 2..64),
+    ) {
+        let total: f64 = weights.iter().sum();
+        let p: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        prop_assert!(stats::kl_divergence(&p, &p).abs() < 1e-12);
+        // Against a perturbed distribution: strictly nonnegative.
+        let mut q = p.clone();
+        q.rotate_right(1);
+        prop_assert!(stats::kl_divergence(&p, &q) >= -1e-12);
+    }
+
+    #[test]
+    fn wilcoxon_p_in_unit_interval_and_symmetric(
+        diffs in proptest::collection::vec(-1e3f64..1e3, 1..128),
+    ) {
+        let zeros = vec![0.0; diffs.len()];
+        let w1 = stats::wilcoxon_signed_rank(&diffs, &zeros);
+        prop_assert!((0.0..=1.0).contains(&w1.p_value));
+        // Negating every difference swaps w_plus/w_minus but keeps p.
+        let neg: Vec<f64> = diffs.iter().map(|d| -d).collect();
+        let w2 = stats::wilcoxon_signed_rank(&neg, &zeros);
+        prop_assert!((w1.p_value - w2.p_value).abs() < 1e-9);
+        prop_assert!((w1.w_plus - w2.w_minus).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone_cdf(z1 in -6.0f64..6.0, z2 in -6.0f64..6.0) {
+        let (lo, hi) = if z1 <= z2 { (z1, z2) } else { (z2, z1) };
+        let c_lo = stats::normal_cdf(lo);
+        let c_hi = stats::normal_cdf(hi);
+        prop_assert!((0.0..=1.0).contains(&c_lo));
+        prop_assert!(c_lo <= c_hi + 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_bounded(
+        vals in proptest::collection::vec(-1e3f64..1e3, 4..256),
+        lag in 1usize..8,
+    ) {
+        prop_assume!(lag < vals.len());
+        let r = stats::autocorrelation(&vals, lag);
+        if r.is_finite() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # pressio-mgard
+//!
+//! An MGARD-style multilevel (multigrid) error-bounded lossy compressor
+//! written from scratch in Rust, standing in for MGARD 0.1.0 in this
+//! reproduction of the LibPressio paper (see the workspace DESIGN.md
+//! substitution table).
+//!
+//! The kernel builds a hierarchy of nested uniform grids, computes
+//! multilevel coefficients as multilinear-interpolation residuals, and
+//! quantizes them against a per-level share of the global L∞ budget. Like
+//! real MGARD, grids with fewer than 3 points in any declared dimension are
+//! rejected — the failure mode the paper's Section V measures.
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod plugin;
+
+pub use kernel::{compress_body, decompress_body};
+pub use plugin::{register_builtins, Mgard};

@@ -1,0 +1,102 @@
+//! Property-based tests of the MGARD-style kernel's L∞ guarantee.
+
+use pressio_mgard::{compress_body, decompress_body};
+use proptest::prelude::*;
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bound_holds_1d(
+        vals in proptest::collection::vec(-1e9f64..1e9, 3..2048),
+        bound_exp in -6i32..4,
+    ) {
+        let bound = 10f64.powi(bound_exp);
+        let dims = [vals.len()];
+        let enc = compress_body(&vals, &dims, bound).unwrap();
+        let dec = decompress_body(&enc, &dims).unwrap();
+        prop_assert!(max_err(&vals, &dec) <= bound);
+    }
+
+    #[test]
+    fn bound_holds_2d_3d_awkward_extents(
+        nz in 3usize..8,
+        ny in 3usize..16,
+        nx in 3usize..16,
+        seed in any::<u64>(),
+        bound_exp in -4i32..2,
+    ) {
+        let bound = 10f64.powi(bound_exp);
+        let mut s = seed | 1;
+        let vals: Vec<f64> = (0..nz * ny * nx)
+            .map(|_| {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 100.0
+            })
+            .collect();
+        for dims in [vec![nz * ny, nx], vec![nz, ny, nx]] {
+            let enc = compress_body(&vals, &dims, bound).unwrap();
+            let dec = decompress_body(&enc, &dims).unwrap();
+            prop_assert!(max_err(&vals, &dec) <= bound, "dims {:?}", dims);
+        }
+    }
+
+    #[test]
+    fn small_dims_always_rejected(bad in 0usize..3, other in 3usize..32) {
+        let n = bad.max(1) * other;
+        let vals = vec![1.0f64; n];
+        prop_assert!(compress_body(&vals, &[bad.max(1), other], 0.1).is_err());
+    }
+
+    #[test]
+    fn smooth_fields_compress(
+        freq in 0.001f64..0.2,
+        amp in 0.1f64..1e4,
+    ) {
+        // Smooth data at a modest bound must beat raw storage.
+        let vals: Vec<f64> = (0..40 * 40)
+            .map(|i| ((i % 40) as f64 * freq).sin() * amp + ((i / 40) as f64 * freq).cos() * amp)
+            .collect();
+        let bound = amp * 1e-3;
+        let enc = compress_body(&vals, &[40, 40], bound).unwrap();
+        prop_assert!(enc.len() < vals.len() * 8 / 2, "{} vs {}", enc.len(), vals.len() * 8);
+    }
+
+    #[test]
+    fn corrupt_streams_never_panic(
+        vals in proptest::collection::vec(-1e3f64..1e3, 9..256),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..6),
+    ) {
+        let dims = [vals.len()];
+        let mut enc = compress_body(&vals, &dims, 1e-3).unwrap();
+        for (pos, bit) in flips {
+            let at = pos as usize % enc.len();
+            enc[at] ^= 1 << bit;
+        }
+        let _ = decompress_body(&enc, &dims);
+        let _ = decompress_body(&enc[..enc.len() / 2], &dims);
+    }
+
+    #[test]
+    fn corrupt_code_count_is_clean_error_not_abort(
+        vals in proptest::collection::vec(-1e3f64..1e3, 9..128),
+        bogus in any::<u64>(),
+    ) {
+        // Regression: a corrupt n_codes field must fail with CorruptStream,
+        // never size an allocation (found by review; previously aborted).
+        let dims = [vals.len()];
+        let mut enc = compress_body(&vals, &dims, 1e-3).unwrap();
+        // n_codes sits after eb (f64) + levels (u32) at offset 12.
+        enc[12..20].copy_from_slice(&bogus.to_le_bytes());
+        if bogus != vals.len() as u64 {
+            prop_assert!(decompress_body(&enc, &dims).is_err());
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The SZ-style compression kernel.
+//!
+//! SZ (Di & Cappello, IPDPS'16; Tao et al.) is a *prediction-based*
+//! error-bounded lossy compressor. For every element, in C-order scan:
+//!
+//! 1. predict the value with a Lorenzo predictor over already-*reconstructed*
+//!    neighbors (so compressor and decompressor see identical state);
+//! 2. linear-scale quantize the prediction error with step `2·eb`;
+//! 3. if the quantized reconstruction honors the bound and the code fits the
+//!    quantization radius, emit the code; otherwise store the value verbatim
+//!    ("unpredictable");
+//! 4. entropy-code the code stream with canonical Huffman; optionally apply a
+//!    lossless pass over the unpredictable section.
+//!
+//! Zero-padding the Lorenzo stencil at boundaries degrades gracefully to the
+//! lower-order predictor on faces/edges, exactly like SZ's boundary handling.
+//!
+//! The kernel guarantees `|x - x'|∞ <= eb` for every finite element; NaN and
+//! infinite values always take the verbatim path and are reproduced
+//! bit-exactly.
+
+use pressio_codecs::{deflate, huffman};
+use pressio_core::{
+    bytes_to_elements, elements_as_bytes, ByteReader, ByteWriter, Element, Error, Result,
+};
+
+/// Tuning parameters of one kernel invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct SzParams {
+    /// Absolute (already resolved) error bound; must be finite and > 0.
+    pub abs_eb: f64,
+    /// Quantization radius: codes span `[-(radius-1), radius-1]`; alphabet
+    /// size is `2 * radius`.
+    pub radius: u32,
+    /// Apply a deflate pass over the verbatim (unpredictable) section.
+    pub lossless_unpredictable: bool,
+}
+
+impl Default for SzParams {
+    fn default() -> Self {
+        SzParams {
+            abs_eb: 1e-6,
+            radius: 32768,
+            lossless_unpredictable: true,
+        }
+    }
+}
+
+/// A float type the kernel can compress (f32 or f64).
+pub trait SzFloat: Element {
+    /// Exact conversion to the f64 arithmetic domain.
+    fn to_f64x(self) -> f64;
+    /// Truncating conversion back to storage precision.
+    fn from_f64x(v: f64) -> Self;
+}
+
+impl SzFloat for f32 {
+    #[inline]
+    fn to_f64x(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64x(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl SzFloat for f64 {
+    #[inline]
+    fn to_f64x(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64x(v: f64) -> Self {
+        v
+    }
+}
+
+/// Collapse an n-d shape into at most 3 dims (leading dims merge), mirroring
+/// how SZ treats >3-d data as 3-d with a large slow dimension.
+fn effective_dims(dims: &[usize]) -> (usize, usize, usize) {
+    // Drop length-1 dims: they add no spatial structure.
+    let real: Vec<usize> = dims.iter().copied().filter(|&d| d > 1).collect();
+    match real.len() {
+        0 => (1, 1, 1),
+        1 => (1, 1, real[0]),
+        2 => (1, real[0], real[1]),
+        _ => {
+            let lead: usize = real[..real.len() - 2].iter().product();
+            (lead, real[real.len() - 2], real[real.len() - 1])
+        }
+    }
+}
+
+/// Quantization codes + verbatim values produced by the prediction pass.
+struct Quantized<T> {
+    codes: Vec<u32>,
+    unpredictable: Vec<T>,
+}
+
+fn predict_quantize<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Quantized<T> {
+    let (nz, ny, nx) = effective_dims(dims);
+    let n = data.len();
+    debug_assert_eq!(nz * ny * nx, n);
+    let eb = p.abs_eb;
+    let two_eb = 2.0 * eb;
+    let radius = p.radius as i64;
+    let mut codes = Vec::with_capacity(n);
+    let mut unpredictable = Vec::new();
+    // Reconstructed values drive prediction: decompressor state == here.
+    let mut recon = vec![T::from_f64x(0.0); n];
+
+    let plane = ny * nx;
+    for z in 0..nz {
+        for y in 0..ny {
+            let row = z * plane + y * nx;
+            for x in 0..nx {
+                let i = row + x;
+                // 3-d Lorenzo with zero padding outside the array.
+                let r = |dz: usize, dy: usize, dx: usize| -> f64 {
+                    if (dz > z) || (dy > y) || (dx > x) {
+                        0.0
+                    } else {
+                        recon[i - dz * plane - dy * nx - dx].to_f64x()
+                    }
+                };
+                let pred = r(0, 0, 1) + r(0, 1, 0) + r(1, 0, 0) - r(0, 1, 1) - r(1, 0, 1)
+                    - r(1, 1, 0)
+                    + r(1, 1, 1);
+                let val = data[i].to_f64x();
+                let diff = val - pred;
+                let q = (diff / two_eb).round();
+                let mut stored = false;
+                if q.is_finite() && q.abs() < (radius - 1) as f64 {
+                    let qi = q as i64;
+                    let dec = T::from_f64x(pred + qi as f64 * two_eb);
+                    if (dec.to_f64x() - val).abs() <= eb {
+                        codes.push((radius + qi) as u32);
+                        recon[i] = dec;
+                        stored = true;
+                    }
+                }
+                if !stored {
+                    codes.push(0);
+                    unpredictable.push(data[i]);
+                    recon[i] = data[i];
+                }
+            }
+        }
+    }
+    Quantized {
+        codes,
+        unpredictable,
+    }
+}
+
+fn predict_reconstruct<T: SzFloat>(
+    codes: &[u32],
+    unpredictable: &[T],
+    dims: &[usize],
+    p: &SzParams,
+) -> Result<Vec<T>> {
+    let (nz, ny, nx) = effective_dims(dims);
+    let n = nz * ny * nx;
+    if codes.len() != n {
+        return Err(Error::corrupt(format!(
+            "sz stream has {} codes for {} elements",
+            codes.len(),
+            n
+        )));
+    }
+    let two_eb = 2.0 * p.abs_eb;
+    let radius = p.radius as i64;
+    let mut recon = vec![T::from_f64x(0.0); n];
+    let mut next_unpred = 0usize;
+    let plane = ny * nx;
+    for z in 0..nz {
+        for y in 0..ny {
+            let row = z * plane + y * nx;
+            for x in 0..nx {
+                let i = row + x;
+                let code = codes[i];
+                if code == 0 {
+                    let v = unpredictable.get(next_unpred).ok_or_else(|| {
+                        Error::corrupt("sz stream exhausted unpredictable values")
+                    })?;
+                    recon[i] = *v;
+                    next_unpred += 1;
+                } else {
+                    let r = |dz: usize, dy: usize, dx: usize| -> f64 {
+                        if (dz > z) || (dy > y) || (dx > x) {
+                            0.0
+                        } else {
+                            recon[i - dz * plane - dy * nx - dx].to_f64x()
+                        }
+                    };
+                    let pred = r(0, 0, 1) + r(0, 1, 0) + r(1, 0, 0) - r(0, 1, 1) - r(1, 0, 1)
+                        - r(1, 1, 0)
+                        + r(1, 1, 1);
+                    let qi = code as i64 - radius;
+                    recon[i] = T::from_f64x(pred + qi as f64 * two_eb);
+                }
+            }
+        }
+    }
+    if next_unpred != unpredictable.len() {
+        return Err(Error::corrupt("sz stream has surplus unpredictable values"));
+    }
+    Ok(recon)
+}
+
+/// Magic bytes of an SZ-style stream body.
+const BODY_MAGIC: u32 = 0x535A_4C50; // "SZLP"
+
+/// Compress a typed slice, producing a self-contained stream body (the
+/// plugin prepends its own envelope with dtype/dims).
+pub fn compress_body<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Result<Vec<u8>> {
+    if !(p.abs_eb.is_finite() && p.abs_eb > 0.0) {
+        return Err(Error::invalid_argument(format!(
+            "absolute error bound must be positive and finite, got {}",
+            p.abs_eb
+        )));
+    }
+    if !(2..=1 << 20).contains(&p.radius) {
+        return Err(Error::invalid_argument(format!(
+            "quantization radius {} out of range",
+            p.radius
+        )));
+    }
+    let q = predict_quantize(data, dims, p);
+    let huff_raw = huffman::encode(&q.codes, 2 * p.radius)?;
+    let unpred_bytes = elements_as_bytes(&q.unpredictable);
+    // Best-compression mode (sz_mode = 1) applies the lossless backend over
+    // both sections, like SZ's gzip/zstd stage; best-speed mode skips it.
+    let (huff, unpred_payload) = if p.lossless_unpredictable {
+        (
+            deflate::compress(&huff_raw),
+            deflate::compress(unpred_bytes),
+        )
+    } else {
+        (huff_raw, unpred_bytes.to_vec())
+    };
+    let mut w = ByteWriter::with_capacity(huff.len() + unpred_payload.len() + 64);
+    w.put_u32(BODY_MAGIC);
+    w.put_f64(p.abs_eb);
+    w.put_u32(p.radius);
+    w.put_u8(p.lossless_unpredictable as u8);
+    w.put_u64(q.unpredictable.len() as u64);
+    w.put_section(&huff);
+    w.put_section(&unpred_payload);
+    Ok(w.into_vec())
+}
+
+/// Decompress a stream body produced by [`compress_body`].
+pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>> {
+    let mut r = ByteReader::new(body);
+    let magic = r.get_u32()?;
+    if magic != BODY_MAGIC {
+        return Err(Error::corrupt("bad sz body magic"));
+    }
+    let abs_eb = r.get_f64()?;
+    let radius = r.get_u32()?;
+    if !(2..=1 << 20).contains(&radius) {
+        return Err(Error::corrupt("sz radius out of range"));
+    }
+    if !(abs_eb.is_finite() && abs_eb > 0.0) {
+        return Err(Error::corrupt("sz stream carries invalid error bound"));
+    }
+    let lossless = r.get_u8()? != 0;
+    let n_unpred = r.get_u64()? as usize;
+    let huff_section = r.get_section()?;
+    let unpred_payload = r.get_section()?;
+    let (huff, unpred_bytes) = if lossless {
+        (
+            deflate::decompress(huff_section)?,
+            deflate::decompress(unpred_payload)?,
+        )
+    } else {
+        (huff_section.to_vec(), unpred_payload.to_vec())
+    };
+    let codes = huffman::decode(&huff)?;
+    let unpredictable: Vec<T> = bytes_to_elements(&unpred_bytes)?;
+    if unpredictable.len() != n_unpred {
+        return Err(Error::corrupt(format!(
+            "sz stream declares {n_unpred} unpredictable values, decoded {}",
+            unpredictable.len()
+        )));
+    }
+    let p = SzParams {
+        abs_eb,
+        radius,
+        lossless_unpredictable: lossless,
+    };
+    predict_reconstruct(&codes, &unpredictable, dims, &p)
+}
+
+/// Compression/decompression roundtrip measurement used in tests and tuning:
+/// returns (compressed size, max abs error).
+#[cfg(test)]
+fn roundtrip_stats<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> (usize, f64) {
+    let body = compress_body(data, dims, p).unwrap();
+    let back: Vec<T> = decompress_body(&body, dims).unwrap();
+    let max_err = data
+        .iter()
+        .zip(&back)
+        .map(|(a, b)| (a.to_f64x() - b.to_f64x()).abs())
+        .fold(0.0f64, f64::max);
+    (body.len(), max_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_3d(nz: usize, ny: usize, nx: usize) -> Vec<f64> {
+        let mut v = Vec::with_capacity(nz * ny * nx);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let (zf, yf, xf) = (z as f64, y as f64, x as f64);
+                    v.push(
+                        (xf * 0.07).sin() * (yf * 0.05).cos() * (zf * 0.11 + 1.0)
+                            + 0.3 * (xf * 0.013 * yf * 0.011).sin(),
+                    );
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn error_bound_respected_1d() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.01).sin() * 50.0).collect();
+        for eb in [1.0, 1e-2, 1e-4, 1e-8] {
+            let p = SzParams {
+                abs_eb: eb,
+                ..Default::default()
+            };
+            let (_, max_err) = roundtrip_stats(&data, &[10_000], &p);
+            assert!(max_err <= eb, "eb {eb}: max_err {max_err}");
+        }
+    }
+
+    #[test]
+    fn error_bound_respected_3d_f32() {
+        let data: Vec<f32> = smooth_3d(16, 32, 32).iter().map(|&v| v as f32).collect();
+        for eb in [1e-1, 1e-3] {
+            let p = SzParams {
+                abs_eb: eb,
+                ..Default::default()
+            };
+            let (_, max_err) = roundtrip_stats(&data, &[16, 32, 32], &p);
+            assert!(max_err <= eb, "eb {eb}: max_err {max_err}");
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_strongly() {
+        let data = smooth_3d(16, 64, 64);
+        let p = SzParams {
+            abs_eb: 1e-3,
+            ..Default::default()
+        };
+        let (size, _) = roundtrip_stats(&data, &[16, 64, 64], &p);
+        let ratio = (data.len() * 8) as f64 / size as f64;
+        assert!(ratio > 8.0, "expected ratio > 8, got {ratio:.2}");
+    }
+
+    #[test]
+    fn correct_dims_beat_flattened_1d() {
+        // The Section V phenomenon: flattening multi-d data to 1-d loses
+        // the higher-order Lorenzo prediction and hence compression ratio.
+        let data = smooth_3d(16, 64, 64);
+        let p = SzParams {
+            abs_eb: 1e-4,
+            ..Default::default()
+        };
+        let (sz_3d, _) = roundtrip_stats(&data, &[16, 64, 64], &p);
+        let (sz_1d, _) = roundtrip_stats(&data, &[16 * 64 * 64], &p);
+        assert!(
+            sz_3d < sz_1d,
+            "3d-aware should beat flattened: {sz_3d} vs {sz_1d}"
+        );
+    }
+
+    #[test]
+    fn constant_data_is_tiny() {
+        let data = vec![42.0f64; 100_000];
+        let p = SzParams {
+            abs_eb: 1e-6,
+            ..Default::default()
+        };
+        let (size, max_err) = roundtrip_stats(&data, &[100_000], &p);
+        assert_eq!(max_err, 0.0);
+        assert!(size < 2000, "constant data compressed to {size} bytes");
+    }
+
+    #[test]
+    fn nan_and_inf_survive_verbatim() {
+        let mut data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        data[17] = f64::NAN;
+        data[500] = f64::INFINITY;
+        data[900] = f64::NEG_INFINITY;
+        let p = SzParams {
+            abs_eb: 0.1,
+            ..Default::default()
+        };
+        let body = compress_body(&data, &[1000], &p).unwrap();
+        let back: Vec<f64> = decompress_body(&body, &[1000]).unwrap();
+        assert!(back[17].is_nan());
+        assert_eq!(back[500], f64::INFINITY);
+        assert_eq!(back[900], f64::NEG_INFINITY);
+        for (i, (a, b)) in data.iter().zip(&back).enumerate() {
+            if a.is_finite() {
+                assert!((a - b).abs() <= 0.1, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn spiky_data_falls_back_to_verbatim() {
+        // Alternating huge magnitudes defeat prediction; bound still holds.
+        let data: Vec<f64> = (0..5000)
+            .map(|i| if i % 2 == 0 { 1e15 } else { -1e15 } * (1.0 + i as f64 * 1e-7))
+            .collect();
+        let p = SzParams {
+            abs_eb: 1e-3,
+            ..Default::default()
+        };
+        let (_, max_err) = roundtrip_stats(&data, &[5000], &p);
+        assert!(max_err <= 1e-3);
+    }
+
+    #[test]
+    fn small_radius_still_bounds_error() {
+        let data: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.1).sin() * 1000.0).collect();
+        let p = SzParams {
+            abs_eb: 1e-6,
+            radius: 16,
+            ..Default::default()
+        };
+        let (_, max_err) = roundtrip_stats(&data, &[2000], &p);
+        assert!(max_err <= 1e-6);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let data = vec![1.0f64; 10];
+        for eb in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let p = SzParams {
+                abs_eb: eb,
+                ..Default::default()
+            };
+            assert!(compress_body(&data, &[10], &p).is_err(), "eb {eb}");
+        }
+        let p = SzParams {
+            radius: 1,
+            ..Default::default()
+        };
+        assert!(compress_body(&data, &[10], &p).is_err());
+    }
+
+    #[test]
+    fn corrupt_body_errors_not_panics() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let p = SzParams {
+            abs_eb: 1e-3,
+            ..Default::default()
+        };
+        let body = compress_body(&data, &[500], &p).unwrap();
+        for cut in (0..body.len()).step_by(7) {
+            let _ = decompress_body::<f64>(&body[..cut], &[500]);
+        }
+        for i in (0..body.len()).step_by(11) {
+            let mut bad = body.clone();
+            bad[i] ^= 0xA5;
+            let _ = decompress_body::<f64>(&bad, &[500]);
+        }
+    }
+
+    #[test]
+    fn length_one_dims_are_squeezed() {
+        let data = smooth_3d(1, 32, 32);
+        let p = SzParams {
+            abs_eb: 1e-4,
+            ..Default::default()
+        };
+        let a = compress_body(&data, &[1, 32, 32], &p).unwrap();
+        let b = compress_body(&data, &[32, 32], &p).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Emulation of SZ's shared global configuration store.
+//!
+//! Real SZ keeps one process-global configuration created by `SZ_Init` and
+//! destroyed by `SZ_Finalize`, which is why the paper classifies it as
+//! *serialized* thread safety: a thread may only finalize when no other
+//! thread still uses SZ. We reproduce those semantics so the parallel
+//! meta-compressors have something real to negotiate with: the `sz` plugin
+//! refcounts initialization and serializes compression calls on a global
+//! lock, while `sz_threadsafe` bypasses the store entirely.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
+
+static INIT_COUNT: AtomicUsize = AtomicUsize::new(0);
+static STORE_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII token of one `SZ_Init` (dropped = `SZ_Finalize`).
+#[derive(Debug)]
+pub struct SzInitToken(());
+
+impl SzInitToken {
+    /// Acquire (initialize-or-ref) the global store.
+    pub fn acquire() -> SzInitToken {
+        INIT_COUNT.fetch_add(1, Ordering::SeqCst);
+        SzInitToken(())
+    }
+}
+
+impl Clone for SzInitToken {
+    fn clone(&self) -> Self {
+        SzInitToken::acquire()
+    }
+}
+
+impl Drop for SzInitToken {
+    fn drop(&mut self) {
+        INIT_COUNT.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Number of live initializations (diagnostics / tests).
+pub fn init_count() -> usize {
+    INIT_COUNT.load(Ordering::SeqCst)
+}
+
+/// Serialize access to the emulated global configuration store for the
+/// duration of one compression call.
+pub fn lock_store() -> MutexGuard<'static, ()> {
+    STORE_LOCK.lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refcounting_tracks_tokens() {
+        let before = init_count();
+        let a = SzInitToken::acquire();
+        let b = a.clone();
+        assert_eq!(init_count(), before + 2);
+        drop(a);
+        assert_eq!(init_count(), before + 1);
+        drop(b);
+        assert_eq!(init_count(), before);
+    }
+
+    #[test]
+    fn store_lock_is_exclusive() {
+        let g = lock_store();
+        assert!(STORE_LOCK.try_lock().is_none());
+        drop(g);
+        assert!(STORE_LOCK.try_lock().is_some());
+    }
+}

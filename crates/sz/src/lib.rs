@@ -1,0 +1,26 @@
+//! # pressio-sz
+//!
+//! An SZ-style prediction-based error-bounded lossy compressor written from
+//! scratch in Rust, standing in for SZ 2.1.10 in this reproduction of the
+//! LibPressio paper (see the workspace DESIGN.md substitution table).
+//!
+//! Three plugins share one kernel:
+//!
+//! * `sz` — classic interface with an emulated shared global configuration
+//!   store (thread safety: *serialized*),
+//! * `sz_threadsafe` — independent instances (*multiple*),
+//! * `sz_omp` — chunk-parallel CPU variant (*multiple*).
+//!
+//! The kernel ([`codec`]) implements Lorenzo prediction over reconstructed
+//! values, linear-scaling quantization, canonical Huffman coding of the
+//! quantization codes, and a deflate pass over unpredictable values, with a
+//! strict L∞ error-bound guarantee.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod global;
+pub mod plugin;
+
+pub use codec::{compress_body, decompress_body, SzFloat, SzParams};
+pub use plugin::{register_builtins, BoundMode, Sz, SzVariant};

@@ -1,0 +1,151 @@
+//! Property-based tests of the SZ-style compressor's guarantees, including
+//! the point-wise relative mode.
+
+use pressio_core::{Compressor, DType, Data, Options};
+use pressio_sz::{compress_body, decompress_body, Sz, SzParams, SzVariant};
+use proptest::prelude::*;
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn abs_bound_holds_any_radius(
+        vals in proptest::collection::vec(-1e9f64..1e9, 1..2048),
+        bound_exp in -6i32..4,
+        radius_pow in 2u32..16,
+    ) {
+        let p = SzParams {
+            abs_eb: 10f64.powi(bound_exp),
+            radius: 1 << radius_pow,
+            lossless_unpredictable: true,
+        };
+        let dims = [vals.len()];
+        let enc = compress_body(&vals, &dims, &p).unwrap();
+        let dec: Vec<f64> = decompress_body(&enc, &dims).unwrap();
+        prop_assert!(max_err(&vals, &dec) <= p.abs_eb);
+    }
+
+    #[test]
+    fn abs_bound_holds_2d_3d(
+        nz in 1usize..6,
+        ny in 1usize..20,
+        nx in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let vals: Vec<f64> = (0..nz * ny * nx)
+            .map(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect();
+        let p = SzParams { abs_eb: 1e-3, ..Default::default() };
+        for dims in [vec![nz, ny, nx], vec![nz * ny * nx]] {
+            let enc = compress_body(&vals, &dims, &p).unwrap();
+            let dec: Vec<f64> = decompress_body(&enc, &dims).unwrap();
+            prop_assert!(max_err(&vals, &dec) <= 1e-3, "dims {:?}", dims);
+        }
+    }
+
+    #[test]
+    fn f32_bound_holds(
+        vals in proptest::collection::vec(-1e6f32..1e6, 1..2048),
+        bound_exp in -4i32..3,
+    ) {
+        let p = SzParams {
+            abs_eb: 10f64.powi(bound_exp),
+            ..Default::default()
+        };
+        let dims = [vals.len()];
+        let enc = compress_body(&vals, &dims, &p).unwrap();
+        let dec: Vec<f32> = decompress_body(&enc, &dims).unwrap();
+        for (a, b) in vals.iter().zip(&dec) {
+            prop_assert!(((*a as f64) - (*b as f64)).abs() <= p.abs_eb);
+        }
+    }
+
+    #[test]
+    fn pw_rel_bound_holds_on_wild_magnitudes(
+        mags in proptest::collection::vec((-300i32..300, -1.0f64..1.0), 1..512),
+        ratio_exp in -5i32..-1,
+    ) {
+        let r = 10f64.powi(ratio_exp);
+        let vals: Vec<f64> = mags
+            .iter()
+            .map(|&(e, m)| (1.0 + m * 0.5) * 10f64.powi(e.clamp(-80, 80)))
+            .collect();
+        let n = vals.len();
+        let input = Data::from_vec(vals.clone(), vec![n]).unwrap();
+        let mut c = Sz::new(SzVariant::ThreadSafe);
+        c.set_options(
+            &Options::new()
+                .with("sz_threadsafe:error_bound_mode_str", "pw_rel")
+                .with("sz_threadsafe:pw_rel_bound_ratio", r),
+        )
+        .unwrap();
+        let enc = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![n]);
+        c.decompress(&enc, &mut out).unwrap();
+        let got = out.as_slice::<f64>().unwrap();
+        for (a, b) in vals.iter().zip(got) {
+            if a.abs() >= 1e-100 {
+                prop_assert!(
+                    (a - b).abs() <= r * a.abs() * (1.0 + 1e-9),
+                    "{} vs {} at ratio {}", a, b, r
+                );
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn omp_chunking_equals_bound_of_serial(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        threads in 1u32..7,
+    ) {
+        let vals: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i % cols) as f64 * 0.3).sin() * 100.0)
+            .collect();
+        let input = Data::from_vec(vals.clone(), vec![rows, cols]).unwrap();
+        let mut c = Sz::new(SzVariant::ChunkParallel);
+        c.set_options(
+            &Options::new()
+                .with("sz_omp:abs_err_bound", 1e-4f64)
+                .with("sz_omp:nthreads", threads),
+        )
+        .unwrap();
+        let enc = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![rows, cols]);
+        c.decompress(&enc, &mut out).unwrap();
+        prop_assert!(max_err(&vals, out.as_slice::<f64>().unwrap()) <= 1e-4);
+    }
+
+    #[test]
+    fn corrupt_streams_never_panic(
+        vals in proptest::collection::vec(-1e3f64..1e3, 1..256),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..6),
+    ) {
+        let n = vals.len();
+        let input = Data::from_vec(vals, vec![n]).unwrap();
+        let mut c = Sz::new(SzVariant::Global);
+        c.set_options(&Options::new().with("sz:abs_err_bound", 1e-3f64)).unwrap();
+        let enc = c.compress(&input).unwrap();
+        let mut bad = enc.as_bytes().to_vec();
+        for (pos, bit) in flips {
+            let at = pos as usize % bad.len();
+            bad[at] ^= 1 << bit;
+        }
+        let mut out = Data::owned(DType::F64, vec![n]);
+        let _ = c.decompress(&Data::from_bytes(&bad), &mut out);
+        let _ = c.decompress(&Data::from_bytes(&bad[..bad.len() / 2]), &mut out);
+    }
+}

@@ -1,0 +1,20 @@
+//! # pressio-sz3
+//!
+//! An SZ3-style *interpolation-based* error-bounded lossy compressor — the
+//! successor predictor family to classic SZ's Lorenzo prediction, included
+//! as the "extension" compressor of this reproduction (the paper's plugin
+//! list grows exactly this way: new compressor families slot in behind the
+//! same interface).
+//!
+//! The kernel ([`kernel`]) predicts every refinement point of a multilevel
+//! grid by cubic/linear spline interpolation from already-*reconstructed*
+//! coarser points, quantizes residuals with the full error bound, and
+//! entropy-codes the quantization indices. Registered as `sz_interp`.
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod plugin;
+
+pub use kernel::{compress_body, decompress_body, InterpFloat, InterpParams};
+pub use plugin::{register_builtins, SzInterp};

@@ -1,0 +1,305 @@
+//! `pressio` — the LibPressio-Tools analog: a compressor-agnostic command
+//! line interface.
+//!
+//! Because it drives the *generic* interface, every registered compressor,
+//! metric, and IO format works from this one binary — the capability the
+//! paper contrasts with the per-compressor CLIs shipped by SZ, ZFP, and
+//! MGARD (none of which can read the others' formats, and none of which can
+//! read HDF5-style containers).
+//!
+//! ```text
+//! pressio list [compressors|metrics|io]
+//! pressio options <compressor>
+//! pressio compress   -c <name> -i <in> -o <out> -t <dtype> -d <dims>
+//!                    [-O key=value ...] [-m metric ...] [-f posix|numpy|h5lite|csv|datagen]
+//! pressio decompress -c <name> -i <in> -o <out> -t <dtype> [-d <dims>] [-F posix|numpy]
+//! pressio eval       -i <original> -j <decompressed> -t <dtype> -d <dims> [-m metric ...]
+//! pressio gen        -n <dataset> -o <out> [-s seed] [-k scale] [-F posix|numpy]
+//! ```
+
+use std::process::ExitCode;
+
+use libpressio::prelude::*;
+use libpressio::{Error, Result};
+
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(flag) = a.strip_prefix('-') {
+                let flag = flag.trim_start_matches('-').to_string();
+                if i + 1 < argv.len() {
+                    options.push((flag, argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    options.push((flag, String::new()));
+                    i += 1;
+                }
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Args {
+            positional,
+            options,
+        }
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, flag: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn require(&self, flag: &str, what: &str) -> Result<&str> {
+        self.get(flag)
+            .ok_or_else(|| Error::invalid_argument(format!("missing -{flag} <{what}>")))
+    }
+}
+
+/// Parse `key=value` pairs into typed option values: integer, then float,
+/// then string.
+fn parse_option_pairs(pairs: &[&str]) -> Result<Options> {
+    let mut o = Options::new();
+    for p in pairs {
+        let (k, v) = p
+            .split_once('=')
+            .ok_or_else(|| Error::invalid_argument(format!("expected key=value, got {p:?}")))?;
+        if let Ok(i) = v.parse::<i64>() {
+            o.set(k, i);
+        } else if let Ok(f) = v.parse::<f64>() {
+            o.set(k, f);
+        } else {
+            o.set(k, v);
+        }
+    }
+    Ok(o)
+}
+
+fn parse_dims(s: &str) -> Result<Vec<usize>> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| Error::invalid_argument(format!("bad dimension {p:?}")))
+        })
+        .collect()
+}
+
+fn io_for(format: &str, path: &str, extra: &Options) -> Result<Box<dyn IoPlugin>> {
+    let library = libpressio::instance();
+    let mut io = library.get_io(format)?;
+    let mut opts = Options::new().with("io:path", path);
+    opts.merge(extra);
+    io.set_options(&opts)?;
+    Ok(io)
+}
+
+fn read_input(args: &Args, path_flag: &str) -> Result<Data> {
+    let path = args.require(path_flag, "path")?;
+    let format = args.get("f").unwrap_or("posix");
+    let extra = parse_option_pairs(&args.get_all("O"))?;
+    let mut io = io_for(format, path, &extra)?;
+    let template = match (args.get("t"), args.get("d")) {
+        (Some(t), Some(d)) => Some(Data::owned(DType::from_name(t)?, parse_dims(d)?)),
+        _ => None,
+    };
+    io.read(template.as_ref())
+}
+
+fn cmd_list(args: &Args) -> Result<()> {
+    let library = libpressio::instance();
+    let what = args.positional.get(1).map(|s| s.as_str()).unwrap_or("all");
+    if what == "compressors" || what == "all" {
+        println!("compressors:");
+        for c in library.supported_compressors() {
+            println!("  {c}");
+        }
+    }
+    if what == "metrics" || what == "all" {
+        println!("metrics:");
+        for m in library.supported_metrics() {
+            println!("  {m}");
+        }
+    }
+    if what == "io" || what == "all" {
+        println!("io:");
+        for i in library.supported_io() {
+            println!("  {i}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_options(args: &Args) -> Result<()> {
+    let library = libpressio::instance();
+    let name = args
+        .positional
+        .get(1)
+        .ok_or_else(|| Error::invalid_argument("usage: pressio options <compressor>"))?;
+    let c = library.get_compressor(name)?;
+    println!("# options ({name})");
+    print!("{}", c.get_options());
+    println!("# configuration");
+    print!("{}", c.get_configuration());
+    let docs = c.get_documentation();
+    if !docs.is_empty() {
+        println!("# documentation");
+        print!("{docs}");
+    }
+    Ok(())
+}
+
+fn cmd_compress(args: &Args) -> Result<()> {
+    let library = libpressio::instance();
+    let name = args.require("c", "compressor")?;
+    let input = read_input(args, "i")?;
+    let mut c = library.get_compressor(name)?;
+    let opts = parse_option_pairs(&args.get_all("O"))?;
+    c.check_options(&opts)?;
+    c.set_options(&opts)?;
+    let mut metric_names: Vec<&str> = args.get_all("m");
+    if metric_names.is_empty() {
+        metric_names = vec!["size", "time"];
+    }
+    c.set_metrics(library.new_metrics(&metric_names)?);
+    let compressed = c.compress(&input)?;
+    let out = args.require("o", "path")?;
+    std::fs::write(out, compressed.as_bytes())?;
+    print!("{}", c.metrics_results());
+    Ok(())
+}
+
+fn cmd_decompress(args: &Args) -> Result<()> {
+    let library = libpressio::instance();
+    let name = args.require("c", "compressor")?;
+    let input_path = args.require("i", "path")?;
+    let bytes = std::fs::read(input_path)?;
+    let compressed = Data::from_bytes(&bytes);
+    let dtype = DType::from_name(args.require("t", "dtype")?)?;
+    let dims = match args.get("d") {
+        Some(d) => parse_dims(d)?,
+        None => vec![0],
+    };
+    let mut c = library.get_compressor(name)?;
+    c.set_options(&parse_option_pairs(&args.get_all("O"))?)?;
+    let mut output = Data::owned(dtype, dims);
+    c.decompress(&compressed, &mut output)?;
+    let out_path = args.require("o", "path")?;
+    let format = args.get("F").unwrap_or("posix");
+    let mut io = io_for(format, out_path, &Options::new())?;
+    io.write(&output)?;
+    eprintln!(
+        "decompressed {} elements of {} to {out_path}",
+        output.num_elements(),
+        output.dtype()
+    );
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<()> {
+    let library = libpressio::instance();
+    let dtype = DType::from_name(args.require("t", "dtype")?)?;
+    let dims = parse_dims(args.require("d", "dims")?)?;
+    let template = Data::owned(dtype, dims);
+    let read = |flag: &str| -> Result<Data> {
+        let path = args.require(flag, "path")?;
+        let mut io = io_for(args.get("f").unwrap_or("posix"), path, &Options::new())?;
+        io.read(Some(&template))
+    };
+    let original = read("i")?;
+    let decompressed = read("j")?;
+    let mut metric_names: Vec<&str> = args.get_all("m");
+    if metric_names.is_empty() {
+        metric_names = vec!["error_stat", "pearson", "spatial_error", "ks_test"];
+    }
+    // Drive the metric hooks directly with a no-op "compression".
+    let mut metrics = library.new_metrics(&metric_names)?;
+    let fake = Data::from_bytes(&[0u8]);
+    for m in metrics.iter_mut() {
+        m.set_options(&parse_option_pairs(&args.get_all("O"))?)?;
+        m.begin_compress(&original);
+        m.end_compress(&original, &fake, std::time::Duration::ZERO);
+        m.begin_decompress(&fake);
+        m.end_decompress(&fake, &decompressed, std::time::Duration::ZERO);
+    }
+    for m in &metrics {
+        print!("{}", m.results());
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<()> {
+    libpressio::init();
+    let name = args.require("n", "dataset")?;
+    let seed = args.get("s").and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+    let scale = args
+        .get("k")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1);
+    let data = libpressio::datagen::by_name(name, scale, seed)?;
+    let out = args.require("o", "path")?;
+    let format = args.get("F").unwrap_or("posix");
+    let mut io = io_for(format, out, &Options::new())?;
+    io.write(&data)?;
+    eprintln!(
+        "wrote {name} ({} {:?}) to {out}",
+        data.dtype(),
+        data.dims()
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen> [args]
+  list [compressors|metrics|io]
+  options <compressor>
+  compress   -c <name> -i <in> -o <out> [-t dtype -d dims] [-O k=v ...] [-m metric ...] [-f format]
+  decompress -c <name> -i <in> -o <out> -t <dtype> [-d dims] [-F format]
+  eval       -i <orig> -j <dec> -t <dtype> -d <dims> [-m metric ...]
+  gen        -n <hurricane|nyx|hacc|scale-letkf> -o <out> [-s seed] [-k scale] [-F format]";
+
+fn run() -> Result<()> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&argv);
+    match args.positional.first().map(|s| s.as_str()) {
+        Some("list") => cmd_list(&args),
+        Some("options") => cmd_options(&args),
+        Some("compress") => cmd_compress(&args),
+        Some("decompress") => cmd_decompress(&args),
+        Some("eval") => cmd_eval(&args),
+        Some("gen") => cmd_gen(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            Err(Error::invalid_argument("unknown or missing command"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pressio: {e}");
+            ExitCode::from(e.code().code() as u8)
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end tests of the `pressio` CLI binary: the full
+//! gen → compress → decompress → eval loop through real files and real
+//! process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> &'static str {
+    env!("CARGO_BIN_EXE_pressio")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pressio-cli-tests").join(name);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(cli())
+        .args(args)
+        .output()
+        .expect("spawn pressio");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_shows_all_plugin_kinds() {
+    let (ok, stdout, _) = run(&["list"]);
+    assert!(ok);
+    for expected in ["compressors:", "metrics:", "io:", "sz", "zfp", "mgard", "error_stat", "posix"] {
+        assert!(stdout.contains(expected), "missing {expected} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn options_introspects_a_compressor() {
+    let (ok, stdout, _) = run(&["options", "sz"]);
+    assert!(ok);
+    assert!(stdout.contains("sz:abs_err_bound"));
+    assert!(stdout.contains("<double>"));
+    assert!(stdout.contains("sz:pressio:thread_safe"));
+    // Documentation section present.
+    assert!(stdout.contains("# documentation"));
+}
+
+#[test]
+fn options_unknown_compressor_fails_cleanly() {
+    let (ok, _, stderr) = run(&["options", "definitely_missing"]);
+    assert!(!ok);
+    assert!(stderr.contains("definitely_missing"));
+}
+
+#[test]
+fn full_compress_decompress_eval_loop() {
+    let dir = tmpdir("loop");
+    let raw = dir.join("raw.bin");
+    let comp = dir.join("c.sz");
+    let dec = dir.join("d.bin");
+    let p = |b: &PathBuf| b.to_str().expect("utf8").to_string();
+
+    // gen: synthetic dataset to a flat binary file.
+    let (ok, _, stderr) = run(&["gen", "-n", "nyx", "-o", &p(&raw), "-s", "3"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        std::fs::metadata(&raw).expect("raw exists").len(),
+        32 * 32 * 32 * 4
+    );
+
+    // compress with metrics.
+    let (ok, stdout, stderr) = run(&[
+        "compress", "-c", "sz", "-i", &p(&raw), "-o", &p(&comp), "-t", "f32", "-d", "32,32,32",
+        "-O", "pressio:rel=0.001", "-m", "size",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("size:compression_ratio"));
+    assert!(std::fs::metadata(&comp).expect("compressed exists").len() < 32 * 32 * 32 * 4 / 2);
+
+    // decompress (dims come from the self-describing stream).
+    let (ok, _, stderr) = run(&["decompress", "-c", "sz", "-i", &p(&comp), "-o", &p(&dec), "-t", "f32"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        std::fs::metadata(&dec).expect("decompressed exists").len(),
+        32 * 32 * 32 * 4
+    );
+
+    // eval: error statistics between original and decompressed.
+    let (ok, stdout, stderr) = run(&[
+        "eval", "-i", &p(&raw), "-j", &p(&dec), "-t", "f32", "-d", "32,32,32",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("error_stat:max_error"));
+    assert!(stdout.contains("pearson:r"));
+    // The relative bound must show up as a small max_rel_error.
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("error_stat:max_rel_error"))
+        .expect("max_rel_error present");
+    let value: f64 = line
+        .split('=')
+        .nth(1)
+        .expect("value")
+        .trim()
+        .trim_end_matches("f64")
+        .parse()
+        .expect("parseable");
+    assert!(value <= 0.001 * 1.01, "rel error {value}");
+}
+
+#[test]
+fn compress_works_for_every_major_compressor() {
+    let dir = tmpdir("multi");
+    let raw = dir.join("raw.bin");
+    let p = |b: &PathBuf| b.to_str().expect("utf8").to_string();
+    let (ok, _, _) = run(&["gen", "-n", "nyx", "-o", &p(&raw)]);
+    assert!(ok);
+    for comp in ["sz", "zfp", "mgard", "deflate", "fpzip", "blosc"] {
+        let out = dir.join(format!("{comp}.c"));
+        let (ok, stdout, stderr) = run(&[
+            "compress", "-c", comp, "-i", &p(&raw), "-o", &p(&out), "-t", "f32", "-d",
+            "32,32,32", "-O", "pressio:rel=0.001", "-m", "size",
+        ]);
+        assert!(ok, "{comp}: {stderr}");
+        assert!(stdout.contains("size:compression_ratio"), "{comp}");
+    }
+}
+
+#[test]
+fn bad_options_produce_clean_errors() {
+    let dir = tmpdir("bad");
+    let raw = dir.join("raw.bin");
+    let p = |b: &PathBuf| b.to_str().expect("utf8").to_string();
+    let (ok, _, _) = run(&["gen", "-n", "nyx", "-o", &p(&raw)]);
+    assert!(ok);
+    // Negative bound rejected by check_options.
+    let (ok, _, stderr) = run(&[
+        "compress", "-c", "sz", "-i", &p(&raw), "-o", &p(&dir.join("x")), "-t", "f32", "-d",
+        "32,32,32", "-O", "sz:abs_err_bound=-1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("pressio:"), "{stderr}");
+    // Unknown command prints usage.
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn gen_writes_numpy_format_too() {
+    let dir = tmpdir("npy");
+    let out = dir.join("d.npy");
+    let p = out.to_str().expect("utf8");
+    let (ok, _, stderr) = run(&["gen", "-n", "hurricane", "-o", p, "-F", "numpy"]);
+    assert!(ok, "{stderr}");
+    let bytes = std::fs::read(&out).expect("npy written");
+    assert_eq!(&bytes[..6], b"\x93NUMPY");
+}

@@ -1,0 +1,20 @@
+//! # pressio-tthresh
+//!
+//! A tthresh-style SVD-based lossy compressor (the glossary's "principles
+//! of singular value decomposition" entry): truncated SVD by power
+//! iteration with deflation, quantized factors, and a relative
+//! Frobenius-norm accuracy target. Registered as `tthresh`.
+//!
+//! Simplification vs. the real tool (documented in DESIGN.md): inputs of
+//! more than two dimensions are unfolded along the slowest axis instead of
+//! a full Tucker/HOSVD decomposition; the interface surface (options,
+//! introspection, not-error-bounded advertisement) is what the reproduction
+//! exercises.
+
+#![warn(missing_docs)]
+
+pub mod plugin;
+pub mod svd;
+
+pub use plugin::{register_builtins, Tthresh};
+pub use svd::{frobenius, reconstruct, truncated_svd, Triplet};

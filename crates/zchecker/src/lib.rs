@@ -1,0 +1,292 @@
+//! # zchecker-lite
+//!
+//! An embeddable compression-quality assessment framework — the Z-Checker
+//! integration analog from the paper. It consumes *only* the generic
+//! compressor/metrics interface, so any registered compressor (including
+//! third-party plugins) can be assessed without Z-Checker-side changes:
+//! exactly the integration story the paper's conclusion highlights.
+//!
+//! An [`Assessment`] runs one compressor at one configuration over one
+//! buffer and collects the full metric battery; a [`Sweep`] runs a whole
+//! bound ladder (optionally for several compressors) and renders comparison
+//! tables.
+
+#![warn(missing_docs)]
+
+use pressio_core::{Data, Error, Options, Pressio, Result};
+
+/// The metric battery attached to every assessment.
+pub const DEFAULT_METRICS: [&str; 6] = [
+    "size",
+    "time",
+    "error_stat",
+    "pearson",
+    "ks_test",
+    "spatial_error",
+];
+
+/// One compressor × configuration × buffer quality measurement.
+///
+/// ```
+/// use pressio_core::Options;
+/// pressio_codecs::register_builtins();
+/// pressio_sz::register_builtins();
+/// pressio_metrics::register_builtins();
+///
+/// let field = pressio_datagen::nyx_density(16, 1);
+/// let opts = Options::new().with(pressio_core::OPT_REL, 1e-3f64);
+/// let a = zchecker_lite::Assessment::run("sz", &opts, &field).unwrap();
+/// assert!(a.value("size:compression_ratio").unwrap() > 1.0);
+/// assert!(a.value("pearson:r").unwrap() > 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// Compressor plugin name.
+    pub compressor: String,
+    /// The options the compressor ran with.
+    pub options: Options,
+    /// Merged metric results.
+    pub results: Options,
+}
+
+impl Assessment {
+    /// Run `compressor` with `options` on `input`, collecting
+    /// [`DEFAULT_METRICS`].
+    pub fn run(compressor: &str, options: &Options, input: &Data) -> Result<Assessment> {
+        Assessment::run_with_metrics(compressor, options, input, &DEFAULT_METRICS)
+    }
+
+    /// Run with an explicit metric list.
+    pub fn run_with_metrics(
+        compressor: &str,
+        options: &Options,
+        input: &Data,
+        metrics: &[&str],
+    ) -> Result<Assessment> {
+        let library = Pressio::new();
+        let mut c = library.get_compressor(compressor)?;
+        c.set_options(options)?;
+        c.set_metrics(library.new_metrics(metrics)?);
+        let compressed = c.compress(input)?;
+        let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+        c.decompress(&compressed, &mut output)?;
+        Ok(Assessment {
+            compressor: compressor.to_string(),
+            options: options.clone(),
+            results: c.metrics_results(),
+        })
+    }
+
+    /// Fetch a numeric result by key (e.g. `size:compression_ratio`).
+    pub fn value(&self, key: &str) -> Option<f64> {
+        self.results.get_as::<f64>(key).ok().flatten()
+    }
+}
+
+/// A ladder of error bounds swept for one or more compressors.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Compressor names to compare.
+    pub compressors: Vec<String>,
+    /// Value-range relative bounds to sweep (`pressio:rel`).
+    pub rel_bounds: Vec<f64>,
+    /// Rows produced by [`Sweep::run`].
+    pub rows: Vec<SweepRow>,
+}
+
+/// One row of sweep output.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Compressor name.
+    pub compressor: String,
+    /// Value-range relative bound used.
+    pub rel_bound: f64,
+    /// Compression ratio achieved.
+    pub ratio: f64,
+    /// PSNR in dB (NaN when the reconstruction is exact).
+    pub psnr: f64,
+    /// Maximum absolute error observed.
+    pub max_error: f64,
+    /// Compression wall time in milliseconds.
+    pub compress_ms: f64,
+    /// Decompression wall time in milliseconds.
+    pub decompress_ms: f64,
+}
+
+impl Sweep {
+    /// Build a sweep over the given compressors and relative bounds.
+    pub fn new(compressors: &[&str], rel_bounds: &[f64]) -> Sweep {
+        Sweep {
+            compressors: compressors.iter().map(|s| s.to_string()).collect(),
+            rel_bounds: rel_bounds.to_vec(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Run the full grid on `input`.
+    pub fn run(&mut self, input: &Data) -> Result<()> {
+        self.rows.clear();
+        for comp in &self.compressors {
+            for &b in &self.rel_bounds {
+                let opts = Options::new().with(pressio_core::OPT_REL, b);
+                let a = Assessment::run(comp, &opts, input)
+                    .map_err(|e| Error::internal(format!("{comp} at rel {b}: {e}")))?;
+                self.rows.push(SweepRow {
+                    compressor: comp.clone(),
+                    rel_bound: b,
+                    ratio: a.value("size:compression_ratio").unwrap_or(f64::NAN),
+                    psnr: a.value("error_stat:psnr").unwrap_or(f64::NAN),
+                    max_error: a.value("error_stat:max_error").unwrap_or(f64::NAN),
+                    compress_ms: a.value("time:compress").unwrap_or(f64::NAN),
+                    decompress_ms: a.value("time:decompress").unwrap_or(f64::NAN),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the rows as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10}\n",
+            "compressor", "rel_bound", "ratio", "psnr_db", "max_err", "comp_ms", "decomp_ms"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:>10.1e} {:>10.2} {:>12.2} {:>12.3e} {:>10.2} {:>10.2}\n",
+                r.compressor,
+                r.rel_bound,
+                r.ratio,
+                r.psnr,
+                r.max_error,
+                r.compress_ms,
+                r.decompress_ms
+            ));
+        }
+        out
+    }
+
+    /// Render the rows as a GitHub-flavored markdown table (for reports).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| compressor | rel bound | ratio | PSNR (dB) | max err | comp (ms) | decomp (ms) |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {:.0e} | {:.2} | {:.2} | {:.3e} | {:.2} | {:.2} |\n",
+                r.compressor, r.rel_bound, r.ratio, r.psnr, r.max_error, r.compress_ms, r.decompress_ms
+            ));
+        }
+        out
+    }
+
+    /// The best (highest-ratio) row per compressor that keeps the max error
+    /// within `bound * range` — a simple recommendation, Z-Checker style.
+    pub fn recommend(&self, value_range: f64) -> Vec<&SweepRow> {
+        let mut best: Vec<&SweepRow> = Vec::new();
+        for comp in &self.compressors {
+            let candidate = self
+                .rows
+                .iter()
+                .filter(|r| {
+                    r.compressor == *comp
+                        && r.max_error.is_finite()
+                        && r.max_error <= r.rel_bound * value_range * 1.0001
+                })
+                .max_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("finite ratios"));
+            if let Some(c) = candidate {
+                best.push(c);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init() {
+        pressio_codecs::register_builtins();
+        pressio_sz::register_builtins();
+        pressio_metrics::register_builtins();
+    }
+
+    fn field() -> Data {
+        pressio_datagen::by_name("nyx", 1, 11).unwrap()
+    }
+
+    #[test]
+    fn assessment_collects_full_battery() {
+        init();
+        let input = field();
+        let opts = Options::new().with(pressio_core::OPT_REL, 1e-3f64);
+        let a = Assessment::run("sz", &opts, &input).unwrap();
+        assert!(a.value("size:compression_ratio").unwrap() > 1.0);
+        assert!(a.value("time:compress").unwrap() > 0.0);
+        assert!(a.value("error_stat:max_error").unwrap() >= 0.0);
+        assert!(a.value("pearson:r").unwrap() > 0.99);
+        assert!(a.value("ks_test:pvalue").unwrap() >= 0.0);
+        assert!(a.value("spatial_error:percent").is_some());
+    }
+
+    #[test]
+    fn assessment_honors_error_bound() {
+        init();
+        let input = field();
+        let range = pressio_core::value_range(input.as_slice::<f32>().unwrap());
+        let opts = Options::new().with(pressio_core::OPT_REL, 1e-4f64);
+        let a = Assessment::run("sz", &opts, &input).unwrap();
+        assert!(a.value("error_stat:max_error").unwrap() <= 1e-4 * range as f64 * 1.0001);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_tradeoff() {
+        init();
+        let input = field();
+        let mut s = Sweep::new(&["sz"], &[1e-2, 1e-3, 1e-4]);
+        s.run(&input).unwrap();
+        assert_eq!(s.rows.len(), 3);
+        // Looser bounds give higher ratios.
+        assert!(s.rows[0].ratio > s.rows[1].ratio);
+        assert!(s.rows[1].ratio > s.rows[2].ratio);
+        // And lower fidelity.
+        assert!(s.rows[0].psnr < s.rows[2].psnr);
+        let table = s.to_table();
+        assert!(table.contains("compressor"));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn sweep_compares_multiple_compressors() {
+        init();
+        let input = field();
+        let mut s = Sweep::new(&["sz", "linear_quantizer"], &[1e-3]);
+        s.run(&input).unwrap();
+        assert_eq!(s.rows.len(), 2);
+        let range = pressio_core::value_range(input.as_slice::<f32>().unwrap());
+        let rec = s.recommend(range as f64);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn markdown_report_renders() {
+        init();
+        let input = field();
+        let mut s = Sweep::new(&["sz"], &[1e-3]);
+        s.run(&input).unwrap();
+        let md = s.to_markdown();
+        assert!(md.starts_with("| compressor |"));
+        assert_eq!(md.lines().count(), 3);
+        assert!(md.contains("| sz |"));
+    }
+
+    #[test]
+    fn unknown_compressor_is_clean_error() {
+        init();
+        let input = field();
+        assert!(Assessment::run("missing", &Options::new(), &input).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Thin bit-stream adapters for the block coder.
+//!
+//! The embedded coder in [`crate::block`] tracks its own bit budget (like
+//! ZFP's `encode_ints`); these wrappers only delegate to the shared
+//! [`pressio_codecs::bitstream`] primitives while keeping the coder's
+//! signatures explicit about mutation of an underlying stream.
+
+use pressio_codecs::bitstream::{BitReader, BitWriter};
+use pressio_core::Result;
+
+/// A mutable borrow of a [`BitWriter`] used by one block encoding.
+pub struct BudgetWriter<'a> {
+    inner: &'a mut BitWriter,
+}
+
+impl<'a> BudgetWriter<'a> {
+    /// Wrap a writer.
+    pub fn new(inner: &'a mut BitWriter) -> Self {
+        BudgetWriter { inner }
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.inner.write_bit(bit);
+    }
+
+    /// Append the low `n` bits of `v`.
+    #[inline]
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        self.inner.write_bits(v, n);
+    }
+
+    /// Total bits in the underlying stream.
+    pub fn len_bits(&self) -> u64 {
+        self.inner.len_bits()
+    }
+}
+
+/// A mutable borrow of a [`BitReader`] used by one block decoding.
+pub struct BudgetReader<'a, 'b> {
+    inner: &'a mut BitReader<'b>,
+}
+
+impl<'a, 'b> BudgetReader<'a, 'b> {
+    /// Wrap a reader.
+    pub fn new(inner: &'a mut BitReader<'b>) -> Self {
+        BudgetReader { inner }
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        self.inner.read_bit()
+    }
+
+    /// Read `n` bits.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        self.inner.read_bits(n)
+    }
+
+    /// Skip `n` bits (fixed-rate block padding).
+    pub fn skip(&mut self, n: u64) -> Result<()> {
+        self.inner.skip(n)
+    }
+}

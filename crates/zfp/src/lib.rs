@@ -1,0 +1,24 @@
+//! # pressio-zfp
+//!
+//! A ZFP-style transform-based compressor written from scratch in Rust,
+//! standing in for ZFP 0.5.5 in this reproduction of the LibPressio paper
+//! (see the workspace DESIGN.md substitution table).
+//!
+//! The pipeline follows the published algorithm: 4^d blocks are aligned to a
+//! common exponent (block floating point), decorrelated with a reversible
+//! integer lifting transform, reordered by total sequency, mapped to
+//! negabinary, and coded one bit plane at a time with unary group testing.
+//! Fixed-rate, fixed-precision, and fixed-accuracy modes are supported.
+//!
+//! Like the real library, the kernel is natively Fortran-ordered; the plugin
+//! translates from the interface's uniform C ordering.
+
+#![warn(missing_docs)]
+
+pub mod bitbudget;
+pub mod block;
+pub mod kernel;
+pub mod plugin;
+
+pub use kernel::{compress_f64, decompress_f64, ZfpMode};
+pub use plugin::{register_builtins, Zfp};

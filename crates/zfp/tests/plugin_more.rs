@@ -1,0 +1,94 @@
+//! Additional ZFP plugin behavior tests: rate-mode size planning, the
+//! generic option aliases, and interoperability details that the paper's
+//! interface arguments rely on.
+
+use pressio_core::{Compressor, DType, Data, Options};
+use pressio_zfp::{Zfp, ZfpMode};
+
+fn field(n: usize) -> Data {
+    let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+    Data::from_vec(vals, vec![n]).unwrap()
+}
+
+#[test]
+fn generic_rate_and_prec_aliases() {
+    let mut c = Zfp::default();
+    c.set_options(&Options::new().with(pressio_core::OPT_RATE, 8.0f64))
+        .unwrap();
+    assert_eq!(c.mode(), ZfpMode::FixedRate(8.0));
+    c.set_options(&Options::new().with(pressio_core::OPT_PREC, 24u32))
+        .unwrap();
+    assert_eq!(c.mode(), ZfpMode::FixedPrecision(24));
+}
+
+#[test]
+fn rate_mode_stream_size_is_data_independent() {
+    // Random-access planning: the stream size depends only on geometry and
+    // rate, never on content.
+    let mut c = Zfp::default();
+    c.set_options(&Options::new().with("zfp:rate", 6.0f64)).unwrap();
+    let smooth = field(4096);
+    let noisy = {
+        let mut s = 0xDEADu64;
+        let vals: Vec<f64> = (0..4096)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        Data::from_vec(vals, vec![4096]).unwrap()
+    };
+    let a = c.compress(&smooth).unwrap().size_in_bytes();
+    let b = c.compress(&noisy).unwrap().size_in_bytes();
+    assert_eq!(a, b, "fixed-rate streams must be content-independent");
+}
+
+#[test]
+fn accuracy_stream_decodes_after_reconfiguration() {
+    // The stream records its own mode: changing the plugin's options after
+    // compressing must not corrupt decompression.
+    let input = field(2048);
+    let mut c = Zfp::default();
+    c.set_options(&Options::new().with("zfp:accuracy", 1e-4f64)).unwrap();
+    let compressed = c.compress(&input).unwrap();
+    // Reconfigure to a completely different mode before decompressing.
+    c.set_options(&Options::new().with("zfp:rate", 4.0f64)).unwrap();
+    let mut out = Data::owned(DType::F64, vec![2048]);
+    c.decompress(&compressed, &mut out).unwrap();
+    let max_err = input
+        .as_slice::<f64>()
+        .unwrap()
+        .iter()
+        .zip(out.as_slice::<f64>().unwrap())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err <= 1e-4);
+}
+
+#[test]
+fn wrong_output_dtype_is_a_clean_error() {
+    let input = field(64);
+    let mut c = Zfp::default();
+    let compressed = c.compress(&input).unwrap();
+    let mut wrong = Data::owned(DType::F32, vec![64]);
+    let err = c.decompress(&compressed, &mut wrong).unwrap_err();
+    assert_eq!(err.code(), pressio_core::ErrorCode::InvalidArgument);
+    assert!(err.to_string().contains("dtype"));
+}
+
+#[test]
+fn four_dimensional_input_collapses() {
+    // >3-d inputs collapse extra dims into the slow axis and still honor
+    // the tolerance.
+    let n = 2 * 3 * 8 * 8;
+    let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+    let input = Data::from_vec(vals.clone(), vec![2, 3, 8, 8]).unwrap();
+    let mut c = Zfp::default();
+    c.set_options(&Options::new().with("zfp:accuracy", 1e-3f64)).unwrap();
+    let compressed = c.compress(&input).unwrap();
+    let mut out = Data::owned(DType::F64, vec![2, 3, 8, 8]);
+    c.decompress(&compressed, &mut out).unwrap();
+    for (a, b) in vals.iter().zip(out.as_slice::<f64>().unwrap()) {
+        assert!((a - b).abs() <= 1e-3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the ZFP-style kernel's guarantees.
+
+use pressio_zfp::{compress_f64, decompress_f64, ZfpMode};
+use proptest::prelude::*;
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fixed_accuracy_bound_holds_1d(
+        vals in proptest::collection::vec(-1e9f64..1e9, 1..2048),
+        tol_exp in -8i32..4,
+    ) {
+        let tol = 10f64.powi(tol_exp);
+        let mode = ZfpMode::FixedAccuracy(tol);
+        let dims = [vals.len()];
+        let enc = compress_f64(&vals, &dims, mode).unwrap();
+        let dec = decompress_f64(&enc, &dims, mode).unwrap();
+        prop_assert!(max_err(&vals, &dec) <= tol);
+    }
+
+    #[test]
+    fn fixed_accuracy_bound_holds_2d_3d(
+        ny in 1usize..24,
+        nx in 1usize..24,
+        nz in 1usize..8,
+        seed in any::<u64>(),
+        tol_exp in -6i32..2,
+    ) {
+        let tol = 10f64.powi(tol_exp);
+        let mut s = seed;
+        let vals: Vec<f64> = (0..nz * ny * nx)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2e3
+            })
+            .collect();
+        for dims in [vec![ny * nz, nx], vec![nz, ny, nx]] {
+            let mode = ZfpMode::FixedAccuracy(tol);
+            let enc = compress_f64(&vals, &dims, mode).unwrap();
+            let dec = decompress_f64(&enc, &dims, mode).unwrap();
+            prop_assert!(max_err(&vals, &dec) <= tol, "dims {:?}", dims);
+        }
+    }
+
+    #[test]
+    fn fixed_rate_size_is_exact(
+        n_blocks in 1usize..64,
+        rate in 1u32..33,
+    ) {
+        // 1-d blocks of 4 values at integer rates: stream size must be
+        // exactly ceil(blocks * rate * 4 / 8) bytes.
+        let n = n_blocks * 4;
+        let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mode = ZfpMode::FixedRate(rate as f64);
+        let enc = compress_f64(&vals, &[n], mode).unwrap();
+        let expect_bits = (n_blocks as u64) * (rate as u64 * 4).max(13);
+        prop_assert_eq!(enc.len() as u64, expect_bits.div_ceil(8));
+        // And it must decode.
+        let dec = decompress_f64(&enc, &[n], mode).unwrap();
+        prop_assert_eq!(dec.len(), n);
+    }
+
+    #[test]
+    fn full_precision_is_near_lossless(
+        vals in proptest::collection::vec(-1e6f64..1e6, 4..512),
+    ) {
+        let mode = ZfpMode::FixedPrecision(64);
+        let dims = [vals.len()];
+        let enc = compress_f64(&vals, &dims, mode).unwrap();
+        let dec = decompress_f64(&enc, &dims, mode).unwrap();
+        let scale = vals.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-300);
+        prop_assert!(max_err(&vals, &dec) / scale < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_streams_never_panic(
+        vals in proptest::collection::vec(-1e3f64..1e3, 4..256),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..6),
+    ) {
+        let mode = ZfpMode::FixedAccuracy(1e-3);
+        let dims = [vals.len()];
+        let mut enc = compress_f64(&vals, &dims, mode).unwrap();
+        for (pos, bit) in flips {
+            let at = pos as usize % enc.len();
+            enc[at] ^= 1 << bit;
+        }
+        let _ = decompress_f64(&enc, &dims, mode);
+        let cut = enc.len() / 2;
+        let _ = decompress_f64(&enc[..cut], &dims, mode);
+    }
+}

@@ -1,0 +1,77 @@
+//! Climate-workflow scenario: assess which compressor to use for a
+//! hurricane-simulation field — the Z-Checker-style workflow the paper's
+//! introduction motivates ("determining which one to use can be time
+//! consuming requiring code modifications and trial and error"; here it is
+//! one loop over plugin names).
+//!
+//! Run with: `cargo run --release --example climate_analysis`
+
+use libpressio::prelude::*;
+use libpressio::zchecker::Sweep;
+
+fn main() -> libpressio::Result<()> {
+    libpressio::init();
+
+    // A hurricane-like CLOUD field (SDRBench stand-in), 10x100x100 f32.
+    let field = libpressio::datagen::hurricane_cloud(10, 100, 100, 2026);
+    println!(
+        "dataset: hurricane-like CLOUD field, {} {:?}, {:.1} KiB\n",
+        field.dtype(),
+        field.dims(),
+        field.size_in_bytes() as f64 / 1024.0
+    );
+
+    // One generic sweep covers every error-bounded compressor: no
+    // per-compressor code.
+    let mut sweep = Sweep::new(
+        &["sz", "sz_interp", "zfp", "mgard", "linear_quantizer"],
+        &[1e-2, 1e-3, 1e-4],
+    );
+    sweep.run(&field)?;
+    println!("{}", sweep.to_table());
+
+    let range = pressio_core::value_range(field.as_slice::<f32>()?) as f64;
+    println!("recommended operating points (bound respected, best ratio):");
+    for r in sweep.recommend(range) {
+        println!(
+            "  {:<18} rel {:>8.0e}  ratio {:>8.2}  psnr {:>7.2} dB",
+            r.compressor, r.rel_bound, r.ratio, r.psnr
+        );
+    }
+
+    // Deep-dive on the winner with the full metric battery.
+    let best = sweep
+        .rows
+        .iter()
+        .filter(|r| r.rel_bound == 1e-3)
+        .max_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("finite"))
+        .expect("sweep ran");
+    println!("\nfull battery for {} at rel 1e-3:", best.compressor);
+    let a = libpressio::zchecker::Assessment::run_with_metrics(
+        &best.compressor,
+        &Options::new().with(pressio_core::OPT_REL, 1e-3f64),
+        &field,
+        &[
+            "size",
+            "error_stat",
+            "pearson",
+            "autocorr",
+            "kl_divergence",
+            "spatial_error",
+        ],
+    )?;
+    for key in [
+        "size:compression_ratio",
+        "error_stat:psnr",
+        "error_stat:max_error",
+        "pearson:r",
+        "autocorr:lag1",
+        "kl_divergence:forward",
+        "spatial_error:percent",
+    ] {
+        if let Some(v) = a.value(key) {
+            println!("  {key:<28} {v:.6}");
+        }
+    }
+    Ok(())
+}

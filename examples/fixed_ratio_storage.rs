@@ -1,0 +1,73 @@
+//! Storage-budget scenario: a cosmology code must fit checkpoints into a
+//! fixed storage allocation, so it needs a *fixed compression ratio* rather
+//! than a fixed error bound — the FRaZ / LibPressio-Opt workflow ([4], [25]
+//! in the paper). The `opt` meta-compressor searches the error bound to hit
+//! the target ratio, then the result goes into an h5lite container through
+//! the generic filter.
+//!
+//! Run with: `cargo run --release --example fixed_ratio_storage`
+
+use libpressio::prelude::*;
+
+fn main() -> libpressio::Result<()> {
+    let library = libpressio::instance();
+
+    let density = libpressio::datagen::nyx_density(64, 7);
+    let raw_mb = density.size_in_bytes() as f64 / 1e6;
+    println!("checkpoint field: nyx-like density, {} {:?}, {raw_mb:.1} MB", density.dtype(), density.dims());
+
+    // We have budget for 1/40th of the raw size.
+    let target_ratio = 40.0;
+    let mut opt = library.get_compressor("opt")?;
+    opt.set_options(
+        &Options::new()
+            .with("opt:compressor", "sz")
+            .with("opt:target_ratio", target_ratio)
+            .with("opt:lower", 1e-10f64)
+            .with("opt:upper", 10.0f64),
+    )?;
+    let compressed = opt.compress(&density)?;
+    let achieved = density.size_in_bytes() as f64 / compressed.size_in_bytes() as f64;
+
+    let results = opt.get_options();
+    let chosen = results.get_as::<f64>("opt:chosen_value")?.expect("opt ran");
+    let evals = results.get_as::<u32>("opt:evaluations")?.expect("opt ran");
+    println!(
+        "target ratio {target_ratio}: achieved {achieved:.1} with abs bound {chosen:.3e} ({evals} trial compressions)"
+    );
+    assert!(achieved >= target_ratio * 0.85);
+
+    // Quality check at the chosen operating point.
+    let mut output = Data::owned(density.dtype(), density.dims().to_vec());
+    opt.decompress(&compressed, &mut output)?;
+    let max_err = density
+        .to_f64_vec()?
+        .iter()
+        .zip(output.to_f64_vec()?.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max abs error at that point: {max_err:.3e}");
+
+    // Store through the h5lite container: one *generic* filter, configured
+    // with the bound the optimizer chose.
+    let mut file = libpressio::io::H5File::new();
+    file.put_filtered(
+        "native_fields/baryon_density",
+        &density,
+        "sz",
+        &Options::new().with(pressio_core::OPT_ABS, chosen),
+    )?;
+    let dir = std::env::temp_dir().join("pressio-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("checkpoint.h5l");
+    file.save(&path)?;
+    let on_disk = std::fs::metadata(&path)?.len() as f64 / 1e6;
+    println!("h5lite container on disk: {on_disk:.2} MB (raw {raw_mb:.1} MB)");
+
+    // Read back through the container.
+    let reopened = libpressio::io::H5File::open(&path)?;
+    let back = reopened.get("native_fields/baryon_density")?;
+    assert_eq!(back.dims(), density.dims());
+    println!("container reads back dataset {:?} OK", reopened.names());
+    Ok(())
+}

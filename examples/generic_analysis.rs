@@ -1,0 +1,35 @@
+//! Table II workload — "Z-Checker-style analysis", LibPressio implementation.
+//!
+//! The same seven-compressor assessment as `native_analysis.rs`, via the
+//! generic interface: one loop over plugin names, one shared metric battery,
+//! bound semantics handled by each plugin. Adding an eighth compressor is
+//! one string.
+//!
+//! Run: `cargo run --release --example generic_analysis`
+
+use libpressio::zchecker::Assessment;
+use libpressio::Options;
+
+fn main() -> libpressio::Result<()> {
+    libpressio::init();
+    // f64, matching the native version's working precision.
+    let field = libpressio::datagen::nyx_density(48, 3).cast(libpressio::DType::F64)?;
+    println!("generic analysis of 7 compressors (rel bound 1e-3 where applicable)\n");
+    println!(
+        "{:<14} {:>8} {:>12} {:>10} {:>9}",
+        "compressor", "ratio", "max_err", "psnr_db", "comp_ms"
+    );
+    for name in ["sz", "zfp", "mgard", "fpzip", "deflate", "lz", "bit_grooming"] {
+        let opts = Options::new().with(pressio_core::OPT_REL, 1e-3f64);
+        let a = Assessment::run(name, &opts, &field)?;
+        println!(
+            "{:<14} {:>8.2} {:>12.3e} {:>10.2} {:>9.2}",
+            name,
+            a.value("size:compression_ratio").unwrap_or(f64::NAN),
+            a.value("error_stat:max_error").unwrap_or(f64::NAN),
+            a.value("error_stat:psnr").unwrap_or(f64::INFINITY),
+            a.value("time:compress").unwrap_or(f64::NAN),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Table II workload — "CLI", the LibPressio implementation.
+//!
+//! One CLI covering what `native_cli_sz.rs` + `native_cli_zfp.rs` +
+//! `native_cli_mgard.rs` implement three times over — and every *other*
+//! registered compressor too, with uniform C dimension ordering, generic
+//! bounds, and self-describing streams, for free.
+//!
+//! Run: `cargo run --example generic_cli -- compress <name> <in> <out> <dtype> <dims> <key=value>...`
+//! (or with no args: self-test across sz, zfp, and mgard)
+
+use std::process::ExitCode;
+
+use libpressio::prelude::*;
+
+fn parse_dims(s: &str) -> libpressio::Result<Vec<usize>> {
+    s.split(',')
+        .map(|p| {
+            p.trim().parse::<usize>().map_err(|_| {
+                libpressio::Error::invalid_argument(format!("bad dimension {p:?}"))
+            })
+        })
+        .collect()
+}
+
+fn parse_opts(pairs: &[String]) -> libpressio::Result<Options> {
+    let mut o = Options::new();
+    for p in pairs {
+        let (k, v) = p.split_once('=').ok_or_else(|| {
+            libpressio::Error::invalid_argument(format!("expected key=value, got {p:?}"))
+        })?;
+        if let Ok(f) = v.parse::<f64>() {
+            o.set(k, f);
+        } else {
+            o.set(k, v);
+        }
+    }
+    Ok(o)
+}
+
+fn do_compress(args: &[String]) -> libpressio::Result<()> {
+    let [name, input, output, dtype, dims, rest @ ..] = args else {
+        return Err(libpressio::Error::invalid_argument(
+            "usage: compress <compressor> <in> <out> <dtype> <dims> <key=value>...",
+        ));
+    };
+    let library = libpressio::instance();
+    let mut c = library.get_compressor(name)?;
+    c.set_options(&parse_opts(rest)?)?;
+    c.set_metrics(library.new_metrics(&["size"])?);
+    let bytes = std::fs::read(input)?;
+    let mut data = Data::owned(DType::from_name(dtype)?, parse_dims(dims)?);
+    data.as_bytes_mut().copy_from_slice(&bytes);
+    let compressed = c.compress(&data)?;
+    std::fs::write(output, compressed.as_bytes())?;
+    let ratio = c
+        .metrics_results()
+        .get_as::<f64>("size:compression_ratio")?
+        .unwrap_or(f64::NAN);
+    println!("compression ratio: {ratio:.2}");
+    Ok(())
+}
+
+fn do_decompress(args: &[String]) -> libpressio::Result<()> {
+    let [name, input, output, dtype] = args else {
+        return Err(libpressio::Error::invalid_argument(
+            "usage: decompress <compressor> <in> <out> <dtype>",
+        ));
+    };
+    let library = libpressio::instance();
+    let mut c = library.get_compressor(name)?;
+    let bytes = std::fs::read(input)?;
+    // Streams are self-describing: dims come from the stream itself.
+    let mut out = Data::owned(DType::from_name(dtype)?, vec![0]);
+    c.decompress(&Data::from_bytes(&bytes), &mut out)?;
+    std::fs::write(output, out.as_bytes())?;
+    Ok(())
+}
+
+fn self_test() -> libpressio::Result<()> {
+    let dir = std::env::temp_dir().join("generic-cli");
+    std::fs::create_dir_all(&dir)?;
+    let raw = dir.join("in.bin");
+    let vals: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
+    let data = Data::from_vec(vals, vec![64, 64])?;
+    std::fs::write(&raw, data.as_bytes())?;
+    let s = |p: std::path::PathBuf| p.to_string_lossy().into_owned();
+    // The same five lines drive every compressor.
+    for name in ["sz", "zfp", "mgard"] {
+        let comp = dir.join(format!("{name}.c"));
+        let dec = dir.join(format!("{name}.d"));
+        do_compress(&[
+            name.into(),
+            s(raw.clone()),
+            s(comp.clone()),
+            "f64".into(),
+            "64,64".into(),
+            "pressio:abs=0.001".into(),
+        ])?;
+        do_decompress(&[name.into(), s(comp), s(dec.clone()), "f64".into()])?;
+        let back = std::fs::read(&dec)?;
+        let back: Vec<f64> = back
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        for (a, b) in data.as_slice::<f64>()?.iter().zip(&back) {
+            assert!((a - b).abs() <= 1e-3, "{name}: {a} vs {b}");
+        }
+    }
+    println!("self-test ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(|s| s.as_str()) {
+        Some("compress") => do_compress(&argv[1..]),
+        Some("decompress") => do_decompress(&argv[1..]),
+        None => self_test(),
+        Some(c) => Err(libpressio::Error::invalid_argument(format!(
+            "unknown command {c}"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("generic_cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Table II workload — "configuration optimizer", LibPressio implementation.
+//!
+//! The same fixed-ratio search as `native_optimizer.rs` via the `opt`
+//! meta-compressor; the child compressor is a string, so the identical
+//! code tunes SZ, ZFP, MGARD, or anything registered.
+//!
+//! Run: `cargo run --release --example generic_optimizer`
+
+use libpressio::prelude::*;
+
+fn main() -> libpressio::Result<()> {
+    let library = libpressio::instance();
+    let field = libpressio::datagen::nyx_density(48, 21);
+
+    for child in ["sz", "zfp"] {
+        for target in [10.0f64, 40.0] {
+            let mut opt = library.get_compressor("opt")?;
+            opt.set_options(
+                &Options::new()
+                    .with("opt:compressor", child)
+                    .with("opt:target_ratio", target)
+                    .with("opt:lower", 1e-10f64)
+                    .with("opt:upper", 10.0f64),
+            )?;
+            match opt.compress(&field) {
+                Ok(_) => {
+                    let r = opt.get_options();
+                    println!(
+                        "{child:<4} target {target:>5.0}: bound {:.3e} -> ratio {:.1} ({} trials)",
+                        r.get_as::<f64>("opt:chosen_value")?.unwrap_or(f64::NAN),
+                        r.get_as::<f64>("opt:achieved_ratio")?.unwrap_or(f64::NAN),
+                        r.get_as::<u32>("opt:evaluations")?.unwrap_or(0),
+                    );
+                }
+                Err(e) => println!("{child:<4} target {target:>5.0}: {e}"),
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Table II workload — "Z-Checker-style analysis", native implementation.
+//!
+//! Assess seven compressors on one field, writing one hand-rolled adapter
+//! per compressor against its native interface: the SZ kernel (params
+//! struct, C dims), the ZFP kernel (mode enum, Fortran dims), the MGARD
+//! kernel (plain tolerance), fpzip (typed functions per precision), deflate
+//! and LZ (byte functions), and bit grooming (in-place mantissa filter +
+//! separate byte backend). Each adapter resolves bounds, frames buffers,
+//! and computes statistics its own way — the redundancy Table II counts.
+//! Compare with `generic_analysis.rs`.
+//!
+//! Run: `cargo run --release --example native_analysis`
+
+use std::time::Instant;
+
+use pressio_codecs::{deflate, float as fpzip, grooming, lz77, shuffle};
+use pressio_sz::{compress_body as sz_compress, decompress_body as sz_decompress, SzParams};
+use pressio_zfp::{compress_f64 as zfp_compress, decompress_f64 as zfp_decompress, ZfpMode};
+
+const REL_BOUND: f64 = 1e-3;
+
+struct Row {
+    name: &'static str,
+    ratio: f64,
+    max_err: f64,
+    psnr: f64,
+    comp_ms: f64,
+}
+
+fn stats(name: &'static str, orig: &[f64], dec: &[f64], comp_len: usize, comp_ms: f64) -> Row {
+    let n = orig.len() as f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sq = 0.0;
+    let mut max_err = 0.0f64;
+    for (&a, &b) in orig.iter().zip(dec) {
+        min = min.min(a);
+        max = max.max(a);
+        let e = (a - b).abs();
+        sq += e * e;
+        max_err = max_err.max(e);
+    }
+    let range = max - min;
+    let mse = sq / n;
+    let psnr = if mse > 0.0 && range > 0.0 {
+        20.0 * range.log10() - 10.0 * mse.log10()
+    } else {
+        f64::INFINITY
+    };
+    Row {
+        name,
+        ratio: (orig.len() * 8) as f64 / comp_len as f64,
+        max_err,
+        psnr,
+        comp_ms,
+    }
+}
+
+fn value_range(v: &[f64]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in v {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    max - min
+}
+
+fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+// --- adapter 1: SZ (native: params struct, C-ordered dims, rel resolved by
+// --- the caller) ------------------------------------------------------------
+fn assess_sz(data: &[f64], dims: &[usize]) -> Row {
+    let abs = REL_BOUND * value_range(data);
+    let p = SzParams {
+        abs_eb: abs,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let body = sz_compress(data, dims, &p).expect("sz kernel");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let dec: Vec<f64> = sz_decompress(&body, dims).expect("sz kernel");
+    stats("sz", data, &dec, body.len(), ms)
+}
+
+// --- adapter 2: ZFP (native: Fortran dims, accuracy mode, abs only) ---------
+fn assess_zfp(data: &[f64], dims: &[usize]) -> Row {
+    let fdims: Vec<usize> = dims.iter().rev().copied().collect();
+    let abs = REL_BOUND * value_range(data); // zfp has no rel mode
+    let mode = ZfpMode::FixedAccuracy(abs);
+    let t = Instant::now();
+    let body = zfp_compress(data, &fdims, mode).expect("zfp kernel");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let dec = zfp_decompress(&body, &fdims, mode).expect("zfp kernel");
+    stats("zfp", data, &dec, body.len(), ms)
+}
+
+// --- adapter 3: MGARD (native: plain tolerance, >=3 points/dim) -------------
+fn assess_mgard(data: &[f64], dims: &[usize]) -> Row {
+    let abs = REL_BOUND * value_range(data);
+    let t = Instant::now();
+    let body = pressio_mgard::compress_body(data, dims, abs).expect("mgard kernel");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let dec = pressio_mgard::decompress_body(&body, dims).expect("mgard kernel");
+    stats("mgard", data, &dec, body.len(), ms)
+}
+
+// --- adapter 4: fpzip (native: one function per precision, lossless) --------
+fn assess_fpzip(data: &[f64], _dims: &[usize]) -> Row {
+    let t = Instant::now();
+    let body = fpzip::compress_f64(data);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let dec = fpzip::decompress_f64(&body).expect("fpzip");
+    stats("fpzip", data, &dec, body.len(), ms)
+}
+
+// --- adapter 5: deflate (native: plain byte function, caller serializes) ----
+fn assess_deflate(data: &[f64], _dims: &[usize]) -> Row {
+    let bytes = f64s_to_bytes(data);
+    let t = Instant::now();
+    let body = deflate::compress(&bytes);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let dec = bytes_to_f64s(&deflate::decompress(&body).expect("deflate"));
+    stats("deflate", data, &dec, body.len(), ms)
+}
+
+// --- adapter 6: lz (native: another byte function, another framing) ---------
+fn assess_lz(data: &[f64], _dims: &[usize]) -> Row {
+    let bytes = f64s_to_bytes(data);
+    let t = Instant::now();
+    let body = lz77::compress(&bytes);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let dec = bytes_to_f64s(&lz77::decompress(&body).expect("lz"));
+    stats("lz", data, &dec, body.len(), ms)
+}
+
+// --- adapter 7: bit grooming (native: in-place filter + caller-chosen
+// --- backend + caller must remember nsd to interpret results) ---------------
+fn assess_grooming(data: &[f64], _dims: &[usize]) -> Row {
+    let mut groomed = data.to_vec();
+    let t = Instant::now();
+    grooming::groom_f64(&mut groomed, 4, grooming::GroomMode::Groom);
+    let staged = shuffle::shuffle(&f64s_to_bytes(&groomed), 8);
+    let body = deflate::compress(&staged);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let unshuffled = shuffle::unshuffle(&deflate::decompress(&body).expect("backend"), 8);
+    let dec = bytes_to_f64s(&unshuffled);
+    stats("bit_grooming", data, &dec, body.len(), ms)
+}
+
+fn main() {
+    let field = pressio_datagen::nyx_density(48, 3);
+    let data = field.to_f64_vec().expect("float field");
+    let dims = field.dims().to_vec();
+    println!("native analysis of 7 compressors (rel bound {REL_BOUND:.0e} where applicable)\n");
+    println!(
+        "{:<14} {:>8} {:>12} {:>10} {:>9}",
+        "compressor", "ratio", "max_err", "psnr_db", "comp_ms"
+    );
+    type Adapter = fn(&[f64], &[usize]) -> Row;
+    let adapters: Vec<Adapter> = vec![
+        assess_sz,
+        assess_zfp,
+        assess_mgard,
+        assess_fpzip,
+        assess_deflate,
+        assess_lz,
+        assess_grooming,
+    ];
+    for f in adapters {
+        let r = f(&data, &dims);
+        println!(
+            "{:<14} {:>8.2} {:>12.3e} {:>10.2} {:>9.2}",
+            r.name, r.ratio, r.max_err, r.psnr, r.comp_ms
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Table II workload — "CLI", native implementation #3 of 3.
+//!
+//! The same CLI again, rewritten for the MGARD kernel's native interface:
+//! f64 only, absolute tolerance only, and a hard requirement of at least 3
+//! points per dimension that the caller must understand.
+//!
+//! Run: `cargo run --example native_cli_mgard -- compress <in> <out> <dims> <tolerance>`
+//! (or with no args: self-test on synthetic data)
+
+use std::process::ExitCode;
+
+use pressio_mgard::{compress_body, decompress_body};
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn bytes_to_f64(bytes: &[u8]) -> Result<Vec<f64>, String> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err("file size is not a multiple of 8".to_string());
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+fn f64_to_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Yet another incompatible framing, specific to this CLI.
+fn frame(dims: &[usize], body: &[u8]) -> Vec<u8> {
+    let mut out = vec![b'M', b'G', b'C', b'L', dims.len() as u8];
+    for &d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(body);
+    out
+}
+
+fn deframe(bytes: &[u8]) -> Result<(Vec<usize>, &[u8]), String> {
+    if bytes.len() < 5 || &bytes[..4] != b"MGCL" {
+        return Err("not an mgard-cli stream".to_string());
+    }
+    let nd = bytes[4] as usize;
+    let mut dims = Vec::with_capacity(nd);
+    let mut at = 5;
+    for _ in 0..nd {
+        let chunk: [u8; 8] = bytes
+            .get(at..at + 8)
+            .ok_or("truncated header")?
+            .try_into()
+            .map_err(|_| "truncated header")?;
+        dims.push(u64::from_le_bytes(chunk) as usize);
+        at += 8;
+    }
+    Ok((dims, &bytes[at..]))
+}
+
+fn do_compress(args: &[String]) -> Result<(), String> {
+    let [input, output, dims, tol] = args else {
+        return Err("usage: compress <in> <out> <dims> <tolerance>".to_string());
+    };
+    let dims = parse_dims(dims)?;
+    // CAUTION (native-interface footgun): any dimension below 3 is an error;
+    // the caller must reshape beforehand.
+    let tol: f64 = tol.parse().map_err(|e: std::num::ParseFloatError| e.to_string())?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let vals = bytes_to_f64(&bytes)?;
+    let body = compress_body(&vals, &dims, tol).map_err(|e| e.to_string())?;
+    let framed = frame(&dims, &body);
+    std::fs::write(output, &framed).map_err(|e| e.to_string())?;
+    println!(
+        "compression ratio: {:.2}",
+        bytes.len() as f64 / framed.len() as f64
+    );
+    Ok(())
+}
+
+fn do_decompress(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("usage: decompress <in> <out>".to_string());
+    };
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let (dims, body) = deframe(&bytes)?;
+    let vals = decompress_body(body, &dims).map_err(|e| e.to_string())?;
+    std::fs::write(output, f64_to_bytes(&vals)).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn self_test() -> Result<(), String> {
+    let dir = std::env::temp_dir().join("native-cli-mgard");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let raw = dir.join("in.bin");
+    let comp = dir.join("out.mgc");
+    let dec = dir.join("dec.bin");
+    let vals: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
+    std::fs::write(&raw, f64_to_bytes(&vals)).map_err(|e| e.to_string())?;
+    let s = |p: &std::path::Path| p.to_string_lossy().into_owned();
+    do_compress(&[s(&raw), s(&comp), "64,64".into(), "0.001".into()])?;
+    do_decompress(&[s(&comp), s(&dec)])?;
+    let back = bytes_to_f64(&std::fs::read(&dec).map_err(|e| e.to_string())?)?;
+    for (a, b) in vals.iter().zip(&back) {
+        if (a - b).abs() > 1e-3 {
+            return Err(format!("tolerance violated: {a} vs {b}"));
+        }
+    }
+    println!("self-test ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(|s| s.as_str()) {
+        Some("compress") => do_compress(&argv[1..]),
+        Some("decompress") => do_decompress(&argv[1..]),
+        None => self_test(),
+        Some(c) => Err(format!("unknown command {c}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("native_cli_mgard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Table II workload — "CLI", native implementation #1 of 3.
+//!
+//! A standalone compression CLI written directly against the SZ kernel's
+//! native interface, the way `sz`'s own command line tool is written. Note
+//! everything this file must do by hand — and must be rewritten for every
+//! other compressor (see `native_cli_zfp.rs`, `native_cli_mgard.rs`):
+//! argument parsing, dtype handling, error-bound mode resolution, stream
+//! framing, and statistics.
+//!
+//! Run: `cargo run --example native_cli_sz -- compress <in> <out> <f32|f64> <dims> <abs|rel> <bound>`
+//! (or with no args: self-test on synthetic data)
+
+use std::process::ExitCode;
+
+use pressio_sz::{compress_body, decompress_body, SzParams};
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn value_range_f32(v: &[f32]) -> f64 {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &x in v {
+        if x.is_nan() {
+            continue;
+        }
+        min = min.min(x);
+        max = max.max(x);
+    }
+    (max - min) as f64
+}
+
+fn value_range_f64(v: &[f64]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in v {
+        if x.is_nan() {
+            continue;
+        }
+        min = min.min(x);
+        max = max.max(x);
+    }
+    max - min
+}
+
+fn bytes_to_f32(bytes: &[u8]) -> Result<Vec<f32>, String> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err("file size is not a multiple of 4".to_string());
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn bytes_to_f64(bytes: &[u8]) -> Result<Vec<f64>, String> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err("file size is not a multiple of 8".to_string());
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+fn f32_to_bytes(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn f64_to_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// The CLI's own framing: dtype tag, dim count, dims, then the kernel body.
+fn frame(dtype: u8, dims: &[usize], body: &[u8]) -> Vec<u8> {
+    let mut out = vec![b'S', b'Z', b'C', b'L', dtype, dims.len() as u8];
+    for &d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(body);
+    out
+}
+
+fn deframe(bytes: &[u8]) -> Result<(u8, Vec<usize>, &[u8]), String> {
+    if bytes.len() < 6 || &bytes[..4] != b"SZCL" {
+        return Err("not an sz-cli stream".to_string());
+    }
+    let dtype = bytes[4];
+    let nd = bytes[5] as usize;
+    let mut dims = Vec::with_capacity(nd);
+    let mut at = 6;
+    for _ in 0..nd {
+        let chunk: [u8; 8] = bytes
+            .get(at..at + 8)
+            .ok_or("truncated header")?
+            .try_into()
+            .map_err(|_| "truncated header")?;
+        dims.push(u64::from_le_bytes(chunk) as usize);
+        at += 8;
+    }
+    Ok((dtype, dims, &bytes[at..]))
+}
+
+fn do_compress(args: &[String]) -> Result<(), String> {
+    let [input, output, dtype, dims, mode, bound] = args else {
+        return Err("usage: compress <in> <out> <f32|f64> <dims> <abs|rel> <bound>".to_string());
+    };
+    let dims = parse_dims(dims)?;
+    let bound: f64 = bound.parse().map_err(|e: std::num::ParseFloatError| e.to_string())?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let (body, dtag, n_in) = match dtype.as_str() {
+        "f32" => {
+            let vals = bytes_to_f32(&bytes)?;
+            let abs = match mode.as_str() {
+                "abs" => bound,
+                "rel" => bound * value_range_f32(&vals),
+                m => return Err(format!("unknown bound mode {m}")),
+            };
+            let p = SzParams {
+                abs_eb: abs,
+                ..Default::default()
+            };
+            (
+                compress_body(&vals, &dims, &p).map_err(|e| e.to_string())?,
+                0u8,
+                bytes.len(),
+            )
+        }
+        "f64" => {
+            let vals = bytes_to_f64(&bytes)?;
+            let abs = match mode.as_str() {
+                "abs" => bound,
+                "rel" => bound * value_range_f64(&vals),
+                m => return Err(format!("unknown bound mode {m}")),
+            };
+            let p = SzParams {
+                abs_eb: abs,
+                ..Default::default()
+            };
+            (
+                compress_body(&vals, &dims, &p).map_err(|e| e.to_string())?,
+                1u8,
+                bytes.len(),
+            )
+        }
+        t => return Err(format!("unsupported dtype {t}")),
+    };
+    let framed = frame(dtag, &dims, &body);
+    std::fs::write(output, &framed).map_err(|e| e.to_string())?;
+    println!(
+        "compression ratio: {:.2}",
+        n_in as f64 / framed.len() as f64
+    );
+    Ok(())
+}
+
+fn do_decompress(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("usage: decompress <in> <out>".to_string());
+    };
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let (dtag, dims, body) = deframe(&bytes)?;
+    let raw = match dtag {
+        0 => {
+            let vals: Vec<f32> = decompress_body(body, &dims).map_err(|e| e.to_string())?;
+            f32_to_bytes(&vals)
+        }
+        1 => {
+            let vals: Vec<f64> = decompress_body(body, &dims).map_err(|e| e.to_string())?;
+            f64_to_bytes(&vals)
+        }
+        t => return Err(format!("unknown dtype tag {t}")),
+    };
+    std::fs::write(output, raw).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn self_test() -> Result<(), String> {
+    let dir = std::env::temp_dir().join("native-cli-sz");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let raw = dir.join("in.bin");
+    let comp = dir.join("out.szc");
+    let dec = dir.join("dec.bin");
+    let vals: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
+    std::fs::write(&raw, f64_to_bytes(&vals)).map_err(|e| e.to_string())?;
+    let s = |p: &std::path::Path| p.to_string_lossy().into_owned();
+    do_compress(&[s(&raw), s(&comp), "f64".into(), "64,64".into(), "rel".into(), "0.001".into()])?;
+    do_decompress(&[s(&comp), s(&dec)])?;
+    let back = bytes_to_f64(&std::fs::read(&dec).map_err(|e| e.to_string())?)?;
+    let range = value_range_f64(&vals);
+    for (a, b) in vals.iter().zip(&back) {
+        if (a - b).abs() > 1e-3 * range {
+            return Err(format!("bound violated: {a} vs {b}"));
+        }
+    }
+    println!("self-test ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(|s| s.as_str()) {
+        Some("compress") => do_compress(&argv[1..]),
+        Some("decompress") => do_decompress(&argv[1..]),
+        None => self_test(),
+        Some(c) => Err(format!("unknown command {c}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("native_cli_sz: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Table II workload — "CLI", native implementation #2 of 3.
+//!
+//! The same CLI as `native_cli_sz.rs`, rewritten against the ZFP kernel's
+//! native interface. Note the differences a user must track by hand versus
+//! the SZ version: ZFP wants **Fortran dimension order** (fastest first),
+//! has three modes (rate/precision/accuracy) instead of bound modes, stores
+//! no relative-bound concept, and only takes `f64` — every divergence the
+//! uniform interface hides.
+//!
+//! Run: `cargo run --example native_cli_zfp -- compress <in> <out> <dims-fortran> <rate|precision|accuracy> <param>`
+//! (or with no args: self-test on synthetic data)
+
+use std::process::ExitCode;
+
+use pressio_zfp::{compress_f64, decompress_f64, ZfpMode};
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn bytes_to_f64(bytes: &[u8]) -> Result<Vec<f64>, String> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err("file size is not a multiple of 8".to_string());
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+fn f64_to_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn parse_mode(mode: &str, param: f64) -> Result<ZfpMode, String> {
+    Ok(match mode {
+        "rate" => ZfpMode::FixedRate(param),
+        "precision" => ZfpMode::FixedPrecision(param as u32),
+        "accuracy" => ZfpMode::FixedAccuracy(param),
+        m => return Err(format!("unknown zfp mode {m}")),
+    })
+}
+
+/// This CLI's own framing, incompatible with the SZ CLI's: mode tag + param
+/// + Fortran dims + payload.
+fn frame(mode: ZfpMode, fdims: &[usize], body: &[u8]) -> Vec<u8> {
+    let mut out = vec![b'Z', b'F', b'C', b'L', mode.tag(), fdims.len() as u8];
+    out.extend_from_slice(&mode.param().to_le_bytes());
+    for &d in fdims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(body);
+    out
+}
+
+fn deframe(bytes: &[u8]) -> Result<(ZfpMode, Vec<usize>, &[u8]), String> {
+    if bytes.len() < 14 || &bytes[..4] != b"ZFCL" {
+        return Err("not a zfp-cli stream".to_string());
+    }
+    let tag = bytes[4];
+    let nd = bytes[5] as usize;
+    let param = f64::from_le_bytes(bytes[6..14].try_into().map_err(|_| "bad header")?);
+    let mode = ZfpMode::from_tag(tag, param).map_err(|e| e.to_string())?;
+    let mut fdims = Vec::with_capacity(nd);
+    let mut at = 14;
+    for _ in 0..nd {
+        let chunk: [u8; 8] = bytes
+            .get(at..at + 8)
+            .ok_or("truncated header")?
+            .try_into()
+            .map_err(|_| "truncated header")?;
+        fdims.push(u64::from_le_bytes(chunk) as usize);
+        at += 8;
+    }
+    Ok((mode, fdims, &bytes[at..]))
+}
+
+fn do_compress(args: &[String]) -> Result<(), String> {
+    let [input, output, dims, mode, param] = args else {
+        return Err(
+            "usage: compress <in> <out> <dims-fortran-order> <rate|precision|accuracy> <param>"
+                .to_string(),
+        );
+    };
+    // CAUTION (native-interface footgun): dims must be given fastest-first;
+    // passing C-ordered dims silently degrades compression.
+    let fdims = parse_dims(dims)?;
+    let param: f64 = param.parse().map_err(|e: std::num::ParseFloatError| e.to_string())?;
+    let mode = parse_mode(mode, param)?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let vals = bytes_to_f64(&bytes)?;
+    let body = compress_f64(&vals, &fdims, mode).map_err(|e| e.to_string())?;
+    let framed = frame(mode, &fdims, &body);
+    std::fs::write(output, &framed).map_err(|e| e.to_string())?;
+    println!(
+        "compression ratio: {:.2}",
+        bytes.len() as f64 / framed.len() as f64
+    );
+    Ok(())
+}
+
+fn do_decompress(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("usage: decompress <in> <out>".to_string());
+    };
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let (mode, fdims, body) = deframe(&bytes)?;
+    let vals = decompress_f64(body, &fdims, mode).map_err(|e| e.to_string())?;
+    std::fs::write(output, f64_to_bytes(&vals)).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn self_test() -> Result<(), String> {
+    let dir = std::env::temp_dir().join("native-cli-zfp");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let raw = dir.join("in.bin");
+    let comp = dir.join("out.zfc");
+    let dec = dir.join("dec.bin");
+    let vals: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
+    std::fs::write(&raw, f64_to_bytes(&vals)).map_err(|e| e.to_string())?;
+    let s = |p: &std::path::Path| p.to_string_lossy().into_owned();
+    do_compress(&[s(&raw), s(&comp), "64,64".into(), "accuracy".into(), "0.001".into()])?;
+    do_decompress(&[s(&comp), s(&dec)])?;
+    let back = bytes_to_f64(&std::fs::read(&dec).map_err(|e| e.to_string())?)?;
+    for (a, b) in vals.iter().zip(&back) {
+        if (a - b).abs() > 1e-3 {
+            return Err(format!("tolerance violated: {a} vs {b}"));
+        }
+    }
+    println!("self-test ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(|s| s.as_str()) {
+        Some("compress") => do_compress(&argv[1..]),
+        Some("decompress") => do_decompress(&argv[1..]),
+        None => self_test(),
+        Some(c) => Err(format!("unknown command {c}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("native_cli_zfp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

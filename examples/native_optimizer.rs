@@ -1,0 +1,82 @@
+//! Table II workload — "configuration optimizer", native implementation.
+//!
+//! A fixed-ratio optimizer (the FRaZ workflow) written directly against the
+//! SZ kernel: the search loop, the bound↔ratio bookkeeping, and the trial
+//! compression plumbing are all SZ-specific, so supporting ZFP or MGARD
+//! means duplicating the whole file with their calling conventions.
+//! Compare with `generic_optimizer.rs`.
+//!
+//! Run: `cargo run --release --example native_optimizer`
+
+use pressio_sz::{compress_body, SzParams};
+
+struct SearchResult {
+    bound: f64,
+    ratio: f64,
+    evaluations: u32,
+}
+
+fn trial_ratio(data: &[f64], dims: &[usize], abs_eb: f64) -> f64 {
+    let p = SzParams {
+        abs_eb,
+        ..Default::default()
+    };
+    let body = compress_body(data, dims, &p).expect("sz kernel");
+    (data.len() * 8) as f64 / body.len() as f64
+}
+
+/// Log-space bisection for the smallest bound achieving `target` ratio.
+fn search(
+    data: &[f64],
+    dims: &[usize],
+    target: f64,
+    lo: f64,
+    hi: f64,
+    max_iters: u32,
+) -> Result<SearchResult, String> {
+    let mut evals = 0u32;
+    let r_hi = trial_ratio(data, dims, hi);
+    evals += 1;
+    if r_hi < target {
+        return Err(format!(
+            "target {target} unreachable: bound {hi} achieves only {r_hi:.2}"
+        ));
+    }
+    let mut best = (hi, r_hi);
+    let mut llo = lo.log10();
+    let mut lhi = hi.log10();
+    while evals < max_iters && lhi - llo > 1e-4 {
+        let mid = 10f64.powf((llo + lhi) / 2.0);
+        let r = trial_ratio(data, dims, mid);
+        evals += 1;
+        if r >= target {
+            best = (mid, r);
+            lhi = mid.log10();
+            if (r - target) / target <= 0.05 {
+                break;
+            }
+        } else {
+            llo = mid.log10();
+        }
+    }
+    Ok(SearchResult {
+        bound: best.0,
+        ratio: best.1,
+        evaluations: evals,
+    })
+}
+
+fn main() {
+    let field = pressio_datagen::nyx_density(48, 21);
+    let data = field.to_f64_vec().expect("float field");
+    let dims = field.dims().to_vec();
+    for target in [10.0, 40.0, 100.0] {
+        match search(&data, &dims, target, 1e-10, 10.0, 32) {
+            Ok(r) => println!(
+                "target {target:>5.0}: bound {:.3e} -> ratio {:.1} ({} trials)",
+                r.bound, r.ratio, r.evaluations
+            ),
+            Err(e) => println!("target {target:>5.0}: {e}"),
+        }
+    }
+}

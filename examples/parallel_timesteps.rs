@@ -1,0 +1,86 @@
+//! Parallel-IO scenario: compress a sequence of simulation time steps with
+//! the `many_independent` meta-compressor, then persist them as a bplite
+//! stream (the ADIOS2-integration analog).
+//!
+//! Demonstrates the thread-safety introspection the paper argues for: the
+//! meta-compressor parallelizes `sz_threadsafe` (thread safety `multiple`)
+//! but silently serializes classic `sz` (thread safety `serialized`, because
+//! of its global configuration store).
+//!
+//! Run with: `cargo run --release --example parallel_timesteps`
+
+use std::time::Instant;
+
+use libpressio::prelude::*;
+
+fn timesteps(n: usize) -> Vec<Data> {
+    (0..n)
+        .map(|t| libpressio::datagen::scale_letkf(16, 192, 192, 42 + t as u64))
+        .collect()
+}
+
+fn run(child: &str, threads: u32, steps: &[Data]) -> libpressio::Result<(f64, Vec<Data>)> {
+    let library = libpressio::instance();
+    let mut m = library.get_compressor("many_independent")?;
+    m.set_options(
+        &Options::new()
+            .with("many_independent:compressor", child)
+            .with("many_independent:nthreads", threads)
+            .with(pressio_core::OPT_REL, 1e-3f64),
+    )?;
+    let refs: Vec<&Data> = steps.iter().collect();
+    let start = Instant::now();
+    let compressed = m.compress_many(&refs)?;
+    Ok((start.elapsed().as_secs_f64(), compressed))
+}
+
+fn main() -> libpressio::Result<()> {
+    let library = libpressio::instance();
+    let steps = timesteps(16);
+    let total_mb = steps.iter().map(|s| s.size_in_bytes()).sum::<usize>() as f64 / 1e6;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "16 time steps of a weather-like field, {total_mb:.1} MB total ({cores} core(s) available{})\n",
+        if cores == 1 {
+            "; speedup is bounded by 1x on this machine"
+        } else {
+            ""
+        }
+    );
+
+    for child in ["sz", "sz_threadsafe"] {
+        let safety = library.get_compressor(child)?.thread_safety();
+        let (t1, _) = run(child, 1, &steps)?;
+        let (t8, compressed) = run(child, 8, &steps)?;
+        let out_mb = compressed.iter().map(|c| c.size_in_bytes()).sum::<usize>() as f64 / 1e6;
+        println!(
+            "{child:<14} thread_safety={:<10} 1 thread: {t1:.2}s   8 threads: {t8:.2}s   speedup {:.2}x   ratio {:.1}",
+            safety.name(),
+            t1 / t8,
+            total_mb / out_mb,
+        );
+    }
+
+    // Persist the steps as one bplite stream with a compression operator.
+    let mut writer = libpressio::io::BpWriter::new();
+    writer.set_operator("sz_threadsafe", Options::new().with(pressio_core::OPT_REL, 1e-3f64))?;
+    for s in &steps {
+        writer.begin_step();
+        writer.put("temperature", s)?;
+        writer.end_step();
+    }
+    let stream = writer.into_bytes();
+    println!(
+        "\nbplite stream with sz operator: {:.1} MB -> {:.2} MB",
+        total_mb,
+        stream.len() as f64 / 1e6
+    );
+    let reader = libpressio::io::BpReader::from_bytes(&stream)?;
+    assert_eq!(reader.num_steps(), 16);
+    let back = reader.get(3, "temperature")?;
+    assert_eq!(back.dims(), steps[3].dims());
+    println!("stream reads back: {} steps, step 3 dims {:?}", reader.num_steps(), back.dims());
+    Ok(())
+}

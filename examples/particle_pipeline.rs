@@ -1,0 +1,94 @@
+//! Cosmology-particle scenario: HACC-like position streams have no spatial
+//! smoothness and a wide dynamic range, so the right tool differs from the
+//! mesh-field case — exactly the "which compressor should I use?" question
+//! the paper motivates. This example compares, through one interface:
+//!
+//! * `sz` with a value-range relative bound (mesh-style configuration),
+//! * `sz` with a *point-wise* relative bound (each particle keeps relative
+//!   precision, the physics-preserving choice),
+//! * `cast`→`fpzip` (store as f32, then lossless float coding),
+//! * `fpzip` alone (bit-exact baseline).
+//!
+//! Run with: `cargo run --release --example particle_pipeline`
+
+use libpressio::prelude::*;
+
+fn main() -> libpressio::Result<()> {
+    let library = libpressio::instance();
+    // 1M particle x-coordinates in a 256 Mpc/h box, as f64 for headroom.
+    let particles = libpressio::datagen::hacc_positions(1 << 20, 256.0, 2026)
+        .cast(DType::F64)?;
+    println!(
+        "particles: {} positions, {:.1} MB raw\n",
+        particles.num_elements(),
+        particles.size_in_bytes() as f64 / 1e6
+    );
+    println!(
+        "{:<26} {:>8} {:>14} {:>16}",
+        "configuration", "ratio", "max abs err", "max rel err"
+    );
+
+    struct Cfg {
+        label: &'static str,
+        compressor: &'static str,
+        options: Options,
+    }
+    let configs = [
+        Cfg {
+            label: "sz (vr-rel 1e-6)",
+            compressor: "sz",
+            options: Options::new().with(pressio_core::OPT_REL, 1e-6f64),
+        },
+        Cfg {
+            label: "sz (pw-rel 1e-6)",
+            compressor: "sz",
+            options: Options::new()
+                .with("sz:error_bound_mode_str", "pw_rel")
+                .with("sz:pw_rel_bound_ratio", 1e-6f64),
+        },
+        Cfg {
+            label: "cast f32 -> fpzip",
+            compressor: "cast",
+            options: Options::new()
+                .with("cast:dtype", "float")
+                .with("cast:compressor", "fpzip"),
+        },
+        Cfg {
+            label: "fpzip (lossless)",
+            compressor: "fpzip",
+            options: Options::new(),
+        },
+    ];
+
+    for cfg in configs {
+        let mut c = library.get_compressor(cfg.compressor)?;
+        c.set_options(&cfg.options)?;
+        let compressed = c.compress(&particles)?;
+        let mut out = Data::owned(DType::F64, vec![particles.num_elements()]);
+        c.decompress(&compressed, &mut out)?;
+        let orig = particles.as_slice::<f64>()?;
+        let dec = out.as_slice::<f64>()?;
+        let mut max_abs = 0.0f64;
+        let mut max_rel = 0.0f64;
+        for (a, b) in orig.iter().zip(dec) {
+            let e = (a - b).abs();
+            max_abs = max_abs.max(e);
+            if a.abs() > 1e-100 {
+                max_rel = max_rel.max(e / a.abs());
+            }
+        }
+        println!(
+            "{:<26} {:>8.2} {:>14.3e} {:>16.3e}",
+            cfg.label,
+            particles.size_in_bytes() as f64 / compressed.size_in_bytes() as f64,
+            max_abs,
+            max_rel
+        );
+    }
+    println!(
+        "\nnote: vr-rel lets absolute error scale with the box size (bad for\n\
+         particles near the origin); pw-rel keeps every particle's relative\n\
+         precision — the interface makes the comparison a 3-line change."
+    );
+    Ok(())
+}

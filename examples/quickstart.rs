@@ -1,0 +1,72 @@
+//! Quickstart: the Rust rendering of the paper's Appendix A usage example.
+//!
+//! Takes a 300×300×300 double-precision buffer in memory and compresses it
+//! with the SZ-style compressor using an absolute error bound of 0.5. To
+//! adapt for ZFP or any other supported compressor, only the plugin name
+//! and option keys change (three lines, as the paper notes).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use libpressio::prelude::*;
+
+fn make_input_data() -> Vec<f64> {
+    // A smooth synthetic 300^3 field.
+    let n = 300usize;
+    let mut v = Vec::with_capacity(n * n * n);
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                v.push(
+                    (x as f64 * 0.02).sin() * (y as f64 * 0.03).cos() * 100.0
+                        + (z as f64 * 0.01).sin() * 50.0,
+                );
+            }
+        }
+    }
+    v
+}
+
+fn main() -> libpressio::Result<()> {
+    // Get a handle to the library and a compressor.
+    let library = libpressio::instance();
+    let mut compressor = library.get_compressor("sz")?;
+
+    // Configure metrics.
+    compressor.set_metrics(library.new_metrics(&["size"])?);
+
+    // Configure the compressor: introspect, set, and validate options.
+    let options = Options::new()
+        .with("sz:error_bound_mode_str", "abs")
+        .with("sz:abs_err_bound", 0.5f64);
+    compressor.check_options(&options)?;
+    compressor.set_options(&options)?;
+
+    // Load a 300x300x300 dataset.
+    let raw_input = make_input_data();
+    let dims = vec![300usize, 300, 300];
+    let input_data = Data::from_vec(raw_input, dims.clone())?;
+
+    // Set up the decompressed buffer, then compress and decompress.
+    let compressed = compressor.compress(&input_data)?;
+    let mut decompressed = Data::owned(DType::F64, dims);
+    compressor.decompress(&compressed, &mut decompressed)?;
+
+    // Get the compression ratio from the metrics results.
+    let results = compressor.metrics_results();
+    let ratio = results
+        .get_as::<f64>("size:compression_ratio")?
+        .expect("size metric ran");
+    println!("compression ratio: {ratio:.2}");
+
+    // Verify the error bound held.
+    let max_err = input_data
+        .to_f64_vec()?
+        .iter()
+        .zip(decompressed.to_f64_vec()?.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max)
+        ;
+    println!("max abs error: {max_err:.3e} (bound 0.5)");
+    assert!(max_err <= 0.5);
+    Ok(())
+}

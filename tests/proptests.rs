@@ -1,0 +1,173 @@
+//! Property-based tests on the library's core invariants:
+//!
+//! * lossless codecs roundtrip *arbitrary* byte strings;
+//! * error-bounded compressors hold their bound on *arbitrary* finite
+//!   floats (the library's central promise, not just on smooth fields);
+//! * option casting obeys its laws (implicit ⊂ explicit, exactness);
+//! * shape transforms are involutions.
+
+use libpressio::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lossless_codecs_roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let input = Data::from_bytes(&data);
+        for name in ["rle", "lz", "huffman", "deflate", "blosc", "delta"] {
+            let mut c = library.get_compressor(name).unwrap();
+            let compressed = c.compress(&input).unwrap();
+            let mut out = Data::owned(DType::Byte, vec![data.len()]);
+            c.decompress(&compressed, &mut out).unwrap();
+            prop_assert_eq!(out.as_bytes(), &data[..], "{}", name);
+        }
+    }
+
+    #[test]
+    fn sz_bound_holds_on_arbitrary_finite_floats(
+        vals in proptest::collection::vec(-1e9f64..1e9, 1..2048),
+        bound_exp in -6i32..2,
+    ) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let bound = 10f64.powi(bound_exp);
+        let n = vals.len();
+        let input = Data::from_vec(vals, vec![n]).unwrap();
+        let mut c = library.get_compressor("sz").unwrap();
+        c.set_options(&Options::new().with(pressio_core::OPT_ABS, bound)).unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![n]);
+        c.decompress(&compressed, &mut out).unwrap();
+        let orig = input.as_slice::<f64>().unwrap();
+        let got = out.as_slice::<f64>().unwrap();
+        for (a, b) in orig.iter().zip(got) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+    }
+
+    #[test]
+    fn zfp_accuracy_holds_on_arbitrary_finite_floats(
+        vals in proptest::collection::vec(-1e6f64..1e6, 1..1024),
+        tol_exp in -6i32..2,
+    ) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let tol = 10f64.powi(tol_exp);
+        let n = vals.len();
+        let input = Data::from_vec(vals, vec![n]).unwrap();
+        let mut c = library.get_compressor("zfp").unwrap();
+        c.set_options(&Options::new().with("zfp:accuracy", tol)).unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![n]);
+        c.decompress(&compressed, &mut out).unwrap();
+        let orig = input.as_slice::<f64>().unwrap();
+        let got = out.as_slice::<f64>().unwrap();
+        for (a, b) in orig.iter().zip(got) {
+            prop_assert!((a - b).abs() <= tol, "{} vs {} (tol {})", a, b, tol);
+        }
+    }
+
+    #[test]
+    fn mgard_bound_holds_on_arbitrary_finite_floats(
+        vals in proptest::collection::vec(-1e6f64..1e6, 3..512),
+        bound_exp in -4i32..2,
+    ) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let bound = 10f64.powi(bound_exp);
+        let n = vals.len();
+        let input = Data::from_vec(vals, vec![n]).unwrap();
+        let mut c = library.get_compressor("mgard").unwrap();
+        c.set_options(&Options::new().with(pressio_core::OPT_ABS, bound)).unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![n]);
+        c.decompress(&compressed, &mut out).unwrap();
+        let orig = input.as_slice::<f64>().unwrap();
+        let got = out.as_slice::<f64>().unwrap();
+        for (a, b) in orig.iter().zip(got) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+    }
+
+    #[test]
+    fn fpzip_bit_exact_on_arbitrary_bit_patterns(bits in proptest::collection::vec(any::<u64>(), 1..1024)) {
+        libpressio::init();
+        let library = libpressio::instance();
+        // Arbitrary u64 bit patterns reinterpreted as f64: includes NaNs
+        // with payloads, infinities, subnormals.
+        let vals: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let n = vals.len();
+        let input = Data::from_vec(vals, vec![n]).unwrap();
+        let mut c = library.get_compressor("fpzip").unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![n]);
+        c.decompress(&compressed, &mut out).unwrap();
+        prop_assert_eq!(out.as_bytes(), input.as_bytes());
+    }
+
+    #[test]
+    fn implicit_casts_are_a_subset_of_explicit(v in any::<i64>()) {
+        use libpressio::core::{CastSafety, OptionKind, OptionValue};
+        let value = OptionValue::I64(v);
+        for kind in [
+            OptionKind::I8, OptionKind::I16, OptionKind::I32, OptionKind::I64,
+            OptionKind::U8, OptionKind::U16, OptionKind::U32, OptionKind::U64,
+            OptionKind::F32, OptionKind::F64,
+        ] {
+            let implicit = value.cast(kind, CastSafety::Implicit);
+            let explicit = value.cast(kind, CastSafety::Explicit);
+            if implicit.is_ok() {
+                prop_assert!(explicit.is_ok(), "implicit ok but explicit failed for {:?}", kind);
+            }
+            // Explicit casts never silently change the value: casting back
+            // up to i64 must reproduce it (floats only when exact).
+            if let Ok(cast) = &explicit {
+                if cast.kind().is_integer() {
+                    let back = cast.cast(OptionKind::I64, CastSafety::Explicit).unwrap();
+                    prop_assert_eq!(back, OptionValue::I64(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_then_inverse_is_identity(
+        dims in proptest::collection::vec(1usize..6, 1..4),
+        perm_seed in any::<u64>(),
+    ) {
+        let n: usize = dims.iter().product();
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let bytes = pressio_core::elements_as_bytes(&vals);
+        // Deterministic permutation from the seed.
+        let mut axes: Vec<usize> = (0..dims.len()).collect();
+        let mut s = perm_seed;
+        for i in (1..axes.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            axes.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let (t, tdims) = libpressio::meta::util::transpose_bytes(bytes, &dims, &axes, 4).unwrap();
+        let inv = libpressio::meta::util::invert_axes(&axes);
+        let (back, bdims) = libpressio::meta::util::transpose_bytes(&t, &tdims, &inv, 4).unwrap();
+        prop_assert_eq!(back.as_slice(), bytes);
+        prop_assert_eq!(bdims, dims);
+    }
+
+    #[test]
+    fn data_reshape_preserves_bytes(
+        n in 1usize..512,
+        split in 1usize..16,
+    ) {
+        let vals: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut d = Data::from_vec(vals.clone(), vec![n]).unwrap();
+        if n % split == 0 {
+            d.reshape(vec![split, n / split]).unwrap();
+            prop_assert_eq!(d.num_elements(), n);
+            prop_assert_eq!(d.as_slice::<f32>().unwrap(), &vals[..]);
+        } else {
+            prop_assert!(d.reshape(vec![split, n / split + 1]).is_err() || split * (n / split + 1) == n);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration: every registered compressor honors its
+//! contract on every synthetic dataset.
+//!
+//! * error-bounded lossy plugins: `|x - x'|∞ <= bound` (the library's
+//!   central promise);
+//! * lossless plugins: bit-exact roundtrip;
+//! * every stream decodes on a *fresh* instance (streams are
+//!   self-describing, no hidden instance state).
+
+use libpressio::prelude::*;
+
+/// Leaf compressors that honor `pressio:abs` with an L-infinity guarantee.
+const ERROR_BOUNDED: [&str; 7] = [
+    "sz",
+    "sz_threadsafe",
+    "sz_omp",
+    "sz_interp",
+    "zfp",
+    "mgard",
+    "linear_quantizer",
+];
+
+/// Bit-exact lossless compressors.
+const LOSSLESS: [&str; 8] = [
+    "noop", "rle", "lz", "huffman", "deflate", "shuffle", "bitshuffle", "blosc",
+];
+
+fn datasets() -> Vec<(&'static str, Data)> {
+    libpressio::init();
+    vec![
+        ("hurricane", libpressio::datagen::hurricane_cloud(8, 48, 48, 1)),
+        ("nyx", libpressio::datagen::nyx_density(24, 2)),
+        ("letkf", libpressio::datagen::scale_letkf(6, 40, 40, 3)),
+        ("hacc", libpressio::datagen::hacc_positions(40_000, 128.0, 4)),
+    ]
+}
+
+fn max_err(a: &Data, b: &Data) -> f64 {
+    a.to_f64_vec()
+        .unwrap()
+        .iter()
+        .zip(b.to_f64_vec().unwrap().iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn error_bounded_compressors_hold_their_bound_on_all_datasets() {
+    let library = libpressio::instance();
+    for (dname, input) in datasets() {
+        for comp in ERROR_BOUNDED {
+            for bound in [1e-1, 1e-3] {
+                let mut c = library.get_compressor(comp).unwrap();
+                c.set_options(&Options::new().with(pressio_core::OPT_ABS, bound))
+                    .unwrap();
+                let compressed = c
+                    .compress(&input)
+                    .unwrap_or_else(|e| panic!("{comp} on {dname}: {e}"));
+                // Decompress on a FRESH instance: the stream must be
+                // self-contained.
+                let mut fresh = library.get_compressor(comp).unwrap();
+                let mut out = Data::owned(input.dtype(), input.dims().to_vec());
+                fresh
+                    .decompress(&compressed, &mut out)
+                    .unwrap_or_else(|e| panic!("{comp} on {dname}: {e}"));
+                let err = max_err(&input, &out);
+                // f32 storage granularity allows half-an-ulp on top.
+                let slop = if input.dtype() == DType::F32 { 1e-5 } else { 0.0 };
+                assert!(
+                    err <= bound + slop,
+                    "{comp} on {dname} bound {bound}: max err {err}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lossless_compressors_are_bit_exact_on_all_datasets() {
+    let library = libpressio::instance();
+    for (dname, input) in datasets() {
+        for comp in LOSSLESS {
+            let mut c = library.get_compressor(comp).unwrap();
+            let compressed = c
+                .compress(&input)
+                .unwrap_or_else(|e| panic!("{comp} on {dname}: {e}"));
+            let mut fresh = library.get_compressor(comp).unwrap();
+            let mut out = Data::owned(input.dtype(), input.dims().to_vec());
+            fresh
+                .decompress(&compressed, &mut out)
+                .unwrap_or_else(|e| panic!("{comp} on {dname}: {e}"));
+            assert_eq!(
+                out.as_bytes(),
+                input.as_bytes(),
+                "{comp} on {dname}: lossless roundtrip differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn float_specialists_are_bit_exact_including_special_values() {
+    let library = libpressio::instance();
+    let mut vals: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+    vals[7] = f64::NAN;
+    vals[13] = f64::INFINITY;
+    vals[17] = -0.0;
+    vals[19] = f64::MIN_POSITIVE / 8.0; // subnormal
+    let input = Data::from_vec(vals, vec![1000]).unwrap();
+    for comp in ["fpzip", "delta"] {
+        let mut c = library.get_compressor(comp).unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![1000]);
+        c.decompress(&compressed, &mut out).unwrap();
+        assert_eq!(out.as_bytes(), input.as_bytes(), "{comp}");
+    }
+}
+
+#[test]
+fn value_range_relative_bounds_scale_per_dataset() {
+    let library = libpressio::instance();
+    for (dname, input) in datasets() {
+        let range = pressio_core::value_range(&input.to_f64_vec().unwrap());
+        for comp in ["sz", "zfp", "mgard"] {
+            let mut c = library.get_compressor(comp).unwrap();
+            c.set_options(&Options::new().with(pressio_core::OPT_REL, 1e-3f64))
+                .unwrap();
+            let compressed = c.compress(&input).unwrap();
+            let mut out = Data::owned(input.dtype(), input.dims().to_vec());
+            c.decompress(&compressed, &mut out).unwrap();
+            let err = max_err(&input, &out);
+            assert!(
+                err <= 1e-3 * range * 1.001 + 1e-7,
+                "{comp} on {dname}: err {err} vs range {range}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compressed_streams_reject_cross_plugin_decompression() {
+    let library = libpressio::instance();
+    let input = libpressio::datagen::nyx_density(16, 9);
+    let mut sz = library.get_compressor("sz").unwrap();
+    sz.set_options(&Options::new().with(pressio_core::OPT_ABS, 1e-3f64))
+        .unwrap();
+    let stream = sz.compress(&input).unwrap();
+    let mut out = Data::owned(input.dtype(), input.dims().to_vec());
+    for other in ["zfp", "mgard", "deflate", "fpzip"] {
+        let mut c = library.get_compressor(other).unwrap();
+        assert!(
+            c.decompress(&stream, &mut out).is_err(),
+            "{other} accepted an sz stream"
+        );
+    }
+}
+
+#[test]
+fn every_compressor_reports_configuration_and_version() {
+    let library = libpressio::instance();
+    for name in library.supported_compressors() {
+        let c = library.get_compressor(&name).unwrap();
+        let cfg = c.get_configuration();
+        let ts = cfg
+            .get_as::<String>(&format!("{name}:pressio:thread_safe"))
+            .unwrap();
+        assert!(ts.is_some(), "{name} missing thread_safe in configuration");
+        assert!(
+            cfg.get_as::<String>(&format!("{name}:pressio:version"))
+                .unwrap()
+                .is_some(),
+            "{name} missing version"
+        );
+    }
+}
