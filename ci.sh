@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# The full verification gate, in the order fastest-feedback-first:
+#
+#   1. pressio-lint      — workspace static analysis (see lint-allow.txt)
+#   2. cargo clippy      — compiler lints, warnings are errors
+#   3. cargo test        — unit + integration tests, including the live
+#                          plugin-contract checker (crates/tools/tests)
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== pressio-lint"
+cargo run -q -p pressio-tools --bin pressio-lint -- --root . --strict-allowlist
+
+echo "== clippy (deny warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== tests"
+cargo test -q --workspace
+
+echo "== ci.sh: all gates passed"

@@ -64,6 +64,8 @@ fn dtype_from_c(v: c_int) -> Option<DType> {
     })
 }
 
+// SAFETY: `p` must be null or point to a NUL-terminated C string that
+// outlives `'a` and is not mutated while the returned `&str` is alive.
 unsafe fn cstr<'a>(p: *const c_char) -> Option<&'a str> {
     if p.is_null() {
         return None;
@@ -85,6 +87,8 @@ pub extern "C" fn pressio_instance() -> *mut CPressio {
 
 /// `void pressio_release(struct pressio*)`.
 #[no_mangle]
+// SAFETY: `library` must be null or a pointer returned by
+// `pressio_instance` that has not been passed to this function before.
 pub unsafe extern "C" fn pressio_release(library: *mut CPressio) {
     if !library.is_null() {
         drop(Box::from_raw(library));
@@ -93,6 +97,8 @@ pub unsafe extern "C" fn pressio_release(library: *mut CPressio) {
 
 /// `const char* pressio_error_msg(struct pressio*)`.
 #[no_mangle]
+// SAFETY: `library` must be null or a live pointer from `pressio_instance`;
+// the returned string is valid until the next error-producing call.
 pub unsafe extern "C" fn pressio_error_msg(library: *mut CPressio) -> *const c_char {
     match library.as_ref().and_then(|l| l.last_error.as_ref()) {
         Some(s) => s.as_ptr(),
@@ -102,6 +108,8 @@ pub unsafe extern "C" fn pressio_error_msg(library: *mut CPressio) -> *const c_c
 
 /// `struct pressio_compressor* pressio_get_compressor(struct pressio*, const char*)`.
 #[no_mangle]
+// SAFETY: `library` must be null or a live pointer from `pressio_instance`
+// and `id` null or a NUL-terminated string.
 pub unsafe extern "C" fn pressio_get_compressor(
     library: *mut CPressio,
     id: *const c_char,
@@ -127,6 +135,8 @@ pub unsafe extern "C" fn pressio_get_compressor(
 
 /// `void pressio_compressor_release(struct pressio_compressor*)`.
 #[no_mangle]
+// SAFETY: `compressor` must be null or a pointer returned by
+// `pressio_get_compressor` that has not been released before.
 pub unsafe extern "C" fn pressio_compressor_release(compressor: *mut CCompressor) {
     if !compressor.is_null() {
         drop(Box::from_raw(compressor));
@@ -135,6 +145,8 @@ pub unsafe extern "C" fn pressio_compressor_release(compressor: *mut CCompressor
 
 /// `const char* pressio_compressor_error_msg(struct pressio_compressor*)`.
 #[no_mangle]
+// SAFETY: `compressor` must be null or a live pointer from
+// `pressio_get_compressor`; the string is valid until the next failing call.
 pub unsafe extern "C" fn pressio_compressor_error_msg(
     compressor: *mut CCompressor,
 ) -> *const c_char {
@@ -148,6 +160,8 @@ pub unsafe extern "C" fn pressio_compressor_error_msg(
 
 /// `struct pressio_metrics* pressio_new_metrics(struct pressio*, const char* const*, size_t)`.
 #[no_mangle]
+// SAFETY: `library` must be null or live; `ids` must point to `n` readable
+// `const char*` entries, each null or NUL-terminated.
 pub unsafe extern "C" fn pressio_new_metrics(
     library: *mut CPressio,
     ids: *const *const c_char,
@@ -156,6 +170,10 @@ pub unsafe extern "C" fn pressio_new_metrics(
     let Some(lib) = library.as_mut() else {
         return std::ptr::null_mut();
     };
+    if ids.is_null() && n > 0 {
+        lib.last_error = Some(c"metrics id array is null".into());
+        return std::ptr::null_mut();
+    }
     let mut names = Vec::with_capacity(n);
     for i in 0..n {
         let Some(name) = cstr(*ids.add(i)) else {
@@ -175,6 +193,8 @@ pub unsafe extern "C" fn pressio_new_metrics(
 
 /// `void pressio_metrics_free(struct pressio_metrics*)`.
 #[no_mangle]
+// SAFETY: `metrics` must be null or a pointer from `pressio_new_metrics`
+// that has been neither freed nor attached to a compressor.
 pub unsafe extern "C" fn pressio_metrics_free(metrics: *mut CMetrics) {
     if !metrics.is_null() {
         drop(Box::from_raw(metrics));
@@ -184,6 +204,8 @@ pub unsafe extern "C" fn pressio_metrics_free(metrics: *mut CMetrics) {
 /// `void pressio_compressor_set_metrics(struct pressio_compressor*, struct pressio_metrics*)`
 /// — consumes the metrics handle, like the C library's attach semantics.
 #[no_mangle]
+// SAFETY: `compressor` must be null or live; `metrics` must be null or a
+// pointer from `pressio_new_metrics`, which this call consumes.
 pub unsafe extern "C" fn pressio_compressor_set_metrics(
     compressor: *mut CCompressor,
     metrics: *mut CMetrics,
@@ -201,6 +223,8 @@ pub unsafe extern "C" fn pressio_compressor_set_metrics(
 
 /// `struct pressio_options* pressio_compressor_get_metrics_results(struct pressio_compressor*)`.
 #[no_mangle]
+// SAFETY: `compressor` must be null or a live pointer from
+// `pressio_get_compressor`.
 pub unsafe extern "C" fn pressio_compressor_get_metrics_results(
     compressor: *mut CCompressor,
 ) -> *mut COptions {
@@ -224,6 +248,8 @@ pub extern "C" fn pressio_options_new() -> *mut COptions {
 
 /// `struct pressio_options* pressio_compressor_get_options(struct pressio_compressor*)`.
 #[no_mangle]
+// SAFETY: `compressor` must be null or a live pointer from
+// `pressio_get_compressor`.
 pub unsafe extern "C" fn pressio_compressor_get_options(
     compressor: *mut CCompressor,
 ) -> *mut COptions {
@@ -237,6 +263,8 @@ pub unsafe extern "C" fn pressio_compressor_get_options(
 
 /// `void pressio_options_free(struct pressio_options*)`.
 #[no_mangle]
+// SAFETY: `options` must be null or a pointer from `pressio_options_new`
+// or a `pressio_*_get_*` call that has not been freed before.
 pub unsafe extern "C" fn pressio_options_free(options: *mut COptions) {
     if !options.is_null() {
         drop(Box::from_raw(options));
@@ -245,6 +273,8 @@ pub unsafe extern "C" fn pressio_options_free(options: *mut COptions) {
 
 /// `int pressio_options_set_string(struct pressio_options*, const char*, const char*)`.
 #[no_mangle]
+// SAFETY: `options` must be null or a live options handle; `key` and
+// `value` null or NUL-terminated strings.
 pub unsafe extern "C" fn pressio_options_set_string(
     options: *mut COptions,
     key: *const c_char,
@@ -259,6 +289,8 @@ pub unsafe extern "C" fn pressio_options_set_string(
 
 /// `int pressio_options_set_double(struct pressio_options*, const char*, double)`.
 #[no_mangle]
+// SAFETY: `options` must be null or a live options handle and `key` null
+// or a NUL-terminated string.
 pub unsafe extern "C" fn pressio_options_set_double(
     options: *mut COptions,
     key: *const c_char,
@@ -273,6 +305,8 @@ pub unsafe extern "C" fn pressio_options_set_double(
 
 /// `int pressio_options_set_integer(struct pressio_options*, const char*, int)`.
 #[no_mangle]
+// SAFETY: `options` must be null or a live options handle and `key` null
+// or a NUL-terminated string.
 pub unsafe extern "C" fn pressio_options_set_integer(
     options: *mut COptions,
     key: *const c_char,
@@ -287,6 +321,8 @@ pub unsafe extern "C" fn pressio_options_set_integer(
 
 /// `int pressio_options_get_double(struct pressio_options*, const char*, double*)`.
 #[no_mangle]
+// SAFETY: `options` must be null or a live options handle, `key` null or
+// NUL-terminated, and `value` null or writable.
 pub unsafe extern "C" fn pressio_options_get_double(
     options: *mut COptions,
     key: *const c_char,
@@ -308,6 +344,8 @@ pub unsafe extern "C" fn pressio_options_get_double(
 
 /// `int pressio_compressor_check_options(struct pressio_compressor*, struct pressio_options*)`.
 #[no_mangle]
+// SAFETY: `compressor` and `options` must each be null or live handles
+// from this API.
 pub unsafe extern "C" fn pressio_compressor_check_options(
     compressor: *mut CCompressor,
     options: *mut COptions,
@@ -326,6 +364,8 @@ pub unsafe extern "C" fn pressio_compressor_check_options(
 
 /// `int pressio_compressor_set_options(struct pressio_compressor*, struct pressio_options*)`.
 #[no_mangle]
+// SAFETY: `compressor` and `options` must each be null or live handles
+// from this API.
 pub unsafe extern "C" fn pressio_compressor_set_options(
     compressor: *mut CCompressor,
     options: *mut COptions,
@@ -344,6 +384,8 @@ pub unsafe extern "C" fn pressio_compressor_set_options(
 
 /// `int pressio_compressor_compress(struct pressio_compressor*, const struct pressio_data*, struct pressio_data*)`.
 #[no_mangle]
+// SAFETY: `compressor`, `input`, and `output` must each be null or live
+// handles from this API, with `input` and `output` distinct.
 pub unsafe extern "C" fn pressio_compressor_compress(
     compressor: *mut CCompressor,
     input: *const CData,
@@ -372,6 +414,8 @@ pub unsafe extern "C" fn pressio_compressor_compress(
 
 /// `int pressio_compressor_decompress(struct pressio_compressor*, const struct pressio_data*, struct pressio_data*)`.
 #[no_mangle]
+// SAFETY: `compressor`, `input`, and `output` must each be null or live
+// handles from this API, with `input` and `output` distinct.
 pub unsafe extern "C" fn pressio_compressor_decompress(
     compressor: *mut CCompressor,
     input: *const CData,
@@ -403,6 +447,10 @@ pub unsafe extern "C" fn pressio_compressor_decompress(
 /// — takes ownership of `ptr`: the bytes are captured and the deleter is
 /// invoked (the Rust side owns aligned storage internally).
 #[no_mangle]
+// SAFETY: `ptr` must be null or point to at least `product(dims) *
+// sizeof(dtype)` readable bytes; `dims` must be null or point to `num_dims`
+// readable `size_t`s; a non-null `deleter` must be safe to call once on
+// `(ptr, metadata)`.
 pub unsafe extern "C" fn pressio_data_new_move(
     dtype: c_int,
     ptr: *mut c_void,
@@ -418,8 +466,13 @@ pub unsafe extern "C" fn pressio_data_new_move(
         return std::ptr::null_mut();
     }
     let dims: Vec<usize> = (0..num_dims).map(|i| *dims.add(i)).collect();
-    let n: usize = dims.iter().product();
-    let bytes = std::slice::from_raw_parts(ptr as *const u8, n * dt.size());
+    // Reject element counts whose byte size overflows rather than forming a
+    // slice with a wrapped length.
+    let n = dims.iter().try_fold(1usize, |a, &d| a.checked_mul(d));
+    let Some(byte_len) = n.and_then(|n| n.checked_mul(dt.size())) else {
+        return std::ptr::null_mut();
+    };
+    let bytes = std::slice::from_raw_parts(ptr as *const u8, byte_len);
     let mut data = Data::owned(dt, dims);
     data.as_bytes_mut().copy_from_slice(bytes);
     if let Some(del) = deleter {
@@ -430,6 +483,7 @@ pub unsafe extern "C" fn pressio_data_new_move(
 
 /// `struct pressio_data* pressio_data_new_empty(enum pressio_dtype, size_t, const size_t*)`.
 #[no_mangle]
+// SAFETY: `dims` must be null or point to `num_dims` readable `size_t`s.
 pub unsafe extern "C" fn pressio_data_new_empty(
     dtype: c_int,
     num_dims: usize,
@@ -450,6 +504,8 @@ pub unsafe extern "C" fn pressio_data_new_empty(
 
 /// `void pressio_data_free(struct pressio_data*)`.
 #[no_mangle]
+// SAFETY: `data` must be null or a pointer from a `pressio_data_new_*`
+// constructor that has not been freed before.
 pub unsafe extern "C" fn pressio_data_free(data: *mut CData) {
     if !data.is_null() {
         drop(Box::from_raw(data));
@@ -458,18 +514,21 @@ pub unsafe extern "C" fn pressio_data_free(data: *mut CData) {
 
 /// `size_t pressio_data_get_bytes(const struct pressio_data*)` — payload size.
 #[no_mangle]
+// SAFETY: `data` must be null or a live data handle.
 pub unsafe extern "C" fn pressio_data_get_bytes(data: *const CData) -> usize {
     data.as_ref().map(|d| d.inner.size_in_bytes()).unwrap_or(0)
 }
 
 /// `size_t pressio_data_num_dimensions(const struct pressio_data*)`.
 #[no_mangle]
+// SAFETY: `data` must be null or a live data handle.
 pub unsafe extern "C" fn pressio_data_num_dimensions(data: *const CData) -> usize {
     data.as_ref().map(|d| d.inner.num_dims()).unwrap_or(0)
 }
 
 /// `size_t pressio_data_get_dimension(const struct pressio_data*, size_t)`.
 #[no_mangle]
+// SAFETY: `data` must be null or a live data handle.
 pub unsafe extern "C" fn pressio_data_get_dimension(data: *const CData, dim: usize) -> usize {
     data.as_ref()
         .and_then(|d| d.inner.dims().get(dim).copied())
@@ -478,6 +537,8 @@ pub unsafe extern "C" fn pressio_data_get_dimension(data: *const CData, dim: usi
 
 /// `const void* pressio_data_ptr(const struct pressio_data*, size_t* size_out)`.
 #[no_mangle]
+// SAFETY: `data` must be null or a live data handle and `size_out` null or
+// writable; the returned pointer is valid until the handle is mutated or freed.
 pub unsafe extern "C" fn pressio_data_ptr(
     data: *const CData,
     size_out: *mut usize,
@@ -496,6 +557,8 @@ pub unsafe extern "C" fn pressio_data_ptr(
 /// `void pressio_data_libc_free_fn(void*, void*)` — the standard deleter
 /// from the C API, freeing a `malloc`ed buffer.
 #[no_mangle]
+// SAFETY: `ptr` must be null or a pointer allocated with `malloc` that is
+// not freed again afterwards.
 pub unsafe extern "C" fn pressio_data_libc_free_fn(ptr: *mut c_void, _metadata: *mut c_void) {
     // SAFETY: per the C API contract, ptr was allocated with malloc.
     libc_free(ptr);

@@ -7,6 +7,7 @@
 //! entropy coded. Bit-exact roundtrip is guaranteed, including NaN payloads,
 //! infinities, and signed zeros.
 
+use pressio_core::wire::ByteReader;
 use pressio_core::{Error, Result};
 
 use crate::deflate;
@@ -66,11 +67,11 @@ pub fn compress_f64(values: &[f64]) -> Vec<u8> {
 
 /// Inverse of [`compress_f64`].
 pub fn decompress_f64(bytes: &[u8]) -> Result<Vec<f64>> {
-    if bytes.len() < 8 {
-        return Err(Error::corrupt("fpzip stream missing header"));
-    }
-    let n = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
-    let residuals = deflate::decompress(&bytes[8..])?;
+    let mut r = ByteReader::new(bytes);
+    let n = r
+        .get_len()
+        .map_err(|_| Error::corrupt("fpzip stream missing header"))?;
+    let residuals = deflate::decompress(r.rest())?;
     let mut out = Vec::with_capacity(n);
     let mut pos = 0usize;
     let mut prev: u64 = 0;
@@ -100,11 +101,11 @@ pub fn compress_f32(values: &[f32]) -> Vec<u8> {
 
 /// Inverse of [`compress_f32`].
 pub fn decompress_f32(bytes: &[u8]) -> Result<Vec<f32>> {
-    if bytes.len() < 8 {
-        return Err(Error::corrupt("fpzip stream missing header"));
-    }
-    let n = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
-    let residuals = deflate::decompress(&bytes[8..])?;
+    let mut r = ByteReader::new(bytes);
+    let n = r
+        .get_len()
+        .map_err(|_| Error::corrupt("fpzip stream missing header"))?;
+    let residuals = deflate::decompress(r.rest())?;
     let mut out = Vec::with_capacity(n);
     let mut pos = 0usize;
     let mut prev: u32 = 0;

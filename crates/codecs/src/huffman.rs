@@ -73,16 +73,20 @@ fn code_lengths(freq: &[u64]) -> Vec<u8> {
             return lens;
         }
         if heap.len() == 1 {
-            let only = heap.pop().expect("one element");
-            if let NodeKind::Leaf(s) = only.kind {
+            if let Some(Node {
+                kind: NodeKind::Leaf(s),
+                ..
+            }) = heap.pop()
+            {
                 lens[s as usize] = 1;
             }
             return lens;
         }
         let mut next_id = freq.len() as u32;
         while heap.len() > 1 {
-            let a = heap.pop().expect("len > 1");
-            let b = heap.pop().expect("len > 1");
+            let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+                break;
+            };
             let w = a.weight + b.weight;
             heap.push(Node {
                 weight: w,
@@ -91,8 +95,9 @@ fn code_lengths(freq: &[u64]) -> Vec<u8> {
             });
             next_id += 1;
         }
-        let root = heap.pop().expect("root");
-        assign(&root, 0, &mut lens);
+        if let Some(root) = heap.pop() {
+            assign(&root, 0, &mut lens);
+        }
         if lens.iter().all(|&l| l <= MAX_CODE_LEN) {
             return lens;
         }
@@ -237,7 +242,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
             "huffman alphabet size {alphabet} out of range"
         )));
     }
-    let n = r.get_u64()? as usize;
+    let n = r.get_len()?;
     let n_present = r.get_u32()?;
     if n_present > alphabet {
         return Err(Error::corrupt("more huffman symbols than alphabet"));

@@ -6,6 +6,7 @@
 //! low nibble is `match_len - MIN_MATCH`, each extended by 255-run bytes when
 //! saturated. The final record carries only literals.
 
+use pressio_core::wire::ByteReader;
 use pressio_core::{Error, Result};
 
 /// Minimum match length worth encoding.
@@ -123,10 +124,9 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
-    if buf.len() < 8 {
-        return Err(Error::corrupt("lz stream missing header"));
-    }
-    let expect = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
+    let expect = ByteReader::new(buf)
+        .get_len()
+        .map_err(|_| Error::corrupt("lz stream missing or implausible header"))?;
     // Guard absurd sizes relative to the stream (max ratio is bounded by the
     // 255-run length encoding: each input byte can emit < 500 output bytes).
     if expect > buf.len().saturating_mul(512).max(1 << 16) {
@@ -154,7 +154,7 @@ pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
         let off_bytes = buf
             .get(pos..pos + 2)
             .ok_or_else(|| Error::corrupt("lz offset truncated"))?;
-        let offset = u16::from_le_bytes(off_bytes.try_into().expect("2 bytes")) as usize;
+        let offset = usize::from(u16::from_le_bytes([off_bytes[0], off_bytes[1]]));
         pos += 2;
         let mut match_len = (token & 0x0F) as usize + MIN_MATCH;
         if token & 0x0F == 15 {

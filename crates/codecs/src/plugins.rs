@@ -579,6 +579,10 @@ impl BitGrooming {
 const GROOM_ID: u8 = 10;
 
 impl Compressor for BitGrooming {
+    fn get_configuration(&self) -> Options {
+        pressio_core::base_configuration(self)
+    }
+
     fn name(&self) -> &str {
         self.plugin_name
     }
@@ -698,6 +702,10 @@ impl Default for LinearQuantizer {
 const QUANT_ID: u8 = 11;
 
 impl Compressor for LinearQuantizer {
+    fn get_configuration(&self) -> Options {
+        pressio_core::base_configuration(self)
+    }
+
     fn name(&self) -> &str {
         "linear_quantizer"
     }

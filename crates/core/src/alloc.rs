@@ -29,6 +29,8 @@ pub struct AlignedVec {
 // SAFETY: AlignedVec owns its allocation exclusively; it is a plain byte
 // buffer with no interior mutability or thread affinity.
 unsafe impl Send for AlignedVec {}
+// SAFETY: shared access is read-only (all mutation goes through &mut self),
+// so the same exclusive-ownership argument as Send applies.
 unsafe impl Sync for AlignedVec {}
 
 impl AlignedVec {

@@ -198,6 +198,8 @@ mod private {
 
 macro_rules! impl_element_int {
     ($($t:ty => $d:expr),* $(,)?) => {$(
+        // SAFETY: primitive integers are plain-old-data with no padding and
+        // every bit pattern valid; size_of matches DTYPE.size() by definition.
         unsafe impl Element for $t {
             const DTYPE: DType = $d;
             #[inline]
@@ -215,6 +217,8 @@ impl_element_int! {
     u8 => DType::U8, u16 => DType::U16, u32 => DType::U32, u64 => DType::U64,
 }
 
+// SAFETY: f32 is plain-old-data: 4 bytes, no padding, every bit pattern is a
+// valid float (NaN payloads included).
 unsafe impl Element for f32 {
     const DTYPE: DType = DType::F32;
     #[inline]
@@ -227,6 +231,8 @@ unsafe impl Element for f32 {
     }
 }
 
+// SAFETY: f64 is plain-old-data: 8 bytes, no padding, every bit pattern is a
+// valid float (NaN payloads included).
 unsafe impl Element for f64 {
     const DTYPE: DType = DType::F64;
     #[inline]

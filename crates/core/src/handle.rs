@@ -64,6 +64,42 @@ impl CompressorHandle {
         Ok(())
     }
 
+    /// Apply options with contract enforcement: option keys prefixed with
+    /// this plugin's name that the plugin does not advertise via
+    /// `get_options` are rejected with a `NotFound` error instead of being
+    /// silently dropped (see
+    /// [`validate_plugin_options`](crate::validate_plugin_options)).
+    ///
+    /// This inherent method shadows the lenient
+    /// [`Compressor::set_options`]; use
+    /// [`set_options_unchecked`](Self::set_options_unchecked) to bypass
+    /// validation.
+    pub fn set_options(&mut self, options: &Options) -> Result<()> {
+        crate::options::validate_plugin_options(
+            self.inner.name(),
+            options,
+            &self.inner.get_options(),
+        )?;
+        self.inner.set_options(options)
+    }
+
+    /// Validate options (same unknown-key contract as
+    /// [`set_options`](Self::set_options)) without applying them.
+    pub fn check_options(&self, options: &Options) -> Result<()> {
+        crate::options::validate_plugin_options(
+            self.inner.name(),
+            options,
+            &self.inner.get_options(),
+        )?;
+        self.inner.check_options(options)
+    }
+
+    /// Apply options without the unknown-key contract check (the raw
+    /// [`Compressor::set_options`] semantics: unknown keys are ignored).
+    pub fn set_options_unchecked(&mut self, options: &Options) -> Result<()> {
+        self.inner.set_options(options)
+    }
+
     /// Compress with metrics hooks and timing.
     pub fn compress(&mut self, input: &Data) -> Result<Data> {
         for m in &mut self.metrics {
@@ -274,6 +310,31 @@ mod tests {
                 .unwrap(),
             Some(9)
         );
+    }
+
+    #[test]
+    fn handle_rejects_unknown_prefixed_options() {
+        let mut h = CompressorHandle::new(Box::new(Passthrough));
+        // Passthrough advertises no options: its own prefix is all unknown.
+        let err = h
+            .set_options(&Options::new().with("pass:not_an_option", 1u32))
+            .unwrap_err();
+        assert_eq!(err.code(), crate::ErrorCode::NotFound);
+        assert!(h
+            .check_options(&Options::new().with("pass:not_an_option", 1u32))
+            .is_err());
+        // Foreign prefixes and the reserved namespace pass through.
+        assert!(h
+            .set_options(
+                &Options::new()
+                    .with("sz:abs_err_bound", 1e-3f64)
+                    .with("pass:pressio:version", "x")
+            )
+            .is_ok());
+        // The unchecked escape hatch keeps the lenient trait semantics.
+        assert!(h
+            .set_options_unchecked(&Options::new().with("pass:not_an_option", 1u32))
+            .is_ok());
     }
 
     #[test]

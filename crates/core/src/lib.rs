@@ -76,7 +76,9 @@ pub use error::{Error, ErrorCode, Result};
 pub use handle::CompressorHandle;
 pub use io::IoPlugin;
 pub use metrics::MetricsPlugin;
-pub use options::{CastSafety, FromOptionValue, OptionKind, OptionValue, Options};
+pub use options::{
+    validate_plugin_options, CastSafety, FromOptionValue, OptionKind, OptionValue, Options,
+};
 pub use registry::{registry, Pressio, Registry};
 pub use version::Version;
 pub use wire::{bytes_to_elements, checked_geometry, elements_as_bytes, ByteReader, ByteWriter, MAX_DECODE_BYTES};

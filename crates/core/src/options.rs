@@ -321,7 +321,9 @@ impl OptionValue {
                 return OptionValue::from_i128(i, to);
             }
             // Float source.
-            let f = self.as_f64_lossy().expect("numeric value");
+            let Some(f) = self.as_f64_lossy() else {
+                return Err(Error::type_mismatch("numeric option has no float view"));
+            };
             return match to {
                 OptionKind::F32 => {
                     let g = f as f32;
@@ -338,7 +340,10 @@ impl OptionValue {
                         OptionValue::from_i128(f as i128, k)
                     }
                 }
-                _ => unreachable!(),
+                k => Err(Error::type_mismatch(format!(
+                    "no numeric cast to {}",
+                    k.name()
+                ))),
             };
         }
         if safety == CastSafety::Implicit {
@@ -368,11 +373,19 @@ impl OptionValue {
                 }
             }
             (v, OptionKind::Str) if v.kind().is_numeric() => {
-                Ok(OptionValue::Str(match v {
+                let s = match v {
                     OptionValue::F32(x) => format!("{x}"),
                     OptionValue::F64(x) => format!("{x}"),
-                    other => format!("{}", other.as_i128().expect("integer value")),
-                }))
+                    other => match other.as_i128() {
+                        Some(i) => format!("{i}"),
+                        None => {
+                            return Err(Error::type_mismatch(
+                                "numeric option has no integer view",
+                            ))
+                        }
+                    },
+                };
+                Ok(OptionValue::Str(s))
             }
             _ => Err(Error::type_mismatch(format!(
                 "cannot cast {} to {}",
@@ -590,6 +603,26 @@ impl Options {
         }
     }
 
+    /// Keys in `self` that claim to belong to `plugin` (i.e. start with
+    /// `"{plugin}:"`) but are not declared in `known` (typically the
+    /// plugin's `get_options()`).
+    ///
+    /// Keys under the reserved `"{plugin}:pressio:"` namespace are excluded:
+    /// those are configuration invariants, not settable options. Keys with
+    /// other prefixes are also excluded — one option set may configure a
+    /// whole composition of plugins, so foreign keys are legitimate.
+    pub fn unknown_keys_for_plugin(&self, plugin: &str, known: &Options) -> Vec<String> {
+        let prefix = format!("{plugin}:");
+        let reserved = format!("{plugin}:pressio:");
+        self.entries
+            .keys()
+            .filter(|k| {
+                k.starts_with(&prefix) && !k.starts_with(&reserved) && !known.contains(k)
+            })
+            .cloned()
+            .collect()
+    }
+
     /// The subset of entries whose key starts with `prefix`.
     pub fn with_prefix(&self, prefix: &str) -> Options {
         Options {
@@ -601,6 +634,35 @@ impl Options {
                 .collect(),
         }
     }
+}
+
+/// Enforce the plugin-contract rule that unknown plugin-prefixed option
+/// keys are errors, not silent drops.
+///
+/// `proposed` is the option set a caller wants to apply; `known` is what the
+/// plugin's `get_options()` advertises. Any key of the form
+/// `"{plugin}:..."` (outside the reserved `"{plugin}:pressio:"` namespace)
+/// that `known` does not contain produces a
+/// [`NotFound`](crate::ErrorCode::NotFound) error. Foreign-prefixed keys
+/// pass through so one option set can configure a whole composition of
+/// plugins.
+///
+/// [`CompressorHandle`](crate::CompressorHandle) and the registry's
+/// metrics/IO wrappers call this before forwarding `set_options`; the
+/// `pressio-tools` contract checker asserts the behavior for every
+/// registered plugin.
+pub fn validate_plugin_options(plugin: &str, proposed: &Options, known: &Options) -> Result<()> {
+    let unknown = proposed.unknown_keys_for_plugin(plugin, known);
+    if unknown.is_empty() {
+        return Ok(());
+    }
+    let accepted: Vec<&str> = known.keys().collect();
+    Err(Error::not_found(format!(
+        "unknown option key(s) [{}]; plugin {plugin:?} accepts [{}]",
+        unknown.join(", "),
+        accepted.join(", ")
+    ))
+    .in_plugin(plugin))
 }
 
 impl fmt::Display for Options {
@@ -771,6 +833,31 @@ mod tests {
         );
         o.set("metrics2", vec!["size".to_string(), "time".to_string()]);
         assert_eq!(o.get_as::<Vec<String>>("metrics2").unwrap().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_prefixed_keys_are_detected() {
+        let known = Options::new()
+            .with("sz:abs_err_bound", 1e-3f64)
+            .with("sz:mode", "abs");
+        // Known keys, reserved namespace, and foreign prefixes all pass.
+        let ok = Options::new()
+            .with("sz:abs_err_bound", 1e-4f64)
+            .with("sz:pressio:version", "x")
+            .with("zfp:rate", 8.0f64)
+            .with("pressio:abs", 1e-4f64);
+        assert!(ok.unknown_keys_for_plugin("sz", &known).is_empty());
+        assert!(validate_plugin_options("sz", &ok, &known).is_ok());
+        // An sz-prefixed key the plugin does not advertise is an error.
+        let bad = ok.clone().with("sz:definitely_not_real", 1u32);
+        assert_eq!(
+            bad.unknown_keys_for_plugin("sz", &known),
+            vec!["sz:definitely_not_real".to_string()]
+        );
+        let err = validate_plugin_options("sz", &bad, &known).unwrap_err();
+        assert_eq!(err.code(), crate::ErrorCode::NotFound);
+        assert!(err.to_string().contains("sz:definitely_not_real"));
+        assert_eq!(err.plugin(), Some("sz"));
     }
 
     #[test]

@@ -17,10 +17,12 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::RwLock;
 
 use crate::compressor::Compressor;
+use crate::data::Data;
 use crate::error::{Error, Result};
 use crate::handle::CompressorHandle;
 use crate::io::IoPlugin;
 use crate::metrics::MetricsPlugin;
+use crate::options::{validate_plugin_options, Options};
 
 /// Factory producing a fresh compressor instance.
 pub type CompressorFactory = Arc<dyn Fn() -> Box<dyn Compressor> + Send + Sync>;
@@ -96,7 +98,7 @@ impl Registry {
             .get(name)
             .cloned()
             .ok_or_else(|| Error::not_found(format!("no metrics plugin named {name:?}")))?;
-        Ok(f())
+        Ok(Box::new(ContractMetrics { inner: f() }))
     }
 
     /// Instantiate several metrics plugins (`pressio_new_metrics`).
@@ -127,12 +129,80 @@ impl Registry {
             .get(name)
             .cloned()
             .ok_or_else(|| Error::not_found(format!("no io plugin named {name:?}")))?;
-        Ok(f())
+        Ok(Box::new(ContractIo { inner: f() }))
     }
 
     /// Sorted names of all registered IO plugins.
     pub fn io_names(&self) -> Vec<String> {
         self.io.read().keys().cloned().collect()
+    }
+}
+
+/// Contract-enforcing proxy around a registry-instantiated metrics plugin:
+/// unknown plugin-prefixed option keys error instead of being dropped.
+struct ContractMetrics {
+    inner: Box<dyn MetricsPlugin>,
+}
+
+impl MetricsPlugin for ContractMetrics {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        validate_plugin_options(self.inner.name(), options, &self.inner.get_options())?;
+        self.inner.set_options(options)
+    }
+    fn get_options(&self) -> Options {
+        self.inner.get_options()
+    }
+    fn begin_compress(&mut self, input: &Data) {
+        self.inner.begin_compress(input);
+    }
+    fn end_compress(&mut self, input: &Data, compressed: &Data, time: std::time::Duration) {
+        self.inner.end_compress(input, compressed, time);
+    }
+    fn begin_decompress(&mut self, compressed: &Data) {
+        self.inner.begin_decompress(compressed);
+    }
+    fn end_decompress(&mut self, compressed: &Data, output: &Data, time: std::time::Duration) {
+        self.inner.end_decompress(compressed, output, time);
+    }
+    fn results(&self) -> Options {
+        self.inner.results()
+    }
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(ContractMetrics {
+            inner: self.inner.clone_metrics(),
+        })
+    }
+}
+
+/// Contract-enforcing proxy around a registry-instantiated IO plugin.
+struct ContractIo {
+    inner: Box<dyn IoPlugin>,
+}
+
+impl IoPlugin for ContractIo {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        validate_plugin_options(self.inner.name(), options, &self.inner.get_options())?;
+        self.inner.set_options(options)
+    }
+    fn get_options(&self) -> Options {
+        self.inner.get_options()
+    }
+    fn read(&mut self, template: Option<&Data>) -> Result<Data> {
+        self.inner.read(template)
+    }
+    fn write(&mut self, data: &Data) -> Result<()> {
+        self.inner.write(data)
+    }
+    fn clone_io(&self) -> Box<dyn IoPlugin> {
+        Box::new(ContractIo {
+            inner: self.inner.clone_io(),
+        })
     }
 }
 

@@ -145,33 +145,61 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
+
     /// Read a little-endian `u8`.
     pub fn get_u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
     /// Read a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
     /// Read a little-endian `i64`.
     pub fn get_i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
     /// Read a little-endian `f32`.
     pub fn get_f32(&mut self) -> Result<f32> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
     /// Read a little-endian `f64`.
     pub fn get_f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
+    }
+
+    /// Read a `u64` length/count field as `usize`, enforcing the
+    /// [`MAX_DECODE_BYTES`] cap so stream-declared sizes cannot drive absurd
+    /// allocations (and cannot wrap on 32-bit targets).
+    pub fn get_len(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        if v > MAX_DECODE_BYTES {
+            return Err(Error::corrupt(format!(
+                "declared length {v} exceeds the {MAX_DECODE_BYTES}-byte decode cap"
+            )));
+        }
+        usize::try_from(v)
+            .map_err(|_| Error::corrupt(format!("declared length {v} does not fit usize")))
+    }
+
+    /// Read a `u32` count field as `usize` — via `try_from`, never a bare
+    /// cast, so the conversion is lossless on every target.
+    pub fn get_count(&mut self) -> Result<usize> {
+        let v = self.get_u32()?;
+        usize::try_from(v)
+            .map_err(|_| Error::corrupt(format!("declared count {v} does not fit usize")))
     }
 
     /// Read `n` raw bytes.
@@ -212,7 +240,9 @@ impl<'a> ByteReader<'a> {
         }
         let mut dims = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            dims.push(self.get_u64()? as usize);
+            // Each dim is also a length: any real geometry passes
+            // checked_geometry later, so the decode cap applies per-axis too.
+            dims.push(self.get_len()?);
         }
         Ok(dims)
     }
@@ -246,6 +276,14 @@ pub fn checked_geometry(dtype: DType, dims: &[usize]) -> Result<usize> {
         }
     }
     Ok(total as usize)
+}
+
+/// Decode the first 8 bytes of `slice` as a little-endian `f64`, or `None`
+/// when the slice is too short — the panic-free form of
+/// `f64::from_le_bytes(slice[..8].try_into().unwrap())`.
+pub fn f64_le(slice: &[u8]) -> Option<f64> {
+    let (head, _) = slice.split_first_chunk::<8>()?;
+    Some(f64::from_le_bytes(*head))
 }
 
 /// Reinterpret a typed slice as bytes (plain-old-data only, via [`crate::Element`]).
@@ -368,6 +406,27 @@ mod tests {
         assert!(checked_geometry(DType::F64, &[1 << 60]).is_err());
         // Overflow: product wraps u64.
         assert!(checked_geometry(DType::U8, &[1 << 40, 1 << 40]).is_err());
+    }
+
+    #[test]
+    fn get_len_enforces_decode_cap() {
+        let mut w = ByteWriter::new();
+        w.put_u64(4096);
+        w.put_u64(MAX_DECODE_BYTES + 1);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_len().unwrap(), 4096);
+        assert!(r.get_len().is_err());
+    }
+
+    #[test]
+    fn get_count_reads_u32() {
+        let mut w = ByteWriter::new();
+        w.put_u32(42);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_count().unwrap(), 42);
+        assert!(r.get_count().is_err());
     }
 
     #[test]

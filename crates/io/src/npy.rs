@@ -92,7 +92,7 @@ pub fn from_npy_bytes(bytes: &[u8]) -> Result<Data> {
             ".npy version {major} is not supported (only 1.0)"
         )));
     }
-    let hlen = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
+    let hlen = usize::from(u16::from_le_bytes([bytes[8], bytes[9]]));
     let header = bytes
         .get(10..10 + hlen)
         .ok_or_else(|| Error::corrupt(".npy header truncated"))?;
@@ -249,7 +249,7 @@ mod tests {
         let bytes = to_npy_bytes(&d);
         assert_eq!(&bytes[..6], b"\x93NUMPY");
         assert_eq!(bytes[6], 1);
-        let hlen = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
+        let hlen = usize::from(u16::from_le_bytes([bytes[8], bytes[9]]));
         assert_eq!((10 + hlen) % 64, 0, "header must pad to 64-byte alignment");
         let header = std::str::from_utf8(&bytes[10..10 + hlen]).unwrap();
         assert!(header.contains("'descr': '<f8'"));
@@ -261,7 +261,7 @@ mod tests {
     fn one_dim_shape_has_trailing_comma() {
         let d = Data::owned(DType::F32, vec![7]);
         let bytes = to_npy_bytes(&d);
-        let hlen = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
+        let hlen = usize::from(u16::from_le_bytes([bytes[8], bytes[9]]));
         let header = std::str::from_utf8(&bytes[10..10 + hlen]).unwrap();
         assert!(header.contains("(7,)"));
     }

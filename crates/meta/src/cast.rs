@@ -11,7 +11,7 @@ use pressio_core::{
     Version,
 };
 
-use crate::util::resolve_child;
+use crate::util::{default_child, resolve_child};
 
 const CAST_MAGIC: u32 = 0x4341_5354;
 
@@ -28,7 +28,7 @@ impl Cast {
         Cast {
             target: DType::F32,
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 }
@@ -40,6 +40,12 @@ impl Default for Cast {
 }
 
 impl Compressor for Cast {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "cast"
     }

@@ -8,7 +8,7 @@ use pressio_core::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::util::resolve_child;
+use crate::util::{default_child, resolve_child};
 
 const FAULT_MAGIC: u32 = 0x464C_5421;
 
@@ -28,7 +28,7 @@ impl FaultInjector {
             num_bits: 0,
             seed: 0,
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 }
@@ -40,6 +40,12 @@ impl Default for FaultInjector {
 }
 
 impl Compressor for FaultInjector {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "fault_injector"
     }
@@ -148,7 +154,7 @@ impl NoiseInjector {
             scale: 0.0,
             seed: 0,
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 
@@ -172,6 +178,12 @@ impl Default for NoiseInjector {
 }
 
 impl Compressor for NoiseInjector {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "noise"
     }

@@ -15,7 +15,7 @@ use pressio_core::{
     Compressor, Data, Error, Options, Result, ThreadSafety, Version,
 };
 
-use crate::util::resolve_child;
+use crate::util::{default_child, resolve_child};
 
 /// What the optimizer drives toward.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,7 +76,7 @@ impl Opt {
     pub fn new() -> Opt {
         Opt {
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
             option: pressio_core::OPT_ABS.to_string(),
             objective: Objective::Ratio(10.0),
             lower: 1e-12,
@@ -187,6 +187,12 @@ impl Default for Opt {
 }
 
 impl Compressor for Opt {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "opt"
     }
@@ -208,8 +214,14 @@ impl Compressor for Opt {
             .with("opt:max_iters", self.max_iters)
             .with("opt:rel_tolerance", self.rel_tol);
         match self.objective {
-            Objective::Ratio(r) => o.set("opt:target_ratio", r),
-            Objective::MaxError(e) => o.set("opt:target_max_error", e),
+            Objective::Ratio(r) => {
+                o.set("opt:target_ratio", r);
+                o.declare("opt:target_max_error", pressio_core::OptionKind::F64);
+            }
+            Objective::MaxError(e) => {
+                o.set("opt:target_max_error", e);
+                o.declare("opt:target_ratio", pressio_core::OptionKind::F64);
+            }
         }
         if let Some(last) = self.last {
             o.set("opt:chosen_value", last.value);

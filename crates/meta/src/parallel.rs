@@ -11,7 +11,7 @@ use pressio_core::{
     ByteReader, ByteWriter, Compressor, Data, Error, Options, Result, ThreadSafety, Version,
 };
 
-use crate::util::resolve_child;
+use crate::util::{default_child, resolve_child};
 
 const CHUNK_MAGIC: u32 = 0x4348_4E4B;
 
@@ -29,7 +29,7 @@ impl Chunking {
         Chunking {
             nthreads: 4,
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 
@@ -64,6 +64,12 @@ impl Default for Chunking {
 }
 
 impl Compressor for Chunking {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "chunking"
     }
@@ -134,10 +140,13 @@ impl Compressor for Chunking {
                     }));
                 }
                 for h in handles {
-                    results.push(h.join().expect("chunking worker panicked"));
+                    results.push(
+                        h.join()
+                            .unwrap_or_else(|_| Err(Error::internal("chunking worker panicked"))),
+                    );
                 }
             })
-            .expect("crossbeam scope");
+            .map_err(|_| Error::internal("chunking thread scope failed"))?;
             results
         } else {
             chunks
@@ -172,7 +181,7 @@ impl Compressor for Chunking {
         let dtype = r.get_dtype()?;
         let dims = r.get_dims()?;
         pressio_core::checked_geometry(dtype, &dims).map_err(|e| e.in_plugin("chunking"))?;
-        let n_chunks = r.get_u32()? as usize;
+        let n_chunks = r.get_count()?;
         if child_name != self.child_name {
             self.child = resolve_child(&child_name).map_err(|e| e.in_plugin("chunking"))?;
             self.child_name = child_name;
@@ -211,10 +220,13 @@ impl Compressor for Chunking {
                     }));
                 }
                 for h in handles {
-                    results.push(h.join().expect("chunking worker panicked"));
+                    results.push(
+                        h.join()
+                            .unwrap_or_else(|_| Err(Error::internal("chunking worker panicked"))),
+                    );
                 }
             })
-            .expect("crossbeam scope");
+            .map_err(|_| Error::internal("chunking thread scope failed"))?;
             results
         } else {
             sections
@@ -269,7 +281,7 @@ impl ManyIndependent {
         ManyIndependent {
             nthreads: 4,
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 }
@@ -281,6 +293,12 @@ impl Default for ManyIndependent {
 }
 
 impl Compressor for ManyIndependent {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "many_independent"
     }
@@ -364,7 +382,7 @@ impl Compressor for ManyIndependent {
                 });
             }
         })
-        .expect("crossbeam scope");
+        .map_err(|_| Error::internal("parallel worker panicked"))?;
         cells.into_iter().map(|c| c.take()).collect()
     }
 
@@ -400,16 +418,21 @@ impl Compressor for ManyIndependent {
                             return Ok(());
                         }
                         let mut guard = cells[i].lock();
-                        let out = guard.as_mut().expect("each cell taken once");
+                        let Some(out) = guard.as_mut() else {
+                            return Err(Error::internal("output cell claimed twice"));
+                        };
                         worker.decompress(compressed[i], out)?;
                     }
                 }));
             }
             for h in handles {
-                errs.push(h.join().expect("worker panicked"));
+                errs.push(
+                    h.join()
+                        .unwrap_or_else(|_| Err(Error::internal("parallel worker panicked"))),
+                );
             }
         })
-        .expect("crossbeam scope");
+        .map_err(|_| Error::internal("parallel thread scope failed"))?;
         for e in errs {
             e?;
         }
@@ -462,7 +485,7 @@ impl ManyDependent {
     pub fn new() -> ManyDependent {
         ManyDependent {
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
             source: "error_stat:value_range".to_string(),
             target: String::new(),
             scale: 1.0,
@@ -477,6 +500,12 @@ impl Default for ManyDependent {
 }
 
 impl Compressor for ManyDependent {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "many_dependent"
     }

@@ -38,6 +38,14 @@ impl Default for Pipeline {
 }
 
 impl Compressor for Pipeline {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        for s in &self.stages {
+            o.merge(&s.get_configuration());
+        }
+        o
+    }
+
     fn name(&self) -> &str {
         "pipeline"
     }
@@ -109,7 +117,7 @@ impl Compressor for Pipeline {
         if r.get_u32()? != PIPELINE_MAGIC {
             return Err(Error::corrupt("bad pipeline magic").in_plugin("pipeline"));
         }
-        let n = r.get_u32()? as usize;
+        let n = r.get_count()?;
         if n == 0 || n > 64 {
             return Err(Error::corrupt("pipeline stage count out of range"));
         }

@@ -11,7 +11,7 @@ use pressio_core::{
     Version,
 };
 
-use crate::util::{invert_axes, parse_usize_list, resolve_child, transpose_bytes};
+use crate::util::{default_child, invert_axes, parse_usize_list, resolve_child, transpose_bytes};
 
 const TRANSPOSE_MAGIC: u32 = 0x5452_4E53;
 const RESIZE_MAGIC: u32 = 0x5253_5A45;
@@ -31,7 +31,7 @@ impl Transpose {
         Transpose {
             axes: Vec::new(),
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 }
@@ -43,6 +43,12 @@ impl Default for Transpose {
 }
 
 impl Compressor for Transpose {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "transpose"
     }
@@ -178,7 +184,7 @@ impl Resize {
         Resize {
             dims: Vec::new(),
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 }
@@ -190,6 +196,12 @@ impl Default for Resize {
 }
 
 impl Compressor for Resize {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "resize"
     }
@@ -306,7 +318,7 @@ impl Sample {
         Sample {
             rate: 1,
             child_name: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 }
@@ -318,6 +330,12 @@ impl Default for Sample {
 }
 
 impl Compressor for Sample {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "sample"
     }
@@ -393,7 +411,7 @@ impl Compressor for Sample {
         let orig_dims = r.get_dims()?;
         pressio_core::checked_geometry(output.dtype(), &orig_dims)
             .map_err(|e| e.in_plugin("sample"))?;
-        let rate = r.get_u64()? as usize;
+        let rate = r.get_len()?;
         if rate == 0 {
             return Err(Error::corrupt("sample stream carries zero rate"));
         }
@@ -442,7 +460,7 @@ impl Switch {
     pub fn new() -> Switch {
         Switch {
             active: "noop".to_string(),
-            child: resolve_child("noop").expect("noop is always registered"),
+            child: default_child(),
         }
     }
 }
@@ -456,6 +474,12 @@ impl Default for Switch {
 const SWITCH_MAGIC: u32 = 0x5357_4348;
 
 impl Compressor for Switch {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
     fn name(&self) -> &str {
         "switch"
     }

@@ -1,10 +1,71 @@
 //! Shared helpers for meta-compressors.
 
-use pressio_core::{registry, Compressor, Error, Result};
+use pressio_core::wire::{checked_geometry, ByteReader, ByteWriter};
+use pressio_core::{registry, Compressor, Data, Error, Options, Result, Version};
 
 /// Instantiate a child compressor by registry name.
 pub fn resolve_child(name: &str) -> Result<Box<dyn Compressor>> {
     Ok(registry().compressor(name)?.into_inner())
+}
+
+/// The default child for meta-compressors: the registry's `noop` when
+/// available (always, once `libpressio::init()` has run), otherwise a
+/// private inert pass-through — so constructors are infallible without a
+/// panic path.
+pub fn default_child() -> Box<dyn Compressor> {
+    resolve_child("noop").unwrap_or_else(|_| Box::new(InertChild))
+}
+
+/// Stand-in for `noop` used only when the registry has not been populated
+/// (e.g. a bare unit test constructing a meta-compressor directly). Mirrors
+/// noop's introspection surface; the wire format is private to this type,
+/// which is fine because a stream never crosses between registry states.
+#[derive(Debug, Clone, Copy)]
+struct InertChild;
+
+impl Compressor for InertChild {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new()
+    }
+
+    fn set_options(&mut self, _options: &Options) -> Result<()> {
+        Ok(())
+    }
+
+    fn get_configuration(&self) -> Options {
+        pressio_core::base_configuration(self)
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        let mut w = ByteWriter::with_capacity(input.size_in_bytes() + 64);
+        w.put_dtype(input.dtype());
+        w.put_dims(input.dims());
+        w.put_bytes(input.as_bytes());
+        Ok(Data::from_bytes(&w.into_vec()))
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        let mut r = ByteReader::new(compressed.as_bytes());
+        let dtype = r.get_dtype()?;
+        let dims = r.get_dims()?;
+        let n = checked_geometry(dtype, &dims)?;
+        let bytes = r.get_bytes(n)?;
+        *output = Data::owned(dtype, dims);
+        output.as_bytes_mut().copy_from_slice(bytes);
+        Ok(())
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(*self)
+    }
 }
 
 /// Nd transpose of raw element bytes.

@@ -312,7 +312,7 @@ pub fn decompress_body(body: &[u8], dims: &[usize]) -> Result<Vec<f64>> {
     }
     let exceptions: Vec<f64> = exc_bytes
         .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .filter_map(pressio_core::wire::f64_le)
         .collect();
 
     let n = h.nz * h.ny * h.nx;

@@ -267,7 +267,7 @@ pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>
         return Err(Error::corrupt("sz stream carries invalid error bound"));
     }
     let lossless = r.get_u8()? != 0;
-    let n_unpred = r.get_u64()? as usize;
+    let n_unpred = r.get_len()?;
     let huff_section = r.get_section()?;
     let unpred_payload = r.get_section()?;
     let (huff, unpred_bytes) = if lossless {

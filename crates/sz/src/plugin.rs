@@ -186,10 +186,13 @@ impl Sz {
                 handles.push(scope.spawn(move |_| compress_body(chunk, &cdims, &p)));
             }
             for h in handles {
-                bodies.push(h.join().expect("sz_omp worker panicked"));
+                bodies.push(
+                    h.join()
+                        .unwrap_or_else(|_| Err(Error::internal("sz_omp worker panicked"))),
+                );
             }
         })
-        .expect("crossbeam scope");
+        .map_err(|_| Error::internal("sz_omp thread scope failed"))?;
         bodies.into_iter().collect()
     }
 
@@ -217,10 +220,13 @@ impl Sz {
                 handles.push(scope.spawn(move |_| decompress_body::<T>(body, &cdims)));
             }
             for h in handles {
-                out.push(h.join().expect("sz_omp worker panicked"));
+                out.push(
+                    h.join()
+                        .unwrap_or_else(|_| Err(Error::internal("sz_omp worker panicked"))),
+                );
             }
         })
-        .expect("crossbeam scope");
+        .map_err(|_| Error::internal("sz_omp thread scope failed"))?;
         let mut all = Vec::with_capacity(slow * row);
         for chunk in out {
             all.extend(chunk?);
@@ -511,7 +517,7 @@ impl Compressor for Sz {
                 )
             }
         };
-        let n_bodies = r.get_u32()? as usize;
+        let n_bodies = r.get_count()?;
         if n_bodies == 0 || n_bodies > dims.first().copied().unwrap_or(1).max(1) {
             return Err(Error::corrupt("sz chunk count out of range").in_plugin(self.prefix()));
         }
@@ -626,14 +632,13 @@ fn pw_rel_inverse(logs: &[f64], signs: &[u8], exceptions: &[u8]) -> Result<Vec<f
             }
         })
         .collect();
-    let n_exc = u64::from_le_bytes(exceptions[..8].try_into().expect("8 bytes")) as usize;
-    if exceptions.len() < 8 + n_exc * 16 {
-        return Err(Error::corrupt("pw_rel exception section truncated"));
-    }
-    for k in 0..n_exc {
-        let at = 8 + k * 16;
-        let idx = u64::from_le_bytes(exceptions[at..at + 8].try_into().expect("8 bytes")) as usize;
-        let bits = u64::from_le_bytes(exceptions[at + 8..at + 16].try_into().expect("8 bytes"));
+    let mut r = ByteReader::new(exceptions);
+    let n_exc = r
+        .get_len()
+        .map_err(|_| Error::corrupt("pw_rel exception section truncated"))?;
+    for _ in 0..n_exc {
+        let idx = r.get_len()?;
+        let bits = r.get_u64()?;
         if idx >= out.len() {
             return Err(Error::corrupt("pw_rel exception index out of range"));
         }

@@ -333,7 +333,7 @@ pub fn decompress_body<T: InterpFloat>(body: &[u8], dims: &[usize]) -> Result<Ve
         return Err(Error::corrupt("sz_interp radius out of range"));
     }
     let cubic = r.get_u8()? != 0;
-    let n_unpred = r.get_u64()? as usize;
+    let n_unpred = r.get_len()?;
     let huff = deflate::decompress(r.get_section()?)?;
     let codes = huffman::decode(&huff)?;
     let unpred_bytes = deflate::decompress(r.get_section()?)?;

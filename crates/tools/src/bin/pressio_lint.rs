@@ -1,0 +1,157 @@
+//! `pressio-lint` — the workspace static-analysis pass.
+//!
+//! ```text
+//! pressio-lint [--root <dir>] [--allow <file>] [--show-allowed] [--strict-allowlist]
+//! pressio-lint --list-rules
+//! pressio-lint --explain <rule>
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pressio_tools::lint::{self, Allowlist, ALL_RULES};
+
+const USAGE: &str = "usage: pressio-lint [--root <dir>] [--allow <file>] [--show-allowed] [--strict-allowlist]
+       pressio-lint --list-rules
+       pressio-lint --explain <rule>
+
+Scans the workspace's library sources (src/ and crates/*/src/) for contract
+violations rustc cannot express. Findings can be waived via an allowlist
+(default: <root>/lint-allow.txt), one `rule file substring  # reason` per
+line. --strict-allowlist also fails on stale allowlist entries.";
+
+/// Walk upward from `start` to the directory whose Cargo.toml declares the
+/// workspace.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut show_allowed = false;
+    let mut strict_allowlist = false;
+
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--list-rules" => {
+                for r in ALL_RULES {
+                    println!("{r}");
+                }
+                return Ok(true);
+            }
+            "--explain" => {
+                let rule = argv
+                    .get(i + 1)
+                    .ok_or_else(|| "missing rule after --explain".to_string())?;
+                match lint::explain(rule) {
+                    Some(text) => {
+                        println!("{text}");
+                        return Ok(true);
+                    }
+                    None => {
+                        return Err(format!(
+                            "unknown rule {rule:?}; known rules: {}",
+                            ALL_RULES.join(", ")
+                        ))
+                    }
+                }
+            }
+            "--root" => {
+                root = Some(PathBuf::from(
+                    argv.get(i + 1).ok_or_else(|| "missing dir after --root".to_string())?,
+                ));
+                i += 2;
+            }
+            "--allow" => {
+                allow_path = Some(PathBuf::from(
+                    argv.get(i + 1)
+                        .ok_or_else(|| "missing file after --allow".to_string())?,
+                ));
+                i += 2;
+            }
+            "--show-allowed" => {
+                show_allowed = true;
+                i += 1;
+            }
+            "--strict-allowlist" => {
+                strict_allowlist = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or_else(|| "no workspace root found; pass --root".to_string())?
+        }
+    };
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint-allow.txt"));
+    let allowlist = if allow_path.is_file() {
+        Allowlist::parse(
+            &std::fs::read_to_string(&allow_path)
+                .map_err(|e| format!("{}: {e}", allow_path.display()))?,
+        )
+    } else {
+        Allowlist::default()
+    };
+
+    let report = lint::run(&root, &allowlist).map_err(|e| e.to_string())?;
+
+    let mut clean = true;
+    for f in &report.findings {
+        if f.allowed {
+            if show_allowed {
+                println!("{f}");
+            }
+        } else {
+            println!("{f}");
+            clean = false;
+        }
+    }
+    for stale in &report.unused_allows {
+        eprintln!("warning: unused allowlist entry: {stale}");
+        if strict_allowlist {
+            clean = false;
+        }
+    }
+    let allowed = report.findings.iter().filter(|f| f.allowed).count();
+    let violations = report.findings.len() - allowed;
+    eprintln!(
+        "pressio-lint: {} files scanned, {} violation(s), {} allowlisted",
+        report.files_scanned, violations, allowed
+    );
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("pressio-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

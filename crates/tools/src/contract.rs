@@ -1,0 +1,547 @@
+//! The live plugin-contract checker.
+//!
+//! LibPressio's productivity claim rests on every plugin honoring the same
+//! interface contract, so generic client code works unchanged across
+//! compressors. This module *verifies* that contract against the live
+//! registry rather than trusting plugin authors:
+//!
+//! 1. **Introspection idempotency** — `get_options → set_options(same) →
+//!    get_options` must be a fixed point: applying a plugin's own reported
+//!    configuration must not change it.
+//! 2. **Unknown-key rejection** — option keys bearing the plugin's own
+//!    prefix that the plugin does not advertise must produce an error, not a
+//!    silent drop (enforced by `CompressorHandle` and the registry proxies;
+//!    checked here end to end).
+//! 3. **Documentation consistency** — every option key advertised in
+//!    `get_documentation` must exist in `get_options` or
+//!    `get_configuration` (the bare plugin-name key documents the plugin
+//!    itself and is exempt).
+//! 4. **Configuration invariants** — `get_configuration` must declare the
+//!    reserved `{name}:pressio:{thread_safe,stability,version}` entries and
+//!    the version entry must match `version()`.
+//! 5. **Metadata round trip** — dtype and dimensions of a buffer must
+//!    survive compress → decompress unchanged.
+//!
+//! Compressors that transform geometry *by design* (samplers, resizers)
+//! are exempted from check 5 via an explicit skip list with a reason; the
+//! skip is reported, never silent.
+//!
+//! Third-party plugin authors: register your plugin (see
+//! `Registry::register_compressor`) and call [`check_all`] — or
+//! [`check_compressor`] / [`check_metrics`] / [`check_io`] for one plugin —
+//! from a test in your own crate.
+
+use std::fmt;
+
+use libpressio::core::ErrorCode;
+use libpressio::{DType, Data, Options};
+
+/// Which registry a plugin came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PluginKind {
+    /// A compressor plugin.
+    Compressor,
+    /// A metrics plugin.
+    Metrics,
+    /// An IO plugin.
+    Io,
+}
+
+impl fmt::Display for PluginKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PluginKind::Compressor => "compressor",
+            PluginKind::Metrics => "metrics",
+            PluginKind::Io => "io",
+        })
+    }
+}
+
+/// One contract violation found in one plugin.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Registry name of the offending plugin.
+    pub plugin: String,
+    /// Which registry the plugin came from.
+    pub kind: PluginKind,
+    /// Short id of the violated check, e.g. `idempotent-options`.
+    pub check: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:?} violates [{}]: {}",
+            self.kind, self.plugin, self.check, self.detail
+        )
+    }
+}
+
+/// Outcome of a checker run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of plugins examined.
+    pub checked: usize,
+    /// All violations found, in registry order.
+    pub violations: Vec<Violation>,
+    /// Checks that were skipped, as `(plugin, reason)` pairs.
+    pub skipped: Vec<(String, String)>,
+}
+
+impl Report {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn violation(
+        &mut self,
+        plugin: &str,
+        kind: PluginKind,
+        check: &'static str,
+        detail: impl Into<String>,
+    ) {
+        self.violations.push(Violation {
+            plugin: plugin.to_string(),
+            kind,
+            check,
+            detail: detail.into(),
+        });
+    }
+
+    fn skip(&mut self, plugin: &str, reason: impl Into<String>) {
+        self.skipped.push((plugin.to_string(), reason.into()));
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "checked {} plugins: {} violation(s), {} skip(s)",
+            self.checked,
+            self.violations.len(),
+            self.skipped.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  FAIL {v}")?;
+        }
+        for (p, r) in &self.skipped {
+            writeln!(f, "  skip {p}: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compressors whose decompressed geometry intentionally differs from the
+/// input (so the metadata-round-trip check does not apply), with the reason
+/// reported in [`Report::skipped`].
+const GEOMETRY_TRANSFORMERS: &[(&str, &str)] = &[
+    ("sample", "decimates by design: decompressed geometry is the sample's"),
+    ("resize", "reshapes by design: decompressed geometry is the target's"),
+];
+
+/// Check every plugin in the global registry (all builtins are registered
+/// first via `libpressio::init()`, plus anything third-party code already
+/// registered).
+pub fn check_all() -> Report {
+    libpressio::init();
+    let library = libpressio::instance();
+    let mut report = Report::default();
+    for name in library.supported_compressors() {
+        check_compressor(&name, &mut report);
+    }
+    for name in library.supported_metrics() {
+        check_metrics(&name, &mut report);
+    }
+    for name in library.supported_io() {
+        check_io(&name, &mut report);
+    }
+    report
+}
+
+/// Keys of an option set as an owned, sorted list.
+fn key_list(o: &Options) -> Vec<String> {
+    o.keys().map(str::to_string).collect()
+}
+
+/// Compare two option sets entry by entry; returns human-readable
+/// differences ("" means identical). Unset declarations compare by kind.
+fn diff_options(before: &Options, after: &Options) -> Vec<String> {
+    let mut diffs = Vec::new();
+    for (key, v1) in before.iter() {
+        match after.get(key) {
+            None => diffs.push(format!("key {key:?} disappeared")),
+            Some(v2) if v1 != v2 => {
+                diffs.push(format!("key {key:?} changed: {v1:?} -> {v2:?}"))
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, v2) in after.iter() {
+        if before.get(key).is_none() {
+            diffs.push(format!("key {key:?} appeared: {v2:?}"));
+        }
+    }
+    diffs
+}
+
+/// The well-known probe key suffix no sane plugin advertises.
+fn probe_key(name: &str) -> String {
+    format!("{name}:__contract_probe__")
+}
+
+fn check_configuration_invariants(
+    name: &str,
+    kind: PluginKind,
+    cfg: &Options,
+    version: Option<String>,
+    report: &mut Report,
+) {
+    for suffix in ["thread_safe", "stability", "version"] {
+        let key = format!("{name}:pressio:{suffix}");
+        if !cfg.contains(&key) {
+            report.violation(
+                name,
+                kind,
+                "configuration-invariants",
+                format!("get_configuration is missing reserved key {key:?}"),
+            );
+        }
+    }
+    if let Some(expected) = version {
+        let key = format!("{name}:pressio:version");
+        match cfg.get_as::<String>(&key) {
+            Ok(Some(v)) if v == expected => {}
+            other => report.violation(
+                name,
+                kind,
+                "version-declared",
+                format!("{key:?} is {other:?}, expected {expected:?} from version()"),
+            ),
+        }
+    }
+}
+
+fn check_doc_keys(name: &str, kind: PluginKind, docs: &Options, known: &Options, report: &mut Report) {
+    for key in docs.keys() {
+        // The bare plugin-name key documents the plugin itself.
+        if key == name {
+            continue;
+        }
+        if !known.contains(key) {
+            report.violation(
+                name,
+                kind,
+                "documented-keys-exist",
+                format!(
+                    "documented key {key:?} is in neither get_options nor get_configuration \
+                     (known: {:?})",
+                    key_list(known)
+                ),
+            );
+        }
+    }
+}
+
+/// Run every compressor contract check against the named plugin.
+pub fn check_compressor(name: &str, report: &mut Report) {
+    libpressio::init();
+    report.checked += 1;
+    let kind = PluginKind::Compressor;
+    let mut h = match libpressio::registry().compressor(name) {
+        Ok(h) => h,
+        Err(e) => {
+            report.violation(name, kind, "instantiate", e.to_string());
+            return;
+        }
+    };
+
+    if h.name() != name {
+        report.violation(
+            name,
+            kind,
+            "name-matches-registry",
+            format!("name() reports {:?}", h.name()),
+        );
+    }
+
+    // Configuration invariants + version pedigree.
+    let cfg = h.get_configuration();
+    check_configuration_invariants(name, kind, &cfg, Some(h.version().to_string()), report);
+
+    // Documented keys must exist among options or configuration.
+    let mut known = h.get_options();
+    known.merge(&cfg);
+    check_doc_keys(name, kind, &h.get_documentation(), &known, report);
+
+    // get_options -> set_options(same) -> get_options is a fixed point.
+    let before = h.get_options();
+    match h.set_options(&before) {
+        Err(e) => report.violation(
+            name,
+            kind,
+            "idempotent-options",
+            format!("set_options(get_options()) failed: {e}"),
+        ),
+        Ok(()) => {
+            let after = h.get_options();
+            for diff in diff_options(&before, &after) {
+                report.violation(name, kind, "idempotent-options", diff);
+            }
+        }
+    }
+
+    // Unknown keys under the plugin's own prefix must error, not drop.
+    let probe = Options::new().with(probe_key(name), 1i32);
+    if h.set_options(&probe).is_ok() {
+        report.violation(
+            name,
+            kind,
+            "unknown-key-rejected",
+            format!("set_options silently accepted {:?}", probe_key(name)),
+        );
+    }
+    if h.check_options(&probe).is_ok() {
+        report.violation(
+            name,
+            kind,
+            "unknown-key-rejected",
+            format!("check_options silently accepted {:?}", probe_key(name)),
+        );
+    }
+
+    // Metadata round trip.
+    if let Some((_, reason)) = GEOMETRY_TRANSFORMERS.iter().find(|(n, _)| *n == name) {
+        report.skip(name, format!("metadata-roundtrip: {reason}"));
+    } else {
+        check_roundtrip(name, &mut h, report);
+    }
+}
+
+/// Minimal configuration letting compressors that refuse to run unconfigured
+/// (no stages, unreachable default objective, ...) participate in the
+/// round-trip check.
+fn roundtrip_preset(name: &str) -> Option<Options> {
+    match name {
+        "opt" => Some(
+            Options::new()
+                .with("opt:compressor", "sz")
+                .with("opt:target_ratio", 2.0f64),
+        ),
+        "pipeline" => Some(Options::new().with(
+            "pipeline:stages",
+            vec!["delta".to_string(), "deflate".to_string()],
+        )),
+        _ => None,
+    }
+}
+
+/// Smooth synthetic field every lossy compressor should handle.
+fn test_field(dims: &[usize]) -> Vec<f32> {
+    let n: usize = dims.iter().product();
+    (0..n)
+        .map(|i| ((i as f32) * 0.01).sin() * 100.0 + (i as f32) * 0.001)
+        .collect()
+}
+
+fn check_roundtrip(name: &str, h: &mut libpressio::CompressorHandle, report: &mut Report) {
+    let kind = PluginKind::Compressor;
+    let dims = vec![16usize, 16, 16];
+    let input = match Data::from_vec(test_field(&dims), dims.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            report.skip(name, format!("metadata-roundtrip: cannot build input: {e}"));
+            return;
+        }
+    };
+
+    // A generic error bound so error-bounded compressors are configured;
+    // unchecked because `pressio:*` is a foreign prefix for every plugin and
+    // lossless plugins legitimately ignore it.
+    let _ = h.set_options_unchecked(&Options::new().with("pressio:abs", 1e-3f64));
+    if let Some(preset) = roundtrip_preset(name) {
+        if let Err(e) = h.set_options(&preset) {
+            report.violation(
+                name,
+                kind,
+                "metadata-roundtrip",
+                format!("rejected its own documented preset options: {e}"),
+            );
+            return;
+        }
+    }
+
+    let compressed = match h.compress(&input) {
+        Ok(c) => c,
+        Err(e) if matches!(
+            e.code(),
+            ErrorCode::Unsupported | ErrorCode::InvalidArgument | ErrorCode::NotFound
+        ) =>
+        {
+            // Legitimately unconfigured-by-default or dtype-restricted
+            // plugins may refuse; that is allowed but never silent.
+            report.skip(name, format!("metadata-roundtrip: compress refused: {e}"));
+            return;
+        }
+        Err(e) => {
+            report.violation(
+                name,
+                kind,
+                "metadata-roundtrip",
+                format!("compress failed on a plain f32 field: {e}"),
+            );
+            return;
+        }
+    };
+
+    let mut output = Data::owned(DType::F32, dims.clone());
+    if let Err(e) = h.decompress(&compressed, &mut output) {
+        report.violation(
+            name,
+            kind,
+            "metadata-roundtrip",
+            format!("decompress failed on this plugin's own stream: {e}"),
+        );
+        return;
+    }
+    if output.dtype() != DType::F32 {
+        report.violation(
+            name,
+            kind,
+            "metadata-roundtrip",
+            format!("dtype changed across the round trip: f32 -> {}", output.dtype()),
+        );
+    }
+    if output.dims() != dims.as_slice() {
+        report.violation(
+            name,
+            kind,
+            "metadata-roundtrip",
+            format!("dims changed across the round trip: {dims:?} -> {:?}", output.dims()),
+        );
+    }
+}
+
+/// Run every metrics contract check against the named plugin.
+pub fn check_metrics(name: &str, report: &mut Report) {
+    libpressio::init();
+    report.checked += 1;
+    let kind = PluginKind::Metrics;
+    let mut m = match libpressio::registry().metrics(name) {
+        Ok(m) => m,
+        Err(e) => {
+            report.violation(name, kind, "instantiate", e.to_string());
+            return;
+        }
+    };
+
+    if m.name() != name {
+        report.violation(
+            name,
+            kind,
+            "name-matches-registry",
+            format!("name() reports {:?}", m.name()),
+        );
+    }
+
+    let before = m.get_options();
+    match m.set_options(&before) {
+        Err(e) => report.violation(
+            name,
+            kind,
+            "idempotent-options",
+            format!("set_options(get_options()) failed: {e}"),
+        ),
+        Ok(()) => {
+            let after = m.get_options();
+            for diff in diff_options(&before, &after) {
+                report.violation(name, kind, "idempotent-options", diff);
+            }
+        }
+    }
+
+    let probe = Options::new().with(probe_key(name), 1i32);
+    if m.set_options(&probe).is_ok() {
+        report.violation(
+            name,
+            kind,
+            "unknown-key-rejected",
+            format!("set_options silently accepted {:?}", probe_key(name)),
+        );
+    }
+}
+
+/// Run every IO contract check against the named plugin.
+pub fn check_io(name: &str, report: &mut Report) {
+    libpressio::init();
+    report.checked += 1;
+    let kind = PluginKind::Io;
+    let mut io = match libpressio::registry().io(name) {
+        Ok(io) => io,
+        Err(e) => {
+            report.violation(name, kind, "instantiate", e.to_string());
+            return;
+        }
+    };
+
+    if io.name() != name {
+        report.violation(
+            name,
+            kind,
+            "name-matches-registry",
+            format!("name() reports {:?}", io.name()),
+        );
+    }
+
+    let before = io.get_options();
+    match io.set_options(&before) {
+        Err(e) => report.violation(
+            name,
+            kind,
+            "idempotent-options",
+            format!("set_options(get_options()) failed: {e}"),
+        ),
+        Ok(()) => {
+            let after = io.get_options();
+            for diff in diff_options(&before, &after) {
+                report.violation(name, kind, "idempotent-options", diff);
+            }
+        }
+    }
+
+    let probe = Options::new().with(probe_key(name), 1i32);
+    if io.set_options(&probe).is_ok() {
+        report.violation(
+            name,
+            kind,
+            "unknown-key-rejected",
+            format!("set_options silently accepted {:?}", probe_key(name)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_options_reports_all_three_shapes() {
+        let a = Options::new().with("p:x", 1i32).with("p:gone", 2i32);
+        let b = Options::new().with("p:x", 9i32).with("p:new", 3i32);
+        let diffs = diff_options(&a, &b);
+        assert_eq!(diffs.len(), 3, "{diffs:?}");
+        assert!(diffs.iter().any(|d| d.contains("disappeared")));
+        assert!(diffs.iter().any(|d| d.contains("changed")));
+        assert!(diffs.iter().any(|d| d.contains("appeared")));
+        assert!(diff_options(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn probe_key_is_prefixed() {
+        assert!(probe_key("sz").starts_with("sz:"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Library side of the pressio tools.
+//!
+//! * [`contract`] — the live plugin-contract checker: iterates the global
+//!   registry and verifies that every registered compressor, metrics, and IO
+//!   plugin honors the LibPressio interface contract (introspection
+//!   idempotency, unknown-key rejection, documentation consistency, and
+//!   metadata-preserving round trips).
+//!
+//! * [`lint`] — the `pressio-lint` static-analysis engine: a
+//!   dependency-light source scanner enforcing workspace hygiene rules
+//!   (no panics in library code, `// SAFETY:` comments on `unsafe`,
+//!   complete plugin trait surfaces, and forbidden debug/wire patterns).
+//!
+//! Both are also exposed as binaries: `pressio contract` and
+//! `pressio-lint`. Third-party plugin authors can run the contract checker
+//! against their own plugins by registering them and calling
+//! [`contract::check_all`].
+
+pub mod contract;
+pub mod lint;

@@ -1,0 +1,915 @@
+//! The `pressio-lint` static-analysis engine.
+//!
+//! A dependency-light source scanner over the workspace enforcing hygiene
+//! rules that `rustc` and `clippy` do not express:
+//!
+//! * [`RULE_NO_PANIC`] — library code of the core, codec, and compressor
+//!   crates must not `unwrap()`/`expect()`/`panic!()`: fallible paths route
+//!   through `pressio_core::error` so generic callers (the paper's C/Rust
+//!   clients) see recoverable errors, never aborts.
+//! * [`RULE_SAFETY_COMMENT`] — every `unsafe` block/fn/impl must be
+//!   preceded by a `// SAFETY:` comment stating the proof obligation.
+//! * [`RULE_PLUGIN_SURFACE`] — every `impl Compressor for ...` in a plugin
+//!   crate must define `set_options`, `get_options`, `get_configuration`,
+//!   and `version` rather than inheriting introspection defaults.
+//! * [`RULE_WIRE_CAST`] — wire-format lengths decoded from untrusted
+//!   streams must not flow through bare `as usize` casts on the same
+//!   expression without a bounds check (`checked_geometry`,
+//!   `MAX_DECODE_BYTES`, ...).
+//! * [`RULE_NO_DEBUG_PRINT`] — no `dbg!`/`println!`/`print!` in library
+//!   crates; user-visible output belongs to the binaries.
+//!
+//! The scanner strips string literals, comments, and `#[cfg(test)] mod`
+//! blocks before matching, so tests and docs never trip the rules. Findings
+//! can be waived through an allowlist file (default `lint-allow.txt` at the
+//! workspace root); each line is
+//!
+//! ```text
+//! <rule> <file> <substring of the offending line>   # justification
+//! ```
+//!
+//! matched by rule id, workspace-relative path, and line *content* (stable
+//! across unrelated edits, unlike line numbers). `pressio-lint --explain
+//! <rule>` prints the rationale and the allowlist recipe for each rule.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule id: no `unwrap`/`expect`/`panic!` in library code.
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// Rule id: `unsafe` requires a `// SAFETY:` comment.
+pub const RULE_SAFETY_COMMENT: &str = "safety-comment";
+/// Rule id: compressor impls must define the full introspection surface.
+pub const RULE_PLUGIN_SURFACE: &str = "plugin-surface";
+/// Rule id: wire lengths must be bounds-checked before `as usize`.
+pub const RULE_WIRE_CAST: &str = "wire-cast";
+/// Rule id: no debug printing in library crates.
+pub const RULE_NO_DEBUG_PRINT: &str = "no-debug-print";
+
+/// All rule ids, in reporting order.
+pub const ALL_RULES: &[&str] = &[
+    RULE_NO_PANIC,
+    RULE_SAFETY_COMMENT,
+    RULE_PLUGIN_SURFACE,
+    RULE_WIRE_CAST,
+    RULE_NO_DEBUG_PRINT,
+];
+
+/// Long-form rationale for `--explain`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        RULE_NO_PANIC => {
+            "no-panic: library code of the core, codec, and compressor crates must not call \
+             .unwrap(), .expect(), panic!, todo!, unimplemented!, or unreachable!. LibPressio \
+             is embedded in long-running simulations; a poisoned option value or corrupt \
+             stream must surface as a pressio_core::error::Error the caller can handle, \
+             never abort the host. Test modules (#[cfg(test)]) are exempt. To waive a \
+             genuinely infallible case (e.g. a mutex that cannot be poisoned), add \
+             `no-panic <file> <line substring>  # why it cannot fail` to the allowlist."
+        }
+        RULE_SAFETY_COMMENT => {
+            "safety-comment: every `unsafe` block, fn, or impl must be immediately preceded \
+             by a `// SAFETY:` comment stating why the operation is sound (which invariant \
+             of which type guarantees it). An unsafe block without a written proof \
+             obligation cannot be audited. The comment must be on the same line or in the \
+             contiguous comment block directly above. Allowlisting is possible but adding \
+             the comment is always the better fix."
+        }
+        RULE_PLUGIN_SURFACE => {
+            "plugin-surface: every `impl Compressor for ...` in a plugin crate must define \
+             set_options, get_options, get_configuration, and version. The paper's \
+             introspection contract (options declare themselves; configuration reports \
+             thread safety and pedigree) only holds if plugins implement it explicitly \
+             instead of inheriting an empty default. Test doubles inside #[cfg(test)] are \
+             exempt."
+        }
+        RULE_WIRE_CAST => {
+            "wire-cast: a length decoded from an untrusted stream (get_u16/get_u32/get_u64/\
+             from_le_bytes) must not be turned into a buffer size via a bare `as usize` on \
+             the same expression: a hostile stream can then drive a multi-gigabyte \
+             allocation or an overflowing product. Route lengths through \
+             pressio_core::wire::checked_geometry / bytes_to_elements or compare against \
+             MAX_DECODE_BYTES first. Allowlist only casts whose bound is established on a \
+             previous line."
+        }
+        RULE_NO_DEBUG_PRINT => {
+            "no-debug-print: dbg!, println!, and print! are forbidden in library crates — \
+             a compression library must not write to the host's stdout. Report through \
+             metrics results, error messages, or return values; only the CLI binaries \
+             print. (eprintln! in binaries is fine; this rule does not scan src/main.rs \
+             or src/bin/.)"
+        }
+        _ => return None,
+    })
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// True when an allowlist entry waived this finding.
+    pub allowed: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}{}",
+            self.file,
+            self.line,
+            self.rule,
+            self.snippet,
+            if self.allowed { "  (allowlisted)" } else { "" }
+        )
+    }
+}
+
+/// One allowlist entry: `rule file substring`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    rule: String,
+    file: String,
+    substring: String,
+    /// Set once a finding matched; unused entries are reported.
+    used: std::cell::Cell<bool>,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format: one `rule file substring` triple per
+    /// line; `#` starts a comment; blank lines ignored.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = match line.find('#') {
+                Some(i) => &line[..i],
+                None => line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (rule, file, substring) = (parts.next(), parts.next(), parts.next());
+            if let (Some(rule), Some(file), Some(substring)) = (rule, file, substring) {
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    file: file.to_string(),
+                    substring: substring.trim().to_string(),
+                    used: std::cell::Cell::new(false),
+                });
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// True when `finding` is waived by some entry (marks the entry used).
+    fn permits(&self, finding: &Finding) -> bool {
+        for e in &self.entries {
+            if e.rule == finding.rule
+                && e.file == finding.file
+                && finding.snippet.contains(&e.substring)
+            {
+                e.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding (likely stale).
+    pub fn unused(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used.get())
+            .map(|e| format!("{} {} {}", e.rule, e.file, e.substring))
+            .collect()
+    }
+}
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every finding, allowlisted or not.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Stale allowlist entries (matched nothing).
+    pub unused_allows: Vec<String>,
+}
+
+impl LintReport {
+    /// Findings not waived by the allowlist.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    /// True when no un-waived findings exist.
+    pub fn is_clean(&self) -> bool {
+        self.violations().next().is_none()
+    }
+}
+
+// --------------------------------------------------------------- sanitizing
+
+/// A preprocessed source file: raw lines for display/SAFETY detection,
+/// sanitized lines (strings and comments blanked) for rule matching, and a
+/// per-line "is test code" mask.
+struct Source<'a> {
+    raw_lines: Vec<&'a str>,
+    sanitized_lines: Vec<String>,
+    in_test: Vec<bool>,
+}
+
+/// Blank out string/char literals and comments, preserving length and line
+/// structure so byte offsets keep meaning. Handles raw strings (`r"..."`,
+/// `r#"..."#`), line and block comments.
+fn sanitize(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    // Preserve newlines.
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            out[i] = b'\n';
+        }
+    }
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out[i] = b'"';
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                if i < b.len() {
+                    out[i] = b'"';
+                    i += 1;
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string: r"..."  or  r#"..."#  (any # count).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    'scan: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut h = 0;
+                            while k < b.len() && b[k] == b'#' && h < hashes {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                j = k;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    out[start] = b'r';
+                    i = j;
+                } else {
+                    out[i] = b[i];
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. Lifetimes ('a, 'static) have no
+                // closing quote nearby; char literals do ('x', '\n', '\u{..}').
+                let mut j = i + 1;
+                if j < b.len() && b[j] == b'\\' {
+                    j += 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = if j < b.len() { j + 1 } else { j };
+                } else if j + 1 < b.len() && b[j] != b'\'' && b[j + 1] == b'\'' {
+                    i = j + 2; // simple 'x'
+                } else {
+                    out[i] = b'\'';
+                    i += 1; // lifetime: leave following ident visible
+                }
+            }
+            c => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    // Multi-byte UTF-8 sequences may have been partially blanked, so rebuild
+    // through lossy conversion rather than asserting validity.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Mark the line spans of `#[cfg(test)] mod ... { ... }` blocks.
+fn test_mask(sanitized: &str) -> Vec<bool> {
+    let lines: Vec<&str> = sanitized.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+            // Find the next `{` from here and brace-match.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let start = i;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                for ch in lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take((j + 1).min(lines.len())).skip(start) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+impl<'a> Source<'a> {
+    fn new(raw: &'a str) -> Source<'a> {
+        let sanitized = sanitize(raw);
+        let in_test = test_mask(&sanitized);
+        Source {
+            raw_lines: raw.lines().collect(),
+            sanitized_lines: sanitized.lines().map(str::to_string).collect(),
+            in_test,
+        }
+    }
+
+    fn is_test_line(&self, idx: usize) -> bool {
+        self.in_test.get(idx).copied().unwrap_or(false)
+    }
+}
+
+// -------------------------------------------------------------- rule scans
+
+/// Crates whose library code falls under the no-panic rule: the core and
+/// every compressor/codec crate (Section IV's "errors are values" contract).
+const NO_PANIC_CRATES: &[&str] = &[
+    "core", "codecs", "sz", "sz3", "zfp", "mgard", "tthresh", "meta",
+];
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+    "unreachable!(",
+];
+
+const WIRE_READS: &[&str] = &["get_u16", "get_u32", "get_u64", "from_le_bytes", "read_u32", "read_u64"];
+const WIRE_GUARDS: &[&str] = &[
+    "checked_geometry",
+    "bytes_to_elements",
+    "MAX_DECODE_BYTES",
+    "try_into",
+    "min(",
+];
+
+const DEBUG_PRINTS: &[&str] = &["dbg!(", "println!(", "print!("];
+
+/// Name of the crate a workspace-relative path belongs to, e.g.
+/// `crates/sz/src/plugin.rs` -> `sz`; the facade `src/lib.rs` -> `.` .
+fn crate_of(rel: &str) -> Option<&str> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        rest.split('/').next()
+    } else if rel.starts_with("src/") {
+        Some(".")
+    } else {
+        None
+    }
+}
+
+/// True for binary sources (CLI code), exempt from library-only rules.
+fn is_binary_source(rel: &str) -> bool {
+    rel.ends_with("/main.rs") || rel.contains("/src/bin/")
+}
+
+/// Does the line contain an `unsafe` keyword that introduces an unsafe
+/// item or block (as opposed to appearing inside a function-pointer *type*
+/// like `Option<unsafe extern "C" fn(..)>`, which creates no obligation at
+/// this site)?
+fn introduces_unsafe(line: &str) -> bool {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(off) = line[from..].find("unsafe") {
+        let start = from + off;
+        let end = start + "unsafe".len();
+        let left_ok = start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_');
+        let right_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if left_ok && right_ok {
+            // Type position: the previous non-space char opens a generic
+            // argument, tuple, reference, or union of types.
+            let prev = line[..start].trim_end().chars().next_back();
+            if !matches!(prev, Some('<' | '(' | '&' | ',' | '|' | ':')) {
+                return true;
+            }
+        }
+        from = end;
+    }
+    false
+}
+
+/// Is the `unsafe` at `line_idx` covered by a `// SAFETY:` comment — on the
+/// same line or in the contiguous comment block directly above?
+fn has_safety_comment(src: &Source, line_idx: usize) -> bool {
+    if src.raw_lines[line_idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 {
+        i -= 1;
+        let t = src.raw_lines[i].trim_start();
+        if t.starts_with("//") {
+            // A rustdoc `# Safety` section on a pub unsafe item is the
+            // idiomatic equivalent of a `// SAFETY:` comment.
+            if t.contains("SAFETY:") || (t.starts_with("///") && t.contains("# Safety")) {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.ends_with("]") && t.starts_with('#') {
+            // attribute between the comment and the unsafe item: keep walking
+            continue;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Scan one file's content; `rel` is its workspace-relative path with `/`
+/// separators. Pure function over the source text — the unit-test surface.
+pub fn scan_source(rel: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(krate) = crate_of(rel) else {
+        return findings;
+    };
+    let binary = is_binary_source(rel);
+    let src = Source::new(content);
+
+    let push = |findings: &mut Vec<Finding>, rule, idx: usize, src: &Source| {
+        findings.push(Finding {
+            rule,
+            file: rel.to_string(),
+            line: idx + 1,
+            snippet: src.raw_lines[idx].trim().to_string(),
+            allowed: false,
+        });
+    };
+
+    for (idx, line) in src.sanitized_lines.iter().enumerate() {
+        if src.is_test_line(idx) {
+            continue;
+        }
+
+        // no-panic: core + compressor crates, library code only.
+        if !binary && NO_PANIC_CRATES.contains(&krate)
+            && PANIC_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            push(&mut findings, RULE_NO_PANIC, idx, &src);
+        }
+
+        // safety-comment: everywhere.
+        if introduces_unsafe(line) && !has_safety_comment(&src, idx) {
+            push(&mut findings, RULE_SAFETY_COMMENT, idx, &src);
+        }
+
+        // wire-cast: everywhere in library code.
+        if !binary
+            && line.contains("as usize")
+            && WIRE_READS.iter().any(|p| line.contains(p))
+            && !WIRE_GUARDS.iter().any(|g| line.contains(g))
+        {
+            push(&mut findings, RULE_WIRE_CAST, idx, &src);
+        }
+
+        // no-debug-print: library code of every crate.
+        if !binary && DEBUG_PRINTS.iter().any(|p| line.contains(p)) {
+            push(&mut findings, RULE_NO_DEBUG_PRINT, idx, &src);
+        }
+    }
+
+    // plugin-surface: brace-match each `impl Compressor for` block.
+    // Binary sources (experiment drivers with local test doubles) are exempt.
+    let required = ["fn set_options", "fn get_options", "fn get_configuration", "fn version"];
+    let mut idx = 0;
+    while idx < src.sanitized_lines.len() {
+        let line = &src.sanitized_lines[idx];
+        if !binary && !src.is_test_line(idx) && line.contains("impl Compressor for") {
+            // Collect the block text.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut block = String::new();
+            let mut j = idx;
+            'block: while j < src.sanitized_lines.len() {
+                block.push_str(&src.sanitized_lines[j]);
+                block.push('\n');
+                for ch in src.sanitized_lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                break 'block;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            for missing in required.iter().filter(|r| !block.contains(*r)) {
+                findings.push(Finding {
+                    rule: RULE_PLUGIN_SURFACE,
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    snippet: format!(
+                        "{} — missing `{}`",
+                        src.raw_lines[idx].trim(),
+                        missing
+                    ),
+                    allowed: false,
+                });
+            }
+            idx = j + 1;
+        } else {
+            idx += 1;
+        }
+    }
+
+    findings
+}
+
+// ---------------------------------------------------------------- running
+
+/// Recursively collect `.rs` files under `dir`, skipping `target/`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "tests" || name == "benches" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the linter over the workspace rooted at `root`, applying
+/// `allowlist`. Scans `src/` of the facade and every `crates/*/src/`.
+pub fn run(root: &Path, allowlist: &Allowlist) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        for mut f in scan_source(&rel, &content) {
+            f.allowed = allowlist.permits(&f);
+            report.findings.push(f);
+        }
+    }
+    report.unused_allows = allowlist.unused();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_for(rel: &str, src: &str) -> Vec<Finding> {
+        scan_source(rel, src)
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ------------------------------------------------------------ no-panic
+
+    #[test]
+    fn no_panic_flags_unwrap_in_compressor_crate() {
+        let f = findings_for(
+            "crates/sz/src/plugin.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert_eq!(rules(&f), vec![RULE_NO_PANIC]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn no_panic_ignores_tests_strings_comments_and_foreign_crates() {
+        let src = "\
+// a comment mentioning .unwrap() is fine
+fn msg() -> &'static str { \"call .unwrap() later\" }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+";
+        assert!(findings_for("crates/sz/src/plugin.rs", src).is_empty());
+        // metrics crate is outside the no-panic scope
+        let f = findings_for("crates/metrics/src/basic.rs", "fn f() { x.unwrap(); }\n");
+        assert!(!rules(&f).contains(&RULE_NO_PANIC));
+    }
+
+    #[test]
+    fn no_panic_flags_every_panic_macro() {
+        for pat in ["panic!(\"x\")", "todo!()", "unimplemented!()", "unreachable!()"] {
+            let src = format!("fn f() {{ {pat} }}\n");
+            let f = findings_for("crates/core/src/data.rs", &src);
+            assert_eq!(rules(&f), vec![RULE_NO_PANIC], "{pat}");
+        }
+    }
+
+    // ------------------------------------------------------ safety-comment
+
+    #[test]
+    fn safety_comment_required_and_honored() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let f = findings_for("crates/core/src/alloc.rs", bad);
+        assert_eq!(rules(&f), vec![RULE_SAFETY_COMMENT]);
+
+        let good = "\
+// SAFETY: caller guarantees p is valid for reads.
+fn f(p: *const u8) -> u8 { unsafe { *p } }
+";
+        assert!(findings_for("crates/core/src/alloc.rs", good).is_empty());
+
+        let same_line = "let x = unsafe { *p }; // SAFETY: p outlives x\n";
+        assert!(findings_for("crates/core/src/alloc.rs", same_line).is_empty());
+
+        // Rustdoc `# Safety` sections count: they are the public-API spelling
+        // of the same proof obligation.
+        let doc_section = "\
+/// Marker for plain-old-data scalars.
+///
+/// # Safety
+///
+/// Every bit pattern must be valid.
+pub unsafe trait Element {}
+";
+        assert!(findings_for("crates/core/src/dtype.rs", doc_section).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_sees_through_attributes_and_comment_blocks() {
+        let src = "\
+// SAFETY: repr(C) layout is pointer-compatible with the C header;
+// the handle is never aliased mutably.
+#[no_mangle]
+unsafe fn pressio_thing() {}
+";
+        assert!(findings_for("crates/capi/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_skips_fn_pointer_type_positions() {
+        let src = "\
+struct H { deleter: Option<unsafe extern \"C\" fn(*mut u8)> }
+fn take(f: unsafe extern \"C\" fn()) {}
+";
+        assert!(findings_for("crates/capi/src/lib.rs", src).is_empty());
+        // ... but a real unsafe item still needs its comment.
+        let f = findings_for("crates/capi/src/lib.rs", "unsafe impl Sync for H {}\n");
+        assert_eq!(rules(&f), vec![RULE_SAFETY_COMMENT]);
+    }
+
+    #[test]
+    fn safety_comment_ignores_the_word_in_strings_and_docs() {
+        let src = "/// This type has no unsafe code.\nfn f() -> &'static str { \"unsafe\" }\n";
+        assert!(findings_for("crates/core/src/data.rs", src).is_empty());
+    }
+
+    // ------------------------------------------------------ plugin-surface
+
+    #[test]
+    fn plugin_surface_flags_missing_methods() {
+        let src = "\
+impl Compressor for Thing {
+    fn name(&self) -> &str { \"thing\" }
+    fn set_options(&mut self, _: &Options) -> Result<()> { Ok(()) }
+    fn get_options(&self) -> Options { Options::new() }
+}
+";
+        let f = findings_for("crates/zfp/src/plugin.rs", src);
+        assert_eq!(rules(&f), vec![RULE_PLUGIN_SURFACE, RULE_PLUGIN_SURFACE]);
+        assert!(f[0].snippet.contains("fn get_configuration"));
+        assert!(f[1].snippet.contains("fn version"));
+    }
+
+    #[test]
+    fn plugin_surface_accepts_complete_impls_and_skips_test_doubles() {
+        let complete = "\
+impl Compressor for Thing {
+    fn version(&self) -> Version { Version::new(1, 0, 0) }
+    fn set_options(&mut self, _: &Options) -> Result<()> { Ok(()) }
+    fn get_options(&self) -> Options { Options::new() }
+    fn get_configuration(&self) -> Options { base_configuration(self) }
+}
+";
+        assert!(findings_for("crates/zfp/src/plugin.rs", complete).is_empty());
+
+        let test_double = "\
+#[cfg(test)]
+mod tests {
+    impl Compressor for Dummy {
+        fn name(&self) -> &str { \"dummy\" }
+    }
+}
+";
+        assert!(findings_for("crates/zfp/src/plugin.rs", test_double).is_empty());
+    }
+
+    // ----------------------------------------------------------- wire-cast
+
+    #[test]
+    fn wire_cast_flags_unchecked_lengths() {
+        let src = "let n = r.get_u64()? as usize;\n";
+        let f = findings_for("crates/core/src/wire.rs", src);
+        assert_eq!(rules(&f), vec![RULE_WIRE_CAST]);
+    }
+
+    #[test]
+    fn wire_cast_accepts_guarded_lengths() {
+        for guarded in [
+            "let n = (r.get_u64()?.min(MAX_DECODE_BYTES as u64)) as usize;",
+            "let n: usize = r.get_u64()?.try_into().map_err(bad)?;",
+            "let dims = checked_geometry(r.get_u32()? as usize, raw)?;",
+        ] {
+            let f = findings_for("crates/core/src/wire.rs", &format!("{guarded}\n"));
+            assert!(f.is_empty(), "{guarded} -> {f:?}");
+        }
+        // `as usize` with no wire read on the line is out of scope.
+        assert!(findings_for("crates/core/src/wire.rs", "let x = y as usize;\n").is_empty());
+    }
+
+    // ------------------------------------------------------ no-debug-print
+
+    #[test]
+    fn debug_print_flagged_in_libraries_not_binaries() {
+        let f = findings_for("crates/io/src/basic.rs", "fn f() { println!(\"x\"); }\n");
+        assert_eq!(rules(&f), vec![RULE_NO_DEBUG_PRINT]);
+        let f = findings_for("crates/io/src/basic.rs", "fn f() { dbg!(3); }\n");
+        assert_eq!(rules(&f), vec![RULE_NO_DEBUG_PRINT]);
+        assert!(findings_for("crates/tools/src/main.rs", "fn f() { println!(\"x\"); }\n").is_empty());
+        assert!(findings_for("crates/tools/src/bin/x.rs", "fn f() { println!(); }\n").is_empty());
+    }
+
+    // ----------------------------------------------------------- allowlist
+
+    #[test]
+    fn allowlist_waives_by_rule_file_and_substring() {
+        let allow = Allowlist::parse(
+            "# comment line\n\
+             no-panic crates/sz/src/global.rs lock_store().expect  # cannot poison\n",
+        );
+        let mut hit = Finding {
+            rule: RULE_NO_PANIC,
+            file: "crates/sz/src/global.rs".to_string(),
+            line: 10,
+            snippet: "let g = lock_store().expect(\"never poisoned\");".to_string(),
+            allowed: false,
+        };
+        assert!(allow.permits(&hit));
+        hit.file = "crates/sz/src/plugin.rs".to_string();
+        assert!(!allow.permits(&hit));
+        // rule mismatch
+        hit.file = "crates/sz/src/global.rs".to_string();
+        hit.rule = RULE_WIRE_CAST;
+        assert!(!allow.permits(&hit));
+    }
+
+    #[test]
+    fn allowlist_reports_unused_entries() {
+        let allow = Allowlist::parse("no-panic crates/x/src/a.rs nothing matches this\n");
+        assert_eq!(allow.unused().len(), 1);
+        let used = Allowlist::parse("no-panic crates/x/src/a.rs boom\n");
+        let f = Finding {
+            rule: RULE_NO_PANIC,
+            file: "crates/x/src/a.rs".to_string(),
+            line: 1,
+            snippet: "boom".to_string(),
+            allowed: false,
+        };
+        assert!(used.permits(&f));
+        assert!(used.unused().is_empty());
+    }
+
+    // ----------------------------------------------------------- sanitizer
+
+    #[test]
+    fn sanitizer_strips_strings_comments_and_raw_strings() {
+        let s = sanitize("let a = \"panic!(\"; // .unwrap()\nlet r = r#\"x.expect(\"#;");
+        assert!(!s.contains("panic!("));
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".expect("));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn sanitizer_keeps_lifetimes_and_chars_straight() {
+        let s = sanitize("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(s.contains("fn f<'a>"));
+        assert!(!s.contains("'x'"));
+    }
+
+    #[test]
+    fn explain_covers_every_rule() {
+        for rule in ALL_RULES {
+            assert!(explain(rule).is_some(), "{rule}");
+        }
+        assert!(explain("nonsense").is_none());
+    }
+}

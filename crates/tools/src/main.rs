@@ -15,6 +15,7 @@
 //! pressio decompress -c <name> -i <in> -o <out> -t <dtype> [-d <dims>] [-F posix|numpy]
 //! pressio eval       -i <original> -j <decompressed> -t <dtype> -d <dims> [-m metric ...]
 //! pressio gen        -n <dataset> -o <out> [-s seed] [-k scale] [-F posix|numpy]
+//! pressio contract   [-v verbose]
 //! ```
 
 use std::process::ExitCode;
@@ -269,13 +270,36 @@ fn cmd_gen(args: &Args) -> Result<()> {
     Ok(())
 }
 
-const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen> [args]
+fn cmd_contract(args: &Args) -> Result<()> {
+    let report = pressio_tools::contract::check_all();
+    let verbose = args.get("v").is_some();
+    if verbose || !report.is_clean() {
+        print!("{report}");
+    } else {
+        println!(
+            "checked {} plugins: all honor the plugin contract ({} documented skip(s))",
+            report.checked,
+            report.skipped.len()
+        );
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Error::invalid_argument(format!(
+            "{} contract violation(s)",
+            report.violations.len()
+        )))
+    }
+}
+
+const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract> [args]
   list [compressors|metrics|io]
   options <compressor>
   compress   -c <name> -i <in> -o <out> [-t dtype -d dims] [-O k=v ...] [-m metric ...] [-f format]
   decompress -c <name> -i <in> -o <out> -t <dtype> [-d dims] [-F format]
   eval       -i <orig> -j <dec> -t <dtype> -d <dims> [-m metric ...]
-  gen        -n <hurricane|nyx|hacc|scale-letkf> -o <out> [-s seed] [-k scale] [-F format]";
+  gen        -n <hurricane|nyx|hacc|scale-letkf> -o <out> [-s seed] [-k scale] [-F format]
+  contract   [-v verbose]  # verify every registered plugin honors the plugin contract";
 
 fn run() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -287,6 +311,7 @@ fn run() -> Result<()> {
         Some("decompress") => cmd_decompress(&args),
         Some("eval") => cmd_eval(&args),
         Some("gen") => cmd_gen(&args),
+        Some("contract") => cmd_contract(&args),
         _ => {
             eprintln!("{USAGE}");
             Err(Error::invalid_argument("unknown or missing command"))

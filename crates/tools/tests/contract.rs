@@ -1,0 +1,38 @@
+//! The plugin-contract gate: every plugin registered by `libpressio::init()`
+//! must honor the LibPressio interface contract. This is the test third-party
+//! plugin authors are told to copy into their own crates.
+
+use pressio_tools::contract;
+
+#[test]
+fn every_registered_plugin_honors_the_contract() {
+    let report = contract::check_all();
+    assert!(report.checked >= 45, "registry shrank? checked {}", report.checked);
+    assert!(
+        report.is_clean(),
+        "plugin contract violations:\n{report}"
+    );
+    // Skips must carry a reason and refer to a registered plugin.
+    let lib = libpressio::instance();
+    let known: Vec<String> = lib
+        .supported_compressors()
+        .into_iter()
+        .chain(lib.supported_metrics())
+        .chain(lib.supported_io())
+        .collect();
+    for (plugin, reason) in &report.skipped {
+        assert!(known.contains(plugin), "skip for unknown plugin {plugin:?}");
+        assert!(!reason.is_empty(), "skip for {plugin:?} has no reason");
+    }
+}
+
+#[test]
+fn single_plugin_checks_are_usable_standalone() {
+    let mut report = contract::Report::default();
+    contract::check_compressor("zfp", &mut report);
+    contract::check_metrics("size", &mut report);
+    contract::check_io("posix", &mut report);
+    assert_eq!(report.checked, 3);
+    assert!(report.is_clean(), "{report}");
+}
+

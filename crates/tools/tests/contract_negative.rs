@@ -1,0 +1,63 @@
+//! Negative test for the contract checker, isolated in its own process
+//! because it registers a deliberately broken plugin into the global
+//! registry (which would poison `check_all` runs sharing the process).
+
+use libpressio::core::{Compressor, Options, Result, Version};
+use libpressio::Data;
+use pressio_tools::contract::{self, PluginKind};
+
+#[test]
+fn checker_catches_a_misbehaving_plugin() {
+
+    // A deliberately broken plugin: no reserved configuration entries,
+    // documentation advertising a key that does not exist, and set_options
+    // that mutates its own reported state (non-idempotent).
+    #[derive(Clone, Default)]
+    struct Broken {
+        generation: u32,
+    }
+    impl Compressor for Broken {
+        fn name(&self) -> &str {
+            "__broken__"
+        }
+        fn version(&self) -> Version {
+            Version::new(0, 0, 0)
+        }
+        fn get_options(&self) -> Options {
+            Options::new().with("__broken__:generation", self.generation)
+        }
+        fn set_options(&mut self, _: &Options) -> Result<()> {
+            self.generation += 1; // every set changes what get reports
+            Ok(())
+        }
+        fn get_configuration(&self) -> Options {
+            Options::new() // missing {name}:pressio:* invariants
+        }
+        fn get_documentation(&self) -> Options {
+            Options::new().with("__broken__:phantom", "does not exist")
+        }
+        fn compress(&mut self, input: &Data) -> Result<Data> {
+            Ok(Data::from_bytes(input.as_bytes()))
+        }
+        fn decompress(&mut self, c: &Data, o: &mut Data) -> Result<()> {
+            o.as_bytes_mut().copy_from_slice(c.as_bytes());
+            Ok(())
+        }
+        fn clone_compressor(&self) -> Box<dyn Compressor> {
+            Box::new(self.clone())
+        }
+    }
+
+    libpressio::registry().register_compressor("__broken__", || Box::new(Broken::default()));
+    let mut report = contract::Report::default();
+    contract::check_compressor("__broken__", &mut report);
+    assert!(!report.is_clean());
+    let checks: Vec<&str> = report.violations.iter().map(|v| v.check).collect();
+    assert!(checks.contains(&"configuration-invariants"), "{checks:?}");
+    assert!(checks.contains(&"documented-keys-exist"), "{checks:?}");
+    assert!(checks.contains(&"idempotent-options"), "{checks:?}");
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.kind == PluginKind::Compressor));
+}

@@ -1,0 +1,115 @@
+//! End-to-end checks for the `pressio-lint` binary: clean on this
+//! workspace, non-zero on a seeded violation, and a working CLI surface.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pressio-lint")
+}
+
+#[test]
+fn lint_is_clean_on_this_workspace() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let out = Command::new(bin())
+        .args(["--root", root])
+        .output()
+        .expect("spawn pressio-lint");
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn lint_fails_on_seeded_violation() {
+    let dir = std::env::temp_dir().join(format!("pressio-lint-fixture-{}", std::process::id()));
+    let src = dir.join("crates").join("core").join("src");
+    std::fs::create_dir_all(&src).expect("create fixture tree");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn first(v: Vec<u8>) -> u8 { *v.first().unwrap() }\n\
+         pub fn peek(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )
+    .expect("write fixture source");
+
+    let out = Command::new(bin())
+        .args(["--root", dir.to_str().expect("utf-8 temp path")])
+        .output()
+        .expect("spawn pressio-lint");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no-panic"), "{stdout}");
+    assert!(stdout.contains("safety-comment"), "{stdout}");
+}
+
+#[test]
+fn allowlist_waives_and_reports_stale_entries() {
+    let dir = std::env::temp_dir().join(format!("pressio-lint-allow-{}", std::process::id()));
+    let src = dir.join("crates").join("core").join("src");
+    std::fs::create_dir_all(&src).expect("create fixture tree");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn first(v: Vec<u8>) -> u8 { *v.first().unwrap() }\n",
+    )
+    .expect("write fixture source");
+    std::fs::write(
+        dir.join("lint-allow.txt"),
+        "no-panic crates/core/src/lib.rs v.first().unwrap()  # fixture waiver\n\
+         no-panic crates/core/src/lib.rs nothing-matches-this  # stale entry\n",
+    )
+    .expect("write allowlist");
+
+    // The waiver makes the run clean...
+    let out = Command::new(bin())
+        .args(["--root", dir.to_str().expect("utf-8 temp path")])
+        .output()
+        .expect("spawn pressio-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unused allowlist entry"), "{stderr}");
+
+    // ... but --strict-allowlist fails on the stale entry.
+    let strict = Command::new(bin())
+        .args(["--root", dir.to_str().expect("utf-8 temp path"), "--strict-allowlist"])
+        .output()
+        .expect("spawn pressio-lint");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(strict.status.code(), Some(1));
+}
+
+#[test]
+fn cli_surface_lists_and_explains_rules() {
+    let out = Command::new(bin())
+        .arg("--list-rules")
+        .output()
+        .expect("spawn pressio-lint");
+    assert!(out.status.success());
+    let rules = String::from_utf8_lossy(&out.stdout);
+    for rule in ["no-panic", "safety-comment", "plugin-surface", "wire-cast", "no-debug-print"] {
+        assert!(rules.contains(rule), "{rule} missing from --list-rules");
+    }
+
+    let out = Command::new(bin())
+        .args(["--explain", "wire-cast"])
+        .output()
+        .expect("spawn pressio-lint");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wire"));
+
+    let out = Command::new(bin())
+        .args(["--explain", "no-such-rule"])
+        .output()
+        .expect("spawn pressio-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -48,10 +48,9 @@ fn quantize_vector(v: &[f64], out: &mut Vec<u8>) {
 }
 
 fn dequantize_vector(bytes: &[u8], pos: &mut usize, len: usize) -> Result<Vec<f64>> {
-    if bytes.len() < *pos + 8 {
+    let Some(max) = bytes.get(*pos..).and_then(pressio_core::wire::f64_le) else {
         return Err(Error::corrupt("tthresh factor header truncated"));
-    }
-    let max = f64::from_le_bytes(bytes[*pos..*pos + 8].try_into().expect("8 bytes"));
+    };
     *pos += 8;
     if !(max.is_finite() && max > 0.0) {
         return Err(Error::corrupt("tthresh factor scale invalid"));
@@ -79,7 +78,7 @@ fn matrix_shape(dims: &[usize]) -> (usize, usize) {
             (n / cols.max(1), cols.max(1))
         }
         _ => {
-            let n = *dims.last().expect("non-empty");
+            let n = dims.last().copied().unwrap_or(1);
             (dims[..dims.len() - 1].iter().product(), n)
         }
     }
@@ -194,9 +193,9 @@ impl Compressor for Tthresh {
         let dtype = r.get_dtype()?;
         let dims = r.get_dims()?;
         pressio_core::checked_geometry(dtype, &dims).map_err(|e| e.in_plugin("tthresh"))?;
-        let m = r.get_u64()? as usize;
-        let n = r.get_u64()? as usize;
-        let rank = r.get_u32()? as usize;
+        let m = r.get_len()?;
+        let n = r.get_len()?;
+        let rank = r.get_count()?;
         let total: usize = dims.iter().product();
         if m.checked_mul(n) != Some(total) || rank > m.min(n).max(1) {
             return Err(Error::corrupt("tthresh geometry inconsistent").in_plugin("tthresh"));
@@ -205,10 +204,9 @@ impl Compressor for Tthresh {
         let mut pos = 0usize;
         let mut triplets = Vec::with_capacity(rank);
         for _ in 0..rank {
-            if payload.len() < pos + 8 {
+            let Some(sigma) = payload.get(pos..).and_then(pressio_core::wire::f64_le) else {
                 return Err(Error::corrupt("tthresh sigma truncated"));
-            }
-            let sigma = f64::from_le_bytes(payload[pos..pos + 8].try_into().expect("8 bytes"));
+            };
             pos += 8;
             if !(sigma.is_finite() && sigma >= 0.0) {
                 return Err(Error::corrupt("tthresh sigma invalid"));

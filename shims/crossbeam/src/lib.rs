@@ -1,0 +1,95 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` / `ScopedJoinHandle` are
+//! provided — the subset the workspace's parallel meta-compressors use —
+//! implemented over `std::thread::scope` (stable since Rust 1.63).
+
+/// Scoped threads (`crossbeam::thread` API subset).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result type of [`scope`]: `Err` carries a panic payload.
+    pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result (`Err` on
+        /// panic, as with `std::thread::JoinHandle::join`).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives the
+        /// scope itself so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope allowing borrowed-data threads; all spawned
+    /// threads are joined before this returns. Unlike crossbeam this never
+    /// returns `Err` — panics of unjoined threads propagate as panics (the
+    /// workspace always `.expect()`s the result, so the behavior matches).
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u32, 2, 3, 4];
+            let total: u32 = super::scope(|scope| {
+                let (lo, hi) = data.split_at(data.len() / 2);
+                let a = scope.spawn(|_| lo.iter().sum::<u32>());
+                let b = scope.spawn(|_| hi.iter().sum::<u32>());
+                a.join().expect("join a") + b.join().expect("join b")
+            })
+            .expect("scope");
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let n: u32 = super::scope(|scope| {
+                scope
+                    .spawn(|inner| inner.spawn(|_| 21u32).join().expect("inner") * 2)
+                    .join()
+                    .expect("outer")
+            })
+            .expect("scope");
+            assert_eq!(n, 42);
+        }
+
+        #[test]
+        fn joined_panic_is_an_err_not_a_crash() {
+            let r = super::scope(|scope| {
+                let h = scope.spawn(|_| -> u32 { panic!("worker died") });
+                h.join()
+            })
+            .expect("scope");
+            assert!(r.is_err());
+        }
+    }
+}

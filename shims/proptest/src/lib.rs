@@ -1,0 +1,465 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without crates.io access, so this crate provides a
+//! miniature property-testing harness with the `proptest` API subset the
+//! test suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`Strategy`] implemented for `any::<T>()`, numeric `Range`s, tuples,
+//!   string "regexes" (a small class/repetition subset), and
+//!   [`collection::vec`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`,
+//! * [`ProptestConfig::with_cases`].
+//!
+//! There is no shrinking: a failing case panics immediately with the seed
+//! and case index in the panic message, which is reproducible because the
+//! generator is fully deterministic (derived from the test name).
+
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic test RNG.
+
+    /// Configuration for a `proptest!` block (`ProptestConfig` analog).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property is run with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derive a generator from a test-name hash and case index.
+        pub fn deterministic(name_hash: u64, case: u64) -> TestRng {
+            TestRng {
+                state: name_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be non-zero.
+        pub fn index(&mut self, n: usize) -> usize {
+            ((self.next_u64() as u128 * n as u128) >> 64) as usize
+        }
+    }
+
+    /// FNV-1a hash of a test name, for seed derivation in the macro.
+    pub fn hash_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+/// A generator of test values. Unlike real proptest there is no shrink
+/// tree; `generate` produces the value directly.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ------------------------------------------------------------------ any::<T>
+
+/// Types with a full-domain default strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The default strategy of `T` (`proptest::prelude::any` analog).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Arbitrary bit patterns, except NaN (matching proptest's default
+        // f32 domain which tests rely on for bitwise comparisons).
+        let v = f32::from_bits(rng.next_u64() as u32);
+        if v.is_nan() {
+            f32::INFINITY.copysign(v)
+        } else {
+            v
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_nan() {
+            f64::INFINITY.copysign(v)
+        } else {
+            v
+        }
+    }
+}
+
+// -------------------------------------------------------------- Range<T>
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                let v = self.start + (self.end - self.start) * unit;
+                if v >= self.end {
+                    <$t>::from_bits(self.end.to_bits() - 1)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident : $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// ------------------------------------------------------- string "regex"
+
+/// `&str` strategies are tiny regexes: literals, `[a-z0-9]`-style classes,
+/// and `{m,n}` repetition of the preceding class/char.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a character class or a literal character.
+        let atom: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            let mut class = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    for c in lo..=hi {
+                        class.extend(char::from_u32(c));
+                    }
+                    j += 3;
+                } else {
+                    class.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            class
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        // Parse an optional {m,n} / {n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let mut parts = body.splitn(2, ',');
+            let lo: usize = parts
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or_else(|| panic!("bad repetition in pattern {pattern:?}"));
+            let hi: usize = match parts.next() {
+                Some(s) => s
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition in pattern {pattern:?}")),
+                None => lo,
+            };
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        let n = lo + rng.index(hi - lo + 1);
+        for _ in 0..n {
+            out.push(atom[rng.index(atom.len())]);
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------- collection
+
+/// Collection strategies (`proptest::collection` analog).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec` analog.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.len.end.saturating_sub(self.len.start).max(1);
+            let n = self.len.start + rng.index(span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Run each contained `#[test] fn name(pat in strategy, ...) { body }` as a
+/// property: `cases` deterministic samples per test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let name_hash = $crate::test_runner::hash_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..config.cases as u64 {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(name_hash, __case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under a property (no shrinking; panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+///
+/// Expands to `continue`, so it is only valid directly inside a
+/// `proptest!` body (which is a loop body) — exactly how the workspace
+/// uses it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($args:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Commonly used items (`proptest::prelude` analog).
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, collection, Any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut rng = TestRng::deterministic(1, 1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3usize..16), &mut rng);
+            assert!((3..16).contains(&v));
+            let f = Strategy::generate(&(-1e3f64..1e3), &mut rng);
+            assert!((-1e3..1e3).contains(&f));
+            let xs = Strategy::generate(&collection::vec(0u32..5, 2..7), &mut rng);
+            assert!((2..7).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::deterministic(2, 9);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}:[a-z]{1,8}", &mut rng);
+            let (a, b) = s.split_once(':').expect("separator");
+            assert!((1..=8).contains(&a.len()) && (1..=8).contains(&b.len()));
+            assert!(a.chars().chain(b.chars()).all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn floats_are_never_nan() {
+        let mut rng = TestRng::deterministic(3, 5);
+        for _ in 0..10_000 {
+            assert!(!f32::arbitrary(&mut rng).is_nan());
+            assert!(!f64::arbitrary(&mut rng).is_nan());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(v in any::<u16>(), k in 1usize..4) {
+            prop_assume!(v > 0);
+            prop_assert!(k < 4);
+            prop_assert_eq!(v as u64 * k as u64, (v as u64) * (k as u64));
+        }
+
+        #[test]
+        fn tuples_compose((a, b, c) in (0u8..5, -3i32..3, any::<u64>())) {
+            prop_assert!(a < 5);
+            prop_assert!((-3..3).contains(&b));
+            let _ = c;
+        }
+    }
+}
