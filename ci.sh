@@ -5,6 +5,9 @@
 #   2. cargo clippy      — compiler lints, warnings are errors
 #   3. cargo test        — unit + integration tests, including the live
 #                          plugin-contract checker (crates/tools/tests)
+#   4. pressio fuzz-decode — every decoder against deterministically
+#                          corrupted streams: structured errors only,
+#                          no panics, no hangs
 #
 # Usage: ./ci.sh
 set -eu
@@ -19,5 +22,8 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "== tests"
 cargo test -q --workspace
+
+echo "== decoder corruption fuzz"
+cargo run -q -p pressio-tools --bin pressio -- fuzz-decode --iterations 64 --seed 1
 
 echo "== ci.sh: all gates passed"

@@ -35,6 +35,20 @@ enum pressio_dtype {
   pressio_byte_dtype = 10,
 };
 
+/* Error categories returned by the int-returning calls below (0 = success).
+ * Values mirror pressio_core::ErrorCode::code() on the Rust side. */
+enum pressio_error_code {
+  pressio_success = 0,
+  pressio_invalid_argument_error = 1,
+  pressio_not_found_error = 2,
+  pressio_type_mismatch_error = 3,
+  pressio_corrupt_stream_error = 4,
+  pressio_unsupported_error = 5,
+  pressio_io_error = 6,
+  pressio_internal_error = 7,
+  pressio_timeout_error = 8,
+};
+
 typedef void (*pressio_data_delete_fn)(void* ptr, void* metadata);
 
 /* Library lifetime. */
@@ -47,6 +61,10 @@ struct pressio_compressor* pressio_get_compressor(struct pressio* library,
                                                   const char* compressor_id);
 void pressio_compressor_release(struct pressio_compressor* compressor);
 const char* pressio_compressor_error_msg(struct pressio_compressor* compressor);
+/* Category of the most recent failure on this handle (pressio_success after
+ * a successful call; pressio_timeout_error when a guarded operation blew its
+ * deadline, which is worth retrying). */
+int pressio_compressor_error_code(struct pressio_compressor* compressor);
 
 /* Metrics. */
 struct pressio_metrics* pressio_new_metrics(struct pressio* library,

@@ -29,6 +29,25 @@ pub struct CPressio {
 pub struct CCompressor {
     inner: CompressorHandle,
     last_error: Option<CString>,
+    /// Category of the most recent failure (0 after a successful call);
+    /// mirrors `pressio_core::ErrorCode::code()` / `enum pressio_error_code`.
+    last_code: c_int,
+}
+
+impl CCompressor {
+    /// Record a failure: message + category, returning the category for the
+    /// C return value.
+    fn fail(&mut self, message: String, code: c_int) -> c_int {
+        self.last_error = CString::new(message).ok();
+        self.last_code = code;
+        code
+    }
+
+    /// Record a success (clears the sticky error category).
+    fn ok(&mut self) -> c_int {
+        self.last_code = 0;
+        0
+    }
 }
 
 /// Opaque options handle (`struct pressio_options`).
@@ -125,6 +144,7 @@ pub unsafe extern "C" fn pressio_get_compressor(
         Ok(handle) => Box::into_raw(Box::new(CCompressor {
             inner: handle,
             last_error: None,
+            last_code: 0,
         })),
         Err(e) => {
             lib.last_error = CString::new(e.to_string()).ok();
@@ -154,6 +174,18 @@ pub unsafe extern "C" fn pressio_compressor_error_msg(
         Some(s) => s.as_ptr(),
         None => c"".as_ptr(),
     }
+}
+
+/// `int pressio_compressor_error_code(struct pressio_compressor*)` — the
+/// `enum pressio_error_code` category of the most recent failure on this
+/// handle, `pressio_success` (0) after a successful call. A
+/// `pressio_timeout_error` (8) from a guarded operation is transient and
+/// worth retrying; the other categories are terminal.
+#[no_mangle]
+// SAFETY: `compressor` must be null or a live pointer from
+// `pressio_get_compressor`.
+pub unsafe extern "C" fn pressio_compressor_error_code(compressor: *mut CCompressor) -> c_int {
+    compressor.as_ref().map(|c| c.last_code).unwrap_or(1)
 }
 
 // ------------------------------------------------------------------ metrics
@@ -354,10 +386,10 @@ pub unsafe extern "C" fn pressio_compressor_check_options(
         return 1;
     };
     match c.inner.check_options(&o.inner) {
-        Ok(()) => 0,
+        Ok(()) => c.ok(),
         Err(e) => {
-            c.last_error = CString::new(e.to_string()).ok();
-            e.code().code()
+            let code = e.code().code();
+            c.fail(e.to_string(), code)
         }
     }
 }
@@ -374,10 +406,10 @@ pub unsafe extern "C" fn pressio_compressor_set_options(
         return 1;
     };
     match c.inner.set_options(&o.inner) {
-        Ok(()) => 0,
+        Ok(()) => c.ok(),
         Err(e) => {
-            c.last_error = CString::new(e.to_string()).ok();
-            e.code().code()
+            let code = e.code().code();
+            c.fail(e.to_string(), code)
         }
     }
 }
@@ -399,16 +431,13 @@ pub unsafe extern "C" fn pressio_compressor_compress(
     match result {
         Ok(Ok(data)) => {
             o.inner = data;
-            0
+            c.ok()
         }
         Ok(Err(e)) => {
-            c.last_error = CString::new(e.to_string()).ok();
-            e.code().code()
+            let code = e.code().code();
+            c.fail(e.to_string(), code)
         }
-        Err(_) => {
-            c.last_error = Some(c"panic across FFI boundary".into());
-            7
-        }
+        Err(_) => c.fail("panic across FFI boundary".to_string(), 7),
     }
 }
 
@@ -429,15 +458,12 @@ pub unsafe extern "C" fn pressio_compressor_decompress(
         c.inner.decompress(&i.inner, &mut o.inner)
     }));
     match result {
-        Ok(Ok(())) => 0,
+        Ok(Ok(())) => c.ok(),
         Ok(Err(e)) => {
-            c.last_error = CString::new(e.to_string()).ok();
-            e.code().code()
+            let code = e.code().code();
+            c.fail(e.to_string(), code)
         }
-        Err(_) => {
-            c.last_error = Some(c"panic across FFI boundary".into());
-            7
-        }
+        Err(_) => c.fail("panic across FFI boundary".to_string(), 7),
     }
 }
 
@@ -676,7 +702,33 @@ mod tests {
             assert_ne!(rc, 0);
             let msg = CStr::from_ptr(pressio_compressor_error_msg(comp));
             assert!(!msg.to_bytes().is_empty());
+            // The failure category is queryable and matches the return code.
+            assert_eq!(pressio_compressor_error_code(comp), rc);
+            assert_eq!(pressio_compressor_error_code(comp), 1); // invalid argument
 
+            // A corrupt stream surfaces as pressio_corrupt_stream_error (4).
+            pressio_options_set_double(opts, c"sz:abs_err_bound".as_ptr(), 0.5);
+            assert_eq!(pressio_compressor_set_options(comp, opts), 0);
+            assert_eq!(pressio_compressor_error_code(comp), 0); // success clears it
+            let garbage = [0xDEu8; 64];
+            let bad = pressio_data_new_move(
+                10, // pressio_byte_dtype
+                garbage.as_ptr() as *mut c_void,
+                1,
+                [64usize].as_ptr(),
+                None,
+                std::ptr::null_mut(),
+            );
+            let dims = [4usize, 4];
+            let out = pressio_data_new_empty(9, 2, dims.as_ptr());
+            let rc = pressio_compressor_decompress(comp, bad, out);
+            assert_eq!(rc, 4); // corrupt stream
+            assert_eq!(pressio_compressor_error_code(comp), 4);
+            // Null handle reports invalid-argument, not success.
+            assert_eq!(pressio_compressor_error_code(std::ptr::null_mut()), 1);
+
+            pressio_data_free(bad);
+            pressio_data_free(out);
             pressio_options_free(opts);
             pressio_compressor_release(comp);
             pressio_release(lib);

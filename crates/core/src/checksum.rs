@@ -1,0 +1,120 @@
+//! Stream checksums for integrity framing.
+//!
+//! The `guard` meta-compressor frames its child's compressed stream with a
+//! checksum so bit flips and truncations surface as
+//! [`CorruptStream`](crate::ErrorCode::CorruptStream) *before* the child's
+//! decoder ever parses hostile bytes. The hash is 64-bit FNV-1a: tiny,
+//! allocation-free, deterministic across platforms, and strong enough to
+//! catch accidental corruption (it is an integrity check, not an
+//! authentication code — a deliberate attacker is out of scope, exactly as
+//! for CRCs in other storage formats).
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher.
+///
+/// ```
+/// use pressio_core::checksum::Fnv1a64;
+/// let mut h = Fnv1a64::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finish(), pressio_core::checksum::fnv1a64(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Fnv1a64 {
+    /// A hasher at the FNV offset basis.
+    pub const fn new() -> Fnv1a64 {
+        Fnv1a64 { state: FNV_OFFSET }
+    }
+
+    /// Absorb `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Absorb a little-endian `u64` (for hashing header fields alongside
+    /// payload bytes without intermediate buffers).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64::new()
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        for split in [0, 1, 100, 255, 256] {
+            let mut h = Fnv1a64::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), fnv1a64(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips_and_truncation() {
+        let data = vec![0x5au8; 64];
+        let base = fnv1a64(&data);
+        for byte in [0, 31, 63] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(fnv1a64(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+        assert_ne!(fnv1a64(&data[..63]), base);
+        let mut extended = data.clone();
+        extended.push(0);
+        assert_ne!(fnv1a64(&extended), base);
+    }
+
+    #[test]
+    fn update_u64_is_le_bytes() {
+        let mut a = Fnv1a64::new();
+        a.update_u64(0x0123_4567_89ab_cdef);
+        let mut b = Fnv1a64::new();
+        b.update(&0x0123_4567_89ab_cdefu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -27,6 +27,9 @@ pub enum ErrorCode {
     Io,
     /// An internal invariant was violated; indicates a bug in a plugin.
     Internal,
+    /// An operation exceeded its deadline (e.g. the `guard`
+    /// meta-compressor's `guard:timeout_ms` watchdog).
+    Timeout,
 }
 
 impl ErrorCode {
@@ -41,7 +44,19 @@ impl ErrorCode {
             ErrorCode::Unsupported => 5,
             ErrorCode::Io => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::Timeout => 8,
         }
+    }
+
+    /// Whether an error of this category may succeed when simply retried.
+    ///
+    /// This is the per-code retryability policy used by retrying drivers
+    /// (the `guard` meta-compressor): transient conditions — IO hiccups and
+    /// deadline overruns — are worth another attempt, while semantic errors
+    /// (bad arguments, corrupt streams, unsupported dtypes, plugin bugs)
+    /// fail identically every time and are terminal.
+    pub const fn is_transient(self) -> bool {
+        matches!(self, ErrorCode::Io | ErrorCode::Timeout)
     }
 }
 
@@ -117,6 +132,17 @@ impl Error {
     pub fn internal(message: impl Into<String>) -> Self {
         Error::new(ErrorCode::Internal, message)
     }
+
+    /// Shorthand for [`ErrorCode::Timeout`].
+    pub fn timeout(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::Timeout, message)
+    }
+
+    /// Whether this error's category is worth retrying (see
+    /// [`ErrorCode::is_transient`]).
+    pub fn is_transient(&self) -> bool {
+        self.code.is_transient()
+    }
 }
 
 impl fmt::Display for Error {
@@ -160,11 +186,31 @@ mod tests {
             ErrorCode::Unsupported,
             ErrorCode::Io,
             ErrorCode::Internal,
+            ErrorCode::Timeout,
         ];
         let mut nums: Vec<i32> = codes.iter().map(|c| c.code()).collect();
         nums.sort_unstable();
         nums.dedup();
         assert_eq!(nums.len(), codes.len());
+    }
+
+    #[test]
+    fn transient_policy_covers_exactly_io_and_timeout() {
+        assert!(ErrorCode::Io.is_transient());
+        assert!(ErrorCode::Timeout.is_transient());
+        for terminal in [
+            ErrorCode::InvalidArgument,
+            ErrorCode::NotFound,
+            ErrorCode::TypeMismatch,
+            ErrorCode::CorruptStream,
+            ErrorCode::Unsupported,
+            ErrorCode::Internal,
+        ] {
+            assert!(!terminal.is_transient(), "{terminal:?}");
+        }
+        assert!(Error::timeout("slow").is_transient());
+        assert_eq!(Error::timeout("slow").code(), ErrorCode::Timeout);
+        assert!(!Error::corrupt("bad").is_transient());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod checksum;
 pub mod common;
 pub mod compressor;
 pub mod data;
@@ -65,6 +66,7 @@ pub mod version;
 pub mod wire;
 
 pub use alloc::{AlignedVec, BUFFER_ALIGN};
+pub use checksum::{fnv1a64, Fnv1a64};
 pub use common::{
     value_min_max, value_range, ErrorBound, OPT_ABS, OPT_LOSSLESS, OPT_NTHREADS, OPT_PREC,
     OPT_RATE, OPT_REL,

@@ -1,0 +1,169 @@
+//! Deterministic adversarial corpus for the bounds-checked wire readers.
+//!
+//! Every stream-declared quantity (`get_len`, `get_count`, section lengths,
+//! dimension lists) and every raw decoder (`f64_le`) is driven with inputs a
+//! hostile or corrupted stream could present: truncated tails, lengths past
+//! the decode cap, counts whose product overflows, and declared sizes that
+//! wrap `usize`. Each case must return a structured `CorruptStream` error —
+//! never panic, never allocate for the declared size.
+
+use pressio_core::wire::{checked_geometry, f64_le, ByteReader, ByteWriter, MAX_DECODE_BYTES};
+use pressio_core::{DType, ErrorCode};
+
+/// Build a stream from raw little-endian u64 words.
+fn words(vals: &[u64]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for &v in vals {
+        w.put_u64(v);
+    }
+    w.into_vec()
+}
+
+fn assert_corrupt<T: std::fmt::Debug>(r: Result<T, pressio_core::Error>, case: &str) {
+    match r {
+        Err(e) => assert_eq!(e.code(), ErrorCode::CorruptStream, "{case}: {e}"),
+        Ok(v) => panic!("{case}: expected CorruptStream, got Ok({v:?})"),
+    }
+}
+
+#[test]
+fn get_len_rejects_cap_overflow_and_wrap() {
+    // Every value past the cap, including the u64 extremes that would wrap
+    // a 32-bit usize if cast bare.
+    for bad in [
+        MAX_DECODE_BYTES + 1,
+        MAX_DECODE_BYTES * 2,
+        u64::MAX,
+        u64::MAX - 7,
+        1 << 63,
+    ] {
+        let bytes = words(&[bad]);
+        let mut r = ByteReader::new(&bytes);
+        assert_corrupt(r.get_len(), &format!("get_len({bad})"));
+    }
+    // Boundary: exactly the cap is accepted (it is a limit, not a miss).
+    let bytes = words(&[MAX_DECODE_BYTES]);
+    let mut r = ByteReader::new(&bytes);
+    assert_eq!(r.get_len().unwrap() as u64, MAX_DECODE_BYTES);
+}
+
+#[test]
+fn get_len_and_count_reject_truncated_tails() {
+    // Fewer bytes than the field width, at every short length.
+    for n in 0..8 {
+        let bytes = vec![0xffu8; n];
+        let mut r = ByteReader::new(&bytes);
+        assert_corrupt(r.get_len(), &format!("get_len on {n} bytes"));
+    }
+    for n in 0..4 {
+        let bytes = vec![0xffu8; n];
+        let mut r = ByteReader::new(&bytes);
+        assert_corrupt(r.get_count(), &format!("get_count on {n} bytes"));
+    }
+}
+
+#[test]
+fn section_length_past_remaining_is_rejected_without_allocation() {
+    // Declared length far beyond the buffer: the reader must not try to
+    // read (or allocate) the declared size.
+    for declared in [5u64, 1 << 20, MAX_DECODE_BYTES, u64::MAX] {
+        let mut w = ByteWriter::new();
+        w.put_u64(declared);
+        w.put_bytes(&[1, 2, 3, 4]);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_corrupt(r.get_section(), &format!("section declaring {declared}"));
+    }
+}
+
+#[test]
+fn dims_with_per_axis_overflow_are_rejected() {
+    // A plausible dim count whose axes each pass get_len individually but
+    // whose product overflows u64 — checked_geometry must catch it.
+    let mut w = ByteWriter::new();
+    w.put_dims(&[1 << 30, 1 << 30, 1 << 30]); // 2^90 elements
+    let bytes = w.into_vec();
+    let mut r = ByteReader::new(&bytes);
+    let dims = r.get_dims().unwrap(); // per-axis values are under the cap
+    assert_corrupt(
+        checked_geometry(DType::F64, &dims),
+        "geometry 2^90 elements",
+    );
+
+    // A single axis past the decode cap fails already in get_dims.
+    let mut w = ByteWriter::new();
+    w.put_u32(1);
+    w.put_u64(MAX_DECODE_BYTES + 1);
+    let bytes = w.into_vec();
+    let mut r = ByteReader::new(&bytes);
+    assert_corrupt(r.get_dims(), "axis past cap");
+}
+
+#[test]
+fn dims_count_times_size_cannot_drive_allocation() {
+    // An absurd dimension *count* is rejected before any per-dim reads; a
+    // plausible count with a truncated tail errors on the missing dims.
+    let mut w = ByteWriter::new();
+    w.put_u32(u32::MAX);
+    let bytes = w.into_vec();
+    let mut r = ByteReader::new(&bytes);
+    assert_corrupt(r.get_dims(), "dim count u32::MAX");
+
+    let mut w = ByteWriter::new();
+    w.put_u32(8); // declares 8 dims
+    w.put_u64(4); // provides only one
+    let bytes = w.into_vec();
+    let mut r = ByteReader::new(&bytes);
+    assert_corrupt(r.get_dims(), "8 dims declared, 1 present");
+}
+
+#[test]
+fn f64_le_returns_none_on_every_short_slice() {
+    for n in 0..8 {
+        let bytes = vec![0xabu8; n];
+        assert!(f64_le(&bytes).is_none(), "{n} bytes");
+    }
+    // Exactly 8 and more-than-8 decode the leading 8 bytes.
+    let v = 1234.5678f64;
+    let mut bytes = v.to_le_bytes().to_vec();
+    assert_eq!(f64_le(&bytes), Some(v));
+    bytes.extend_from_slice(&[0xff; 9]);
+    assert_eq!(f64_le(&bytes), Some(v));
+}
+
+#[test]
+fn checked_geometry_boundary_corpus() {
+    // At the cap: accepted.
+    let per_axis = (MAX_DECODE_BYTES / 8) as usize;
+    assert_eq!(
+        checked_geometry(DType::F64, &[per_axis]).unwrap() as u64,
+        MAX_DECODE_BYTES
+    );
+    // One element over: rejected.
+    assert_corrupt(
+        checked_geometry(DType::F64, &[per_axis + 1]),
+        "one element over cap",
+    );
+    // Zero-sized axes make any other axis harmless.
+    assert_eq!(checked_geometry(DType::F64, &[0, 1 << 40]).unwrap(), 0);
+    // usize::MAX axes wrap u64 multiplication.
+    assert_corrupt(
+        checked_geometry(DType::U8, &[usize::MAX, usize::MAX]),
+        "usize::MAX product",
+    );
+}
+
+#[test]
+fn interleaved_reads_report_offsets_and_never_advance_past_end() {
+    // A reader that errors must be safely reusable: remaining() stays
+    // consistent and later smaller reads still work.
+    let bytes = words(&[7]);
+    let mut r = ByteReader::new(&bytes);
+    assert_eq!(r.get_u32().unwrap(), 7);
+    assert!(r.get_u64().is_err(), "4 bytes left, 8 wanted");
+    assert_eq!(r.remaining(), 4);
+    assert_eq!(r.get_u32().unwrap(), 0);
+    assert_eq!(r.remaining(), 0);
+    assert!(r.get_u8().is_err());
+    assert_eq!(r.rest(), &[] as &[u8]);
+}

@@ -1,0 +1,926 @@
+//! `guard`: a meta-compressor that wraps any child with production
+//! robustness policies — the "misbehaving plugin cannot hang or crash the
+//! host" half of the paper's embeddability argument (Sec. V).
+//!
+//! Four composable policies, all driven by options:
+//!
+//! 1. **Integrity framing** — the child's stream is wrapped in a versioned
+//!    frame carrying magic, the serving child's name, a dtype/dims echo, the
+//!    payload length, and an FNV-1a checksum
+//!    ([`pressio_core::checksum`]). Decompression validates the whole frame
+//!    first, so truncated, bit-flipped, or mismatched streams are rejected
+//!    with [`CorruptStream`](pressio_core::ErrorCode::CorruptStream) before
+//!    the child's decoder ever parses hostile bytes.
+//! 2. **Deadline enforcement** — with `guard:timeout_ms > 0`, compress and
+//!    decompress run on a watchdog worker thread; an overrun returns
+//!    [`Timeout`](pressio_core::ErrorCode::Timeout) instead of hanging the
+//!    caller. The stuck worker is detached (its result channel is dropped)
+//!    and a fresh child instance is re-armed from the registry.
+//! 3. **Retry with backoff** — transient errors (per
+//!    [`ErrorCode::is_transient`](pressio_core::ErrorCode::is_transient):
+//!    `Io` and `Timeout`) are retried up to `guard:max_retries` times with
+//!    exponential backoff from `guard:backoff_ms`, capped at
+//!    [`MAX_BACKOFF_MS`]. Terminal errors (corrupt stream, bad arguments)
+//!    are never retried.
+//! 4. **Fallback chain** — `guard:fallbacks` names an ordered list of
+//!    stand-in compressors. When the primary child fails (after retries),
+//!    the guard degrades down the chain — ultimately to a lossless or
+//!    `noop` passthrough if so configured — and records which child served
+//!    in `guard:served_by`. With `guard:verify = 1` each candidate's stream
+//!    is round-trip checked after compression, so a child that *silently*
+//!    emits a corrupt stream also triggers the chain.
+//!
+//! Attempt/failure/timeout counters are exposed both as read-only
+//! `guard:*` options and through the metrics interface via
+//! [`Guard::stats_metrics`].
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use pressio_core::checksum::Fnv1a64;
+use pressio_core::{
+    ByteReader, ByteWriter, Compressor, Data, Error, ErrorCode, MetricsPlugin, Options, Result,
+    ThreadSafety, Version,
+};
+
+use crate::util::{default_child, resolve_child};
+
+const GUARD_MAGIC: u32 = 0x4752_4431; // "GRD1"
+const GUARD_VERSION: u16 = 1;
+
+/// Upper bound on a single backoff sleep; retry loops never sleep longer
+/// than this per attempt regardless of configuration.
+pub const MAX_BACKOFF_MS: u64 = 1_000;
+
+/// Run `f` under a deadline on a watchdog worker thread.
+///
+/// With `timeout_ms == 0` the closure runs inline (no thread, no copy
+/// overhead). Otherwise the closure is moved to a worker and its result
+/// delivered over a channel; if the deadline passes first, the worker is
+/// detached (it keeps running but its result is discarded) and
+/// [`ErrorCode::Timeout`] is returned. A closure that panics on the worker
+/// surfaces as [`ErrorCode::Internal`], never as an unwinding host thread.
+pub fn run_with_deadline<T: Send + 'static>(
+    timeout_ms: u64,
+    what: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<T> {
+    if timeout_ms == 0 {
+        return Ok(f());
+    }
+    let (tx, rx) = mpsc::channel();
+    std::thread::Builder::new()
+        .name(format!("pressio-guard-{what}"))
+        .spawn(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let _ = tx.send(outcome);
+        })
+        .map_err(|e| Error::new(ErrorCode::Io, format!("cannot spawn watchdog worker: {e}")))?;
+    match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(_)) => Err(Error::internal(format!("{what} panicked on the worker thread"))),
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(Error::timeout(format!(
+            "{what} exceeded the {timeout_ms} ms deadline (worker detached)"
+        ))),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err(Error::internal(format!("{what} worker vanished without a result")))
+        }
+    }
+}
+
+/// Attempt/failure counters shared between a [`Guard`] and its
+/// [`stats_metrics`](Guard::stats_metrics) view.
+#[derive(Debug, Default, Clone)]
+struct GuardCounters {
+    /// Child invocations attempted (including retries and fallbacks).
+    attempts: u64,
+    /// Child invocations that returned an error.
+    failures: u64,
+    /// Attempts that hit the watchdog deadline.
+    timeouts: u64,
+    /// Requests ultimately served by a fallback rather than the primary.
+    fallback_served: u64,
+    /// Requests that exhausted the whole chain.
+    exhausted: u64,
+}
+
+/// The guarded-execution meta-compressor.
+pub struct Guard {
+    child_name: String,
+    child: Box<dyn Compressor>,
+    fallbacks: Vec<String>,
+    timeout_ms: u64,
+    max_retries: u32,
+    backoff_ms: u64,
+    verify: bool,
+    /// Every option set applied so far, merged — used to arm fallback
+    /// children and to re-arm a fresh primary after a detached timeout.
+    saved_options: Options,
+    served_by: Option<String>,
+    stats: Arc<Mutex<GuardCounters>>,
+}
+
+impl Guard {
+    /// A guard over `noop` until configured: framing only, no deadline, no
+    /// retries, no fallbacks.
+    pub fn new() -> Guard {
+        Guard {
+            child_name: "noop".to_string(),
+            child: default_child(),
+            fallbacks: Vec::new(),
+            timeout_ms: 0,
+            max_retries: 0,
+            backoff_ms: 10,
+            verify: false,
+            saved_options: Options::new(),
+            served_by: None,
+            stats: Arc::new(Mutex::new(GuardCounters::default())),
+        }
+    }
+
+    /// A metrics plugin view over this guard's live counters: attach it to
+    /// the surrounding [`CompressorHandle`](pressio_core::CompressorHandle)
+    /// (or read `results()` directly) to observe attempts, failures,
+    /// timeouts, and fallback use.
+    pub fn stats_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(GuardStats {
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// Which child served the most recent compress/decompress, if any.
+    pub fn served_by(&self) -> Option<&str> {
+        self.served_by.as_deref()
+    }
+
+    /// Resolve and configure one candidate child by registry name.
+    fn arm(&self, name: &str) -> Result<Box<dyn Compressor>> {
+        let mut c = resolve_child(name).map_err(|e| e.in_plugin("guard"))?;
+        c.set_options(&self.saved_options)?;
+        Ok(c)
+    }
+
+    /// Re-arm the primary child after its instance was lost to a detached
+    /// watchdog worker. Falls back to an inert `noop` when even the
+    /// registry lookup fails, so the guard stays usable.
+    fn rearm_primary(&mut self) {
+        self.child = self.arm(&self.child_name).unwrap_or_else(|_| default_child());
+    }
+
+    /// One child invocation under the watchdog deadline. The child instance
+    /// is moved to the worker and handed back on completion; on timeout it
+    /// is lost with the detached worker and `None` is returned in its place.
+    fn timed<T: Send + 'static>(
+        &self,
+        child: Box<dyn Compressor>,
+        what: &'static str,
+        op: impl FnOnce(&mut Box<dyn Compressor>) -> Result<T> + Send + 'static,
+    ) -> (Option<Box<dyn Compressor>>, Result<T>) {
+        if self.timeout_ms == 0 {
+            let mut child = child;
+            let r = op(&mut child);
+            return (Some(child), r);
+        }
+        let timeout = self.timeout_ms;
+        match run_with_deadline(timeout, what, move || {
+            let mut child = child;
+            let r = op(&mut child);
+            (child, r)
+        }) {
+            Ok((child, r)) => (Some(child), r),
+            Err(e) => (None, Err(e)),
+        }
+    }
+
+    /// Retry loop around one candidate's invocation: transient errors are
+    /// retried with capped exponential backoff, terminal errors return
+    /// immediately. Returns the surviving child instance (if not lost to a
+    /// detached worker) and the final outcome.
+    fn with_retries<T: Send + 'static>(
+        &self,
+        name: &str,
+        mut child: Box<dyn Compressor>,
+        what: &'static str,
+        op: impl Fn(&mut Box<dyn Compressor>) -> Result<T> + Send + Clone + 'static,
+    ) -> (Option<Box<dyn Compressor>>, Result<T>) {
+        let mut attempt = 0u32;
+        loop {
+            {
+                let mut s = self.stats.lock();
+                s.attempts += 1;
+            }
+            let (returned, outcome) = self.timed(child, what, op.clone());
+            match outcome {
+                Ok(v) => return (returned, Ok(v)),
+                Err(e) => {
+                    {
+                        let mut s = self.stats.lock();
+                        s.failures += 1;
+                        if e.code() == ErrorCode::Timeout {
+                            s.timeouts += 1;
+                        }
+                    }
+                    if attempt >= self.max_retries || !e.is_transient() {
+                        return (returned, Err(e));
+                    }
+                    // Child lost to a detached worker: arm a fresh instance
+                    // of the same candidate for the retry.
+                    child = match returned {
+                        Some(c) => c,
+                        None => match self.arm(name) {
+                            Ok(c) => c,
+                            Err(arm_err) => return (None, Err(arm_err)),
+                        },
+                    };
+                    let backoff = self
+                        .backoff_ms
+                        .saturating_mul(1u64 << attempt.min(10))
+                        .min(MAX_BACKOFF_MS);
+                    std::thread::sleep(Duration::from_millis(backoff.min(MAX_BACKOFF_MS)));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Wrap a child payload in the integrity frame.
+    fn frame(&self, served_by: &str, input: &Data, payload: &[u8]) -> Data {
+        let mut w = ByteWriter::with_capacity(payload.len() + 64);
+        w.put_u32(GUARD_MAGIC);
+        w.put_u16(GUARD_VERSION);
+        w.put_str(served_by);
+        w.put_dtype(input.dtype());
+        w.put_dims(input.dims());
+        w.put_section(payload);
+        w.put_u64(frame_checksum(served_by, input.dtype().tag(), input.dims(), payload));
+        Data::from_bytes(&w.into_vec())
+    }
+
+    /// Parse and fully validate the integrity frame, returning the serving
+    /// child's name, the echoed geometry, and the payload. Every rejection
+    /// is a [`CorruptStream`](ErrorCode::CorruptStream) raised *before* any
+    /// child decoder runs.
+    fn unframe<'a>(
+        &self,
+        bytes: &'a [u8],
+    ) -> Result<(String, pressio_core::DType, Vec<usize>, &'a [u8])> {
+        let corrupt = |msg: String| Error::corrupt(msg).in_plugin("guard");
+        let mut r = ByteReader::new(bytes);
+        if r.get_u32()? != GUARD_MAGIC {
+            return Err(corrupt("bad guard frame magic".to_string()));
+        }
+        let version = r.get_u16()?;
+        if version != GUARD_VERSION {
+            return Err(corrupt(format!(
+                "unsupported guard frame version {version} (expected {GUARD_VERSION})"
+            )));
+        }
+        let served_by = r.get_str()?.to_string();
+        let dtype = r.get_dtype()?;
+        let dims = r.get_dims()?;
+        // The echo must describe a plausible buffer before anything is
+        // allocated for it.
+        pressio_core::checked_geometry(dtype, &dims)?;
+        let payload = r.get_section()?;
+        let declared = r.get_u64()?;
+        let computed = frame_checksum(&served_by, dtype.tag(), &dims, payload);
+        if declared != computed {
+            return Err(corrupt(format!(
+                "guard checksum mismatch: stream declares {declared:#018x}, payload hashes to \
+                 {computed:#018x}"
+            )));
+        }
+        if r.remaining() != 0 {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the guard frame",
+                r.remaining()
+            )));
+        }
+        Ok((served_by, dtype, dims, payload))
+    }
+
+    /// Round-trip verification of a candidate's output stream.
+    fn verify_payload(&self, candidate: &str, input: &Data, payload: &[u8]) -> Result<()> {
+        let checker = self.arm(candidate)?;
+        let compressed = Data::from_bytes(payload);
+        let dtype = input.dtype();
+        let dims = input.dims().to_vec();
+        let (_, outcome) = self.with_retries(candidate, checker, "verify", move |c| {
+            let mut out = Data::owned(dtype, dims.clone());
+            c.decompress(&compressed, &mut out)
+        });
+        outcome.map_err(|e| {
+            Error::corrupt(format!(
+                "verification decode of {candidate}'s stream failed: {e}"
+            ))
+            .in_plugin("guard")
+        })
+    }
+}
+
+/// Checksum binding the frame header fields to the payload.
+fn frame_checksum(served_by: &str, dtype_tag: u8, dims: &[usize], payload: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(served_by.as_bytes());
+    h.update(&[dtype_tag]);
+    for &d in dims {
+        h.update_u64(d as u64);
+    }
+    h.update_u64(payload.len() as u64);
+    h.update(payload);
+    h.finish()
+}
+
+impl Default for Guard {
+    fn default() -> Self {
+        Guard::new()
+    }
+}
+
+impl Compressor for Guard {
+    fn get_configuration(&self) -> Options {
+        let mut o = pressio_core::base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+
+    fn name(&self) -> &str {
+        "guard"
+    }
+
+    fn version(&self) -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn thread_safety(&self) -> ThreadSafety {
+        self.child.thread_safety()
+    }
+
+    fn get_options(&self) -> Options {
+        let stats = self.stats.lock().clone();
+        let mut o = Options::new()
+            .with("guard:compressor", self.child_name.as_str())
+            .with("guard:fallbacks", self.fallbacks.clone())
+            .with("guard:timeout_ms", self.timeout_ms)
+            .with("guard:max_retries", self.max_retries)
+            .with("guard:backoff_ms", self.backoff_ms)
+            .with("guard:verify", u32::from(self.verify))
+            // Read-only results (ignored by set_options, like opt's
+            // achieved_ratio keys).
+            .with(
+                "guard:served_by",
+                self.served_by.as_deref().unwrap_or(""),
+            )
+            .with("guard:attempts", stats.attempts)
+            .with("guard:failures", stats.failures)
+            .with("guard:timeouts", stats.timeouts)
+            .with("guard:fallback_served", stats.fallback_served);
+        o.merge(&self.child.get_options());
+        o
+    }
+
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(name) = options.get_as::<String>("guard:compressor")? {
+            self.child = resolve_child(&name).map_err(|e| e.in_plugin("guard"))?;
+            self.child_name = name;
+        }
+        if let Some(fallbacks) = options.get_as::<Vec<String>>("guard:fallbacks")? {
+            // CLI callers can only pass plain strings, so a single
+            // comma-separated entry means a list: `guard:fallbacks=deflate,noop`.
+            let fallbacks: Vec<String> = fallbacks
+                .iter()
+                .flat_map(|f| f.split(','))
+                .map(|f| f.trim().to_string())
+                .filter(|f| !f.is_empty())
+                .collect();
+            for f in &fallbacks {
+                // Fail configuration, not the first degraded request.
+                resolve_child(f).map_err(|e| e.in_plugin("guard"))?;
+            }
+            self.fallbacks = fallbacks;
+        }
+        if let Some(t) = options.get_as::<u64>("guard:timeout_ms")? {
+            self.timeout_ms = t;
+        }
+        if let Some(r) = options.get_as::<u32>("guard:max_retries")? {
+            self.max_retries = r;
+        }
+        if let Some(b) = options.get_as::<u64>("guard:backoff_ms")? {
+            self.backoff_ms = b.min(MAX_BACKOFF_MS);
+        }
+        if let Some(v) = options.get_as::<u32>("guard:verify")? {
+            self.verify = v != 0;
+        }
+        self.child.set_options(options)?;
+        // Remember everything ever applied so fallback children and
+        // re-armed primaries can be configured identically. Counter echoes
+        // from a previous get_options are harmless: they are ignored above
+        // and overwritten in every future get_options.
+        self.saved_options.merge(options);
+        Ok(())
+    }
+
+    fn get_documentation(&self) -> Options {
+        Options::new()
+            .with(
+                "guard",
+                "wraps a child with integrity framing, a watchdog deadline, retry with \
+                 backoff, and an ordered fallback chain",
+            )
+            .with("guard:compressor", "registry name of the primary child")
+            .with(
+                "guard:fallbacks",
+                "ordered fallback compressor names tried when the primary fails",
+            )
+            .with(
+                "guard:timeout_ms",
+                "per-invocation watchdog deadline in ms (0 disables the worker thread)",
+            )
+            .with(
+                "guard:max_retries",
+                "retries per candidate for transient (io/timeout) errors",
+            )
+            .with(
+                "guard:backoff_ms",
+                "base backoff between retries; doubles per attempt, capped at 1000 ms",
+            )
+            .with(
+                "guard:verify",
+                "1 = round-trip check each candidate's stream before accepting it",
+            )
+            .with("guard:served_by", "read-only: child that served the last request")
+            .with("guard:attempts", "read-only: child invocations attempted")
+            .with("guard:failures", "read-only: child invocations that errored")
+            .with("guard:timeouts", "read-only: attempts that hit the deadline")
+            .with(
+                "guard:fallback_served",
+                "read-only: requests served by a fallback child",
+            )
+    }
+
+    fn compress(&mut self, input: &Data) -> Result<Data> {
+        let mut last_err: Option<Error> = None;
+        let candidate_names: Vec<String> = std::iter::once(self.child_name.clone())
+            .chain(self.fallbacks.iter().cloned())
+            .collect();
+        for (rank, name) in candidate_names.iter().enumerate() {
+            // Rank 0 uses the live primary (preserving its state in the
+            // happy path); fallbacks are armed fresh per request.
+            let candidate = if rank == 0 {
+                std::mem::replace(&mut self.child, default_child())
+            } else {
+                match self.arm(name) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            };
+            let staged = input.clone();
+            let (returned, outcome) =
+                self.with_retries(name, candidate, "compress", move |c| c.compress(&staged));
+            if rank == 0 {
+                match returned {
+                    Some(c) => self.child = c,
+                    None => self.rearm_primary(),
+                }
+            }
+            match outcome {
+                Ok(payload_data) => {
+                    let payload = payload_data.as_bytes();
+                    if self.verify {
+                        if let Err(e) = self.verify_payload(name, input, payload) {
+                            self.stats.lock().failures += 1;
+                            last_err = Some(e);
+                            continue;
+                        }
+                    }
+                    if rank > 0 {
+                        self.stats.lock().fallback_served += 1;
+                    }
+                    self.served_by = Some(name.clone());
+                    return Ok(self.frame(name, input, payload));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        self.stats.lock().exhausted += 1;
+        Err(last_err
+            .unwrap_or_else(|| Error::internal("guard had no candidates"))
+            .in_plugin("guard"))
+    }
+
+    fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        let (served_by, dtype, dims, payload) = self.unframe(compressed.as_bytes())?;
+        // Route to the child recorded in the frame: the primary when it
+        // served, otherwise a fallback armed with the same options.
+        let child = if served_by == self.child_name {
+            std::mem::replace(&mut self.child, default_child())
+        } else {
+            self.arm(&served_by)?
+        };
+        let payload = Data::from_bytes(payload);
+        let out_dtype = dtype;
+        let out_dims = dims.clone();
+        let (returned, outcome) = self.with_retries(&served_by, child, "decompress", move |c| {
+            let mut staged = Data::owned(out_dtype, out_dims.clone());
+            c.decompress(&payload, &mut staged)?;
+            Ok(staged)
+        });
+        if served_by == self.child_name {
+            match returned {
+                Some(c) => self.child = c,
+                None => self.rearm_primary(),
+            }
+        }
+        let staged = outcome?;
+        self.served_by = Some(served_by);
+        *output = staged;
+        Ok(())
+    }
+
+    fn clone_compressor(&self) -> Box<dyn Compressor> {
+        Box::new(Guard {
+            child_name: self.child_name.clone(),
+            child: self.child.clone_compressor(),
+            fallbacks: self.fallbacks.clone(),
+            timeout_ms: self.timeout_ms,
+            max_retries: self.max_retries,
+            backoff_ms: self.backoff_ms,
+            verify: self.verify,
+            saved_options: self.saved_options.clone(),
+            served_by: self.served_by.clone(),
+            // Counters are per-instance observations, not configuration.
+            stats: Arc::new(Mutex::new(GuardCounters::default())),
+        })
+    }
+}
+
+/// Metrics plugin view over a [`Guard`]'s counters (see
+/// [`Guard::stats_metrics`]). Results are read live from the shared
+/// counters, so one attached instance observes every request the guard
+/// serves.
+struct GuardStats {
+    stats: Arc<Mutex<GuardCounters>>,
+}
+
+impl MetricsPlugin for GuardStats {
+    fn name(&self) -> &str {
+        "guard_stats"
+    }
+
+    fn results(&self) -> Options {
+        let s = self.stats.lock().clone();
+        Options::new()
+            .with("guard_stats:attempts", s.attempts)
+            .with("guard_stats:failures", s.failures)
+            .with("guard_stats:timeouts", s.timeouts)
+            .with("guard_stats:fallback_served", s.fallback_served)
+            .with("guard_stats:exhausted", s.exhausted)
+    }
+
+    fn clone_metrics(&self) -> Box<dyn MetricsPlugin> {
+        Box::new(GuardStats {
+            stats: Arc::clone(&self.stats),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pressio_core::DType;
+
+    fn init() {
+        pressio_codecs::register_builtins();
+        pressio_sz::register_builtins();
+        crate::register_builtins();
+    }
+
+    fn field(n: usize) -> Data {
+        let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        Data::from_vec(v, vec![n]).unwrap()
+    }
+
+    #[test]
+    fn framing_roundtrips_and_reports_served_by() {
+        init();
+        let input = field(512);
+        let mut g = Guard::new();
+        g.set_options(
+            &Options::new()
+                .with("guard:compressor", "sz")
+                .with("sz:abs_err_bound", 1e-4f64),
+        )
+        .unwrap();
+        let c = g.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![512]);
+        g.decompress(&c, &mut out).unwrap();
+        assert_eq!(g.served_by(), Some("sz"));
+        assert_eq!(
+            g.get_options().get_as::<String>("guard:served_by").unwrap(),
+            Some("sz".to_string())
+        );
+        let max_err = input
+            .to_f64_vec()
+            .unwrap()
+            .iter()
+            .zip(out.to_f64_vec().unwrap())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err <= 1e-4);
+    }
+
+    #[test]
+    fn every_frame_field_is_validated() {
+        init();
+        let input = field(256);
+        let mut g = Guard::new();
+        g.set_options(&Options::new().with("guard:compressor", "deflate"))
+            .unwrap();
+        let c = g.compress(&input).unwrap();
+        let clean = c.as_bytes().to_vec();
+
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("flipped magic", {
+                let mut b = clean.clone();
+                b[0] ^= 0xff;
+                b
+            }),
+            ("bumped version", {
+                let mut b = clean.clone();
+                b[4] ^= 0x01;
+                b
+            }),
+            ("payload bit flip", {
+                let mut b = clean.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x10;
+                b
+            }),
+            ("truncated tail", clean[..clean.len() - 9].to_vec()),
+            ("extended tail", {
+                let mut b = clean.clone();
+                b.extend_from_slice(&[0u8; 16]);
+                b
+            }),
+            ("empty stream", Vec::new()),
+        ];
+        for (case, bytes) in cases {
+            let mut out = Data::owned(DType::F64, vec![256]);
+            let err = g.decompress(&Data::from_bytes(&bytes), &mut out).unwrap_err();
+            assert_eq!(err.code(), ErrorCode::CorruptStream, "{case}: {err}");
+        }
+        // The clean stream still decodes after all that.
+        let mut out = Data::owned(DType::F64, vec![256]);
+        g.decompress(&Data::from_bytes(&clean), &mut out).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn deadline_returns_timeout_and_guard_stays_usable() {
+        init();
+        let input = field(64);
+        // Register a deliberately hanging compressor for this test.
+        pressio_core::registry()
+            .register_compressor("slowpoke_test", || Box::new(Slowpoke { delay_ms: 600 }));
+        let mut g = Guard::new();
+        g.set_options(
+            &Options::new()
+                .with("guard:compressor", "slowpoke_test")
+                .with("guard:timeout_ms", 30u64),
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let err = g.compress(&input).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Timeout, "{err}");
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "caller waited for the hung worker: {:?}",
+            start.elapsed()
+        );
+        // The guard re-armed a fresh child and still works.
+        let stats = g.stats_metrics().results();
+        assert_eq!(stats.get_as::<u64>("guard_stats:timeouts").unwrap(), Some(1));
+
+        // With a fallback, the same request degrades and succeeds.
+        g.set_options(&Options::new().with("guard:fallbacks", vec!["noop".to_string()]))
+            .unwrap();
+        let c = g.compress(&input).unwrap();
+        assert_eq!(g.served_by(), Some("noop"));
+        let mut out = Data::owned(DType::F64, vec![64]);
+        g.decompress(&c, &mut out).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn retries_transient_errors_then_succeeds() {
+        init();
+        // A child that fails with Io twice, then works.
+        pressio_core::registry().register_compressor("flaky_test", || {
+            Box::new(Flaky {
+                failures_left: std::sync::Arc::new(Mutex::new(2)),
+            })
+        });
+        let input = field(64);
+        let mut g = Guard::new();
+        g.set_options(
+            &Options::new()
+                .with("guard:compressor", "flaky_test")
+                .with("guard:max_retries", 3u32)
+                .with("guard:backoff_ms", 1u64),
+        )
+        .unwrap();
+        let c = g.compress(&input).unwrap();
+        assert_eq!(g.served_by(), Some("flaky_test"));
+        let stats = g.stats_metrics().results();
+        assert_eq!(stats.get_as::<u64>("guard_stats:attempts").unwrap(), Some(3));
+        assert_eq!(stats.get_as::<u64>("guard_stats:failures").unwrap(), Some(2));
+        let mut out = Data::owned(DType::F64, vec![64]);
+        g.decompress(&c, &mut out).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn terminal_errors_are_not_retried() {
+        init();
+        let input = Data::from_slice(&[1i32, 2, 3], vec![3]).unwrap();
+        let mut g = Guard::new();
+        g.set_options(
+            &Options::new()
+                .with("guard:compressor", "sz") // rejects integer dtypes
+                .with("guard:max_retries", 5u32)
+                .with("guard:backoff_ms", 1u64),
+        )
+        .unwrap();
+        let err = g.compress(&input).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Unsupported);
+        // One attempt, no retries: Unsupported is terminal.
+        let stats = g.stats_metrics().results();
+        assert_eq!(stats.get_as::<u64>("guard_stats:attempts").unwrap(), Some(1));
+    }
+
+    #[test]
+    fn corrupting_child_triggers_fallback_chain_under_verify() {
+        init();
+        let input = field(512);
+        let mut g = Guard::new();
+        g.set_options(
+            &Options::new()
+                .with("guard:compressor", "fault_injector")
+                .with("fault_injector:compressor", "sz")
+                .with("sz:abs_err_bound", 1e-4f64)
+                .with("fault_injector:mode", "truncate")
+                .with("fault_injector:num_bits", 64u32)
+                .with("guard:verify", 1u32)
+                .with("guard:fallbacks", vec!["deflate".to_string(), "noop".to_string()]),
+        )
+        .unwrap();
+        let c = g.compress(&input).unwrap();
+        // The corrupting primary was rejected by verification; the first
+        // healthy fallback served.
+        assert_eq!(g.served_by(), Some("deflate"));
+        assert_eq!(
+            g.get_options().get_as::<String>("guard:served_by").unwrap(),
+            Some("deflate".to_string())
+        );
+        let stats = g.stats_metrics().results();
+        assert_eq!(
+            stats.get_as::<u64>("guard_stats:fallback_served").unwrap(),
+            Some(1)
+        );
+        // And a *fresh* guard decodes the frame by routing to deflate.
+        let mut fresh = Guard::new();
+        let mut out = Data::owned(DType::F64, vec![512]);
+        fresh.decompress(&c, &mut out).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn exhausted_chain_reports_last_error() {
+        init();
+        let input = Data::from_slice(&[1i32, 2, 3], vec![3]).unwrap();
+        let mut g = Guard::new();
+        g.set_options(
+            &Options::new()
+                .with("guard:compressor", "sz")
+                .with("guard:fallbacks", vec!["zfp_like_missing".to_string()]),
+        )
+        .unwrap_err(); // unknown fallback rejected at configuration time
+        let mut g = Guard::new();
+        g.set_options(
+            &Options::new()
+                .with("guard:compressor", "sz")
+                .with("guard:fallbacks", vec!["fpzip".to_string()]),
+        )
+        .unwrap();
+        // Integer input: sz and fpzip both refuse; chain exhausts cleanly.
+        let err = g.compress(&input).unwrap_err();
+        assert_eq!(err.plugin(), Some("guard"));
+        let stats = g.stats_metrics().results();
+        assert_eq!(stats.get_as::<u64>("guard_stats:exhausted").unwrap(), Some(1));
+    }
+
+    #[test]
+    fn run_with_deadline_contains_panics() {
+        let r: Result<()> = run_with_deadline(50, "test", || panic!("boom"));
+        assert_eq!(r.unwrap_err().code(), ErrorCode::Internal);
+        let r = run_with_deadline(0, "test", || 41 + 1);
+        assert_eq!(r.unwrap(), 42);
+        let r: Result<u32> = run_with_deadline(10, "test", || {
+            std::thread::sleep(Duration::from_millis(400));
+            7
+        });
+        assert_eq!(r.unwrap_err().code(), ErrorCode::Timeout);
+    }
+
+    /// Test double: sleeps before answering.
+    struct Slowpoke {
+        delay_ms: u64,
+    }
+
+    impl Compressor for Slowpoke {
+        fn name(&self) -> &str {
+            "slowpoke_test"
+        }
+        fn version(&self) -> Version {
+            Version::new(1, 0, 0)
+        }
+        fn get_options(&self) -> Options {
+            Options::new()
+        }
+        fn set_options(&mut self, _: &Options) -> Result<()> {
+            Ok(())
+        }
+        fn get_configuration(&self) -> Options {
+            pressio_core::base_configuration(self)
+        }
+        fn compress(&mut self, input: &Data) -> Result<Data> {
+            std::thread::sleep(Duration::from_millis(self.delay_ms));
+            Ok(Data::from_bytes(input.as_bytes()))
+        }
+        fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+            std::thread::sleep(Duration::from_millis(self.delay_ms));
+            output.as_bytes_mut().copy_from_slice(compressed.as_bytes());
+            Ok(())
+        }
+        fn clone_compressor(&self) -> Box<dyn Compressor> {
+            Box::new(Slowpoke {
+                delay_ms: self.delay_ms,
+            })
+        }
+    }
+
+    /// Test double: returns transient Io errors a fixed number of times.
+    struct Flaky {
+        failures_left: std::sync::Arc<Mutex<u32>>,
+    }
+
+    impl Compressor for Flaky {
+        fn name(&self) -> &str {
+            "flaky_test"
+        }
+        fn version(&self) -> Version {
+            Version::new(1, 0, 0)
+        }
+        fn get_options(&self) -> Options {
+            Options::new()
+        }
+        fn set_options(&mut self, _: &Options) -> Result<()> {
+            Ok(())
+        }
+        fn get_configuration(&self) -> Options {
+            pressio_core::base_configuration(self)
+        }
+        fn compress(&mut self, input: &Data) -> Result<Data> {
+            let mut left = self.failures_left.lock();
+            if *left > 0 {
+                *left -= 1;
+                return Err(Error::new(ErrorCode::Io, "transient blip").in_plugin("flaky_test"));
+            }
+            let mut w = ByteWriter::with_capacity(input.size_in_bytes() + 64);
+            w.put_dtype(input.dtype());
+            w.put_dims(input.dims());
+            w.put_bytes(input.as_bytes());
+            Ok(Data::from_bytes(&w.into_vec()))
+        }
+        fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+            let mut r = ByteReader::new(compressed.as_bytes());
+            let dtype = r.get_dtype()?;
+            let dims = r.get_dims()?;
+            let n = pressio_core::checked_geometry(dtype, &dims)?;
+            let bytes = r.get_bytes(n)?;
+            *output = Data::owned(dtype, dims);
+            output.as_bytes_mut().copy_from_slice(bytes);
+            Ok(())
+        }
+        fn clone_compressor(&self) -> Box<dyn Compressor> {
+            Box::new(Flaky {
+                failures_left: std::sync::Arc::clone(&self.failures_left),
+            })
+        }
+    }
+}

@@ -12,11 +12,115 @@ use crate::util::{default_child, resolve_child};
 
 const FAULT_MAGIC: u32 = 0x464C_5421;
 
-/// Flips random bits in the child's *compressed* stream — the engine behind
-/// fuzz-style robustness testing of decompressors.
+/// How a compressed stream is damaged — by the [`FaultInjector`] and by the
+/// `pressio fuzz-decode` corruption harness, which share this machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Flip `intensity` randomly chosen bits in place (the default).
+    Bitflip,
+    /// Drop up to `intensity` bytes from the end of the stream.
+    Truncate,
+    /// Append `intensity` random garbage bytes past the end.
+    Extend,
+    /// Overwrite a randomly placed run of up to `intensity` bytes with
+    /// zeros.
+    ZeroRegion,
+}
+
+/// Every mode, in the order the fuzz harness sweeps them.
+pub const ALL_FAULT_MODES: [FaultMode; 4] = [
+    FaultMode::Bitflip,
+    FaultMode::Truncate,
+    FaultMode::Extend,
+    FaultMode::ZeroRegion,
+];
+
+impl FaultMode {
+    /// The option-string spelling of this mode.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultMode::Bitflip => "bitflip",
+            FaultMode::Truncate => "truncate",
+            FaultMode::Extend => "extend",
+            FaultMode::ZeroRegion => "zero_region",
+        }
+    }
+
+    /// Parse an option-string spelling.
+    pub fn from_name(name: &str) -> Result<FaultMode> {
+        ALL_FAULT_MODES
+            .iter()
+            .copied()
+            .find(|m| m.name() == name)
+            .ok_or_else(|| {
+                Error::invalid_argument(format!(
+                    "unknown fault mode {name:?} (expected bitflip | truncate | extend | \
+                     zero_region)"
+                ))
+            })
+    }
+}
+
+/// Produce a damaged copy of `bytes` according to `mode` and `intensity`.
+///
+/// `intensity` scales the damage (bits flipped, bytes dropped/appended/
+/// zeroed); `intensity == 0` or an empty input returns the stream unchanged
+/// (except [`FaultMode::Extend`], which can grow an empty stream). All
+/// randomness comes from the caller's `rng`, so identical seeds reproduce
+/// identical corruption.
+pub fn mutate_stream(bytes: &[u8], mode: FaultMode, intensity: u32, rng: &mut StdRng) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if intensity == 0 {
+        return out;
+    }
+    match mode {
+        FaultMode::Bitflip => {
+            if !out.is_empty() {
+                for _ in 0..intensity {
+                    let byte = rng.gen_range(0..out.len());
+                    let bit = rng.gen_range(0..8u32);
+                    out[byte] ^= 1 << bit;
+                }
+            }
+        }
+        FaultMode::Truncate => {
+            let cut = (intensity as usize).min(out.len());
+            out.truncate(out.len() - cut);
+        }
+        FaultMode::Extend => {
+            for _ in 0..intensity {
+                out.push(rng.gen_range(0..256u32) as u8);
+            }
+        }
+        FaultMode::ZeroRegion => {
+            if !out.is_empty() {
+                let start = rng.gen_range(0..out.len());
+                let len = (intensity as usize).min(out.len() - start);
+                for b in &mut out[start..start + len] {
+                    *b = 0;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Derive the RNG for one invocation of a seeded injector: the configured
+/// seed selects the family, the invocation index selects the stream within
+/// it, so repeated calls draw fresh randomness while a fresh instance with
+/// the same seed replays the same sequence of streams.
+fn stream_rng(seed: u64, invocation: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ invocation.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Damages the child's *compressed* stream — the engine behind fuzz-style
+/// robustness testing of decompressors. `fault_injector:mode` picks the
+/// damage model (bit flips by default; see [`FaultMode`]).
 pub struct FaultInjector {
     num_bits: u32,
     seed: u64,
+    mode: FaultMode,
+    invocations: u64,
     child_name: String,
     child: Box<dyn Compressor>,
 }
@@ -27,6 +131,8 @@ impl FaultInjector {
         FaultInjector {
             num_bits: 0,
             seed: 0,
+            mode: FaultMode::Bitflip,
+            invocations: 0,
             child_name: "noop".to_string(),
             child: default_child(),
         }
@@ -62,6 +168,7 @@ impl Compressor for FaultInjector {
         let mut o = Options::new()
             .with("fault_injector:num_bits", self.num_bits)
             .with("fault_injector:seed", self.seed)
+            .with("fault_injector:mode", self.mode.name())
             .with("fault_injector:compressor", self.child_name.as_str());
         o.merge(&self.child.get_options());
         o
@@ -77,6 +184,10 @@ impl Compressor for FaultInjector {
         }
         if let Some(s) = options.get_as::<u64>("fault_injector:seed")? {
             self.seed = s;
+            self.invocations = 0;
+        }
+        if let Some(m) = options.get_as::<String>("fault_injector:mode")? {
+            self.mode = FaultMode::from_name(&m).map_err(|e| e.in_plugin("fault_injector"))?;
         }
         self.child.set_options(options)
     }
@@ -85,24 +196,31 @@ impl Compressor for FaultInjector {
         Options::new()
             .with(
                 "fault_injector",
-                "flips random bits in the child's compressed stream (decompression \
-                 robustness / fuzz testing)",
+                "damages the child's compressed stream (decompression robustness / fuzz \
+                 testing)",
             )
-            .with("fault_injector:num_bits", "number of bit flips to inject")
-            .with("fault_injector:seed", "PRNG seed for reproducible faults")
+            .with(
+                "fault_injector:num_bits",
+                "damage intensity: bits flipped, or bytes truncated/appended/zeroed",
+            )
+            .with(
+                "fault_injector:seed",
+                "PRNG seed; each compress call draws a fresh per-invocation stream from it",
+            )
+            .with(
+                "fault_injector:mode",
+                "bitflip | truncate | extend | zero_region",
+            )
             .with("fault_injector:compressor", "registry name of the child")
     }
 
     fn compress(&mut self, input: &Data) -> Result<Data> {
         let inner = self.child.compress(input)?;
         let mut bytes = inner.as_bytes().to_vec();
-        if self.num_bits > 0 && !bytes.is_empty() {
-            let mut rng = StdRng::seed_from_u64(self.seed);
-            for _ in 0..self.num_bits {
-                let byte = rng.gen_range(0..bytes.len());
-                let bit = rng.gen_range(0..8u32);
-                bytes[byte] ^= 1 << bit;
-            }
+        if self.num_bits > 0 {
+            let mut rng = stream_rng(self.seed, self.invocations);
+            self.invocations += 1;
+            bytes = mutate_stream(&bytes, self.mode, self.num_bits, &mut rng);
         }
         let mut w = ByteWriter::with_capacity(bytes.len() + 32);
         w.put_u32(FAULT_MAGIC);
@@ -129,6 +247,9 @@ impl Compressor for FaultInjector {
         Box::new(FaultInjector {
             num_bits: self.num_bits,
             seed: self.seed,
+            mode: self.mode,
+            // A clone replays the seed's stream sequence from the start.
+            invocations: 0,
             child_name: self.child_name.clone(),
             child: self.child.clone_compressor(),
         })
@@ -142,6 +263,7 @@ pub struct NoiseInjector {
     dist: String,
     scale: f64,
     seed: u64,
+    invocations: u64,
     child_name: String,
     child: Box<dyn Compressor>,
 }
@@ -153,6 +275,7 @@ impl NoiseInjector {
             dist: "gaussian".to_string(),
             scale: 0.0,
             seed: 0,
+            invocations: 0,
             child_name: "noop".to_string(),
             child: default_child(),
         }
@@ -231,6 +354,7 @@ impl Compressor for NoiseInjector {
         }
         if let Some(s) = options.get_as::<u64>("noise:seed")? {
             self.seed = s;
+            self.invocations = 0;
         }
         self.child.set_options(options)
     }
@@ -240,7 +364,10 @@ impl Compressor for NoiseInjector {
             .with("noise", "adds random noise to each input element before compression")
             .with("noise:dist", "gaussian | uniform")
             .with("noise:scale", "standard deviation (gaussian) or half-width (uniform)")
-            .with("noise:seed", "PRNG seed for reproducibility")
+            .with(
+                "noise:seed",
+                "PRNG seed; each compress call draws a fresh per-invocation stream from it",
+            )
             .with("noise:compressor", "registry name of the child")
     }
 
@@ -254,7 +381,8 @@ impl Compressor for NoiseInjector {
             &[pressio_core::DType::F32, pressio_core::DType::F64],
         )?;
         let mut staged = input.clone();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = stream_rng(self.seed, self.invocations);
+        self.invocations += 1;
         match staged.dtype() {
             pressio_core::DType::F32 => {
                 for v in staged.as_mut_slice::<f32>()? {
@@ -279,8 +407,89 @@ impl Compressor for NoiseInjector {
             dist: self.dist.clone(),
             scale: self.scale,
             seed: self.seed,
+            // A clone replays the seed's stream sequence from the start.
+            invocations: 0,
             child_name: self.child_name.clone(),
             child: self.child.clone_compressor(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn mode_names_roundtrip_and_reject_unknown() {
+        for m in ALL_FAULT_MODES {
+            assert_eq!(FaultMode::from_name(m.name()).unwrap(), m);
+        }
+        assert!(FaultMode::from_name("flipbits").is_err());
+    }
+
+    #[test]
+    fn mutate_stream_is_deterministic_per_rng_state() {
+        let data: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        for m in ALL_FAULT_MODES {
+            let a = mutate_stream(&data, m, 16, &mut rng(7));
+            let b = mutate_stream(&data, m, 16, &mut rng(7));
+            assert_eq!(a, b, "{m:?} not reproducible");
+            assert_ne!(a, data, "{m:?} left the stream untouched");
+        }
+    }
+
+    #[test]
+    fn mutate_stream_mode_shapes() {
+        let data = vec![0xffu8; 64];
+
+        // Bitflip: length preserved, content changed.
+        let flipped = mutate_stream(&data, FaultMode::Bitflip, 8, &mut rng(1));
+        assert_eq!(flipped.len(), data.len());
+        assert_ne!(flipped, data);
+
+        // Truncate: shorter by exactly the intensity, prefix preserved.
+        let cut = mutate_stream(&data, FaultMode::Truncate, 10, &mut rng(1));
+        assert_eq!(cut.len(), 54);
+        assert_eq!(cut[..], data[..54]);
+        // Truncation past the whole stream empties it without panicking.
+        assert!(mutate_stream(&data, FaultMode::Truncate, 1000, &mut rng(1)).is_empty());
+
+        // Extend: longer by exactly the intensity, prefix preserved.
+        let grown = mutate_stream(&data, FaultMode::Extend, 10, &mut rng(1));
+        assert_eq!(grown.len(), 74);
+        assert_eq!(grown[..64], data[..]);
+        // Extend is the one mode that can damage an empty stream.
+        assert_eq!(mutate_stream(&[], FaultMode::Extend, 4, &mut rng(1)).len(), 4);
+
+        // ZeroRegion: length preserved, a contiguous zero run appears.
+        let zeroed = mutate_stream(&data, FaultMode::ZeroRegion, 8, &mut rng(1));
+        assert_eq!(zeroed.len(), data.len());
+        assert!(zeroed.contains(&0));
+
+        // Zero intensity is the identity for every mode.
+        for m in ALL_FAULT_MODES {
+            assert_eq!(mutate_stream(&data, m, 0, &mut rng(1)), data);
+        }
+    }
+
+    #[test]
+    fn invocation_streams_differ_but_replay_per_seed() {
+        // The per-invocation derivation gives distinct RNG streams for
+        // successive calls while a fresh instance with the same seed
+        // replays the same sequence (the fixed fault_injector/noise seed
+        // reuse bug).
+        let draws = |seed: u64, invocation: u64| -> Vec<u64> {
+            let mut r = stream_rng(seed, invocation);
+            (0..8).map(|_| r.gen_range(0..u64::MAX)).collect()
+        };
+        assert_ne!(draws(42, 0), draws(42, 1));
+        assert_ne!(draws(42, 1), draws(42, 2));
+        assert_eq!(draws(42, 0), draws(42, 0));
+        assert_eq!(draws(42, 5), draws(42, 5));
+        assert_ne!(draws(42, 0), draws(43, 0));
     }
 }

@@ -16,9 +16,10 @@
 //! | `chunking`  | parallel row-block compression (crossbeam) |
 //! | `many_independent` | embarrassingly parallel multi-buffer compression |
 //! | `many_dependent`   | config forwarding between time steps |
-//! | `fault_injector`   | bit flips in compressed streams (fuzzing) |
+//! | `fault_injector`   | stream corruption: bit flips, truncation, ... (fuzzing) |
 //! | `noise`     | statistical error injection into inputs |
 //! | `opt`       | FRaZ-style fixed-ratio configuration optimizer |
+//! | `guard`     | integrity framing, deadlines, retry, fallback chains |
 //!
 //! The parallel plugins consume the child's thread-safety introspection:
 //! `Serialized`/`Single` children degrade to sequential execution instead of
@@ -27,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cast;
+pub mod guard;
 pub mod injection;
 pub mod opt;
 pub mod parallel;
@@ -35,7 +37,8 @@ pub mod shape;
 pub mod util;
 
 pub use cast::Cast;
-pub use injection::{FaultInjector, NoiseInjector};
+pub use guard::{run_with_deadline, Guard, MAX_BACKOFF_MS};
+pub use injection::{mutate_stream, FaultInjector, FaultMode, NoiseInjector, ALL_FAULT_MODES};
 pub use opt::{Objective, Opt, OptOutcome};
 pub use parallel::{Chunking, ManyDependent, ManyIndependent};
 pub use pipeline::Pipeline;
@@ -59,6 +62,7 @@ pub fn register_builtins() {
     reg.register_compressor("fault_injector", || Box::new(FaultInjector::new()));
     reg.register_compressor("noise", || Box::new(NoiseInjector::new()));
     reg.register_compressor("opt", || Box::new(Opt::new()));
+    reg.register_compressor("guard", || Box::new(Guard::new()));
 }
 
 #[cfg(test)]
@@ -368,22 +372,97 @@ mod tests {
     fn noise_injection_is_seeded_and_bounded() {
         init();
         let input = field(&[1000]);
+        let configure = |n: &mut NoiseInjector| {
+            n.set_options(
+                &Options::new()
+                    .with("noise:compressor", "noop")
+                    .with("noise:dist", "uniform")
+                    .with("noise:scale", 0.01f64)
+                    .with("noise:seed", 42u64),
+            )
+            .unwrap();
+        };
         let mut n = NoiseInjector::new();
-        n.set_options(
-            &Options::new()
-                .with("noise:compressor", "noop")
-                .with("noise:dist", "uniform")
-                .with("noise:scale", 0.01f64)
-                .with("noise:seed", 42u64),
-        )
-        .unwrap();
+        configure(&mut n);
         let c1 = n.compress(&input).unwrap();
         let c2 = n.compress(&input).unwrap();
-        assert_eq!(c1, c2, "same seed must give identical noise");
-        let mut out = Data::owned(DType::F64, vec![1000]);
-        n.decompress(&c1, &mut out).unwrap();
-        let err = max_err(&input, &out);
-        assert!(err > 0.0 && err <= 0.01);
+        // Successive invocations draw fresh noise (the seed-reuse bug would
+        // stamp identical noise onto every call)...
+        assert_ne!(c1, c2, "successive calls must not reuse the noise stream");
+        // ...while a fresh instance with the same seed replays the same
+        // sequence of streams, so experiments stay reproducible.
+        let mut replay = NoiseInjector::new();
+        configure(&mut replay);
+        assert_eq!(replay.compress(&input).unwrap(), c1);
+        assert_eq!(replay.compress(&input).unwrap(), c2);
+        // Re-setting the seed rewinds the sequence.
+        n.set_options(&Options::new().with("noise:seed", 42u64)).unwrap();
+        assert_eq!(n.compress(&input).unwrap(), c1);
+        for c in [c1, c2] {
+            let mut out = Data::owned(DType::F64, vec![1000]);
+            n.decompress(&c, &mut out).unwrap();
+            let err = max_err(&input, &out);
+            assert!(err > 0.0 && err <= 0.01);
+        }
+    }
+
+    #[test]
+    fn fault_injector_invocations_draw_distinct_streams() {
+        init();
+        let input = field(&[32, 32]);
+        let configure = |f: &mut FaultInjector| {
+            f.set_options(
+                &Options::new()
+                    .with("fault_injector:compressor", "deflate")
+                    .with("fault_injector:num_bits", 16u32)
+                    .with("fault_injector:seed", 7u64),
+            )
+            .unwrap();
+        };
+        let mut f = FaultInjector::new();
+        configure(&mut f);
+        let c1 = f.compress(&input).unwrap();
+        let c2 = f.compress(&input).unwrap();
+        assert_ne!(c1, c2, "successive calls must corrupt differently");
+        let mut replay = FaultInjector::new();
+        configure(&mut replay);
+        assert_eq!(replay.compress(&input).unwrap(), c1);
+        assert_eq!(replay.compress(&input).unwrap(), c2);
+    }
+
+    #[test]
+    fn fault_injector_modes_change_stream_shape() {
+        init();
+        let input = field(&[32, 32]);
+        let mut sizes = std::collections::HashMap::new();
+        for mode in ALL_FAULT_MODES {
+            let mut f = FaultInjector::new();
+            f.set_options(
+                &Options::new()
+                    .with("fault_injector:compressor", "deflate")
+                    .with("fault_injector:num_bits", 32u32)
+                    .with("fault_injector:seed", 3u64)
+                    .with("fault_injector:mode", mode.name()),
+            )
+            .unwrap();
+            assert_eq!(
+                f.get_options()
+                    .get_as::<String>("fault_injector:mode")
+                    .unwrap()
+                    .as_deref(),
+                Some(mode.name())
+            );
+            sizes.insert(mode.name(), f.compress(&input).unwrap().size_in_bytes());
+        }
+        // Truncate shrinks the framed stream, extend grows it, relative to
+        // the length-preserving modes.
+        assert_eq!(sizes["bitflip"], sizes["zero_region"]);
+        assert_eq!(sizes["truncate"], sizes["bitflip"] - 32);
+        assert_eq!(sizes["extend"], sizes["bitflip"] + 32);
+        // Unknown modes are rejected at set time.
+        assert!(FaultInjector::new()
+            .set_options(&Options::new().with("fault_injector:mode", "melt"))
+            .is_err());
     }
 
     #[test]
@@ -459,6 +538,7 @@ mod tests {
             "fault_injector",
             "noise",
             "opt",
+            "guard",
         ] {
             assert!(pressio_core::registry().has_compressor(name), "{name}");
         }

@@ -133,6 +133,18 @@ impl Compressor for Transpose {
         pressio_core::checked_geometry(output.dtype(), &orig_dims)
             .map_err(|e| e.in_plugin("transpose"))?;
         let axes = r.get_dims()?;
+        // The axes list came off the wire: it must be a permutation of the
+        // recorded dims' axes before anything indexes with it.
+        let nd = orig_dims.len();
+        let mut seen = vec![false; nd];
+        let valid = axes.len() == nd
+            && axes.iter().all(|&a| a < nd && !std::mem::replace(&mut seen[a], true));
+        if !valid {
+            return Err(Error::corrupt(format!(
+                "transpose stream axes {axes:?} are not a permutation of 0..{nd}"
+            ))
+            .in_plugin("transpose"));
+        }
         let inner = r.get_section()?;
         if child_name != self.child_name {
             self.child = resolve_child(&child_name).map_err(|e| e.in_plugin("transpose"))?;
@@ -141,6 +153,15 @@ impl Compressor for Transpose {
         let tdims: Vec<usize> = axes.iter().map(|&a| orig_dims[a]).collect();
         let mut staged = Data::owned(output.dtype(), tdims.clone());
         self.child.decompress(&Data::from_bytes(inner), &mut staged)?;
+        // A corrupt child stream can carry its own geometry and resize the
+        // staged buffer; the transposed shape is dictated by this envelope.
+        if staged.dims() != tdims {
+            return Err(Error::corrupt(format!(
+                "transpose child produced shape {:?}, envelope requires {tdims:?}",
+                staged.dims()
+            ))
+            .in_plugin("transpose"));
+        }
         let inv = invert_axes(&axes);
         let (bytes, bdims) = transpose_bytes(
             staged.as_bytes(),
@@ -149,7 +170,6 @@ impl Compressor for Transpose {
             staged.dtype().size(),
         )
         .map_err(|e| e.in_plugin("transpose"))?;
-        debug_assert_eq!(bdims, orig_dims);
         if output.num_elements() != bdims.iter().product::<usize>()
             || output.dtype() != staged.dtype()
         {

@@ -205,7 +205,6 @@ impl Sz {
             return decompress_body(bodies[0], dims);
         }
         // Chunked stream: reconstruct per-chunk dims from row counts.
-        let row: usize = dims.iter().skip(1).product::<usize>().max(1);
         let slow = dims.first().copied().unwrap_or(1);
         let workers = bodies.len();
         let base = slow / workers;
@@ -227,7 +226,9 @@ impl Sz {
             }
         })
         .map_err(|_| Error::internal("sz_omp thread scope failed"))?;
-        let mut all = Vec::with_capacity(slow * row);
+        // Don't pre-reserve `slow * row` here: those factors are wire-derived
+        // and any chunk error below must surface before a large reservation.
+        let mut all = Vec::new();
         for chunk in out {
             all.extend(chunk?);
         }
@@ -533,39 +534,46 @@ impl Compressor for Sz {
             .in_plugin(self.prefix()));
         }
         let n: usize = dims.iter().product();
+        // Decode the payload *before* sizing the output buffer: `dims` came
+        // off the wire, and on a corrupt stream a huge declared geometry must
+        // fail against the (small) decoded body, not commit a multi-gigabyte
+        // zeroed allocation first.
+        enum Decoded {
+            F32(Vec<f32>),
+            F64(Vec<f64>),
+        }
+        let vals = if let Some((_floor, signs, exceptions)) = pw_rel {
+            let logs: Vec<f64> = self.decompress_typed(&bodies, &dims)?;
+            let vals = pw_rel_inverse(&logs, &signs, &exceptions)
+                .map_err(|e| e.in_plugin(self.prefix()))?;
+            match dtype {
+                DType::F32 => Decoded::F32(vals.iter().map(|&v| v as f32).collect()),
+                _ => Decoded::F64(vals),
+            }
+        } else {
+            match dtype {
+                DType::F32 => Decoded::F32(self.decompress_typed(&bodies, &dims)?),
+                _ => Decoded::F64(self.decompress_typed(&bodies, &dims)?),
+            }
+        };
+        let decoded_len = match &vals {
+            Decoded::F32(v) => v.len(),
+            Decoded::F64(v) => v.len(),
+        };
+        if decoded_len != n {
+            return Err(Error::corrupt(format!(
+                "sz stream decoded {decoded_len} elements for geometry of {n}"
+            ))
+            .in_plugin(self.prefix()));
+        }
         if output.num_elements() != n {
             *output = Data::owned(dtype, dims.clone());
         } else if output.dims() != dims {
             output.reshape(dims.clone())?;
         }
-        if let Some((_floor, signs, exceptions)) = pw_rel {
-            let logs: Vec<f64> = self.decompress_typed(&bodies, &dims)?;
-            let vals = pw_rel_inverse(&logs, &signs, &exceptions)
-                .map_err(|e| e.in_plugin(self.prefix()))?;
-            if vals.len() != n {
-                return Err(Error::corrupt("pw_rel element count mismatch")
-                    .in_plugin(self.prefix()));
-            }
-            match dtype {
-                DType::F32 => {
-                    let out = output.as_mut_slice::<f32>()?;
-                    for (o, v) in out.iter_mut().zip(&vals) {
-                        *o = *v as f32;
-                    }
-                }
-                _ => output.as_mut_slice::<f64>()?.copy_from_slice(&vals),
-            }
-            return Ok(());
-        }
-        match dtype {
-            DType::F32 => {
-                let vals: Vec<f32> = self.decompress_typed(&bodies, &dims)?;
-                output.as_mut_slice::<f32>()?.copy_from_slice(&vals);
-            }
-            _ => {
-                let vals: Vec<f64> = self.decompress_typed(&bodies, &dims)?;
-                output.as_mut_slice::<f64>()?.copy_from_slice(&vals);
-            }
+        match vals {
+            Decoded::F32(v) => output.as_mut_slice::<f32>()?.copy_from_slice(&v),
+            Decoded::F64(v) => output.as_mut_slice::<f64>()?.copy_from_slice(&v),
         }
         Ok(())
     }

@@ -324,8 +324,9 @@ pub fn check_compressor(name: &str, report: &mut Report) {
 
 /// Minimal configuration letting compressors that refuse to run unconfigured
 /// (no stages, unreachable default objective, ...) participate in the
-/// round-trip check.
-fn roundtrip_preset(name: &str) -> Option<Options> {
+/// round-trip check. Shared with the `fuzz-decode` harness so both drive
+/// plugins the same way.
+pub(crate) fn roundtrip_preset(name: &str) -> Option<Options> {
     match name {
         "opt" => Some(
             Options::new()

@@ -1,0 +1,338 @@
+//! The `pressio fuzz-decode` corruption harness.
+//!
+//! Every compressor's *decompressor* is a parser of untrusted bytes: streams
+//! come off disks, networks, and archives that bit-rot, truncate, and
+//! mis-splice. This harness drives every registered compressor's decoder
+//! with systematically damaged copies of its own valid stream — one sweep
+//! per [`FaultMode`] (bit flips, truncation, garbage extension, zeroed
+//! regions) — and demands the *robustness contract*:
+//!
+//! * **no panics** — a hostile stream must never unwind into the host;
+//! * **no hangs** — decoding runs under a watchdog deadline
+//!   ([`run_with_deadline`]) and must finish inside it;
+//! * **structured errors** — rejection surfaces as an [`Error`] with a
+//!   meaningful [`ErrorCode`], never as a crash.
+//!
+//! Plain codecs may legitimately *accept* a damaged stream (a bit flip in a
+//! raw payload is just different data); that is counted, not failed. The
+//! `guard` meta-compressor is held to the strict standard: its integrity
+//! frame must reject **every** stream the mutator actually changed.
+//!
+//! Determinism: the whole sweep derives from one `--seed`, with each
+//! (plugin, mode, case) triple hashed to its own RNG stream, so a failure
+//! report is reproducible bit for bit.
+
+use std::fmt;
+
+use libpressio::core::ErrorCode;
+use libpressio::meta::{mutate_stream, run_with_deadline, FaultMode, ALL_FAULT_MODES};
+use libpressio::{DType, Data, Options};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::contract::roundtrip_preset;
+
+/// Tuning for one fuzz sweep.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Mutated streams per (compressor, mode) pair.
+    pub iterations: u32,
+    /// Master seed; every case RNG derives from it deterministically.
+    pub seed: u64,
+    /// Watchdog deadline per decode attempt, in ms (0 disables — only
+    /// sensible under a debugger).
+    pub timeout_ms: u64,
+    /// Restrict the sweep to one compressor (`None` = all registered).
+    pub compressor: Option<String>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            iterations: 64,
+            seed: 1,
+            timeout_ms: 2_000,
+            compressor: None,
+        }
+    }
+}
+
+/// One robustness-contract violation.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Registry name of the offending compressor.
+    pub plugin: String,
+    /// Mutator mode that produced the stream.
+    pub mode: &'static str,
+    /// Case index within that (plugin, mode) sweep.
+    pub case: u32,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} case {}]: {}",
+            self.plugin, self.mode, self.case, self.detail
+        )
+    }
+}
+
+/// Outcome of a fuzz sweep.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Compressors actually fuzzed.
+    pub compressors: usize,
+    /// Mutated streams decoded.
+    pub cases: usize,
+    /// Decodes that returned a structured error (the expected outcome).
+    pub rejected: usize,
+    /// Decodes that accepted the damaged stream (legal for plain codecs:
+    /// damaged payload bytes are just different data).
+    pub accepted: usize,
+    /// Mutations that left the stream byte-identical (e.g. zeroing a
+    /// region that was already zero); these cannot be expected to fail.
+    pub unchanged: usize,
+    /// Compressors skipped, as `(plugin, reason)` pairs — e.g. plugins
+    /// that refuse to compress unconfigured.
+    pub skipped: Vec<(String, String)>,
+    /// Robustness-contract violations: panics, hangs, or a guard frame
+    /// accepting damage.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True when every decode honored the robustness contract.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fuzzed {} compressors, {} damaged streams: {} rejected, {} accepted, \
+             {} unchanged-by-mutation, {} failure(s), {} skip(s)",
+            self.compressors,
+            self.cases,
+            self.rejected,
+            self.accepted,
+            self.unchanged,
+            self.failures.len(),
+            self.skipped.len()
+        )?;
+        for v in &self.failures {
+            writeln!(f, "  FAIL {v}")?;
+        }
+        for (p, r) in &self.skipped {
+            writeln!(f, "  skip {p}: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How one decode attempt ended.
+enum CaseOutcome {
+    /// Decoder returned `Ok` on the damaged stream.
+    Accepted,
+    /// Decoder returned a structured error.
+    Rejected,
+    /// Decoder panicked (caught on the worker).
+    Panicked,
+    /// Decoder blew the watchdog deadline.
+    TimedOut,
+}
+
+/// The smooth f32 field every compressor is fuzzed over (same shape as the
+/// contract checker's round-trip field).
+fn seed_input() -> Data {
+    let dims = vec![16usize, 16, 16];
+    let n: usize = dims.iter().product();
+    let v: Vec<f32> = (0..n)
+        .map(|i| ((i as f32) * 0.01).sin() * 100.0 + (i as f32) * 0.001)
+        .collect();
+    Data::from_vec(v, dims).expect("static geometry")
+}
+
+/// Deterministic per-case RNG: master seed + plugin + mode + case index.
+fn case_rng(seed: u64, plugin: &str, mode: FaultMode, case: u32) -> StdRng {
+    let mut h = libpressio::core::Fnv1a64::new();
+    h.update_u64(seed);
+    h.update(plugin.as_bytes());
+    h.update(mode.name().as_bytes());
+    h.update_u64(case as u64);
+    StdRng::seed_from_u64(h.finish())
+}
+
+/// Build a configured instance of `name` the same way the contract checker
+/// does: a generic error bound plus any documented preset.
+fn armed_handle(name: &str) -> Result<libpressio::CompressorHandle, libpressio::Error> {
+    let mut h = libpressio::registry().compressor(name)?;
+    let _ = h.set_options_unchecked(&Options::new().with("pressio:abs", 1e-3f64));
+    if let Some(preset) = roundtrip_preset(name) {
+        h.set_options(&preset)?;
+    }
+    Ok(h)
+}
+
+/// Decode one damaged stream on a watchdog worker, catching panics.
+fn decode_case(name: &str, mutated: Vec<u8>, timeout_ms: u64) -> CaseOutcome {
+    let handle = match armed_handle(name) {
+        Ok(h) => h,
+        // The compressor armed moments ago; losing the registry entry
+        // mid-sweep is a harness bug, surfaced as a failure by the caller.
+        Err(_) => return CaseOutcome::Panicked,
+    };
+    let outcome = run_with_deadline(timeout_ms, "fuzz-decode", move || {
+        let mut handle = handle;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut out = Data::owned(DType::F32, vec![16usize, 16, 16]);
+            handle.decompress(&Data::from_bytes(&mutated), &mut out)
+        }));
+        match caught {
+            Ok(Ok(())) => CaseOutcome::Accepted,
+            Ok(Err(_)) => CaseOutcome::Rejected,
+            Err(_) => CaseOutcome::Panicked,
+        }
+    });
+    match outcome {
+        Ok(o) => o,
+        Err(e) if e.code() == ErrorCode::Timeout => CaseOutcome::TimedOut,
+        // Worker infrastructure failed (spawn error): count as a panic-level
+        // harness failure rather than silently passing.
+        Err(_) => CaseOutcome::Panicked,
+    }
+}
+
+/// Fuzz one compressor's decoder across every mutation mode.
+pub fn fuzz_compressor(name: &str, cfg: &FuzzConfig, report: &mut FuzzReport) {
+    libpressio::init();
+    let input = seed_input();
+
+    let mut h = match armed_handle(name) {
+        Ok(h) => h,
+        Err(e) => {
+            report.skipped.push((name.to_string(), format!("cannot configure: {e}")));
+            return;
+        }
+    };
+    let clean = match h.compress(&input) {
+        Ok(c) => c.as_bytes().to_vec(),
+        Err(e)
+            if matches!(
+                e.code(),
+                ErrorCode::Unsupported | ErrorCode::InvalidArgument | ErrorCode::NotFound
+            ) =>
+        {
+            // Unconfigured-by-default plugins may refuse to produce a
+            // stream; there is then nothing to mutate. Never silent.
+            report.skipped.push((name.to_string(), format!("compress refused: {e}")));
+            return;
+        }
+        Err(e) => {
+            report.failures.push(FuzzFailure {
+                plugin: name.to_string(),
+                mode: "none",
+                case: 0,
+                detail: format!("compress failed on a plain f32 field: {e}"),
+            });
+            return;
+        }
+    };
+
+    report.compressors += 1;
+    // The guard's integrity frame must reject every byte-level change; for
+    // everything else acceptance of damaged payload bytes is legal.
+    let strict = name == "guard";
+
+    for mode in ALL_FAULT_MODES {
+        for case in 0..cfg.iterations {
+            let mut rng = case_rng(cfg.seed, name, mode, case);
+            let intensity = rng.gen_range(1..48u32);
+            let mutated = mutate_stream(&clean, mode, intensity, &mut rng);
+            let changed = mutated != clean;
+            if !changed {
+                report.unchanged += 1;
+            }
+            report.cases += 1;
+            match decode_case(name, mutated, cfg.timeout_ms) {
+                CaseOutcome::Rejected => report.rejected += 1,
+                CaseOutcome::Accepted => {
+                    report.accepted += 1;
+                    if strict && changed {
+                        report.failures.push(FuzzFailure {
+                            plugin: name.to_string(),
+                            mode: mode.name(),
+                            case,
+                            detail: "integrity frame accepted a damaged stream".to_string(),
+                        });
+                    }
+                }
+                CaseOutcome::Panicked => report.failures.push(FuzzFailure {
+                    plugin: name.to_string(),
+                    mode: mode.name(),
+                    case,
+                    detail: "decoder panicked on a damaged stream".to_string(),
+                }),
+                CaseOutcome::TimedOut => report.failures.push(FuzzFailure {
+                    plugin: name.to_string(),
+                    mode: mode.name(),
+                    case,
+                    detail: format!(
+                        "decoder exceeded the {} ms watchdog deadline",
+                        cfg.timeout_ms
+                    ),
+                }),
+            }
+        }
+    }
+}
+
+/// Fuzz every registered compressor (or the one named in
+/// [`FuzzConfig::compressor`]).
+pub fn fuzz_all(cfg: &FuzzConfig) -> FuzzReport {
+    libpressio::init();
+    let mut report = FuzzReport::default();
+    let names: Vec<String> = match &cfg.compressor {
+        Some(one) => vec![one.clone()],
+        None => libpressio::instance().supported_compressors(),
+    };
+    for name in names {
+        fuzz_compressor(&name, cfg, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rng_is_deterministic_and_distinct() {
+        let draw = |p: &str, m: FaultMode, c: u32| {
+            let mut r = case_rng(9, p, m, c);
+            r.gen_range(0..u64::MAX)
+        };
+        assert_eq!(draw("sz", FaultMode::Bitflip, 0), draw("sz", FaultMode::Bitflip, 0));
+        assert_ne!(draw("sz", FaultMode::Bitflip, 0), draw("sz", FaultMode::Bitflip, 1));
+        assert_ne!(draw("sz", FaultMode::Bitflip, 0), draw("sz", FaultMode::Truncate, 0));
+        assert_ne!(draw("sz", FaultMode::Bitflip, 0), draw("zfp", FaultMode::Bitflip, 0));
+    }
+
+    #[test]
+    fn quick_sweep_over_one_codec_is_clean() {
+        let cfg = FuzzConfig {
+            iterations: 4,
+            seed: 3,
+            timeout_ms: 2_000,
+            compressor: Some("deflate".to_string()),
+        };
+        let report = fuzz_all(&cfg);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.compressors, 1);
+        assert_eq!(report.cases, 4 * ALL_FAULT_MODES.len());
+    }
+}

@@ -11,10 +11,17 @@
 //!   (no panics in library code, `// SAFETY:` comments on `unsafe`,
 //!   complete plugin trait surfaces, and forbidden debug/wire patterns).
 //!
-//! Both are also exposed as binaries: `pressio contract` and
-//! `pressio-lint`. Third-party plugin authors can run the contract checker
-//! against their own plugins by registering them and calling
-//! [`contract::check_all`].
+//! * [`fuzz`] — the `pressio fuzz-decode` corruption harness: feeds every
+//!   registered compressor's decompressor deterministically damaged streams
+//!   (bit flips, truncation, extension, zeroed regions) and fails on
+//!   panics, hangs, or a `guard` frame accepting damage.
+//!
+//! All are also exposed as binaries: `pressio contract`,
+//! `pressio fuzz-decode`, and `pressio-lint`. Third-party plugin authors
+//! can run the contract checker and fuzzer against their own plugins by
+//! registering them and calling [`contract::check_all`] /
+//! [`fuzz::fuzz_all`].
 
 pub mod contract;
+pub mod fuzz;
 pub mod lint;

@@ -18,6 +18,9 @@
 //!   `MAX_DECODE_BYTES`, ...).
 //! * [`RULE_NO_DEBUG_PRINT`] — no `dbg!`/`println!`/`print!` in library
 //!   crates; user-visible output belongs to the binaries.
+//! * [`RULE_NO_UNBOUNDED_SLEEP`] — `thread::sleep` in library code must cap
+//!   its duration on the same line (`.min(...)`/`.clamp(...)`), so retry
+//!   backoff can never stall a host past its watchdog deadlines.
 //!
 //! The scanner strips string literals, comments, and `#[cfg(test)] mod`
 //! blocks before matching, so tests and docs never trip the rules. Findings
@@ -47,6 +50,8 @@ pub const RULE_PLUGIN_SURFACE: &str = "plugin-surface";
 pub const RULE_WIRE_CAST: &str = "wire-cast";
 /// Rule id: no debug printing in library crates.
 pub const RULE_NO_DEBUG_PRINT: &str = "no-debug-print";
+/// Rule id: library sleeps must carry an explicit cap.
+pub const RULE_NO_UNBOUNDED_SLEEP: &str = "no-unbounded-sleep";
 
 /// All rule ids, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -55,6 +60,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_PLUGIN_SURFACE,
     RULE_WIRE_CAST,
     RULE_NO_DEBUG_PRINT,
+    RULE_NO_UNBOUNDED_SLEEP,
 ];
 
 /// Long-form rationale for `--explain`.
@@ -100,6 +106,15 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              metrics results, error messages, or return values; only the CLI binaries \
              print. (eprintln! in binaries is fine; this rule does not scan src/main.rs \
              or src/bin/.)"
+        }
+        RULE_NO_UNBOUNDED_SLEEP => {
+            "no-unbounded-sleep: a `thread::sleep` in library code must cap its duration \
+             on the same line (e.g. `backoff.min(MAX_BACKOFF_MS)`). Sleep durations \
+             derived from options or retry arithmetic can otherwise grow without bound \
+             and stall the host past any watchdog deadline — the guard meta-compressor's \
+             own backoff is the model: exponential growth clamped by an explicit \
+             constant. Test modules and binaries are exempt. Allowlist only sleeps \
+             whose bound is established on a previous line."
         }
         _ => return None,
     })
@@ -431,6 +446,9 @@ const WIRE_GUARDS: &[&str] = &[
 
 const DEBUG_PRINTS: &[&str] = &["dbg!(", "println!(", "print!("];
 
+/// Cap markers accepted by `no-unbounded-sleep` on the sleeping line.
+const SLEEP_GUARDS: &[&str] = &[".min(", ".clamp("];
+
 /// Name of the crate a workspace-relative path belongs to, e.g.
 /// `crates/sz/src/plugin.rs` -> `sz`; the facade `src/lib.rs` -> `.` .
 fn crate_of(rel: &str) -> Option<&str> {
@@ -548,6 +566,14 @@ pub fn scan_source(rel: &str, content: &str) -> Vec<Finding> {
         // no-debug-print: library code of every crate.
         if !binary && DEBUG_PRINTS.iter().any(|p| line.contains(p)) {
             push(&mut findings, RULE_NO_DEBUG_PRINT, idx, &src);
+        }
+
+        // no-unbounded-sleep: library code of every crate.
+        if !binary
+            && line.contains("thread::sleep")
+            && !SLEEP_GUARDS.iter().any(|g| line.contains(g))
+        {
+            push(&mut findings, RULE_NO_UNBOUNDED_SLEEP, idx, &src);
         }
     }
 
@@ -845,6 +871,31 @@ mod tests {
         assert_eq!(rules(&f), vec![RULE_NO_DEBUG_PRINT]);
         assert!(findings_for("crates/tools/src/main.rs", "fn f() { println!(\"x\"); }\n").is_empty());
         assert!(findings_for("crates/tools/src/bin/x.rs", "fn f() { println!(); }\n").is_empty());
+    }
+
+    // ------------------------------------------------- no-unbounded-sleep
+
+    #[test]
+    fn unbounded_sleep_flagged_in_libraries() {
+        let f = findings_for(
+            "crates/meta/src/guard.rs",
+            "fn f(ms: u64) { std::thread::sleep(Duration::from_millis(ms)); }\n",
+        );
+        assert_eq!(rules(&f), vec![RULE_NO_UNBOUNDED_SLEEP]);
+    }
+
+    #[test]
+    fn capped_sleep_and_exempt_contexts_pass() {
+        let capped =
+            "std::thread::sleep(Duration::from_millis(backoff.min(MAX_BACKOFF_MS)));\n";
+        assert!(findings_for("crates/meta/src/guard.rs", capped).is_empty());
+        let clamped = "thread::sleep(Duration::from_millis(ms.clamp(0, 500)));\n";
+        assert!(findings_for("crates/meta/src/guard.rs", clamped).is_empty());
+        // Binaries and test modules may sleep freely.
+        let raw = "fn f() { std::thread::sleep(Duration::from_secs(5)); }\n";
+        assert!(findings_for("crates/tools/src/main.rs", raw).is_empty());
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n    {raw}}}\n");
+        assert!(findings_for("crates/meta/src/guard.rs", &in_test).is_empty());
     }
 
     // ----------------------------------------------------------- allowlist

@@ -292,14 +292,43 @@ fn cmd_contract(args: &Args) -> Result<()> {
     }
 }
 
-const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract> [args]
+fn cmd_fuzz_decode(args: &Args) -> Result<()> {
+    let parse_num = |flag: &str, default: u64| -> Result<u64> {
+        match args.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| Error::invalid_argument(format!("bad --{flag} value {v:?}"))),
+        }
+    };
+    let cfg = pressio_tools::fuzz::FuzzConfig {
+        iterations: parse_num("iterations", 64)? as u32,
+        seed: parse_num("seed", 1)?,
+        timeout_ms: parse_num("timeout-ms", 2_000)?,
+        compressor: args.get("c").map(str::to_string),
+    };
+    let report = pressio_tools::fuzz::fuzz_all(&cfg);
+    print!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Error::corrupt(format!(
+            "{} robustness violation(s)",
+            report.failures.len()
+        )))
+    }
+}
+
+const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode> [args]
   list [compressors|metrics|io]
   options <compressor>
   compress   -c <name> -i <in> -o <out> [-t dtype -d dims] [-O k=v ...] [-m metric ...] [-f format]
   decompress -c <name> -i <in> -o <out> -t <dtype> [-d dims] [-F format]
   eval       -i <orig> -j <dec> -t <dtype> -d <dims> [-m metric ...]
   gen        -n <hurricane|nyx|hacc|scale-letkf> -o <out> [-s seed] [-k scale] [-F format]
-  contract   [-v verbose]  # verify every registered plugin honors the plugin contract";
+  contract   [-v verbose]  # verify every registered plugin honors the plugin contract
+  fuzz-decode [-c <name>] [--iterations N] [--seed S] [--timeout-ms T]
+              # drive every decompressor with damaged streams; fail on panics/hangs";
 
 fn run() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -312,6 +341,7 @@ fn run() -> Result<()> {
         Some("eval") => cmd_eval(&args),
         Some("gen") => cmd_gen(&args),
         Some("contract") => cmd_contract(&args),
+        Some("fuzz-decode") => cmd_fuzz_decode(&args),
         _ => {
             eprintln!("{USAGE}");
             Err(Error::invalid_argument("unknown or missing command"))

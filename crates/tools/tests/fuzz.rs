@@ -1,0 +1,92 @@
+//! Workspace robustness gate: every registered compressor's decompressor
+//! survives deterministic stream corruption, and the `guard`
+//! meta-compressor's degradation chain actually degrades.
+
+use libpressio::core::ErrorCode;
+use libpressio::meta::ALL_FAULT_MODES;
+use libpressio::{DType, Data, Options};
+use pressio_tools::fuzz::{fuzz_all, FuzzConfig};
+
+/// Every registered compressor, 64 damaged streams per mutator mode: each
+/// decode must end in `Ok` or a structured error — never a panic, never a
+/// hang past the watchdog deadline — and the `guard` frame must reject
+/// every stream the mutator actually changed.
+#[test]
+fn every_decoder_survives_corruption_sweep() {
+    let cfg = FuzzConfig {
+        iterations: 64,
+        seed: 1,
+        timeout_ms: 5_000,
+        compressor: None,
+    };
+    let report = fuzz_all(&cfg);
+    assert!(report.is_clean(), "{report}");
+    // The sweep must actually cover the registry: well over a dozen
+    // compressors, 4 modes x 64 cases each.
+    assert!(
+        report.compressors >= 12,
+        "registry shrank? fuzzed only {} compressors\n{report}",
+        report.compressors
+    );
+    assert_eq!(
+        report.cases,
+        report.compressors * ALL_FAULT_MODES.len() * 64,
+        "{report}"
+    );
+    // Damaged streams overwhelmingly fail structured; a sweep where nothing
+    // is rejected means the mutators are not biting.
+    assert!(report.rejected > report.cases / 2, "{report}");
+    // Skips are allowed (unconfigured-by-default plugins) but never silent
+    // and never the majority.
+    assert!(report.skipped.len() < report.compressors, "{report}");
+}
+
+/// The acceptance scenario for the guard chain: a primary child that
+/// corrupts its own stream (fault_injector in truncate mode) is caught by
+/// round-trip verification and the request degrades to the first healthy
+/// fallback, visible in `guard:served_by`.
+#[test]
+fn guard_fallback_serves_when_primary_corrupts() {
+    libpressio::init();
+    let v: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.01).sin()).collect();
+    let input = Data::from_vec(v, vec![2048]).unwrap();
+
+    let mut g = libpressio::registry().compressor("guard").unwrap();
+    g.set_options(
+        &Options::new()
+            .with("guard:compressor", "fault_injector")
+            .with("fault_injector:compressor", "sz")
+            .with("sz:abs_err_bound", 1e-4f64)
+            .with("fault_injector:mode", "truncate")
+            .with("fault_injector:num_bits", 64u32)
+            .with("guard:verify", 1u32)
+            .with(
+                "guard:fallbacks",
+                vec!["deflate".to_string(), "noop".to_string()],
+            ),
+    )
+    .unwrap();
+
+    let compressed = g.compress(&input).unwrap();
+    assert_eq!(
+        g.get_options().get_as::<String>("guard:served_by").unwrap().as_deref(),
+        Some("deflate"),
+        "the corrupting primary should have been rejected in favor of deflate"
+    );
+
+    // The frame decodes on a *fresh* guard instance (the serving child is
+    // recorded in the stream), bit-exact because deflate is lossless.
+    let mut fresh = libpressio::registry().compressor("guard").unwrap();
+    let mut out = Data::owned(DType::F64, vec![2048]);
+    fresh.decompress(&compressed, &mut out).unwrap();
+    assert_eq!(out, input);
+
+    // And a flipped bit anywhere in the frame is rejected up front.
+    let mut damaged = compressed.as_bytes().to_vec();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0x01;
+    let err = fresh
+        .decompress(&Data::from_bytes(&damaged), &mut out)
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::CorruptStream, "{err}");
+}
