@@ -8,6 +8,11 @@
 #   4. pressio fuzz-decode — every decoder against deterministically
 #                          corrupted streams: structured errors only,
 #                          no panics, no hangs
+#   5. pressio bench --quick — the overhead harness end-to-end: emits
+#                          BENCH_overhead.json and re-validates it against
+#                          the pressio-bench/overhead-v1 schema. Timings are
+#                          reported, never gated: wall-clock on a shared CI
+#                          box is noise, so only structure is asserted.
 #
 # Usage: ./ci.sh
 set -eu
@@ -25,5 +30,9 @@ cargo test -q --workspace
 
 echo "== decoder corruption fuzz"
 cargo run -q -p pressio-tools --bin pressio -- fuzz-decode --iterations 64 --seed 1
+
+echo "== bench harness (quick) + schema check"
+cargo run -q --release -p pressio-tools --bin pressio -- bench --quick --out BENCH_overhead.json
+cargo run -q --release -p pressio-tools --bin pressio -- bench --check --out BENCH_overhead.json
 
 echo "== ci.sh: all gates passed"

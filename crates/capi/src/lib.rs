@@ -8,6 +8,17 @@
 //! Handle types are opaque boxed Rust objects; every function catches
 //! panics at the FFI boundary and converts them (and `Err`s) into the
 //! nonzero error codes + per-compressor error messages of the C API.
+//!
+//! ## Threading
+//!
+//! C hosts never manage library threads. The pooled plugin variants
+//! (`sz_omp`, `zfp_omp`, `huffman`/`deflate` chunk stages) run on the
+//! library's shared execution engine (`pressio_core::exec`), configured
+//! purely through options — e.g. set `zfp_omp:nthreads` to an unsigned
+//! integer via the usual `pressio_options_set_*` calls. Worker panics are
+//! contained by the engine and surface as ordinary nonzero error codes
+//! here, and chunk splitting is host-independent, so streams produced
+//! through this ABI are byte-reproducible across machines.
 
 #![warn(missing_docs)]
 // An FFI layer is necessarily unsafe; every function documents its

@@ -1,11 +1,20 @@
 //! "deflate-lite": LZ77 followed by canonical Huffman over the LZ bytes.
 //!
 //! The general-purpose lossless backend used by the lossy compressors for
-//! their entropy-coded sections (the role zlib/zstd play for SZ).
+//! their entropy-coded sections (the role zlib/zstd play for SZ). Large
+//! inputs can be compressed chunk-parallel on the shared execution engine
+//! ([`compress_par`]); each chunk is a complete serial stream behind a chunk
+//! directory, and [`decompress`] reads both formats transparently.
 
-use pressio_core::Result;
+use pressio_core::{ByteReader, ByteWriter, Error, Result};
 
 use crate::{huffman, lz77};
+
+/// Leading word of a chunked stream. A serial stream always starts with the
+/// byte-Huffman alphabet (256), so the two formats cannot collide.
+const CHUNK_MAGIC: u32 = 0xDEF2_C4D1;
+/// Minimum input bytes per chunk worth an independent dictionary + task.
+const MIN_CHUNK_BYTES: usize = 64 * 1024;
 
 /// Compress bytes: LZ77 then byte-Huffman.
 ///
@@ -19,9 +28,69 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     huffman::encode_bytes(&lz77::compress(data))
 }
 
-/// Inverse of [`compress`].
+/// Compress in up to `pieces` independent chunks in parallel. Chunking costs
+/// some ratio (dictionaries reset at boundaries) and is skipped for inputs
+/// too small to split. The split depends only on `pieces` and the input
+/// length, so streams are machine-independent.
+pub fn compress_par(data: &[u8], pieces: usize) -> Vec<u8> {
+    let max_pieces = (data.len() / MIN_CHUNK_BYTES).max(1);
+    let pieces = pieces.min(max_pieces);
+    if pieces <= 1 {
+        return compress(data);
+    }
+    let ranges = pressio_core::chunk_ranges(data.len(), pieces);
+    let chunks =
+        pressio_core::par_map_indexed(ranges.len(), |i| Ok(compress(&data[ranges[i].clone()])));
+    match chunks {
+        Ok(chunks) => {
+            let total: usize = chunks.iter().map(|c| c.len()).sum();
+            let mut w = ByteWriter::with_capacity(total + 8 + 8 * chunks.len());
+            w.put_u32(CHUNK_MAGIC);
+            w.put_u32(chunks.len() as u32);
+            for c in &chunks {
+                w.put_section(c);
+            }
+            w.into_vec()
+        }
+        // A worker died (pool panic): the serial path still serves.
+        Err(_) => compress(data),
+    }
+}
+
+/// Inverse of [`compress`] / [`compress_par`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() >= 4 && data[..4] == CHUNK_MAGIC.to_le_bytes() {
+        return decompress_chunked(data);
+    }
     lz77::decompress(&huffman::decode_bytes(data)?)
+}
+
+fn decompress_chunked(data: &[u8]) -> Result<Vec<u8>> {
+    let mut r = ByteReader::new(data);
+    r.get_u32()?; // magic, already matched
+    let n_chunks = r.get_count()?;
+    if n_chunks == 0 {
+        return Err(Error::corrupt("chunked deflate stream with zero chunks"));
+    }
+    let mut sections: Vec<&[u8]> = Vec::new();
+    for _ in 0..n_chunks {
+        sections.push(r.get_section()?);
+    }
+    let decoded = pressio_core::par_map_indexed(sections.len(), |i| {
+        let s = sections[i];
+        if s.len() >= 4 && s[..4] == CHUNK_MAGIC.to_le_bytes() {
+            // A chunk must be a plain stream: unbounded nesting would let a
+            // crafted stream recurse arbitrarily deep.
+            return Err(Error::corrupt("nested chunked deflate stream"));
+        }
+        lz77::decompress(&huffman::decode_bytes(s)?)
+    })?;
+    let total: usize = decoded.iter().map(|d| d.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for d in decoded {
+        out.extend_from_slice(&d);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -59,6 +128,38 @@ mod tests {
         let c = compress(b"some data some data some data");
         for cut in [0, 1, c.len() / 2] {
             assert!(decompress(&c[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn par_small_input_falls_back_to_serial_format() {
+        let data = b"small enough to stay serial".repeat(10);
+        assert_eq!(compress_par(&data, 8), compress(&data));
+    }
+
+    #[test]
+    fn par_roundtrip_chunked() {
+        let data: Vec<u8> = (0..3 * MIN_CHUNK_BYTES + 13)
+            .map(|i| ((i / 64) % 251) as u8)
+            .collect();
+        for pieces in [2usize, 3, 7] {
+            let c = compress_par(&data, pieces);
+            assert_eq!(&c[..4], &CHUNK_MAGIC.to_le_bytes());
+            assert_eq!(decompress(&c).unwrap(), data, "pieces {pieces}");
+        }
+    }
+
+    #[test]
+    fn corrupt_chunked_streams_error_not_panic() {
+        let data: Vec<u8> = (0..2 * MIN_CHUNK_BYTES).map(|i| (i % 17) as u8).collect();
+        let c = compress_par(&data, 2);
+        for cut in (0..c.len()).step_by(499) {
+            let _ = decompress(&c[..cut]);
+        }
+        for i in (0..c.len()).step_by(499) {
+            let mut bad = c.clone();
+            bad[i] ^= 0xFF;
+            let _ = decompress(&bad);
         }
     }
 }

@@ -15,6 +15,12 @@ use crate::bitstream::{BitReader, BitWriter};
 const MAX_CODE_LEN: u8 = 32;
 /// Largest permitted alphabet (guards allocations on corrupt streams).
 const MAX_ALPHABET: u32 = 1 << 22;
+/// Leading word of a chunked stream. Deliberately above [`MAX_ALPHABET`], so
+/// the decoder can tell the two formats apart from the first word alone and
+/// serial streams stay readable byte-for-byte.
+const CHUNK_MAGIC: u32 = 0xDEF1_A7E5;
+/// Minimum symbols per chunk worth an independent table and worker task.
+const MIN_CHUNK_SYMBOLS: usize = 64 * 1024;
 
 /// Compute canonical code lengths for `freq` (0 entries absent), limiting the
 /// maximum length by frequency rescaling (the zlib trick).
@@ -56,9 +62,12 @@ fn code_lengths(freq: &[u64]) -> Vec<u8> {
         }
     }
 
-    let mut scaled: Vec<u64> = freq.to_vec();
+    // Borrow `freq` for the common first pass; copy only if a depth overflow
+    // forces rescaling (rare — needs pathological, Fibonacci-like counts).
+    let mut scaled: Option<Vec<u64>> = None;
     loop {
-        let mut heap: BinaryHeap<Node> = scaled
+        let weights: &[u64] = scaled.as_deref().unwrap_or(freq);
+        let mut heap: BinaryHeap<Node> = weights
             .iter()
             .enumerate()
             .filter(|(_, &f)| f > 0)
@@ -102,7 +111,8 @@ fn code_lengths(freq: &[u64]) -> Vec<u8> {
             return lens;
         }
         // Depth overflow: flatten the distribution and rebuild.
-        for f in scaled.iter_mut() {
+        let rescaled = scaled.get_or_insert_with(|| freq.to_vec());
+        for f in rescaled.iter_mut() {
             if *f > 0 {
                 *f = (*f >> 1) + 1;
             }
@@ -233,10 +243,71 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>> {
     Ok(w.into_vec())
 }
 
-/// Decode a stream produced by [`encode`].
+/// Encode `symbols` in up to `pieces` independent chunks on the shared
+/// execution engine, each with its own table, framed behind a chunk
+/// directory. Inputs too small to split (or `pieces <= 1`) fall through to
+/// the plain serial format; [`decode`] reads both transparently. The split
+/// depends only on `pieces` and the input length, never on the host.
+pub fn encode_par(symbols: &[u32], alphabet: u32, pieces: usize) -> Result<Vec<u8>> {
+    let max_pieces = (symbols.len() / MIN_CHUNK_SYMBOLS).max(1);
+    let pieces = pieces.min(max_pieces);
+    if pieces <= 1 {
+        return encode(symbols, alphabet);
+    }
+    let ranges = pressio_core::chunk_ranges(symbols.len(), pieces);
+    let chunks = pressio_core::par_map_indexed(ranges.len(), |i| {
+        encode(&symbols[ranges[i].clone()], alphabet)
+    })?;
+    let total: usize = chunks.iter().map(|c| c.len()).sum();
+    let mut w = ByteWriter::with_capacity(total + 8 + 8 * chunks.len());
+    w.put_u32(CHUNK_MAGIC);
+    w.put_u32(chunks.len() as u32);
+    for c in &chunks {
+        w.put_section(c);
+    }
+    Ok(w.into_vec())
+}
+
+/// Decode a stream produced by [`encode`] or [`encode_par`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
     let mut r = ByteReader::new(bytes);
     let alphabet = r.get_u32()?;
+    if alphabet == CHUNK_MAGIC {
+        return decode_chunked(r);
+    }
+    decode_serial(alphabet, r)
+}
+
+/// Decode the chunk directory written by [`encode_par`]: chunks decode in
+/// parallel and concatenate in order.
+fn decode_chunked(mut r: ByteReader<'_>) -> Result<Vec<u32>> {
+    let n_chunks = r.get_count()?;
+    if n_chunks == 0 {
+        return Err(Error::corrupt("chunked huffman stream with zero chunks"));
+    }
+    let mut sections: Vec<&[u8]> = Vec::new();
+    for _ in 0..n_chunks {
+        sections.push(r.get_section()?);
+    }
+    let decoded = pressio_core::par_map_indexed(sections.len(), |i| {
+        let mut cr = ByteReader::new(sections[i]);
+        let alphabet = cr.get_u32()?;
+        if alphabet == CHUNK_MAGIC {
+            // A chunk must be a plain stream: unbounded nesting would let a
+            // crafted stream recurse arbitrarily deep.
+            return Err(Error::corrupt("nested chunked huffman stream"));
+        }
+        decode_serial(alphabet, cr)
+    })?;
+    let total: usize = decoded.iter().map(|d| d.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for d in decoded {
+        out.extend_from_slice(&d);
+    }
+    Ok(out)
+}
+
+fn decode_serial(alphabet: u32, mut r: ByteReader<'_>) -> Result<Vec<u32>> {
     if alphabet == 0 || alphabet > MAX_ALPHABET {
         return Err(Error::corrupt(format!(
             "huffman alphabet size {alphabet} out of range"
@@ -263,9 +334,18 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
     if n_present == 0 {
         return Err(Error::corrupt("symbols present but table empty"));
     }
+    // Every present symbol codes to at least one bit, so a declared count
+    // beyond the payload's bit capacity is corrupt — reject it before sizing
+    // the output rather than capping the allocation at an arbitrary bound.
+    if n > payload.len().saturating_mul(8) {
+        return Err(Error::corrupt(format!(
+            "huffman stream declares {n} symbols but carries only {} payload bits",
+            payload.len() * 8
+        )));
+    }
     let dec = build_decoder(&lens)?;
     let mut bits = BitReader::new(payload);
-    let mut out = Vec::with_capacity(n.min(1 << 28));
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(dec.decode_symbol(&mut bits)?);
     }
@@ -277,6 +357,12 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
 pub fn encode_bytes(data: &[u8]) -> Vec<u8> {
     let symbols: Vec<u32> = data.iter().map(|&b| b as u32).collect();
     encode(&symbols, 256).expect("byte alphabet is always valid")
+}
+
+/// Chunk-parallel [`encode_bytes`]; [`decode_bytes`] reads either format.
+pub fn encode_bytes_par(data: &[u8], pieces: usize) -> Vec<u8> {
+    let symbols: Vec<u32> = data.iter().map(|&b| b as u32).collect();
+    encode_par(&symbols, 256, pieces).expect("byte alphabet is always valid")
 }
 
 /// Decode a stream produced by [`encode_bytes`].
@@ -360,6 +446,62 @@ mod tests {
         }
         // Flipped bytes must error or produce garbage, not panic.
         for i in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[i] ^= 0xFF;
+            let _ = decode(&bad);
+        }
+    }
+
+    #[test]
+    fn par_small_input_falls_back_to_serial_format() {
+        let syms: Vec<u32> = (0..1000).map(|i| i % 7).collect();
+        let serial = encode(&syms, 16).unwrap();
+        let par = encode_par(&syms, 16, 8).unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn par_roundtrip_chunked() {
+        let n = 3 * MIN_CHUNK_SYMBOLS + 17; // non-divisible chunk boundaries
+        let syms: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(i) % 97).collect();
+        for pieces in [2usize, 3, 7] {
+            let enc = encode_par(&syms, 128, pieces).unwrap();
+            // Big enough to actually chunk: leading word is the magic.
+            assert_eq!(&enc[..4], &CHUNK_MAGIC.to_le_bytes());
+            assert_eq!(decode(&enc).unwrap(), syms, "pieces {pieces}");
+        }
+    }
+
+    #[test]
+    fn nested_chunk_streams_rejected() {
+        let syms: Vec<u32> = (0..2 * MIN_CHUNK_SYMBOLS as u32).map(|i| i % 5).collect();
+        let inner = encode_par(&syms, 8, 2).unwrap();
+        assert_eq!(&inner[..4], &CHUNK_MAGIC.to_le_bytes());
+        // Hand-frame the chunked stream as a chunk of another chunked stream.
+        let mut w = ByteWriter::new();
+        w.put_u32(CHUNK_MAGIC);
+        w.put_u32(1);
+        w.put_section(&inner);
+        assert!(decode(&w.into_vec()).is_err());
+    }
+
+    #[test]
+    fn overdeclared_symbol_count_rejected() {
+        let mut enc = encode(&[1u32, 2, 3, 1, 2, 1], 16).unwrap();
+        // Symbol count lives right after the u32 alphabet; claim 2^40 symbols.
+        enc[4..12].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = decode(&enc).unwrap_err();
+        assert_eq!(err.code(), pressio_core::ErrorCode::CorruptStream);
+    }
+
+    #[test]
+    fn corrupt_chunked_streams_error_not_panic() {
+        let syms: Vec<u32> = (0..2 * MIN_CHUNK_SYMBOLS as u32).map(|i| i % 11).collect();
+        let enc = encode_par(&syms, 16, 2).unwrap();
+        for cut in (0..enc.len()).step_by(997) {
+            let _ = decode(&enc[..cut]);
+        }
+        for i in (0..enc.len()).step_by(997) {
             let mut bad = enc.clone();
             bad[i] ^= 0xFF;
             let _ = decode(&bad);

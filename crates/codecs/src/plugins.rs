@@ -119,18 +119,29 @@ impl CodecKind {
             CodecKind::BitShuffle => 6,
         }
     }
+
+    /// Whether this codec's entropy stage can run chunk-parallel on the
+    /// shared execution engine.
+    fn parallelizable(self) -> bool {
+        matches!(
+            self,
+            CodecKind::Huffman | CodecKind::Deflate | CodecKind::Shuffle | CodecKind::BitShuffle
+        )
+    }
 }
 
 /// A lossless byte-codec plugin (see [`CodecKind`]).
 #[derive(Debug, Clone)]
 pub struct ByteCodec {
     kind: CodecKind,
+    /// Independent input chunks for the parallelizable kinds (1 = serial).
+    nthreads: u32,
 }
 
 impl ByteCodec {
     /// Create a plugin applying `kind`.
     pub fn new(kind: CodecKind) -> ByteCodec {
-        ByteCodec { kind }
+        ByteCodec { kind, nthreads: 1 }
     }
 }
 
@@ -144,10 +155,27 @@ impl Compressor for ByteCodec {
     }
 
     fn get_options(&self) -> Options {
-        Options::new()
+        let mut o = Options::new();
+        if self.kind.parallelizable() {
+            o.set(format!("{}:nthreads", self.name()), self.nthreads);
+        }
+        o
     }
 
-    fn set_options(&mut self, _options: &Options) -> Result<()> {
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if self.kind.parallelizable() {
+            if let Some(n) = options
+                .get_as::<u32>(&format!("{}:nthreads", self.name()))?
+                .or(options.get_as::<u32>(pressio_core::OPT_NTHREADS)?)
+            {
+                if n == 0 {
+                    return Err(
+                        Error::invalid_argument("nthreads must be >= 1").in_plugin(self.name())
+                    );
+                }
+                self.nthreads = n;
+            }
+        }
         Ok(())
     }
 
@@ -174,17 +202,18 @@ impl Compressor for ByteCodec {
 
     fn compress(&mut self, input: &Data) -> Result<Data> {
         let bytes = input.as_bytes();
+        let pieces = self.nthreads.max(1) as usize;
         let payload = match self.kind {
             CodecKind::Noop => bytes.to_vec(),
             CodecKind::Rle => rle::compress(bytes),
             CodecKind::Lz => lz77::compress(bytes),
-            CodecKind::Huffman => huffman::encode_bytes(bytes),
-            CodecKind::Deflate => deflate::compress(bytes),
+            CodecKind::Huffman => huffman::encode_bytes_par(bytes, pieces),
+            CodecKind::Deflate => deflate::compress_par(bytes, pieces),
             CodecKind::Shuffle => {
-                deflate::compress(&shuffle::shuffle(bytes, input.dtype().size()))
+                deflate::compress_par(&shuffle::shuffle(bytes, input.dtype().size()), pieces)
             }
             CodecKind::BitShuffle => {
-                deflate::compress(&shuffle::bitshuffle(bytes, input.dtype().size()))
+                deflate::compress_par(&shuffle::bitshuffle(bytes, input.dtype().size()), pieces)
             }
         };
         let mut w = ByteWriter::with_capacity(payload.len() + 64);

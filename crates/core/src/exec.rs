@@ -1,0 +1,525 @@
+//! Shared execution engine: a lazily-initialized, globally shared thread
+//! pool with work-stealing deques, plus per-worker reusable scratch arenas.
+//!
+//! Plugins and codecs submit *chunk tasks* through [`par_map_indexed`] /
+//! [`par_chunks`] instead of spawning their own threads. This gives every
+//! parallel stage in the workspace one shared, bounded set of workers (the
+//! paper's embeddable in-process execution model — Section V — without each
+//! plugin paying thread spawn/teardown per call), uniform panic isolation
+//! (a panicking chunk surfaces as a structured [`Error`], reusing the
+//! watchdog discipline of the `guard` meta-compressor), and a natural home
+//! for thread-local scratch buffers that remove hot-path allocations.
+//!
+//! Design notes:
+//!
+//! * **Work stealing.** Each worker owns a deque; submitted tasks are
+//!   distributed round-robin. A worker pops its own deque from the back
+//!   (LIFO, cache-warm) and steals from other deques or the shared injector
+//!   from the front (FIFO, oldest first).
+//! * **Helping.** The submitting thread does not sleep while a job runs: it
+//!   executes queued tasks itself until its job completes. This both uses
+//!   the caller's core and makes *nested* parallelism deadlock-free — a
+//!   task that itself calls [`par_map_indexed`] drains queues while it
+//!   waits, so progress is always possible even on a single-worker pool.
+//! * **Determinism.** Chunk *splitting* ([`chunk_ranges`]) depends only on
+//!   the requested piece count, never on the machine's core count, so
+//!   streams produced by chunk-parallel plugins are byte-stable across
+//!   hosts; the pool size only bounds how many chunks run concurrently.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+use crate::error::{Error, Result};
+
+/// An erased chunk task queued on the pool.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Upper bound on pool workers regardless of reported core count.
+const MAX_WORKERS: usize = 16;
+
+/// How long a helper/worker waits on its condvar before re-checking the
+/// queues (bounded; re-polling is cheap and keeps the design simple).
+const POLL_MS: u64 = 2;
+
+struct Shared {
+    /// Global FIFO injector, also stolen from by workers.
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Signaled whenever new tasks are queued.
+    work_available: Condvar,
+    /// Paired with [`Shared::work_available`]; counts queued-task batches.
+    work_seq: Mutex<u64>,
+    /// Round-robin cursor for task distribution.
+    rr: Mutex<usize>,
+}
+
+/// Lock a std mutex, ignoring poisoning: queue state is a plain `VecDeque`
+/// and every task runs under `catch_unwind`, so a poisoned lock only means
+/// some unrelated task panicked — the data itself is still consistent.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Shared {
+    fn pop_any(&self, home: usize) -> Option<Task> {
+        // Own deque back first (LIFO), then the injector, then steal.
+        if home < self.locals.len() {
+            if let Some(t) = lock_ignore_poison(&self.locals[home]).pop_back() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = lock_ignore_poison(&self.injector).pop_front() {
+            return Some(t);
+        }
+        for (i, q) in self.locals.iter().enumerate() {
+            if i == home {
+                continue;
+            }
+            if let Some(t) = lock_ignore_poison(q).pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn submit(&self, tasks: Vec<Task>) {
+        {
+            let mut rr = lock_ignore_poison(&self.rr);
+            for t in tasks {
+                if self.locals.is_empty() {
+                    lock_ignore_poison(&self.injector).push_back(t);
+                } else {
+                    lock_ignore_poison(&self.locals[*rr % self.locals.len()]).push_back(t);
+                    *rr = rr.wrapping_add(1);
+                }
+            }
+        }
+        *lock_ignore_poison(&self.work_seq) += 1;
+        self.work_available.notify_all();
+    }
+}
+
+fn worker_loop(shared: &'static Shared, home: usize) {
+    loop {
+        match shared.pop_any(home) {
+            Some(task) => task(),
+            None => {
+                let guard = lock_ignore_poison(&shared.work_seq);
+                // Bounded wait, then re-poll; a lost wakeup costs POLL_MS.
+                let _ = shared
+                    .work_available
+                    .wait_timeout(guard, std::time::Duration::from_millis(POLL_MS));
+            }
+        }
+    }
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<&'static Shared> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let workers = pool_width();
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            work_available: Condvar::new(),
+            work_seq: Mutex::new(0),
+            rr: Mutex::new(0),
+        }));
+        for i in 0..workers {
+            let builder = std::thread::Builder::new().name(format!("pressio-exec-{i}"));
+            // Spawn failure is tolerable: remaining workers plus the
+            // submitting thread (which helps) still drain every queue.
+            let _ = builder.spawn(move || worker_loop(shared, i));
+        }
+        shared
+    })
+}
+
+/// Number of pool workers: the host's available parallelism, clamped to
+/// `[2, 16]`. The floor of 2 keeps cross-thread execution paths exercised
+/// even on single-core machines; the submitting thread additionally helps,
+/// so small machines are never oversubscribed by more than one thread.
+pub fn available_threads() -> usize {
+    pool_width()
+}
+
+fn pool_width() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(2, MAX_WORKERS)
+    })
+}
+
+/// Resolve a user-facing `nthreads` option value: `0` selects the pool
+/// width ("auto"), anything else is used as the requested piece count.
+pub fn resolve_nthreads(requested: u32) -> usize {
+    if requested == 0 {
+        pool_width()
+    } else {
+        requested as usize
+    }
+}
+
+/// Split `total` items into at most `pieces` contiguous ranges, the first
+/// `total % pieces` ranges one item larger — the canonical split used by
+/// every chunk-parallel plugin so serial and parallel variants agree on
+/// chunk geometry (and so streams are machine-independent).
+pub fn chunk_ranges(total: usize, pieces: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, total);
+    let base = total / pieces;
+    let extra = total % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0usize;
+    for w in 0..pieces {
+        let len = base + usize::from(w < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Per-job completion state shared between the submitting thread and the
+/// queued tasks (via an erased pointer — see the SAFETY argument in
+/// [`par_map_indexed`]).
+struct Job<'f, T> {
+    f: &'f (dyn Fn(usize) -> Result<T> + Sync),
+    slots: Vec<Mutex<Option<Result<T>>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<T> Job<'_, T> {
+    fn run_one(&self, idx: usize) {
+        let result = match catch_unwind(AssertUnwindSafe(|| (self.f)(idx))) {
+            Ok(r) => r,
+            Err(_) => Err(Error::internal(format!(
+                "exec: worker task {idx} panicked (isolated by the execution engine)"
+            ))),
+        };
+        if let Some(slot) = self.slots.get(idx) {
+            *lock_ignore_poison(slot) = Some(result);
+        }
+        let mut remaining = lock_ignore_poison(&self.remaining);
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Run `f(0), f(1), ..., f(n-1)` on the shared pool and collect the results
+/// in index order. The submitting thread participates (it executes queued
+/// tasks while waiting), every task is panic-isolated, and the first error
+/// — by index — is returned if any task fails.
+///
+/// Falls back to a plain serial loop when `n <= 1`, so callers can use it
+/// unconditionally.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        return Ok(vec![f(0)?]);
+    }
+    let pool = shared();
+    let job = Job {
+        f: &f,
+        slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        remaining: Mutex::new(n),
+        done: Condvar::new(),
+    };
+    // Erase the job's lifetime so tasks are 'static for the queue. The
+    // pointer round-trips through usize purely so the closures below are
+    // trivially Send.
+    let job_addr = &job as *const Job<'_, T> as usize;
+    let mut tasks: Vec<Task> = Vec::with_capacity(n.saturating_sub(1));
+    for idx in 1..n {
+        tasks.push(Box::new(move || {
+            // SAFETY: `job` lives on the submitting thread's stack, and that
+            // thread does not return from `par_map_indexed` until
+            // `remaining` reaches 0 (the wait loop below), which happens
+            // only after every queued task — including this one — has
+            // finished executing `run_one`. Therefore the reference is
+            // valid for the task's entire execution. `Job` is shared
+            // across threads only through `&self` methods over `Mutex`/
+            // `Condvar` fields plus the `Sync` closure, so the aliasing is
+            // sound.
+            let job = unsafe { &*(job_addr as *const Job<'static, T>) };
+            job.run_one(idx);
+        }));
+    }
+    pool.submit(tasks);
+    // Run chunk 0 inline, then help drain queues until the job completes.
+    job.run_one(0);
+    loop {
+        {
+            let remaining = lock_ignore_poison(&job.remaining);
+            if *remaining == 0 {
+                break;
+            }
+        }
+        match pool.pop_any(usize::MAX) {
+            // Helping may execute tasks of *other* in-flight jobs; that is
+            // fine — tasks are independent and self-contained.
+            Some(task) => task(),
+            None => {
+                let remaining = lock_ignore_poison(&job.remaining);
+                if *remaining == 0 {
+                    break;
+                }
+                let _ = job
+                    .done
+                    .wait_timeout(remaining, std::time::Duration::from_millis(POLL_MS));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for (idx, slot) in job.slots.iter().enumerate() {
+        match lock_ignore_poison(slot).take() {
+            Some(r) => out.push(r?),
+            None => {
+                return Err(Error::internal(format!(
+                    "exec: task {idx} completed without storing a result"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Split `total` items into at most `pieces` contiguous ranges and process
+/// them on the shared pool: `f(chunk_index, item_range)`. Results are in
+/// chunk order. See [`chunk_ranges`] for the split.
+pub fn par_chunks<T, F>(total: usize, pieces: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send + 'static,
+    F: Fn(usize, Range<usize>) -> Result<T> + Sync,
+{
+    let ranges = chunk_ranges(total, pieces);
+    par_map_indexed(ranges.len(), |i| f(i, ranges[i].clone()))
+}
+
+// ============================================================= scratch pool
+
+/// Reusable per-thread scratch buffers for hot compression paths:
+/// quantization codes, transform staging, and bitstream staging. Buffers
+/// keep their capacity between calls, so steady-state chunk processing
+/// performs no heap allocation.
+#[derive(Default)]
+pub struct Scratch {
+    /// Quantization code staging (SZ-style linear-scaling codes).
+    pub u32s: Vec<u32>,
+    /// Signed integer block staging (ZFP decorrelation transform).
+    pub i64s: Vec<i64>,
+    /// Unsigned integer block staging (ZFP negabinary/bit planes).
+    pub u64s: Vec<u64>,
+    /// Floating-point block staging (gather/scatter buffers).
+    pub f64s: Vec<f64>,
+    /// Byte staging (bitstream assembly).
+    pub bytes: Vec<u8>,
+}
+
+std::thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+}
+
+/// Run `f` with this thread's scratch arena. Reentrant calls (a scratch
+/// user calling another scratch user) get a fresh temporary arena instead
+/// of aliasing the outer borrow.
+pub fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut Scratch::default()),
+    })
+}
+
+impl Scratch {
+    /// Borrow the `i64` buffer resized (not reallocated when capacity
+    /// suffices) to exactly `len` zeroed elements.
+    pub fn i64_slice(&mut self, len: usize) -> &mut [i64] {
+        self.i64s.clear();
+        self.i64s.resize(len, 0);
+        &mut self.i64s[..]
+    }
+
+    /// Borrow the `u64` buffer as exactly `len` zeroed elements.
+    pub fn u64_slice(&mut self, len: usize) -> &mut [u64] {
+        self.u64s.clear();
+        self.u64s.resize(len, 0);
+        &mut self.u64s[..]
+    }
+
+    /// Borrow the `f64` buffer as exactly `len` zeroed elements.
+    pub fn f64_slice(&mut self, len: usize) -> &mut [f64] {
+        self.f64s.clear();
+        self.f64s.resize(len, 0.0);
+        &mut self.f64s[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_returns_results_in_index_order() {
+        let out = par_map_indexed(100, |i| Ok(i * 3)).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        assert_eq!(par_map_indexed(0, Ok).unwrap(), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| Ok(i + 7)).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn map_propagates_errors_by_lowest_index() {
+        let err = par_map_indexed(10, |i| {
+            if i >= 4 {
+                Err(Error::invalid_argument(format!("chunk {i}")))
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.message(), "chunk 4");
+    }
+
+    #[test]
+    fn map_isolates_panics_as_internal_errors() {
+        let err = par_map_indexed(8, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            Ok(i)
+        })
+        .unwrap_err();
+        assert_eq!(err.code(), crate::ErrorCode::Internal);
+        assert!(err.message().contains("panicked"));
+        // The pool stays usable after a panic.
+        assert_eq!(par_map_indexed(4, Ok).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn map_actually_uses_multiple_threads() {
+        // With a floor of 2 workers plus the helping submitter, at least
+        // one task should land off the submitting thread.
+        let submitter = std::thread::current().id();
+        let off_thread = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(2);
+        par_map_indexed(2, |_| {
+            // Rendezvous: both tasks must be in flight at once, so they
+            // cannot both run on the submitting thread.
+            barrier.wait();
+            if std::thread::current().id() != submitter {
+                off_thread.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert!(off_thread.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let out = par_map_indexed(4, |i| {
+            let inner = par_map_indexed(4, move |j| Ok(i * 10 + j))?;
+            Ok(inner.into_iter().sum::<usize>())
+        })
+        .unwrap();
+        assert_eq!(out, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_including_non_divisible() {
+        for (total, pieces) in [(10, 3), (7, 7), (7, 20), (64, 1), (1, 4), (13, 2)] {
+            let ranges = chunk_ranges(total, pieces);
+            assert!(ranges.len() <= pieces.max(1));
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "total {total} pieces {pieces}");
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, total);
+            // Balanced: sizes differ by at most one.
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            assert!(max - min <= 1);
+        }
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_matches_serial_split() {
+        let sums = par_chunks(100, 7, |_, r| Ok(r.sum::<usize>())).unwrap();
+        assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
+        assert_eq!(sums.len(), 7);
+    }
+
+    #[test]
+    fn resolve_nthreads_auto_and_explicit() {
+        assert_eq!(resolve_nthreads(0), available_threads());
+        assert_eq!(resolve_nthreads(7), 7);
+        assert!(available_threads() >= 2);
+    }
+
+    #[test]
+    fn scratch_keeps_capacity_across_calls() {
+        let cap = with_scratch(|s| {
+            let buf = s.f64_slice(4096);
+            buf[0] = 1.0;
+            s.f64s.capacity()
+        });
+        let cap2 = with_scratch(|s| {
+            let buf = s.f64_slice(1024);
+            // Re-zeroed on every borrow.
+            assert!(buf.iter().all(|&v| v == 0.0));
+            s.f64s.capacity()
+        });
+        assert!(cap2 >= 1024 && cap >= 4096);
+        assert_eq!(cap2, cap, "no reallocation when shrinking");
+    }
+
+    #[test]
+    fn scratch_reentrancy_gets_fresh_arena() {
+        with_scratch(|outer| {
+            outer.u32s.push(1);
+            with_scratch(|inner| {
+                assert!(inner.u32s.is_empty());
+            });
+            assert_eq!(outer.u32s.len(), 1);
+        });
+    }
+
+    #[test]
+    fn many_concurrent_jobs_from_many_threads() {
+        // Cross-thread stress: multiple submitters sharing the pool.
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                scope.spawn(move || {
+                    for round in 0..10 {
+                        let out = par_map_indexed(9, |i| Ok(t * 1000 + round * 10 + i)).unwrap();
+                        assert_eq!(out.len(), 9);
+                        assert_eq!(out[8], t * 1000 + round * 10 + 8);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -57,6 +57,7 @@ pub mod compressor;
 pub mod data;
 pub mod dtype;
 pub mod error;
+pub mod exec;
 pub mod handle;
 pub mod io;
 pub mod metrics;
@@ -75,6 +76,10 @@ pub use compressor::{base_configuration, require_dtype, Compressor, Stability, T
 pub use data::Data;
 pub use dtype::{DType, Element, ALL_DTYPES};
 pub use error::{Error, ErrorCode, Result};
+pub use exec::{
+    available_threads, chunk_ranges, par_chunks, par_map_indexed, resolve_nthreads, with_scratch,
+    Scratch,
+};
 pub use handle::CompressorHandle;
 pub use io::IoPlugin;
 pub use metrics::MetricsPlugin;

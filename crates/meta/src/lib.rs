@@ -13,7 +13,7 @@
 //! | `sample`    | decimating sampler for analysis workflows |
 //! | `switch`    | runtime-selectable child compressor |
 //! | `pipeline`  | compose compressors out of reusable stages |
-//! | `chunking`  | parallel row-block compression (crossbeam) |
+//! | `chunking`  | parallel row-block compression (shared execution engine) |
 //! | `many_independent` | embarrassingly parallel multi-buffer compression |
 //! | `many_dependent`   | config forwarding between time steps |
 //! | `fault_injector`   | stream corruption: bit flips, truncation, ... (fuzzing) |

@@ -3,9 +3,13 @@
 //!
 //! These consume the thread-safety introspection of the child plugin
 //! (Section IV-B of the paper): a `Multiple`-safe child runs with one clone
-//! per worker thread; a `Serialized` or `Single` child silently degrades to
-//! sequential execution instead of racing on shared state — which is exactly
-//! the reason the interface exposes thread safety at all.
+//! per worker task on the shared execution engine (`pressio_core::exec`); a
+//! `Serialized` or `Single` child silently degrades to sequential execution
+//! instead of racing on shared state — which is exactly the reason the
+//! interface exposes thread safety at all.
+//!
+//! `Compressor` is `Send` but not `Sync`, so each task's child clone is
+//! staged behind its own uncontended `Mutex` (locked by exactly one task).
 
 use pressio_core::{
     ByteReader, ByteWriter, Compressor, Data, Error, Options, Result, ThreadSafety, Version,
@@ -14,6 +18,10 @@ use pressio_core::{
 use crate::util::{default_child, resolve_child};
 
 const CHUNK_MAGIC: u32 = 0x4348_4E4B;
+
+/// One decompression task: a child clone plus the disjoint output slice it
+/// owns, staged behind an uncontended per-task mutex (see module docs).
+type DecompressTask<'a> = parking_lot::Mutex<(Box<dyn Compressor>, &'a mut [Data])>;
 
 /// Splits the input into contiguous row blocks along the slowest dimension,
 /// compressing them in parallel when the child allows it.
@@ -125,29 +133,19 @@ impl Compressor for Chunking {
         let elem = input.dtype().size();
         let bytes = input.as_bytes();
         let dtype = input.dtype();
-        let results: Vec<Result<Data>> = if self.parallel_allowed() && chunks.len() > 1 {
-            let mut results = Vec::with_capacity(chunks.len());
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(chunks.len());
-                for (lo, hi, cdims) in &chunks {
-                    let mut worker = self.child.clone_compressor();
-                    let slice = &bytes[lo * elem..hi * elem];
-                    let cdims = cdims.clone();
-                    handles.push(scope.spawn(move |_| {
-                        let mut staged = Data::owned(dtype, cdims);
-                        staged.as_bytes_mut().copy_from_slice(slice);
-                        worker.compress(&staged)
-                    }));
-                }
-                for h in handles {
-                    results.push(
-                        h.join()
-                            .unwrap_or_else(|_| Err(Error::internal("chunking worker panicked"))),
-                    );
-                }
-            })
-            .map_err(|_| Error::internal("chunking thread scope failed"))?;
-            results
+        let results: Vec<Data> = if self.parallel_allowed() && chunks.len() > 1 {
+            let workers: Vec<parking_lot::Mutex<Box<dyn Compressor>>> = chunks
+                .iter()
+                .map(|_| parking_lot::Mutex::new(self.child.clone_compressor()))
+                .collect();
+            pressio_core::par_map_indexed(chunks.len(), |i| {
+                let (lo, hi, cdims) = &chunks[i];
+                let mut staged = Data::owned(dtype, cdims.clone());
+                staged
+                    .as_bytes_mut()
+                    .copy_from_slice(&bytes[lo * elem..hi * elem]);
+                workers[i].lock().compress(&staged)
+            })?
         } else {
             chunks
                 .iter()
@@ -158,7 +156,7 @@ impl Compressor for Chunking {
                         .copy_from_slice(&bytes[lo * elem..hi * elem]);
                     self.child.compress(&staged)
                 })
-                .collect()
+                .collect::<Result<Vec<Data>>>()?
         };
         let mut w = ByteWriter::new();
         w.put_u32(CHUNK_MAGIC);
@@ -166,8 +164,8 @@ impl Compressor for Chunking {
         w.put_dtype(dtype);
         w.put_dims(input.dims());
         w.put_u32(chunks.len() as u32);
-        for r in results {
-            w.put_section(r?.as_bytes());
+        for r in &results {
+            w.put_section(r.as_bytes());
         }
         Ok(Data::from_bytes(&w.into_vec()))
     }
@@ -204,30 +202,21 @@ impl Compressor for Chunking {
             output.reshape(dims.clone())?;
         }
         let elem = dtype.size();
-        let chunk_results: Vec<Result<Data>> = if self.parallel_allowed() && n_chunks > 1 {
-            let mut results = Vec::with_capacity(n_chunks);
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n_chunks);
-                for (wi, sec) in sections.iter().enumerate() {
-                    let rows = base + usize::from(wi < extra);
-                    let mut cdims = vec![rows];
-                    cdims.extend_from_slice(&dims[1.min(dims.len())..]);
-                    let mut worker = self.child.clone_compressor();
-                    handles.push(scope.spawn(move |_| {
-                        let mut staged = Data::owned(dtype, cdims);
-                        worker.decompress(&Data::from_bytes(sec), &mut staged)?;
-                        Ok(staged)
-                    }));
-                }
-                for h in handles {
-                    results.push(
-                        h.join()
-                            .unwrap_or_else(|_| Err(Error::internal("chunking worker panicked"))),
-                    );
-                }
-            })
-            .map_err(|_| Error::internal("chunking thread scope failed"))?;
-            results
+        let chunk_results: Vec<Data> = if self.parallel_allowed() && n_chunks > 1 {
+            let workers: Vec<parking_lot::Mutex<Box<dyn Compressor>>> = sections
+                .iter()
+                .map(|_| parking_lot::Mutex::new(self.child.clone_compressor()))
+                .collect();
+            pressio_core::par_map_indexed(sections.len(), |wi| {
+                let rows = base + usize::from(wi < extra);
+                let mut cdims = vec![rows];
+                cdims.extend_from_slice(&dims[1.min(dims.len())..]);
+                let mut staged = Data::owned(dtype, cdims);
+                workers[wi]
+                    .lock()
+                    .decompress(&Data::from_bytes(sections[wi]), &mut staged)?;
+                Ok(staged)
+            })?
         } else {
             sections
                 .iter()
@@ -240,12 +229,11 @@ impl Compressor for Chunking {
                     self.child.decompress(&Data::from_bytes(sec), &mut staged)?;
                     Ok(staged)
                 })
-                .collect()
+                .collect::<Result<Vec<Data>>>()?
         };
         let out_bytes = output.as_bytes_mut();
         let mut start_row = 0usize;
         for (wi, chunk) in chunk_results.into_iter().enumerate() {
-            let chunk = chunk?;
             let rows = base + usize::from(wi < extra);
             let lo = start_row * row * elem;
             let hi = (start_row + rows) * row * elem;
@@ -364,26 +352,22 @@ impl Compressor for ManyIndependent {
             // Serialized/Single children must not run concurrently.
             return inputs.iter().map(|d| self.child.compress(d)).collect();
         }
-        let workers = self.nthreads.min(inputs.len()).max(1);
-        let cells: Vec<ResultCell> = (0..inputs.len()).map(|_| ResultCell::default()).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                let mut worker = self.child.clone_compressor();
-                let next = &next;
-                let cells = &cells;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= inputs.len() {
-                        break;
-                    }
-                    let r = worker.compress(inputs[i]);
-                    cells[i].store(r);
-                });
-            }
-        })
-        .map_err(|_| Error::internal("parallel worker panicked"))?;
-        cells.into_iter().map(|c| c.take()).collect()
+        // One task (and one child clone) per worker group: at most `nthreads`
+        // children run concurrently, matching the option's contract, while
+        // the shared engine's work stealing balances the groups.
+        let groups = pressio_core::chunk_ranges(inputs.len(), self.nthreads.max(1));
+        let workers: Vec<parking_lot::Mutex<Box<dyn Compressor>>> = groups
+            .iter()
+            .map(|_| parking_lot::Mutex::new(self.child.clone_compressor()))
+            .collect();
+        let grouped = pressio_core::par_map_indexed(groups.len(), |g| {
+            let mut worker = workers[g].lock();
+            groups[g]
+                .clone()
+                .map(|i| worker.compress(inputs[i]))
+                .collect::<Result<Vec<Data>>>()
+        })?;
+        Ok(grouped.into_iter().flatten().collect())
     }
 
     fn decompress_many(&mut self, compressed: &[&Data], outputs: &mut [Data]) -> Result<()> {
@@ -396,46 +380,28 @@ impl Compressor for ManyIndependent {
             }
             return Ok(());
         }
-        let workers = self.nthreads.min(compressed.len()).max(1);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut errs: Vec<Result<()>> = Vec::new();
-        // Distribute outputs across workers via work stealing on index; each
-        // output cell is claimed by exactly one task.
-        let cells: Vec<parking_lot::Mutex<Option<&mut Data>>> = outputs
-            .iter_mut()
-            .map(|o| parking_lot::Mutex::new(Some(o)))
-            .collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            let cells = &cells;
-            for _ in 0..workers {
-                let mut worker = self.child.clone_compressor();
-                let next = &next;
-                handles.push(scope.spawn(move |_| -> Result<()> {
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= compressed.len() {
-                            return Ok(());
-                        }
-                        let mut guard = cells[i].lock();
-                        let Some(out) = guard.as_mut() else {
-                            return Err(Error::internal("output cell claimed twice"));
-                        };
-                        worker.decompress(compressed[i], out)?;
-                    }
-                }));
-            }
-            for h in handles {
-                errs.push(
-                    h.join()
-                        .unwrap_or_else(|_| Err(Error::internal("parallel worker panicked"))),
-                );
-            }
-        })
-        .map_err(|_| Error::internal("parallel thread scope failed"))?;
-        for e in errs {
-            e?;
+        // Split the outputs into per-group disjoint slices so each task owns
+        // its outputs outright — no claim protocol needed.
+        let groups = pressio_core::chunk_ranges(compressed.len(), self.nthreads.max(1));
+        let mut slices: Vec<&mut [Data]> = Vec::with_capacity(groups.len());
+        let mut rest = outputs;
+        for g in &groups {
+            let (head, tail) = rest.split_at_mut(g.len());
+            slices.push(head);
+            rest = tail;
         }
+        let tasks: Vec<DecompressTask> = slices
+            .into_iter()
+            .map(|outs| parking_lot::Mutex::new((self.child.clone_compressor(), outs)))
+            .collect();
+        pressio_core::par_map_indexed(groups.len(), |g| {
+            let mut guard = tasks[g].lock();
+            let (worker, outs) = &mut *guard;
+            for (k, i) in groups[g].clone().enumerate() {
+                worker.decompress(compressed[i], &mut outs[k])?;
+            }
+            Ok(())
+        })?;
         Ok(())
     }
 
@@ -445,24 +411,6 @@ impl Compressor for ManyIndependent {
             child_name: self.child_name.clone(),
             child: self.child.clone_compressor(),
         })
-    }
-}
-
-/// A write-once result cell used by the parallel fan-out above.
-#[derive(Default)]
-struct ResultCell {
-    slot: parking_lot::Mutex<Option<Result<Data>>>,
-}
-
-impl ResultCell {
-    fn store(&self, r: Result<Data>) {
-        *self.slot.lock() = Some(r);
-    }
-
-    fn take(self) -> Result<Data> {
-        self.slot
-            .into_inner()
-            .unwrap_or_else(|| Err(Error::internal("worker never produced a result")))
     }
 }
 

@@ -44,10 +44,17 @@ pub fn init_count() -> usize {
     INIT_COUNT.load(Ordering::SeqCst)
 }
 
-/// Serialize access to the emulated global configuration store for the
-/// duration of one compression call.
+/// Serialize access to the emulated global configuration store while a
+/// caller reads or writes the stored configuration. Callers must snapshot
+/// what they need and drop the guard *before* heavy compute — see the `sz`
+/// plugin, which holds this only long enough to copy its parameters.
 pub fn lock_store() -> MutexGuard<'static, ()> {
     STORE_LOCK.lock()
+}
+
+/// Non-blocking probe of the store lock (diagnostics / tests).
+pub fn try_lock_store() -> Option<MutexGuard<'static, ()>> {
+    STORE_LOCK.try_lock()
 }
 
 #[cfg(test)]

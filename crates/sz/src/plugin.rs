@@ -9,8 +9,13 @@
 //!   `Serialized`.
 //! * `sz_threadsafe` — no global store; instances are independent →
 //!   `Multiple`.
-//! * `sz_omp` — chunk-parallel CPU variant (crossbeam scoped threads over
-//!   row blocks), also `Multiple`.
+//! * `sz_omp` — chunk-parallel CPU variant (row blocks dispatched onto the
+//!   shared execution engine, `pressio_core::exec`), also `Multiple`.
+//!
+//! The `sz` variant snapshots its effective parameters out of the emulated
+//! global store *before* computing, holding the store lock only for the
+//! snapshot — concurrent instances contend for microseconds, not for the
+//! duration of a kernel invocation.
 //!
 //! The option surface mirrors SZ's (a large set of `sz:*` keys plus the
 //! generic `pressio:*` bounds); unsupported historical knobs are accepted
@@ -147,20 +152,15 @@ impl Sz {
     }
 
     fn chunk_ranges(&self, dims: &[usize]) -> Vec<(usize, usize)> {
-        // Split whole rows of the slowest dimension across workers.
+        // Split whole rows of the slowest dimension across workers, using
+        // the engine's canonical split so chunk geometry depends only on
+        // `nthreads` (stream layout is machine-independent).
         let slow = dims.first().copied().unwrap_or(1).max(1);
         let row: usize = dims.iter().skip(1).product::<usize>().max(1);
-        let workers = (self.nthreads.max(1) as usize).min(slow);
-        let base = slow / workers;
-        let extra = slow % workers;
-        let mut ranges = Vec::with_capacity(workers);
-        let mut start = 0usize;
-        for w in 0..workers {
-            let rows = base + usize::from(w < extra);
-            ranges.push((start * row, (start + rows) * row));
-            start += rows;
-        }
-        ranges
+        pressio_core::chunk_ranges(slow, self.nthreads.max(1) as usize)
+            .into_iter()
+            .map(|r| (r.start * row, r.end * row))
+            .collect()
     }
 
     fn compress_typed<T: SzFloat>(
@@ -175,25 +175,13 @@ impl Sz {
         }
         let ranges = self.chunk_ranges(dims);
         let row: usize = dims.iter().skip(1).product::<usize>().max(1);
-        let mut bodies: Vec<Result<Vec<u8>>> = Vec::with_capacity(ranges.len());
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(ranges.len());
-            for &(lo, hi) in &ranges {
-                let chunk = &values[lo..hi];
-                let rows = (hi - lo) / row;
-                let mut cdims = vec![rows];
-                cdims.extend_from_slice(&dims[1.min(dims.len())..]);
-                handles.push(scope.spawn(move |_| compress_body(chunk, &cdims, &p)));
-            }
-            for h in handles {
-                bodies.push(
-                    h.join()
-                        .unwrap_or_else(|_| Err(Error::internal("sz_omp worker panicked"))),
-                );
-            }
+        pressio_core::par_map_indexed(ranges.len(), |w| {
+            let (lo, hi) = ranges[w];
+            let rows = (hi - lo) / row;
+            let mut cdims = vec![rows];
+            cdims.extend_from_slice(&dims[1.min(dims.len())..]);
+            compress_body(&values[lo..hi], &cdims, &p)
         })
-        .map_err(|_| Error::internal("sz_omp thread scope failed"))?;
-        bodies.into_iter().collect()
     }
 
     fn decompress_typed<T: SzFloat>(
@@ -209,28 +197,17 @@ impl Sz {
         let workers = bodies.len();
         let base = slow / workers;
         let extra = slow % workers;
-        let mut out: Vec<Result<Vec<T>>> = Vec::with_capacity(workers);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for (w, body) in bodies.iter().enumerate() {
-                let rows = base + usize::from(w < extra);
-                let mut cdims = vec![rows];
-                cdims.extend_from_slice(&dims[1.min(dims.len())..]);
-                handles.push(scope.spawn(move |_| decompress_body::<T>(body, &cdims)));
-            }
-            for h in handles {
-                out.push(
-                    h.join()
-                        .unwrap_or_else(|_| Err(Error::internal("sz_omp worker panicked"))),
-                );
-            }
-        })
-        .map_err(|_| Error::internal("sz_omp thread scope failed"))?;
+        let chunks = pressio_core::par_map_indexed(workers, |w| {
+            let rows = base + usize::from(w < extra);
+            let mut cdims = vec![rows];
+            cdims.extend_from_slice(&dims[1.min(dims.len())..]);
+            decompress_body::<T>(bodies[w], &cdims)
+        })?;
         // Don't pre-reserve `slow * row` here: those factors are wire-derived
-        // and any chunk error below must surface before a large reservation.
+        // and any chunk error above must surface before a large reservation.
         let mut all = Vec::new();
-        for chunk in out {
-            all.extend(chunk?);
+        for chunk in chunks {
+            all.extend(chunk);
         }
         Ok(all)
     }
@@ -459,31 +436,38 @@ impl Compressor for Sz {
 
     fn compress(&mut self, input: &Data) -> Result<Data> {
         require_dtype(self.prefix(), input, &[DType::F32, DType::F64])?;
-        // The classic interface serializes on the emulated global store.
-        let _guard = (self.variant == SzVariant::Global).then(lock_store);
+        // The classic interface reads its configuration from the emulated
+        // global store. Snapshot the effective parameters while holding the
+        // store lock, then release it *before* the kernel runs: holding the
+        // lock across compute serialized every concurrent compression on
+        // this process (the root cause of PR 2's cascade timeouts).
+        let me = {
+            let _guard = (self.variant == SzVariant::Global).then(lock_store);
+            self.clone()
+        };
         let mut w = ByteWriter::new();
         w.put_u32(MAGIC);
         w.put_dtype(input.dtype());
         w.put_dims(input.dims());
-        let bodies = if self.mode == BoundMode::PwRel {
+        let bodies = if me.mode == BoundMode::PwRel {
             // Point-wise relative mode: quantize in the log domain.
             let values = input.to_f64_vec()?;
-            let eb_log = (1.0 + self.pw_rel_bound_ratio).ln();
-            let staged = pw_rel_forward(&values, self.pw_rel_floor);
+            let eb_log = (1.0 + me.pw_rel_bound_ratio).ln();
+            let staged = pw_rel_forward(&values, me.pw_rel_floor);
             w.put_u8(1);
-            w.put_f64(self.pw_rel_floor);
+            w.put_f64(me.pw_rel_floor);
             w.put_section(&pressio_codecs::deflate::compress(&staged.signs));
             w.put_section(&pressio_codecs::deflate::compress(&staged.exceptions));
-            self.compress_typed(&staged.logs, input.dims(), eb_log)?
+            me.compress_typed(&staged.logs, input.dims(), eb_log)?
         } else {
             w.put_u8(0);
             let eb = match input.dtype() {
-                DType::F32 => self.resolve_bound(input.as_slice::<f32>()?)?,
-                _ => self.resolve_bound(input.as_slice::<f64>()?)?,
+                DType::F32 => me.resolve_bound(input.as_slice::<f32>()?)?,
+                _ => me.resolve_bound(input.as_slice::<f64>()?)?,
             };
             match input.dtype() {
-                DType::F32 => self.compress_typed(input.as_slice::<f32>()?, input.dims(), eb)?,
-                _ => self.compress_typed(input.as_slice::<f64>()?, input.dims(), eb)?,
+                DType::F32 => me.compress_typed(input.as_slice::<f32>()?, input.dims(), eb)?,
+                _ => me.compress_typed(input.as_slice::<f64>()?, input.dims(), eb)?,
             }
         };
         w.put_u32(bodies.len() as u32);
@@ -494,7 +478,11 @@ impl Compressor for Sz {
     }
 
     fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
-        let _guard = (self.variant == SzVariant::Global).then(lock_store);
+        // Same brief-lock parameter snapshot as `compress`.
+        let me = {
+            let _guard = (self.variant == SzVariant::Global).then(lock_store);
+            self.clone()
+        };
         let mut r = ByteReader::new(compressed.as_bytes());
         if r.get_u32()? != MAGIC {
             return Err(Error::corrupt("bad sz envelope magic").in_plugin(self.prefix()));
@@ -543,7 +531,7 @@ impl Compressor for Sz {
             F64(Vec<f64>),
         }
         let vals = if let Some((_floor, signs, exceptions)) = pw_rel {
-            let logs: Vec<f64> = self.decompress_typed(&bodies, &dims)?;
+            let logs: Vec<f64> = me.decompress_typed(&bodies, &dims)?;
             let vals = pw_rel_inverse(&logs, &signs, &exceptions)
                 .map_err(|e| e.in_plugin(self.prefix()))?;
             match dtype {
@@ -552,8 +540,8 @@ impl Compressor for Sz {
             }
         } else {
             match dtype {
-                DType::F32 => Decoded::F32(self.decompress_typed(&bodies, &dims)?),
-                _ => Decoded::F64(self.decompress_typed(&bodies, &dims)?),
+                DType::F32 => Decoded::F32(me.decompress_typed(&bodies, &dims)?),
+                _ => Decoded::F64(me.decompress_typed(&bodies, &dims)?),
             }
         };
         let decoded_len = match &vals {
@@ -748,6 +736,54 @@ mod tests {
             let mut out = Data::owned(DType::F64, vec![16, 32, 32]);
             c.decompress(&compressed, &mut out).unwrap();
             assert!(max_err(&input, &out) <= 1e-4, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn global_store_lock_released_during_compute() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Regression test for the PR 2 cascade-timeout root cause: the `sz`
+        // variant must hold the global store lock only while snapshotting
+        // parameters, not across the kernel. A watcher thread polls the
+        // lock while a compression runs and must see it free *before* the
+        // compression completes.
+        let input = field_3d(64, 64, 64);
+        let done = Arc::new(AtomicBool::new(false));
+        let observed_free = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let watcher = {
+            let done = Arc::clone(&done);
+            let observed_free = Arc::clone(&observed_free);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                started.wait();
+                // Let the compression get past its snapshot and into the
+                // kernel before probing.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                while !done.load(Ordering::Acquire) {
+                    if crate::global::try_lock_store().is_some() {
+                        observed_free.store(true, Ordering::Release);
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut c = Sz::new(SzVariant::Global);
+        c.set_options(&Options::new().with("sz:abs_err_bound", 1e-6f64))
+            .unwrap();
+        started.wait();
+        let t0 = std::time::Instant::now();
+        c.compress(&input).unwrap();
+        let elapsed = t0.elapsed();
+        done.store(true, Ordering::Release);
+        watcher.join().unwrap();
+        // Only meaningful when the watcher had time to probe mid-compute.
+        if elapsed > std::time::Duration::from_millis(50) {
+            assert!(
+                observed_free.load(Ordering::Acquire),
+                "global store lock was held for the entire compression"
+            );
         }
     }
 

@@ -1,0 +1,750 @@
+//! `pressio bench` — the interface-overhead and parallel-speedup harness.
+//!
+//! Measures, for each representative plugin, the wall-clock cost of calling
+//! the compressor *natively* (concrete struct, static dispatch — the cost a
+//! hand-written integration would pay) against calling it *through the
+//! generic interface* (registry lookup handle, dynamic dispatch, option
+//! validation — the cost LibPressio adds). This is the CLI form of the
+//! paper's Figure 3 overhead experiment, emitting machine-readable JSON
+//! (`BENCH_overhead.json`) instead of a figure.
+//!
+//! A second section compares the serial and pooled variants of the
+//! engine-backed plugins (`zfp` vs `zfp_omp`, `sz` vs `sz_omp`) on the same
+//! field and reports the measured speedup. The numbers are honest wall-clock
+//! measurements: on a single-core host the pooled variants pay the chunking
+//! cost without any parallel win, so no gate asserts `speedup > 1`.
+//!
+//! The emitted document is validated against a small structural schema
+//! (`pressio-bench/overhead-v1`) by [`validate_json`], which `pressio bench
+//! --check` (and ci.sh) run against the file on disk.
+
+use std::time::Instant;
+
+use libpressio::core::OPT_REL;
+use libpressio::prelude::*;
+use libpressio::{Error, Result};
+
+/// Schema identifier stamped into (and required from) every report.
+pub const SCHEMA: &str = "pressio-bench/overhead-v1";
+
+/// Harness configuration.
+pub struct BenchConfig {
+    /// Use a small field and few repeats (the CI setting).
+    pub quick: bool,
+    /// Cube edge of the 3-d f32 field; 0 picks a default from `quick`.
+    pub n: usize,
+    /// Timed repetitions per measurement; 0 picks a default from `quick`.
+    pub repeats: usize,
+}
+
+impl BenchConfig {
+    fn edge(&self) -> usize {
+        if self.n > 0 {
+            self.n
+        } else if self.quick {
+            12
+        } else {
+            32
+        }
+    }
+
+    fn reps(&self) -> usize {
+        if self.repeats > 0 {
+            self.repeats
+        } else if self.quick {
+            3
+        } else {
+            5
+        }
+    }
+}
+
+/// One native-vs-interface measurement.
+pub struct OverheadEntry {
+    /// Plugin name as registered.
+    pub plugin: String,
+    /// Median wall-clock of the native (static-dispatch) call, nanoseconds.
+    pub native_ns: u128,
+    /// Median wall-clock through the registry handle, nanoseconds.
+    pub interface_ns: u128,
+}
+
+impl OverheadEntry {
+    /// Interface overhead relative to the native call, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.native_ns == 0 {
+            0.0
+        } else {
+            (self.interface_ns as f64 - self.native_ns as f64) / self.native_ns as f64 * 100.0
+        }
+    }
+}
+
+/// One serial-vs-pooled measurement.
+pub struct ParallelEntry {
+    /// Pooled plugin name (`zfp_omp`, `sz_omp`).
+    pub plugin: String,
+    /// Serial baseline plugin name (`zfp`, `sz`).
+    pub baseline: String,
+    /// Thread count requested from the pooled variant.
+    pub nthreads: u32,
+    /// Median serial wall-clock, nanoseconds.
+    pub serial_ns: u128,
+    /// Median pooled wall-clock, nanoseconds.
+    pub parallel_ns: u128,
+}
+
+impl ParallelEntry {
+    /// Measured speedup (serial / pooled); < 1 means the pooled variant lost.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ns == 0 {
+            0.0
+        } else {
+            self.serial_ns as f64 / self.parallel_ns as f64
+        }
+    }
+}
+
+/// Complete harness output.
+pub struct BenchReport {
+    /// Field shape used (C-order dims of the 3-d f32 cube).
+    pub dims: Vec<usize>,
+    /// Timed repetitions per measurement (median reported).
+    pub repeats: usize,
+    /// Threads the execution engine would use on this host.
+    pub host_threads: usize,
+    /// Native-vs-interface rows.
+    pub overhead: Vec<OverheadEntry>,
+    /// Serial-vs-pooled rows.
+    pub parallel: Vec<ParallelEntry>,
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time `f` with one warm-up call then `reps` timed calls; median ns.
+fn time_median<F: FnMut() -> Result<()>>(reps: usize, mut f: F) -> Result<u128> {
+    f()?;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f()?;
+        samples.push(t0.elapsed().as_nanos());
+    }
+    Ok(median_ns(samples))
+}
+
+fn handle_with(name: &str, opts: &Options) -> Result<CompressorHandle> {
+    let mut h = libpressio::instance().get_compressor(name)?;
+    h.set_options(opts)?;
+    Ok(h)
+}
+
+fn measure_pair(
+    reps: usize,
+    input: &Data,
+    native: &mut dyn Compressor,
+    handle: &mut CompressorHandle,
+) -> Result<(u128, u128)> {
+    let native_ns = time_median(reps, || native.compress(input).map(|_| ()))?;
+    let interface_ns = time_median(reps, || handle.compress(input).map(|_| ()))?;
+    Ok((native_ns, interface_ns))
+}
+
+/// Run the full harness and return the report.
+pub fn run(cfg: &BenchConfig) -> Result<BenchReport> {
+    libpressio::init();
+    let n = cfg.edge();
+    let reps = cfg.reps();
+    let input = libpressio::datagen::nyx_density(n, 13);
+    let bound = Options::new().with(OPT_REL, 1e-3f64);
+
+    let mut overhead = Vec::new();
+
+    // Numeric compressors: native concrete struct vs registry handle.
+    {
+        let mut native = libpressio::sz::Sz::new(libpressio::sz::SzVariant::Global);
+        native.set_options(&bound)?;
+        let mut handle = handle_with("sz", &bound)?;
+        let (native_ns, interface_ns) = measure_pair(reps, &input, &mut native, &mut handle)?;
+        overhead.push(OverheadEntry {
+            plugin: "sz".into(),
+            native_ns,
+            interface_ns,
+        });
+    }
+    {
+        let mut native = libpressio::zfp::Zfp::default();
+        native.set_options(&bound)?;
+        let mut handle = handle_with("zfp", &bound)?;
+        let (native_ns, interface_ns) = measure_pair(reps, &input, &mut native, &mut handle)?;
+        overhead.push(OverheadEntry {
+            plugin: "zfp".into(),
+            native_ns,
+            interface_ns,
+        });
+    }
+    {
+        let mut native = libpressio::mgard::Mgard::default();
+        native.set_options(&bound)?;
+        let mut handle = handle_with("mgard", &bound)?;
+        let (native_ns, interface_ns) = measure_pair(reps, &input, &mut native, &mut handle)?;
+        overhead.push(OverheadEntry {
+            plugin: "mgard".into(),
+            native_ns,
+            interface_ns,
+        });
+    }
+
+    // Byte codecs: native free function vs registry handle.
+    let bytes = input.as_bytes().to_vec();
+    {
+        let mut handle = handle_with("huffman", &Options::new())?;
+        let native_ns = time_median(reps, || {
+            let _ = libpressio::codecs::huffman::encode_bytes(&bytes);
+            Ok(())
+        })?;
+        let interface_ns = time_median(reps, || handle.compress(&input).map(|_| ()))?;
+        overhead.push(OverheadEntry {
+            plugin: "huffman".into(),
+            native_ns,
+            interface_ns,
+        });
+    }
+    {
+        let mut handle = handle_with("deflate", &Options::new())?;
+        let native_ns = time_median(reps, || {
+            let _ = libpressio::codecs::deflate::compress(&bytes);
+            Ok(())
+        })?;
+        let interface_ns = time_median(reps, || handle.compress(&input).map(|_| ()))?;
+        overhead.push(OverheadEntry {
+            plugin: "deflate".into(),
+            native_ns,
+            interface_ns,
+        });
+    }
+
+    // Serial vs pooled variants on the shared execution engine.
+    let nthreads = 4u32;
+    let mut parallel = Vec::new();
+    for (pooled, baseline) in [("zfp_omp", "zfp"), ("sz_omp", "sz")] {
+        let mut serial = handle_with(baseline, &bound)?;
+        let mut opts = bound.clone();
+        opts.set(format!("{pooled}:nthreads"), nthreads as i64);
+        let mut pooled_h = handle_with(pooled, &opts)?;
+        let serial_ns = time_median(reps, || serial.compress(&input).map(|_| ()))?;
+        let parallel_ns = time_median(reps, || pooled_h.compress(&input).map(|_| ()))?;
+        parallel.push(ParallelEntry {
+            plugin: pooled.into(),
+            baseline: baseline.into(),
+            nthreads,
+            serial_ns,
+            parallel_ns,
+        });
+    }
+
+    Ok(BenchReport {
+        dims: vec![n, n, n],
+        repeats: reps,
+        host_threads: libpressio::core::available_threads(),
+        overhead,
+        parallel,
+    })
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize a report to the `pressio-bench/overhead-v1` JSON document.
+pub fn to_json(report: &BenchReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", json_string(SCHEMA)));
+    let dims: Vec<String> = report.dims.iter().map(|d| d.to_string()).collect();
+    s.push_str(&format!(
+        "  \"field\": {{\"dataset\": \"nyx\", \"dtype\": \"f32\", \"dims\": [{}]}},\n",
+        dims.join(", ")
+    ));
+    s.push_str(&format!("  \"repeats\": {},\n", report.repeats));
+    s.push_str(&format!("  \"host_threads\": {},\n", report.host_threads));
+    s.push_str("  \"overhead\": [\n");
+    for (i, e) in report.overhead.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"plugin\": {}, \"native_ns\": {}, \"interface_ns\": {}, \"overhead_pct\": {:.3}}}{}\n",
+            json_string(&e.plugin),
+            e.native_ns,
+            e.interface_ns,
+            e.overhead_pct(),
+            if i + 1 < report.overhead.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"parallel\": [\n");
+    for (i, e) in report.parallel.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"plugin\": {}, \"baseline\": {}, \"nthreads\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            json_string(&e.plugin),
+            json_string(&e.baseline),
+            e.nthreads,
+            e.serial_ns,
+            e.parallel_ns,
+            e.speedup(),
+            if i + 1 < report.parallel.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Human-readable table for stdout.
+pub fn render_table(report: &BenchReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "field: nyx f32 {:?}, {} repeat(s), {} host thread(s)\n",
+        report.dims, report.repeats, report.host_threads
+    ));
+    s.push_str(&format!(
+        "{:<10} {:>14} {:>14} {:>10}\n",
+        "plugin", "native_ns", "interface_ns", "overhead"
+    ));
+    for e in &report.overhead {
+        s.push_str(&format!(
+            "{:<10} {:>14} {:>14} {:>9.2}%\n",
+            e.plugin,
+            e.native_ns,
+            e.interface_ns,
+            e.overhead_pct()
+        ));
+    }
+    s.push_str(&format!(
+        "{:<10} {:>3} {:>14} {:>14} {:>8}\n",
+        "pooled", "nt", "serial_ns", "parallel_ns", "speedup"
+    ));
+    for e in &report.parallel {
+        s.push_str(&format!(
+            "{:<10} {:>3} {:>14} {:>14} {:>7.3}x\n",
+            e.plugin,
+            e.nthreads,
+            e.serial_ns,
+            e.parallel_ns,
+            e.speedup()
+        ));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for `--check` (no external dependencies).
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value — only the subset the report format uses.
+#[derive(Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// String with standard escapes.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, what: &str) -> Error {
+        Error::corrupt(format!("json: {what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.fail("bad literal"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected string")?;
+        let mut s = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.fail("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.fail("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.fail("bad \\u"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.fail("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| self.fail("bad \\u"))?;
+                            self.pos += 4;
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                _ => {
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.fail("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.fail("bad number"))
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.fail("unexpected end"))? {
+            b'{' => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected ':'")?;
+                    let v = self.value()?;
+                    pairs.push((k, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(self.fail("expected ',' or '}'")),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.fail("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'"' => self.string().map(Json::Str),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+}
+
+/// Parse a JSON document (report subset of the grammar).
+pub fn parse_json(text: &str) -> Result<Json> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing garbage"));
+    }
+    Ok(v)
+}
+
+fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| Error::corrupt(format!("{ctx}: missing numeric {key:?}")))
+}
+
+fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| Error::corrupt(format!("{ctx}: missing string {key:?}")))
+}
+
+/// Validate a `BENCH_overhead.json` document against the
+/// `pressio-bench/overhead-v1` structural schema.
+pub fn validate_json(text: &str) -> Result<()> {
+    let doc = parse_json(text)?;
+    let schema = require_str(&doc, "schema", "report")?;
+    if schema != SCHEMA {
+        return Err(Error::corrupt(format!(
+            "schema {schema:?} != {SCHEMA:?}"
+        )));
+    }
+    let field = doc
+        .get("field")
+        .ok_or_else(|| Error::corrupt("report: missing \"field\""))?;
+    let dims = field
+        .get("dims")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::corrupt("field: missing \"dims\" array"))?;
+    if dims.is_empty() || dims.iter().any(|d| d.as_num().is_none_or(|n| n < 1.0)) {
+        return Err(Error::corrupt("field: dims must be positive numbers"));
+    }
+    if require_num(&doc, "repeats", "report")? < 1.0 {
+        return Err(Error::corrupt("report: repeats must be >= 1"));
+    }
+    require_num(&doc, "host_threads", "report")?;
+    let overhead = doc
+        .get("overhead")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::corrupt("report: missing \"overhead\" array"))?;
+    if overhead.is_empty() {
+        return Err(Error::corrupt("report: overhead array is empty"));
+    }
+    for e in overhead {
+        let name = require_str(e, "plugin", "overhead entry")?;
+        let ctx = format!("overhead[{name}]");
+        if require_num(e, "native_ns", &ctx)? <= 0.0 {
+            return Err(Error::corrupt(format!("{ctx}: native_ns must be > 0")));
+        }
+        if require_num(e, "interface_ns", &ctx)? <= 0.0 {
+            return Err(Error::corrupt(format!("{ctx}: interface_ns must be > 0")));
+        }
+        require_num(e, "overhead_pct", &ctx)?;
+    }
+    let parallel = doc
+        .get("parallel")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::corrupt("report: missing \"parallel\" array"))?;
+    for e in parallel {
+        let name = require_str(e, "plugin", "parallel entry")?;
+        let ctx = format!("parallel[{name}]");
+        require_str(e, "baseline", &ctx)?;
+        if require_num(e, "nthreads", &ctx)? < 1.0 {
+            return Err(Error::corrupt(format!("{ctx}: nthreads must be >= 1")));
+        }
+        if require_num(e, "serial_ns", &ctx)? <= 0.0
+            || require_num(e, "parallel_ns", &ctx)? <= 0.0
+        {
+            return Err(Error::corrupt(format!("{ctx}: timings must be > 0")));
+        }
+        if require_num(e, "speedup", &ctx)? <= 0.0 {
+            return Err(Error::corrupt(format!("{ctx}: speedup must be > 0")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            dims: vec![8, 8, 8],
+            repeats: 3,
+            host_threads: 2,
+            overhead: vec![OverheadEntry {
+                plugin: "zfp".into(),
+                native_ns: 1000,
+                interface_ns: 1100,
+            }],
+            parallel: vec![ParallelEntry {
+                plugin: "zfp_omp".into(),
+                baseline: "zfp".into(),
+                nthreads: 4,
+                serial_ns: 2000,
+                parallel_ns: 1900,
+            }],
+        }
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        let json = to_json(&sample_report());
+        validate_json(&json).expect("valid");
+    }
+
+    #[test]
+    fn overhead_pct_is_relative() {
+        let e = OverheadEntry {
+            plugin: "x".into(),
+            native_ns: 1000,
+            interface_ns: 1100,
+        };
+        assert!((e.overhead_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema() {
+        let json = to_json(&sample_report()).replace("overhead-v1", "overhead-v9");
+        assert!(validate_json(&json).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_empty_overhead() {
+        let mut r = sample_report();
+        r.overhead.clear();
+        assert!(validate_json(&to_json(&r)).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        assert!(validate_json("{\"schema\": ").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let v = parse_json("{\"a\": [1, -2.5e1, \"x\\\"y\\u0041\"], \"b\": {\"c\": true}}")
+            .expect("parse");
+        let arr = v.get("a").and_then(Json::as_arr).expect("arr");
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1], Json::Num(-25.0));
+        assert_eq!(arr[2], Json::Str("x\"yA".into()));
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn quick_run_produces_valid_report() {
+        let cfg = BenchConfig {
+            quick: true,
+            n: 8,
+            repeats: 1,
+        };
+        let report = run(&cfg).expect("bench run");
+        assert_eq!(report.overhead.len(), 5);
+        assert_eq!(report.parallel.len(), 2);
+        validate_json(&to_json(&report)).expect("schema-valid");
+        assert!(!render_table(&report).is_empty());
+    }
+}

@@ -16,12 +16,18 @@
 //!   (bit flips, truncation, extension, zeroed regions) and fails on
 //!   panics, hangs, or a `guard` frame accepting damage.
 //!
+//! * [`bench`] — the `pressio bench` overhead harness: measures native
+//!   (static-dispatch) versus through-interface compression time per plugin
+//!   and serial versus pooled (`zfp`/`zfp_omp`, `sz`/`sz_omp`) wall-clock,
+//!   emitting schema-validated `BENCH_overhead.json`.
+//!
 //! All are also exposed as binaries: `pressio contract`,
 //! `pressio fuzz-decode`, and `pressio-lint`. Third-party plugin authors
 //! can run the contract checker and fuzzer against their own plugins by
 //! registering them and calling [`contract::check_all`] /
 //! [`fuzz::fuzz_all`].
 
+pub mod bench;
 pub mod contract;
 pub mod fuzz;
 pub mod lint;

@@ -21,6 +21,10 @@
 //! * [`RULE_NO_UNBOUNDED_SLEEP`] — `thread::sleep` in library code must cap
 //!   its duration on the same line (`.min(...)`/`.clamp(...)`), so retry
 //!   backoff can never stall a host past its watchdog deadlines.
+//! * [`RULE_NO_ADHOC_THREAD_SPAWN`] — library crates must not create their
+//!   own threads; all parallelism routes through the shared execution
+//!   engine (`pressio_core::exec`). Only `crates/core/src/exec.rs` itself,
+//!   binaries, and test modules are exempt.
 //!
 //! The scanner strips string literals, comments, and `#[cfg(test)] mod`
 //! blocks before matching, so tests and docs never trip the rules. Findings
@@ -52,6 +56,8 @@ pub const RULE_WIRE_CAST: &str = "wire-cast";
 pub const RULE_NO_DEBUG_PRINT: &str = "no-debug-print";
 /// Rule id: library sleeps must carry an explicit cap.
 pub const RULE_NO_UNBOUNDED_SLEEP: &str = "no-unbounded-sleep";
+/// Rule id: no ad-hoc thread creation outside the shared execution engine.
+pub const RULE_NO_ADHOC_THREAD_SPAWN: &str = "no-adhoc-thread-spawn";
 
 /// All rule ids, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -61,6 +67,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_WIRE_CAST,
     RULE_NO_DEBUG_PRINT,
     RULE_NO_UNBOUNDED_SLEEP,
+    RULE_NO_ADHOC_THREAD_SPAWN,
 ];
 
 /// Long-form rationale for `--explain`.
@@ -115,6 +122,17 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              own backoff is the model: exponential growth clamped by an explicit \
              constant. Test modules and binaries are exempt. Allowlist only sleeps \
              whose bound is established on a previous line."
+        }
+        RULE_NO_ADHOC_THREAD_SPAWN => {
+            "no-adhoc-thread-spawn: library crates must not create their own threads \
+             (`thread::spawn`, `thread::Builder`, `thread::scope`, `crossbeam::scope`) — \
+             all parallelism routes through the shared execution engine \
+             (`pressio_core::exec`: par_chunks / par_map_indexed), which caps worker \
+             count, isolates panics, and reuses per-worker scratch arenas. Ad-hoc \
+             threads pay spawn/teardown per call, ignore the engine's thread budget, \
+             and escape its panic containment. crates/core/src/exec.rs itself, binaries, \
+             and test modules are exempt. Allowlist only threads whose job the pool \
+             cannot express (e.g. the guard watchdog, which must detach a hung worker)."
         }
         _ => return None,
     })
@@ -449,6 +467,18 @@ const DEBUG_PRINTS: &[&str] = &["dbg!(", "println!(", "print!("];
 /// Cap markers accepted by `no-unbounded-sleep` on the sleeping line.
 const SLEEP_GUARDS: &[&str] = &[".min(", ".clamp("];
 
+/// Thread-creation expressions forbidden outside the execution engine.
+const THREAD_SPAWN_PATTERNS: &[&str] = &[
+    "thread::spawn",
+    "thread::Builder",
+    "thread::scope",
+    "crossbeam::scope",
+    "crossbeam::thread",
+];
+
+/// The one library file allowed to create threads: the shared engine.
+const EXEC_ENGINE_FILE: &str = "crates/core/src/exec.rs";
+
 /// Name of the crate a workspace-relative path belongs to, e.g.
 /// `crates/sz/src/plugin.rs` -> `sz`; the facade `src/lib.rs` -> `.` .
 fn crate_of(rel: &str) -> Option<&str> {
@@ -574,6 +604,15 @@ pub fn scan_source(rel: &str, content: &str) -> Vec<Finding> {
             && !SLEEP_GUARDS.iter().any(|g| line.contains(g))
         {
             push(&mut findings, RULE_NO_UNBOUNDED_SLEEP, idx, &src);
+        }
+
+        // no-adhoc-thread-spawn: library code of every crate except the
+        // execution engine itself.
+        if !binary
+            && rel != EXEC_ENGINE_FILE
+            && THREAD_SPAWN_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            push(&mut findings, RULE_NO_ADHOC_THREAD_SPAWN, idx, &src);
         }
     }
 
@@ -896,6 +935,35 @@ mod tests {
         assert!(findings_for("crates/tools/src/main.rs", raw).is_empty());
         let in_test = format!("#[cfg(test)]\nmod tests {{\n    {raw}}}\n");
         assert!(findings_for("crates/meta/src/guard.rs", &in_test).is_empty());
+    }
+
+    // ------------------------------------------- no-adhoc-thread-spawn
+
+    #[test]
+    fn adhoc_spawn_flagged_in_libraries() {
+        for pat in [
+            "std::thread::spawn(move || work());",
+            "std::thread::Builder::new().name(n).spawn(f)?;",
+            "std::thread::scope(|s| { s.spawn(|| work()); });",
+            "crossbeam::scope(|s| { s.spawn(|_| work()); });",
+        ] {
+            let src = format!("fn f() {{ {pat} }}\n");
+            let f = findings_for("crates/sz/src/plugin.rs", &src);
+            assert_eq!(rules(&f), vec![RULE_NO_ADHOC_THREAD_SPAWN], "{pat}");
+        }
+    }
+
+    #[test]
+    fn adhoc_spawn_exempts_engine_binaries_and_tests() {
+        let spawn = "fn f() { std::thread::spawn(|| work()); }\n";
+        // The execution engine itself owns its workers.
+        assert!(findings_for("crates/core/src/exec.rs", spawn).is_empty());
+        // Binaries may spawn freely.
+        assert!(findings_for("crates/tools/src/main.rs", spawn).is_empty());
+        assert!(findings_for("crates/bench/src/bin/exp.rs", spawn).is_empty());
+        // Test modules are masked.
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n    {spawn}}}\n");
+        assert!(findings_for("crates/sz/src/plugin.rs", &in_test).is_empty());
     }
 
     // ----------------------------------------------------------- allowlist

@@ -37,7 +37,17 @@ impl Args {
             let a = &argv[i];
             if let Some(flag) = a.strip_prefix('-') {
                 let flag = flag.trim_start_matches('-').to_string();
-                if i + 1 < argv.len() {
+                // The next token is this flag's value unless it is itself a
+                // flag (starts with '-' followed by a letter — negative
+                // numeric values still parse as values).
+                let next_is_value = argv.get(i + 1).is_some_and(|n| {
+                    !(n.starts_with('-')
+                        && n[1..]
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_alphabetic() || c == '-'))
+                });
+                if next_is_value {
                     options.push((flag, argv[i + 1].clone()));
                     i += 2;
                 } else {
@@ -319,7 +329,38 @@ fn cmd_fuzz_decode(args: &Args) -> Result<()> {
     }
 }
 
-const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode> [args]
+fn cmd_bench(args: &Args) -> Result<()> {
+    let out = args.get("out").unwrap_or("BENCH_overhead.json");
+    if args.get("check").is_some() {
+        let text = std::fs::read_to_string(out)?;
+        pressio_tools::bench::validate_json(&text)?;
+        println!("{out}: valid {}", pressio_tools::bench::SCHEMA);
+        return Ok(());
+    }
+    let parse_num = |flag: &str| -> Result<usize> {
+        match args.get(flag) {
+            None => Ok(0),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| Error::invalid_argument(format!("bad --{flag} value {v:?}"))),
+        }
+    };
+    let cfg = pressio_tools::bench::BenchConfig {
+        quick: args.get("quick").is_some(),
+        n: parse_num("n")?,
+        repeats: parse_num("repeats")?,
+    };
+    let report = pressio_tools::bench::run(&cfg)?;
+    let json = pressio_tools::bench::to_json(&report);
+    // Self-check the document against the schema before publishing it.
+    pressio_tools::bench::validate_json(&json)?;
+    std::fs::write(out, &json)?;
+    print!("{}", pressio_tools::bench::render_table(&report));
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|bench> [args]
   list [compressors|metrics|io]
   options <compressor>
   compress   -c <name> -i <in> -o <out> [-t dtype -d dims] [-O k=v ...] [-m metric ...] [-f format]
@@ -328,7 +369,11 @@ const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|c
   gen        -n <hurricane|nyx|hacc|scale-letkf> -o <out> [-s seed] [-k scale] [-F format]
   contract   [-v verbose]  # verify every registered plugin honors the plugin contract
   fuzz-decode [-c <name>] [--iterations N] [--seed S] [--timeout-ms T]
-              # drive every decompressor with damaged streams; fail on panics/hangs";
+              # drive every decompressor with damaged streams; fail on panics/hangs
+  bench      [--quick] [--out path] [--n edge] [--repeats N] [--check]
+              # measure native vs through-interface time per plugin and serial vs
+              # pooled (zfp/zfp_omp, sz/sz_omp) wall-clock; emit BENCH_overhead.json.
+              # --check validates an existing report against pressio-bench/overhead-v1";
 
 fn run() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -342,6 +387,7 @@ fn run() -> Result<()> {
         Some("gen") => cmd_gen(&args),
         Some("contract") => cmd_contract(&args),
         Some("fuzz-decode") => cmd_fuzz_decode(&args),
+        Some("bench") => cmd_bench(&args),
         _ => {
             eprintln!("{USAGE}");
             Err(Error::invalid_argument("unknown or missing command"))

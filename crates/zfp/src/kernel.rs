@@ -8,7 +8,7 @@
 //! transparency the paper's Section IV-B argues for.
 
 use pressio_codecs::bitstream::{BitReader, BitWriter};
-use pressio_core::{Error, Result};
+use pressio_core::{Error, Result, Scratch};
 
 use crate::bitbudget::{BudgetReader, BudgetWriter};
 use crate::block::{
@@ -178,6 +178,7 @@ fn encode_block(
     fblock: &[f64],
     d: usize,
     p: &Params,
+    s: &mut Scratch,
 ) {
     let start = w.len_bits();
     let emax = fblock.iter().map(|&x| exponent(x)).max().unwrap_or(-EBIAS);
@@ -191,16 +192,20 @@ fn encode_block(
     if e > 0 {
         let mut bw = BudgetWriter::new(w);
         bw.write_bits(2 * e + 1, EBITS + 1);
-        // Quantize to the block's common exponent.
-        let mut iblock: Vec<i64> = fblock
-            .iter()
-            .map(|&x| ldexp2(x, (INTPREC as i32 - 2) - emax) as i64)
-            .collect();
-        fwd_xform(&mut iblock, d);
+        // Quantize to the block's common exponent, staging through the
+        // thread-local scratch arena (no per-block allocation).
+        s.i64s.clear();
+        s.i64s.extend(
+            fblock
+                .iter()
+                .map(|&x| ldexp2(x, (INTPREC as i32 - 2) - emax) as i64),
+        );
+        fwd_xform(&mut s.i64s, d);
         let order = perm(d);
-        let ublock: Vec<u64> = order.iter().map(|&i| int2uint(iblock[i])).collect();
+        s.u64s.clear();
+        s.u64s.extend(order.iter().map(|&i| int2uint(s.i64s[i])));
         let budget = p.maxbits - (EBITS as u64 + 1);
-        encode_ints(&mut bw, budget, maxprec, &ublock);
+        encode_ints(&mut bw, budget, maxprec, &s.u64s);
     } else {
         w.write_bit(false);
     }
@@ -218,6 +223,7 @@ fn decode_block(
     out: &mut [f64],
     d: usize,
     p: &Params,
+    s: &mut Scratch,
 ) -> Result<()> {
     let blocksize = 1usize << (2 * d);
     debug_assert_eq!(out.len(), blocksize);
@@ -232,17 +238,19 @@ fn decode_block(
         // the remaining 11 bits are e = emax + EBIAS.
         let emax = e as i32 - EBIAS;
         let maxprec = precision(emax, p.maxprec, p.minexp, d);
-        let mut ublock = vec![0u64; blocksize];
+        s.u64s.clear();
+        s.u64s.resize(blocksize, 0);
         let budget = p.maxbits - (EBITS as u64 + 1);
         let mut br = BudgetReader::new(r);
-        used += decode_ints(&mut br, budget, maxprec, &mut ublock)?;
+        used += decode_ints(&mut br, budget, maxprec, &mut s.u64s)?;
         let order = perm(d);
-        let mut iblock = vec![0i64; blocksize];
+        s.i64s.clear();
+        s.i64s.resize(blocksize, 0);
         for (seq, &i) in order.iter().enumerate() {
-            iblock[i] = uint2int(ublock[seq]);
+            s.i64s[i] = uint2int(s.u64s[seq]);
         }
-        inv_xform(&mut iblock, d);
-        for (o, &q) in out.iter_mut().zip(iblock.iter()) {
+        inv_xform(&mut s.i64s, d);
+        for (o, &q) in out.iter_mut().zip(s.i64s.iter()) {
             *o = ldexp2(q as f64, emax - (INTPREC as i32 - 2));
         }
     } else {
@@ -337,11 +345,117 @@ fn normalize_dims(fdims: &[usize]) -> Result<(usize, usize, usize, usize)> {
     }
 }
 
-/// Compress a Fortran-ordered `f64` array. Returns the bit-packed payload.
-pub fn compress_f64(data: &[f64], fdims: &[usize], mode: ZfpMode) -> Result<Vec<u8>> {
-    mode.validate()?;
-    let (nx, ny, nz, d) = normalize_dims(fdims)?;
-    if nx * ny * nz != data.len() {
+/// Linearized 4^d block grid over a normalized geometry. Blocks are numbered
+/// x-fastest (the exact order of the classic serial loop), so splitting the
+/// linear index range into contiguous chunks and concatenating the per-chunk
+/// streams reproduces the serial stream block-for-block.
+#[derive(Debug, Clone, Copy)]
+struct BlockGrid {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    d: usize,
+    xb: usize,
+    yb: usize,
+    zb: usize,
+}
+
+impl BlockGrid {
+    fn new(fdims: &[usize]) -> Result<BlockGrid> {
+        let (nx, ny, nz, d) = normalize_dims(fdims)?;
+        let xb = nx.div_ceil(4);
+        let yb = if d >= 2 { ny.div_ceil(4) } else { 1 };
+        let zb = if d >= 3 { nz.div_ceil(4) } else { 1 };
+        Ok(BlockGrid {
+            nx,
+            ny,
+            nz,
+            d,
+            xb,
+            yb,
+            zb,
+        })
+    }
+
+    fn blocks(&self) -> usize {
+        self.xb * self.yb * self.zb
+    }
+
+    fn blocksize(&self) -> usize {
+        1usize << (2 * self.d)
+    }
+
+    /// Element-space origin of linear block `i`.
+    fn origin(&self, i: usize) -> (usize, usize, usize) {
+        let bx = (i % self.xb) * 4;
+        let by = ((i / self.xb) % self.yb) * 4;
+        let bz = (i / (self.xb * self.yb)) * 4;
+        (bx, by, bz)
+    }
+}
+
+/// Number of 4^d coding blocks for a geometry — the unit of parallel work and
+/// the upper bound on how many chunks a stream may carry.
+pub fn block_count(fdims: &[usize]) -> Result<usize> {
+    Ok(BlockGrid::new(fdims)?.blocks())
+}
+
+/// One contiguous run of encoded blocks. `nbits` is the exact bit length of
+/// the run before byte padding; the plugin records it as the bitbudget offset
+/// directory used to validate chunk boundaries at decode time.
+#[derive(Debug, Clone)]
+pub struct ZfpChunk {
+    /// Exact number of payload bits (<= `bytes.len() * 8`).
+    pub nbits: u64,
+    /// Byte-padded bitstream for this run of blocks.
+    pub bytes: Vec<u8>,
+}
+
+fn encode_range(
+    data: &[f64],
+    g: &BlockGrid,
+    p: &Params,
+    range: std::ops::Range<usize>,
+) -> ZfpChunk {
+    pressio_core::with_scratch(|s| {
+        let mut w = BitWriter::new();
+        s.f64s.clear();
+        s.f64s.resize(g.blocksize(), 0.0);
+        let mut block = std::mem::take(&mut s.f64s);
+        for i in range {
+            let (bx, by, bz) = g.origin(i);
+            gather(data, g.nx, g.ny, g.nz, bx, by, bz, g.d, &mut block);
+            encode_block(&mut w, &block, g.d, p, s);
+        }
+        s.f64s = block;
+        ZfpChunk {
+            nbits: w.len_bits(),
+            bytes: w.into_bytes(),
+        }
+    })
+}
+
+/// Decode a run of blocks into block-major order (each consecutive
+/// `blocksize` values are one block, ready to scatter).
+fn decode_range_blocks(
+    payload: &[u8],
+    g: &BlockGrid,
+    p: &Params,
+    nblocks: usize,
+) -> Result<Vec<f64>> {
+    pressio_core::with_scratch(|s| {
+        let blocksize = g.blocksize();
+        let mut vals = vec![0.0f64; nblocks * blocksize];
+        let mut r = BitReader::new(payload);
+        for block in vals.chunks_mut(blocksize) {
+            decode_block(&mut r, block, g.d, p, s)?;
+        }
+        Ok(vals)
+    })
+}
+
+fn validate_input(data: &[f64], fdims: &[usize], g: &BlockGrid) -> Result<()> {
+    if g.nx * g.ny * g.nz != data.len() {
         return Err(Error::invalid_argument(format!(
             "dims {fdims:?} do not match {} elements",
             data.len()
@@ -352,67 +466,94 @@ pub fn compress_f64(data: &[f64], fdims: &[usize], mode: ZfpMode) -> Result<Vec<
             "zfp cannot represent non-finite values; mask or replace them first",
         ));
     }
-    let p = resolve(mode, d);
-    let mut w = BitWriter::new();
-    let blocksize = 1usize << (2 * d);
-    let mut block = vec![0.0f64; blocksize];
-    let zstep = if d >= 3 { 4 } else { usize::MAX };
-    let ystep = if d >= 2 { 4 } else { usize::MAX };
-    let mut bz = 0;
-    while bz < nz {
-        let mut by = 0;
-        while by < ny {
-            let mut bx = 0;
-            while bx < nx {
-                gather(data, nx, ny, nz, bx, by, bz, d, &mut block);
-                encode_block(&mut w, &block, d, &p);
-                bx += 4;
-            }
-            by = by.saturating_add(ystep.min(ny));
-            if ystep == usize::MAX {
-                break;
-            }
-        }
-        bz = bz.saturating_add(zstep.min(nz));
-        if zstep == usize::MAX {
-            break;
+    Ok(())
+}
+
+/// Compress a Fortran-ordered `f64` array into up to `pieces` independent
+/// chunks of contiguous blocks, encoded in parallel on the shared execution
+/// engine. The chunk split depends only on `pieces` and the geometry — never
+/// on the host's core count — so streams are machine-independent, and
+/// `pieces == 1` is bit-identical to [`compress_f64`].
+pub fn compress_f64_chunks(
+    data: &[f64],
+    fdims: &[usize],
+    mode: ZfpMode,
+    pieces: usize,
+) -> Result<Vec<ZfpChunk>> {
+    mode.validate()?;
+    let g = BlockGrid::new(fdims)?;
+    validate_input(data, fdims, &g)?;
+    let p = resolve(mode, g.d);
+    let ranges = pressio_core::chunk_ranges(g.blocks(), pieces);
+    pressio_core::par_map_indexed(ranges.len(), |i| {
+        Ok(encode_range(data, &g, &p, ranges[i].clone()))
+    })
+}
+
+/// Decompress chunks produced by [`compress_f64_chunks`] with identical dims,
+/// mode, and chunk count. Chunks decode in parallel; the scatter back into
+/// the array is serial.
+pub fn decompress_f64_chunks(
+    chunks: &[&[u8]],
+    fdims: &[usize],
+    mode: ZfpMode,
+) -> Result<Vec<f64>> {
+    mode.validate()?;
+    let g = BlockGrid::new(fdims)?;
+    let p = resolve(mode, g.d);
+    let ranges = pressio_core::chunk_ranges(g.blocks(), chunks.len().max(1));
+    if ranges.len() != chunks.len() {
+        return Err(Error::corrupt(format!(
+            "{} zfp chunks cannot cover {} blocks",
+            chunks.len(),
+            g.blocks()
+        )));
+    }
+    let decoded = pressio_core::par_map_indexed(ranges.len(), |i| {
+        decode_range_blocks(chunks[i], &g, &p, ranges[i].len())
+    })?;
+    let blocksize = g.blocksize();
+    let mut out = vec![0.0f64; g.nx * g.ny * g.nz];
+    for (range, vals) in ranges.iter().zip(&decoded) {
+        for (k, i) in range.clone().enumerate() {
+            let (bx, by, bz) = g.origin(i);
+            let block = &vals[k * blocksize..(k + 1) * blocksize];
+            scatter(&mut out, g.nx, g.ny, g.nz, bx, by, bz, g.d, block);
         }
     }
-    Ok(w.into_bytes())
+    Ok(out)
+}
+
+/// Compress a Fortran-ordered `f64` array. Returns the bit-packed payload.
+pub fn compress_f64(data: &[f64], fdims: &[usize], mode: ZfpMode) -> Result<Vec<u8>> {
+    let mut chunks = compress_f64_chunks(data, fdims, mode, 1)?;
+    Ok(chunks.pop().map(|c| c.bytes).unwrap_or_default())
 }
 
 /// Decompress a payload produced by [`compress_f64`] with identical dims and
-/// mode.
+/// mode. Streams one block at a time through a thread-local scratch arena.
 pub fn decompress_f64(payload: &[u8], fdims: &[usize], mode: ZfpMode) -> Result<Vec<f64>> {
     mode.validate()?;
-    let (nx, ny, nz, d) = normalize_dims(fdims)?;
-    let p = resolve(mode, d);
-    let mut out = vec![0.0f64; nx * ny * nz];
-    let mut r = BitReader::new(payload);
-    let blocksize = 1usize << (2 * d);
-    let mut block = vec![0.0f64; blocksize];
-    let zstep = if d >= 3 { 4 } else { usize::MAX };
-    let ystep = if d >= 2 { 4 } else { usize::MAX };
-    let mut bz = 0;
-    while bz < nz {
-        let mut by = 0;
-        while by < ny {
-            let mut bx = 0;
-            while bx < nx {
-                decode_block(&mut r, &mut block, d, &p)?;
-                scatter(&mut out, nx, ny, nz, bx, by, bz, d, &block);
-                bx += 4;
-            }
-            by = by.saturating_add(ystep.min(ny));
-            if ystep == usize::MAX {
+    let g = BlockGrid::new(fdims)?;
+    let p = resolve(mode, g.d);
+    let mut out = vec![0.0f64; g.nx * g.ny * g.nz];
+    pressio_core::with_scratch(|s| {
+        s.f64s.clear();
+        s.f64s.resize(g.blocksize(), 0.0);
+        let mut block = std::mem::take(&mut s.f64s);
+        let mut r = BitReader::new(payload);
+        let mut res = Ok(());
+        for i in 0..g.blocks() {
+            if let Err(e) = decode_block(&mut r, &mut block, g.d, &p, s) {
+                res = Err(e);
                 break;
             }
+            let (bx, by, bz) = g.origin(i);
+            scatter(&mut out, g.nx, g.ny, g.nz, bx, by, bz, g.d, &block);
         }
-        bz = bz.saturating_add(zstep.min(nz));
-        if zstep == usize::MAX {
-            break;
-        }
-    }
+        s.f64s = block;
+        res
+    })?;
     Ok(out)
 }
 
@@ -592,6 +733,51 @@ mod tests {
         assert!(compress_f64(&data, &[16], ZfpMode::FixedAccuracy(-1.0)).is_err());
         assert!(compress_f64(&data, &[16], ZfpMode::FixedPrecision(0)).is_err());
         assert!(compress_f64(&data, &[16], ZfpMode::FixedPrecision(65)).is_err());
+    }
+
+    #[test]
+    fn single_chunk_matches_serial_stream() {
+        let data = smooth(32, 16, 8);
+        let m = ZfpMode::FixedAccuracy(1e-5);
+        let serial = compress_f64(&data, &[32, 16, 8], m).unwrap();
+        let chunks = compress_f64_chunks(&data, &[32, 16, 8], m, 1).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].bytes, serial);
+        assert_eq!(chunks[0].nbits.div_ceil(8), serial.len() as u64);
+    }
+
+    #[test]
+    fn chunked_roundtrip_matches_serial_values() {
+        let data = smooth(21, 13, 9); // partial blocks in every dimension
+        for pieces in [1usize, 2, 3, 7, 64] {
+            for m in [
+                ZfpMode::FixedAccuracy(1e-4),
+                ZfpMode::FixedRate(8.0),
+                ZfpMode::FixedPrecision(24),
+            ] {
+                let serial = {
+                    let c = compress_f64(&data, &[21, 13, 9], m).unwrap();
+                    decompress_f64(&c, &[21, 13, 9], m).unwrap()
+                };
+                let chunks = compress_f64_chunks(&data, &[21, 13, 9], m, pieces).unwrap();
+                let bytes: Vec<Vec<u8>> = chunks.into_iter().map(|c| c.bytes).collect();
+                let refs: Vec<&[u8]> = bytes.iter().map(|b| b.as_slice()).collect();
+                let back = decompress_f64_chunks(&refs, &[21, 13, 9], m).unwrap();
+                assert_eq!(serial, back, "pieces {pieces} mode {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_count_is_capped_by_block_count() {
+        let data = smooth(4, 4, 1);
+        let m = ZfpMode::FixedAccuracy(1e-3);
+        // 1 block total: asking for 8 pieces still yields 1 chunk.
+        let chunks = compress_f64_chunks(&data, &[4, 4], m, 8).unwrap();
+        assert_eq!(chunks.len(), 1);
+        // And a stream claiming more chunks than blocks is corrupt.
+        let bogus: Vec<&[u8]> = vec![&chunks[0].bytes, &chunks[0].bytes];
+        assert!(decompress_f64_chunks(&bogus, &[4, 4], m).is_err());
     }
 
     #[test]

@@ -5,13 +5,22 @@
 //! is uniformly C-ordered; this plugin reverses the dimension list on the
 //! way in, so users never deal with the mismatch — the transparency argument
 //! of the paper's Section IV-B.
+//!
+//! Two registrations share this type and one stream format: serial `zfp`
+//! (`nthreads` defaults to 1) and `zfp_omp` (defaults to 4), which encodes
+//! contiguous runs of 4^d blocks in parallel on the shared execution engine
+//! and stitches the per-worker bitstreams through a chunk directory in the
+//! envelope. Streams are machine-independent (the split depends only on
+//! `nthreads`), and either registration decodes the other's output.
 
 use pressio_core::{
     registry, require_dtype, ByteReader, ByteWriter, Compressor, DType, Data, Error, Options,
     Result, ThreadSafety, Version,
 };
 
-use crate::kernel::{compress_f64, decompress_f64, ZfpMode};
+use crate::kernel::{
+    block_count, compress_f64_chunks, decompress_f64, decompress_f64_chunks, ZfpMode,
+};
 
 /// Stream envelope magic ("ZFPR").
 const MAGIC: u32 = 0x5A46_5052;
@@ -25,6 +34,10 @@ pub struct Zfp {
     /// `pressio:rel` to an absolute tolerance from the input's range at
     /// compress time.
     rel: Option<f64>,
+    /// Number of independent block-range chunks to encode in parallel.
+    nthreads: u32,
+    /// Registered as `zfp_omp` (affects the option prefix, not the format).
+    omp: bool,
 }
 
 impl Default for Zfp {
@@ -32,6 +45,8 @@ impl Default for Zfp {
         Zfp {
             mode: ZfpMode::FixedAccuracy(1e-3),
             rel: None,
+            nthreads: 1,
+            omp: false,
         }
     }
 }
@@ -39,18 +54,38 @@ impl Default for Zfp {
 impl Zfp {
     /// Create a plugin with an explicit mode.
     pub fn with_mode(mode: ZfpMode) -> Zfp {
-        Zfp { mode, rel: None }
+        Zfp {
+            mode,
+            ..Zfp::default()
+        }
+    }
+
+    /// The chunk-parallel registration (`zfp_omp`).
+    pub fn omp() -> Zfp {
+        Zfp {
+            nthreads: 4,
+            omp: true,
+            ..Zfp::default()
+        }
     }
 
     /// The currently configured mode.
     pub fn mode(&self) -> ZfpMode {
         self.mode
     }
+
+    fn prefix(&self) -> &'static str {
+        if self.omp {
+            "zfp_omp"
+        } else {
+            "zfp"
+        }
+    }
 }
 
 impl Compressor for Zfp {
     fn name(&self) -> &str {
-        "zfp"
+        self.prefix()
     }
 
     fn version(&self) -> Version {
@@ -64,27 +99,29 @@ impl Compressor for Zfp {
     }
 
     fn get_options(&self) -> Options {
+        let p = self.prefix();
         let mut o = Options::new();
         match self.mode {
             ZfpMode::FixedRate(r) => {
-                o.set("zfp:mode", "rate");
-                o.set("zfp:rate", r);
-                o.declare("zfp:precision", pressio_core::OptionKind::U32);
-                o.declare("zfp:accuracy", pressio_core::OptionKind::F64);
+                o.set(format!("{p}:mode"), "rate");
+                o.set(format!("{p}:rate"), r);
+                o.declare(format!("{p}:precision"), pressio_core::OptionKind::U32);
+                o.declare(format!("{p}:accuracy"), pressio_core::OptionKind::F64);
             }
-            ZfpMode::FixedPrecision(p) => {
-                o.set("zfp:mode", "precision");
-                o.set("zfp:precision", p);
-                o.declare("zfp:rate", pressio_core::OptionKind::F64);
-                o.declare("zfp:accuracy", pressio_core::OptionKind::F64);
+            ZfpMode::FixedPrecision(prec) => {
+                o.set(format!("{p}:mode"), "precision");
+                o.set(format!("{p}:precision"), prec);
+                o.declare(format!("{p}:rate"), pressio_core::OptionKind::F64);
+                o.declare(format!("{p}:accuracy"), pressio_core::OptionKind::F64);
             }
             ZfpMode::FixedAccuracy(t) => {
-                o.set("zfp:mode", "accuracy");
-                o.set("zfp:accuracy", t);
-                o.declare("zfp:rate", pressio_core::OptionKind::F64);
-                o.declare("zfp:precision", pressio_core::OptionKind::U32);
+                o.set(format!("{p}:mode"), "accuracy");
+                o.set(format!("{p}:accuracy"), t);
+                o.declare(format!("{p}:rate"), pressio_core::OptionKind::F64);
+                o.declare(format!("{p}:precision"), pressio_core::OptionKind::U32);
             }
         }
+        o.set(format!("{p}:nthreads"), self.nthreads);
         match self.rel {
             Some(r) => o.set(pressio_core::OPT_REL, r),
             None => o.declare(pressio_core::OPT_REL, pressio_core::OptionKind::F64),
@@ -96,17 +133,18 @@ impl Compressor for Zfp {
     }
 
     fn set_options(&mut self, options: &Options) -> Result<()> {
+        let p = self.prefix();
         // Native keys first, then the generic pressio:* aliases.
         let mut mode = self.mode;
-        if let Some(r) = options.get_as::<f64>("zfp:rate")? {
+        if let Some(r) = options.get_as::<f64>(&format!("{p}:rate"))? {
             mode = ZfpMode::FixedRate(r);
             self.rel = None;
         }
-        if let Some(p) = options.get_as::<u32>("zfp:precision")? {
-            mode = ZfpMode::FixedPrecision(p);
+        if let Some(prec) = options.get_as::<u32>(&format!("{p}:precision"))? {
+            mode = ZfpMode::FixedPrecision(prec);
             self.rel = None;
         }
-        if let Some(t) = options.get_as::<f64>("zfp:accuracy")? {
+        if let Some(t) = options.get_as::<f64>(&format!("{p}:accuracy"))? {
             mode = ZfpMode::FixedAccuracy(t);
             self.rel = None;
         }
@@ -114,8 +152,8 @@ impl Compressor for Zfp {
             mode = ZfpMode::FixedRate(r);
             self.rel = None;
         }
-        if let Some(p) = options.get_as::<u32>(pressio_core::OPT_PREC)? {
-            mode = ZfpMode::FixedPrecision(p);
+        if let Some(prec) = options.get_as::<u32>(pressio_core::OPT_PREC)? {
+            mode = ZfpMode::FixedPrecision(prec);
             self.rel = None;
         }
         if let Some(t) = options.get_as::<f64>(pressio_core::OPT_ABS)? {
@@ -126,13 +164,22 @@ impl Compressor for Zfp {
             if !(r.is_finite() && r > 0.0) {
                 return Err(
                     Error::invalid_argument(format!("relative bound must be positive, got {r}"))
-                        .in_plugin("zfp"),
+                        .in_plugin(p),
                 );
             }
             self.rel = Some(r);
             // Mode is resolved per-input at compress time.
         }
-        mode.validate().map_err(|e| e.in_plugin("zfp"))?;
+        if let Some(n) = options
+            .get_as::<u32>(&format!("{p}:nthreads"))?
+            .or(options.get_as::<u32>(pressio_core::OPT_NTHREADS)?)
+        {
+            if n == 0 {
+                return Err(Error::invalid_argument("nthreads must be >= 1").in_plugin(p));
+            }
+            self.nthreads = n;
+        }
+        mode.validate().map_err(|e| e.in_plugin(p))?;
         self.mode = mode;
         Ok(())
     }
@@ -143,28 +190,49 @@ impl Compressor for Zfp {
     }
 
     fn get_configuration(&self) -> Options {
+        let p = self.prefix();
         let mut o = pressio_core::base_configuration(self);
-        o.set("zfp:pressio:lossless", false);
-        o.set("zfp:pressio:lossy", true);
-        o.set("zfp:pressio:error_bounded", true);
+        o.set(format!("{p}:pressio:lossless"), false);
+        o.set(format!("{p}:pressio:lossy"), true);
+        o.set(format!("{p}:pressio:error_bounded"), true);
         o
     }
 
     fn get_documentation(&self) -> Options {
+        let p = self.prefix();
         Options::new()
             .with(
-                "zfp",
+                p.to_string(),
                 "transform-based compressor: 4^d blocks, block floating point, lifted \
                  orthogonal transform, embedded bit-plane coding",
             )
-            .with("zfp:rate", "fixed rate in bits per value (enables random access)")
-            .with("zfp:precision", "fixed precision in bit planes per block")
-            .with("zfp:accuracy", "fixed accuracy: absolute error tolerance")
-            .with("zfp:mode", "active mode: rate | precision | accuracy (read-only)")
+            .with(
+                format!("{p}:rate"),
+                "fixed rate in bits per value (enables random access)",
+            )
+            .with(
+                format!("{p}:precision"),
+                "fixed precision in bit planes per block",
+            )
+            .with(
+                format!("{p}:accuracy"),
+                "fixed accuracy: absolute error tolerance",
+            )
+            .with(
+                format!("{p}:mode"),
+                "active mode: rate | precision | accuracy (read-only)",
+            )
+            .with(
+                format!("{p}:nthreads"),
+                "block-range chunks encoded in parallel on the shared execution \
+                 engine (1 = serial; the stream layout depends only on this value, \
+                 never on the host's core count)",
+            )
     }
 
     fn compress(&mut self, input: &Data) -> Result<Data> {
-        require_dtype("zfp", input, &[DType::F32, DType::F64])?;
+        let p = self.prefix();
+        require_dtype(p, input, &[DType::F32, DType::F64])?;
         // Uniform C ordering in; native Fortran ordering inside.
         let fdims: Vec<usize> = input.dims().iter().rev().copied().collect();
         let values: Vec<f64> = input.to_f64_vec()?;
@@ -175,38 +243,72 @@ impl Compressor for Zfp {
             }
             None => self.mode,
         };
-        let payload =
-            compress_f64(&values, &fdims, mode).map_err(|e| e.in_plugin("zfp"))?;
-        let mut w = ByteWriter::with_capacity(payload.len() + 64);
+        let chunks = compress_f64_chunks(&values, &fdims, mode, self.nthreads.max(1) as usize)
+            .map_err(|e| e.in_plugin(p))?;
+        let payload_len: usize = chunks.iter().map(|c| c.bytes.len()).sum();
+        let mut w = ByteWriter::with_capacity(payload_len + 64 + 12 * chunks.len());
         w.put_u32(MAGIC);
         w.put_dtype(input.dtype());
         w.put_dims(input.dims());
         w.put_u8(mode.tag());
         w.put_f64(mode.param());
-        w.put_section(&payload);
+        // Chunk directory: count, then (bit length, bitstream) per chunk. The
+        // bit lengths are the bitbudget offsets that let decode validate every
+        // chunk boundary before touching the payload.
+        w.put_u32(chunks.len() as u32);
+        for c in &chunks {
+            w.put_u64(c.nbits);
+            w.put_section(&c.bytes);
+        }
         Ok(Data::from_bytes(&w.into_vec()))
     }
 
     fn decompress(&mut self, compressed: &Data, output: &mut Data) -> Result<()> {
+        let p = self.prefix();
         let mut r = ByteReader::new(compressed.as_bytes());
         if r.get_u32()? != MAGIC {
-            return Err(Error::corrupt("bad zfp envelope magic").in_plugin("zfp"));
+            return Err(Error::corrupt("bad zfp envelope magic").in_plugin(p));
         }
         let dtype = r.get_dtype()?;
         let dims = r.get_dims()?;
-        pressio_core::checked_geometry(dtype, &dims).map_err(|e| e.in_plugin("zfp"))?;
+        pressio_core::checked_geometry(dtype, &dims).map_err(|e| e.in_plugin(p))?;
         let mode = ZfpMode::from_tag(r.get_u8()?, r.get_f64()?)?;
         mode.validate()
             .map_err(|_| Error::corrupt("zfp stream carries invalid mode parameters"))?;
-        let payload = r.get_section()?;
         let fdims: Vec<usize> = dims.iter().rev().copied().collect();
-        let values = decompress_f64(payload, &fdims, mode).map_err(|e| e.in_plugin("zfp"))?;
+        let nblocks = block_count(&fdims).map_err(|e| e.in_plugin(p))?;
+        let n_chunks = r.get_count()?;
+        if n_chunks == 0 || n_chunks > nblocks {
+            return Err(Error::corrupt(format!(
+                "zfp stream claims {n_chunks} chunks for {nblocks} blocks"
+            ))
+            .in_plugin(p));
+        }
+        let mut sections: Vec<&[u8]> = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let nbits = r.get_u64()?;
+            let bytes = r.get_section()?;
+            if bytes.len() as u64 != nbits.div_ceil(8) {
+                return Err(Error::corrupt(format!(
+                    "zfp chunk directory declares {nbits} bits but carries {} bytes",
+                    bytes.len()
+                ))
+                .in_plugin(p));
+            }
+            sections.push(bytes);
+        }
+        let values = if n_chunks == 1 {
+            decompress_f64(sections[0], &fdims, mode)
+        } else {
+            decompress_f64_chunks(&sections, &fdims, mode)
+        }
+        .map_err(|e| e.in_plugin(p))?;
         if output.dtype() != dtype {
             return Err(Error::invalid_argument(format!(
                 "output dtype {} does not match stream dtype {dtype}",
                 output.dtype()
             ))
-            .in_plugin("zfp"));
+            .in_plugin(p));
         }
         let n: usize = dims.iter().product();
         if output.num_elements() != n {
@@ -231,9 +333,10 @@ impl Compressor for Zfp {
     }
 }
 
-/// Register the `zfp` plugin.
+/// Register the `zfp` and `zfp_omp` plugins.
 pub fn register_builtins() {
     registry().register_compressor("zfp", || Box::new(Zfp::default()));
+    registry().register_compressor("zfp_omp", || Box::new(Zfp::omp()));
 }
 
 #[cfg(test)]
@@ -347,6 +450,9 @@ mod tests {
         assert!(c
             .check_options(&Options::new().with("zfp:precision", 0u32))
             .is_err());
+        assert!(c
+            .check_options(&Options::new().with("zfp:nthreads", 0u32))
+            .is_err());
     }
 
     #[test]
@@ -379,10 +485,92 @@ mod tests {
     }
 
     #[test]
+    fn omp_uses_its_own_prefix() {
+        let c = Zfp::omp();
+        assert_eq!(c.name(), "zfp_omp");
+        let o = c.get_options();
+        assert_eq!(o.get_as::<u32>("zfp_omp:nthreads").unwrap(), Some(4));
+        assert!(o.contains("zfp_omp:accuracy"));
+        let mut c = Zfp::omp();
+        c.set_options(&Options::new().with(pressio_core::OPT_NTHREADS, 7u32))
+            .unwrap();
+        assert_eq!(c.get_options().get_as::<u32>("zfp_omp:nthreads").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn omp_roundtrip_matches_serial_values() {
+        let input = field(9, 21, 13); // partial blocks in every dimension
+        for threads in [2u32, 7] {
+            let mut serial = Zfp::default();
+            serial
+                .set_options(&Options::new().with("zfp:accuracy", 1e-4f64))
+                .unwrap();
+            let mut par = Zfp::omp();
+            par.set_options(
+                &Options::new()
+                    .with("zfp_omp:accuracy", 1e-4f64)
+                    .with("zfp_omp:nthreads", threads),
+            )
+            .unwrap();
+            let cs = serial.compress(&input).unwrap();
+            let cp = par.compress(&input).unwrap();
+            let mut outs = Data::owned(DType::F64, vec![9, 21, 13]);
+            let mut outp = Data::owned(DType::F64, vec![9, 21, 13]);
+            serial.decompress(&cs, &mut outs).unwrap();
+            par.decompress(&cp, &mut outp).unwrap();
+            // Chunking never changes decoded values, only stream framing.
+            assert_eq!(
+                outs.to_f64_vec().unwrap(),
+                outp.to_f64_vec().unwrap(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_streams_cross_decode() {
+        let input = field(4, 12, 10);
+        let mut par = Zfp::omp();
+        par.set_options(&Options::new().with("zfp_omp:nthreads", 3u32))
+            .unwrap();
+        let cp = par.compress(&input).unwrap();
+        // A serial instance decodes the multi-chunk stream...
+        let mut serial = Zfp::default();
+        let mut out = Data::owned(DType::F64, vec![4, 12, 10]);
+        serial.decompress(&cp, &mut out).unwrap();
+        assert!(max_err(&input, &out) <= 1e-3);
+        // ...and the parallel instance decodes a serial stream.
+        let cs = serial.compress(&input).unwrap();
+        let mut out2 = Data::owned(DType::F64, vec![4, 12, 10]);
+        par.decompress(&cs, &mut out2).unwrap();
+        assert!(max_err(&input, &out2) <= 1e-3);
+    }
+
+    #[test]
+    fn chunk_directory_validates_bit_lengths() {
+        let input = field(4, 12, 10);
+        let mut par = Zfp::omp();
+        par.set_options(&Options::new().with("zfp_omp:nthreads", 3u32))
+            .unwrap();
+        let cp = par.compress(&input).unwrap();
+        // Corrupt the first chunk's declared bit length (directly after the
+        // fixed header: magic + dtype + dims(count + 3 x u64) + tag + param
+        // + chunk count).
+        let mut bad = cp.as_bytes().to_vec();
+        let dir = 4 + 1 + (4 + 3 * 8) + 1 + 8 + 4;
+        bad[dir] ^= 0xFF;
+        let mut out = Data::owned(DType::F64, vec![4, 12, 10]);
+        assert!(par.decompress(&Data::from_bytes(&bad), &mut out).is_err());
+    }
+
+    #[test]
     fn registered_and_constructible() {
         register_builtins();
         let h = registry().compressor("zfp").unwrap();
         assert_eq!(h.name(), "zfp");
+        assert_eq!(h.thread_safety(), ThreadSafety::Multiple);
+        let h = registry().compressor("zfp_omp").unwrap();
+        assert_eq!(h.name(), "zfp_omp");
         assert_eq!(h.thread_safety(), ThreadSafety::Multiple);
     }
 }

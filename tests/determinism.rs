@@ -1,0 +1,177 @@
+//! Determinism of the pooled execution paths.
+//!
+//! The shared execution engine's contract is that chunk splitting depends
+//! only on the *requested* piece count and the input size — never on how
+//! many workers the host machine happens to have. These tests pin that
+//! down end-to-end for every engine-backed plugin:
+//!
+//! * `zfp_omp` decodes to exactly the serial `zfp` values for any thread
+//!   count (ZFP blocks are coded independently, so chunking cannot change
+//!   a single output bit);
+//! * `sz_omp` holds the error bound for any thread count, including counts
+//!   that do not divide the field;
+//! * repeated compression with the same thread count yields byte-identical
+//!   streams (reproducible archives);
+//! * chunked Huffman and deflate streams decode to the original input, and
+//!   a single-piece parallel encode is byte-identical to the serial encode.
+
+use libpressio::core::{value_range, OPT_REL};
+use libpressio::prelude::*;
+
+const REL: f64 = 1e-3;
+
+/// Thread counts exercised everywhere: serial, even split, and a count
+/// that divides neither the element count nor the block count below.
+const THREADS: [i64; 3] = [1, 2, 7];
+
+/// A 10x9x8 field: 720 elements, 3x3x2 = 18 ZFP blocks — neither is
+/// divisible by 7, so the uneven-chunk paths are always exercised.
+fn field() -> Data {
+    libpressio::init();
+    libpressio::datagen::scale_letkf(10, 9, 8, 77)
+}
+
+fn abs_bound(input: &Data) -> f64 {
+    REL * value_range(&input.to_f64_vec().expect("f64 view"))
+}
+
+fn max_err(a: &Data, b: &Data) -> f64 {
+    a.to_f64_vec()
+        .expect("f64 view")
+        .iter()
+        .zip(b.to_f64_vec().expect("f64 view").iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn roundtrip(name: &str, nthreads: Option<i64>, input: &Data) -> (Vec<u8>, Data) {
+    let library = libpressio::instance();
+    let mut c = library.get_compressor(name).expect(name);
+    let mut opts = Options::new().with(OPT_REL, REL);
+    if let Some(n) = nthreads {
+        opts.set(format!("{name}:nthreads"), n);
+    }
+    c.set_options(&opts).expect("options");
+    let compressed = c.compress(input).expect("compress");
+    let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+    c.decompress(&compressed, &mut output).expect("decompress");
+    (compressed.as_bytes().to_vec(), output)
+}
+
+#[test]
+fn zfp_pooled_values_match_serial_for_every_thread_count() {
+    let input = field();
+    let (_, serial) = roundtrip("zfp", None, &input);
+    assert!(max_err(&input, &serial) <= abs_bound(&input));
+    for nt in THREADS {
+        let (_, pooled) = roundtrip("zfp_omp", Some(nt), &input);
+        // Blocks are coded independently: chunking must not change a bit.
+        assert_eq!(
+            serial.as_bytes(),
+            pooled.as_bytes(),
+            "zfp_omp nthreads={nt} decoded different values than serial zfp"
+        );
+    }
+}
+
+#[test]
+fn sz_pooled_holds_bound_for_every_thread_count() {
+    let input = field();
+    let bound = abs_bound(&input);
+    for nt in THREADS {
+        let (_, pooled) = roundtrip("sz_omp", Some(nt), &input);
+        let err = max_err(&input, &pooled);
+        assert!(
+            err <= bound * (1.0 + 1e-12),
+            "sz_omp nthreads={nt}: max error {err} exceeds bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn pooled_streams_are_reproducible() {
+    let input = field();
+    for name in ["zfp_omp", "sz_omp"] {
+        for nt in THREADS {
+            let (a, _) = roundtrip(name, Some(nt), &input);
+            let (b, _) = roundtrip(name, Some(nt), &input);
+            assert_eq!(a, b, "{name} nthreads={nt} stream is not deterministic");
+        }
+    }
+}
+
+#[test]
+fn serial_zfp_decodes_pooled_streams() {
+    // The chunk directory is part of the zfp envelope, not of the omp
+    // variant: the serial plugin must decode any pooled stream.
+    let input = field();
+    let library = libpressio::instance();
+    for nt in THREADS {
+        let (stream, pooled) = roundtrip("zfp_omp", Some(nt), &input);
+        let mut serial = library.get_compressor("zfp").expect("zfp");
+        serial
+            .set_options(&Options::new().with(OPT_REL, REL))
+            .expect("options");
+        let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+        serial
+            .decompress(&Data::from_bytes(&stream), &mut output)
+            .expect("cross-decode");
+        assert_eq!(output.as_bytes(), pooled.as_bytes(), "nthreads={nt}");
+    }
+}
+
+#[test]
+fn chunked_huffman_is_deterministic_and_lossless() {
+    use libpressio::codecs::huffman;
+    // Large enough that the per-chunk minimum (64 Ki symbols) still allows
+    // real splitting; 200_003 is prime, so every piece count is uneven.
+    let symbols: Vec<u32> = (0..200_003u32).map(|i| i.wrapping_mul(31) % 257).collect();
+    let serial = huffman::encode(&symbols, 257).expect("encode");
+    assert_eq!(huffman::decode(&serial).expect("decode"), symbols);
+    // One piece is the serial path, byte for byte.
+    let one = huffman::encode_par(&symbols, 257, 1).expect("encode_par 1");
+    assert_eq!(one, serial);
+    for pieces in [2usize, 7] {
+        let a = huffman::encode_par(&symbols, 257, pieces).expect("encode_par");
+        let b = huffman::encode_par(&symbols, 257, pieces).expect("encode_par");
+        assert_eq!(a, b, "pieces={pieces} stream not deterministic");
+        assert_eq!(huffman::decode(&a).expect("decode"), symbols, "pieces={pieces}");
+    }
+}
+
+#[test]
+fn chunked_deflate_is_deterministic_and_lossless() {
+    use libpressio::codecs::deflate;
+    let data: Vec<u8> = (0..300_001usize).map(|i| (i * 7 % 251) as u8).collect();
+    let serial = deflate::compress(&data);
+    assert_eq!(deflate::decompress(&serial).expect("decompress"), data);
+    let one = deflate::compress_par(&data, 1);
+    assert_eq!(one, serial);
+    for pieces in [2usize, 7] {
+        let a = deflate::compress_par(&data, pieces);
+        let b = deflate::compress_par(&data, pieces);
+        assert_eq!(a, b, "pieces={pieces} stream not deterministic");
+        assert_eq!(deflate::decompress(&a).expect("decompress"), data, "pieces={pieces}");
+    }
+}
+
+#[test]
+fn byte_codec_nthreads_option_roundtrips_losslessly() {
+    let input = field();
+    let library = libpressio::instance();
+    for name in ["huffman", "deflate"] {
+        for nt in THREADS {
+            let mut c = library.get_compressor(name).expect(name);
+            c.set_options(&Options::new().with(format!("{name}:nthreads"), nt))
+                .expect("options");
+            let compressed = c.compress(&input).expect("compress");
+            let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+            c.decompress(&compressed, &mut output).expect("decompress");
+            assert_eq!(
+                input.as_bytes(),
+                output.as_bytes(),
+                "{name} nthreads={nt} is not lossless"
+            );
+        }
+    }
+}
