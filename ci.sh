@@ -4,15 +4,24 @@
 #   1. pressio-lint      — workspace static analysis (see lint-allow.txt)
 #   2. cargo clippy      — compiler lints, warnings are errors
 #   3. cargo test        — unit + integration tests, including the live
-#                          plugin-contract checker (crates/tools/tests)
+#                          plugin-contract checker (crates/tools/tests),
+#                          the golden-stream corpus (tests/golden_streams.rs)
+#                          and the metrics reference suite
+#                          (crates/metrics/tests/reference.rs)
 #   4. pressio fuzz-decode — every decoder against deterministically
 #                          corrupted streams: structured errors only,
 #                          no panics, no hangs
-#   5. pressio bench --quick — the overhead harness end-to-end: emits
-#                          BENCH_overhead.json and re-validates it against
-#                          the pressio-bench/overhead-v1 schema. Timings are
-#                          reported, never gated: wall-clock on a shared CI
-#                          box is noise, so only structure is asserted.
+#   5. pressio trace --check — tracing smoke: a traced sz round trip must
+#                          produce a non-empty, well-nested span tree with
+#                          both handle-level spans
+#   6. pressio bench --check — the *committed* BENCH_overhead.json must
+#                          satisfy the pressio-bench/overhead-v1 schema,
+#                          including self-consistency of the derived
+#                          overhead_pct and speedup fields; then the quick
+#                          harness runs end-to-end into target/ and its
+#                          output is checked the same way. Timings are
+#                          reported, never gated: wall-clock on a shared
+#                          CI box is noise, so only structure is asserted.
 #
 # Usage: ./ci.sh
 set -eu
@@ -25,14 +34,20 @@ cargo run -q -p pressio-tools --bin pressio-lint -- --root . --strict-allowlist
 echo "== clippy (deny warnings)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
-echo "== tests"
+echo "== tests (unit + integration + golden corpus + metrics references)"
 cargo test -q --workspace
 
 echo "== decoder corruption fuzz"
 cargo run -q -p pressio-tools --bin pressio -- fuzz-decode --iterations 64 --seed 1
 
-echo "== bench harness (quick) + schema check"
-cargo run -q --release -p pressio-tools --bin pressio -- bench --quick --out BENCH_overhead.json
+echo "== trace smoke (span tree well-nested)"
+cargo run -q --release -p pressio-tools --bin pressio -- trace sz --check
+
+echo "== committed BENCH_overhead.json: schema + self-consistency"
 cargo run -q --release -p pressio-tools --bin pressio -- bench --check --out BENCH_overhead.json
+
+echo "== bench harness end-to-end (quick, emits to target/)"
+cargo run -q --release -p pressio-tools --bin pressio -- bench --quick --out target/BENCH_overhead_ci.json
+cargo run -q --release -p pressio-tools --bin pressio -- bench --check --out target/BENCH_overhead_ci.json
 
 echo "== ci.sh: all gates passed"

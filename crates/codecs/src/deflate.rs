@@ -39,8 +39,10 @@ pub fn compress_par(data: &[u8], pieces: usize) -> Vec<u8> {
         return compress(data);
     }
     let ranges = pressio_core::chunk_ranges(data.len(), pieces);
-    let chunks =
-        pressio_core::par_map_indexed(ranges.len(), |i| Ok(compress(&data[ranges[i].clone()])));
+    let chunks = pressio_core::par_map_indexed(ranges.len(), |i| {
+        let _s = pressio_core::trace::span_labeled("deflate:compress_chunk", || format!("chunk {i}"));
+        Ok(compress(&data[ranges[i].clone()]))
+    });
     match chunks {
         Ok(chunks) => {
             let total: usize = chunks.iter().map(|c| c.len()).sum();
@@ -77,6 +79,7 @@ fn decompress_chunked(data: &[u8]) -> Result<Vec<u8>> {
         sections.push(r.get_section()?);
     }
     let decoded = pressio_core::par_map_indexed(sections.len(), |i| {
+        let _s = pressio_core::trace::span_labeled("deflate:decompress_chunk", || format!("chunk {i}"));
         let s = sections[i];
         if s.len() >= 4 && s[..4] == CHUNK_MAGIC.to_le_bytes() {
             // A chunk must be a plain stream: unbounded nesting would let a

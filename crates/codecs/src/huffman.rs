@@ -256,6 +256,7 @@ pub fn encode_par(symbols: &[u32], alphabet: u32, pieces: usize) -> Result<Vec<u
     }
     let ranges = pressio_core::chunk_ranges(symbols.len(), pieces);
     let chunks = pressio_core::par_map_indexed(ranges.len(), |i| {
+        let _s = pressio_core::trace::span_labeled("huffman:encode_chunk", || format!("chunk {i}"));
         encode(&symbols[ranges[i].clone()], alphabet)
     })?;
     let total: usize = chunks.iter().map(|c| c.len()).sum();
@@ -290,6 +291,7 @@ fn decode_chunked(mut r: ByteReader<'_>) -> Result<Vec<u32>> {
         sections.push(r.get_section()?);
     }
     let decoded = pressio_core::par_map_indexed(sections.len(), |i| {
+        let _s = pressio_core::trace::span_labeled("huffman:decode_chunk", || format!("chunk {i}"));
         let mut cr = ByteReader::new(sections[i]);
         let alphabet = cr.get_u32()?;
         if alphabet == CHUNK_MAGIC {

@@ -72,6 +72,7 @@ impl Shared {
             }
         }
         if let Some(t) = lock_ignore_poison(&self.injector).pop_front() {
+            crate::trace::count("exec:injector_pop", 1);
             return Some(t);
         }
         for (i, q) in self.locals.iter().enumerate() {
@@ -79,6 +80,7 @@ impl Shared {
                 continue;
             }
             if let Some(t) = lock_ignore_poison(q).pop_front() {
+                crate::trace::count("exec:steal", 1);
                 return Some(t);
             }
         }
@@ -86,6 +88,7 @@ impl Shared {
     }
 
     fn submit(&self, tasks: Vec<Task>) {
+        crate::trace::count("exec:queued", tasks.len() as u64);
         {
             let mut rr = lock_ignore_poison(&self.rr);
             for t in tasks {
@@ -199,6 +202,7 @@ struct Job<'f, T> {
 
 impl<T> Job<'_, T> {
     fn run_one(&self, idx: usize) {
+        crate::trace::count("exec:run", 1);
         let result = match catch_unwind(AssertUnwindSafe(|| (self.f)(idx))) {
             Ok(r) => r,
             Err(_) => Err(Error::internal(format!(

@@ -7,7 +7,6 @@
 //! measures against native calls.
 
 use std::ops::{Deref, DerefMut};
-use std::time::Instant;
 
 use crate::compressor::Compressor;
 use crate::data::Data;
@@ -105,9 +104,17 @@ impl CompressorHandle {
         for m in &mut self.metrics {
             m.begin_compress(input);
         }
-        let start = Instant::now();
-        let compressed = self.inner.compress(input)?;
-        let elapsed = start.elapsed();
+        // Only materialize the label when a collector is listening;
+        // `String::new` does not allocate, so the disabled path stays free.
+        let name = if crate::trace::is_enabled() {
+            self.inner.name().to_string()
+        } else {
+            String::new()
+        };
+        let (result, elapsed) = crate::trace::timed("handle:compress", || name, || {
+            self.inner.compress(input)
+        });
+        let compressed = result?;
         for m in &mut self.metrics {
             m.end_compress(input, &compressed, elapsed);
         }
@@ -119,9 +126,17 @@ impl CompressorHandle {
         for m in &mut self.metrics {
             m.begin_decompress(compressed);
         }
-        let start = Instant::now();
-        self.inner.decompress(compressed, output)?;
-        let elapsed = start.elapsed();
+        // Only materialize the label when a collector is listening;
+        // `String::new` does not allocate, so the disabled path stays free.
+        let name = if crate::trace::is_enabled() {
+            self.inner.name().to_string()
+        } else {
+            String::new()
+        };
+        let (result, elapsed) = crate::trace::timed("handle:decompress", || name, || {
+            self.inner.decompress(compressed, output)
+        });
+        result?;
         for m in &mut self.metrics {
             m.end_decompress(compressed, output, elapsed);
         }

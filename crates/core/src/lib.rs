@@ -63,6 +63,7 @@ pub mod io;
 pub mod metrics;
 pub mod options;
 pub mod registry;
+pub mod trace;
 pub mod version;
 pub mod wire;
 
@@ -87,5 +88,6 @@ pub use options::{
     validate_plugin_options, CastSafety, FromOptionValue, OptionKind, OptionValue, Options,
 };
 pub use registry::{registry, Pressio, Registry};
+pub use trace::{chrome_trace_json, SpanEvent, TraceReport};
 pub use version::Version;
 pub use wire::{bytes_to_elements, checked_geometry, elements_as_bytes, ByteReader, ByteWriter, MAX_DECODE_BYTES};

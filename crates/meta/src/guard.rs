@@ -211,7 +211,11 @@ impl Guard {
                 let mut s = self.stats.lock();
                 s.attempts += 1;
             }
-            let (returned, outcome) = self.timed(child, what, op.clone());
+            let (returned, outcome) = {
+                let _span =
+                    pressio_core::trace::span_labeled("guard:attempt", || format!("{name} {what}"));
+                self.timed(child, what, op.clone())
+            };
             match outcome {
                 Ok(v) => return (returned, Ok(v)),
                 Err(e) => {
@@ -220,11 +224,13 @@ impl Guard {
                         s.failures += 1;
                         if e.code() == ErrorCode::Timeout {
                             s.timeouts += 1;
+                            pressio_core::trace::count("guard:timeout", 1);
                         }
                     }
                     if attempt >= self.max_retries || !e.is_transient() {
                         return (returned, Err(e));
                     }
+                    pressio_core::trace::count("guard:retry", 1);
                     // Child lost to a detached worker: arm a fresh instance
                     // of the same candidate for the retry.
                     child = match returned {
@@ -303,6 +309,8 @@ impl Guard {
 
     /// Round-trip verification of a candidate's output stream.
     fn verify_payload(&self, candidate: &str, input: &Data, payload: &[u8]) -> Result<()> {
+        let _span = pressio_core::trace::span("guard:verify");
+        pressio_core::trace::count("guard:verify", 1);
         let checker = self.arm(candidate)?;
         let compressed = Data::from_bytes(payload);
         let dtype = input.dtype();
@@ -500,6 +508,7 @@ impl Compressor for Guard {
                     }
                     if rank > 0 {
                         self.stats.lock().fallback_served += 1;
+                        pressio_core::trace::count("guard:fallback", 1);
                     }
                     self.served_by = Some(name.clone());
                     return Ok(self.frame(name, input, payload));
@@ -826,7 +835,10 @@ mod tests {
 
     #[test]
     fn run_with_deadline_contains_panics() {
-        let r: Result<()> = run_with_deadline(50, "test", || panic!("boom"));
+        // Generous deadline: the worker panics immediately, but under a
+        // loaded test host its thread may take tens of ms to even start —
+        // the deadline must not win that race.
+        let r: Result<()> = run_with_deadline(5_000, "test", || panic!("boom"));
         assert_eq!(r.unwrap_err().code(), ErrorCode::Internal);
         let r = run_with_deadline(0, "test", || 41 + 1);
         assert_eq!(r.unwrap(), 42);

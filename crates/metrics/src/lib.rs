@@ -5,7 +5,8 @@
 //! Plugins (attach by name via `Pressio::new_metrics(&["size", ...])`):
 //! `size`, `time`, `error_stat`, `pearson`, `autocorr`, `kth_error`,
 //! `ks_test`, `kl_divergence`, `diff_pdf`, `spatial_error`,
-//! `region_of_interest`, and the `masked` meta-metric.
+//! `region_of_interest`, the `masked` meta-metric, and `trace` (per-stage
+//! pipeline wall times and counters from [`pressio_core::trace`]).
 //!
 //! The [`stats`] module provides the underlying machinery — descriptive
 //! statistics, histograms, correlation, the Kolmogorov–Smirnov test, and
@@ -21,6 +22,7 @@ pub mod features;
 pub mod quality;
 pub mod spatial;
 pub mod stats;
+pub mod trace;
 
 pub use basic::{SizeMetric, TimeMetric};
 pub use composite::CompositeMetric;
@@ -28,6 +30,7 @@ pub use features::CriticalPointsMetric;
 pub use distribution::{DiffPdfMetric, KlDivergenceMetric, KsTestMetric};
 pub use quality::{AutocorrMetric, ErrorStat, KthErrorMetric, PearsonMetric};
 pub use spatial::{MaskedMetric, RegionOfInterestMetric, SpatialErrorMetric};
+pub use trace::TraceMetric;
 
 /// Register every metrics plugin of this crate into the global registry.
 pub fn register_builtins() {
@@ -52,6 +55,7 @@ pub fn register_builtins() {
     reg.register_metrics("masked", || {
         Box::new(MaskedMetric::new(Box::new(ErrorStat::default())))
     });
+    reg.register_metrics("trace", || Box::new(TraceMetric::default()));
 }
 
 #[cfg(test)]
@@ -75,6 +79,7 @@ mod tests {
             "composite",
             "critical_points",
             "masked",
+            "trace",
         ] {
             let m = reg.metrics(name).unwrap();
             assert_eq!(m.name(), name);

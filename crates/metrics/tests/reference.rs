@@ -1,0 +1,222 @@
+//! Cross-checks of the quality metrics against independent textbook
+//! implementations.
+//!
+//! The plugins (`error_stat`, `pearson`, `autocorr`) and the [`stats`]
+//! substrate are trusted by every experiment in the repo; these tests
+//! recompute their answers with deliberately naive, obviously-correct
+//! formulas on pseudo-random buffers and require agreement to ~1e-12
+//! relative, plus defined behavior on the degenerate inputs (empty,
+//! single-element, constant) that the textbook formulas divide by zero on.
+
+use std::time::Duration;
+
+use pressio_core::{Data, MetricsPlugin, Options, OptionValue};
+use pressio_metrics::stats;
+use pressio_metrics::{AutocorrMetric, ErrorStat, PearsonMetric};
+
+/// Deterministic pseudo-random values in `(-scale, scale)`.
+fn lcg_values(n: usize, seed: u64, scale: f64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 * scale - scale
+        })
+        .collect()
+}
+
+/// Drive a metrics plugin through one observed round trip.
+fn run_pair(m: &mut dyn MetricsPlugin, orig: &[f64], dec: &[f64]) -> Options {
+    let input = Data::from_slice(orig, vec![orig.len()]).expect("input");
+    let output = Data::from_slice(dec, vec![dec.len()]).expect("output");
+    let fake = Data::from_bytes(&[0]);
+    m.begin_compress(&input);
+    m.end_compress(&input, &fake, Duration::ZERO);
+    m.begin_decompress(&fake);
+    m.end_decompress(&fake, &output, Duration::ZERO);
+    m.results()
+}
+
+fn get_f64(o: &Options, key: &str) -> f64 {
+    o.get_as::<f64>(key)
+        .expect("typed")
+        .unwrap_or_else(|| panic!("missing {key}"))
+}
+
+/// |a - b| within `tol` relative to max(|a|, |b|, 1); two NaNs agree
+/// (both implementations declaring the quantity undefined is agreement).
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+// ------------------------------------------------------- naive references
+
+fn ref_mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn ref_mse(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (y - x) * (y - x)).sum::<f64>() / a.len() as f64
+}
+
+fn ref_max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (y - x).abs()).fold(0.0, f64::max)
+}
+
+fn ref_pearson(a: &[f64], b: &[f64]) -> f64 {
+    let (ma, mb) = (ref_mean(a), ref_mean(b));
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// The glossary definition the library documents: Pearson of
+/// `v[..n-lag]` against `v[lag..]`.
+fn ref_autocorr(v: &[f64], lag: usize) -> f64 {
+    ref_pearson(&v[..v.len() - lag], &v[lag..])
+}
+
+// ----------------------------------------------------------------- tests
+
+#[test]
+fn error_stat_matches_reference_on_random_buffers() {
+    for (n, seed) in [(17usize, 3u64), (1000, 7), (4096, 11)] {
+        let orig = lcg_values(n, seed, 100.0);
+        let noise = lcg_values(n, seed ^ 0xdead_beef, 0.5);
+        let dec: Vec<f64> = orig.iter().zip(&noise).map(|(a, e)| a + e).collect();
+        let r = run_pair(&mut ErrorStat::default(), &orig, &dec);
+
+        let mse = ref_mse(&orig, &dec);
+        assert!(close(get_f64(&r, "error_stat:mse"), mse, 1e-12), "mse n={n}");
+        assert!(close(get_f64(&r, "error_stat:rmse"), mse.sqrt(), 1e-12));
+        assert!(close(get_f64(&r, "error_stat:max_error"), ref_max_err(&orig, &dec), 1e-12));
+        assert!(close(
+            get_f64(&r, "error_stat:average_difference"),
+            (dec.iter().sum::<f64>() - orig.iter().sum::<f64>()) / n as f64,
+            1e-10
+        ));
+        assert!(close(
+            get_f64(&r, "error_stat:average_error"),
+            orig.iter().zip(&dec).map(|(a, b)| (b - a).abs()).sum::<f64>() / n as f64,
+            1e-12
+        ));
+        let min = orig.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = orig.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(close(get_f64(&r, "error_stat:value_min"), min, 1e-12));
+        assert!(close(get_f64(&r, "error_stat:value_max"), max, 1e-12));
+        assert!(close(get_f64(&r, "error_stat:value_range"), max - min, 1e-12));
+        assert!(close(get_f64(&r, "error_stat:value_mean"), ref_mean(&orig), 1e-12));
+        let psnr = 20.0 * (max - min).log10() - 10.0 * mse.log10();
+        assert!(close(get_f64(&r, "error_stat:psnr"), psnr, 1e-12), "psnr n={n}");
+        assert!(close(
+            get_f64(&r, "error_stat:max_rel_error"),
+            ref_max_err(&orig, &dec) / (max - min),
+            1e-12
+        ));
+        assert_eq!(r.get_as::<u64>("error_stat:n").expect("typed"), Some(n as u64));
+    }
+}
+
+#[test]
+fn pearson_matches_reference_on_random_buffers() {
+    for (n, seed) in [(2usize, 5u64), (333, 9), (2048, 13)] {
+        let a = lcg_values(n, seed, 10.0);
+        // Correlated but not identical: b = 0.8 a + noise.
+        let noise = lcg_values(n, seed ^ 0x5a5a, 2.0);
+        let b: Vec<f64> = a.iter().zip(&noise).map(|(x, e)| 0.8 * x + e).collect();
+        let r = run_pair(&mut PearsonMetric::default(), &a, &b);
+        let expected = ref_pearson(&a, &b);
+        assert!(
+            close(get_f64(&r, "pearson:r"), expected, 1e-12),
+            "n={n}: {} vs reference {expected}",
+            get_f64(&r, "pearson:r")
+        );
+        assert!(close(get_f64(&r, "pearson:r2"), expected * expected, 1e-12));
+        // And the substrate agrees with the plugin.
+        assert!(close(stats::pearson(&a, &b), expected, 1e-12));
+    }
+}
+
+#[test]
+fn autocorrelation_matches_reference_on_random_buffers() {
+    let n = 512;
+    let v = lcg_values(n, 21, 1.0);
+    for lag in [1usize, 2, 5, 10, 100, 511] {
+        let expected = ref_autocorr(&v, lag);
+        let got = stats::autocorrelation(&v, lag);
+        assert!(
+            close(got, expected, 1e-12),
+            "lag {lag}: {got} vs reference {expected}"
+        );
+    }
+    // Through the plugin: the error series is dec - orig.
+    let orig = lcg_values(n, 33, 50.0);
+    let errs = lcg_values(n, 44, 0.1);
+    let dec: Vec<f64> = orig.iter().zip(&errs).map(|(a, e)| a + e).collect();
+    let mut m = AutocorrMetric::default();
+    m.set_options(&Options::new().with("autocorr:max_lags", 4u64)).expect("options");
+    let r = run_pair(&mut m, &orig, &dec);
+    match r.get("autocorr:autocorr").expect("autocorr buffer") {
+        OptionValue::Data(d) => {
+            let lags = d.as_slice::<f64>().expect("f64 buffer");
+            assert_eq!(lags.len(), 4);
+            for (i, got) in lags.iter().enumerate() {
+                let expected = ref_autocorr(&errs, i + 1);
+                assert!(
+                    close(*got, expected, 1e-12),
+                    "plugin lag {}: {got} vs reference {expected}",
+                    i + 1
+                );
+            }
+        }
+        other => panic!("expected data buffer, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_buffers_produce_no_spurious_results() {
+    // An empty observed pair must not emit statistics (and must not panic
+    // or divide by zero).
+    let r = run_pair(&mut ErrorStat::default(), &[], &[]);
+    assert!(r.get_as::<f64>("error_stat:mse").expect("typed").is_none());
+    let r = run_pair(&mut PearsonMetric::default(), &[], &[]);
+    // Pearson of nothing is undefined: either absent or NaN, never a value.
+    if let Some(v) = r.get_as::<f64>("pearson:r").expect("typed") {
+        assert!(v.is_nan(), "pearson of empty buffers produced {v}");
+    }
+    assert!(stats::pearson(&[], &[]).is_nan());
+}
+
+#[test]
+fn single_element_buffers_are_degenerate_but_defined() {
+    let r = run_pair(&mut ErrorStat::default(), &[2.5], &[2.0]);
+    assert_eq!(r.get_as::<f64>("error_stat:mse").expect("typed"), Some(0.25));
+    assert_eq!(r.get_as::<f64>("error_stat:max_error").expect("typed"), Some(0.5));
+    assert_eq!(r.get_as::<f64>("error_stat:value_range").expect("typed"), Some(0.0));
+    // Range 0: PSNR and relative error are undefined and must be absent.
+    assert!(r.get_as::<f64>("error_stat:psnr").expect("typed").is_none());
+    assert!(r.get_as::<f64>("error_stat:max_rel_error").expect("typed").is_none());
+
+    // A single identical pair is perfectly correlated by convention; a
+    // single differing pair has no defined correlation.
+    assert_eq!(stats::pearson(&[1.0], &[1.0]), 1.0);
+    assert!(stats::pearson(&[1.0], &[2.0]).is_nan());
+
+    // Any lag >= len is out of range.
+    assert!(stats::autocorrelation(&[1.0], 1).is_nan());
+    assert!(stats::autocorrelation(&[], 1).is_nan());
+}
+
+#[test]
+fn constant_series_edge_cases() {
+    // Constant vs identical constant: r = 1 by the library's documented
+    // convention; constant vs different series: undefined (NaN).
+    let c = [3.0; 64];
+    assert_eq!(stats::pearson(&c, &c), 1.0);
+    let v = lcg_values(64, 55, 1.0);
+    assert!(stats::pearson(&c, &v).is_nan());
+    // Autocorrelation of a constant series compares two identical constant
+    // windows, so the identical-series convention applies: r = 1.
+    assert_eq!(stats::autocorrelation(&c, 3), 1.0);
+}

@@ -227,12 +227,19 @@ pub fn compress_body<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Re
             p.radius
         )));
     }
-    let q = predict_quantize(data, dims, p);
-    let huff_raw = huffman::encode(&q.codes, 2 * p.radius)?;
+    let q = {
+        let _s = pressio_core::trace::span("sz:predict_quantize");
+        predict_quantize(data, dims, p)
+    };
+    let huff_raw = {
+        let _s = pressio_core::trace::span("sz:huffman_encode");
+        huffman::encode(&q.codes, 2 * p.radius)?
+    };
     let unpred_bytes = elements_as_bytes(&q.unpredictable);
     // Best-compression mode (sz_mode = 1) applies the lossless backend over
     // both sections, like SZ's gzip/zstd stage; best-speed mode skips it.
     let (huff, unpred_payload) = if p.lossless_unpredictable {
+        let _s = pressio_core::trace::span("sz:deflate");
         (
             deflate::compress(&huff_raw),
             deflate::compress(unpred_bytes),
@@ -271,6 +278,7 @@ pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>
     let huff_section = r.get_section()?;
     let unpred_payload = r.get_section()?;
     let (huff, unpred_bytes) = if lossless {
+        let _s = pressio_core::trace::span("sz:deflate_decode");
         (
             deflate::decompress(huff_section)?,
             deflate::decompress(unpred_payload)?,
@@ -278,7 +286,10 @@ pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>
     } else {
         (huff_section.to_vec(), unpred_payload.to_vec())
     };
-    let codes = huffman::decode(&huff)?;
+    let codes = {
+        let _s = pressio_core::trace::span("sz:huffman_decode");
+        huffman::decode(&huff)?
+    };
     let unpredictable: Vec<T> = bytes_to_elements(&unpred_bytes)?;
     if unpredictable.len() != n_unpred {
         return Err(Error::corrupt(format!(
@@ -291,6 +302,7 @@ pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>
         radius,
         lossless_unpredictable: lossless,
     };
+    let _s = pressio_core::trace::span("sz:reconstruct");
     predict_reconstruct(&codes, &unpredictable, dims, &p)
 }
 

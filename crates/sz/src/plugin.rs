@@ -176,6 +176,7 @@ impl Sz {
         let ranges = self.chunk_ranges(dims);
         let row: usize = dims.iter().skip(1).product::<usize>().max(1);
         pressio_core::par_map_indexed(ranges.len(), |w| {
+            let _s = pressio_core::trace::span_labeled("sz:compress_chunk", || format!("chunk {w}"));
             let (lo, hi) = ranges[w];
             let rows = (hi - lo) / row;
             let mut cdims = vec![rows];
@@ -198,6 +199,7 @@ impl Sz {
         let base = slow / workers;
         let extra = slow % workers;
         let chunks = pressio_core::par_map_indexed(workers, |w| {
+            let _s = pressio_core::trace::span_labeled("sz:decompress_chunk", || format!("chunk {w}"));
             let rows = base + usize::from(w < extra);
             let mut cdims = vec![rows];
             cdims.extend_from_slice(&dims[1.min(dims.len())..]);
@@ -584,6 +586,7 @@ struct PwRelStaged {
 
 /// Forward log transform of pw_rel mode.
 fn pw_rel_forward(values: &[f64], floor: f64) -> PwRelStaged {
+    let _s = pressio_core::trace::span("sz:pw_rel_forward");
     let mut logs = Vec::with_capacity(values.len());
     let mut signs = vec![0u8; values.len().div_ceil(8)];
     let mut exc: Vec<(u64, u64)> = Vec::new();
@@ -613,6 +616,7 @@ fn pw_rel_forward(values: &[f64], floor: f64) -> PwRelStaged {
 
 /// Inverse of [`pw_rel_forward`] applied to reconstructed logs.
 fn pw_rel_inverse(logs: &[f64], signs: &[u8], exceptions: &[u8]) -> Result<Vec<f64>> {
+    let _s = pressio_core::trace::span("sz:pw_rel_inverse");
     if signs.len() < logs.len().div_ceil(8) || exceptions.len() < 8 {
         return Err(Error::corrupt("pw_rel side sections truncated"));
     }

@@ -632,13 +632,25 @@ pub fn validate_json(text: &str) -> Result<()> {
     for e in overhead {
         let name = require_str(e, "plugin", "overhead entry")?;
         let ctx = format!("overhead[{name}]");
-        if require_num(e, "native_ns", &ctx)? <= 0.0 {
+        let native = require_num(e, "native_ns", &ctx)?;
+        if native <= 0.0 {
             return Err(Error::corrupt(format!("{ctx}: native_ns must be > 0")));
         }
-        if require_num(e, "interface_ns", &ctx)? <= 0.0 {
+        let interface = require_num(e, "interface_ns", &ctx)?;
+        if interface <= 0.0 {
             return Err(Error::corrupt(format!("{ctx}: interface_ns must be > 0")));
         }
-        require_num(e, "overhead_pct", &ctx)?;
+        // Self-consistency: the stored derived value must agree with the
+        // stored raw timings (tolerance: half the emitted %.3f precision,
+        // so a hand-edited or stale field is caught).
+        let stored_pct = require_num(e, "overhead_pct", &ctx)?;
+        let derived_pct = (interface - native) / native * 100.0;
+        if (stored_pct - derived_pct).abs() > 5.1e-4 {
+            return Err(Error::corrupt(format!(
+                "{ctx}: overhead_pct {stored_pct} is inconsistent with native_ns/interface_ns \
+                 (derived {derived_pct:.3})"
+            )));
+        }
     }
     let parallel = doc
         .get("parallel")
@@ -651,13 +663,23 @@ pub fn validate_json(text: &str) -> Result<()> {
         if require_num(e, "nthreads", &ctx)? < 1.0 {
             return Err(Error::corrupt(format!("{ctx}: nthreads must be >= 1")));
         }
-        if require_num(e, "serial_ns", &ctx)? <= 0.0
-            || require_num(e, "parallel_ns", &ctx)? <= 0.0
-        {
+        let serial = require_num(e, "serial_ns", &ctx)?;
+        let par = require_num(e, "parallel_ns", &ctx)?;
+        if serial <= 0.0 || par <= 0.0 {
             return Err(Error::corrupt(format!("{ctx}: timings must be > 0")));
         }
-        if require_num(e, "speedup", &ctx)? <= 0.0 {
+        let stored_speedup = require_num(e, "speedup", &ctx)?;
+        if stored_speedup <= 0.0 {
             return Err(Error::corrupt(format!("{ctx}: speedup must be > 0")));
+        }
+        // Self-consistency against the raw timings (half of the emitted
+        // %.4f precision).
+        let derived_speedup = serial / par;
+        if (stored_speedup - derived_speedup).abs() > 5.1e-5 {
+            return Err(Error::corrupt(format!(
+                "{ctx}: speedup {stored_speedup} is inconsistent with serial_ns/parallel_ns \
+                 (derived {derived_speedup:.4})"
+            )));
         }
     }
     Ok(())
@@ -714,6 +736,45 @@ mod tests {
         let mut r = sample_report();
         r.overhead.clear();
         assert!(validate_json(&to_json(&r)).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_overhead_pct() {
+        // Tamper with the raw timing but leave the derived field: the
+        // stored overhead_pct (10.000) no longer follows from the timings.
+        let json = to_json(&sample_report()).replace("\"native_ns\": 1000", "\"native_ns\": 500");
+        let err = validate_json(&json).expect_err("tampered pct must fail");
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_speedup() {
+        let json =
+            to_json(&sample_report()).replace("\"parallel_ns\": 1900", "\"parallel_ns\": 950");
+        let err = validate_json(&json).expect_err("tampered speedup must fail");
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn validator_accepts_rounded_derived_fields() {
+        // Timings whose derived pct does not land on a %.3f grid point must
+        // still validate after the emitter rounds them.
+        let r = BenchReport {
+            overhead: vec![OverheadEntry {
+                plugin: "x".into(),
+                native_ns: 2997,
+                interface_ns: 3001,
+            }],
+            parallel: vec![ParallelEntry {
+                plugin: "y".into(),
+                baseline: "x".into(),
+                nthreads: 3,
+                serial_ns: 9999,
+                parallel_ns: 3334,
+            }],
+            ..sample_report()
+        };
+        validate_json(&to_json(&r)).expect("rounded derived fields are consistent");
     }
 
     #[test]

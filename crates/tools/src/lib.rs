@@ -21,6 +21,11 @@
 //!   and serial versus pooled (`zfp`/`zfp_omp`, `sz`/`sz_omp`) wall-clock,
 //!   emitting schema-validated `BENCH_overhead.json`.
 //!
+//! * [`trace_cmd`] — the `pressio trace` observability harness: runs a
+//!   round trip on a datagen field with the `pressio_core::trace` span
+//!   collector enabled and reports the per-stage span tree, with a
+//!   chrome-trace JSON export and a `--check` well-nestedness validation.
+//!
 //! All are also exposed as binaries: `pressio contract`,
 //! `pressio fuzz-decode`, and `pressio-lint`. Third-party plugin authors
 //! can run the contract checker and fuzzer against their own plugins by
@@ -31,3 +36,4 @@ pub mod bench;
 pub mod contract;
 pub mod fuzz;
 pub mod lint;
+pub mod trace_cmd;

@@ -58,6 +58,8 @@ pub const RULE_NO_DEBUG_PRINT: &str = "no-debug-print";
 pub const RULE_NO_UNBOUNDED_SLEEP: &str = "no-unbounded-sleep";
 /// Rule id: no ad-hoc thread creation outside the shared execution engine.
 pub const RULE_NO_ADHOC_THREAD_SPAWN: &str = "no-adhoc-thread-spawn";
+/// Rule id: no raw clock reads outside the trace module.
+pub const RULE_NO_TIMESTAMP: &str = "no-timestamp-outside-trace";
 
 /// All rule ids, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -68,6 +70,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_NO_DEBUG_PRINT,
     RULE_NO_UNBOUNDED_SLEEP,
     RULE_NO_ADHOC_THREAD_SPAWN,
+    RULE_NO_TIMESTAMP,
 ];
 
 /// Long-form rationale for `--explain`.
@@ -133,6 +136,17 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              and escape its panic containment. crates/core/src/exec.rs itself, binaries, \
              and test modules are exempt. Allowlist only threads whose job the pool \
              cannot express (e.g. the guard watchdog, which must detach a hung worker)."
+        }
+        RULE_NO_TIMESTAMP => {
+            "no-timestamp-outside-trace: library crates must not read clocks directly \
+             (`Instant::now`, `SystemTime::now`) — all timing routes through \
+             `pressio_core::trace` (spans share one monotonic epoch, cost one relaxed \
+             atomic load when tracing is off, and surface uniformly through the trace \
+             metrics plugin, the chrome-trace exporter, and `pressio trace`). A private \
+             clock read is invisible to that pipeline and re-pays the syscall even when \
+             nobody is measuring. crates/core/src/trace.rs itself, binaries, and test \
+             modules are exempt. Allowlist only measurement harnesses that must time \
+             foreign code outside a span (e.g. the bench library's median timer)."
         }
         _ => return None,
     })
@@ -479,6 +493,12 @@ const THREAD_SPAWN_PATTERNS: &[&str] = &[
 /// The one library file allowed to create threads: the shared engine.
 const EXEC_ENGINE_FILE: &str = "crates/core/src/exec.rs";
 
+/// Raw clock reads forbidden outside the trace module.
+const TIMESTAMP_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
+
+/// The one library file allowed to read clocks: the span collector.
+const TRACE_FILE: &str = "crates/core/src/trace.rs";
+
 /// Name of the crate a workspace-relative path belongs to, e.g.
 /// `crates/sz/src/plugin.rs` -> `sz`; the facade `src/lib.rs` -> `.` .
 fn crate_of(rel: &str) -> Option<&str> {
@@ -613,6 +633,15 @@ pub fn scan_source(rel: &str, content: &str) -> Vec<Finding> {
             && THREAD_SPAWN_PATTERNS.iter().any(|p| line.contains(p))
         {
             push(&mut findings, RULE_NO_ADHOC_THREAD_SPAWN, idx, &src);
+        }
+
+        // no-timestamp-outside-trace: library code of every crate except
+        // the span collector itself.
+        if !binary
+            && rel != TRACE_FILE
+            && TIMESTAMP_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            push(&mut findings, RULE_NO_TIMESTAMP, idx, &src);
         }
     }
 
@@ -964,6 +993,33 @@ mod tests {
         // Test modules are masked.
         let in_test = format!("#[cfg(test)]\nmod tests {{\n    {spawn}}}\n");
         assert!(findings_for("crates/sz/src/plugin.rs", &in_test).is_empty());
+    }
+
+    // ------------------------------------------- no-timestamp-outside-trace
+
+    #[test]
+    fn timestamp_flagged_in_libraries() {
+        for pat in [
+            "let t0 = std::time::Instant::now();",
+            "let wall = SystemTime::now();",
+        ] {
+            let src = format!("fn f() {{ {pat} }}\n");
+            let f = findings_for("crates/sz/src/plugin.rs", &src);
+            assert_eq!(rules(&f), vec![RULE_NO_TIMESTAMP], "{pat}");
+        }
+    }
+
+    #[test]
+    fn timestamp_exempts_trace_module_binaries_and_tests() {
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        // The span collector owns the clock.
+        assert!(findings_for("crates/core/src/trace.rs", clock).is_empty());
+        // Binaries may read clocks freely.
+        assert!(findings_for("crates/tools/src/main.rs", clock).is_empty());
+        assert!(findings_for("crates/bench/src/bin/exp.rs", clock).is_empty());
+        // Test modules are masked.
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n    {clock}}}\n");
+        assert!(findings_for("crates/zfp/src/kernel.rs", &in_test).is_empty());
     }
 
     // ----------------------------------------------------------- allowlist

@@ -360,7 +360,46 @@ fn cmd_bench(args: &Args) -> Result<()> {
     Ok(())
 }
 
-const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|bench> [args]
+fn cmd_trace(args: &Args) -> Result<()> {
+    let parse_num = |flag: &str, default: u64| -> Result<u64> {
+        match args.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| Error::invalid_argument(format!("bad --{flag} value {v:?}"))),
+        }
+    };
+    let cfg = pressio_tools::trace_cmd::TraceConfig {
+        compressor: args
+            .positional
+            .get(1)
+            .cloned()
+            .or_else(|| args.get("c").map(str::to_string))
+            .unwrap_or_else(|| "sz".to_string()),
+        dataset: args.get("n").unwrap_or("scale-letkf").to_string(),
+        scale: parse_num("k", 1)? as usize,
+        seed: parse_num("s", 77)?,
+        options: parse_option_pairs(&args.get_all("O"))?,
+    };
+    let outcome = pressio_tools::trace_cmd::run(&cfg)?;
+    if args.get("check").is_some() {
+        pressio_tools::trace_cmd::check(&outcome.report)?;
+        println!(
+            "trace check ok: {} span(s), well-nested",
+            outcome.report.spans.len()
+        );
+        return Ok(());
+    }
+    print!("{}", outcome.tree);
+    println!("{}", pressio_tools::trace_cmd::summary(&cfg, &outcome));
+    if let Some(path) = args.get("export") {
+        std::fs::write(path, &outcome.chrome_json)?;
+        eprintln!("wrote chrome-trace JSON to {path} (open in chrome://tracing or Perfetto)");
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|bench|trace> [args]
   list [compressors|metrics|io]
   options <compressor>
   compress   -c <name> -i <in> -o <out> [-t dtype -d dims] [-O k=v ...] [-m metric ...] [-f format]
@@ -373,7 +412,12 @@ const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|c
   bench      [--quick] [--out path] [--n edge] [--repeats N] [--check]
               # measure native vs through-interface time per plugin and serial vs
               # pooled (zfp/zfp_omp, sz/sz_omp) wall-clock; emit BENCH_overhead.json.
-              # --check validates an existing report against pressio-bench/overhead-v1";
+              # --check additionally validates the committed file's self-consistency
+  trace      [<compressor>] [-n dataset] [-k scale] [-s seed] [-O k=v ...]
+              [--export chrome.json] [--check]
+              # round-trip a datagen field with span tracing enabled; print the
+              # per-stage span tree, optionally exporting chrome-trace JSON.
+              # --check asserts a non-empty, well-nested span tree";
 
 fn run() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -388,6 +432,7 @@ fn run() -> Result<()> {
         Some("contract") => cmd_contract(&args),
         Some("fuzz-decode") => cmd_fuzz_decode(&args),
         Some("bench") => cmd_bench(&args),
+        Some("trace") => cmd_trace(&args),
         _ => {
             eprintln!("{USAGE}");
             Err(Error::invalid_argument("unknown or missing command"))

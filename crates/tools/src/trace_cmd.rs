@@ -1,0 +1,231 @@
+//! The `pressio trace` subcommand: run a round trip with the span collector
+//! enabled and report where the time goes.
+//!
+//! The CLI (`crates/tools/src/main.rs`) parses flags, calls [`run`], and
+//! prints/exports the result; everything here is a pure library so tests
+//! can drive it directly. The collector is process-global — one tracing
+//! consumer at a time (this command or the `trace` metrics plugin).
+
+use libpressio::core::trace;
+use libpressio::core::{value_range, OPT_REL};
+use libpressio::prelude::*;
+use libpressio::{Error, Result};
+
+/// What to trace: compressor, input field, and options.
+pub struct TraceConfig {
+    /// Registry name of the compressor to round-trip (default `sz`).
+    pub compressor: String,
+    /// Datagen dataset name (see `libpressio::datagen::DATASET_NAMES`).
+    pub dataset: String,
+    /// Datagen linear-extent scale (1 = small default).
+    pub scale: usize,
+    /// Datagen seed.
+    pub seed: u64,
+    /// Extra compressor options (`-O key=value`).
+    pub options: Options,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            compressor: "sz".to_string(),
+            dataset: "scale-letkf".to_string(),
+            scale: 1,
+            seed: 77,
+            options: Options::new(),
+        }
+    }
+}
+
+/// Result of a traced round trip.
+pub struct TraceOutcome {
+    /// The raw collected report.
+    pub report: trace::TraceReport,
+    /// Indented per-thread span tree with millisecond timings.
+    pub tree: String,
+    /// chrome-trace (`trace_events`) JSON document.
+    pub chrome_json: String,
+    /// Compressed size in bytes, for the summary line.
+    pub compressed_bytes: usize,
+    /// Uncompressed size in bytes.
+    pub uncompressed_bytes: usize,
+    /// Maximum absolute round-trip error.
+    pub max_abs_error: f64,
+}
+
+/// Run one compress/decompress round trip on a datagen field with the span
+/// collector enabled and return the collected trace.
+pub fn run(cfg: &TraceConfig) -> Result<TraceOutcome> {
+    libpressio::init();
+    let input = libpressio::datagen::by_name(&cfg.dataset, cfg.scale, cfg.seed)?;
+    let library = libpressio::instance();
+    let mut c = library.get_compressor(&cfg.compressor)?;
+
+    // A default value-range-relative bound keeps lossy plugins configured;
+    // lossless plugins ignore the foreign `pressio:` key. Explicit `-O`
+    // options are applied on top.
+    let mut opts = Options::new().with(OPT_REL, 1e-3f64);
+    opts.merge(&cfg.options);
+    c.set_options(&opts)?;
+
+    trace::clear();
+    trace::enable();
+    let result = (|| -> Result<(Data, Data)> {
+        let compressed = c.compress(&input)?;
+        let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+        c.decompress(&compressed, &mut output)?;
+        Ok((compressed, output))
+    })();
+    trace::disable();
+    let report = trace::take();
+    let (compressed, output) = result?;
+
+    let max_abs_error = match (input.to_f64_vec(), output.to_f64_vec()) {
+        (Ok(a), Ok(b)) => a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max),
+        _ => f64::NAN,
+    };
+
+    Ok(TraceOutcome {
+        tree: trace::render_tree(&report),
+        chrome_json: trace::chrome_trace_json(&report),
+        compressed_bytes: compressed.size_in_bytes(),
+        uncompressed_bytes: input.size_in_bytes(),
+        max_abs_error,
+        report,
+    })
+}
+
+/// `--check` validation: the span tree must be non-empty, well-nested, and
+/// must contain the handle-level spans for both directions.
+pub fn check(report: &trace::TraceReport) -> Result<()> {
+    if report.spans.is_empty() {
+        return Err(Error::internal(
+            "trace check: no spans collected — instrumentation is not wired",
+        ));
+    }
+    trace::check_well_nested(report)
+        .map_err(|e| Error::internal(format!("trace check: {e}")))?;
+    for required in ["handle:compress", "handle:decompress"] {
+        if !report.spans.iter().any(|s| s.name == required) {
+            return Err(Error::internal(format!(
+                "trace check: missing required span {required:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// One-line summary for stdout.
+pub fn summary(cfg: &TraceConfig, outcome: &TraceOutcome) -> String {
+    format!(
+        "{}: {} -> {} bytes ({:.2}x), max abs error {:.3e}, {} span(s), {} counter(s)",
+        cfg.compressor,
+        outcome.uncompressed_bytes,
+        outcome.compressed_bytes,
+        outcome.uncompressed_bytes as f64 / outcome.compressed_bytes.max(1) as f64,
+        outcome.max_abs_error,
+        outcome.report.spans.len(),
+        outcome.report.counters.len(),
+    )
+}
+
+/// The value-range-relative bound [`run`] applies by default, resolved to an
+/// absolute bound for `input` — what `max_abs_error` should respect for
+/// error-bounded plugins.
+pub fn default_abs_bound(input: &Data) -> f64 {
+    match input.to_f64_vec() {
+        Ok(v) => 1e-3 * value_range(&v),
+        Err(_) => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The collector is process-global: tests that enable it serialize here.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn sz_round_trip_produces_checked_span_tree() {
+        let _l = test_lock();
+        let cfg = TraceConfig::default();
+        let outcome = run(&cfg).expect("traced round trip");
+        check(&outcome.report).expect("non-empty well-nested tree");
+        // Stage spans from the sz kernel appear under the handle spans.
+        assert!(
+            outcome
+                .report
+                .spans
+                .iter()
+                .any(|s| s.name == "sz:predict_quantize"),
+            "missing sz stage spans: {:?}",
+            outcome.report.spans.iter().map(|s| s.name).collect::<Vec<_>>()
+        );
+        assert!(outcome.tree.contains("handle:compress"));
+        assert!(outcome.chrome_json.starts_with("{\"traceEvents\":["));
+        // Bound held for the default rel bound.
+        let input =
+            libpressio::datagen::by_name(&cfg.dataset, cfg.scale, cfg.seed).expect("datagen");
+        let bound = default_abs_bound(&input);
+        assert!(
+            outcome.max_abs_error <= bound * (1.0 + 1e-12),
+            "max err {} exceeds {}",
+            outcome.max_abs_error,
+            bound
+        );
+        // Collector left off for the rest of the process.
+        assert!(!trace::is_enabled());
+    }
+
+    #[test]
+    fn pooled_compressor_traces_chunk_spans() {
+        let _l = test_lock();
+        let cfg = TraceConfig {
+            compressor: "zfp_omp".to_string(),
+            options: Options::new().with("zfp_omp:nthreads", 4i64),
+            ..TraceConfig::default()
+        };
+        let outcome = run(&cfg).expect("traced round trip");
+        check(&outcome.report).expect("well-nested");
+        assert!(outcome
+            .report
+            .spans
+            .iter()
+            .any(|s| s.name == "zfp:encode_chunk"));
+        // The pool was exercised, so scheduling counters exist.
+        assert!(outcome
+            .report
+            .counters
+            .iter()
+            .any(|c| c.name == "exec:queued" && c.value > 0));
+    }
+
+    #[test]
+    fn check_rejects_empty_and_missing_handle_spans() {
+        let empty = trace::TraceReport::default();
+        assert!(check(&empty).is_err());
+        let partial = trace::TraceReport {
+            spans: vec![trace::SpanEvent {
+                name: "handle:compress",
+                label: None,
+                tid: 1,
+                depth: 0,
+                start_ns: 0,
+                dur_ns: 1,
+            }],
+            ..Default::default()
+        };
+        assert!(check(&partial).is_err(), "missing handle:decompress");
+    }
+}

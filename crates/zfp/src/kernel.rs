@@ -486,6 +486,9 @@ pub fn compress_f64_chunks(
     let p = resolve(mode, g.d);
     let ranges = pressio_core::chunk_ranges(g.blocks(), pieces);
     pressio_core::par_map_indexed(ranges.len(), |i| {
+        let _s = pressio_core::trace::span_labeled("zfp:encode_chunk", || {
+            format!("blocks {}..{}", ranges[i].start, ranges[i].end)
+        });
         Ok(encode_range(data, &g, &p, ranges[i].clone()))
     })
 }
@@ -510,6 +513,9 @@ pub fn decompress_f64_chunks(
         )));
     }
     let decoded = pressio_core::par_map_indexed(ranges.len(), |i| {
+        let _s = pressio_core::trace::span_labeled("zfp:decode_chunk", || {
+            format!("blocks {}..{}", ranges[i].start, ranges[i].end)
+        });
         decode_range_blocks(chunks[i], &g, &p, ranges[i].len())
     })?;
     let blocksize = g.blocksize();
@@ -537,6 +543,7 @@ pub fn decompress_f64(payload: &[u8], fdims: &[usize], mode: ZfpMode) -> Result<
     let g = BlockGrid::new(fdims)?;
     let p = resolve(mode, g.d);
     let mut out = vec![0.0f64; g.nx * g.ny * g.nz];
+    let _s = pressio_core::trace::span("zfp:decode_stream");
     pressio_core::with_scratch(|s| {
         s.f64s.clear();
         s.f64s.resize(g.blocksize(), 0.0);

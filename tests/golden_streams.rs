@@ -1,0 +1,297 @@
+//! Golden-stream corpus: pins the exact bytes every serial compressor
+//! plugin emits for a fixed input, and the exact round-trip error of
+//! decoding those committed bytes.
+//!
+//! Why: the on-disk stream format of every plugin is a compatibility
+//! contract. An innocent-looking refactor that changes a header field, a
+//! chunk split, or a quantizer rounding rule silently breaks every archive
+//! ever written. These tests make such a change loud: the encode test
+//! fails bit-for-bit, the decode test fails on the recorded error.
+//!
+//! Corpus layout (committed under `tests/golden/`):
+//!
+//! * `<name>.bin` — the compressed stream for [`field`]
+//! * `MANIFEST.txt` — one line per plugin: `name  byte_len  max_abs_err`
+//!   (the error is printed with `{:?}` so it parses back bit-exactly)
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_streams
+//! git diff tests/golden/   # review what changed, then commit
+//! ```
+//!
+//! Every compressor in the registry must be either in [`GOLDEN`] or in
+//! [`EXCLUDED`] with a documented reason — adding a plugin without
+//! classifying it here is a test failure.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use libpressio::core::{value_range, OPT_REL};
+use libpressio::prelude::*;
+
+/// Serial plugins with a pinned golden stream.
+const GOLDEN: &[&str] = &[
+    "bit_grooming",
+    "bitshuffle",
+    "blosc",
+    "cast",
+    "deflate",
+    "delta",
+    "digit_rounding",
+    "fpzip",
+    "huffman",
+    "linear_quantizer",
+    "lz",
+    "mgard",
+    "noop",
+    "rle",
+    "shuffle",
+    "sz",
+    "sz_interp",
+    "sz_threadsafe",
+    "tthresh",
+    "zfp",
+];
+
+/// Registered compressors deliberately *not* in the golden corpus, with the
+/// reason. Keep this honest: an entry here is a promise that some other
+/// test pins the plugin's behavior.
+const EXCLUDED: &[(&str, &str)] = &[
+    ("sz_omp", "pooled variant of sz; stream format pinned against serial sz by tests/determinism.rs"),
+    ("zfp_omp", "pooled variant of zfp; stream format pinned against serial zfp by tests/determinism.rs"),
+    ("chunking", "meta wrapper; stream is child-format plus envelope, covered by tests/composition.rs"),
+    ("guard", "meta wrapper adding a policy envelope; covered by its own crate tests and the fuzz harness"),
+    ("opt", "meta wrapper that searches child configurations; output depends on the search, not a fixed format"),
+    ("pipeline", "meta wrapper; stream is the composed children's, covered by tests/composition.rs"),
+    ("switch", "meta wrapper that delegates to a selected child"),
+    ("transpose", "meta wrapper; stream is the child's on permuted data, covered by tests/composition.rs"),
+    ("resize", "meta wrapper; stream is the child's on reshaped data"),
+    ("sample", "decimating sampler: reconstruction is not error-bounded, so a recorded bound is meaningless"),
+    ("noise", "injects (seeded) noise by design; not a format contract"),
+    ("fault_injector", "injects faults by design; not a format contract"),
+    ("many_independent", "synthetic multi-buffer demo plugin, not a stream format"),
+    ("many_dependent", "synthetic multi-buffer demo plugin, not a stream format"),
+];
+
+/// Value-range-relative bound applied to every plugin (lossless plugins
+/// ignore the foreign `pressio:` key).
+const REL: f64 = 1e-3;
+
+/// The corpus input: the same 10x9x8 `f32` Scale-LetKF field the
+/// determinism suite uses — 720 elements, odd extents, a sharp front.
+fn field() -> Data {
+    libpressio::init();
+    libpressio::datagen::scale_letkf(10, 9, 8, 77)
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn update_mode() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+const REGEN_HINT: &str =
+    "if this format change is intentional, regenerate the corpus with\n    \
+     UPDATE_GOLDEN=1 cargo test --test golden_streams\nand commit the tests/golden/ diff";
+
+fn compressor(name: &str) -> CompressorHandle {
+    let library = libpressio::instance();
+    let mut c = library.get_compressor(name).expect(name);
+    c.set_options(&Options::new().with(OPT_REL, REL)).expect(name);
+    c
+}
+
+fn encode(name: &str, input: &Data) -> Vec<u8> {
+    compressor(name)
+        .compress(input)
+        .unwrap_or_else(|e| panic!("{name}: golden encode failed: {e}"))
+        .as_bytes()
+        .to_vec()
+}
+
+fn decode(name: &str, stream: &[u8], input: &Data) -> Data {
+    let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+    compressor(name)
+        .decompress(&Data::from_bytes(stream), &mut output)
+        .unwrap_or_else(|e| panic!("{name}: golden decode failed: {e}"));
+    output
+}
+
+fn max_abs_err(a: &Data, b: &Data) -> f64 {
+    a.to_f64_vec()
+        .expect("f64 view")
+        .iter()
+        .zip(b.to_f64_vec().expect("f64 view").iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Parse `MANIFEST.txt` into `name -> (byte_len, max_abs_err)`.
+fn read_manifest() -> BTreeMap<String, (usize, f64)> {
+    let path = golden_dir().join("MANIFEST.txt");
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden manifest {}: {e}\n{REGEN_HINT}",
+            path.display()
+        )
+    });
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(name), Some(len), Some(err)) = (it.next(), it.next(), it.next()) else {
+            panic!("malformed manifest line {line:?}");
+        };
+        let len: usize = len.parse().unwrap_or_else(|e| panic!("bad len in {line:?}: {e}"));
+        let err: f64 = err.parse().unwrap_or_else(|e| panic!("bad err in {line:?}: {e}"));
+        out.insert(name.to_string(), (len, err));
+    }
+    out
+}
+
+#[test]
+fn every_registry_compressor_is_classified() {
+    libpressio::init();
+    let registered = libpressio::instance().supported_compressors();
+    for name in &registered {
+        let in_golden = GOLDEN.contains(&name.as_str());
+        let excluded = EXCLUDED.iter().any(|(n, _)| n == name);
+        assert!(
+            in_golden || excluded,
+            "compressor {name:?} is registered but not classified by the golden-stream \
+             corpus: add it to GOLDEN in tests/golden_streams.rs (and regenerate with \
+             UPDATE_GOLDEN=1), or add it to EXCLUDED with a documented reason"
+        );
+        assert!(
+            !(in_golden && excluded),
+            "compressor {name:?} is both GOLDEN and EXCLUDED"
+        );
+    }
+    // Stale entries are as confusing as missing ones.
+    for name in GOLDEN.iter().chain(EXCLUDED.iter().map(|(n, _)| n)) {
+        assert!(
+            registered.iter().any(|r| r == name),
+            "{name:?} is classified in tests/golden_streams.rs but no longer registered"
+        );
+    }
+}
+
+/// Regenerate-or-verify: in normal runs, every plugin's freshly encoded
+/// stream must be byte-identical to the committed one (and to a second
+/// encode in the same process — encoding must be deterministic before a
+/// golden file can make sense). With `UPDATE_GOLDEN=1`, rewrite the corpus.
+#[test]
+fn golden_streams_are_bit_identical() {
+    let input = field();
+    let dir = golden_dir();
+
+    if update_mode() {
+        fs::create_dir_all(&dir).expect("create tests/golden");
+        let mut manifest = String::from(
+            "# Golden-stream manifest: name  byte_len  max_abs_err\n\
+             # Input: datagen::scale_letkf(10, 9, 8, 77), options pressio:rel=1e-3.\n\
+             # Regenerate: UPDATE_GOLDEN=1 cargo test --test golden_streams\n",
+        );
+        for name in GOLDEN {
+            let stream = encode(name, &input);
+            let err = max_abs_err(&input, &decode(name, &stream, &input));
+            fs::write(dir.join(format!("{name}.bin")), &stream).expect(name);
+            manifest.push_str(&format!("{name} {} {:?}\n", stream.len(), err));
+        }
+        fs::write(dir.join("MANIFEST.txt"), manifest).expect("write manifest");
+        return;
+    }
+
+    let manifest = read_manifest();
+    for name in GOLDEN {
+        let first = encode(name, &input);
+        let second = encode(name, &input);
+        assert_eq!(
+            first, second,
+            "{name}: encoding the same input twice produced different streams — \
+             nondeterministic plugins cannot be golden-tested; fix the plugin or move \
+             it to EXCLUDED with a reason"
+        );
+        let path = dir.join(format!("{name}.bin"));
+        let golden = fs::read(&path).unwrap_or_else(|e| {
+            panic!("{name}: missing golden stream {}: {e}\n{REGEN_HINT}", path.display())
+        });
+        if first != golden {
+            let diff_at = first
+                .iter()
+                .zip(&golden)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| first.len().min(golden.len()));
+            panic!(
+                "{name}: encoded stream differs from committed golden stream \
+                 ({} bytes now vs {} committed, first difference at byte {diff_at}).\n\
+                 This means the on-disk format changed: old archives may no longer decode.\n{REGEN_HINT}",
+                first.len(),
+                golden.len()
+            );
+        }
+        let (len, _) = manifest
+            .get(*name)
+            .unwrap_or_else(|| panic!("{name}: missing from MANIFEST.txt\n{REGEN_HINT}"));
+        assert_eq!(*len, golden.len(), "{name}: manifest length is stale\n{REGEN_HINT}");
+    }
+    // Orphaned corpus files mean a plugin was removed without cleanup.
+    for entry in fs::read_dir(&dir).expect("tests/golden") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "bin") {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            assert!(
+                GOLDEN.contains(&stem),
+                "orphaned golden stream {}: not in GOLDEN\n{REGEN_HINT}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// The committed streams must still decode, to exactly the round-trip
+/// error recorded when the corpus was generated. Decoding is
+/// deterministic, so the recorded error is reproduced bit-for-bit; any
+/// drift means the decoder changed behavior on existing archives.
+#[test]
+fn golden_streams_decode_to_recorded_error() {
+    let input = field();
+    let manifest = read_manifest();
+    if update_mode() {
+        // golden_streams_are_bit_identical regenerates; nothing to pin here.
+        return;
+    }
+    let abs_bound = REL * value_range(&input.to_f64_vec().expect("f64 view"));
+    for name in GOLDEN {
+        let (_, recorded) = manifest
+            .get(*name)
+            .unwrap_or_else(|| panic!("{name}: missing from MANIFEST.txt\n{REGEN_HINT}"));
+        let path = golden_dir().join(format!("{name}.bin"));
+        let stream = fs::read(&path).unwrap_or_else(|e| {
+            panic!("{name}: missing golden stream {}: {e}\n{REGEN_HINT}", path.display())
+        });
+        let err = max_abs_err(&input, &decode(name, &stream, &input));
+        assert_eq!(
+            err.to_bits(),
+            recorded.to_bits(),
+            "{name}: decoding the committed stream gave max abs error {err:?}, but the \
+             manifest records {recorded:?} — the decoder's output on existing archives \
+             changed.\n{REGEN_HINT}"
+        );
+        // The recorded error must also respect the generation-time bound —
+        // a corpus regenerated from a buggy encoder should not pass review.
+        assert!(
+            *recorded <= abs_bound * (1.0 + 1e-12),
+            "{name}: recorded error {recorded:?} exceeds the pressio:rel={REL} bound \
+             ({abs_bound:?}) the corpus was generated under"
+        );
+    }
+}

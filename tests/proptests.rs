@@ -2,12 +2,56 @@
 //!
 //! * lossless codecs roundtrip *arbitrary* byte strings;
 //! * error-bounded compressors hold their bound on *arbitrary* finite
-//!   floats (the library's central promise, not just on smooth fields);
+//!   floats (the library's central promise, not just on smooth fields) —
+//!   for absolute, value-range-relative, and point-wise-relative modes, on
+//!   `f32` and `f64`, across 1D/2D/3D shapes including degenerate extents
+//!   of 1 and thread counts that do not divide the element count;
+//! * non-finite inputs (NaN, ±Inf) either round-trip or produce a clean
+//!   error — never a panic;
 //! * option casting obeys its laws (implicit ⊂ explicit, exactness);
 //! * shape transforms are involutions.
 
 use libpressio::prelude::*;
 use proptest::prelude::*;
+
+/// 1–3 dimensions, each extent in `1..=10`: covers 1D/2D/3D, degenerate
+/// extents of 1 (including the all-ones single-element field), and element
+/// counts that no fixed chunk count divides.
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..11, 1..4)
+}
+
+/// Finite values with a sprinkling of NaN, ±Inf, and exact zeros (the
+/// shim has no `prop_oneof!`, so this is a hand-rolled mixture strategy).
+struct MaybeNonfinite;
+
+impl Strategy for MaybeNonfinite {
+    type Value = f64;
+    fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> f64 {
+        match rng.index(12) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            _ => (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2e6 - 1e6,
+        }
+    }
+}
+
+/// Finite values with occasional exact zeros (exercises the pw_rel
+/// verbatim-below-floor path).
+struct FiniteOrZero;
+
+impl Strategy for FiniteOrZero {
+    type Value = f64;
+    fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> f64 {
+        if rng.index(5) == 0 {
+            0.0
+        } else {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2e6 - 1e6
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -106,6 +150,190 @@ proptest! {
         let mut out = Data::owned(DType::F64, vec![n]);
         c.decompress(&compressed, &mut out).unwrap();
         prop_assert_eq!(out.as_bytes(), input.as_bytes());
+    }
+
+    #[test]
+    fn sz_abs_bound_holds_on_f32_multidim(
+        dims in dims_strategy(),
+        seed in any::<u32>(),
+        bound_exp in -3i32..2,
+    ) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let bound = 10f64.powi(bound_exp);
+        let n: usize = dims.iter().product();
+        // Deterministic pseudo-random f32 field from the seed; magnitudes
+        // up to ~1e3 keep half-ULP storage rounding far below any bound.
+        let vals: Vec<f32> = (0..n)
+            .map(|i| {
+                let x = (seed as u64)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 11) as f64 / (1u64 << 53) as f64 * 2e3 - 1e3) as f32
+            })
+            .collect();
+        let input = Data::from_vec(vals, dims.clone()).unwrap();
+        let mut c = library.get_compressor("sz").unwrap();
+        c.set_options(&Options::new().with(pressio_core::OPT_ABS, bound)).unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F32, dims.clone());
+        c.decompress(&compressed, &mut out).unwrap();
+        let orig = input.as_slice::<f32>().unwrap();
+        let got = out.as_slice::<f32>().unwrap();
+        for (a, b) in orig.iter().zip(got) {
+            prop_assert!(
+                (f64::from(*a) - f64::from(*b)).abs() <= bound,
+                "dims {:?}: {} vs {} (bound {})", dims, a, b, bound
+            );
+        }
+    }
+
+    #[test]
+    fn value_range_relative_bound_holds_multidim(
+        dims in dims_strategy(),
+        vals_seed in proptest::collection::vec(-1e6f64..1e6, 1000..1001),
+        rel_exp in -5i32..-1,
+    ) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let rel = 10f64.powi(rel_exp);
+        let n: usize = dims.iter().product();
+        let vals: Vec<f64> = vals_seed[..n].to_vec();
+        let range = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let input = Data::from_vec(vals, dims.clone()).unwrap();
+        for name in ["sz", "zfp"] {
+            let mut c = library.get_compressor(name).unwrap();
+            c.set_options(&Options::new().with(pressio_core::OPT_REL, rel)).unwrap();
+            let compressed = c.compress(&input).unwrap();
+            let mut out = Data::owned(DType::F64, dims.clone());
+            c.decompress(&compressed, &mut out).unwrap();
+            let orig = input.as_slice::<f64>().unwrap();
+            let got = out.as_slice::<f64>().unwrap();
+            // The resolved absolute bound is rel * value_range; allow a
+            // 1-ulp-scale slack for the bound resolution arithmetic itself.
+            let bound = rel * range * (1.0 + 1e-12);
+            for (a, b) in orig.iter().zip(got) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "{}, dims {:?}: {} vs {} (rel {}, range {})", name, dims, a, b, rel, range
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sz_pointwise_relative_bound_holds(
+        vals in proptest::collection::vec(FiniteOrZero, 1..1024),
+        ratio_exp in -4i32..-1,
+    ) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let ratio = 10f64.powi(ratio_exp);
+        let n = vals.len();
+        let input = Data::from_vec(vals, vec![n]).unwrap();
+        let mut c = library.get_compressor("sz").unwrap();
+        c.set_options(
+            &Options::new()
+                .with("sz:error_bound_mode_str", "pw_rel")
+                .with("sz:pw_rel_bound_ratio", ratio),
+        ).unwrap();
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![n]);
+        c.decompress(&compressed, &mut out).unwrap();
+        let orig = input.as_slice::<f64>().unwrap();
+        let got = out.as_slice::<f64>().unwrap();
+        for (a, b) in orig.iter().zip(got) {
+            // |x - x'| <= r * |x| pointwise; zeros are below the pw_rel
+            // floor and must come back verbatim.
+            if *a == 0.0 {
+                prop_assert_eq!(*b, 0.0, "zero not stored verbatim");
+            } else {
+                prop_assert!(
+                    (a - b).abs() <= ratio * a.abs() * (1.0 + 1e-9),
+                    "{} vs {} (ratio {})", a, b, ratio
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_variants_hold_bound_for_arbitrary_thread_counts(
+        dims in dims_strategy(),
+        seed in any::<u32>(),
+        nthreads in 1i64..9,
+        bound_exp in -3i32..1,
+    ) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let bound = 10f64.powi(bound_exp);
+        let n: usize = dims.iter().product();
+        let vals: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = (seed as u64)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64 * 2e3 - 1e3
+            })
+            .collect();
+        let input = Data::from_vec(vals, dims.clone()).unwrap();
+        for name in ["sz_omp", "zfp_omp"] {
+            let mut c = library.get_compressor(name).unwrap();
+            c.set_options(
+                &Options::new()
+                    .with(pressio_core::OPT_ABS, bound)
+                    .with(format!("{name}:nthreads"), nthreads),
+            ).unwrap();
+            let compressed = c.compress(&input).unwrap();
+            let mut out = Data::owned(DType::F64, dims.clone());
+            c.decompress(&compressed, &mut out).unwrap();
+            let orig = input.as_slice::<f64>().unwrap();
+            let got = out.as_slice::<f64>().unwrap();
+            for (a, b) in orig.iter().zip(got) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "{} nthreads={} dims {:?}: {} vs {} (bound {})",
+                    name, nthreads, dims, a, b, bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_inputs_roundtrip_or_error_cleanly(
+        vals in proptest::collection::vec(MaybeNonfinite, 1..256),
+    ) {
+        libpressio::init();
+        let library = libpressio::instance();
+        let n = vals.len();
+        let input = Data::from_vec(vals.clone(), vec![n]).unwrap();
+        for name in ["sz", "sz_interp", "zfp", "mgard", "tthresh", "bit_grooming", "digit_rounding", "fpzip"] {
+            let mut c = library.get_compressor(name).unwrap();
+            c.set_options(&Options::new().with(pressio_core::OPT_ABS, 1e-3f64)).unwrap();
+            // The property is "never panic": a clean Err is an acceptable
+            // answer to non-finite input, silent corruption is not.
+            let Ok(compressed) = c.compress(&input) else { continue };
+            let mut out = Data::owned(DType::F64, vec![n]);
+            let Ok(()) = c.decompress(&compressed, &mut out) else { continue };
+            let got = out.as_slice::<f64>().unwrap();
+            for (a, b) in vals.iter().zip(got) {
+                if a.is_nan() {
+                    prop_assert!(b.is_nan(), "{}: NaN became {}", name, b);
+                } else if a.is_infinite() {
+                    prop_assert_eq!(*a, *b, "{}: {} became {}", name, a, b);
+                } else if ["sz", "sz_interp", "zfp", "mgard", "tthresh"].contains(&name) {
+                    // Only abs-bounded plugins promise an L∞ bound;
+                    // bit_grooming/digit_rounding bound precision, not error.
+                    prop_assert!(
+                        (a - b).abs() <= 1e-3,
+                        "{}: finite {} -> {} broke the bound next to non-finite values",
+                        name, a, b
+                    );
+                }
+            }
+        }
     }
 
     #[test]
