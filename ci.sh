@@ -1,20 +1,33 @@
 #!/usr/bin/env sh
 # The full verification gate, in the order fastest-feedback-first:
 #
-#   1. pressio-lint      — workspace static analysis (see lint-allow.txt)
+#   1. pressio-lint      — workspace static analysis (see lint-allow.txt):
+#                          the v1 line rules plus the v2 token-tree passes
+#                          (wire-taint, plugin-surface key consistency,
+#                          lock discipline). --strict-allowlist makes stale
+#                          allowlist entries fail the build.
 #   2. cargo clippy      — compiler lints, warnings are errors
 #   3. cargo test        — unit + integration tests, including the live
 #                          plugin-contract checker (crates/tools/tests),
-#                          the golden-stream corpus (tests/golden_streams.rs)
-#                          and the metrics reference suite
-#                          (crates/metrics/tests/reference.rs)
-#   4. pressio fuzz-decode — every decoder against deterministically
+#                          the golden-stream corpus (tests/golden_streams.rs),
+#                          the metrics reference suite
+#                          (crates/metrics/tests/reference.rs), and the
+#                          lint seeded-regression fixtures
+#                          (crates/tools/tests/lint_fixtures.rs)
+#   4. loom model checks — the execution engine's submit/steal/help paths
+#                          and the trace ring's push/drain/overflow paths,
+#                          replayed under a seeded cooperative scheduler
+#                          (crates/core/tests/loom_{exec,trace}.rs; the
+#                          `loom` feature routes crates/core/src/sync.rs
+#                          through shims/loom and is never in release
+#                          builds)
+#   5. pressio fuzz-decode — every decoder against deterministically
 #                          corrupted streams: structured errors only,
 #                          no panics, no hangs
-#   5. pressio trace --check — tracing smoke: a traced sz round trip must
+#   6. pressio trace --check — tracing smoke: a traced sz round trip must
 #                          produce a non-empty, well-nested span tree with
 #                          both handle-level spans
-#   6. pressio bench --check — the *committed* BENCH_overhead.json must
+#   7. pressio bench --check — the *committed* BENCH_overhead.json must
 #                          satisfy the pressio-bench/overhead-v1 schema,
 #                          including self-consistency of the derived
 #                          overhead_pct and speedup fields; then the quick
@@ -23,19 +36,56 @@
 #                          reported, never gated: wall-clock on a shared
 #                          CI box is noise, so only structure is asserted.
 #
-# Usage: ./ci.sh
+# Usage: ./ci.sh                 full gate (all of the above)
+#        ./ci.sh --quick        lint + workspace tests only (inner loop)
+#        ./ci.sh --concurrency  loom model checks only
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== pressio-lint"
-cargo run -q -p pressio-tools --bin pressio-lint -- --root . --strict-allowlist
+TIER=full
+case "${1:-}" in
+  "") ;;
+  --quick) TIER=quick ;;
+  --concurrency) TIER=concurrency ;;
+  *) echo "usage: ./ci.sh [--quick|--concurrency]" >&2; exit 2 ;;
+esac
+
+run_lint() {
+    echo "== pressio-lint"
+    cargo run -q -p pressio-tools --bin pressio-lint -- --root . --strict-allowlist
+}
+
+run_tests() {
+    echo "== tests (unit + integration + golden corpus + metrics references)"
+    cargo test -q --workspace
+}
+
+run_loom() {
+    echo "== loom model checks (exec pool + trace ring interleavings)"
+    cargo test -q -p pressio-core --features loom --test loom_exec --test loom_trace
+}
+
+if [ "$TIER" = quick ]; then
+    run_lint
+    run_tests
+    echo "== ci.sh: quick tier passed (lint + tests; run ./ci.sh for the full gate)"
+    exit 0
+fi
+
+if [ "$TIER" = concurrency ]; then
+    run_loom
+    echo "== ci.sh: concurrency tier passed"
+    exit 0
+fi
+
+run_lint
 
 echo "== clippy (deny warnings)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
-echo "== tests (unit + integration + golden corpus + metrics references)"
-cargo test -q --workspace
+run_tests
+run_loom
 
 echo "== decoder corruption fuzz"
 cargo run -q -p pressio-tools --bin pressio -- fuzz-decode --iterations 64 --seed 1

@@ -32,7 +32,7 @@ fn main() -> libpressio::Result<()> {
                 Ok(compressed) => {
                     let achieved =
                         field.size_in_bytes() as f64 / compressed.size_in_bytes() as f64;
-                    let r = opt.get_options();
+                    let r = opt.get_configuration();
                     let chosen = r.get_as::<f64>("opt:chosen_value")?.unwrap_or(f64::NAN);
                     let trials = r.get_as::<u32>("opt:evaluations")?.unwrap_or(0);
                     println!(

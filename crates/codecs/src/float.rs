@@ -72,6 +72,12 @@ pub fn decompress_f64(bytes: &[u8]) -> Result<Vec<f64>> {
         .get_len()
         .map_err(|_| Error::corrupt("fpzip stream missing header"))?;
     let residuals = deflate::decompress(r.rest())?;
+    // Every decoded value consumes at least one varint byte, so a header
+    // claiming more values than residual bytes is corrupt — checked before
+    // the count sizes an allocation.
+    if n > residuals.len() {
+        return Err(Error::corrupt("fpzip count exceeds residual payload"));
+    }
     let mut out = Vec::with_capacity(n);
     let mut pos = 0usize;
     let mut prev: u64 = 0;
@@ -106,6 +112,10 @@ pub fn decompress_f32(bytes: &[u8]) -> Result<Vec<f32>> {
         .get_len()
         .map_err(|_| Error::corrupt("fpzip stream missing header"))?;
     let residuals = deflate::decompress(r.rest())?;
+    // Same bound as decompress_f64: one varint byte minimum per value.
+    if n > residuals.len() {
+        return Err(Error::corrupt("fpzip count exceeds residual payload"));
+    }
     let mut out = Vec::with_capacity(n);
     let mut pos = 0usize;
     let mut prev: u32 = 0;

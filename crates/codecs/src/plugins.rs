@@ -158,6 +158,7 @@ impl Compressor for ByteCodec {
         let mut o = Options::new();
         if self.kind.parallelizable() {
             o.set(format!("{}:nthreads", self.name()), self.nthreads);
+            o.declare(pressio_core::OPT_NTHREADS, pressio_core::OptionKind::U32);
         }
         o
     }
@@ -755,6 +756,9 @@ impl Compressor for LinearQuantizer {
                 o.declare("linear_quantizer:abs", OptionKind::F64);
             }
         }
+        // The generic bounds are accepted too (via from_common_options).
+        o.declare(pressio_core::OPT_ABS, OptionKind::F64);
+        o.declare(pressio_core::OPT_REL, OptionKind::F64);
         o
     }
 

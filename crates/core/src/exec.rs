@@ -29,7 +29,7 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use crate::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
 use crate::error::{Error, Result};
 
@@ -371,6 +371,88 @@ impl Scratch {
         self.f64s.clear();
         self.f64s.resize(len, 0.0);
         &mut self.f64s[..]
+    }
+}
+
+// ====================================================== model-check support
+
+/// Loom-model scaffolding: a pool core ([`Shared`]) without its global
+/// `'static` registration or OS worker threads, so the model-check suite
+/// (`crates/core/tests/loom_exec.rs`) can drive `submit`/`pop_any`/the
+/// work-available condvar under the shim scheduler with a bounded number
+/// of modeled threads. Only compiled for `--features loom` builds.
+#[cfg(feature = "loom")]
+pub mod model_support {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A locally owned pool core for model runs.
+    pub struct ModelPool {
+        shared: Shared,
+    }
+
+    impl ModelPool {
+        /// A pool core with `workers` local deques (0 = injector-only).
+        pub fn new(workers: usize) -> ModelPool {
+            ModelPool {
+                shared: Shared {
+                    injector: Mutex::new(VecDeque::new()),
+                    locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+                    work_available: Condvar::new(),
+                    work_seq: Mutex::new(0),
+                    rr: Mutex::new(0),
+                },
+            }
+        }
+
+        /// Submit `n` tasks that each bump `tally` exactly once, through
+        /// the production round-robin distribution path.
+        pub fn submit_tally(&self, n: usize, tally: &Arc<AtomicUsize>) {
+            let tasks: Vec<Task> = (0..n)
+                .map(|_| {
+                    let tally = Arc::clone(tally);
+                    Box::new(move || {
+                        tally.fetch_add(1, Ordering::SeqCst);
+                    }) as Task
+                })
+                .collect();
+            self.shared.submit(tasks);
+        }
+
+        /// Pop-and-run until every queue reads empty from `home`'s
+        /// perspective (own deque, injector, then stealing); returns how
+        /// many tasks ran.
+        pub fn drain(&self, home: usize) -> usize {
+            let mut ran = 0;
+            while let Some(task) = self.shared.pop_any(home) {
+                task();
+                ran += 1;
+            }
+            ran
+        }
+
+        /// Pop-and-run at most one task, as one iteration of
+        /// [`worker_loop`] would; `false` means every queue was empty.
+        pub fn step(&self, home: usize) -> bool {
+            match self.shared.pop_any(home) {
+                Some(task) => {
+                    task();
+                    true
+                }
+                None => false,
+            }
+        }
+
+        /// One bounded wait on the work-available condvar, exactly as the
+        /// idle branch of [`worker_loop`] performs it.
+        pub fn wait_for_work(&self) {
+            let guard = lock_ignore_poison(&self.shared.work_seq);
+            let _ = self
+                .shared
+                .work_available
+                .wait_timeout(guard, std::time::Duration::from_millis(POLL_MS));
+        }
     }
 }
 

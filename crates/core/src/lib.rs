@@ -63,9 +63,13 @@ pub mod io;
 pub mod metrics;
 pub mod options;
 pub mod registry;
+pub mod sync;
 pub mod trace;
 pub mod version;
 pub mod wire;
+
+#[cfg(feature = "loom")]
+pub use loom;
 
 pub use alloc::{AlignedVec, BUFFER_ALIGN};
 pub use checksum::{fnv1a64, Fnv1a64};

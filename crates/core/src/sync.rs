@@ -1,0 +1,34 @@
+//! Sync-primitive facade for model-checkable modules.
+//!
+//! The execution engine ([`crate::exec`]) and the trace ring
+//! ([`crate::trace`]) import their mutexes, condvars, and atomics from
+//! here instead of `std::sync`. Normally these are plain `std` re-exports
+//! with zero cost; with the `loom` feature enabled they come from the
+//! loom shim (`shims/loom`), whose primitives participate in a seeded
+//! cooperative scheduler so `loom::model` can drive many distinct thread
+//! interleavings through the same code (`cargo test -p pressio-core
+//! --features loom --test loom_exec --test loom_trace`, run by the
+//! `--concurrency` tier of `ci.sh`).
+//!
+//! `OnceLock` is deliberately always `std`: one-time initialization is
+//! not what the model suite targets, and the loom-gated scenarios build
+//! their state locally rather than through the global statics.
+
+#[cfg(not(feature = "loom"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "loom")]
+pub use loom::sync::{Condvar, Mutex, MutexGuard};
+
+pub use std::sync::OnceLock;
+
+/// Atomics facade, mirroring `std::sync::atomic` / `loom::sync::atomic`.
+pub mod atomic {
+    #[cfg(not(feature = "loom"))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    #[cfg(feature = "loom")]
+    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}

@@ -25,13 +25,21 @@
 //! routes through [`timed`], which measures unconditionally and records a
 //! span only when tracing is enabled.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Capacity of the global span ring buffer. Spans past this are counted in
 /// [`TraceReport::dropped`] rather than silently lost.
+///
+/// Deliberately tiny under the `loom` feature so the model-check suite can
+/// reach the overflow path in a handful of pushes; model builds are
+/// test-only (`ci.sh --concurrency`), never shipped.
+#[cfg(not(feature = "loom"))]
 pub const RING_CAPACITY: usize = 65_536;
+/// Model-check ring capacity (see the non-`loom` docs above).
+#[cfg(feature = "loom")]
+pub const RING_CAPACITY: usize = 8;
 
 /// Maximum number of distinct counter names tracked at once.
 const MAX_COUNTERS: usize = 64;
@@ -124,7 +132,7 @@ fn buffers() -> &'static Mutex<Buffers> {
     BUFFERS.get_or_init(|| Mutex::new(Buffers::default()))
 }
 
-fn lock_buffers() -> std::sync::MutexGuard<'static, Buffers> {
+fn lock_buffers() -> crate::sync::MutexGuard<'static, Buffers> {
     match buffers().lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -470,7 +478,7 @@ mod tests {
 
     // The trace buffers are process-global, so tests that enable tracing
     // serialize on this lock to avoid seeing each other's spans.
-    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    fn test_lock() -> crate::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         match LOCK.lock() {
             Ok(g) => g,

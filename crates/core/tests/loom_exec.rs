@@ -1,0 +1,107 @@
+//! Model-checked interleavings of the shared execution engine's core:
+//! task submission (round-robin distribution + work-available signal),
+//! popping (own deque, injector, stealing), and the helping pattern the
+//! submitting thread uses while a job is in flight.
+//!
+//! Run via `cargo test -p pressio-core --features loom --test loom_exec`
+//! (the `--concurrency` tier of `ci.sh`). Each scenario executes once per
+//! scheduler seed; an assertion failure or detected deadlock reports the
+//! seed, which `LOOM_SHIM_SEEDS` plus a debugger can replay.
+#![cfg(feature = "loom")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pressio_core::exec::model_support::ModelPool;
+use pressio_core::loom;
+
+/// A submitter races a stealing worker: tasks are distributed round-robin
+/// over two local deques, the worker drains from home 1 (stealing deque 0
+/// when its own runs dry), the submitter drains from home 0. Every task
+/// must run exactly once no matter who wins each pop.
+#[test]
+fn submit_races_stealing_worker() {
+    loom::model(|| {
+        let pool = Arc::new(ModelPool::new(2));
+        let tally = Arc::new(AtomicUsize::new(0));
+
+        let worker_pool = Arc::clone(&pool);
+        let worker_tally = Arc::clone(&tally);
+        let worker = loom::thread::spawn(move || {
+            while worker_tally.load(Ordering::SeqCst) < 3 {
+                if !worker_pool.step(1) {
+                    loom::thread::yield_now();
+                }
+            }
+        });
+
+        pool.submit_tally(3, &tally);
+        while tally.load(Ordering::SeqCst) < 3 {
+            if !pool.step(0) {
+                loom::thread::yield_now();
+            }
+        }
+        worker.join().unwrap();
+
+        assert_eq!(tally.load(Ordering::SeqCst), 3, "each task runs exactly once");
+        assert_eq!(pool.drain(0), 0, "no task may be left queued");
+    });
+}
+
+/// Two workers race over the shared injector (a zero-local pool queues
+/// everything there): concurrent `pop_any` calls must hand each task to
+/// exactly one of them, with nothing lost or run twice.
+#[test]
+fn injector_pop_is_exactly_once() {
+    loom::model(|| {
+        let pool = Arc::new(ModelPool::new(0));
+        let tally = Arc::new(AtomicUsize::new(0));
+        pool.submit_tally(4, &tally);
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                loom::thread::spawn(move || pool.drain(usize::MAX))
+            })
+            .collect();
+        let ran: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+        assert_eq!(ran, 4, "the two drains must split the tasks exactly");
+        assert_eq!(tally.load(Ordering::SeqCst), 4);
+    });
+}
+
+/// The helping pattern: a worker idles through the condvar branch of the
+/// worker loop (bounded wait on `work_seq`) while the submitting thread
+/// queues work and then helps drain it. The job must complete regardless
+/// of whether the notify lands before, during, or after the worker's
+/// wait — a lost wakeup only costs one poll interval, never progress.
+#[test]
+fn help_while_worker_idles_on_condvar() {
+    loom::model(|| {
+        let pool = Arc::new(ModelPool::new(1));
+        let tally = Arc::new(AtomicUsize::new(0));
+
+        let worker_pool = Arc::clone(&pool);
+        let worker_tally = Arc::clone(&tally);
+        let worker = loom::thread::spawn(move || {
+            while worker_tally.load(Ordering::SeqCst) < 2 {
+                if !worker_pool.step(0) {
+                    worker_pool.wait_for_work();
+                }
+            }
+        });
+
+        pool.submit_tally(2, &tally);
+        // Help from outside the worker set, as par_map_indexed's
+        // submitting thread does (home = usize::MAX steals only).
+        while tally.load(Ordering::SeqCst) < 2 {
+            if !pool.step(usize::MAX) {
+                loom::thread::yield_now();
+            }
+        }
+        worker.join().unwrap();
+
+        assert_eq!(tally.load(Ordering::SeqCst), 2);
+    });
+}

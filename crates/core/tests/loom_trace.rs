@@ -1,0 +1,112 @@
+//! Model-checked interleavings of the trace ring buffer: concurrent span
+//! recording racing a drain, overflow accounting, and counter merging.
+//!
+//! Run via `cargo test -p pressio-core --features loom --test loom_trace`
+//! (the `--concurrency` tier of `ci.sh`). Model builds shrink
+//! [`pressio_core::trace::RING_CAPACITY`] to 8 so a handful of spans can
+//! exercise the overflow path each seed.
+#![cfg(feature = "loom")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pressio_core::loom;
+use pressio_core::trace;
+
+/// Two recorders race a concurrent drain. Whatever interleaving the
+/// scheduler picks, every recorded span is either delivered by some
+/// `take` or counted as dropped by ring overflow — none vanish, none
+/// double-count.
+#[test]
+fn spans_are_conserved_across_push_drain_and_overflow() {
+    const PER_THREAD: usize = 6; // 12 total: overflows the model ring of 8
+    loom::model(|| {
+        let _ = trace::take(); // clean slate for this seed
+        trace::enable();
+
+        let recorders: Vec<_> = (0..2)
+            .map(|_| {
+                loom::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        drop(trace::span("loom:span"));
+                    }
+                })
+            })
+            .collect();
+
+        // Drain concurrently with the recorders: a take may observe any
+        // prefix of their pushes.
+        let mid = trace::take();
+        let mut delivered = mid.spans.len();
+        let mut dropped = mid.dropped;
+
+        for r in recorders {
+            r.join().unwrap();
+        }
+        trace::disable();
+        let rest = trace::take();
+        delivered += rest.spans.len();
+        dropped += rest.dropped;
+
+        assert_eq!(
+            delivered as u64 + dropped,
+            (2 * PER_THREAD) as u64,
+            "spans must be delivered or counted dropped, never lost"
+        );
+        assert!(
+            rest.spans.len() <= trace::RING_CAPACITY,
+            "a single take can never exceed the ring capacity"
+        );
+    });
+}
+
+/// Two threads bump the same counter while a concurrent drain may split
+/// the total across two reports; the sum must always be exact, and the
+/// drop counter stays untouched (counters merge in place, they do not
+/// occupy ring slots).
+#[test]
+fn counter_increments_merge_exactly_once() {
+    loom::model(|| {
+        let _ = trace::take();
+        trace::enable();
+        let bumps = Arc::new(AtomicUsize::new(0));
+
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let bumps = Arc::clone(&bumps);
+                loom::thread::spawn(move || {
+                    for _ in 0..3 {
+                        trace::count("loom:ctr", 1);
+                        bumps.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+
+        let mid = trace::take();
+        let mut total: u64 = mid
+            .counters
+            .iter()
+            .filter(|c| c.name == "loom:ctr")
+            .map(|c| c.value)
+            .sum();
+        let mut dropped = mid.dropped;
+
+        for w in writers {
+            w.join().unwrap();
+        }
+        trace::disable();
+        let rest = trace::take();
+        total += rest
+            .counters
+            .iter()
+            .filter(|c| c.name == "loom:ctr")
+            .map(|c| c.value)
+            .sum::<u64>();
+        dropped += rest.dropped;
+
+        assert_eq!(bumps.load(Ordering::SeqCst), 6);
+        assert_eq!(total, 6, "counter increments must merge exactly once");
+        assert_eq!(dropped, 0, "counters never consume ring capacity");
+    });
+}

@@ -107,18 +107,17 @@ pub fn from_npy_bytes(bytes: &[u8]) -> Result<Data> {
     }
     let dims = extract_shape(header)?;
     let nbytes = pressio_core::checked_geometry(dtype, &dims)?;
-    let n: usize = dims.iter().product();
-    let payload = &bytes[10 + hlen..];
+    let payload = bytes
+        .get(10 + hlen..)
+        .ok_or_else(|| Error::corrupt(".npy payload truncated"))?;
     if payload.len() < nbytes {
         return Err(Error::corrupt(format!(
-            ".npy payload has {} bytes, expected {}",
+            ".npy payload has {} bytes, expected {nbytes}",
             payload.len(),
-            n * dtype.size()
         )));
     }
     let mut out = Data::owned(dtype, dims);
-    out.as_bytes_mut()
-        .copy_from_slice(&payload[..n * dtype.size()]);
+    out.as_bytes_mut().copy_from_slice(&payload[..nbytes]);
     Ok(out)
 }
 

@@ -349,7 +349,15 @@ impl Default for Guard {
 
 impl Compressor for Guard {
     fn get_configuration(&self) -> Options {
+        let stats = self.stats.lock().clone();
         let mut o = pressio_core::base_configuration(self);
+        // Read-only telemetry lives on the configuration surface: these
+        // keys are reported, never settable (like opt's achieved_ratio).
+        o.set("guard:served_by", self.served_by.as_deref().unwrap_or(""));
+        o.set("guard:attempts", stats.attempts);
+        o.set("guard:failures", stats.failures);
+        o.set("guard:timeouts", stats.timeouts);
+        o.set("guard:fallback_served", stats.fallback_served);
         o.merge(&self.child.get_configuration());
         o
     }
@@ -367,24 +375,13 @@ impl Compressor for Guard {
     }
 
     fn get_options(&self) -> Options {
-        let stats = self.stats.lock().clone();
         let mut o = Options::new()
             .with("guard:compressor", self.child_name.as_str())
             .with("guard:fallbacks", self.fallbacks.clone())
             .with("guard:timeout_ms", self.timeout_ms)
             .with("guard:max_retries", self.max_retries)
             .with("guard:backoff_ms", self.backoff_ms)
-            .with("guard:verify", u32::from(self.verify))
-            // Read-only results (ignored by set_options, like opt's
-            // achieved_ratio keys).
-            .with(
-                "guard:served_by",
-                self.served_by.as_deref().unwrap_or(""),
-            )
-            .with("guard:attempts", stats.attempts)
-            .with("guard:failures", stats.failures)
-            .with("guard:timeouts", stats.timeouts)
-            .with("guard:fallback_served", stats.fallback_served);
+            .with("guard:verify", u32::from(self.verify));
         o.merge(&self.child.get_options());
         o
     }
@@ -630,7 +627,7 @@ mod tests {
         g.decompress(&c, &mut out).unwrap();
         assert_eq!(g.served_by(), Some("sz"));
         assert_eq!(
-            g.get_options().get_as::<String>("guard:served_by").unwrap(),
+            g.get_configuration().get_as::<String>("guard:served_by").unwrap(),
             Some("sz".to_string())
         );
         let max_err = input
@@ -793,7 +790,7 @@ mod tests {
         // healthy fallback served.
         assert_eq!(g.served_by(), Some("deflate"));
         assert_eq!(
-            g.get_options().get_as::<String>("guard:served_by").unwrap(),
+            g.get_configuration().get_as::<String>("guard:served_by").unwrap(),
             Some("deflate".to_string())
         );
         let stats = g.stats_metrics().results();

@@ -486,7 +486,7 @@ mod tests {
         let mut out = Data::owned(DType::F64, vec![64, 64]);
         o.decompress(&compressed, &mut out).unwrap();
         assert!(max_err(&input, &out) <= outcome.value * 1.001);
-        let results = o.get_options();
+        let results = o.get_configuration();
         assert!(results.get_as::<f64>("opt:achieved_ratio").unwrap().is_some());
     }
 

@@ -189,6 +189,12 @@ impl Default for Opt {
 impl Compressor for Opt {
     fn get_configuration(&self) -> Options {
         let mut o = pressio_core::base_configuration(self);
+        // Read-only search results: reported, never settable.
+        if let Some(last) = self.last {
+            o.set("opt:chosen_value", last.value);
+            o.set("opt:achieved_ratio", last.ratio);
+            o.set("opt:evaluations", last.evaluations);
+        }
         o.merge(&self.child.get_configuration());
         o
     }
@@ -222,11 +228,6 @@ impl Compressor for Opt {
                 o.set("opt:target_max_error", e);
                 o.declare("opt:target_ratio", pressio_core::OptionKind::F64);
             }
-        }
-        if let Some(last) = self.last {
-            o.set("opt:chosen_value", last.value);
-            o.set("opt:achieved_ratio", last.ratio);
-            o.set("opt:evaluations", last.evaluations);
         }
         o.merge(&self.child.get_options());
         o

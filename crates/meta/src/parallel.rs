@@ -94,6 +94,7 @@ impl Compressor for Chunking {
         let mut o = Options::new()
             .with("chunking:nthreads", self.nthreads as u32)
             .with("chunking:compressor", self.child_name.as_str());
+        o.declare(pressio_core::OPT_NTHREADS, pressio_core::OptionKind::U32);
         o.merge(&self.child.get_options());
         o
     }
@@ -303,6 +304,7 @@ impl Compressor for ManyIndependent {
         let mut o = Options::new()
             .with("many_independent:nthreads", self.nthreads as u32)
             .with("many_independent:compressor", self.child_name.as_str());
+        o.declare(pressio_core::OPT_NTHREADS, pressio_core::OptionKind::U32);
         o.merge(&self.child.get_options());
         o
     }

@@ -271,9 +271,10 @@ impl Compressor for Sz {
             Some(u) => o.set(format!("{p}:user_params"), OptionValue::UserData(u.clone())),
             None => o.declare(format!("{p}:user_params"), OptionKind::UserData),
         }
-        // Generic bounds are always settable.
+        // Generic bounds and thread count are always settable.
         o.declare(pressio_core::OPT_ABS, OptionKind::F64);
         o.declare(pressio_core::OPT_REL, OptionKind::F64);
+        o.declare(pressio_core::OPT_NTHREADS, OptionKind::U32);
         o
     }
 

@@ -130,8 +130,20 @@ fn run() -> Result<bool, String> {
             clean = false;
         }
     }
-    for stale in &report.unused_allows {
-        eprintln!("warning: unused allowlist entry: {stale}");
+    if !report.unused_allows.is_empty() {
+        for stale in &report.unused_allows {
+            eprintln!("warning: unused allowlist entry: {stale}");
+        }
+        eprintln!(
+            "note: {n} allowlist entr{ies} no longer match{es} any finding — the code they \
+             waived was fixed or moved. Remove the line{s} above from {path} (ci.sh runs with \
+             --strict-allowlist, so stale entries fail the build).",
+            n = report.unused_allows.len(),
+            ies = if report.unused_allows.len() == 1 { "y" } else { "ies" },
+            es = if report.unused_allows.len() == 1 { "es" } else { "" },
+            s = if report.unused_allows.len() == 1 { "" } else { "s" },
+            path = allow_path.display(),
+        );
         if strict_allowlist {
             clean = false;
         }

@@ -1,0 +1,324 @@
+//! Lock discipline (`lock-order`, `no-lock-in-par-closure`).
+//!
+//! PR 3's store-lock cascade — `sz` global-store serialization composing
+//! with the shared pool into timeouts — is a protocol bug: locks are fine,
+//! lock *composition* is what deadlocks. This pass encodes the workspace's
+//! two composition rules.
+//!
+//! **Global acquisition order** (`lock-order`). The workspace's global
+//! locks have one sanctioned order, outermost first:
+//!
+//! | rank | lock                    | acquired via            |
+//! |------|-------------------------|-------------------------|
+//! | 10   | sz global store lock    | `lock_store()`          |
+//! | 20   | exec pool internals     | `lock_ignore_poison(..)`|
+//! | 30   | trace ring buffer       | `buffers().lock()`      |
+//!
+//! A plugin may hold the store lock while compressing (which reaches the
+//! pool, which may emit trace events), so store > pool > trace is the only
+//! order that composes. Within one function, acquiring a *lower*-rank lock
+//! while a `let`-bound guard of a *higher* rank is still live inverts the
+//! order and is flagged. Temporary acquisitions (`lock_x().do_y()`) drop
+//! at the end of their statement and do not count as held. Per-instance
+//! locks (a plugin's own `self.stats.lock()`) have no global rank and are
+//! exempt — they cannot participate in a cross-subsystem cycle unless they
+//! wrap one of the ranked locks, which the nesting check still sees.
+//!
+//! **No locks in parallel closures** (`no-lock-in-par-closure`). Closures
+//! handed to `par_map_indexed` / `par_chunks` run on the shared pool; a
+//! lock acquired inside one serializes the very work the pool exists to
+//! parallelize, and — worse — a *global* lock there is the PR 3 cascade:
+//! every worker convoys on it while the submitter helps, inflating
+//! latencies past the guard's watchdog. Any `.lock()` / `.try_lock()` /
+//! `lock_store()` / `lock_ignore_poison()` inside the argument list of a
+//! `par_map_indexed(..)` / `par_chunks(..)` call is flagged. `exec.rs`
+//! itself is exempt (the pool's own bookkeeping must lock); per-task
+//! mutexes that are provably uncontended (one task = one mutex) may be
+//! waived in `lint-allow.txt` with that argument spelled out.
+
+use super::tokens::{functions, Kind, Node};
+
+/// Rank in the global acquisition order (lower = outermost).
+fn rank_of(callee: &str) -> Option<u32> {
+    match callee {
+        "lock_store" | "try_lock_store" => Some(10),
+        "lock_ignore_poison" => Some(20),
+        _ => None,
+    }
+}
+
+/// Lock-ish method/function names that count as acquisitions inside
+/// parallel closures.
+const LOCK_CALLS: &[&str] = &[
+    "lock",
+    "try_lock",
+    "lock_store",
+    "try_lock_store",
+    "lock_ignore_poison",
+];
+
+const PAR_ENTRY: &[&str] = &["par_map_indexed", "par_chunks"];
+
+#[derive(Debug)]
+pub struct LockFinding {
+    /// true → `lock-order`; false → `no-lock-in-par-closure`.
+    pub order: bool,
+    pub line_idx: usize,
+    pub msg: String,
+}
+
+/// Scan a parsed file. `is_test_line` masks `#[cfg(test)]` regions.
+pub fn scan(nodes: &[Node], is_test_line: &dyn Fn(usize) -> bool) -> Vec<LockFinding> {
+    let mut findings = Vec::new();
+    for f in functions(nodes) {
+        if f.line == 0 || is_test_line(f.line - 1) {
+            continue;
+        }
+        check_order(f.body, &mut findings);
+        check_par_closures(f.body, &mut findings);
+    }
+    findings
+}
+
+/// One acquisition event in token order.
+struct Acq {
+    rank: u32,
+    callee: String,
+    line: usize,
+    /// `let`-bound guards live past their statement; temporaries do not.
+    held: bool,
+}
+
+fn check_order(body: &[Node], findings: &mut Vec<LockFinding>) {
+    let mut acqs: Vec<Acq> = Vec::new();
+    collect_acquisitions(body, &mut acqs);
+    // Token order approximates program order in the straight-line functions
+    // these global locks appear in. Flag rank inversions against any
+    // still-held earlier guard.
+    for i in 0..acqs.len() {
+        if !acqs[i].held {
+            continue;
+        }
+        for later in &acqs[i + 1..] {
+            if later.rank < acqs[i].rank {
+                findings.push(LockFinding {
+                    order: true,
+                    line_idx: later.line.saturating_sub(1),
+                    msg: format!(
+                        "`{}` (rank {}) acquired while `{}` (rank {}) guard from line {} may \
+                         still be held — global order is store(10) > pool(20) > trace(30), \
+                         outermost first",
+                        later.callee,
+                        later.rank,
+                        acqs[i].callee,
+                        acqs[i].rank,
+                        acqs[i].line,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Flatten ranked acquisitions in token order, marking which are
+/// `let`-bound. Statement boundaries are `;` tokens at each block level.
+fn collect_acquisitions(nodes: &[Node], out: &mut Vec<Acq>) {
+    let mut stmt_start = 0;
+    let mut i = 0;
+    while i <= nodes.len() {
+        let at_end = i == nodes.len();
+        if at_end || nodes[i].is_punct(';') {
+            let stmt = &nodes[stmt_start..i];
+            let let_bound = stmt.first().map(|n| n.is_ident("let")).unwrap_or(false);
+            scan_stmt(stmt, let_bound, out);
+            stmt_start = i + 1;
+        }
+        i += 1;
+    }
+}
+
+fn scan_stmt(stmt: &[Node], let_bound: bool, out: &mut Vec<Acq>) {
+    let mut i = 0;
+    while i < stmt.len() {
+        if let Some(t) = stmt[i].tok() {
+            if t.kind == Kind::Ident {
+                let ranked = rank_of(&t.text).or_else(|| {
+                    // buffers().lock() — the trace ring.
+                    (t.text == "lock"
+                        && stmt[..i]
+                            .iter()
+                            .rev()
+                            .take(4)
+                            .any(|n| n.is_ident("buffers")))
+                    .then_some(30)
+                });
+                if let Some(rank) = ranked {
+                    let is_call = stmt
+                        .get(i + 1)
+                        .map(|n| n.group('(').is_some())
+                        .unwrap_or(false);
+                    if is_call {
+                        out.push(Acq {
+                            rank,
+                            callee: t.text.clone(),
+                            line: t.line,
+                            held: let_bound,
+                        });
+                    }
+                }
+            }
+        }
+        if let Node::Group { delim, children, .. } = &stmt[i] {
+            if *delim == '{' {
+                // Nested block: its own statements; guards there die with
+                // the block, but an inversion inside still counts, so keep
+                // collecting into the same list.
+                collect_acquisitions(children, out);
+            } else {
+                scan_stmt(children, let_bound, out);
+            }
+        }
+        i += 1;
+    }
+}
+
+fn check_par_closures(body: &[Node], findings: &mut Vec<LockFinding>) {
+    let mut i = 0;
+    while i < body.len() {
+        if let Some(t) = body[i].tok() {
+            if t.kind == Kind::Ident && PAR_ENTRY.contains(&t.text.as_str()) {
+                if let Some(args) = body.get(i + 1).and_then(|n| n.group('(')) {
+                    flag_locks_in(args, &t.text, findings);
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        if let Node::Group { children, .. } = &body[i] {
+            check_par_closures(children, findings);
+        }
+        i += 1;
+    }
+}
+
+fn flag_locks_in(args: &[Node], entry: &str, findings: &mut Vec<LockFinding>) {
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(t) = args[i].tok() {
+            if t.kind == Kind::Ident
+                && LOCK_CALLS.contains(&t.text.as_str())
+                && args
+                    .get(i + 1)
+                    .map(|n| n.group('(').is_some())
+                    .unwrap_or(false)
+            {
+                findings.push(LockFinding {
+                    order: false,
+                    line_idx: t.line.saturating_sub(1),
+                    msg: format!(
+                        "`{}()` inside a `{entry}` closure runs on the shared pool and \
+                         serializes its workers (PR 3 store-lock cascade shape)",
+                        t.text,
+                    ),
+                });
+            }
+        }
+        if let Node::Group { children, .. } = &args[i] {
+            flag_locks_in(children, entry, findings);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tokens::parse_source;
+    use super::*;
+
+    fn run(src: &str) -> Vec<LockFinding> {
+        scan(&parse_source(src), &|_| false)
+    }
+
+    #[test]
+    fn sanctioned_order_is_clean() {
+        let f = run("fn go() {\n\
+                     let _guard = lock_store();\n\
+                     let mut q = lock_ignore_poison(&shared.injector);\n\
+                     q.push_back(t);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn inverted_order_flagged() {
+        let f = run("fn go(shared: &Shared) {\n\
+                     let _q = lock_ignore_poison(&shared.injector);\n\
+                     let _guard = lock_store();\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].order);
+        assert!(f[0].msg.contains("rank 10"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn temporary_acquisition_not_held() {
+        // A statement-scoped temporary drops before the next statement.
+        let f = run("fn go(shared: &Shared) {\n\
+                     lock_ignore_poison(&shared.injector).push_back(t);\n\
+                     let _guard = lock_store();\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn trace_lock_ranked_innermost() {
+        let f = run("fn go() {\n\
+                     let b = buffers().lock();\n\
+                     let _guard = lock_store();\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("lock_store"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn unranked_instance_locks_exempt() {
+        let f = run("fn go(&self) {\n\
+                     let mut s = self.stats.lock();\n\
+                     let _guard = lock_store();\n\
+                     s.hits += 1;\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lock_inside_par_closure_flagged() {
+        let f = run("fn go(workers: &[Mutex<W>]) {\n\
+                     let out = pressio_core::par_map_indexed(n, |i| {\n\
+                         workers[i].lock().compress(&chunks[i])\n\
+                     });\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(!f[0].order);
+        assert!(f[0].msg.contains("par_map_indexed"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn par_chunks_and_global_locks_flagged() {
+        let f = run("fn go(data: &[u8]) {\n\
+                     par_chunks(data, 4, |c| {\n\
+                         let _g = lock_store();\n\
+                         encode(c)\n\
+                     });\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("lock_store"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn lock_outside_closure_not_flagged() {
+        let f = run("fn go(data: &[u8]) {\n\
+                     let _g = lock_store();\n\
+                     par_chunks(data, 4, |c| encode(c));\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_modules_masked() {
+        let src = "fn go(shared: &Shared) {\nlet _q = lock_ignore_poison(&x);\nlet _g = lock_store();\n}\n";
+        assert_eq!(run(src).len(), 1);
+        assert!(scan(&parse_source(src), &|_| true).is_empty());
+    }
+}

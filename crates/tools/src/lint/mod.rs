@@ -26,6 +26,19 @@
 //!   engine (`pressio_core::exec`). Only `crates/core/src/exec.rs` itself,
 //!   binaries, and test modules are exempt.
 //!
+//! v2 adds a lightweight token-tree front end ([`tokens`]) — a lexer and
+//! delimiter-matched parser, no rustc dependency — feeding three deeper
+//! passes that line/regex matching cannot express:
+//!
+//! * [`RULE_TAINT_ALLOC`] / [`RULE_TAINT_ARITH`] — intraprocedural taint
+//!   analysis ([`taint`]) from wire reads into allocation sites and
+//!   unchecked length arithmetic.
+//! * [`RULE_PLUGIN_SURFACE_KEYS`] — key-level option-surface symmetry for
+//!   every `impl Compressor` block ([`surface`]): accepted keys must be
+//!   declared, declared keys must be read.
+//! * [`RULE_LOCK_ORDER`] / [`RULE_NO_LOCK_IN_PAR_CLOSURE`] — the global
+//!   lock acquisition order and the no-locks-on-the-pool rule ([`locks`]).
+//!
 //! The scanner strips string literals, comments, and `#[cfg(test)] mod`
 //! blocks before matching, so tests and docs never trip the rules. Findings
 //! can be waived through an allowlist file (default `lint-allow.txt` at the
@@ -44,6 +57,11 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod locks;
+pub mod surface;
+pub mod taint;
+pub mod tokens;
+
 /// Rule id: no `unwrap`/`expect`/`panic!` in library code.
 pub const RULE_NO_PANIC: &str = "no-panic";
 /// Rule id: `unsafe` requires a `// SAFETY:` comment.
@@ -60,6 +78,16 @@ pub const RULE_NO_UNBOUNDED_SLEEP: &str = "no-unbounded-sleep";
 pub const RULE_NO_ADHOC_THREAD_SPAWN: &str = "no-adhoc-thread-spawn";
 /// Rule id: no raw clock reads outside the trace module.
 pub const RULE_NO_TIMESTAMP: &str = "no-timestamp-outside-trace";
+/// Rule id: no wire-tainted value may size an allocation unchecked.
+pub const RULE_TAINT_ALLOC: &str = "taint-alloc";
+/// Rule id: no unchecked `*`/`+`/`<<` on wire-tainted lengths.
+pub const RULE_TAINT_ARITH: &str = "taint-arith";
+/// Rule id: option keys must be symmetric across the introspection surface.
+pub const RULE_PLUGIN_SURFACE_KEYS: &str = "plugin-surface-keys";
+/// Rule id: global locks follow one acquisition order.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// Rule id: no lock acquisition inside shared-pool closures.
+pub const RULE_NO_LOCK_IN_PAR_CLOSURE: &str = "no-lock-in-par-closure";
 
 /// All rule ids, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -71,6 +99,11 @@ pub const ALL_RULES: &[&str] = &[
     RULE_NO_UNBOUNDED_SLEEP,
     RULE_NO_ADHOC_THREAD_SPAWN,
     RULE_NO_TIMESTAMP,
+    RULE_TAINT_ALLOC,
+    RULE_TAINT_ARITH,
+    RULE_PLUGIN_SURFACE_KEYS,
+    RULE_LOCK_ORDER,
+    RULE_NO_LOCK_IN_PAR_CLOSURE,
 ];
 
 /// Long-form rationale for `--explain`.
@@ -147,6 +180,61 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              nobody is measuring. crates/core/src/trace.rs itself, binaries, and test \
              modules are exempt. Allowlist only measurement harnesses that must time \
              foreign code outside a span (e.g. the bench library's median timer)."
+        }
+        RULE_TAINT_ALLOC => {
+            "taint-alloc: a value read from an untrusted compressed stream (get_len, \
+             get_count, get_dims, get_u16/u32/u64, from_le_bytes, read_u16/u32/u64) must \
+             not size an allocation (Vec::with_capacity, vec![x; n], .reserve, .resize) \
+             until a bounds check dominates it. The fuzz harness found exactly this in \
+             the sz decoder: a corrupt header drove a 34 GB allocation before any \
+             validation ran. Sanitize by binding through checked_geometry / \
+             bytes_to_elements / .min(..) / .clamp(..) / try_into, or guard with an \
+             `if <len> > <bound> { return Err(..) }` before the allocation. The analysis \
+             is intraprocedural and token-ordered; waive a false positive with \
+             `taint-alloc <file> <line substring>  # why the bound holds` only when the \
+             bound is established somewhere the analysis cannot see (another function)."
+        }
+        RULE_TAINT_ARITH => {
+            "taint-arith: a wire-tainted length must not feed a raw `*`, `+`, or `<<` — \
+             the classic overflow shapes that turn three plausible u32 dims into a tiny \
+             (or enormous) wrapped product that later sizes a buffer or indexes a slice. \
+             Use checked_mul / checked_add / checked_shl / saturating_* or \
+             pressio_core::wire::checked_geometry, or compare against an explicit bound \
+             first (a comparison in the same statement, or a dominating guard that \
+             returns Err, silences the rule). Waive only arithmetic whose operands are \
+             provably bounded elsewhere, with the proof in the allowlist comment."
+        }
+        RULE_PLUGIN_SURFACE_KEYS => {
+            "plugin-surface-keys: within each `impl Compressor` block, every option key \
+             set_options reads (options.get_as / options.get) must be declared by \
+             get_options or get_configuration, and every key get_options declares must \
+             be read by set_options. An accepted-but-undeclared key is invisible to \
+             `pressio options` introspection; a declared-but-ignored key makes setting \
+             it a silent no-op. get_configuration is exempt from the second direction \
+             (it is a read-only capability surface). Keys are matched canonically: \
+             format!(\"{p}:key\") placeholders, plain literals, and OPT_* constants \
+             unify. Dynamic keys computed in helpers are skipped, not guessed; if the \
+             pass cannot see a genuine declaration, allowlist with the helper named."
+        }
+        RULE_LOCK_ORDER => {
+            "lock-order: the workspace's global locks have one sanctioned acquisition \
+             order, outermost first: sz store lock (lock_store, rank 10) > exec pool \
+             internals (lock_ignore_poison, rank 20) > trace ring (buffers().lock(), \
+             rank 30). Acquiring a lower-rank lock while a let-bound guard of a higher \
+             rank is live inverts that order and is one store-lock cascade away from \
+             deadlock. Statement-scoped temporaries drop at the `;` and do not count. \
+             Restructure so the outer lock is released first, or allowlist with a proof \
+             that the two locks can never be contended by the same pair of threads."
+        }
+        RULE_NO_LOCK_IN_PAR_CLOSURE => {
+            "no-lock-in-par-closure: closures passed to par_map_indexed / par_chunks run \
+             on the shared pool; a lock taken inside one serializes the workers the pool \
+             exists to parallelize, and a *global* lock there reproduces the PR 3 \
+             store-lock cascade (workers convoy, the submitter helps, watchdogs fire). \
+             Hoist the lock outside the parallel region or partition the state per \
+             task. crates/core/src/exec.rs (the pool's own bookkeeping) is exempt. \
+             Allowlist only per-task locks that are provably uncontended — one task, \
+             one mutex, no sharing — and say so in the justification."
         }
         _ => return None,
     })
@@ -693,6 +781,49 @@ pub fn scan_source(rel: &str, content: &str) -> Vec<Finding> {
             idx = j + 1;
         } else {
             idx += 1;
+        }
+    }
+
+    // v2 token-tree passes: taint, key-level surface symmetry, lock
+    // discipline. Library code only; binaries decode nothing untrusted and
+    // own their own locking.
+    if !binary {
+        let nodes = tokens::parse_source(content);
+        let is_test = |idx: usize| src.is_test_line(idx);
+        let snippet_at = |idx: usize, msg: &str| {
+            let line = src.raw_lines.get(idx).map(|l| l.trim()).unwrap_or("");
+            format!("{line} — {msg}")
+        };
+        for t in taint::scan(&nodes, &is_test) {
+            findings.push(Finding {
+                rule: if t.alloc { RULE_TAINT_ALLOC } else { RULE_TAINT_ARITH },
+                file: rel.to_string(),
+                line: t.line_idx + 1,
+                snippet: snippet_at(t.line_idx, &t.why),
+                allowed: false,
+            });
+        }
+        for s in surface::scan(&nodes, &is_test) {
+            findings.push(Finding {
+                rule: RULE_PLUGIN_SURFACE_KEYS,
+                file: rel.to_string(),
+                line: s.line_idx + 1,
+                snippet: snippet_at(s.line_idx, &s.msg),
+                allowed: false,
+            });
+        }
+        for l in locks::scan(&nodes, &is_test) {
+            // The pool's own bookkeeping must lock inside its machinery.
+            if !l.order && rel == EXEC_ENGINE_FILE {
+                continue;
+            }
+            findings.push(Finding {
+                rule: if l.order { RULE_LOCK_ORDER } else { RULE_NO_LOCK_IN_PAR_CLOSURE },
+                file: rel.to_string(),
+                line: l.line_idx + 1,
+                snippet: snippet_at(l.line_idx, &l.msg),
+                allowed: false,
+            });
         }
     }
 

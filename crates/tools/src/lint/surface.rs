@@ -1,0 +1,485 @@
+//! Key-level plugin-surface consistency (`plugin-surface-keys`).
+//!
+//! The v1 `plugin-surface` rule checks that every `impl Compressor for ..`
+//! carries the four option methods; it says nothing about the *keys* those
+//! methods trade in. LibPressio's introspection model only works if the
+//! surface is symmetric: a key a plugin acts on in `set_options` must be
+//! discoverable through `get_options`/`get_configuration` (otherwise
+//! `pressio options` lies to the user), and a key `get_options` advertises
+//! must actually do something in `set_options` (otherwise setting it is a
+//! silent no-op).
+//!
+//! This pass parses each `impl Compressor for X` block and extracts key
+//! expressions from the three method bodies:
+//!
+//! * **accepted** — first arguments of `options.get_as::<T>(..)` /
+//!   `options.get(..)` inside `set_options`;
+//! * **declared** — first arguments of `.with(..)` / `.set(..)` /
+//!   `.declare(..)` inside `get_options` and `get_configuration`.
+//!
+//! Keys are canonicalized so the three spelling families compare equal:
+//! `format!("{p}:nthreads")` and `format!("{}:nthreads", self.name())`
+//! normalize to the suffix `nthreads`; plain literals like `"cast:dtype"`
+//! keep their text and match suffixes by their tail-after-prefix; const
+//! paths (`pressio_core::OPT_ABS`) match by const name. Dynamic keys the
+//! extractor cannot resolve (e.g. a key computed in a helper) are skipped
+//! rather than guessed.
+//!
+//! Checked both ways, asymmetrically:
+//!
+//! 1. every accepted key must be declared in `get_options` **or**
+//!    `get_configuration`;
+//! 2. every `get_options`-declared key must be accepted
+//!    (`get_configuration` is exempt — it is a read-only capability
+//!    surface, e.g. `{p}:pressio:lossless`).
+//!
+//! Meta-compressors that forward `options` wholesale to a child
+//! (`self.child.set_options(options)`) and merge the child's surface back
+//! (`o.merge(..)`) are transparent to this pass: forwarded keys are
+//! invisible in both directions, so they cannot produce findings.
+
+use super::tokens::{functions, Kind, Node, Tok};
+
+/// A canonicalized option key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Key {
+    /// `format!("{p}:tail", ..)` — matched by tail.
+    Suffix(String),
+    /// A plain string literal, e.g. `"cast:dtype"`.
+    Lit(String),
+    /// A named constant, e.g. `OPT_ABS`.
+    Const(String),
+}
+
+impl Key {
+    pub fn describe(&self) -> String {
+        match self {
+            Key::Suffix(s) => format!("{{prefix}}:{s}"),
+            Key::Lit(s) => s.clone(),
+            Key::Const(s) => s.clone(),
+        }
+    }
+
+    /// Two keys denote the same option if their canonical forms agree;
+    /// a literal `"blosc:shuffle"` also satisfies the suffix `shuffle`.
+    fn matches(&self, other: &Key) -> bool {
+        match (self, other) {
+            (Key::Suffix(a), Key::Suffix(b)) => a == b,
+            (Key::Lit(a), Key::Lit(b)) => a == b,
+            (Key::Const(a), Key::Const(b)) => a == b,
+            (Key::Lit(l), Key::Suffix(s)) | (Key::Suffix(s), Key::Lit(l)) => {
+                l == s || l.ends_with(&format!(":{s}"))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One extracted key with its source line (0-based).
+#[derive(Debug)]
+struct KeyAt {
+    key: Key,
+    line_idx: usize,
+}
+
+/// A surface inconsistency in one `impl Compressor` block.
+#[derive(Debug)]
+pub struct SurfaceFinding {
+    pub line_idx: usize,
+    pub msg: String,
+}
+
+/// Scan a parsed file for `impl Compressor for X` blocks and check each
+/// one's key surface. `is_test_line` masks `#[cfg(test)]` regions.
+pub fn scan(nodes: &[Node], is_test_line: &dyn Fn(usize) -> bool) -> Vec<SurfaceFinding> {
+    let mut findings = Vec::new();
+    each_impl(nodes, &mut |type_name, line, body| {
+        if line > 0 && is_test_line(line - 1) {
+            return;
+        }
+        check_impl(type_name, body, &mut findings);
+    });
+    findings
+}
+
+/// Visit every `impl Compressor for NAME { .. }` block, recursively (impls
+/// can live inside `mod` blocks).
+fn each_impl<'a>(nodes: &'a [Node], f: &mut impl FnMut(&'a str, usize, &'a [Node])) {
+    let mut i = 0;
+    while i < nodes.len() {
+        if nodes[i].is_ident("impl")
+            && nodes.get(i + 1).map(|n| n.is_ident("Compressor")).unwrap_or(false)
+            && nodes.get(i + 2).map(|n| n.is_ident("for")).unwrap_or(false)
+        {
+            // impl Compressor for NAME [<..>] { .. }
+            let name = nodes.get(i + 3).and_then(|n| n.tok()).map(|t| t.text.as_str());
+            let body = nodes[i + 3..]
+                .iter()
+                .take(8)
+                .find_map(|n| n.group('{'));
+            if let (Some(name), Some(body)) = (name, body) {
+                f(name, nodes[i].line(), body);
+            }
+            i += 4;
+            continue;
+        }
+        if let Node::Group { children, .. } = &nodes[i] {
+            each_impl(children, f);
+        }
+        i += 1;
+    }
+}
+
+fn check_impl(type_name: &str, body: &[Node], findings: &mut Vec<SurfaceFinding>) {
+    let mut accepted: Vec<KeyAt> = Vec::new();
+    let mut declared_opts: Vec<KeyAt> = Vec::new();
+    let mut declared_conf: Vec<KeyAt> = Vec::new();
+    for m in functions(body) {
+        match m.name {
+            "set_options" => {
+                extract(m.body, &["get_as", "get"], &mut accepted);
+                // `ErrorBound::from_common_options(options)` is the house
+                // helper for the generic bounds: it reads OPT_ABS/OPT_REL
+                // on the plugin's behalf.
+                let mut uses_helper = false;
+                walk_calls(m.body, &mut |name, _, _| {
+                    uses_helper |= name == "from_common_options";
+                });
+                if uses_helper {
+                    for name in ["OPT_ABS", "OPT_REL"] {
+                        let key = Key::Const(name.to_string());
+                        if !accepted.iter().any(|k| k.key == key) {
+                            accepted.push(KeyAt { key, line_idx: m.line.saturating_sub(1) });
+                        }
+                    }
+                }
+            }
+            "get_options" => extract(m.body, &["with", "set", "declare"], &mut declared_opts),
+            "get_configuration" => extract(m.body, &["with", "set", "declare"], &mut declared_conf),
+            _ => {}
+        }
+    }
+    // Direction 1: accepted ⊆ declared(get_options ∪ get_configuration).
+    for a in &accepted {
+        let ok = declared_opts
+            .iter()
+            .chain(declared_conf.iter())
+            .any(|d| d.key.matches(&a.key));
+        if !ok {
+            findings.push(SurfaceFinding {
+                line_idx: a.line_idx,
+                msg: format!(
+                    "impl {type_name}: set_options accepts `{}` but neither get_options nor \
+                     get_configuration declares it",
+                    a.key.describe()
+                ),
+            });
+        }
+    }
+    // Direction 2: get_options-declared ⊆ accepted.
+    for d in &declared_opts {
+        if !accepted.iter().any(|a| a.key.matches(&d.key)) {
+            findings.push(SurfaceFinding {
+                line_idx: d.line_idx,
+                msg: format!(
+                    "impl {type_name}: get_options declares `{}` but set_options never reads it \
+                     (setting it is a silent no-op)",
+                    d.key.describe()
+                ),
+            });
+        }
+    }
+}
+
+/// Collect canonical keys from `NAME(<first-arg>, ..)` call sites for the
+/// given method names within one function body.
+fn extract(body: &[Node], methods: &[&str], out: &mut Vec<KeyAt>) {
+    walk_calls(body, &mut |name, line, args| {
+        if !methods.contains(&name) {
+            return;
+        }
+        let first = first_arg(args);
+        if let Some(key) = key_of(first) {
+            // Deduplicate: the same key is often both `set` and `declare`d
+            // on different match arms.
+            if !out.iter().any(|k| k.key == key) {
+                out.push(KeyAt { key, line_idx: line.saturating_sub(1) });
+            }
+        }
+    });
+}
+
+/// Visit every `ident [::<..>] ( .. )` call shape, depth-first.
+fn walk_calls<'a>(nodes: &'a [Node], f: &mut impl FnMut(&'a str, usize, &'a [Node])) {
+    let mut i = 0;
+    while i < nodes.len() {
+        if let Some(Tok { kind: Kind::Ident, text, line }) = nodes[i].tok() {
+            // Skip an optional turbofish `::<T>` between name and args.
+            let mut j = i + 1;
+            if nodes.get(j).map(|n| n.is_punct(':')).unwrap_or(false)
+                && nodes.get(j + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+                && nodes.get(j + 2).map(|n| n.is_punct('<')).unwrap_or(false)
+            {
+                // Scan past the matching `>` (flat token scan; generics in
+                // these arg positions are single idents in practice).
+                let mut depth = 0usize;
+                j += 2;
+                while j < nodes.len() {
+                    if nodes[j].is_punct('<') {
+                        depth += 1;
+                    } else if nodes[j].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            if let Some(args) = nodes.get(j).and_then(|n| n.group('(')) {
+                f(text, *line, args);
+            }
+        }
+        if let Node::Group { children, .. } = &nodes[i] {
+            walk_calls(children, f);
+        }
+        i += 1;
+    }
+}
+
+/// The tokens of a call's first argument (up to the first top-level `,`).
+fn first_arg(args: &[Node]) -> &[Node] {
+    let end = args.iter().position(|n| n.is_punct(',')).unwrap_or(args.len());
+    &args[..end]
+}
+
+/// Resolve an argument expression to a canonical key, or `None` if it is
+/// dynamic (computed elsewhere) — dynamic keys are skipped, not guessed.
+fn key_of(arg: &[Node]) -> Option<Key> {
+    // format!("{p}:tail", ..) / format!("{}:tail", expr)
+    let mut i = 0;
+    while i < arg.len() {
+        if arg[i].is_ident("format")
+            && arg.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false)
+        {
+            let inner = arg.get(i + 2).and_then(|n| {
+                n.group('(').or_else(|| n.group('[')).or_else(|| n.group('{'))
+            })?;
+            let lit = inner.iter().find_map(|n| match n.tok() {
+                Some(Tok { kind: Kind::Str, text, .. }) => Some(text.as_str()),
+                _ => None,
+            })?;
+            return key_of_format(lit);
+        }
+        i += 1;
+    }
+    // Plain string literal.
+    if let Some(lit) = arg.iter().find_map(|n| match n.tok() {
+        Some(Tok { kind: Kind::Str, text, .. }) => Some(text.as_str()),
+        _ => None,
+    }) {
+        return Some(Key::Lit(lit.to_string()));
+    }
+    // Const path: last OPT_* style ident in the expression.
+    arg.iter().rev().find_map(|n| match n.tok() {
+        Some(Tok { kind: Kind::Ident, text, .. })
+            if text.starts_with("OPT_")
+                || (text.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+                    && text.len() > 1) =>
+        {
+            Some(Key::Const(text.clone()))
+        }
+        _ => None,
+    })
+}
+
+/// Canonicalize a `format!` template: `{p}:tail` / `{}:tail` → `Suffix`;
+/// no leading placeholder → literal text.
+fn key_of_format(template: &str) -> Option<Key> {
+    if let Some(rest) = template.strip_prefix('{') {
+        let close = rest.find('}')?;
+        let tail = rest[close + 1..].strip_prefix(':')?;
+        if tail.is_empty() || tail.contains('{') {
+            return None; // nested placeholders: dynamic, skip
+        }
+        return Some(Key::Suffix(tail.to_string()));
+    }
+    if template.contains('{') {
+        return None;
+    }
+    Some(Key::Lit(template.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tokens::parse_source;
+    use super::*;
+
+    fn run(src: &str) -> Vec<SurfaceFinding> {
+        scan(&parse_source(src), &|_| false)
+    }
+
+    #[test]
+    fn symmetric_surface_is_clean() {
+        let f = run(r#"
+impl Compressor for Blosc {
+    fn get_options(&self) -> Options {
+        Options::new().with("blosc:shuffle", self.shuffle).with("blosc:codec", self.codec.as_str())
+    }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(s) = options.get_as::<u8>("blosc:shuffle")? { self.shuffle = s; }
+        if let Some(c) = options.get_as::<String>("blosc:codec")? { self.codec = c; }
+        Ok(())
+    }
+    fn get_configuration(&self) -> Options {
+        let mut o = base_configuration(self);
+        o.set("blosc:pressio:lossless", true);
+        o
+    }
+}
+"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn accepted_but_undeclared_flagged() {
+        let f = run(r#"
+impl Compressor for P {
+    fn get_options(&self) -> Options { Options::new().with(format!("{p}:level"), self.level) }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(l) = options.get_as::<u32>(&format!("{p}:level"))? { self.level = l; }
+        if let Some(n) = options.get_as::<u32>(pressio_core::OPT_NTHREADS)? { self.n = n; }
+        Ok(())
+    }
+    fn get_configuration(&self) -> Options { base_configuration(self) }
+}
+"#);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("OPT_NTHREADS"), "{}", f[0].msg);
+        assert!(f[0].msg.contains("set_options accepts"));
+    }
+
+    #[test]
+    fn declared_but_never_read_flagged() {
+        let f = run(r#"
+impl Compressor for P {
+    fn get_options(&self) -> Options {
+        Options::new().with(format!("{p}:level"), self.level).with(format!("{p}:ghost"), 0u32)
+    }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(l) = options.get_as::<u32>(&format!("{p}:level"))? { self.level = l; }
+        Ok(())
+    }
+    fn get_configuration(&self) -> Options { base_configuration(self) }
+}
+"#);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("ghost"), "{}", f[0].msg);
+        assert!(f[0].msg.contains("silent no-op"));
+    }
+
+    #[test]
+    fn configuration_keys_are_declare_only() {
+        // pressio:lossless style capability keys are declared in
+        // get_configuration and never settable — that is fine.
+        let f = run(r#"
+impl Compressor for P {
+    fn get_options(&self) -> Options { Options::new() }
+    fn set_options(&mut self, _: &Options) -> Result<()> { Ok(()) }
+    fn get_configuration(&self) -> Options {
+        let mut o = base_configuration(self);
+        o.set(format!("{p}:pressio:lossless"), true);
+        o
+    }
+}
+"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn format_placeholder_and_literal_unify() {
+        // Declared via positional `{}` format, accepted via literal: the
+        // suffix matcher treats `chunking:nthreads` == `{prefix}:nthreads`.
+        let f = run(r#"
+impl Compressor for P {
+    fn get_options(&self) -> Options {
+        let mut o = Options::new();
+        o.set(format!("{}:nthreads", self.name()), self.n);
+        o
+    }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(n) = options.get_as::<u32>("chunking:nthreads")? { self.n = n; }
+        Ok(())
+    }
+    fn get_configuration(&self) -> Options { base_configuration(self) }
+}
+"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn const_fallback_declared_via_declare_is_clean() {
+        let f = run(r#"
+impl Compressor for P {
+    fn get_options(&self) -> Options {
+        let mut o = Options::new();
+        o.set(format!("{p}:nthreads"), self.n);
+        o.declare(pressio_core::OPT_NTHREADS, OptionKind::U32);
+        o
+    }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(n) = options
+            .get_as::<u32>(&format!("{p}:nthreads"))?
+            .or(options.get_as::<u32>(pressio_core::OPT_NTHREADS)?)
+        {
+            self.n = n;
+        }
+        Ok(())
+    }
+    fn get_configuration(&self) -> Options { base_configuration(self) }
+}
+"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_impls_masked() {
+        let src = r#"
+impl Compressor for P {
+    fn get_options(&self) -> Options { Options::new() }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        let _ = options.get_as::<u32>("p:ghost")?;
+        Ok(())
+    }
+    fn get_configuration(&self) -> Options { base_configuration(self) }
+}
+"#;
+        assert_eq!(run(src).len(), 1);
+        let masked = scan(&parse_source(src), &|_| true);
+        assert!(masked.is_empty());
+    }
+
+    #[test]
+    fn forwarding_meta_plugin_is_transparent() {
+        let f = run(r#"
+impl Compressor for Cast {
+    fn get_options(&self) -> Options {
+        let mut o = Options::new().with("cast:dtype", self.target.name());
+        o.merge(&self.child.get_options());
+        o
+    }
+    fn set_options(&mut self, options: &Options) -> Result<()> {
+        if let Some(t) = options.get_as::<String>("cast:dtype")? { self.set(t)?; }
+        self.child.set_options(options)
+    }
+    fn get_configuration(&self) -> Options {
+        let mut o = base_configuration(self);
+        o.merge(&self.child.get_configuration());
+        o
+    }
+}
+"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,556 @@
+//! A lightweight Rust token-tree parser — the front end of `pressio-lint
+//! v2`'s flow-sensitive passes (taint, plugin-surface keys, lock
+//! discipline).
+//!
+//! This is deliberately *not* a full Rust parser and has no `rustc`/`syn`
+//! dependency: it lexes a source file into identifiers, numbers, string
+//! literals, and single-character punctuation (comments and doc comments
+//! are skipped; raw strings, nested block comments, char literals, and
+//! lifetimes are handled), then brace/paren/bracket-matches the stream into
+//! nested token trees. That is exactly enough structure to
+//!
+//! * find `fn` items and their body groups (the unit of taint analysis),
+//! * find `impl Compressor for X` blocks and their method bodies (the unit
+//!   of the plugin-surface key pass),
+//! * resolve call argument groups (`par_map_indexed(...)` closures, key
+//!   expressions like `&format!("{p}:abs_err_bound")`).
+//!
+//! Unbalanced delimiters — which appear in macro fragments — degrade
+//! gracefully: an unmatched closer ends the innermost group, an unmatched
+//! opener is closed at end of file. The parser never panics on adversarial
+//! input; the worst failure mode is a pass seeing a smaller tree and
+//! reporting nothing, which fails safe for an advisory linter backed by a
+//! self-test corpus (`crates/tools/tests/fixtures/`).
+
+/// Token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `let`, `with_capacity`, ...).
+    Ident,
+    /// Numeric literal (`42`, `0x40`, `1e-4`, `8usize`).
+    Num,
+    /// String literal; `text` holds the *contents* (quotes stripped,
+    /// escapes left verbatim). Raw strings included.
+    Str,
+    /// Single-character punctuation (`*`, `+`, `<`, `;`, `?`, ...).
+    /// Delimiters never appear here — they become [`Node::Group`]s.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: Kind,
+    /// Token text (contents for strings).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+/// One node of a token tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A leaf token.
+    Tok(Tok),
+    /// A delimited group: `delim` is the opening delimiter (`(`, `[`, `{`).
+    Group {
+        /// Opening delimiter character.
+        delim: char,
+        /// Line of the opening delimiter.
+        line: usize,
+        /// Nested nodes.
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    /// Leaf accessor: the token if this node is one.
+    pub fn tok(&self) -> Option<&Tok> {
+        match self {
+            Node::Tok(t) => Some(t),
+            Node::Group { .. } => None,
+        }
+    }
+
+    /// True when the node is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self.tok(), Some(t) if t.kind == Kind::Ident && t.text == name)
+    }
+
+    /// True when the node is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.tok(), Some(t) if t.kind == Kind::Punct && t.text.len() == 1 && t.text.as_bytes()[0] as char == c)
+    }
+
+    /// The group's children if this is a group with delimiter `delim`.
+    pub fn group(&self, d: char) -> Option<&[Node]> {
+        match self {
+            Node::Group { delim, children, .. } if *delim == d => Some(children),
+            _ => None,
+        }
+    }
+
+    /// Source line of the node (group: its opening delimiter).
+    pub fn line(&self) -> usize {
+        match self {
+            Node::Tok(t) => t.line,
+            Node::Group { line, .. } => *line,
+        }
+    }
+}
+
+/// Lex `src` into a flat token stream. Comments are dropped; strings keep
+/// their contents. Never fails: unknown bytes are skipped.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let bump_lines = |from: usize, to: usize, line: &mut usize| {
+        *line += b[from..to].iter().filter(|&&c| c == b'\n').count();
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines(start, i.min(b.len()), &mut line);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let content_start = i;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                let content_end = i.min(b.len());
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::from_utf8_lossy(&b[content_start..content_end]).into_owned(),
+                    line,
+                });
+                bump_lines(start, content_end, &mut line);
+                i = (content_end + 1).min(b.len());
+            }
+            b'r' | b'b'
+                if i + 1 < b.len()
+                    && (b[i + 1] == b'"' || b[i + 1] == b'#')
+                    && !prev_is_word(b, i) =>
+            {
+                // Raw (or byte/raw-byte) string: r"..." / r#"..."# / br"..".
+                let start = i;
+                let mut j = i + 1;
+                if b[i] == b'b' && j < b.len() && b[j] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    let content_start = j;
+                    let mut content_end = b.len();
+                    'scan: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut h = 0usize;
+                            while k < b.len() && b[k] == b'#' && h < hashes {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                content_end = j;
+                                j = k;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: Kind::Str,
+                        text: String::from_utf8_lossy(&b[content_start..content_end.min(b.len())])
+                            .into_owned(),
+                        line,
+                    });
+                    bump_lines(start, j.min(b.len()), &mut line);
+                    i = j;
+                } else {
+                    // Just an identifier starting with r/b.
+                    let (tok, next) = lex_word(b, i, line);
+                    toks.push(tok);
+                    i = next;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime; mirror the sanitizer's rule.
+                let j = i + 1;
+                if j < b.len() && b[j] == b'\\' {
+                    let mut k = j + 2;
+                    while k < b.len() && b[k] != b'\'' {
+                        k += 1;
+                    }
+                    i = (k + 1).min(b.len());
+                } else if j + 1 < b.len() && b[j] != b'\'' && b[j + 1] == b'\'' {
+                    i = j + 2; // simple 'x'
+                } else {
+                    // Lifetime: emit the tick as punct, continue with ident.
+                    toks.push(Tok {
+                        kind: Kind::Punct,
+                        text: "'".to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let (tok, next) = lex_word(b, i, line);
+                toks.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                // Numbers: digits, `_`, type suffixes, hex/oct/bin, simple
+                // float forms including exponents (1e-4 / 1E+9).
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' || d == b'.' {
+                        // A second dot ends the number (range expr `0..n`).
+                        if d == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                            break;
+                        }
+                        i += 1;
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(b[i - 1], b'e' | b'E')
+                        && b[start..i].iter().any(|x| x.is_ascii_digit())
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::Num,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Is the byte before `i` part of a word (so `r`/`b` is an ident tail, not
+/// a raw-string prefix)?
+fn prev_is_word(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+fn lex_word(b: &[u8], start: usize, line: usize) -> (Tok, usize) {
+    let mut i = start;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    (
+        Tok {
+            kind: Kind::Ident,
+            text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+            line,
+        },
+        i,
+    )
+}
+
+/// Build token trees from a flat stream: `(`/`[`/`{` open groups, their
+/// partners close them. An unmatched closer closes the innermost group; an
+/// unmatched opener is closed at end of input.
+pub fn parse(toks: Vec<Tok>) -> Vec<Node> {
+    let mut iter = toks.into_iter().peekable();
+    parse_group(&mut iter, None)
+}
+
+fn closer(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        '{' => '}',
+        _ => open,
+    }
+}
+
+fn parse_group(
+    iter: &mut std::iter::Peekable<std::vec::IntoIter<Tok>>,
+    closing: Option<char>,
+) -> Vec<Node> {
+    let mut out = Vec::new();
+    while let Some(t) = iter.peek() {
+        if t.kind == Kind::Punct {
+            let ch = t.text.as_bytes().first().copied().unwrap_or(b' ') as char;
+            if Some(ch) == closing {
+                iter.next();
+                return out;
+            }
+            if matches!(ch, ')' | ']' | '}') {
+                // Unmatched closer: treat as end of the innermost group so
+                // outer levels get a chance to consume it. If we are at the
+                // top level, skip it.
+                if closing.is_some() {
+                    return out;
+                }
+                iter.next();
+                continue;
+            }
+            if matches!(ch, '(' | '[' | '{') {
+                let line = t.line;
+                iter.next();
+                let children = parse_group(iter, Some(closer(ch)));
+                out.push(Node::Group {
+                    delim: ch,
+                    line,
+                    children,
+                });
+                continue;
+            }
+        }
+        out.push(Node::Tok(iter.next().expect("peeked")));
+    }
+    out
+}
+
+/// Lex and tree-parse a source file in one step.
+pub fn parse_source(src: &str) -> Vec<Node> {
+    parse(lex(src))
+}
+
+/// One `fn` item found in a token tree: name, parameter group, body group.
+#[derive(Debug)]
+pub struct FnItem<'a> {
+    /// Function name.
+    pub name: &'a str,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Parameter list nodes (contents of the `(...)` group).
+    pub params: &'a [Node],
+    /// Body nodes (contents of the `{...}` group).
+    pub body: &'a [Node],
+}
+
+/// Collect every `fn` item (with a body) in `nodes`, recursing into groups
+/// — so methods inside `impl` blocks and nested modules are found. Trait
+/// method *signatures* (no body before `;`) are skipped.
+pub fn functions<'a>(nodes: &'a [Node]) -> Vec<FnItem<'a>> {
+    let mut out = Vec::new();
+    collect_functions(nodes, &mut out);
+    out
+}
+
+fn collect_functions<'a>(nodes: &'a [Node], out: &mut Vec<FnItem<'a>>) {
+    let mut i = 0;
+    while i < nodes.len() {
+        if nodes[i].is_ident("fn") {
+            let line = nodes[i].line();
+            // fn <name> <generics?> ( params ) <-> ret / where ...> { body }
+            if let Some(Node::Tok(name_tok)) = nodes.get(i + 1) {
+                if name_tok.kind == Kind::Ident {
+                    // Find the parameter group, skipping a possible generic
+                    // parameter list `<...>` (lexed as puncts, not a group).
+                    let mut j = i + 2;
+                    let mut params: Option<&[Node]> = None;
+                    while j < nodes.len() {
+                        match &nodes[j] {
+                            n if n.is_punct(';') => break,
+                            Node::Group { delim: '(', children, .. } => {
+                                params = Some(children);
+                                j += 1;
+                                break;
+                            }
+                            Node::Group { delim: '{', .. } => break,
+                            _ => j += 1,
+                        }
+                    }
+                    if let Some(params) = params {
+                        // Find the body group before the next `;`.
+                        let mut body: Option<&[Node]> = None;
+                        while j < nodes.len() {
+                            match &nodes[j] {
+                                n if n.is_punct(';') => break,
+                                Node::Group { delim: '{', children, .. } => {
+                                    body = Some(children);
+                                    break;
+                                }
+                                _ => j += 1,
+                            }
+                        }
+                        if let Some(body) = body {
+                            out.push(FnItem {
+                                name: &name_tok.text,
+                                line,
+                                params,
+                                body,
+                            });
+                            collect_functions(body, out);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        if let Node::Group { children, .. } = &nodes[i] {
+            // Don't double-recurse into fn bodies (handled above); other
+            // groups (impl blocks, modules, match arms) are walked here.
+            collect_functions(children, out);
+        }
+        i += 1;
+    }
+}
+
+/// Walk every node depth-first, calling `f` on each (groups before their
+/// children).
+pub fn walk<'a>(nodes: &'a [Node], f: &mut impl FnMut(&'a Node)) {
+    for n in nodes {
+        f(n);
+        if let Node::Group { children, .. } = n {
+            walk(children, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_numbers_strings_puncts_with_lines() {
+        let toks = lex("let n = r.get_len()?;\nlet s = \"a:b\"; // comment\n");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "n", "=", "r", ".", "get_len", "(", ")", "?", ";", "let", "s", "=", "a:b", ";"]
+        );
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[10].line, 2); // second `let`
+        let s = toks.iter().find(|t| t.kind == Kind::Str).unwrap();
+        assert_eq!(s.text, "a:b");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_lex_as_single_tokens() {
+        let toks = lex(r####"let a = r#"x { } ""#; let b = "q\"r";"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"x { } ""#, "q\\\"r"]);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let toks = lex("1e-4 0x40 8usize 0..n 1.5");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1e-4", "0x40", "8usize", "0", "1.5"]);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|t| t.text == "'"));
+        assert!(toks.iter().any(|t| t.text == "a" && t.kind == Kind::Ident));
+        // The char literal body never becomes a token.
+        assert!(!toks.iter().any(|t| t.text == "x" && t.kind == Kind::Str));
+    }
+
+    #[test]
+    fn trees_nest_and_tolerate_imbalance() {
+        let nodes = parse_source("fn f() { a(b[c]); }");
+        // fn f () { ... }
+        assert!(nodes[0].is_ident("fn"));
+        let body = nodes
+            .iter()
+            .find_map(|n| n.group('{'))
+            .expect("body group");
+        assert!(body.iter().any(|n| n.group('(').is_some()));
+
+        // Unbalanced: extra closer and unclosed opener both survive.
+        let nodes = parse_source("} fn g( { a(b }");
+        assert!(nodes.iter().any(|n| n.is_ident("fn")));
+    }
+
+    #[test]
+    fn functions_found_including_nested_and_methods() {
+        let src = "
+impl Compressor for X {
+    fn set_options(&mut self, o: &Options) -> Result<()> {
+        fn helper(n: usize) -> usize { n }
+        Ok(())
+    }
+}
+fn top() {}
+trait T { fn sig_only(&self); }
+";
+        let nodes = parse_source(src);
+        let fns = functions(&nodes);
+        let names: Vec<&str> = fns.iter().map(|f| f.name).collect();
+        assert!(names.contains(&"set_options"));
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"top"));
+        assert!(!names.contains(&"sig_only"));
+    }
+
+    #[test]
+    fn nested_macros_parse_as_groups() {
+        let src = "fn f(n: usize, m: usize) { let v = vec![vec![0u8; n]; m]; }";
+        let nodes = parse_source(src);
+        let fns = functions(&nodes);
+        assert_eq!(fns.len(), 1);
+        let mut brackets = 0;
+        walk(fns[0].body, &mut |n| {
+            if n.group('[').is_some() {
+                brackets += 1;
+            }
+        });
+        assert_eq!(brackets, 2);
+    }
+}

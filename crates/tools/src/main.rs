@@ -399,7 +399,88 @@ fn cmd_trace(args: &Args) -> Result<()> {
     Ok(())
 }
 
-const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|bench|trace> [args]
+/// `pressio lint`: the static-analysis pass, embedded in the main CLI so
+/// the rules are discoverable without knowing the separate `pressio-lint`
+/// binary exists. Shares its engine ([`pressio_tools::lint`]) and its
+/// allowlist (`<root>/lint-allow.txt`) with that binary and with ci.sh.
+fn cmd_lint(args: &Args) -> Result<()> {
+    use pressio_tools::lint;
+    if args.get("list-rules").is_some() {
+        for r in lint::ALL_RULES {
+            println!("{r}");
+        }
+        return Ok(());
+    }
+    if let Some(rule) = args.get("explain") {
+        let text = lint::explain(rule).ok_or_else(|| {
+            Error::invalid_argument(format!(
+                "unknown rule {rule:?}; known rules: {}",
+                lint::ALL_RULES.join(", ")
+            ))
+        })?;
+        println!("{text}");
+        return Ok(());
+    }
+    let root = match args.get("root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let mut dir = std::env::current_dir()?;
+            loop {
+                if std::fs::read_to_string(dir.join("Cargo.toml"))
+                    .map(|t| t.contains("[workspace]"))
+                    .unwrap_or(false)
+                {
+                    break dir;
+                }
+                match dir.parent() {
+                    Some(p) => dir = p.to_path_buf(),
+                    None => {
+                        return Err(Error::invalid_argument(
+                            "no workspace root found; pass --root",
+                        ))
+                    }
+                }
+            }
+        }
+    };
+    let allow_path = root.join("lint-allow.txt");
+    let allowlist = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => lint::Allowlist::parse(&text),
+        Err(_) => lint::Allowlist::default(),
+    };
+    let report = lint::run(&root, &allowlist)?;
+    let mut clean = true;
+    for f in &report.findings {
+        if !f.allowed {
+            println!("{f}");
+            clean = false;
+        }
+    }
+    for stale in &report.unused_allows {
+        eprintln!("warning: unused allowlist entry: {stale}");
+        clean = false;
+    }
+    if !report.unused_allows.is_empty() {
+        eprintln!(
+            "note: stale entries waive nothing — remove those lines from {}",
+            allow_path.display()
+        );
+    }
+    let allowed = report.findings.iter().filter(|f| f.allowed).count();
+    eprintln!(
+        "pressio lint: {} files scanned, {} violation(s), {} allowlisted",
+        report.files_scanned,
+        report.findings.len() - allowed,
+        allowed
+    );
+    if clean {
+        Ok(())
+    } else {
+        Err(Error::invalid_argument("lint violations found"))
+    }
+}
+
+const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|bench|trace|lint> [args]
   list [compressors|metrics|io]
   options <compressor>
   compress   -c <name> -i <in> -o <out> [-t dtype -d dims] [-O k=v ...] [-m metric ...] [-f format]
@@ -417,7 +498,11 @@ const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|c
               [--export chrome.json] [--check]
               # round-trip a datagen field with span tracing enabled; print the
               # per-stage span tree, optionally exporting chrome-trace JSON.
-              # --check asserts a non-empty, well-nested span tree";
+              # --check asserts a non-empty, well-nested span tree
+  lint       [--root dir] [--explain rule] [--list-rules]
+              # run the workspace static-analysis pass (same engine as the
+              # pressio-lint binary): wire-taint, plugin-surface, lock
+              # discipline, and the v1 line rules. --explain documents a rule";
 
 fn run() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -433,6 +518,7 @@ fn run() -> Result<()> {
         Some("fuzz-decode") => cmd_fuzz_decode(&args),
         Some("bench") => cmd_bench(&args),
         Some("trace") => cmd_trace(&args),
+        Some("lint") => cmd_lint(&args),
         _ => {
             eprintln!("{USAGE}");
             Err(Error::invalid_argument("unknown or missing command"))

@@ -1,0 +1,47 @@
+//! Seeded-regression fixture for the taint analysis: the PR 2 sz bug, in
+//! miniature. The decoder below trusts three wire-supplied dimensions,
+//! multiplies them unchecked, and sizes its output allocation from the
+//! product — exactly the shape that once let a corrupt stream demand a
+//! 34 GB `Vec` before any validation ran (and, while the allocator
+//! thrashed, cascaded watchdog timeouts through the store lock).
+//!
+//! This file is **not compiled** (it lives under `tests/fixtures/`, which
+//! is neither a test target nor scanned by the workspace lint walk). The
+//! `lint_fixtures.rs` integration test feeds it to `lint::scan_source`
+//! and asserts the `taint-alloc` and `taint-arith` rules both fire; if a
+//! refactor of the taint pass ever stops catching this pattern, that test
+//! — not a future corrupt stream — is what fails.
+
+use pressio_core::wire::ByteReader;
+use pressio_core::{Error, Result};
+
+/// A miniature sz-style decoder with the original defect.
+pub fn decompress_unvalidated(bytes: &[u8]) -> Result<Vec<f64>> {
+    let mut r = ByteReader::new(bytes);
+    let nz = r.get_len()?;
+    let ny = r.get_len()?;
+    let nx = r.get_len()?;
+    // BUG (intentional, for the lint fixture): the element count comes
+    // straight from the wire with no checked_geometry / checked_mul, so a
+    // hostile header sizes this allocation arbitrarily.
+    let n = nz * ny * nx;
+    let mut out = vec![0.0f64; n];
+    for v in out.iter_mut() {
+        *v = r.get_f64()?;
+    }
+    Ok(out)
+}
+
+/// The corrected shape, for contrast: the same read path dominated by the
+/// shared geometry check. The lint must stay quiet here.
+pub fn decompress_validated(bytes: &[u8]) -> Result<Vec<f64>> {
+    let mut r = ByteReader::new(bytes);
+    let dims = r.get_dims()?;
+    let nbytes = pressio_core::checked_geometry(pressio_core::DType::F64, &dims)?;
+    let n = nbytes / 8;
+    let mut out = vec![0.0f64; n];
+    for v in out.iter_mut() {
+        *v = r.get_f64()?;
+    }
+    Ok(out)
+}

@@ -69,7 +69,7 @@ fn guard_fallback_serves_when_primary_corrupts() {
 
     let compressed = g.compress(&input).unwrap();
     assert_eq!(
-        g.get_options().get_as::<String>("guard:served_by").unwrap().as_deref(),
+        g.get_configuration().get_as::<String>("guard:served_by").unwrap().as_deref(),
         Some("deflate"),
         "the corrupting primary should have been rejected in favor of deflate"
     );

@@ -103,19 +103,16 @@ impl Compressor for Zfp {
         let mut o = Options::new();
         match self.mode {
             ZfpMode::FixedRate(r) => {
-                o.set(format!("{p}:mode"), "rate");
                 o.set(format!("{p}:rate"), r);
                 o.declare(format!("{p}:precision"), pressio_core::OptionKind::U32);
                 o.declare(format!("{p}:accuracy"), pressio_core::OptionKind::F64);
             }
             ZfpMode::FixedPrecision(prec) => {
-                o.set(format!("{p}:mode"), "precision");
                 o.set(format!("{p}:precision"), prec);
                 o.declare(format!("{p}:rate"), pressio_core::OptionKind::F64);
                 o.declare(format!("{p}:accuracy"), pressio_core::OptionKind::F64);
             }
             ZfpMode::FixedAccuracy(t) => {
-                o.set(format!("{p}:mode"), "accuracy");
                 o.set(format!("{p}:accuracy"), t);
                 o.declare(format!("{p}:rate"), pressio_core::OptionKind::F64);
                 o.declare(format!("{p}:precision"), pressio_core::OptionKind::U32);
@@ -129,6 +126,7 @@ impl Compressor for Zfp {
         o.declare(pressio_core::OPT_ABS, pressio_core::OptionKind::F64);
         o.declare(pressio_core::OPT_RATE, pressio_core::OptionKind::F64);
         o.declare(pressio_core::OPT_PREC, pressio_core::OptionKind::U32);
+        o.declare(pressio_core::OPT_NTHREADS, pressio_core::OptionKind::U32);
         o
     }
 
@@ -195,6 +193,15 @@ impl Compressor for Zfp {
         o.set(format!("{p}:pressio:lossless"), false);
         o.set(format!("{p}:pressio:lossy"), true);
         o.set(format!("{p}:pressio:error_bounded"), true);
+        // Read-only: which mode the current parameters select.
+        o.set(
+            format!("{p}:mode"),
+            match self.mode {
+                ZfpMode::FixedRate(_) => "rate",
+                ZfpMode::FixedPrecision(_) => "precision",
+                ZfpMode::FixedAccuracy(_) => "accuracy",
+            },
+        );
         o
     }
 
@@ -431,7 +438,10 @@ mod tests {
         c.set_options(&Options::new().with("zfp:rate", 12.0f64)).unwrap();
         assert_eq!(c.mode(), ZfpMode::FixedRate(12.0));
         let o = c.get_options();
-        assert_eq!(o.get_as::<String>("zfp:mode").unwrap().unwrap(), "rate");
+        assert_eq!(
+            c.get_configuration().get_as::<String>("zfp:mode").unwrap().unwrap(),
+            "rate"
+        );
         assert_eq!(o.get_as::<f64>("zfp:rate").unwrap(), Some(12.0));
         // The unset modes are still declared for introspection.
         assert!(o.contains("zfp:precision"));

@@ -1,0 +1,613 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The build environment has no crates.io access, so — like the other
+//! `shims/*` crates — this implements the small API subset the workspace
+//! uses. Real loom exhaustively enumerates interleavings of an abstracted
+//! execution; this shim instead runs the closure passed to [`model`] many
+//! times under a **seeded cooperative scheduler**:
+//!
+//! * Inside `model`, exactly one participating thread runs at a time. The
+//!   running thread holds a logical *token*; every synchronization call
+//!   (mutex lock, condvar wait, atomic access, spawn/join/yield) is a
+//!   *yield point* where a seeded xorshift PRNG picks the next thread to
+//!   hold the token. Different seeds therefore drive different
+//!   interleavings through the same code, including adversarial ones a
+//!   free-running test would essentially never hit (e.g. a thread parked
+//!   mid-critical-section while every other thread spins against it).
+//! * Each [`model`] call replays its closure once per seed (64 by default,
+//!   `LOOM_SHIM_SEEDS` overrides). A panic aborts the run and reports the
+//!   failing seed so the exact interleaving can be replayed.
+//! * Blocking is *virtualized*: shim mutexes acquire with
+//!   `try_lock`-then-yield loops and condvar waits are modeled as
+//!   release-yield-reacquire (a timed wait that may time out spuriously —
+//!   the strictest behavior callers must already tolerate). No OS blocking
+//!   happens while a thread holds the token, so the serialized scheduler
+//!   cannot deadlock against the primitives it is modeling; a *real* lost
+//!   wakeup or lock cycle shows up as the step bound panicking with the
+//!   seed.
+//! * Outside `model` every primitive delegates straight to `std`, so a
+//!   crate built with its `loom` feature enabled still behaves normally in
+//!   ordinary tests.
+//!
+//! Like real loom, closures passed to `model` must join every thread they
+//! spawn; a leaked thread is left parked forever (the scheduler never
+//! hands it the token again once the model run ends).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Seeds explored per [`model`] call unless `LOOM_SHIM_SEEDS` overrides.
+const DEFAULT_SEEDS: u64 = 64;
+
+/// Total yield points allowed in one seeded run before the scheduler
+/// declares the execution stuck (deadlock or livelock) and panics.
+const MAX_STEPS: u64 = 200_000;
+
+// ============================================================== scheduler
+
+struct SchedState {
+    /// Completion flag per registered thread (index = thread id).
+    finished: Vec<bool>,
+    /// Id of the thread currently holding the execution token.
+    current: usize,
+    /// Yield points taken so far in this run (bounds livelock).
+    steps: u64,
+    /// xorshift64 state; seeded per run.
+    rng: u64,
+    /// Set when any participating thread panics, so the rest unblock.
+    poisoned: bool,
+}
+
+struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    seed: u64,
+}
+
+impl Scheduler {
+    fn new(seed: u64) -> Arc<Scheduler> {
+        Arc::new(Scheduler {
+            state: StdMutex::new(SchedState {
+                finished: vec![false], // thread 0: the model closure itself
+                current: 0,
+                steps: 0,
+                // SplitMix-style scramble so nearby seeds diverge quickly.
+                rng: seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x1234_5678_9ABC_DEF1),
+                poisoned: false,
+            }),
+            cv: StdCondvar::new(),
+            seed,
+        })
+    }
+
+    fn next_rng(st: &mut SchedState) -> u64 {
+        let mut x = st.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        st.rng = x;
+        x
+    }
+
+    fn check(&self, st: &SchedState) {
+        if st.poisoned {
+            panic!("loom shim: a sibling thread panicked (seed {})", self.seed);
+        }
+    }
+
+    /// Register a new participating thread, returning its id.
+    fn register(&self) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.finished.push(false);
+        st.finished.len() - 1
+    }
+
+    /// The universal yield point: hand the token to a PRNG-chosen live
+    /// thread (possibly ourselves) and wait until it comes back.
+    fn yield_point(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        self.check(&st);
+        st.steps += 1;
+        if st.steps > MAX_STEPS {
+            st.poisoned = true;
+            self.cv.notify_all();
+            panic!(
+                "loom shim: step bound exceeded — possible deadlock or livelock (seed {})",
+                self.seed
+            );
+        }
+        let live: Vec<usize> = st
+            .finished
+            .iter()
+            .enumerate()
+            .filter(|(_, done)| !**done)
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let pick = Self::next_rng(&mut st) as usize % live.len();
+        st.current = live[pick];
+        self.cv.notify_all();
+        while st.current != me {
+            self.check(&st);
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Park a freshly spawned thread until the token first reaches it.
+    fn wait_turn(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while st.current != me {
+            self.check(&st);
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Mark `me` finished and pass the token to some live thread.
+    fn finish(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.finished[me] = true;
+        let live: Vec<usize> = st
+            .finished
+            .iter()
+            .enumerate()
+            .filter(|(_, done)| !**done)
+            .map(|(i, _)| i)
+            .collect();
+        if !live.is_empty() {
+            let pick = Self::next_rng(&mut st) as usize % live.len();
+            st.current = live[pick];
+        }
+        self.cv.notify_all();
+    }
+
+    /// Unblock everyone after a panic; waiters re-panic with the seed.
+    fn abort(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn is_finished(&self, id: usize) -> bool {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        self.check(&st);
+        st.finished[id]
+    }
+}
+
+thread_local! {
+    /// This thread's scheduler membership: set for the model closure's
+    /// thread and every `loom::thread::spawn`ed thread, absent otherwise
+    /// (in which case every primitive delegates to std).
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// One yield point if this thread participates in a model run.
+fn maybe_yield() {
+    if let Some((sched, me)) = ctx() {
+        sched.yield_point(me);
+    }
+}
+
+// ================================================================== model
+
+/// Run `f` once per seed under the cooperative scheduler, exploring a
+/// different interleaving each time. Panics (assertion failures, detected
+/// deadlocks) abort the exploration and name the failing seed.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    // One model at a time per process: the scheduler serializes execution,
+    // and overlapping models would fight over wall-clock and step budgets.
+    static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+    let _serial = MODEL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let seeds = std::env::var("LOOM_SHIM_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_SEEDS);
+    for seed in 0..seeds {
+        let sched = Scheduler::new(seed);
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), 0)));
+        let outcome = catch_unwind(AssertUnwindSafe(&f));
+        CTX.with(|c| *c.borrow_mut() = None);
+        if let Err(panic) = outcome {
+            sched.abort();
+            eprintln!("loom shim: model failed at seed {seed}/{seeds}");
+            resume_unwind(panic);
+        }
+    }
+}
+
+// ================================================================= thread
+
+pub mod thread {
+    use super::*;
+
+    /// Calls `finish` on normal exit, `abort` when unwinding — so a
+    /// panicking modeled thread can never strand its siblings in
+    /// `Condvar::wait`.
+    struct FinishGuard {
+        sched: Arc<Scheduler>,
+        id: usize,
+    }
+
+    impl Drop for FinishGuard {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.sched.abort();
+            } else {
+                self.sched.finish(self.id);
+            }
+        }
+    }
+
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        modeled: Option<(Arc<Scheduler>, usize)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((sched, id)) = &self.modeled {
+                // Spin the token until the target thread has finished; it
+                // is then off the scheduler and a real join cannot block
+                // while we hold the token.
+                let me = ctx().map(|(_, me)| me).unwrap_or(0);
+                while !sched.is_finished(*id) {
+                    sched.yield_point(me);
+                }
+            }
+            self.inner.join()
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if let Some((sched, me)) = ctx() {
+            let id = sched.register();
+            let for_thread = Arc::clone(&sched);
+            let inner = std::thread::spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&for_thread), id)));
+                for_thread.wait_turn(id);
+                let _finish = FinishGuard {
+                    sched: Arc::clone(&for_thread),
+                    id,
+                };
+                f()
+            });
+            // Spawning is itself a scheduling point.
+            sched.yield_point(me);
+            JoinHandle {
+                inner,
+                modeled: Some((sched, id)),
+            }
+        } else {
+            JoinHandle {
+                inner: std::thread::spawn(f),
+                modeled: None,
+            }
+        }
+    }
+
+    pub fn yield_now() {
+        match ctx() {
+            Some((sched, me)) => sched.yield_point(me),
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+// =================================================================== sync
+
+pub mod sync {
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+    use std::time::Duration;
+
+    pub use std::sync::Arc;
+    pub use std::sync::OnceLock;
+
+    /// std-API-compatible mutex; under a model run, acquisition is a
+    /// `try_lock`-then-yield loop so the holder of the execution token
+    /// never blocks at the OS level.
+    pub struct Mutex<T: ?Sized> {
+        inner: StdMutex<T>,
+    }
+
+    /// Guard that remembers its mutex so [`Condvar`] can release and
+    /// reacquire it across a modeled wait.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        mutex: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: StdMutex::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn wrap<'a>(&'a self, g: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard {
+                mutex: self,
+                inner: Some(g),
+            }
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            if let Some((sched, me)) = ctx() {
+                loop {
+                    sched.yield_point(me);
+                    match self.inner.try_lock() {
+                        Ok(g) => return Ok(self.wrap(g)),
+                        Err(TryLockError::WouldBlock) => continue,
+                        Err(TryLockError::Poisoned(p)) => {
+                            return Err(PoisonError::new(self.wrap(p.into_inner())))
+                        }
+                    }
+                }
+            }
+            match self.inner.lock() {
+                Ok(g) => Ok(self.wrap(g)),
+                Err(p) => Err(PoisonError::new(self.wrap(p.into_inner()))),
+            }
+        }
+
+        pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+            maybe_yield();
+            match self.inner.try_lock() {
+                Ok(g) => Ok(self.wrap(g)),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(PoisonError::new(
+                    self.wrap(p.into_inner()),
+                ))),
+            }
+        }
+
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Mutex<T> {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already released")
+        }
+    }
+
+    /// Same shape as `std::sync::WaitTimeoutResult` (which has no public
+    /// constructor, hence the local type).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// std-API-compatible condvar. Under a model run, a timed wait is
+    /// modeled as release → yield → reacquire, reported as timed out —
+    /// i.e. maximally spurious, the strictest behavior timed-wait callers
+    /// must already tolerate. Notifications are then no-ops (nobody is in
+    /// an OS wait).
+    pub struct Condvar {
+        inner: StdCondvar,
+    }
+
+    impl Condvar {
+        pub const fn new() -> Condvar {
+            Condvar {
+                inner: StdCondvar::new(),
+            }
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            let mutex = guard.mutex;
+            let std_guard = guard.inner.take().expect("guard already released");
+            if let Some((sched, me)) = ctx() {
+                drop(std_guard); // release before yielding, like a real wait
+                sched.yield_point(me);
+                return match mutex.lock() {
+                    Ok(g) => Ok((g, WaitTimeoutResult(true))),
+                    Err(p) => Err(PoisonError::new((p.into_inner(), WaitTimeoutResult(true)))),
+                };
+            }
+            match self.inner.wait_timeout(std_guard, dur) {
+                Ok((g, wtr)) => Ok((mutex.wrap(g), WaitTimeoutResult(wtr.timed_out()))),
+                Err(p) => {
+                    let (g, wtr) = p.into_inner();
+                    Err(PoisonError::new((
+                        mutex.wrap(g),
+                        WaitTimeoutResult(wtr.timed_out()),
+                    )))
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            maybe_yield();
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            maybe_yield();
+            self.inner.notify_all();
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    pub mod atomic {
+        use super::maybe_yield;
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! modeled_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Atomic whose every access is a scheduler yield point
+                /// inside a model run.
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    pub const fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $val {
+                        maybe_yield();
+                        self.0.load(order)
+                    }
+
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        maybe_yield();
+                        self.0.store(v, order)
+                    }
+
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        maybe_yield();
+                        self.0.swap(v, order)
+                    }
+                }
+            };
+        }
+
+        modeled_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        macro_rules! modeled_fetch_add {
+            ($name:ident, $val:ty) => {
+                impl $name {
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        maybe_yield();
+                        self.0.fetch_add(v, order)
+                    }
+                }
+            };
+        }
+
+        modeled_fetch_add!(AtomicU64, u64);
+        modeled_fetch_add!(AtomicUsize, usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn primitives_delegate_outside_model() {
+        let m = Mutex::new(5);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 6);
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+        let cv = Condvar::new();
+        let g = m.lock().unwrap();
+        let (_g, wtr) = cv
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unwrap();
+        assert!(wtr.timed_out());
+    }
+
+    #[test]
+    fn model_explores_counter_interleavings() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn model_serializes_mutex_increments() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let h = super::thread::spawn(move || {
+                for _ in 0..3 {
+                    *m2.lock().unwrap() += 1;
+                }
+            });
+            for _ in 0..3 {
+                *m.lock().unwrap() += 1;
+            }
+            h.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 6);
+        });
+    }
+
+    #[test]
+    fn model_reports_failing_seed() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                // Deliberately racy check: fails on any seed where the
+                // spawned thread runs before the load below.
+                let n = Arc::new(AtomicUsize::new(0));
+                let n2 = Arc::clone(&n);
+                let h = super::thread::spawn(move || {
+                    n2.store(1, Ordering::SeqCst);
+                });
+                let seen = n.load(Ordering::SeqCst);
+                h.join().unwrap();
+                assert_eq!(seen, 0, "spawned store won the race");
+            });
+        });
+        assert!(result.is_err(), "some seed must order the store first");
+    }
+}
