@@ -24,6 +24,15 @@
 #   5. pressio fuzz-decode — every decoder against deterministically
 #                          corrupted streams: structured errors only,
 #                          no panics, no hangs
+#   5b. pressio chaos     — seeded fault injection at the exec pool's
+#                          scheduling points (worker/task panics, delays,
+#                          spurious cancels, forced budget failures) while
+#                          sweeping every pooled plugin and the guard
+#                          stacks: the pool must self-heal, stops must be
+#                          structured errors, and a faulted handle must
+#                          stay bit-identical to a fresh one afterwards
+#                          (needs --features chaos; the hooks compile to
+#                          nothing in normal builds)
 #   6. pressio trace --check — tracing smoke: a traced sz round trip must
 #                          produce a non-empty, well-nested span tree with
 #                          both handle-level spans
@@ -39,6 +48,7 @@
 # Usage: ./ci.sh                 full gate (all of the above)
 #        ./ci.sh --quick        lint + workspace tests only (inner loop)
 #        ./ci.sh --concurrency  loom model checks only
+#        ./ci.sh --chaos        fault-injection sweep only
 set -eu
 
 cd "$(dirname "$0")"
@@ -48,7 +58,8 @@ case "${1:-}" in
   "") ;;
   --quick) TIER=quick ;;
   --concurrency) TIER=concurrency ;;
-  *) echo "usage: ./ci.sh [--quick|--concurrency]" >&2; exit 2 ;;
+  --chaos) TIER=chaos ;;
+  *) echo "usage: ./ci.sh [--quick|--concurrency|--chaos]" >&2; exit 2 ;;
 esac
 
 run_lint() {
@@ -62,8 +73,14 @@ run_tests() {
 }
 
 run_loom() {
-    echo "== loom model checks (exec pool + trace ring interleavings)"
-    cargo test -q -p pressio-core --features loom --test loom_exec --test loom_trace
+    echo "== loom model checks (exec pool + trace ring + cancellation interleavings)"
+    cargo test -q -p pressio-core --features loom --test loom_exec --test loom_trace --test loom_cancel
+}
+
+run_chaos() {
+    echo "== chaos fault-injection sweep (pool self-heal + handle reuse)"
+    cargo test -q -p pressio-tools --features chaos --test chaos_smoke
+    cargo run -q -p pressio-tools --features chaos --bin pressio -- chaos --seeds 64 --seed 1
 }
 
 if [ "$TIER" = quick ]; then
@@ -79,6 +96,12 @@ if [ "$TIER" = concurrency ]; then
     exit 0
 fi
 
+if [ "$TIER" = chaos ]; then
+    run_chaos
+    echo "== ci.sh: chaos tier passed"
+    exit 0
+fi
+
 run_lint
 
 echo "== clippy (deny warnings)"
@@ -89,6 +112,8 @@ run_loom
 
 echo "== decoder corruption fuzz"
 cargo run -q -p pressio-tools --bin pressio -- fuzz-decode --iterations 64 --seed 1
+
+run_chaos
 
 echo "== trace smoke (span tree well-nested)"
 cargo run -q --release -p pressio-tools --bin pressio -- trace sz --check

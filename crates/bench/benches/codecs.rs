@@ -21,19 +21,19 @@ fn bench_codecs(c: &mut Criterion) {
 
     group.bench_function("rle/compress", |b| b.iter(|| rle::compress(&bytes)));
     group.bench_function("lz77/compress", |b| b.iter(|| lz77::compress(&bytes)));
-    group.bench_function("huffman/compress", |b| b.iter(|| huffman::encode_bytes(&bytes)));
-    group.bench_function("deflate/compress", |b| b.iter(|| deflate::compress(&bytes)));
+    group.bench_function("huffman/compress", |b| b.iter(|| huffman::encode_bytes(&bytes).expect("valid")));
+    group.bench_function("deflate/compress", |b| b.iter(|| deflate::compress(&bytes).expect("valid")));
     group.bench_function("shuffle/forward", |b| b.iter(|| shuffle::shuffle(&bytes, 8)));
     group.bench_function("bitshuffle/forward", |b| {
         b.iter(|| shuffle::bitshuffle(&bytes, 8))
     });
-    group.bench_function("fpzip/compress", |b| b.iter(|| float::compress_f64(&floats)));
+    group.bench_function("fpzip/compress", |b| b.iter(|| float::compress_f64(&floats).expect("valid")));
 
     let lz = lz77::compress(&bytes);
     group.bench_function("lz77/decompress", |b| {
         b.iter(|| lz77::decompress(&lz).expect("valid"))
     });
-    let df = deflate::compress(&bytes);
+    let df = deflate::compress(&bytes).expect("valid");
     group.bench_function("deflate/decompress", |b| {
         b.iter(|| deflate::decompress(&df).expect("valid"))
     });

@@ -47,6 +47,7 @@ enum pressio_error_code {
   pressio_io_error = 6,
   pressio_internal_error = 7,
   pressio_timeout_error = 8,
+  pressio_cancelled_error = 9,
 };
 
 typedef void (*pressio_data_delete_fn)(void* ptr, void* metadata);
@@ -63,7 +64,10 @@ void pressio_compressor_release(struct pressio_compressor* compressor);
 const char* pressio_compressor_error_msg(struct pressio_compressor* compressor);
 /* Category of the most recent failure on this handle (pressio_success after
  * a successful call; pressio_timeout_error when a guarded operation blew its
- * deadline, which is worth retrying). */
+ * deadline, which is worth retrying; pressio_cancelled_error when the run
+ * was stopped by an explicit cancel or a memory-budget trip — terminal: the
+ * handle stays reusable, but the same run fails again until the budget or
+ * cancel source changes). */
 int pressio_compressor_error_code(struct pressio_compressor* compressor);
 
 /* Metrics. */

@@ -191,7 +191,11 @@ pub unsafe extern "C" fn pressio_compressor_error_msg(
 /// `enum pressio_error_code` category of the most recent failure on this
 /// handle, `pressio_success` (0) after a successful call. A
 /// `pressio_timeout_error` (8) from a guarded operation is transient and
-/// worth retrying; the other categories are terminal.
+/// worth retrying; the other categories are terminal. In particular
+/// `pressio_cancelled_error` (9) — cooperative cancellation by an explicit
+/// cancel or an exhausted `guard:memory_budget_bytes` — is terminal: the
+/// handle stays reusable, but retrying the same request without changing
+/// the budget or the cancellation source will fail again.
 #[no_mangle]
 // SAFETY: `compressor` must be null or a live pointer from
 // `pressio_get_compressor`.

@@ -16,23 +16,27 @@ const CHUNK_MAGIC: u32 = 0xDEF2_C4D1;
 /// Minimum input bytes per chunk worth an independent dictionary + task.
 const MIN_CHUNK_BYTES: usize = 64 * 1024;
 
-/// Compress bytes: LZ77 then byte-Huffman.
+/// Compress bytes: LZ77 then byte-Huffman. Fallible only through cooperative
+/// cancellation (deadline, explicit cancel, or memory budget).
 ///
 /// ```
 /// let data = b"abcabcabcabcabc".repeat(100);
-/// let packed = pressio_codecs::deflate::compress(&data);
+/// let packed = pressio_codecs::deflate::compress(&data).unwrap();
 /// assert!(packed.len() < data.len() / 4);
 /// assert_eq!(pressio_codecs::deflate::decompress(&packed).unwrap(), data);
 /// ```
-pub fn compress(data: &[u8]) -> Vec<u8> {
-    huffman::encode_bytes(&lz77::compress(data))
+pub fn compress(data: &[u8]) -> Result<Vec<u8>> {
+    pressio_core::cancel::checkpoint()?;
+    let staged = lz77::compress(data);
+    pressio_core::cancel::checkpoint()?;
+    huffman::encode_bytes(&staged)
 }
 
 /// Compress in up to `pieces` independent chunks in parallel. Chunking costs
 /// some ratio (dictionaries reset at boundaries) and is skipped for inputs
 /// too small to split. The split depends only on `pieces` and the input
 /// length, so streams are machine-independent.
-pub fn compress_par(data: &[u8], pieces: usize) -> Vec<u8> {
+pub fn compress_par(data: &[u8], pieces: usize) -> Result<Vec<u8>> {
     let max_pieces = (data.len() / MIN_CHUNK_BYTES).max(1);
     let pieces = pieces.min(max_pieces);
     if pieces <= 1 {
@@ -41,7 +45,7 @@ pub fn compress_par(data: &[u8], pieces: usize) -> Vec<u8> {
     let ranges = pressio_core::chunk_ranges(data.len(), pieces);
     let chunks = pressio_core::par_map_indexed(ranges.len(), |i| {
         let _s = pressio_core::trace::span_labeled("deflate:compress_chunk", || format!("chunk {i}"));
-        Ok(compress(&data[ranges[i].clone()]))
+        compress(&data[ranges[i].clone()])
     });
     match chunks {
         Ok(chunks) => {
@@ -52,8 +56,15 @@ pub fn compress_par(data: &[u8], pieces: usize) -> Vec<u8> {
             for c in &chunks {
                 w.put_section(c);
             }
-            w.into_vec()
+            Ok(w.into_vec())
         }
+        // Cancellation must win over resilience: retrying serially after a
+        // deadline or budget trip would keep burning time the caller asked
+        // to reclaim.
+        Err(e) if matches!(
+            e.code(),
+            pressio_core::ErrorCode::Timeout | pressio_core::ErrorCode::Cancelled
+        ) => Err(e),
         // A worker died (pool panic): the serial path still serves.
         Err(_) => compress(data),
     }
@@ -109,7 +120,7 @@ mod tests {
             (0..10_000u32).flat_map(|i| (i % 251).to_le_bytes()).collect::<Vec<_>>(),
             b"the quick brown fox jumps over the lazy dog".repeat(500),
         ] {
-            let c = compress(&data);
+            let c = compress(&data).unwrap();
             assert_eq!(decompress(&c).unwrap(), data);
         }
     }
@@ -117,7 +128,7 @@ mod tests {
     #[test]
     fn compresses_structured_data() {
         let data: Vec<u8> = (0..100_000u32).flat_map(|i| ((i / 64) as u16).to_le_bytes()).collect();
-        let c = compress(&data);
+        let c = compress(&data).unwrap();
         assert!(
             c.len() * 4 < data.len(),
             "deflate-lite should achieve >4x on slowly varying data: {} vs {}",
@@ -128,7 +139,7 @@ mod tests {
 
     #[test]
     fn corrupt_stream_errors() {
-        let c = compress(b"some data some data some data");
+        let c = compress(b"some data some data some data").unwrap();
         for cut in [0, 1, c.len() / 2] {
             assert!(decompress(&c[..cut]).is_err());
         }
@@ -137,7 +148,7 @@ mod tests {
     #[test]
     fn par_small_input_falls_back_to_serial_format() {
         let data = b"small enough to stay serial".repeat(10);
-        assert_eq!(compress_par(&data, 8), compress(&data));
+        assert_eq!(compress_par(&data, 8).unwrap(), compress(&data).unwrap());
     }
 
     #[test]
@@ -146,7 +157,7 @@ mod tests {
             .map(|i| ((i / 64) % 251) as u8)
             .collect();
         for pieces in [2usize, 3, 7] {
-            let c = compress_par(&data, pieces);
+            let c = compress_par(&data, pieces).unwrap();
             assert_eq!(&c[..4], &CHUNK_MAGIC.to_le_bytes());
             assert_eq!(decompress(&c).unwrap(), data, "pieces {pieces}");
         }
@@ -155,7 +166,7 @@ mod tests {
     #[test]
     fn corrupt_chunked_streams_error_not_panic() {
         let data: Vec<u8> = (0..2 * MIN_CHUNK_BYTES).map(|i| (i % 17) as u8).collect();
-        let c = compress_par(&data, 2);
+        let c = compress_par(&data, 2).unwrap();
         for cut in (0..c.len()).step_by(499) {
             let _ = decompress(&c[..cut]);
         }

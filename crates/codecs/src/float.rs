@@ -50,8 +50,9 @@ fn unmap_f32(m: u32) -> u32 {
     }
 }
 
-/// Losslessly compress `f64` values.
-pub fn compress_f64(values: &[f64]) -> Vec<u8> {
+/// Losslessly compress `f64` values. Fallible only through cooperative
+/// cancellation in the deflate backend.
+pub fn compress_f64(values: &[f64]) -> Result<Vec<u8>> {
     let mut residuals = Vec::with_capacity(values.len() * 3);
     let mut prev: u64 = 0;
     for v in values {
@@ -61,8 +62,8 @@ pub fn compress_f64(values: &[f64]) -> Vec<u8> {
         prev = m;
     }
     let mut out = (values.len() as u64).to_le_bytes().to_vec();
-    out.extend_from_slice(&deflate::compress(&residuals));
-    out
+    out.extend_from_slice(&deflate::compress(&residuals)?);
+    Ok(out)
 }
 
 /// Inverse of [`compress_f64`].
@@ -90,8 +91,9 @@ pub fn decompress_f64(bytes: &[u8]) -> Result<Vec<f64>> {
     Ok(out)
 }
 
-/// Losslessly compress `f32` values.
-pub fn compress_f32(values: &[f32]) -> Vec<u8> {
+/// Losslessly compress `f32` values. Fallible only through cooperative
+/// cancellation in the deflate backend.
+pub fn compress_f32(values: &[f32]) -> Result<Vec<u8>> {
     let mut residuals = Vec::with_capacity(values.len() * 3);
     let mut prev: u32 = 0;
     for v in values {
@@ -101,8 +103,8 @@ pub fn compress_f32(values: &[f32]) -> Vec<u8> {
         prev = m;
     }
     let mut out = (values.len() as u64).to_le_bytes().to_vec();
-    out.extend_from_slice(&deflate::compress(&residuals));
-    out
+    out.extend_from_slice(&deflate::compress(&residuals)?);
+    Ok(out)
 }
 
 /// Inverse of [`compress_f32`].
@@ -163,7 +165,7 @@ mod tests {
             f64::from_bits(0x7FF0000000000001), // signaling-ish NaN payload
             1e-310, // subnormal
         ];
-        let c = compress_f64(&vals);
+        let c = compress_f64(&vals).unwrap();
         let back = decompress_f64(&c).unwrap();
         assert_eq!(back.len(), vals.len());
         for (a, b) in vals.iter().zip(&back) {
@@ -174,7 +176,7 @@ mod tests {
     #[test]
     fn f32_roundtrip_bit_exact() {
         let vals = vec![0.0f32, -0.0, 1.5, -2.5, f32::NAN, f32::INFINITY, 1e-44];
-        let c = compress_f32(&vals);
+        let c = compress_f32(&vals).unwrap();
         let back = decompress_f32(&c).unwrap();
         for (a, b) in vals.iter().zip(&back) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -186,7 +188,7 @@ mod tests {
         // Full-precision transcendental data has incompressible mantissas;
         // fpzip-style delta coding must still roundtrip and stay near 1x.
         let vals: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.001).sin()).collect();
-        let c = compress_f64(&vals);
+        let c = compress_f64(&vals).unwrap();
         assert!(c.len() < vals.len() * 8 * 13 / 10, "{} bytes", c.len());
         assert_eq!(decompress_f64(&c).unwrap(), vals);
     }
@@ -195,7 +197,7 @@ mod tests {
     fn low_entropy_data_compresses_well() {
         // Step data: long runs of identical values delta to zero.
         let vals: Vec<f64> = (0..50_000).map(|i| (i / 64) as f64 * 0.25).collect();
-        let c = compress_f64(&vals);
+        let c = compress_f64(&vals).unwrap();
         assert!(
             c.len() * 8 < vals.len() * 8,
             "step data should beat 8x: {} vs {}",
@@ -207,13 +209,13 @@ mod tests {
 
     #[test]
     fn empty_roundtrip() {
-        assert_eq!(decompress_f64(&compress_f64(&[])).unwrap(), Vec::<f64>::new());
-        assert_eq!(decompress_f32(&compress_f32(&[])).unwrap(), Vec::<f32>::new());
+        assert_eq!(decompress_f64(&compress_f64(&[]).unwrap()).unwrap(), Vec::<f64>::new());
+        assert_eq!(decompress_f32(&compress_f32(&[]).unwrap()).unwrap(), Vec::<f32>::new());
     }
 
     #[test]
     fn corrupt_stream_errors() {
-        let c = compress_f64(&[1.0, 2.0, 3.0]);
+        let c = compress_f64(&[1.0, 2.0, 3.0]).unwrap();
         assert!(decompress_f64(&c[..4]).is_err());
         assert!(decompress_f64(&c[..c.len() - 3]).is_err());
     }

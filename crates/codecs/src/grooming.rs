@@ -159,8 +159,8 @@ mod tests {
             .collect();
         let mut shaved = orig.clone();
         groom_f64(&mut shaved, 3, GroomMode::Shave);
-        let raw = crate::deflate::compress(pressio_core::elements_as_bytes(&orig));
-        let s = crate::deflate::compress(pressio_core::elements_as_bytes(&shaved));
+        let raw = crate::deflate::compress(pressio_core::elements_as_bytes(&orig)).unwrap();
+        let s = crate::deflate::compress(pressio_core::elements_as_bytes(&shaved)).unwrap();
         assert!(
             s.len() < raw.len(),
             "shaved should compress better: {} vs {}",

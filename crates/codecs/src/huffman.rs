@@ -236,7 +236,9 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>> {
         w.put_u8(lens[s as usize]);
     }
     let mut bits = BitWriter::new();
+    let mut cp = pressio_core::cancel::Checkpointer::new(64 * 1024);
     for &s in symbols {
+        cp.tick()?;
         bits.write_bits(book.rev_codes[s as usize] as u64, lens[s as usize] as u32);
     }
     w.put_section(&bits.into_bytes());
@@ -346,25 +348,29 @@ fn decode_serial(alphabet: u32, mut r: ByteReader<'_>) -> Result<Vec<u32>> {
         )));
     }
     let dec = build_decoder(&lens)?;
+    pressio_core::cancel::charge((n as u64).saturating_mul(4))?;
     let mut bits = BitReader::new(payload);
     let mut out = Vec::with_capacity(n);
+    let mut cp = pressio_core::cancel::Checkpointer::new(64 * 1024);
     for _ in 0..n {
+        cp.tick()?;
         out.push(dec.decode_symbol(&mut bits)?);
     }
     Ok(out)
 }
 
 /// Huffman-encode raw bytes (alphabet 256) — the entropy stage of
-/// deflate-lite.
-pub fn encode_bytes(data: &[u8]) -> Vec<u8> {
+/// deflate-lite. Fallible only through cooperative cancellation (the byte
+/// alphabet itself is always valid).
+pub fn encode_bytes(data: &[u8]) -> Result<Vec<u8>> {
     let symbols: Vec<u32> = data.iter().map(|&b| b as u32).collect();
-    encode(&symbols, 256).expect("byte alphabet is always valid")
+    encode(&symbols, 256)
 }
 
 /// Chunk-parallel [`encode_bytes`]; [`decode_bytes`] reads either format.
-pub fn encode_bytes_par(data: &[u8], pieces: usize) -> Vec<u8> {
+pub fn encode_bytes_par(data: &[u8], pieces: usize) -> Result<Vec<u8>> {
     let symbols: Vec<u32> = data.iter().map(|&b| b as u32).collect();
-    encode_par(&symbols, 256, pieces).expect("byte alphabet is always valid")
+    encode_par(&symbols, 256, pieces)
 }
 
 /// Decode a stream produced by [`encode_bytes`].
@@ -415,7 +421,7 @@ mod tests {
     #[test]
     fn uniform_bytes_roundtrip() {
         let data: Vec<u8> = (0..=255).cycle().take(4096).collect();
-        let enc = encode_bytes(&data);
+        let enc = encode_bytes(&data).unwrap();
         assert_eq!(decode_bytes(&enc).unwrap(), data);
     }
 

@@ -208,13 +208,13 @@ impl Compressor for ByteCodec {
             CodecKind::Noop => bytes.to_vec(),
             CodecKind::Rle => rle::compress(bytes),
             CodecKind::Lz => lz77::compress(bytes),
-            CodecKind::Huffman => huffman::encode_bytes_par(bytes, pieces),
-            CodecKind::Deflate => deflate::compress_par(bytes, pieces),
+            CodecKind::Huffman => huffman::encode_bytes_par(bytes, pieces)?,
+            CodecKind::Deflate => deflate::compress_par(bytes, pieces)?,
             CodecKind::Shuffle => {
-                deflate::compress_par(&shuffle::shuffle(bytes, input.dtype().size()), pieces)
+                deflate::compress_par(&shuffle::shuffle(bytes, input.dtype().size()), pieces)?
             }
             CodecKind::BitShuffle => {
-                deflate::compress_par(&shuffle::bitshuffle(bytes, input.dtype().size()), pieces)
+                deflate::compress_par(&shuffle::bitshuffle(bytes, input.dtype().size()), pieces)?
             }
         };
         let mut w = ByteWriter::with_capacity(payload.len() + 64);
@@ -339,7 +339,7 @@ impl Compressor for Blosc {
         };
         let payload = match self.codec.as_str() {
             "lz" => lz77::compress(&staged),
-            _ => deflate::compress(&staged),
+            _ => deflate::compress(&staged)?,
         };
         let mut w = ByteWriter::with_capacity(payload.len() + 64);
         write_header(&mut w, BLOSC_ID, input);
@@ -424,8 +424,8 @@ impl Compressor for Fpzip {
     fn compress(&mut self, input: &Data) -> Result<Data> {
         require_dtype("fpzip", input, &[DType::F32, DType::F64])?;
         let payload = match input.dtype() {
-            DType::F32 => float::compress_f32(input.as_slice::<f32>()?),
-            _ => float::compress_f64(input.as_slice::<f64>()?),
+            DType::F32 => float::compress_f32(input.as_slice::<f32>()?)?,
+            _ => float::compress_f64(input.as_slice::<f64>()?)?,
         };
         let mut w = ByteWriter::with_capacity(payload.len() + 64);
         write_header(&mut w, FPZIP_ID, input);
@@ -548,7 +548,7 @@ impl Compressor for Delta {
 
     fn compress(&mut self, input: &Data) -> Result<Data> {
         let staged = delta_encode_lanes(input.as_bytes(), input.dtype().size());
-        let payload = deflate::compress(&staged);
+        let payload = deflate::compress(&staged)?;
         let mut w = ByteWriter::with_capacity(payload.len() + 64);
         write_header(&mut w, DELTA_ID, input);
         w.put_section(&payload);
@@ -688,7 +688,7 @@ impl Compressor for BitGrooming {
         let payload = deflate::compress(&shuffle::shuffle(
             staged.as_bytes(),
             staged.dtype().size(),
-        ));
+        ))?;
         let mut w = ByteWriter::with_capacity(payload.len() + 64);
         write_header(&mut w, GROOM_ID, input);
         w.put_section(&payload);
@@ -810,7 +810,7 @@ impl Compressor for LinearQuantizer {
         for &c in &codes {
             varint::write_u64(&mut residuals, varint::zigzag(c));
         }
-        let payload = deflate::compress(&residuals);
+        let payload = deflate::compress(&residuals)?;
         let mut w = ByteWriter::with_capacity(payload.len() + 64);
         write_header(&mut w, QUANT_ID, input);
         w.put_f64(min);

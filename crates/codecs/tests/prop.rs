@@ -35,12 +35,12 @@ proptest! {
 
     #[test]
     fn deflate_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
-        prop_assert_eq!(deflate::decompress(&deflate::compress(&data)).unwrap(), data);
+        prop_assert_eq!(deflate::decompress(&deflate::compress(&data).unwrap()).unwrap(), data);
     }
 
     #[test]
     fn huffman_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        let enc = huffman::encode_bytes(&data);
+        let enc = huffman::encode_bytes(&data).unwrap();
         prop_assert_eq!(huffman::decode_bytes(&enc).unwrap(), data);
     }
 
@@ -67,7 +67,7 @@ proptest! {
     #[test]
     fn fpzip_roundtrips_arbitrary_bit_patterns(bits in proptest::collection::vec(any::<u64>(), 0..2048)) {
         let vals: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
-        let enc = float::compress_f64(&vals);
+        let enc = float::compress_f64(&vals).unwrap();
         let dec = float::decompress_f64(&enc).unwrap();
         prop_assert_eq!(dec.len(), vals.len());
         for (a, b) in vals.iter().zip(&dec) {
@@ -78,7 +78,7 @@ proptest! {
     #[test]
     fn fpzip_f32_roundtrips(bits in proptest::collection::vec(any::<u32>(), 0..2048)) {
         let vals: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
-        let enc = float::compress_f32(&vals);
+        let enc = float::compress_f32(&vals).unwrap();
         let dec = float::decompress_f32(&enc).unwrap();
         for (a, b) in vals.iter().zip(&dec) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
@@ -140,7 +140,7 @@ proptest! {
         data in proptest::collection::vec(any::<u8>(), 1..1024),
         flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..8),
     ) {
-        let mut enc = deflate::compress(&data);
+        let mut enc = deflate::compress(&data).unwrap();
         for (pos, bit) in flips {
             let at = pos as usize % enc.len();
             enc[at] ^= 1 << bit;
@@ -154,8 +154,8 @@ proptest! {
         for enc in [
             rle::compress(&data),
             lz77::compress(&data),
-            deflate::compress(&data),
-            huffman::encode_bytes(&data),
+            deflate::compress(&data).unwrap(),
+            huffman::encode_bytes(&data).unwrap(),
         ] {
             let cut = cut_at as usize % (enc.len() + 1);
             let _ = rle::decompress(&enc[..cut]);

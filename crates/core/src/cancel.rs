@@ -1,0 +1,392 @@
+//! Cooperative cancellation: deadlines, cancel flags, and memory budgets.
+//!
+//! A [`CancelToken`] bundles three stop conditions that in-flight work
+//! checks *cooperatively* at natural boundaries (pool scheduling points,
+//! chunk starts, codec stage loops):
+//!
+//! - an explicit **cancel flag** ([`CancelToken::cancel`]),
+//! - a **deadline** measured on the trace clock
+//!   ([`CancelToken::set_deadline_ms`]), and
+//! - a cumulative **memory budget** charged at the big allocation sites
+//!   ([`CancelToken::charge`]).
+//!
+//! Deadline expiry surfaces as [`ErrorCode::Timeout`] (transient — a
+//! retrying driver like `guard` may try again with a fresh deadline),
+//! while an explicit cancel or an exhausted budget surfaces as the
+//! terminal [`ErrorCode::Cancelled`].
+//!
+//! The token travels two ways: by value (cloned into
+//! [`crate::exec::run_cancellable`] and the pool's job records) and
+//! *ambiently* through a thread-local stack ([`with_token`]) so deeply
+//! nested codec loops can poll [`checkpoint`] without threading a token
+//! parameter through every signature. The execution engine installs the
+//! submitting thread's token on whichever worker picks a chunk up, so
+//! cancellation follows work across the pool — including stolen tasks.
+//!
+//! Everything here is lock-free: the token is a handful of atomics from
+//! the [`crate::sync`] facade (model-checked under the `loom` feature),
+//! and the only clock in play is [`crate::trace::monotonic_ns`], keeping
+//! the `no-timestamp-outside-trace` lint invariant intact.
+
+use std::cell::RefCell;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Arc;
+use crate::{Error, ErrorCode, Result};
+
+/// Sentinel for "no deadline armed" / "no budget armed".
+const UNSET: u64 = u64::MAX;
+
+/// Why a token tripped (stored in an atomic; first cause wins).
+const CAUSE_NONE: u64 = 0;
+const CAUSE_DEADLINE: u64 = 1;
+const CAUSE_EXPLICIT: u64 = 2;
+const CAUSE_BUDGET: u64 = 3;
+
+struct Inner {
+    cancelled: AtomicBool,
+    cause: AtomicU64,
+    /// Absolute deadline in nanoseconds on the trace clock; `UNSET` = none.
+    deadline_ns: AtomicU64,
+    /// Cumulative allocation budget in bytes; `UNSET` = unlimited.
+    budget_bytes: AtomicU64,
+    charged_bytes: AtomicU64,
+}
+
+/// Shared, cloneable stop signal for a unit of work. See the module docs.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline, no budget, not cancelled.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                cause: AtomicU64::new(CAUSE_NONE),
+                deadline_ns: AtomicU64::new(UNSET),
+                budget_bytes: AtomicU64::new(UNSET),
+                charged_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A token whose deadline is `ms` milliseconds from now.
+    pub fn with_deadline_ms(ms: u64) -> CancelToken {
+        let t = CancelToken::new();
+        t.set_deadline_ms(ms);
+        t
+    }
+
+    /// Arm (or re-arm) the deadline `ms` milliseconds from now.
+    pub fn set_deadline_ms(&self, ms: u64) {
+        let now = crate::trace::monotonic_ns();
+        let deadline = now.saturating_add(ms.saturating_mul(1_000_000));
+        self.inner.deadline_ns.store(deadline, Ordering::Relaxed);
+    }
+
+    /// Arm a cumulative allocation budget. `bytes == 0` disables the
+    /// budget (matching the option-surface convention that `0` means
+    /// "unlimited").
+    pub fn set_memory_budget(&self, bytes: u64) {
+        let armed = if bytes == 0 { UNSET } else { bytes };
+        self.inner.budget_bytes.store(armed, Ordering::Relaxed);
+    }
+
+    /// Explicitly cancel: every subsequent [`check`](Self::check) on any
+    /// clone of this token fails with [`ErrorCode::Cancelled`].
+    pub fn cancel(&self) {
+        self.trip(CAUSE_EXPLICIT);
+    }
+
+    /// Trip the token for [`ErrorCode::Timeout`] semantics — used by the
+    /// deadline watchdog when the caller stops waiting, so the worker's
+    /// eventual error matches the one the caller already returned.
+    pub fn cancel_as_timed_out(&self) {
+        self.trip(CAUSE_DEADLINE);
+    }
+
+    fn trip(&self, cause: u64) {
+        // First cause wins so diagnostics stay stable under races.
+        let _ = self.inner.cause.compare_exchange(
+            CAUSE_NONE,
+            cause,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has the token tripped (explicitly, by deadline, or by budget)?
+    /// Does not itself evaluate the deadline; use [`check`](Self::check)
+    /// at cooperation points.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Poll the stop conditions. `Ok(())` means "keep going"; an error
+    /// means the current unit of work should unwind with it.
+    pub fn check(&self) -> Result<()> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Err(self.cancellation_error());
+        }
+        let deadline = self.inner.deadline_ns.load(Ordering::Relaxed);
+        if deadline != UNSET && crate::trace::monotonic_ns() >= deadline {
+            self.trip(CAUSE_DEADLINE);
+            return Err(self.cancellation_error());
+        }
+        Ok(())
+    }
+
+    /// Charge `bytes` against the memory budget (a no-op when no budget is
+    /// armed). On exhaustion the token trips and a clean
+    /// [`ErrorCode::Cancelled`] error is returned — instead of the process
+    /// aborting on OOM later.
+    pub fn charge(&self, bytes: u64) -> Result<()> {
+        self.check()?;
+        #[cfg(feature = "chaos")]
+        if crate::chaos::should_fail_charge() {
+            self.trip(CAUSE_BUDGET);
+            return Err(self.cancellation_error());
+        }
+        let budget = self.inner.budget_bytes.load(Ordering::Relaxed);
+        if budget == UNSET {
+            return Ok(());
+        }
+        let prev = self.inner.charged_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > budget {
+            self.trip(CAUSE_BUDGET);
+            return Err(self.cancellation_error());
+        }
+        Ok(())
+    }
+
+    /// Total bytes charged so far (diagnostics).
+    pub fn charged_bytes(&self) -> u64 {
+        self.inner.charged_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds until the deadline: `None` when no deadline is armed,
+    /// `Some(0)` when it already passed.
+    pub fn remaining_ms(&self) -> Option<u64> {
+        let deadline = self.inner.deadline_ns.load(Ordering::Relaxed);
+        if deadline == UNSET {
+            return None;
+        }
+        let now = crate::trace::monotonic_ns();
+        Some(deadline.saturating_sub(now) / 1_000_000)
+    }
+
+    /// The error a tripped token reports. Deadline trips keep the
+    /// retryable [`ErrorCode::Timeout`] category; explicit cancels and
+    /// budget exhaustion are terminal [`ErrorCode::Cancelled`].
+    fn cancellation_error(&self) -> Error {
+        match self.inner.cause.load(Ordering::Relaxed) {
+            CAUSE_DEADLINE => Error::timeout("deadline exceeded; work stopped cooperatively"),
+            CAUSE_BUDGET => Error::new(
+                ErrorCode::Cancelled,
+                format!(
+                    "memory budget exhausted after {} charged bytes",
+                    self.charged_bytes()
+                ),
+            ),
+            _ => Error::cancelled("operation cancelled"),
+        }
+    }
+}
+
+// ------------------------------------------------------- ambient token
+
+thread_local! {
+    /// Stack of installed tokens; the innermost governs [`checkpoint`].
+    /// A stack (not a slot) so nested scopes — a guarded compressor whose
+    /// chunks run `with_token` on pool workers that already carry one —
+    /// restore the outer token on exit.
+    static CURRENT: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost ambient token installed on this thread, if any.
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// Run `f` with `token` installed as this thread's ambient token.
+/// Restores the previous token on exit, including on unwind, so a caught
+/// panic cannot leak a stale token into later work on a pool worker.
+pub fn with_token<R>(token: &CancelToken, f: impl FnOnce() -> R) -> R {
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            CURRENT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    CURRENT.with(|c| c.borrow_mut().push(token.clone()));
+    let _pop = PopOnDrop;
+    f()
+}
+
+/// Poll the ambient token: `Ok(())` when none is installed or it has not
+/// tripped. This is the cooperation point codec loops call.
+pub fn checkpoint() -> Result<()> {
+    match current() {
+        Some(t) => t.check(),
+        None => Ok(()),
+    }
+}
+
+/// Charge `bytes` against the ambient token's memory budget (no-op when
+/// no token or no budget is armed). Call before the dominant allocations
+/// on decode/encode paths.
+pub fn charge(bytes: u64) -> Result<()> {
+    match current() {
+        Some(t) => t.charge(bytes),
+        None => Ok(()),
+    }
+}
+
+/// Strided checkpoint helper for hot inner loops: resolves the ambient
+/// token once, then polls it every `stride` ticks, so per-element costs
+/// stay at one branch and one increment.
+pub struct Checkpointer {
+    token: Option<CancelToken>,
+    ticks: u32,
+    stride: u32,
+}
+
+impl Checkpointer {
+    /// Poll every `stride` ticks (clamped to at least 1).
+    pub fn new(stride: u32) -> Checkpointer {
+        Checkpointer {
+            token: current(),
+            ticks: 0,
+            stride: stride.max(1),
+        }
+    }
+
+    /// Count one loop iteration; polls the token on every `stride`-th call.
+    #[inline]
+    pub fn tick(&mut self) -> Result<()> {
+        let Some(token) = &self.token else {
+            return Ok(());
+        };
+        self.ticks += 1;
+        if self.ticks >= self.stride {
+            self.ticks = 0;
+            token.check()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes_checks() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.charge(1 << 30).is_ok());
+        assert_eq!(t.remaining_ms(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_is_terminal_cancelled() {
+        let t = CancelToken::new();
+        t.cancel();
+        let e = t.check().expect_err("cancelled token must fail checks");
+        assert_eq!(e.code(), ErrorCode::Cancelled);
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout() {
+        let t = CancelToken::with_deadline_ms(0);
+        let e = t.check().expect_err("expired deadline must fail checks");
+        assert_eq!(e.code(), ErrorCode::Timeout);
+        assert!(e.is_transient());
+        // The trip is sticky: later checks keep failing with Timeout.
+        assert_eq!(t.check().expect_err("sticky").code(), ErrorCode::Timeout);
+    }
+
+    #[test]
+    fn future_deadline_passes_and_reports_remaining() {
+        let t = CancelToken::with_deadline_ms(60_000);
+        assert!(t.check().is_ok());
+        let left = t.remaining_ms().expect("deadline armed");
+        assert!(left > 30_000, "remaining_ms {left}");
+    }
+
+    #[test]
+    fn budget_exhaustion_maps_to_cancelled() {
+        let t = CancelToken::new();
+        t.set_memory_budget(1_000);
+        assert!(t.charge(600).is_ok());
+        let e = t.charge(600).expect_err("over budget");
+        assert_eq!(e.code(), ErrorCode::Cancelled);
+        assert!(e.message().contains("memory budget"));
+        // Token is now tripped for everything, not just charges.
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn zero_budget_means_unlimited() {
+        let t = CancelToken::new();
+        t.set_memory_budget(0);
+        assert!(t.charge(u64::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn ambient_stack_nests_and_restores() {
+        assert!(checkpoint().is_ok());
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        inner.cancel();
+        with_token(&outer, || {
+            assert!(checkpoint().is_ok());
+            let r = with_token(&inner, checkpoint);
+            assert_eq!(
+                r.expect_err("inner token cancelled").code(),
+                ErrorCode::Cancelled
+            );
+            // Popped back to the healthy outer token.
+            assert!(checkpoint().is_ok());
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn ambient_token_survives_unwind() {
+        let t = CancelToken::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_token(&t, || panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        assert!(current().is_none(), "panic must not leak the token");
+    }
+
+    #[test]
+    fn checkpointer_polls_on_stride() {
+        let t = CancelToken::new();
+        with_token(&t, || {
+            let mut cp = Checkpointer::new(4);
+            t.cancel();
+            // First three ticks are free; the fourth polls and fails.
+            assert!(cp.tick().is_ok());
+            assert!(cp.tick().is_ok());
+            assert!(cp.tick().is_ok());
+            assert!(cp.tick().is_err());
+        });
+    }
+}

@@ -1,0 +1,239 @@
+//! Seeded fault injection for the execution engine (`chaos` feature only).
+//!
+//! The chaos layer perturbs the pool at its scheduling points with four
+//! fault classes, each drawn from a deterministic per-thread RNG so a
+//! failing seed replays exactly:
+//!
+//! - **injected delay** — a bounded sleep between scheduling decisions,
+//!   widening race windows;
+//! - **worker panic** — a worker thread panics *between* tasks (never
+//!   while holding one, so no chunk can be orphaned) and the hardened
+//!   worker loop must replace it;
+//! - **task panic** — a chunk panics inside `run_one`'s `catch_unwind`,
+//!   surfacing as `ErrorCode::Internal` for that job;
+//! - **spurious cancel / forced budget failure** — a job's
+//!   [`crate::cancel::CancelToken`] trips without a real deadline or
+//!   budget cause, exercising the cancellation paths.
+//!
+//! Everything in this module is compiled only under
+//! `--features chaos`; the hook sites in [`crate::exec`] and
+//! [`crate::cancel`] are `#[cfg]`-gated to literally nothing in normal
+//! builds, so the release overhead bench is unaffected.
+//!
+//! The intentional `panic!` calls below are the whole point of the
+//! module and are waived in `lint-allow.txt`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Per-fault probabilities in permille (0..=1000) plus the sweep seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Base seed; each thread derives an independent stream from it.
+    pub seed: u64,
+    /// Chance of a bounded injected delay at a scheduling point.
+    pub delay_permille: u64,
+    /// Chance a worker panics between tasks (self-heal path).
+    pub worker_panic_permille: u64,
+    /// Chance a task panics inside `run_one` (panic-isolation path).
+    pub task_panic_permille: u64,
+    /// Chance a job's cancel token trips spuriously before a task runs.
+    pub spurious_cancel_permille: u64,
+    /// Chance a `cancel::charge` call fails as if over budget.
+    pub charge_fail_permille: u64,
+}
+
+impl ChaosConfig {
+    /// Moderate default rates: frequent enough to fire many times per
+    /// sweep run, rare enough that most runs still complete.
+    pub fn from_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            delay_permille: 30,
+            worker_panic_permille: 8,
+            task_panic_permille: 12,
+            spurious_cancel_permille: 12,
+            charge_fail_permille: 8,
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bumped by [`configure`] so per-thread RNG streams reseed deterministically.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static SEED: AtomicU64 = AtomicU64::new(0);
+static RATE_DELAY: AtomicU64 = AtomicU64::new(0);
+static RATE_WORKER_PANIC: AtomicU64 = AtomicU64::new(0);
+static RATE_TASK_PANIC: AtomicU64 = AtomicU64::new(0);
+static RATE_SPURIOUS_CANCEL: AtomicU64 = AtomicU64::new(0);
+static RATE_CHARGE_FAIL: AtomicU64 = AtomicU64::new(0);
+
+// Fault tallies since the last [`reset_stats`], for harness reports.
+static N_DELAYS: AtomicU64 = AtomicU64::new(0);
+static N_WORKER_PANICS: AtomicU64 = AtomicU64::new(0);
+static N_TASK_PANICS: AtomicU64 = AtomicU64::new(0);
+static N_SPURIOUS_CANCELS: AtomicU64 = AtomicU64::new(0);
+static N_CHARGE_FAILS: AtomicU64 = AtomicU64::new(0);
+
+/// Install rates + seed (does not enable). Reseeds every thread's stream.
+pub fn configure(cfg: &ChaosConfig) {
+    SEED.store(cfg.seed, Ordering::Relaxed);
+    RATE_DELAY.store(cfg.delay_permille.min(1000), Ordering::Relaxed);
+    RATE_WORKER_PANIC.store(cfg.worker_panic_permille.min(1000), Ordering::Relaxed);
+    RATE_TASK_PANIC.store(cfg.task_panic_permille.min(1000), Ordering::Relaxed);
+    RATE_SPURIOUS_CANCEL.store(cfg.spurious_cancel_permille.min(1000), Ordering::Relaxed);
+    RATE_CHARGE_FAIL.store(cfg.charge_fail_permille.min(1000), Ordering::Relaxed);
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Start injecting faults at the hook sites.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop injecting faults (already-injected ones still unwind normally).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Is injection currently armed?
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Fault tallies `(delays, worker_panics, task_panics, spurious_cancels,
+/// charge_fails)` since the last [`reset_stats`].
+pub fn stats() -> (u64, u64, u64, u64, u64) {
+    (
+        N_DELAYS.load(Ordering::Relaxed),
+        N_WORKER_PANICS.load(Ordering::Relaxed),
+        N_TASK_PANICS.load(Ordering::Relaxed),
+        N_SPURIOUS_CANCELS.load(Ordering::Relaxed),
+        N_CHARGE_FAILS.load(Ordering::Relaxed),
+    )
+}
+
+/// Zero the fault tallies.
+pub fn reset_stats() {
+    N_DELAYS.store(0, Ordering::Relaxed);
+    N_WORKER_PANICS.store(0, Ordering::Relaxed);
+    N_TASK_PANICS.store(0, Ordering::Relaxed);
+    N_SPURIOUS_CANCELS.store(0, Ordering::Relaxed);
+    N_CHARGE_FAILS.store(0, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// `(epoch, splitmix64 state)`; reseeded when [`configure`] bumps the
+    /// epoch so sweeps with the same seed replay the same fault schedule
+    /// per thread.
+    static RNG: Cell<(u64, u64)> = const { Cell::new((u64::MAX, 0)) };
+    /// Stable per-thread ordinal mixed into the stream seed.
+    static ORDINAL: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn next_u64() -> u64 {
+    let epoch = EPOCH.load(Ordering::Relaxed);
+    RNG.with(|cell| {
+        let (seen, mut state) = cell.get();
+        if seen != epoch {
+            let ordinal = ORDINAL.with(|o| *o);
+            state = SEED.load(Ordering::Relaxed) ^ ordinal.wrapping_mul(0xA076_1D64_78BD_642F);
+        }
+        let draw = splitmix64(&mut state);
+        cell.set((epoch, state));
+        draw
+    })
+}
+
+fn roll(rate: &AtomicU64, tally: &AtomicU64) -> bool {
+    let permille = rate.load(Ordering::Relaxed);
+    if permille == 0 || !is_enabled() {
+        return false;
+    }
+    let hit = next_u64() % 1000 < permille;
+    if hit {
+        tally.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
+/// Hook for worker threads *between* tasks (no task held, so a panic here
+/// can never orphan a chunk). May sleep briefly or panic the worker.
+pub fn scheduling_point() {
+    if !is_enabled() {
+        return;
+    }
+    if roll(&RATE_DELAY, &N_DELAYS) {
+        let ms = next_u64() % 3;
+        std::thread::sleep(std::time::Duration::from_millis(ms.min(2)));
+    }
+    if roll(&RATE_WORKER_PANIC, &N_WORKER_PANICS) {
+        crate::trace::count("chaos:worker_panic", 1);
+        panic!("chaos: injected worker panic (self-heal expected)");
+    }
+}
+
+/// Hook inside `run_one` just before a task executes, under its
+/// `catch_unwind`. May delay, spuriously trip the job's token, or panic
+/// the task.
+pub fn before_task(token: &crate::cancel::CancelToken) {
+    if !is_enabled() {
+        return;
+    }
+    if roll(&RATE_DELAY, &N_DELAYS) {
+        let ms = next_u64() % 2;
+        std::thread::sleep(std::time::Duration::from_millis(ms.min(1)));
+    }
+    if roll(&RATE_SPURIOUS_CANCEL, &N_SPURIOUS_CANCELS) {
+        crate::trace::count("chaos:spurious_cancel", 1);
+        token.cancel();
+    }
+    if roll(&RATE_TASK_PANIC, &N_TASK_PANICS) {
+        crate::trace::count("chaos:task_panic", 1);
+        panic!("chaos: injected task panic (isolation expected)");
+    }
+}
+
+/// Hook consulted by [`crate::cancel::CancelToken::charge`]: force a
+/// budget failure as if the allocation put the run over its limit.
+pub fn should_fail_charge() -> bool {
+    roll(&RATE_CHARGE_FAIL, &N_CHARGE_FAILS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hooks_do_nothing() {
+        disable();
+        reset_stats();
+        scheduling_point();
+        before_task(&crate::cancel::CancelToken::new());
+        assert!(!should_fail_charge());
+        assert_eq!(stats(), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn same_seed_same_thread_is_deterministic() {
+        configure(&ChaosConfig::from_seed(42));
+        let a: Vec<u64> = (0..8).map(|_| next_u64()).collect();
+        configure(&ChaosConfig::from_seed(42));
+        let b: Vec<u64> = (0..8).map(|_| next_u64()).collect();
+        assert_eq!(a, b);
+        configure(&ChaosConfig::from_seed(43));
+        let c: Vec<u64> = (0..8).map(|_| next_u64()).collect();
+        assert_ne!(a, c);
+    }
+}

@@ -30,6 +30,11 @@ pub enum ErrorCode {
     /// An operation exceeded its deadline (e.g. the `guard`
     /// meta-compressor's `guard:timeout_ms` watchdog).
     Timeout,
+    /// The operation was cooperatively cancelled before it completed —
+    /// either explicitly (a [`crate::cancel::CancelToken`] was cancelled)
+    /// or because its memory budget was exhausted. Unlike [`Timeout`],
+    /// cancellation is a deliberate caller decision and is never retried.
+    Cancelled,
 }
 
 impl ErrorCode {
@@ -45,6 +50,7 @@ impl ErrorCode {
             ErrorCode::Io => 6,
             ErrorCode::Internal => 7,
             ErrorCode::Timeout => 8,
+            ErrorCode::Cancelled => 9,
         }
     }
 
@@ -54,7 +60,9 @@ impl ErrorCode {
     /// (the `guard` meta-compressor): transient conditions — IO hiccups and
     /// deadline overruns — are worth another attempt, while semantic errors
     /// (bad arguments, corrupt streams, unsupported dtypes, plugin bugs)
-    /// fail identically every time and are terminal.
+    /// fail identically every time and are terminal. Cancellation is also
+    /// terminal: the caller asked for the work to stop, so retrying would
+    /// defeat the point.
     pub const fn is_transient(self) -> bool {
         matches!(self, ErrorCode::Io | ErrorCode::Timeout)
     }
@@ -138,6 +146,11 @@ impl Error {
         Error::new(ErrorCode::Timeout, message)
     }
 
+    /// Shorthand for [`ErrorCode::Cancelled`].
+    pub fn cancelled(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::Cancelled, message)
+    }
+
     /// Whether this error's category is worth retrying (see
     /// [`ErrorCode::is_transient`]).
     pub fn is_transient(&self) -> bool {
@@ -187,6 +200,7 @@ mod tests {
             ErrorCode::Io,
             ErrorCode::Internal,
             ErrorCode::Timeout,
+            ErrorCode::Cancelled,
         ];
         let mut nums: Vec<i32> = codes.iter().map(|c| c.code()).collect();
         nums.sort_unstable();
@@ -205,12 +219,15 @@ mod tests {
             ErrorCode::CorruptStream,
             ErrorCode::Unsupported,
             ErrorCode::Internal,
+            ErrorCode::Cancelled,
         ] {
             assert!(!terminal.is_transient(), "{terminal:?}");
         }
         assert!(Error::timeout("slow").is_transient());
         assert_eq!(Error::timeout("slow").code(), ErrorCode::Timeout);
         assert!(!Error::corrupt("bad").is_transient());
+        assert_eq!(Error::cancelled("stop").code(), ErrorCode::Cancelled);
+        assert!(!Error::cancelled("stop").is_transient());
     }
 
     #[test]

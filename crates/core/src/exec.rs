@@ -25,6 +25,19 @@
 //!   the requested piece count, never on the machine's core count, so
 //!   streams produced by chunk-parallel plugins are byte-stable across
 //!   hosts; the pool size only bounds how many chunks run concurrently.
+//! * **Cancellation.** Every job snapshots the submitting thread's ambient
+//!   [`crate::cancel::CancelToken`] and re-installs it on whichever worker
+//!   picks a chunk up, so `checkpoint()` polls inside codec loops follow
+//!   work across the pool (including stolen tasks). A tripped token makes
+//!   remaining chunks *skip* at the chunk boundary instead of running.
+//! * **Deadlines.** [`run_cancellable`] / [`run_deadlined`] execute a
+//!   closure on a reusable watchdog worker and stop *waiting* at the
+//!   token's deadline — tripping the token so the in-flight work also
+//!   stops cooperatively at its next checkpoint. No thread is ever
+//!   detached: the worker re-registers as idle once the work unwinds.
+//! * **Self-healing.** Worker iterations run under `catch_unwind`; a panic
+//!   between tasks (only injected chaos faults can cause one) is counted
+//!   as `exec:worker_replaced` and the worker keeps serving the queues.
 
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -105,17 +118,34 @@ impl Shared {
     }
 }
 
+/// One scheduling iteration of a pool worker: run one task, or wait
+/// (bounded) for work. Factored out of [`worker_loop`] so the panic
+/// containment wrapping it covers exactly one iteration.
+fn worker_iteration(shared: &Shared, home: usize) {
+    // Chaos faults are injected here, *between* tasks, where no task is
+    // held — a panic at this point can never orphan a queued chunk.
+    #[cfg(feature = "chaos")]
+    crate::chaos::scheduling_point();
+    match shared.pop_any(home) {
+        Some(task) => task(),
+        None => {
+            let guard = lock_ignore_poison(&shared.work_seq);
+            // Bounded wait, then re-poll; a lost wakeup costs POLL_MS.
+            let _ = shared
+                .work_available
+                .wait_timeout(guard, std::time::Duration::from_millis(POLL_MS));
+        }
+    }
+}
+
 fn worker_loop(shared: &'static Shared, home: usize) {
     loop {
-        match shared.pop_any(home) {
-            Some(task) => task(),
-            None => {
-                let guard = lock_ignore_poison(&shared.work_seq);
-                // Bounded wait, then re-poll; a lost wakeup costs POLL_MS.
-                let _ = shared
-                    .work_available
-                    .wait_timeout(guard, std::time::Duration::from_millis(POLL_MS));
-            }
+        // Self-heal: job tasks never unwind (run_one catches), so a panic
+        // here means the scheduling machinery itself was made to panic
+        // (chaos worker faults). Swallow it and keep serving — the worker
+        // "replaces itself" without losing its deque.
+        if catch_unwind(AssertUnwindSafe(|| worker_iteration(shared, home))).is_err() {
+            crate::trace::count("exec:worker_replaced", 1);
         }
     }
 }
@@ -195,6 +225,9 @@ pub fn chunk_ranges(total: usize, pieces: usize) -> Vec<Range<usize>> {
 /// [`par_map_indexed`]).
 struct Job<'f, T> {
     f: &'f (dyn Fn(usize) -> Result<T> + Sync),
+    /// The submitting thread's ambient cancel token, snapshotted at submit
+    /// time and re-installed on whichever thread executes each chunk.
+    token: crate::cancel::CancelToken,
     slots: Vec<Mutex<Option<Result<T>>>>,
     remaining: Mutex<usize>,
     done: Condvar,
@@ -203,7 +236,17 @@ struct Job<'f, T> {
 impl<T> Job<'_, T> {
     fn run_one(&self, idx: usize) {
         crate::trace::count("exec:run", 1);
-        let result = match catch_unwind(AssertUnwindSafe(|| (self.f)(idx))) {
+        let result = match catch_unwind(AssertUnwindSafe(|| -> Result<T> {
+            #[cfg(feature = "chaos")]
+            crate::chaos::before_task(&self.token);
+            // Chunk-boundary cooperation point: once the job's token has
+            // tripped, remaining chunks are skipped instead of run.
+            if let Err(stop) = self.token.check() {
+                crate::trace::count("exec:cancelled", 1);
+                return Err(stop);
+            }
+            crate::cancel::with_token(&self.token, || (self.f)(idx))
+        })) {
             Ok(r) => r,
             Err(_) => Err(Error::internal(format!(
                 "exec: worker task {idx} panicked (isolated by the execution engine)"
@@ -235,12 +278,16 @@ where
     if n == 0 {
         return Ok(Vec::new());
     }
+    // Chunk-boundary check for the serial shortcut too, so a tripped token
+    // stops single-chunk work identically to pooled work.
+    crate::cancel::checkpoint()?;
     if n == 1 {
         return Ok(vec![f(0)?]);
     }
     let pool = shared();
     let job = Job {
         f: &f,
+        token: crate::cancel::current().unwrap_or_default(),
         slots: (0..n).map(|_| Mutex::new(None)).collect(),
         remaining: Mutex::new(n),
         done: Condvar::new(),
@@ -314,6 +361,151 @@ where
 {
     let ranges = chunk_ranges(total, pieces);
     par_map_indexed(ranges.len(), |i| f(i, ranges[i].clone()))
+}
+
+// ======================================================== deadline watchdog
+
+/// A closure queued to a watchdog worker.
+type WatchdogTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Reusable deadline-runner workers. Unlike the main pool, these threads
+/// are *dedicated* to one deadlined closure at a time: the caller stops
+/// waiting at the deadline, trips the token, and the worker re-registers
+/// itself as idle once the (cooperatively stopped) closure unwinds. The
+/// pool grows on demand so a deadline caller is never starved by other
+/// in-flight deadline runs, and shrinks to "all idle" as runs finish —
+/// no thread is ever detached or leaked.
+struct WatchdogPool {
+    /// Senders of watchdog workers currently parked waiting for a task.
+    idle: Mutex<Vec<std::sync::mpsc::Sender<WatchdogTask>>>,
+    /// Total watchdog threads ever spawned (leak diagnostics: this must
+    /// plateau at the peak number of *concurrent* deadline runs).
+    spawned: crate::sync::atomic::AtomicUsize,
+}
+
+fn watchdogs() -> &'static WatchdogPool {
+    static WATCHDOGS: OnceLock<&'static WatchdogPool> = OnceLock::new();
+    WATCHDOGS.get_or_init(|| {
+        Box::leak(Box::new(WatchdogPool {
+            idle: Mutex::new(Vec::new()),
+            spawned: crate::sync::atomic::AtomicUsize::new(0),
+        }))
+    })
+}
+
+fn watchdog_loop(
+    rx: std::sync::mpsc::Receiver<WatchdogTask>,
+    tx: std::sync::mpsc::Sender<WatchdogTask>,
+) {
+    while let Ok(task) = rx.recv() {
+        task();
+        // Work finished (or unwound): park this worker back in the idle
+        // pool for the next deadline run.
+        lock_ignore_poison(&watchdogs().idle).push(tx.clone());
+    }
+}
+
+/// Hand `task` to an idle watchdog worker, spawning a new one only when
+/// every existing worker is busy.
+fn watchdog_dispatch(task: WatchdogTask) -> Result<()> {
+    let pool = watchdogs();
+    let reused = lock_ignore_poison(&pool.idle).pop();
+    let tx = match reused {
+        Some(tx) => tx,
+        None => {
+            let (tx, rx) = std::sync::mpsc::channel::<WatchdogTask>();
+            let n = pool.spawned.fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
+            crate::trace::count("exec:watchdog_spawn", 1);
+            let worker_tx = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("pressio-watchdog-{n}"))
+                .spawn(move || watchdog_loop(rx, worker_tx))
+                .map_err(|e| {
+                    Error::new(
+                        crate::ErrorCode::Io,
+                        format!("exec: failed to spawn watchdog thread: {e}"),
+                    )
+                })?;
+            tx
+        }
+    };
+    task_send(tx, task)
+}
+
+fn task_send(tx: std::sync::mpsc::Sender<WatchdogTask>, task: WatchdogTask) -> Result<()> {
+    tx.send(task)
+        .map_err(|_| Error::internal("exec: watchdog worker vanished before accepting its task"))
+}
+
+/// `(threads ever spawned, threads currently idle)` in the watchdog pool —
+/// leak diagnostics for the chaos harness and regression tests.
+pub fn watchdog_stats() -> (usize, usize) {
+    let pool = watchdogs();
+    let idle = lock_ignore_poison(&pool.idle).len();
+    (
+        pool.spawned.load(crate::sync::atomic::Ordering::Relaxed),
+        idle,
+    )
+}
+
+/// Run `f` on a watchdog worker under `token`, installed ambiently so the
+/// whole call tree under `f` (including pool chunks it submits) sees it.
+/// The caller waits at most until the token's deadline (forever when none
+/// is armed): on expiry the token is tripped — the in-flight work stops
+/// cooperatively at its next checkpoint and the worker then re-registers
+/// idle — and [`crate::ErrorCode::Timeout`] is returned immediately.
+///
+/// A panicking `f` is contained and surfaces as
+/// [`crate::ErrorCode::Internal`].
+pub fn run_cancellable<T, F>(token: &crate::cancel::CancelToken, what: &str, f: F) -> Result<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    use std::sync::mpsc::RecvTimeoutError;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let task_token = token.clone();
+    let task: WatchdogTask = Box::new(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| crate::cancel::with_token(&task_token, f)));
+        // The caller may have stopped listening (deadline); ignore that.
+        let _ = tx.send(outcome);
+    });
+    watchdog_dispatch(task)?;
+    let outcome = match token.remaining_ms() {
+        None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        Some(ms) => rx.recv_timeout(std::time::Duration::from_millis(ms.max(1))),
+    };
+    match outcome {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(_panic)) => Err(Error::internal(format!(
+            "{what} panicked on the deadline worker (contained)"
+        ))),
+        Err(RecvTimeoutError::Timeout) => {
+            token.cancel_as_timed_out();
+            crate::trace::count("exec:deadline_cancel", 1);
+            Err(Error::timeout(format!(
+                "{what} missed its deadline; in-flight work signalled to stop cooperatively"
+            )))
+        }
+        Err(RecvTimeoutError::Disconnected) => Err(Error::internal(format!(
+            "{what} deadline worker disappeared without reporting a result"
+        ))),
+    }
+}
+
+/// Run `f` under a fresh token whose deadline is `timeout_ms` from now.
+/// `timeout_ms == 0` means "no deadline": `f` runs inline on the calling
+/// thread. This is the engine behind `guard:timeout_ms`.
+pub fn run_deadlined<T, F>(timeout_ms: u64, what: &str, f: F) -> Result<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    if timeout_ms == 0 {
+        return Ok(f());
+    }
+    let token = crate::cancel::CancelToken::with_deadline_ms(timeout_ms);
+    run_cancellable(&token, what, f)
 }
 
 // ============================================================= scratch pool
@@ -452,6 +644,66 @@ pub mod model_support {
                 .shared
                 .work_available
                 .wait_timeout(guard, std::time::Duration::from_millis(POLL_MS));
+        }
+
+        /// Submit `n` cancellation-shaped tasks through the production
+        /// distribution path: each checks `token` at its chunk boundary
+        /// exactly as [`Job::run_one`] does, bumping `ran` when the
+        /// payload executes and `skipped` when cancellation won the race.
+        /// The model invariant is conservation: after a full drain,
+        /// `ran + skipped == n` regardless of interleaving.
+        pub fn submit_cancellable_tally(
+            &self,
+            n: usize,
+            token: &crate::cancel::CancelToken,
+            ran: &Arc<AtomicUsize>,
+            skipped: &Arc<AtomicUsize>,
+        ) {
+            let tasks: Vec<Task> = (0..n)
+                .map(|_| {
+                    let token = token.clone();
+                    let ran = Arc::clone(ran);
+                    let skipped = Arc::clone(skipped);
+                    Box::new(move || {
+                        if token.check().is_ok() {
+                            ran.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            skipped.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }) as Task
+                })
+                .collect();
+            self.shared.submit(tasks);
+        }
+
+        /// Submit `n` tasks of which the one at `poison` panics; the rest
+        /// bump `tally`. Pairs with [`ModelPool::step_hardened`] to model
+        /// the worker-replacement path: the panic must be contained by one
+        /// iteration and every healthy task must still run exactly once.
+        pub fn submit_poison_tally(&self, n: usize, poison: usize, tally: &Arc<AtomicUsize>) {
+            let tasks: Vec<Task> = (0..n)
+                .map(|i| {
+                    let tally = Arc::clone(tally);
+                    Box::new(move || {
+                        if i == poison {
+                            panic!("model: poisoned task");
+                        }
+                        tally.fetch_add(1, Ordering::SeqCst);
+                    }) as Task
+                })
+                .collect();
+            self.shared.submit(tasks);
+        }
+
+        /// One *hardened* worker iteration, as [`worker_loop`] executes it:
+        /// pop one task and run it under `catch_unwind`. Returns `None`
+        /// when every queue was empty, `Some(panicked)` otherwise — a
+        /// panicked task is swallowed exactly like the self-heal path, so
+        /// models can assert the worker survives and later tasks still
+        /// run exactly once.
+        pub fn step_hardened(&self, home: usize) -> Option<bool> {
+            let task = self.shared.pop_any(home)?;
+            Some(catch_unwind(AssertUnwindSafe(task)).is_err())
         }
     }
 }

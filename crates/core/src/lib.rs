@@ -51,6 +51,9 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod cancel;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod checksum;
 pub mod common;
 pub mod compressor;
@@ -72,6 +75,7 @@ pub mod wire;
 pub use loom;
 
 pub use alloc::{AlignedVec, BUFFER_ALIGN};
+pub use cancel::CancelToken;
 pub use checksum::{fnv1a64, Fnv1a64};
 pub use common::{
     value_min_max, value_range, ErrorBound, OPT_ABS, OPT_LOSSLESS, OPT_NTHREADS, OPT_PREC,
@@ -82,8 +86,8 @@ pub use data::Data;
 pub use dtype::{DType, Element, ALL_DTYPES};
 pub use error::{Error, ErrorCode, Result};
 pub use exec::{
-    available_threads, chunk_ranges, par_chunks, par_map_indexed, resolve_nthreads, with_scratch,
-    Scratch,
+    available_threads, chunk_ranges, par_chunks, par_map_indexed, resolve_nthreads,
+    run_cancellable, run_deadlined, watchdog_stats, with_scratch, Scratch,
 };
 pub use handle::CompressorHandle;
 pub use io::IoPlugin;

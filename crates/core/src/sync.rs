@@ -15,10 +15,10 @@
 //! their state locally rather than through the global statics.
 
 #[cfg(not(feature = "loom"))]
-pub use std::sync::{Condvar, Mutex, MutexGuard};
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 #[cfg(feature = "loom")]
-pub use loom::sync::{Condvar, Mutex, MutexGuard};
+pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 pub use std::sync::OnceLock;
 

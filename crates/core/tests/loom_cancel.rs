@@ -1,0 +1,145 @@
+//! Model-checked interleavings of the cancellation paths through the
+//! shared execution engine: a token tripping concurrently with task
+//! pops/steals, a deadline firing while a worker holds a chunk, and a
+//! worker panic followed by the self-heal replacement.
+//!
+//! Run via `cargo test -p pressio-core --features loom --test loom_cancel`
+//! (the `--concurrency` tier of `ci.sh`). The invariant in every scenario
+//! is *conservation*: each submitted task is accounted for exactly once —
+//! it either ran or was skipped by cancellation — no matter how the
+//! scheduler interleaves the trip with the pops.
+#![cfg(feature = "loom")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pressio_core::exec::model_support::ModelPool;
+use pressio_core::loom;
+use pressio_core::CancelToken;
+
+/// Cancel races the steal path: a worker drains from home 1 (stealing
+/// deque 0 when its own runs dry) while another thread trips the token.
+/// However the cancel interleaves with the pops and steals, every task is
+/// popped exactly once and `ran + skipped == n` — cancellation may skip
+/// work, never lose or double-run it.
+#[test]
+fn cancel_races_stealing_worker_conserves_tasks() {
+    loom::model(|| {
+        let pool = Arc::new(ModelPool::new(2));
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let skipped = Arc::new(AtomicUsize::new(0));
+        pool.submit_cancellable_tally(3, &token, &ran, &skipped);
+
+        let canceller_token = token.clone();
+        let canceller = loom::thread::spawn(move || {
+            canceller_token.cancel();
+        });
+
+        let worker_pool = Arc::clone(&pool);
+        let worker = loom::thread::spawn(move || worker_pool.drain(1));
+
+        let popped = pool.drain(0) + worker.join().unwrap();
+        canceller.join().unwrap();
+
+        assert_eq!(popped, 3, "every queued task is popped exactly once");
+        assert_eq!(
+            ran.load(Ordering::SeqCst) + skipped.load(Ordering::SeqCst),
+            3,
+            "each task either ran or was skipped — none lost, none doubled"
+        );
+        assert!(token.is_cancelled());
+        assert_eq!(pool.drain(0), 0, "no task may be left queued");
+    });
+}
+
+/// The deadline fires while a worker holds a chunk: the worker has popped
+/// a task (it is mid-execution from the pool's perspective) when the
+/// watchdog trips the token via the timed-out path. The held chunk runs
+/// to completion — cooperative cancellation never tears a task down
+/// mid-flight — and every *later* pop observes the trip at its chunk
+/// boundary. Afterwards the same pool core serves a fresh job untouched.
+#[test]
+fn deadline_during_held_chunk_stops_at_boundaries() {
+    loom::model(|| {
+        let pool = Arc::new(ModelPool::new(1));
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let skipped = Arc::new(AtomicUsize::new(0));
+        pool.submit_cancellable_tally(2, &token, &ran, &skipped);
+
+        // The worker holds the first chunk...
+        assert!(pool.step(0), "first chunk must be available to hold");
+
+        // ...while the watchdog fires the deadline concurrently with the
+        // worker popping the rest.
+        let watchdog_token = token.clone();
+        let watchdog = loom::thread::spawn(move || {
+            watchdog_token.cancel_as_timed_out();
+        });
+        let worker_pool = Arc::clone(&pool);
+        let worker = loom::thread::spawn(move || worker_pool.drain(0));
+
+        let drained = worker.join().unwrap();
+        watchdog.join().unwrap();
+
+        assert_eq!(drained, 1, "the remaining chunk is popped exactly once");
+        assert_eq!(
+            ran.load(Ordering::SeqCst) + skipped.load(Ordering::SeqCst),
+            2,
+            "held chunk + raced chunk are both accounted for"
+        );
+        assert!(
+            ran.load(Ordering::SeqCst) >= 1,
+            "the held chunk completed: a trip never tears down in-flight work"
+        );
+        assert!(token.check().is_err(), "the trip is observable afterwards");
+
+        // The pool core is reusable: a fresh job under a fresh token runs
+        // to completion as if the timeout never happened.
+        let fresh = Arc::new(AtomicUsize::new(0));
+        pool.submit_tally(2, &fresh);
+        pool.drain(0);
+        assert_eq!(fresh.load(Ordering::SeqCst), 2);
+    });
+}
+
+/// Worker-panic-then-replace: a poisoned task panics inside the hardened
+/// worker iteration (the model analog of the pool's `catch_unwind` +
+/// replacement path) while a second worker races it for the queue. The
+/// panic must be contained by exactly one iteration, every healthy task
+/// must still run exactly once, and the queue must end empty.
+#[test]
+fn worker_panic_is_contained_and_tasks_run_exactly_once() {
+    loom::model(|| {
+        let pool = Arc::new(ModelPool::new(0));
+        let tally = Arc::new(AtomicUsize::new(0));
+        pool.submit_poison_tally(3, 1, &tally);
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                loom::thread::spawn(move || {
+                    // Each worker keeps iterating through panics, exactly
+                    // as worker_loop's self-heal does.
+                    let mut panics = 0;
+                    while let Some(panicked) = pool.step_hardened(usize::MAX) {
+                        if panicked {
+                            panics += 1;
+                        }
+                    }
+                    panics
+                })
+            })
+            .collect();
+        let total_panics: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+        assert_eq!(total_panics, 1, "the poison panics exactly once, contained");
+        assert_eq!(
+            tally.load(Ordering::SeqCst),
+            2,
+            "both healthy tasks ran exactly once despite the panic between them"
+        );
+        assert_eq!(pool.drain(usize::MAX), 0, "queue ends empty");
+    });
+}

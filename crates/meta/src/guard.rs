@@ -11,11 +11,19 @@
 //!    first, so truncated, bit-flipped, or mismatched streams are rejected
 //!    with [`CorruptStream`](pressio_core::ErrorCode::CorruptStream) before
 //!    the child's decoder ever parses hostile bytes.
-//! 2. **Deadline enforcement** — with `guard:timeout_ms > 0`, compress and
-//!    decompress run on a watchdog worker thread; an overrun returns
-//!    [`Timeout`](pressio_core::ErrorCode::Timeout) instead of hanging the
-//!    caller. The stuck worker is detached (its result channel is dropped)
-//!    and a fresh child instance is re-armed from the registry.
+//! 2. **Deadline enforcement & cancellation** — with `guard:timeout_ms > 0`,
+//!    compress and decompress run on a deadline worker from the execution
+//!    engine's watchdog pool under a [`pressio_core::CancelToken`]; an
+//!    overrun returns [`Timeout`](pressio_core::ErrorCode::Timeout) to the
+//!    caller immediately *and trips the token*, so in-flight work — pool
+//!    chunks, SZ/ZFP stage loops, entropy coders — stops cooperatively at
+//!    its next checkpoint instead of running detached to completion. The
+//!    worker then re-registers idle for reuse; a fresh child instance is
+//!    re-armed from the registry. `guard:memory_budget_bytes > 0`
+//!    additionally caps the child's charged allocations; exhaustion
+//!    surfaces as the terminal
+//!    [`Cancelled`](pressio_core::ErrorCode::Cancelled) instead of an
+//!    abort-on-OOM.
 //! 3. **Retry with backoff** — transient errors (per
 //!    [`ErrorCode::is_transient`](pressio_core::ErrorCode::is_transient):
 //!    `Io` and `Timeout`) are retried up to `guard:max_retries` times with
@@ -34,7 +42,6 @@
 //! `guard:*` options and through the metrics interface via
 //! [`Guard::stats_metrics`].
 
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,40 +61,26 @@ const GUARD_VERSION: u16 = 1;
 /// than this per attempt regardless of configuration.
 pub const MAX_BACKOFF_MS: u64 = 1_000;
 
-/// Run `f` under a deadline on a watchdog worker thread.
+/// Run `f` under a deadline on the execution engine's watchdog pool.
 ///
 /// With `timeout_ms == 0` the closure runs inline (no thread, no copy
-/// overhead). Otherwise the closure is moved to a worker and its result
-/// delivered over a channel; if the deadline passes first, the worker is
-/// detached (it keeps running but its result is discarded) and
-/// [`ErrorCode::Timeout`] is returned. A closure that panics on the worker
-/// surfaces as [`ErrorCode::Internal`], never as an unwinding host thread.
+/// overhead). Otherwise the closure runs on a pooled deadline worker under
+/// an ambient [`pressio_core::CancelToken`]; if the deadline passes first,
+/// [`ErrorCode::Timeout`] is returned immediately *and the token is
+/// tripped*, so any cancellation-aware work inside `f` stops cooperatively
+/// at its next checkpoint and the worker returns to the pool — nothing is
+/// left running detached. A closure that panics on the worker surfaces as
+/// [`ErrorCode::Internal`], never as an unwinding host thread.
+///
+/// Thin delegation to [`pressio_core::run_deadlined`], kept for callers
+/// (and the fuzz harness) that want the guard's deadline semantics without
+/// a full [`Guard`].
 pub fn run_with_deadline<T: Send + 'static>(
     timeout_ms: u64,
     what: &str,
     f: impl FnOnce() -> T + Send + 'static,
 ) -> Result<T> {
-    if timeout_ms == 0 {
-        return Ok(f());
-    }
-    let (tx, rx) = mpsc::channel();
-    std::thread::Builder::new()
-        .name(format!("pressio-guard-{what}"))
-        .spawn(move || {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-            let _ = tx.send(outcome);
-        })
-        .map_err(|e| Error::new(ErrorCode::Io, format!("cannot spawn watchdog worker: {e}")))?;
-    match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
-        Ok(Ok(v)) => Ok(v),
-        Ok(Err(_)) => Err(Error::internal(format!("{what} panicked on the worker thread"))),
-        Err(mpsc::RecvTimeoutError::Timeout) => Err(Error::timeout(format!(
-            "{what} exceeded the {timeout_ms} ms deadline (worker detached)"
-        ))),
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            Err(Error::internal(format!("{what} worker vanished without a result")))
-        }
-    }
+    pressio_core::run_deadlined(timeout_ms, what, f)
 }
 
 /// Attempt/failure counters shared between a [`Guard`] and its
@@ -100,6 +93,9 @@ struct GuardCounters {
     failures: u64,
     /// Attempts that hit the watchdog deadline.
     timeouts: u64,
+    /// Attempts stopped by cooperative cancellation (explicit cancel or
+    /// memory-budget exhaustion — deadline trips count as timeouts).
+    cancelled: u64,
     /// Requests ultimately served by a fallback rather than the primary.
     fallback_served: u64,
     /// Requests that exhausted the whole chain.
@@ -112,6 +108,7 @@ pub struct Guard {
     child: Box<dyn Compressor>,
     fallbacks: Vec<String>,
     timeout_ms: u64,
+    memory_budget_bytes: u64,
     max_retries: u32,
     backoff_ms: u64,
     verify: bool,
@@ -131,6 +128,7 @@ impl Guard {
             child: default_child(),
             fallbacks: Vec::new(),
             timeout_ms: 0,
+            memory_budget_bytes: 0,
             max_retries: 0,
             backoff_ms: 10,
             verify: false,
@@ -169,22 +167,38 @@ impl Guard {
         self.child = self.arm(&self.child_name).unwrap_or_else(|_| default_child());
     }
 
-    /// One child invocation under the watchdog deadline. The child instance
-    /// is moved to the worker and handed back on completion; on timeout it
-    /// is lost with the detached worker and `None` is returned in its place.
+    /// One child invocation under the cancellation policies. With a
+    /// deadline armed the child instance is moved to a pooled deadline
+    /// worker and handed back on completion; on timeout the caller returns
+    /// immediately with `None` in its place while the tripped token walks
+    /// the in-flight work to a cooperative stop (the worker then
+    /// re-registers idle — no thread is left running detached).
     fn timed<T: Send + 'static>(
         &self,
         child: Box<dyn Compressor>,
         what: &'static str,
         op: impl FnOnce(&mut Box<dyn Compressor>) -> Result<T> + Send + 'static,
     ) -> (Option<Box<dyn Compressor>>, Result<T>) {
-        if self.timeout_ms == 0 {
+        if self.timeout_ms == 0 && self.memory_budget_bytes == 0 {
             let mut child = child;
             let r = op(&mut child);
             return (Some(child), r);
         }
-        let timeout = self.timeout_ms;
-        match run_with_deadline(timeout, what, move || {
+        let token = pressio_core::CancelToken::new();
+        if self.timeout_ms > 0 {
+            token.set_deadline_ms(self.timeout_ms);
+        }
+        if self.memory_budget_bytes > 0 {
+            token.set_memory_budget(self.memory_budget_bytes);
+        }
+        if self.timeout_ms == 0 {
+            // Budget only: there is no deadline to wait out, so the child
+            // can run inline under the ambient token.
+            let mut child = child;
+            let r = pressio_core::cancel::with_token(&token, || op(&mut child));
+            return (Some(child), r);
+        }
+        match pressio_core::run_cancellable(&token, what, move || {
             let mut child = child;
             let r = op(&mut child);
             (child, r)
@@ -225,6 +239,9 @@ impl Guard {
                         if e.code() == ErrorCode::Timeout {
                             s.timeouts += 1;
                             pressio_core::trace::count("guard:timeout", 1);
+                        } else if e.code() == ErrorCode::Cancelled {
+                            s.cancelled += 1;
+                            pressio_core::trace::count("guard:cancelled", 1);
                         }
                     }
                     if attempt >= self.max_retries || !e.is_transient() {
@@ -357,6 +374,7 @@ impl Compressor for Guard {
         o.set("guard:attempts", stats.attempts);
         o.set("guard:failures", stats.failures);
         o.set("guard:timeouts", stats.timeouts);
+        o.set("guard:cancelled", stats.cancelled);
         o.set("guard:fallback_served", stats.fallback_served);
         o.merge(&self.child.get_configuration());
         o
@@ -379,6 +397,7 @@ impl Compressor for Guard {
             .with("guard:compressor", self.child_name.as_str())
             .with("guard:fallbacks", self.fallbacks.clone())
             .with("guard:timeout_ms", self.timeout_ms)
+            .with("guard:memory_budget_bytes", self.memory_budget_bytes)
             .with("guard:max_retries", self.max_retries)
             .with("guard:backoff_ms", self.backoff_ms)
             .with("guard:verify", u32::from(self.verify));
@@ -408,6 +427,9 @@ impl Compressor for Guard {
         }
         if let Some(t) = options.get_as::<u64>("guard:timeout_ms")? {
             self.timeout_ms = t;
+        }
+        if let Some(b) = options.get_as::<u64>("guard:memory_budget_bytes")? {
+            self.memory_budget_bytes = b;
         }
         if let Some(r) = options.get_as::<u32>("guard:max_retries")? {
             self.max_retries = r;
@@ -441,7 +463,13 @@ impl Compressor for Guard {
             )
             .with(
                 "guard:timeout_ms",
-                "per-invocation watchdog deadline in ms (0 disables the worker thread)",
+                "per-invocation deadline in ms; an overrun returns Timeout and trips the \
+                 cancel token so in-flight work stops cooperatively (0 runs inline)",
+            )
+            .with(
+                "guard:memory_budget_bytes",
+                "cap on the child's charged working-set allocations per invocation; \
+                 exhaustion returns the terminal Cancelled code (0 = unlimited)",
             )
             .with(
                 "guard:max_retries",
@@ -459,6 +487,10 @@ impl Compressor for Guard {
             .with("guard:attempts", "read-only: child invocations attempted")
             .with("guard:failures", "read-only: child invocations that errored")
             .with("guard:timeouts", "read-only: attempts that hit the deadline")
+            .with(
+                "guard:cancelled",
+                "read-only: attempts stopped by cooperative cancellation (budget/explicit)",
+            )
             .with(
                 "guard:fallback_served",
                 "read-only: requests served by a fallback child",
@@ -554,6 +586,7 @@ impl Compressor for Guard {
             child: self.child.clone_compressor(),
             fallbacks: self.fallbacks.clone(),
             timeout_ms: self.timeout_ms,
+            memory_budget_bytes: self.memory_budget_bytes,
             max_retries: self.max_retries,
             backoff_ms: self.backoff_ms,
             verify: self.verify,
@@ -584,6 +617,7 @@ impl MetricsPlugin for GuardStats {
             .with("guard_stats:attempts", s.attempts)
             .with("guard_stats:failures", s.failures)
             .with("guard_stats:timeouts", s.timeouts)
+            .with("guard_stats:cancelled", s.cancelled)
             .with("guard_stats:fallback_served", s.fallback_served)
             .with("guard_stats:exhausted", s.exhausted)
     }

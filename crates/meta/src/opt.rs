@@ -68,6 +68,8 @@ pub struct Opt {
     max_iters: u32,
     /// Acceptable relative distance from the ratio target.
     rel_tol: f64,
+    /// Deadline per trial compression; 0 runs trials inline with no limit.
+    trial_timeout_ms: u64,
     last: Option<OptOutcome>,
 }
 
@@ -83,6 +85,7 @@ impl Opt {
             upper: 1e3,
             max_iters: 32,
             rel_tol: 0.05,
+            trial_timeout_ms: 0,
             last: None,
         }
     }
@@ -96,8 +99,34 @@ impl Opt {
         let mut o = Options::new();
         o.set(self.option.clone(), value);
         self.child.set_options(&o)?;
-        let compressed = self.child.compress(input)?;
-        Ok(input.size_in_bytes() as f64 / compressed.size_in_bytes() as f64)
+        if self.trial_timeout_ms == 0 {
+            let compressed = self.child.compress(input)?;
+            return Ok(input.size_in_bytes() as f64 / compressed.size_in_bytes() as f64);
+        }
+        // A single runaway operating point must not hang the whole search:
+        // each trial runs on a deadline worker whose token stops the child
+        // cooperatively on overrun.
+        let child = std::mem::replace(&mut self.child, default_child());
+        let staged = input.clone();
+        let timeout = self.trial_timeout_ms;
+        match pressio_core::run_deadlined(timeout, "opt trial", move || {
+            let mut child = child;
+            let r = child.compress(&staged);
+            (child, r)
+        }) {
+            Ok((child, r)) => {
+                self.child = child;
+                let compressed = r?;
+                Ok(input.size_in_bytes() as f64 / compressed.size_in_bytes() as f64)
+            }
+            Err(e) => {
+                // The instance rode the timed-out worker; re-arm a fresh one
+                // so the optimizer handle stays usable.
+                self.child =
+                    resolve_child(&self.child_name).unwrap_or_else(|_| default_child());
+                Err(e)
+            }
+        }
     }
 
     /// Run the search, returning the outcome and leaving the child
@@ -218,7 +247,8 @@ impl Compressor for Opt {
             .with("opt:lower", self.lower)
             .with("opt:upper", self.upper)
             .with("opt:max_iters", self.max_iters)
-            .with("opt:rel_tolerance", self.rel_tol);
+            .with("opt:rel_tolerance", self.rel_tol)
+            .with("opt:trial_timeout_ms", self.trial_timeout_ms);
         match self.objective {
             Objective::Ratio(r) => {
                 o.set("opt:target_ratio", r);
@@ -259,6 +289,9 @@ impl Compressor for Opt {
             }
             self.max_iters = m;
         }
+        if let Some(t) = options.get_as::<u64>("opt:trial_timeout_ms")? {
+            self.trial_timeout_ms = t;
+        }
         if let Some(t) = options.get_as::<f64>("opt:rel_tolerance")? {
             self.rel_tol = t;
         }
@@ -279,6 +312,11 @@ impl Compressor for Opt {
             .with("opt:lower", "search lower bound")
             .with("opt:upper", "search upper bound")
             .with("opt:max_iters", "maximum trial compressions")
+            .with(
+                "opt:trial_timeout_ms",
+                "deadline per trial compression; an overrun cancels the trial \
+                 cooperatively and fails the search with Timeout (0 = no limit)",
+            )
     }
 
     fn compress(&mut self, input: &Data) -> Result<Data> {
@@ -300,6 +338,7 @@ impl Compressor for Opt {
             upper: self.upper,
             max_iters: self.max_iters,
             rel_tol: self.rel_tol,
+            trial_timeout_ms: self.trial_timeout_ms,
             last: self.last,
         })
     }

@@ -151,6 +151,7 @@ impl Compressor for Chunking {
             chunks
                 .iter()
                 .map(|(lo, hi, cdims)| {
+                    pressio_core::cancel::checkpoint()?;
                     let mut staged = Data::owned(dtype, cdims.clone());
                     staged
                         .as_bytes_mut()
@@ -223,6 +224,7 @@ impl Compressor for Chunking {
                 .iter()
                 .enumerate()
                 .map(|(wi, sec)| {
+                    pressio_core::cancel::checkpoint()?;
                     let rows = base + usize::from(wi < extra);
                     let mut cdims = vec![rows];
                     cdims.extend_from_slice(&dims[1.min(dims.len())..]);
@@ -352,7 +354,13 @@ impl Compressor for ManyIndependent {
     fn compress_many(&mut self, inputs: &[&Data]) -> Result<Vec<Data>> {
         if self.child.thread_safety() != ThreadSafety::Multiple || inputs.len() <= 1 {
             // Serialized/Single children must not run concurrently.
-            return inputs.iter().map(|d| self.child.compress(d)).collect();
+            return inputs
+                .iter()
+                .map(|d| {
+                    pressio_core::cancel::checkpoint()?;
+                    self.child.compress(d)
+                })
+                .collect();
         }
         // One task (and one child clone) per worker group: at most `nthreads`
         // children run concurrently, matching the option's contract, while
@@ -366,7 +374,12 @@ impl Compressor for ManyIndependent {
             let mut worker = workers[g].lock();
             groups[g]
                 .clone()
-                .map(|i| worker.compress(inputs[i]))
+                .map(|i| {
+                    // Per-item cooperation: a tripped token stops the group
+                    // between buffers, not only at the pool's chunk boundary.
+                    pressio_core::cancel::checkpoint()?;
+                    worker.compress(inputs[i])
+                })
                 .collect::<Result<Vec<Data>>>()
         })?;
         Ok(grouped.into_iter().flatten().collect())
@@ -378,6 +391,7 @@ impl Compressor for ManyIndependent {
         }
         if self.child.thread_safety() != ThreadSafety::Multiple || compressed.len() <= 1 {
             for (c, o) in compressed.iter().zip(outputs.iter_mut()) {
+                pressio_core::cancel::checkpoint()?;
                 self.child.decompress(c, o)?;
             }
             return Ok(());
@@ -400,6 +414,7 @@ impl Compressor for ManyIndependent {
             let mut guard = tasks[g].lock();
             let (worker, outs) = &mut *guard;
             for (k, i) in groups[g].clone().enumerate() {
+                pressio_core::cancel::checkpoint()?;
                 worker.decompress(compressed[i], &mut outs[k])?;
             }
             Ok(())

@@ -261,7 +261,7 @@ pub fn compress_body(data: &[f64], dims: &[usize], abs_eb: f64) -> Result<Vec<u8
         n_codes += 1;
     });
 
-    let payload = deflate::compress(&codes);
+    let payload = deflate::compress(&codes)?;
     let mut exc_bytes = Vec::with_capacity(exceptions.len() * 8);
     for v in &exceptions {
         exc_bytes.extend_from_slice(&v.to_le_bytes());
@@ -271,7 +271,7 @@ pub fn compress_body(data: &[f64], dims: &[usize], abs_eb: f64) -> Result<Vec<u8
     w.put_u32(h.levels);
     w.put_u64(n_codes);
     w.put_section(&payload);
-    w.put_section(&deflate::compress(&exc_bytes));
+    w.put_section(&deflate::compress(&exc_bytes)?);
     Ok(w.into_vec())
 }
 

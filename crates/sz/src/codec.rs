@@ -98,21 +98,28 @@ struct Quantized<T> {
     unpredictable: Vec<T>,
 }
 
-fn predict_quantize<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Quantized<T> {
+fn predict_quantize<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Result<Quantized<T>> {
     let (nz, ny, nx) = effective_dims(dims);
     let n = data.len();
     debug_assert_eq!(nz * ny * nx, n);
     let eb = p.abs_eb;
     let two_eb = 2.0 * eb;
     let radius = p.radius as i64;
+    // The stage's dominant buffers: codes (u32 per element) and the
+    // reconstruction shadow (one T per element).
+    pressio_core::cancel::charge((n * (4 + std::mem::size_of::<T>())) as u64)?;
     let mut codes = Vec::with_capacity(n);
     let mut unpredictable = Vec::new();
     // Reconstructed values drive prediction: decompressor state == here.
     let mut recon = vec![T::from_f64x(0.0); n];
+    let mut cp = pressio_core::cancel::Checkpointer::new(1);
 
     let plane = ny * nx;
     for z in 0..nz {
         for y in 0..ny {
+            // Cooperation point once per row: a tripped token stops the
+            // predictor mid-field instead of finishing the whole pass.
+            cp.tick()?;
             let row = z * plane + y * nx;
             for x in 0..nx {
                 let i = row + x;
@@ -148,10 +155,10 @@ fn predict_quantize<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Qua
             }
         }
     }
-    Quantized {
+    Ok(Quantized {
         codes,
         unpredictable,
-    }
+    })
 }
 
 fn predict_reconstruct<T: SzFloat>(
@@ -171,11 +178,14 @@ fn predict_reconstruct<T: SzFloat>(
     }
     let two_eb = 2.0 * p.abs_eb;
     let radius = p.radius as i64;
+    pressio_core::cancel::charge((n * std::mem::size_of::<T>()) as u64)?;
     let mut recon = vec![T::from_f64x(0.0); n];
     let mut next_unpred = 0usize;
+    let mut cp = pressio_core::cancel::Checkpointer::new(1);
     let plane = ny * nx;
     for z in 0..nz {
         for y in 0..ny {
+            cp.tick()?;
             let row = z * plane + y * nx;
             for x in 0..nx {
                 let i = row + x;
@@ -229,20 +239,23 @@ pub fn compress_body<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Re
     }
     let q = {
         let _s = pressio_core::trace::span("sz:predict_quantize");
-        predict_quantize(data, dims, p)
+        predict_quantize(data, dims, p)?
     };
+    // Stage boundary: stop before entropy coding when the token tripped.
+    pressio_core::cancel::checkpoint()?;
     let huff_raw = {
         let _s = pressio_core::trace::span("sz:huffman_encode");
         huffman::encode(&q.codes, 2 * p.radius)?
     };
+    pressio_core::cancel::checkpoint()?;
     let unpred_bytes = elements_as_bytes(&q.unpredictable);
     // Best-compression mode (sz_mode = 1) applies the lossless backend over
     // both sections, like SZ's gzip/zstd stage; best-speed mode skips it.
     let (huff, unpred_payload) = if p.lossless_unpredictable {
         let _s = pressio_core::trace::span("sz:deflate");
         (
-            deflate::compress(&huff_raw),
-            deflate::compress(unpred_bytes),
+            deflate::compress(&huff_raw)?,
+            deflate::compress(unpred_bytes)?,
         )
     } else {
         (huff_raw, unpred_bytes.to_vec())
@@ -286,10 +299,12 @@ pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>
     } else {
         (huff_section.to_vec(), unpred_payload.to_vec())
     };
+    pressio_core::cancel::checkpoint()?;
     let codes = {
         let _s = pressio_core::trace::span("sz:huffman_decode");
         huffman::decode(&huff)?
     };
+    pressio_core::cancel::checkpoint()?;
     let unpredictable: Vec<T> = bytes_to_elements(&unpred_bytes)?;
     if unpredictable.len() != n_unpred {
         return Err(Error::corrupt(format!(

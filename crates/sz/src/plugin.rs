@@ -459,8 +459,8 @@ impl Compressor for Sz {
             let staged = pw_rel_forward(&values, me.pw_rel_floor);
             w.put_u8(1);
             w.put_f64(me.pw_rel_floor);
-            w.put_section(&pressio_codecs::deflate::compress(&staged.signs));
-            w.put_section(&pressio_codecs::deflate::compress(&staged.exceptions));
+            w.put_section(&pressio_codecs::deflate::compress(&staged.signs)?);
+            w.put_section(&pressio_codecs::deflate::compress(&staged.exceptions)?);
             me.compress_typed(&staged.logs, input.dims(), eb_log)?
         } else {
             w.put_u8(0);

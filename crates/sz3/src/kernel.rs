@@ -305,8 +305,8 @@ pub fn compress_body<T: InterpFloat>(
     }
 
     let huff = huffman::encode(&codes, 2 * p.radius)?;
-    let huff = deflate::compress(&huff);
-    let unpred = deflate::compress(elements_as_bytes(&unpredictable));
+    let huff = deflate::compress(&huff)?;
+    let unpred = deflate::compress(elements_as_bytes(&unpredictable))?;
     let mut w = ByteWriter::with_capacity(huff.len() + unpred.len() + 64);
     w.put_u32(BODY_MAGIC);
     w.put_f64(eb);

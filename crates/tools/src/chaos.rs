@@ -1,0 +1,436 @@
+//! The `pressio chaos` fault-injection sweep.
+//!
+//! Builds on the execution engine's seeded chaos hooks (the `chaos` cargo
+//! feature of `pressio-core`): with faults armed, every scheduling point in
+//! the shared pool may inject a bounded delay, a worker panic, a task panic,
+//! a spurious cancellation, or a forced memory-budget failure. The sweep
+//! drives every pooled plugin — and the guard/fallback and parallel
+//! meta-compressor stacks — through compress/decompress round trips across
+//! many seeds and asserts the *self-healing contract*:
+//!
+//! * **no deadlocks** — every faulted run finishes inside a harness
+//!   deadline (enforced with [`pressio_core::run_deadlined`], the same
+//!   cooperative-cancellation machinery `guard:timeout_ms` uses);
+//! * **structured outcomes** — a faulted run either completes a valid
+//!   round trip or fails with `Cancelled`, `Timeout`, `Internal`, or `Io` —
+//!   never a panic that unwinds into the host;
+//! * **no cross-run corruption** — after faults are disarmed, the *same*
+//!   handle completes a clean round trip bit-identical to a fresh handle's;
+//! * **no leaked workers** — the deadline-watchdog pool drains back to
+//!   fully idle once in-flight work stops cooperatively.
+//!
+//! Without the `chaos` feature the subcommand refuses to run (the hooks
+//! compile to nothing in release builds, so there is nothing to sweep).
+
+use std::fmt;
+
+/// Tuning for one chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepConfig {
+    /// Number of consecutive seeds swept per target.
+    pub seeds: u32,
+    /// First seed; targets sweep `first_seed..first_seed + seeds`.
+    pub first_seed: u64,
+    /// Harness deadline per faulted run, in ms. A run that misses it is
+    /// reported as a deadlock suspect.
+    pub run_deadline_ms: u64,
+}
+
+impl Default for ChaosSweepConfig {
+    fn default() -> Self {
+        ChaosSweepConfig {
+            seeds: 64,
+            first_seed: 1,
+            run_deadline_ms: 5_000,
+        }
+    }
+}
+
+impl ChaosSweepConfig {
+    /// The smoke-test profile used by `pressio chaos --quick` and CI's
+    /// pre-gate: few seeds, same assertions.
+    pub fn quick() -> ChaosSweepConfig {
+        ChaosSweepConfig {
+            seeds: 8,
+            ..ChaosSweepConfig::default()
+        }
+    }
+}
+
+/// One self-healing-contract violation.
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    /// Sweep target (plugin or stack label).
+    pub target: String,
+    /// Seed that produced the violation.
+    pub seed: u64,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [seed {}]: {}", self.target, self.seed, self.detail)
+    }
+}
+
+/// Outcome of a chaos sweep.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Targets swept.
+    pub targets: usize,
+    /// Faulted runs executed (one per target/seed pair).
+    pub runs: usize,
+    /// Faulted runs that completed a valid round trip despite injection.
+    pub survived: usize,
+    /// Faulted runs stopped with a structured cancellation/timeout error.
+    pub cancelled: usize,
+    /// Faulted runs stopped with a contained worker/task failure.
+    pub contained: usize,
+    /// Faults actually injected, summed over the sweep:
+    /// `(delays, worker panics, task panics, spurious cancels, charge fails)`.
+    pub faults: (u64, u64, u64, u64, u64),
+    /// Self-healing-contract violations.
+    pub failures: Vec<ChaosFailure>,
+}
+
+impl ChaosReport {
+    /// True when every run honored the self-healing contract.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (d, wp, tp, sc, cf) = self.faults;
+        writeln!(
+            f,
+            "chaos-swept {} targets, {} faulted runs: {} survived, {} cancelled cleanly, \
+             {} contained, {} failure(s)",
+            self.targets,
+            self.runs,
+            self.survived,
+            self.cancelled,
+            self.contained,
+            self.failures.len()
+        )?;
+        writeln!(
+            f,
+            "  faults injected: {d} delays, {wp} worker panics, {tp} task panics, \
+             {sc} spurious cancels, {cf} charge failures"
+        )?;
+        for v in &self.failures {
+            writeln!(f, "  FAIL {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the sweep. Errors with a rebuild hint when the binary was built
+/// without the `chaos` feature.
+pub fn chaos_all(cfg: &ChaosSweepConfig) -> Result<ChaosReport, String> {
+    imp::chaos_all(cfg)
+}
+
+#[cfg(not(feature = "chaos"))]
+mod imp {
+    use super::{ChaosReport, ChaosSweepConfig};
+
+    pub fn chaos_all(_cfg: &ChaosSweepConfig) -> Result<ChaosReport, String> {
+        Err(
+            "this binary was built without fault injection; rebuild with \
+             `cargo run -p pressio-tools --features chaos --bin pressio -- chaos`"
+                .to_string(),
+        )
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod imp {
+    use super::{ChaosFailure, ChaosReport, ChaosSweepConfig};
+
+    use libpressio::core::chaos;
+    use libpressio::core::ErrorCode;
+    use libpressio::{Data, Options};
+
+    /// One sweep target: a registry name plus the options assembling it.
+    struct Target {
+        label: &'static str,
+        name: &'static str,
+        options: Options,
+    }
+
+    /// Every pooled plugin plus the guard/fallback and parallel meta
+    /// stacks. All run their chunk work on the shared execution engine, so
+    /// all exercise the injected scheduling points.
+    fn targets() -> Vec<Target> {
+        let nthreads = 4u32;
+        vec![
+            Target {
+                label: "sz_omp",
+                name: "sz_omp",
+                options: Options::new()
+                    .with("sz_omp:nthreads", nthreads)
+                    .with("pressio:abs", 1e-4f64),
+            },
+            Target {
+                label: "zfp_omp",
+                name: "zfp_omp",
+                options: Options::new()
+                    .with("zfp_omp:nthreads", nthreads)
+                    .with("pressio:abs", 1e-4f64),
+            },
+            Target {
+                label: "huffman",
+                name: "huffman",
+                options: Options::new().with("huffman:nthreads", nthreads),
+            },
+            Target {
+                label: "deflate",
+                name: "deflate",
+                options: Options::new().with("deflate:nthreads", nthreads),
+            },
+            Target {
+                label: "chunking>sz",
+                name: "chunking",
+                options: Options::new()
+                    .with("chunking:compressor", "sz")
+                    .with("chunking:nthreads", nthreads)
+                    .with("pressio:abs", 1e-4f64),
+            },
+            Target {
+                label: "many_independent>zfp",
+                name: "many_independent",
+                options: Options::new()
+                    .with("many_independent:compressor", "zfp")
+                    .with("many_independent:nthreads", nthreads)
+                    .with("pressio:abs", 1e-4f64),
+            },
+            Target {
+                label: "guard>chunking>sz",
+                name: "guard",
+                options: Options::new()
+                    .with("guard:compressor", "chunking")
+                    .with("chunking:compressor", "sz")
+                    .with("chunking:nthreads", nthreads)
+                    .with("guard:timeout_ms", 4_000u64)
+                    .with("guard:fallbacks", vec!["deflate".to_string()])
+                    .with("pressio:abs", 1e-4f64),
+            },
+        ]
+    }
+
+    /// The field every target round-trips: small enough that a 64-seed
+    /// sweep stays in CI minutes, large enough to split across workers.
+    fn seed_input() -> Data {
+        let dims = vec![24usize, 24, 24];
+        let n: usize = dims.iter().product();
+        let v: Vec<f32> = (0..n)
+            .map(|i| ((i as f32) * 0.013).sin() * 50.0 + (i as f32) * 0.002)
+            .collect();
+        Data::from_vec(v, dims).expect("static geometry")
+    }
+
+    fn armed(t: &Target) -> Result<libpressio::CompressorHandle, libpressio::Error> {
+        let mut h = libpressio::registry().compressor(t.name)?;
+        let _ = h.set_options_unchecked(&t.options);
+        Ok(h)
+    }
+
+    /// One clean (faults disarmed) round trip; returns the compressed
+    /// bytes and the decompressed output bytes.
+    fn clean_roundtrip(
+        h: &mut libpressio::CompressorHandle,
+        input: &Data,
+    ) -> Result<(Vec<u8>, Vec<u8>), libpressio::Error> {
+        let c = h.compress(input)?;
+        let mut out = Data::owned(input.dtype(), input.dims().to_vec());
+        h.decompress(&c, &mut out)?;
+        Ok((c.as_bytes().to_vec(), out.as_bytes().to_vec()))
+    }
+
+    /// Error codes a faulted run may legally surface: cooperative stops
+    /// (`Cancelled`, `Timeout`) and contained worker/task failures
+    /// (`Internal`, `Io`). Anything else means an injected fault leaked
+    /// through as a miscategorized error.
+    fn acceptable(code: ErrorCode) -> bool {
+        matches!(
+            code,
+            ErrorCode::Cancelled | ErrorCode::Timeout | ErrorCode::Internal | ErrorCode::Io
+        )
+    }
+
+    /// Wait (bounded) for the deadline-watchdog pool to drain back to
+    /// fully idle; a worker still busy after the grace period means a
+    /// faulted run left work running past its cooperative stop.
+    fn watchdogs_drain() -> bool {
+        for attempt in 0..200u64 {
+            let (spawned, idle) = libpressio::core::watchdog_stats();
+            if idle >= spawned {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(attempt.min(20)));
+        }
+        false
+    }
+
+    pub fn chaos_all(cfg: &ChaosSweepConfig) -> Result<ChaosReport, String> {
+        libpressio::init();
+        let mut report = ChaosReport::default();
+        let input = seed_input();
+        chaos::reset_stats();
+
+        // Injected panics are the whole point of the sweep; the pool's
+        // `catch_unwind` contains them, so silence the default hook's
+        // per-panic backtrace spew for the duration.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        for t in targets() {
+            report.targets += 1;
+            for seed in cfg.first_seed..cfg.first_seed + cfg.seeds as u64 {
+                report.runs += 1;
+                let handle = match armed(&t) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        report.failures.push(ChaosFailure {
+                            target: t.label.to_string(),
+                            seed,
+                            detail: format!("cannot configure: {e}"),
+                        });
+                        continue;
+                    }
+                };
+
+                // ---- faulted run -------------------------------------
+                chaos::configure(&chaos::ChaosConfig::from_seed(seed));
+                chaos::enable();
+                let staged = input.clone();
+                let faulted = libpressio::core::run_deadlined(
+                    cfg.run_deadline_ms,
+                    "chaos run",
+                    move || {
+                        let mut handle = handle;
+                        let r = (|| {
+                            let c = handle.compress(&staged)?;
+                            let mut out = Data::owned(staged.dtype(), staged.dims().to_vec());
+                            handle.decompress(&c, &mut out)?;
+                            Ok::<Vec<u8>, libpressio::Error>(out.as_bytes().to_vec())
+                        })();
+                        (handle, r)
+                    },
+                );
+                chaos::disable();
+
+                let mut survivor = match faulted {
+                    Ok((handle, Ok(out))) => {
+                        if out.len() != input.as_bytes().len() {
+                            report.failures.push(ChaosFailure {
+                                target: t.label.to_string(),
+                                seed,
+                                detail: format!(
+                                    "faulted run 'succeeded' with a malformed output: \
+                                     {} bytes instead of {}",
+                                    out.len(),
+                                    input.as_bytes().len()
+                                ),
+                            });
+                            continue;
+                        }
+                        report.survived += 1;
+                        handle
+                    }
+                    Ok((handle, Err(e))) if acceptable(e.code()) => {
+                        if matches!(e.code(), ErrorCode::Cancelled | ErrorCode::Timeout) {
+                            report.cancelled += 1;
+                        } else {
+                            report.contained += 1;
+                        }
+                        handle
+                    }
+                    Ok((_, Err(e))) => {
+                        report.failures.push(ChaosFailure {
+                            target: t.label.to_string(),
+                            seed,
+                            detail: format!(
+                                "faulted run failed with a non-fault error code {:?}: {e}",
+                                e.code()
+                            ),
+                        });
+                        continue;
+                    }
+                    Err(e) if e.code() == ErrorCode::Timeout => {
+                        // The handle rode the timed-out worker; the run is a
+                        // deadlock suspect only if the pool never drains.
+                        report.failures.push(ChaosFailure {
+                            target: t.label.to_string(),
+                            seed,
+                            detail: format!(
+                                "deadlock suspect: faulted run missed the {} ms harness \
+                                 deadline",
+                                cfg.run_deadline_ms
+                            ),
+                        });
+                        continue;
+                    }
+                    Err(e) => {
+                        report.failures.push(ChaosFailure {
+                            target: t.label.to_string(),
+                            seed,
+                            detail: format!("harness worker failed: {e}"),
+                        });
+                        continue;
+                    }
+                };
+
+                // ---- same handle, faults disarmed --------------------
+                // Whatever the faulted run did, the handle must now serve a
+                // clean round trip bit-identical to a fresh instance's.
+                let reused = clean_roundtrip(&mut survivor, &input);
+                let fresh = armed(&t).and_then(|mut h| clean_roundtrip(&mut h, &input));
+                match (reused, fresh) {
+                    (Ok((rc, ro)), Ok((fc, fo))) => {
+                        if rc != fc || ro != fo {
+                            report.failures.push(ChaosFailure {
+                                target: t.label.to_string(),
+                                seed,
+                                detail: "cross-run corruption: the reused handle's clean \
+                                         round trip diverged from a fresh handle's"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                    (Err(e), _) => report.failures.push(ChaosFailure {
+                        target: t.label.to_string(),
+                        seed,
+                        detail: format!("reused handle failed a clean round trip: {e}"),
+                    }),
+                    (_, Err(e)) => report.failures.push(ChaosFailure {
+                        target: t.label.to_string(),
+                        seed,
+                        detail: format!("fresh handle failed a clean round trip: {e}"),
+                    }),
+                }
+            }
+
+            if !watchdogs_drain() {
+                let (spawned, idle) = libpressio::core::watchdog_stats();
+                report.failures.push(ChaosFailure {
+                    target: t.label.to_string(),
+                    seed: 0,
+                    detail: format!(
+                        "leaked workers: {}/{spawned} deadline workers still busy after \
+                         the sweep",
+                        spawned - idle
+                    ),
+                });
+            }
+        }
+
+        report.faults = chaos::stats();
+        chaos::disable();
+        std::panic::set_hook(prev_hook);
+        Ok(report)
+    }
+}

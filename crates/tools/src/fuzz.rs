@@ -167,20 +167,73 @@ fn case_rng(seed: u64, plugin: &str, mode: FaultMode, case: u32) -> StdRng {
     StdRng::seed_from_u64(h.finish())
 }
 
+/// One fuzz subject: a registry name plus an optional option overlay that
+/// assembles a meta-compressor stack on top of it.
+struct Target {
+    /// Display label for reports (`guard>chunking>sz` for stacks).
+    label: String,
+    /// Registry name armed for every case.
+    name: String,
+    /// Extra options applied after the generic arming — wires `guard`'s
+    /// child, the parallel meta's child, and so on.
+    stack: Option<Options>,
+}
+
+/// Stacked meta-compressor targets swept in addition to the plain registry
+/// walk: the guard wrapping a parallel meta wrapping a real codec. Damage
+/// must stop at the guard's frame before the inner decoders parse anything,
+/// no matter how many layers sit underneath.
+fn stacked_targets() -> Vec<Target> {
+    vec![
+        Target {
+            label: "guard>chunking>sz".to_string(),
+            name: "guard".to_string(),
+            stack: Some(
+                Options::new()
+                    .with("guard:compressor", "chunking")
+                    .with("chunking:compressor", "sz")
+                    .with("chunking:nthreads", 2u32)
+                    .with("guard:timeout_ms", 2_000u64),
+            ),
+        },
+        Target {
+            label: "guard>many_independent>zfp".to_string(),
+            name: "guard".to_string(),
+            stack: Some(
+                Options::new()
+                    .with("guard:compressor", "many_independent")
+                    .with("many_independent:compressor", "zfp")
+                    .with("many_independent:nthreads", 2u32)
+                    .with("guard:timeout_ms", 2_000u64),
+            ),
+        },
+    ]
+}
+
 /// Build a configured instance of `name` the same way the contract checker
-/// does: a generic error bound plus any documented preset.
-fn armed_handle(name: &str) -> Result<libpressio::CompressorHandle, libpressio::Error> {
+/// does: a generic error bound plus any documented preset, plus the stack
+/// overlay when the target is a meta-compressor stack.
+fn armed_handle(
+    name: &str,
+    stack: Option<&Options>,
+) -> Result<libpressio::CompressorHandle, libpressio::Error> {
     let mut h = libpressio::registry().compressor(name)?;
     let _ = h.set_options_unchecked(&Options::new().with("pressio:abs", 1e-3f64));
     if let Some(preset) = roundtrip_preset(name) {
         h.set_options(&preset)?;
     }
+    if let Some(stack) = stack {
+        h.set_options(stack)?;
+        // The overlay may have swapped the child: re-apply the generic
+        // bound so the inner codec is armed too.
+        let _ = h.set_options_unchecked(&Options::new().with("pressio:abs", 1e-3f64));
+    }
     Ok(h)
 }
 
 /// Decode one damaged stream on a watchdog worker, catching panics.
-fn decode_case(name: &str, mutated: Vec<u8>, timeout_ms: u64) -> CaseOutcome {
-    let handle = match armed_handle(name) {
+fn decode_case(name: &str, stack: Option<&Options>, mutated: Vec<u8>, timeout_ms: u64) -> CaseOutcome {
+    let handle = match armed_handle(name, stack) {
         Ok(h) => h,
         // The compressor armed moments ago; losing the registry entry
         // mid-sweep is a harness bug, surfaced as a failure by the caller.
@@ -209,10 +262,24 @@ fn decode_case(name: &str, mutated: Vec<u8>, timeout_ms: u64) -> CaseOutcome {
 
 /// Fuzz one compressor's decoder across every mutation mode.
 pub fn fuzz_compressor(name: &str, cfg: &FuzzConfig, report: &mut FuzzReport) {
+    fuzz_target(
+        &Target {
+            label: name.to_string(),
+            name: name.to_string(),
+            stack: None,
+        },
+        cfg,
+        report,
+    );
+}
+
+/// Fuzz one target (plain compressor or meta stack) across every mode.
+fn fuzz_target(target: &Target, cfg: &FuzzConfig, report: &mut FuzzReport) {
     libpressio::init();
     let input = seed_input();
+    let name = target.label.as_str();
 
-    let mut h = match armed_handle(name) {
+    let mut h = match armed_handle(&target.name, target.stack.as_ref()) {
         Ok(h) => h,
         Err(e) => {
             report.skipped.push((name.to_string(), format!("cannot configure: {e}")));
@@ -244,9 +311,10 @@ pub fn fuzz_compressor(name: &str, cfg: &FuzzConfig, report: &mut FuzzReport) {
     };
 
     report.compressors += 1;
-    // The guard's integrity frame must reject every byte-level change; for
+    // The guard's integrity frame must reject every byte-level change —
+    // whether it wraps a codec directly or a whole meta stack; for
     // everything else acceptance of damaged payload bytes is legal.
-    let strict = name == "guard";
+    let strict = target.name == "guard";
 
     for mode in ALL_FAULT_MODES {
         for case in 0..cfg.iterations {
@@ -258,7 +326,7 @@ pub fn fuzz_compressor(name: &str, cfg: &FuzzConfig, report: &mut FuzzReport) {
                 report.unchanged += 1;
             }
             report.cases += 1;
-            match decode_case(name, mutated, cfg.timeout_ms) {
+            match decode_case(&target.name, target.stack.as_ref(), mutated, cfg.timeout_ms) {
                 CaseOutcome::Rejected => report.rejected += 1,
                 CaseOutcome::Accepted => {
                     report.accepted += 1;
@@ -292,16 +360,20 @@ pub fn fuzz_compressor(name: &str, cfg: &FuzzConfig, report: &mut FuzzReport) {
 }
 
 /// Fuzz every registered compressor (or the one named in
-/// [`FuzzConfig::compressor`]).
+/// [`FuzzConfig::compressor`]), then the stacked meta-compressor targets.
 pub fn fuzz_all(cfg: &FuzzConfig) -> FuzzReport {
     libpressio::init();
     let mut report = FuzzReport::default();
-    let names: Vec<String> = match &cfg.compressor {
-        Some(one) => vec![one.clone()],
-        None => libpressio::instance().supported_compressors(),
-    };
-    for name in names {
-        fuzz_compressor(&name, cfg, &mut report);
+    match &cfg.compressor {
+        Some(one) => fuzz_compressor(one, cfg, &mut report),
+        None => {
+            for name in libpressio::instance().supported_compressors() {
+                fuzz_compressor(&name, cfg, &mut report);
+            }
+            for target in stacked_targets() {
+                fuzz_target(&target, cfg, &mut report);
+            }
+        }
     }
     report
 }

@@ -16,6 +16,12 @@
 //!   (bit flips, truncation, extension, zeroed regions) and fails on
 //!   panics, hangs, or a `guard` frame accepting damage.
 //!
+//! * [`chaos`] — the `pressio chaos` fault-injection sweep: arms the
+//!   execution engine's seeded chaos hooks (`--features chaos`) and drives
+//!   every pooled plugin plus the guard/parallel meta stacks through
+//!   faulted round trips, asserting the pool self-heals, stops are
+//!   structured errors, and a faulted handle never corrupts later runs.
+//!
 //! * [`bench`] — the `pressio bench` overhead harness: measures native
 //!   (static-dispatch) versus through-interface compression time per plugin
 //!   and serial versus pooled (`zfp`/`zfp_omp`, `sz`/`sz_omp`) wall-clock,
@@ -33,6 +39,7 @@
 //! [`fuzz::fuzz_all`].
 
 pub mod bench;
+pub mod chaos;
 pub mod contract;
 pub mod fuzz;
 pub mod lint;

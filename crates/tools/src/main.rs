@@ -329,6 +329,35 @@ fn cmd_fuzz_decode(args: &Args) -> Result<()> {
     }
 }
 
+fn cmd_chaos(args: &Args) -> Result<()> {
+    let parse_num = |flag: &str, default: u64| -> Result<u64> {
+        match args.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| Error::invalid_argument(format!("bad --{flag} value {v:?}"))),
+        }
+    };
+    let mut cfg = if args.get("quick").is_some() {
+        pressio_tools::chaos::ChaosSweepConfig::quick()
+    } else {
+        pressio_tools::chaos::ChaosSweepConfig::default()
+    };
+    cfg.seeds = parse_num("seeds", cfg.seeds as u64)? as u32;
+    cfg.first_seed = parse_num("seed", cfg.first_seed)?;
+    cfg.run_deadline_ms = parse_num("deadline-ms", cfg.run_deadline_ms)?;
+    let report = pressio_tools::chaos::chaos_all(&cfg).map_err(Error::unsupported)?;
+    print!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Error::corrupt(format!(
+            "{} self-healing violation(s)",
+            report.failures.len()
+        )))
+    }
+}
+
 fn cmd_bench(args: &Args) -> Result<()> {
     let out = args.get("out").unwrap_or("BENCH_overhead.json");
     if args.get("check").is_some() {
@@ -480,7 +509,7 @@ fn cmd_lint(args: &Args) -> Result<()> {
     }
 }
 
-const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|bench|trace|lint> [args]
+const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|chaos|bench|trace|lint> [args]
   list [compressors|metrics|io]
   options <compressor>
   compress   -c <name> -i <in> -o <out> [-t dtype -d dims] [-O k=v ...] [-m metric ...] [-f format]
@@ -490,6 +519,11 @@ const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|c
   contract   [-v verbose]  # verify every registered plugin honors the plugin contract
   fuzz-decode [-c <name>] [--iterations N] [--seed S] [--timeout-ms T]
               # drive every decompressor with damaged streams; fail on panics/hangs
+  chaos      [--quick] [--seeds N] [--seed S] [--deadline-ms T]
+              # inject seeded faults (worker/task panics, delays, spurious
+              # cancels, budget failures) into the exec pool while sweeping
+              # every pooled plugin and the guard stacks; fail on deadlocks,
+              # leaked workers, or cross-run corruption. Needs --features chaos
   bench      [--quick] [--out path] [--n edge] [--repeats N] [--check]
               # measure native vs through-interface time per plugin and serial vs
               # pooled (zfp/zfp_omp, sz/sz_omp) wall-clock; emit BENCH_overhead.json.
@@ -516,6 +550,7 @@ fn run() -> Result<()> {
         Some("gen") => cmd_gen(&args),
         Some("contract") => cmd_contract(&args),
         Some("fuzz-decode") => cmd_fuzz_decode(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some("bench") => cmd_bench(&args),
         Some("trace") => cmd_trace(&args),
         Some("lint") => cmd_lint(&args),

@@ -1,0 +1,21 @@
+//! Smoke tier for the chaos sweep: the `--quick` profile (the exact run
+//! ci.sh's `--chaos` tier and `pressio chaos --quick` perform) must be
+//! clean — every faulted run survives, cancels with a structured error,
+//! or is contained, and no run deadlocks, leaks a worker, or corrupts a
+//! later run on the same handle.
+#![cfg(feature = "chaos")]
+
+use pressio_tools::chaos::{chaos_all, ChaosSweepConfig};
+
+#[test]
+fn quick_sweep_honors_the_self_healing_contract() {
+    let report = chaos_all(&ChaosSweepConfig::quick()).expect("chaos feature is on");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.targets, 7, "every pooled plugin and stack is swept");
+    assert_eq!(report.runs, report.targets * 8, "8 seeds per target");
+    // Every run is accounted for in exactly one outcome bucket.
+    assert_eq!(
+        report.survived + report.cancelled + report.contained,
+        report.runs
+    );
+}

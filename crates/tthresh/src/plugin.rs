@@ -173,7 +173,7 @@ impl Compressor for Tthresh {
             quantize_vector(&t.u, &mut payload);
             quantize_vector(&t.v, &mut payload);
         }
-        let packed = deflate::compress(&payload);
+        let packed = deflate::compress(&payload)?;
         let mut w = ByteWriter::with_capacity(packed.len() + 64);
         w.put_u32(MAGIC);
         w.put_dtype(input.dtype());

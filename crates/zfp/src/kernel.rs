@@ -416,22 +416,29 @@ fn encode_range(
     g: &BlockGrid,
     p: &Params,
     range: std::ops::Range<usize>,
-) -> ZfpChunk {
+) -> Result<ZfpChunk> {
     pressio_core::with_scratch(|s| {
         let mut w = BitWriter::new();
         s.f64s.clear();
         s.f64s.resize(g.blocksize(), 0.0);
         let mut block = std::mem::take(&mut s.f64s);
+        let mut cp = pressio_core::cancel::Checkpointer::new(256);
+        let mut res = Ok(());
         for i in range {
+            if let Err(stop) = cp.tick() {
+                res = Err(stop);
+                break;
+            }
             let (bx, by, bz) = g.origin(i);
             gather(data, g.nx, g.ny, g.nz, bx, by, bz, g.d, &mut block);
             encode_block(&mut w, &block, g.d, p, s);
         }
         s.f64s = block;
-        ZfpChunk {
+        res?;
+        Ok(ZfpChunk {
             nbits: w.len_bits(),
             bytes: w.into_bytes(),
-        }
+        })
     })
 }
 
@@ -445,9 +452,12 @@ fn decode_range_blocks(
 ) -> Result<Vec<f64>> {
     pressio_core::with_scratch(|s| {
         let blocksize = g.blocksize();
+        pressio_core::cancel::charge((nblocks as u64).saturating_mul(blocksize as u64 * 8))?;
         let mut vals = vec![0.0f64; nblocks * blocksize];
         let mut r = BitReader::new(payload);
+        let mut cp = pressio_core::cancel::Checkpointer::new(256);
         for block in vals.chunks_mut(blocksize) {
+            cp.tick()?;
             decode_block(&mut r, block, g.d, p, s)?;
         }
         Ok(vals)
@@ -489,7 +499,7 @@ pub fn compress_f64_chunks(
         let _s = pressio_core::trace::span_labeled("zfp:encode_chunk", || {
             format!("blocks {}..{}", ranges[i].start, ranges[i].end)
         });
-        Ok(encode_range(data, &g, &p, ranges[i].clone()))
+        encode_range(data, &g, &p, ranges[i].clone())
     })
 }
 
@@ -550,7 +560,12 @@ pub fn decompress_f64(payload: &[u8], fdims: &[usize], mode: ZfpMode) -> Result<
         let mut block = std::mem::take(&mut s.f64s);
         let mut r = BitReader::new(payload);
         let mut res = Ok(());
+        let mut cp = pressio_core::cancel::Checkpointer::new(256);
         for i in 0..g.blocks() {
+            if let Err(stop) = cp.tick() {
+                res = Err(stop);
+                break;
+            }
             if let Err(e) = decode_block(&mut r, &mut block, g.d, &p, s) {
                 res = Err(e);
                 break;

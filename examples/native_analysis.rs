@@ -116,7 +116,7 @@ fn assess_mgard(data: &[f64], dims: &[usize]) -> Row {
 // --- adapter 4: fpzip (native: one function per precision, lossless) --------
 fn assess_fpzip(data: &[f64], _dims: &[usize]) -> Row {
     let t = Instant::now();
-    let body = fpzip::compress_f64(data);
+    let body = fpzip::compress_f64(data).expect("fpzip");
     let ms = t.elapsed().as_secs_f64() * 1e3;
     let dec = fpzip::decompress_f64(&body).expect("fpzip");
     stats("fpzip", data, &dec, body.len(), ms)
@@ -126,7 +126,7 @@ fn assess_fpzip(data: &[f64], _dims: &[usize]) -> Row {
 fn assess_deflate(data: &[f64], _dims: &[usize]) -> Row {
     let bytes = f64s_to_bytes(data);
     let t = Instant::now();
-    let body = deflate::compress(&bytes);
+    let body = deflate::compress(&bytes).expect("deflate");
     let ms = t.elapsed().as_secs_f64() * 1e3;
     let dec = bytes_to_f64s(&deflate::decompress(&body).expect("deflate"));
     stats("deflate", data, &dec, body.len(), ms)
@@ -149,7 +149,7 @@ fn assess_grooming(data: &[f64], _dims: &[usize]) -> Row {
     let t = Instant::now();
     grooming::groom_f64(&mut groomed, 4, grooming::GroomMode::Groom);
     let staged = shuffle::shuffle(&f64s_to_bytes(&groomed), 8);
-    let body = deflate::compress(&staged);
+    let body = deflate::compress(&staged).expect("deflate");
     let ms = t.elapsed().as_secs_f64() * 1e3;
     let unshuffled = shuffle::unshuffle(&deflate::decompress(&body).expect("backend"), 8);
     let dec = bytes_to_f64s(&unshuffled);

@@ -531,6 +531,27 @@ pub mod sync {
 
         modeled_fetch_add!(AtomicU64, u64);
         modeled_fetch_add!(AtomicUsize, usize);
+
+        macro_rules! modeled_compare_exchange {
+            ($name:ident, $val:ty) => {
+                impl $name {
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        maybe_yield();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        modeled_compare_exchange!(AtomicBool, bool);
+        modeled_compare_exchange!(AtomicU64, u64);
+        modeled_compare_exchange!(AtomicUsize, usize);
     }
 }
 

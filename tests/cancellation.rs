@@ -1,0 +1,147 @@
+//! Deadline propagation through the execution engine — the
+//! `guard:timeout_ms` acceptance scenario.
+//!
+//! A guarded pooled compressor (`sz_omp`, 4 threads, a 128^3 field) armed
+//! with a deadline far below the real compression time must:
+//!
+//! 1. surface `ErrorCode::Timeout` from `compress` (the watchdog trips the
+//!    job's cancel token at the deadline);
+//! 2. actually *stop* the in-flight chunk work — every worker observes the
+//!    tripped token at its next chunk boundary or kernel checkpoint, and
+//!    the deadline worker re-registers on the idle list instead of running
+//!    detached (verified through `watchdog_stats`);
+//! 3. leave the handle reusable: with the deadline disarmed, the same
+//!    handle completes a clean round trip byte-identical to a fresh
+//!    handle's;
+//! 4. reuse idle deadline workers across repeated timeouts instead of
+//!    spawning a new thread per run.
+//!
+//! Everything lives in one test function: the watchdog pool and the trace
+//! collector are process-global, so interleaving parallel test threads
+//! would make the stability assertions racy.
+
+use libpressio::core::{trace, watchdog_stats, ErrorCode};
+use libpressio::prelude::*;
+
+fn field() -> Data {
+    libpressio::init();
+    libpressio::datagen::scale_letkf(128, 128, 128, 77)
+}
+
+fn guarded_sz_omp(timeout_ms: u64) -> CompressorHandle {
+    let library = libpressio::instance();
+    let mut c = library.get_compressor("guard").expect("guard");
+    c.set_options(
+        &Options::new()
+            .with("guard:compressor", "sz_omp")
+            .with("sz_omp:nthreads", 4i64)
+            .with("guard:timeout_ms", timeout_ms),
+    )
+    .expect("options");
+    c.set_options_unchecked(&Options::new().with("pressio:abs", 1e-3f64))
+        .expect("error bound");
+    c
+}
+
+/// Poll (bounded) until the deadline-watchdog pool reads fully idle: a
+/// worker still busy long after its run was cancelled would mean the old
+/// detach-on-timeout behavior is back.
+fn watchdogs_drained() -> bool {
+    for attempt in 0..500u64 {
+        let (spawned, idle) = watchdog_stats();
+        if idle >= spawned {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(attempt.min(10)));
+    }
+    false
+}
+
+#[test]
+fn deadline_stops_pooled_compress_and_handle_recovers() {
+    let input = field();
+
+    // --- 1+2: the deadline fires and cooperatively stops the work -------
+    trace::clear();
+    trace::enable();
+    let mut c = guarded_sz_omp(5);
+    let err = c
+        .compress(&input)
+        .expect_err("a 5 ms deadline on a 128^3 pooled compress must fire");
+    assert_eq!(err.code(), ErrorCode::Timeout, "unexpected error: {err}");
+    assert!(
+        watchdogs_drained(),
+        "no thread may be left running: the cancelled run must release its \
+         deadline worker back to the idle list"
+    );
+    let report = trace::take();
+    trace::disable();
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value)
+            .unwrap_or(0)
+    };
+    assert!(
+        counter("exec:deadline_cancel") >= 1,
+        "the watchdog must trip the job token at the deadline"
+    );
+    assert!(
+        counter("guard:timeout") >= 1,
+        "the guard must account the run as timed out"
+    );
+
+    // --- 4: repeated deadlines reuse idle workers ----------------------
+    for _ in 0..3 {
+        let err = c.compress(&input).expect_err("deadline must keep firing");
+        assert_eq!(err.code(), ErrorCode::Timeout);
+        assert!(watchdogs_drained(), "worker must come back after every trip");
+    }
+    let (spawned_before, _) = watchdog_stats();
+    for _ in 0..3 {
+        let _ = c.compress(&input).expect_err("deadline must keep firing");
+        assert!(watchdogs_drained());
+    }
+    let (spawned_after, idle_after) = watchdog_stats();
+    assert_eq!(
+        spawned_before, spawned_after,
+        "steady-state timeouts must reuse idle deadline workers, not spawn"
+    );
+    assert_eq!(spawned_after, idle_after, "every spawned worker ends idle");
+
+    // --- 3: the same handle recovers, bit-identical to a fresh one -----
+    c.set_options(&Options::new().with("guard:timeout_ms", 0u64))
+        .expect("disarm deadline");
+    let reused_stream = c
+        .compress(&input)
+        .expect("the timed-out handle must serve a clean compress");
+    let mut reused_out = Data::owned(input.dtype(), input.dims().to_vec());
+    c.decompress(&reused_stream, &mut reused_out)
+        .expect("the timed-out handle must serve a clean decompress");
+
+    let mut fresh = guarded_sz_omp(0);
+    let fresh_stream = fresh.compress(&input).expect("fresh compress");
+    let mut fresh_out = Data::owned(input.dtype(), input.dims().to_vec());
+    fresh
+        .decompress(&fresh_stream, &mut fresh_out)
+        .expect("fresh decompress");
+
+    assert_eq!(
+        reused_stream.as_bytes(),
+        fresh_stream.as_bytes(),
+        "seven cancelled runs must not change what the handle produces"
+    );
+    assert_eq!(reused_out.as_bytes(), fresh_out.as_bytes());
+
+    // The guard's introspection surface accounted every trip.
+    let conf = c.get_configuration();
+    assert!(
+        conf.get_as::<u64>("guard:timeouts")
+            .expect("typed counter")
+            .unwrap_or(0)
+            >= 7,
+        "all timed-out attempts must be visible on guard:timeouts"
+    );
+}

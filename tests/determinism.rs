@@ -143,16 +143,70 @@ fn chunked_huffman_is_deterministic_and_lossless() {
 fn chunked_deflate_is_deterministic_and_lossless() {
     use libpressio::codecs::deflate;
     let data: Vec<u8> = (0..300_001usize).map(|i| (i * 7 % 251) as u8).collect();
-    let serial = deflate::compress(&data);
+    let serial = deflate::compress(&data).expect("compress");
     assert_eq!(deflate::decompress(&serial).expect("decompress"), data);
-    let one = deflate::compress_par(&data, 1);
+    let one = deflate::compress_par(&data, 1).expect("compress_par 1");
     assert_eq!(one, serial);
     for pieces in [2usize, 7] {
-        let a = deflate::compress_par(&data, pieces);
-        let b = deflate::compress_par(&data, pieces);
+        let a = deflate::compress_par(&data, pieces).expect("compress_par");
+        let b = deflate::compress_par(&data, pieces).expect("compress_par");
         assert_eq!(a, b, "pieces={pieces} stream not deterministic");
         assert_eq!(deflate::decompress(&a).expect("decompress"), data, "pieces={pieces}");
     }
+}
+
+/// Handle reuse after cancellation: a memory-budget trip
+/// (`ErrorCode::Cancelled`, terminal) aborts a guarded pooled compress
+/// mid-kernel, yet the same handle — budget disarmed — must then produce
+/// a stream byte-identical to a fresh handle's. Cancellation may abort a
+/// run; it must never poison the next one.
+#[test]
+fn guarded_pooled_handle_is_bit_identical_after_cancellation() {
+    let input = field();
+    let library = libpressio::instance();
+    let arm = || {
+        let mut c = library.get_compressor("guard").expect("guard");
+        c.set_options(
+            &Options::new()
+                .with("guard:compressor", "sz_omp")
+                .with("sz_omp:nthreads", 4i64),
+        )
+        .expect("options");
+        c.set_options_unchecked(&Options::new().with(OPT_REL, REL))
+            .expect("error bound");
+        c
+    };
+
+    let mut reused = arm();
+    reused
+        .set_options(&Options::new().with("guard:memory_budget_bytes", 64u64))
+        .expect("arm budget");
+    let err = reused
+        .compress(&input)
+        .expect_err("a 64-byte budget must trip inside the quantizer");
+    assert_eq!(err.code(), libpressio::ErrorCode::Cancelled, "got: {err}");
+
+    reused
+        .set_options(&Options::new().with("guard:memory_budget_bytes", 0u64))
+        .expect("disarm budget");
+    let reused_stream = reused.compress(&input).expect("reused compress");
+    let mut reused_out = Data::owned(input.dtype(), input.dims().to_vec());
+    reused
+        .decompress(&reused_stream, &mut reused_out)
+        .expect("reused decompress");
+
+    let mut fresh = arm();
+    let fresh_stream = fresh.compress(&input).expect("fresh compress");
+    assert_eq!(
+        reused_stream.as_bytes(),
+        fresh_stream.as_bytes(),
+        "a cancelled run must not change what the handle produces next"
+    );
+    let mut fresh_out = Data::owned(input.dtype(), input.dims().to_vec());
+    fresh
+        .decompress(&fresh_stream, &mut fresh_out)
+        .expect("fresh decompress");
+    assert_eq!(reused_out.as_bytes(), fresh_out.as_bytes());
 }
 
 #[test]
