@@ -37,13 +37,24 @@
 #                          produce a non-empty, well-nested span tree with
 #                          both handle-level spans
 #   7. pressio bench --check — the *committed* BENCH_overhead.json must
-#                          satisfy the pressio-bench/overhead-v1 schema,
+#                          satisfy the pressio-bench/overhead-v2 schema,
 #                          including self-consistency of the derived
-#                          overhead_pct and speedup fields; then the quick
-#                          harness runs end-to-end into target/ and its
-#                          output is checked the same way. Timings are
-#                          reported, never gated: wall-clock on a shared
-#                          CI box is noise, so only structure is asserted.
+#                          overhead_pct / speedup fields, the host-clamp
+#                          rule (nthreads_effective == min(requested,
+#                          host_threads) — oversubscribed baselines are
+#                          structurally invalid), and recomputable
+#                          serial_fallback flags; then the quick harness
+#                          runs end-to-end into target/ and its output is
+#                          checked the same way.
+#   8. pressio bench --gate — the one timing we do gate: the committed
+#                          parallel speedup must not regress by more than
+#                          10% against a fresh measurement at the largest
+#                          committed sweep edge (<= 128^3). Raw wall-clock
+#                          is still never compared across hosts — the gate
+#                          compares the *ratio* serial/parallel on this
+#                          host, and skips itself (loudly) when the
+#                          committed baseline was recorded with a
+#                          different host_threads count.
 #
 # Usage: ./ci.sh                 full gate (all of the above)
 #        ./ci.sh --quick        lint + workspace tests only (inner loop)
@@ -124,5 +135,8 @@ cargo run -q --release -p pressio-tools --bin pressio -- bench --check --out BEN
 echo "== bench harness end-to-end (quick, emits to target/)"
 cargo run -q --release -p pressio-tools --bin pressio -- bench --quick --out target/BENCH_overhead_ci.json
 cargo run -q --release -p pressio-tools --bin pressio -- bench --check --out target/BENCH_overhead_ci.json
+
+echo "== bench speedup gate (committed baseline vs fresh measurement)"
+cargo run -q --release -p pressio-tools --bin pressio -- bench --gate --out BENCH_overhead.json
 
 echo "== ci.sh: all gates passed"

@@ -22,6 +22,18 @@ impl BitWriter {
         BitWriter::default()
     }
 
+    /// An empty bit stream backed by `words`' capacity — the scratch-arena
+    /// constructor: pair with [`BitWriter::into_bytes_and_buffer`] to hand
+    /// the backing store back after use.
+    pub fn with_buffer(mut words: Vec<u64>) -> BitWriter {
+        words.clear();
+        BitWriter {
+            words,
+            used: 0,
+            total_bits: 0,
+        }
+    }
+
     /// Total number of bits written.
     pub fn len_bits(&self) -> u64 {
         self.total_bits
@@ -78,13 +90,21 @@ impl BitWriter {
 
     /// Finish, returning little-endian bytes (padded with zero bits).
     pub fn into_bytes(self) -> Vec<u8> {
+        self.into_bytes_and_buffer().0
+    }
+
+    /// Finish like [`BitWriter::into_bytes`], additionally returning the
+    /// (cleared) word buffer so a scratch arena can reclaim its capacity.
+    pub fn into_bytes_and_buffer(self) -> (Vec<u8>, Vec<u64>) {
         let nbytes = self.total_bits.div_ceil(8) as usize;
         let mut out = Vec::with_capacity(self.words.len() * 8);
         for w in &self.words {
             out.extend_from_slice(&w.to_le_bytes());
         }
         out.truncate(nbytes);
-        out
+        let mut words = self.words;
+        words.clear();
+        (out, words)
     }
 }
 
@@ -145,6 +165,32 @@ impl<'a> BitReader<'a> {
             self.pos += take as u64;
         }
         Ok(v)
+    }
+
+    /// Peek at the next `n` bits (LSB first, `n <= 64`) without advancing.
+    ///
+    /// Unlike [`BitReader::read_bits`] this never errors: bits past the end
+    /// of the buffer read as zero. Callers that use the peeked window to
+    /// decide how far to [`BitReader::skip`] must check
+    /// [`BitReader::remaining_bits`] themselves if exhaustion matters.
+    #[inline]
+    pub fn peek_bits(&self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let mut v: u64 = 0;
+        let mut got: u32 = 0;
+        let mut pos = self.pos;
+        let end = self.bytes.len() as u64 * 8;
+        while got < n && pos < end {
+            let byte_idx = (pos / 8) as usize;
+            let bit_off = (pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(n - got);
+            let chunk = ((self.bytes[byte_idx] as u64) >> bit_off) & ((1u64 << take) - 1);
+            v |= chunk << got;
+            got += take;
+            pos += take as u64;
+        }
+        v
     }
 
     /// Skip forward `n` bits.
@@ -249,6 +295,58 @@ mod tests {
         assert!(bytes.is_empty());
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn peek_matches_read_and_does_not_advance() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xCAFE_F00D_1234_5678, 64);
+        w.write_bits(0b1_0110, 5);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.skip(3).unwrap();
+        for n in [0u32, 1, 7, 12, 33, 64] {
+            let peeked = r.peek_bits(n);
+            let mut probe = r.clone();
+            assert_eq!(probe.read_bits(n).unwrap(), peeked, "width {n}");
+        }
+        // Still at bit 3: a real read sees the same window peek reported.
+        let before = r.remaining_bits();
+        let expect = r.peek_bits(12);
+        assert_eq!(r.remaining_bits(), before);
+        assert_eq!(r.read_bits(12).unwrap(), expect);
+    }
+
+    #[test]
+    fn peek_past_end_zero_pads() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // 8 bits exist (one padded byte); a 64-bit peek zero-fills the rest.
+        assert_eq!(r.peek_bits(64), 0b101);
+        r.skip(8).unwrap();
+        assert_eq!(r.remaining_bits(), 0);
+        assert_eq!(r.peek_bits(64), 0);
+        assert_eq!(r.peek_bits(0), 0);
+    }
+
+    #[test]
+    fn writer_buffer_reuse_is_equivalent() {
+        let mut w1 = BitWriter::new();
+        w1.write_bits(0xABCD, 16);
+        w1.write_bits(0x1F, 5);
+        let (bytes1, buf) = w1.into_bytes_and_buffer();
+        assert!(buf.is_empty());
+
+        // Seed a second writer with the reclaimed buffer (plus stale garbage
+        // capacity) and confirm identical output.
+        let mut stale = buf;
+        stale.extend_from_slice(&[u64::MAX; 4]);
+        let mut w2 = BitWriter::with_buffer(stale);
+        w2.write_bits(0xABCD, 16);
+        w2.write_bits(0x1F, 5);
+        assert_eq!(w2.into_bytes(), bytes1);
     }
 
     #[test]

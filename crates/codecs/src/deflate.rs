@@ -37,12 +37,13 @@ pub fn compress(data: &[u8]) -> Result<Vec<u8>> {
 /// too small to split. The split depends only on `pieces` and the input
 /// length, so streams are machine-independent.
 pub fn compress_par(data: &[u8], pieces: usize) -> Result<Vec<u8>> {
-    let max_pieces = (data.len() / MIN_CHUNK_BYTES).max(1);
-    let pieces = pieces.min(max_pieces);
-    if pieces <= 1 {
+    // Plan with deflate's own 64 KiB floor (not the engine default): chunk
+    // boundaries reset the LZ dictionary, so the ratio cost of a split is
+    // paid back sooner than for the pure entropy coders.
+    let ranges = pressio_core::plan_chunks_min(data.len(), 1, pieces, MIN_CHUNK_BYTES);
+    if ranges.len() <= 1 {
         return compress(data);
     }
-    let ranges = pressio_core::chunk_ranges(data.len(), pieces);
     let chunks = pressio_core::par_map_indexed(ranges.len(), |i| {
         let _s = pressio_core::trace::span_labeled("deflate:compress_chunk", || format!("chunk {i}"));
         compress(&data[ranges[i].clone()])

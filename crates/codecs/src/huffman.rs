@@ -19,8 +19,23 @@ const MAX_ALPHABET: u32 = 1 << 22;
 /// the decoder can tell the two formats apart from the first word alone and
 /// serial streams stay readable byte-for-byte.
 const CHUNK_MAGIC: u32 = 0xDEF1_A7E5;
-/// Minimum symbols per chunk worth an independent table and worker task.
-const MIN_CHUNK_SYMBOLS: usize = 64 * 1024;
+/// Bytes each staged symbol occupies for chunk-planning purposes.
+const SYMBOL_BYTES: usize = std::mem::size_of::<u32>();
+/// Minimum symbols per chunk worth an independent table and worker task —
+/// the engine's byte floor expressed in symbols, so the chunk geometry (and
+/// therefore the stream bytes) is identical to planning by bytes.
+const MIN_CHUNK_SYMBOLS: usize = pressio_core::MIN_CHUNK_BYTES / SYMBOL_BYTES;
+/// Largest alphabet whose frequency table lives in the per-worker scratch
+/// arena. Bigger alphabets (up to [`MAX_ALPHABET`] = 2^22) allocate fresh:
+/// pinning a 32 MiB table per worker forever is worse than the malloc.
+const SCRATCH_ALPHABET: u32 = 1 << 17;
+/// Width of the single-level decode table: one peek resolves any code of at
+/// most this many bits. Longer codes (rare tails of deep trees) fall back to
+/// the bit-at-a-time reference decoder.
+const LUT_BITS: u32 = 12;
+/// Streams shorter than this decode bit-at-a-time: filling the 4096-entry
+/// table costs more than it saves on tiny inputs.
+const LUT_MIN_SYMBOLS: usize = 1024;
 
 /// Compute canonical code lengths for `freq` (0 entries absent), limiting the
 /// maximum length by frequency rescaling (the zlib trick).
@@ -209,6 +224,16 @@ impl Decoder {
     }
 }
 
+fn count_freq(symbols: &[u32], alphabet: u32, freq: &mut [u64]) -> Result<()> {
+    for &s in symbols {
+        let f = freq.get_mut(s as usize).ok_or_else(|| {
+            Error::invalid_argument(format!("symbol {s} outside alphabet {alphabet}"))
+        })?;
+        *f += 1;
+    }
+    Ok(())
+}
+
 /// Encode `symbols` (each `< alphabet`) into a self-contained byte stream.
 pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>> {
     if alphabet == 0 || alphabet > MAX_ALPHABET {
@@ -216,14 +241,17 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>> {
             "huffman alphabet size {alphabet} out of range"
         )));
     }
-    let mut freq = vec![0u64; alphabet as usize];
-    for &s in symbols {
-        let f = freq.get_mut(s as usize).ok_or_else(|| {
-            Error::invalid_argument(format!("symbol {s} outside alphabet {alphabet}"))
-        })?;
-        *f += 1;
-    }
-    let lens = code_lengths(&freq);
+    let lens = if alphabet <= SCRATCH_ALPHABET {
+        pressio_core::with_scratch(|s| -> Result<Vec<u8>> {
+            let freq = s.u64_slice(alphabet as usize);
+            count_freq(symbols, alphabet, freq)?;
+            Ok(code_lengths(freq))
+        })?
+    } else {
+        let mut freq = vec![0u64; alphabet as usize];
+        count_freq(symbols, alphabet, &mut freq)?;
+        code_lengths(&freq)
+    };
     let book = build_codebook(&lens);
 
     let mut w = ByteWriter::new();
@@ -235,13 +263,19 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>> {
         w.put_u32(s);
         w.put_u8(lens[s as usize]);
     }
-    let mut bits = BitWriter::new();
+    // The bit buffer cycles through the worker's arena: taken here, handed
+    // back (cleared, capacity intact) once the payload bytes are out. An
+    // early cancellation drops it, which only costs the capacity.
+    let words = pressio_core::with_scratch(|s| std::mem::take(&mut s.u64s));
+    let mut bits = BitWriter::with_buffer(words);
     let mut cp = pressio_core::cancel::Checkpointer::new(64 * 1024);
     for &s in symbols {
         cp.tick()?;
         bits.write_bits(book.rev_codes[s as usize] as u64, lens[s as usize] as u32);
     }
-    w.put_section(&bits.into_bytes());
+    let (payload, words) = bits.into_bytes_and_buffer();
+    pressio_core::with_scratch(|s| s.u64s = words);
+    w.put_section(&payload);
     Ok(w.into_vec())
 }
 
@@ -251,12 +285,14 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>> {
 /// the plain serial format; [`decode`] reads both transparently. The split
 /// depends only on `pieces` and the input length, never on the host.
 pub fn encode_par(symbols: &[u32], alphabet: u32, pieces: usize) -> Result<Vec<u8>> {
-    let max_pieces = (symbols.len() / MIN_CHUNK_SYMBOLS).max(1);
-    let pieces = pieces.min(max_pieces);
-    if pieces <= 1 {
+    // Planning by staged-symbol bytes keeps the historical geometry exactly:
+    // the engine's 256 KiB floor over 4-byte symbols is the old 64 Ki-symbol
+    // floor, so streams stay byte-identical across the refactor.
+    debug_assert_eq!(MIN_CHUNK_SYMBOLS, pressio_core::MIN_CHUNK_BYTES / SYMBOL_BYTES);
+    let ranges = pressio_core::plan_chunks(symbols.len(), SYMBOL_BYTES, pieces);
+    if ranges.len() <= 1 {
         return encode(symbols, alphabet);
     }
-    let ranges = pressio_core::chunk_ranges(symbols.len(), pieces);
     let chunks = pressio_core::par_map_indexed(ranges.len(), |i| {
         let _s = pressio_core::trace::span_labeled("huffman:encode_chunk", || format!("chunk {i}"));
         encode(&symbols[ranges[i].clone()], alphabet)
@@ -352,25 +388,97 @@ fn decode_serial(alphabet: u32, mut r: ByteReader<'_>) -> Result<Vec<u32>> {
     let mut bits = BitReader::new(payload);
     let mut out = Vec::with_capacity(n);
     let mut cp = pressio_core::cancel::Checkpointer::new(64 * 1024);
-    for _ in 0..n {
-        cp.tick()?;
-        out.push(dec.decode_symbol(&mut bits)?);
+    if n >= LUT_MIN_SYMBOLS {
+        let mut lut = pressio_core::with_scratch(|s| std::mem::take(&mut s.u32s));
+        lut.clear();
+        lut.resize(1 << LUT_BITS, 0);
+        fill_decode_lut(&lens, &mut lut);
+        for _ in 0..n {
+            cp.tick()?;
+            // Fast path: one table hit replaces up to LUT_BITS read_bit
+            // calls. The stream tail (fewer than LUT_BITS bits left, where a
+            // zero-padded peek could false-match garbage) and codes longer
+            // than LUT_BITS take the reference decoder, which also preserves
+            // the exact corrupt-stream error behavior.
+            if bits.remaining_bits() >= LUT_BITS as u64 {
+                let e = lut[bits.peek_bits(LUT_BITS) as usize];
+                if e != 0 {
+                    bits.skip((e & 63) as u64)?;
+                    out.push(e >> 6);
+                    continue;
+                }
+            }
+            out.push(dec.decode_symbol(&mut bits)?);
+        }
+        pressio_core::with_scratch(|s| {
+            lut.clear();
+            s.u32s = lut;
+        });
+    } else {
+        for _ in 0..n {
+            cp.tick()?;
+            out.push(dec.decode_symbol(&mut bits)?);
+        }
     }
     Ok(out)
+}
+
+/// Populate `lut` (length `1 << LUT_BITS`) so that indexing with the next
+/// `LUT_BITS` stream bits yields `(symbol << 6) | code_len` for every code of
+/// at most `LUT_BITS` bits, and 0 where only a longer code (or none) can
+/// match. Valid entries are never 0 because `code_len >= 1`, and the packing
+/// fits: symbols stay below 2^22 and lengths below 2^6.
+fn fill_decode_lut(lens: &[u8], lut: &mut [u32]) {
+    debug_assert_eq!(lut.len(), 1 << LUT_BITS);
+    let book = build_codebook(lens);
+    for (s, &l) in lens.iter().enumerate() {
+        if l == 0 || l as u32 > LUT_BITS {
+            continue;
+        }
+        // Codes are emitted LSB-first from the bit-reversed pattern, so a
+        // peeked window matches when its low `l` bits equal `rev_codes[s]`;
+        // every setting of the remaining high bits maps to this symbol.
+        let entry = ((s as u32) << 6) | l as u32;
+        let step = 1usize << l;
+        let mut idx = book.rev_codes[s] as usize;
+        while idx < lut.len() {
+            lut[idx] = entry;
+            idx += step;
+        }
+    }
 }
 
 /// Huffman-encode raw bytes (alphabet 256) — the entropy stage of
 /// deflate-lite. Fallible only through cooperative cancellation (the byte
 /// alphabet itself is always valid).
 pub fn encode_bytes(data: &[u8]) -> Result<Vec<u8>> {
-    let symbols: Vec<u32> = data.iter().map(|&b| b as u32).collect();
-    encode(&symbols, 256)
+    let mut symbols = stage_byte_symbols(data);
+    let out = encode(&symbols, 256);
+    pressio_core::with_scratch(|s| {
+        symbols.clear();
+        s.u32s = symbols;
+    });
+    out
 }
 
 /// Chunk-parallel [`encode_bytes`]; [`decode_bytes`] reads either format.
 pub fn encode_bytes_par(data: &[u8], pieces: usize) -> Result<Vec<u8>> {
-    let symbols: Vec<u32> = data.iter().map(|&b| b as u32).collect();
-    encode_par(&symbols, 256, pieces)
+    let mut symbols = stage_byte_symbols(data);
+    let out = encode_par(&symbols, 256, pieces);
+    pressio_core::with_scratch(|s| {
+        symbols.clear();
+        s.u32s = symbols;
+    });
+    out
+}
+
+/// Widen bytes to `u32` symbols in a buffer borrowed from the worker's
+/// arena; callers hand it back via `Scratch::u32s` when done.
+fn stage_byte_symbols(data: &[u8]) -> Vec<u32> {
+    let mut symbols = pressio_core::with_scratch(|s| std::mem::take(&mut s.u32s));
+    symbols.clear();
+    symbols.extend(data.iter().map(|&b| b as u32));
+    symbols
 }
 
 /// Decode a stream produced by [`encode_bytes`].
@@ -514,6 +622,62 @@ mod tests {
             bad[i] ^= 0xFF;
             let _ = decode(&bad);
         }
+    }
+
+    /// Reference decoder: re-parses the serial stream and decodes every
+    /// symbol bit-at-a-time, never touching the LUT fast path.
+    fn decode_bit_at_a_time(bytes: &[u8]) -> Vec<u32> {
+        let mut r = ByteReader::new(bytes);
+        let alphabet = r.get_u32().unwrap();
+        assert_ne!(alphabet, CHUNK_MAGIC, "reference handles serial streams");
+        let n = r.get_len().unwrap();
+        let n_present = r.get_u32().unwrap();
+        let mut lens = vec![0u8; alphabet as usize];
+        for _ in 0..n_present {
+            let s = r.get_u32().unwrap();
+            let l = r.get_u8().unwrap();
+            lens[s as usize] = l;
+        }
+        let payload = r.get_section().unwrap();
+        let dec = build_decoder(&lens).unwrap();
+        let mut bits = BitReader::new(payload);
+        (0..n).map(|_| dec.decode_symbol(&mut bits).unwrap()).collect()
+    }
+
+    #[test]
+    fn lut_decode_matches_bit_at_a_time_reference() {
+        // 8192 once-seen symbols force code lengths past LUT_BITS while
+        // symbol 9000 dominates with a short code, so the production decode
+        // loop must mix LUT hits with slow-path fallbacks; both must agree
+        // with the pure bit-at-a-time reference.
+        let mut syms = Vec::new();
+        let mut rare = 0u32;
+        while syms.len() < 120_000 {
+            if syms.len() % 13 == 0 && rare < 8192 {
+                syms.push(rare);
+                rare += 1;
+            } else {
+                syms.push(9000);
+            }
+        }
+        assert_eq!(rare, 8192);
+        let mut freq = vec![0u64; 9001];
+        for &s in &syms {
+            freq[s as usize] += 1;
+        }
+        let lens = code_lengths(&freq);
+        assert!(
+            lens.iter().any(|&l| l > 0 && (l as u32) <= LUT_BITS),
+            "want at least one LUT-resolvable code"
+        );
+        assert!(
+            lens.iter().any(|&l| (l as u32) > LUT_BITS),
+            "want at least one slow-path code"
+        );
+        let enc = encode(&syms, 9001).unwrap();
+        assert!(syms.len() >= LUT_MIN_SYMBOLS);
+        assert_eq!(decode(&enc).unwrap(), syms);
+        assert_eq!(decode_bit_at_a_time(&enc), syms);
     }
 
     #[test]

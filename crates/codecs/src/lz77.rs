@@ -54,7 +54,11 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         return out;
     }
 
-    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    // The 512 KiB hash table cycles through the worker's arena instead of
+    // being reallocated (and page-faulted) on every call.
+    let mut table = pressio_core::with_scratch(|s| std::mem::take(&mut s.usizes));
+    table.clear();
+    table.resize(1 << HASH_BITS, usize::MAX);
     let mut i = 0usize;
     let mut lit_start = 0usize;
 
@@ -119,6 +123,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     }
     // Trailing literals (possibly empty) terminate the stream.
     emit(&mut out, &data[lit_start..], 0, 0);
+    pressio_core::with_scratch(|s| s.usizes = table);
     out
 }
 

@@ -7,8 +7,65 @@
 //! partial element untouched.
 
 /// Byte-shuffle: gather byte `k` of every element together, for each `k`.
+///
+/// The 4- and 8-byte element sizes (f32/f64, the dominant scientific dtypes)
+/// take specialized bounds-check-free paths; all other sizes use the generic
+/// scalar loop, which doubles as the reference the specializations are tested
+/// against.
 pub fn shuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
     assert!(elem_size > 0, "element size must be positive");
+    match elem_size {
+        4 => shuffle_fixed::<4>(data),
+        8 => shuffle_fixed::<8>(data),
+        _ => shuffle_generic(data, elem_size),
+    }
+}
+
+/// Inverse of [`shuffle`].
+pub fn unshuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
+    assert!(elem_size > 0, "element size must be positive");
+    match elem_size {
+        4 => unshuffle_fixed::<4>(data),
+        8 => unshuffle_fixed::<8>(data),
+        _ => unshuffle_generic(data, elem_size),
+    }
+}
+
+/// [`shuffle`] for a compile-time element size: one output lane at a time,
+/// with `chunks_exact`/`zip` iteration so the inner loop carries no bounds
+/// checks and vectorizes as a strided byte gather.
+fn shuffle_fixed<const K: usize>(data: &[u8]) -> Vec<u8> {
+    let n_elems = data.len() / K;
+    let body = n_elems * K;
+    let mut out = vec![0u8; data.len()];
+    for k in 0..K {
+        let lane = &mut out[k * n_elems..(k + 1) * n_elems];
+        for (dst, elem) in lane.iter_mut().zip(data[..body].chunks_exact(K)) {
+            *dst = elem[k];
+        }
+    }
+    out[body..].copy_from_slice(&data[body..]);
+    out
+}
+
+/// [`unshuffle`] for a compile-time element size: the mirrored strided
+/// scatter, reading each lane contiguously.
+fn unshuffle_fixed<const K: usize>(data: &[u8]) -> Vec<u8> {
+    let n_elems = data.len() / K;
+    let body = n_elems * K;
+    let mut out = vec![0u8; data.len()];
+    for k in 0..K {
+        let lane = &data[k * n_elems..(k + 1) * n_elems];
+        for (elem, &src) in out[..body].chunks_exact_mut(K).zip(lane) {
+            elem[k] = src;
+        }
+    }
+    out[body..].copy_from_slice(&data[body..]);
+    out
+}
+
+/// Scalar reference transpose for arbitrary element sizes.
+fn shuffle_generic(data: &[u8], elem_size: usize) -> Vec<u8> {
     let n_elems = data.len() / elem_size;
     let body = n_elems * elem_size;
     let mut out = vec![0; data.len()];
@@ -21,9 +78,8 @@ pub fn shuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
     out
 }
 
-/// Inverse of [`shuffle`].
-pub fn unshuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
-    assert!(elem_size > 0, "element size must be positive");
+/// Scalar reference inverse transpose for arbitrary element sizes.
+fn unshuffle_generic(data: &[u8], elem_size: usize) -> Vec<u8> {
     let n_elems = data.len() / elem_size;
     let body = n_elems * elem_size;
     let mut out = vec![0u8; data.len()];
@@ -103,6 +159,27 @@ mod tests {
                 let data = sample(n);
                 let s = bitshuffle(&data, elem);
                 assert_eq!(bitunshuffle(&s, elem), data, "elem={elem} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_paths_match_generic_reference_bit_for_bit() {
+        // Tail lengths straddle element boundaries to cover the partial-
+        // element copy in both directions.
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 63, 64, 65, 1000, 1001, 4099] {
+            let data = sample(n);
+            for elem in [4usize, 8] {
+                let fast = shuffle(&data, elem);
+                let reference = shuffle_generic(&data, elem);
+                assert_eq!(fast, reference, "shuffle elem={elem} n={n}");
+                let back = unshuffle(&fast, elem);
+                assert_eq!(
+                    back,
+                    unshuffle_generic(&reference, elem),
+                    "unshuffle elem={elem} n={n}"
+                );
+                assert_eq!(back, data, "roundtrip elem={elem} n={n}");
             }
         }
     }

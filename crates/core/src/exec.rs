@@ -220,6 +220,54 @@ pub fn chunk_ranges(total: usize, pieces: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Minimum bytes of input one chunk must carry before splitting pays for
+/// itself: below this, queue/steal/stitch overhead eats the win. Measured
+/// offline with the bench harness (`pressio bench`) across the pooled
+/// plugins; deliberately a compile-time constant, *not* a host probe, so
+/// chunk geometry — and therefore every stream — stays machine-independent.
+pub const MIN_CHUNK_BYTES: usize = 256 * 1024;
+
+/// Inputs below this many bytes run serial regardless of the requested
+/// piece count. This is exactly `2 * MIN_CHUNK_BYTES`: any split of a
+/// smaller input would leave at least one chunk under the minimum, so the
+/// threshold emerges from the chunk floor rather than being a second knob.
+pub const SERIAL_FALLBACK_BYTES: usize = 2 * MIN_CHUNK_BYTES;
+
+/// Adaptive chunk planning: split `total_elems` items of `bytes_per_elem`
+/// bytes into at most `nthreads` contiguous ranges, but never more than the
+/// input can amortize — each chunk must carry at least [`MIN_CHUNK_BYTES`]
+/// of input, so small inputs (below [`SERIAL_FALLBACK_BYTES`]) collapse to
+/// a single range (serial execution, observable as the
+/// `exec:serial_fallback` trace counter).
+///
+/// The plan depends only on its arguments — requested piece count, element
+/// count, element width — never on the host, so two machines produce
+/// identical chunk geometry (and identical streams) for the same request.
+pub fn plan_chunks(total_elems: usize, bytes_per_elem: usize, nthreads: usize) -> Vec<Range<usize>> {
+    plan_chunks_min(total_elems, bytes_per_elem, nthreads, MIN_CHUNK_BYTES)
+}
+
+/// [`plan_chunks`] with an explicit per-chunk byte floor, for codecs whose
+/// parallel framing amortizes at a different grain (deflate's LZ windows
+/// pay off from 64 KiB chunks, where the transform codecs need 256 KiB).
+pub fn plan_chunks_min(
+    total_elems: usize,
+    bytes_per_elem: usize,
+    nthreads: usize,
+    min_chunk_bytes: usize,
+) -> Vec<Range<usize>> {
+    if total_elems == 0 {
+        return Vec::new();
+    }
+    let total_bytes = total_elems.saturating_mul(bytes_per_elem.max(1));
+    let max_pieces = (total_bytes / min_chunk_bytes.max(1)).max(1);
+    let pieces = nthreads.max(1).min(max_pieces);
+    if pieces <= 1 && nthreads > 1 {
+        crate::trace::count("exec:serial_fallback", 1);
+    }
+    chunk_ranges(total_elems, pieces)
+}
+
 /// Per-job completion state shared between the submitting thread and the
 /// queued tasks (via an erased pointer — see the SAFETY argument in
 /// [`par_map_indexed`]).
@@ -522,24 +570,61 @@ pub struct Scratch {
     pub i64s: Vec<i64>,
     /// Unsigned integer block staging (ZFP negabinary/bit planes).
     pub u64s: Vec<u64>,
+    /// Single-precision reconstruction staging (SZ f32 Lorenzo recon).
+    pub f32s: Vec<f32>,
     /// Floating-point block staging (gather/scatter buffers).
     pub f64s: Vec<f64>,
+    /// Index staging (LZ match-finder hash table).
+    pub usizes: Vec<usize>,
     /// Byte staging (bitstream assembly).
     pub bytes: Vec<u8>,
 }
 
 std::thread_local! {
     static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+    /// See [`allow_scratch_reentrancy`].
+    static SCRATCH_REENTRANCY_OK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 /// Run `f` with this thread's scratch arena. Reentrant calls (a scratch
 /// user calling another scratch user) get a fresh temporary arena instead
-/// of aliasing the outer borrow.
+/// of aliasing the outer borrow — but loudly: the miss is counted as
+/// `exec:scratch_miss` and, in debug builds, asserts with the caller's
+/// location, because a throwaway arena silently re-pays the allocations
+/// the arena exists to remove. Hot paths should `mem::take` the buffers
+/// they need out of the arena (and put them back) rather than nest.
+#[track_caller]
 pub fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    let caller = std::panic::Location::caller();
     SCRATCH.with(|cell| match cell.try_borrow_mut() {
         Ok(mut s) => f(&mut s),
-        Err(_) => f(&mut Scratch::default()),
+        Err(_) => {
+            crate::trace::count("exec:scratch_miss", 1);
+            debug_assert!(
+                SCRATCH_REENTRANCY_OK.with(std::cell::Cell::get),
+                "re-entrant with_scratch at {caller}: the per-worker arena is already \
+                 borrowed, so this call allocates a throwaway Scratch — mem::take the \
+                 buffers out of the outer borrow instead (or wrap a deliberate nesting \
+                 in exec::allow_scratch_reentrancy)",
+            );
+            f(&mut Scratch::default())
+        }
     })
+}
+
+/// Run `f` with nested [`with_scratch`] calls permitted on this thread:
+/// misses are still counted (`exec:scratch_miss`) but the debug assertion
+/// is suppressed. For the rare caller that *knowingly* trades a throwaway
+/// arena for simplicity (and for the tests that pin the fallback behavior).
+pub fn allow_scratch_reentrancy<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCRATCH_REENTRANCY_OK.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SCRATCH_REENTRANCY_OK.with(|c| c.replace(true)));
+    f()
 }
 
 impl Scratch {
@@ -563,6 +648,20 @@ impl Scratch {
         self.f64s.clear();
         self.f64s.resize(len, 0.0);
         &mut self.f64s[..]
+    }
+
+    /// Borrow the `u32` buffer as exactly `len` zeroed elements.
+    pub fn u32_slice(&mut self, len: usize) -> &mut [u32] {
+        self.u32s.clear();
+        self.u32s.resize(len, 0);
+        &mut self.u32s[..]
+    }
+
+    /// Borrow the index buffer as exactly `len` elements of `fill`.
+    pub fn usize_slice_filled(&mut self, len: usize, fill: usize) -> &mut [usize] {
+        self.usizes.clear();
+        self.usizes.resize(len, fill);
+        &mut self.usizes[..]
     }
 }
 
@@ -836,13 +935,62 @@ mod tests {
 
     #[test]
     fn scratch_reentrancy_gets_fresh_arena() {
-        with_scratch(|outer| {
-            outer.u32s.push(1);
-            with_scratch(|inner| {
-                assert!(inner.u32s.is_empty());
+        // Deliberate nesting must opt in; the fallback still hands out a
+        // fresh arena without corrupting the outer borrow.
+        allow_scratch_reentrancy(|| {
+            with_scratch(|outer| {
+                outer.u32s.push(1);
+                with_scratch(|inner| {
+                    assert!(inner.u32s.is_empty());
+                });
+                assert_eq!(outer.u32s.len(), 1);
             });
-            assert_eq!(outer.u32s.len(), 1);
         });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "re-entrant with_scratch")]
+    fn scratch_reentrancy_asserts_loudly_without_opt_in() {
+        with_scratch(|_outer| {
+            with_scratch(|_inner| {});
+        });
+    }
+
+    #[test]
+    fn plan_chunks_goes_serial_below_the_byte_threshold() {
+        // 32^3 f32 = 128 KiB < 512 KiB: serial regardless of nthreads.
+        for nt in [1usize, 2, 4, 7, 16] {
+            let plan = plan_chunks(32 * 32 * 32, 4, nt);
+            assert_eq!(plan.len(), 1, "nthreads={nt}");
+            assert_eq!(plan[0], 0..32 * 32 * 32);
+        }
+        // Just under and just over the fallback boundary (f64 elements).
+        let under = SERIAL_FALLBACK_BYTES / 8 - 1;
+        assert_eq!(plan_chunks(under, 8, 4).len(), 1);
+        let over = SERIAL_FALLBACK_BYTES / 8;
+        assert_eq!(plan_chunks(over, 8, 4).len(), 2);
+    }
+
+    #[test]
+    fn plan_chunks_caps_pieces_by_input_size() {
+        // 64^3 f32 = 1 MiB: at most 4 chunks of >= 256 KiB each.
+        assert_eq!(plan_chunks(64 * 64 * 64, 4, 16).len(), 4);
+        // 128^3 f32 = 8 MiB: the request, not the cap, binds at 4 threads.
+        assert_eq!(plan_chunks(128 * 128 * 128, 4, 4).len(), 4);
+        // The plan is the canonical split of the chosen piece count.
+        let plan = plan_chunks(128 * 128 * 128, 4, 4);
+        assert_eq!(plan, chunk_ranges(128 * 128 * 128, 4));
+        assert!(plan_chunks(0, 4, 4).is_empty());
+    }
+
+    #[test]
+    fn plan_chunks_min_overrides_the_floor() {
+        // 128 KiB of bytes: serial under the default floor, 2 pieces under
+        // deflate's 64 KiB floor.
+        let n = 128 * 1024;
+        assert_eq!(plan_chunks(n, 1, 4).len(), 1);
+        assert_eq!(plan_chunks_min(n, 1, 4, 64 * 1024).len(), 2);
     }
 
     #[test]

@@ -86,8 +86,9 @@ pub use data::Data;
 pub use dtype::{DType, Element, ALL_DTYPES};
 pub use error::{Error, ErrorCode, Result};
 pub use exec::{
-    available_threads, chunk_ranges, par_chunks, par_map_indexed, resolve_nthreads,
-    run_cancellable, run_deadlined, watchdog_stats, with_scratch, Scratch,
+    available_threads, chunk_ranges, par_chunks, par_map_indexed, plan_chunks, plan_chunks_min,
+    resolve_nthreads, run_cancellable, run_deadlined, watchdog_stats, with_scratch, Scratch,
+    MIN_CHUNK_BYTES, SERIAL_FALLBACK_BYTES,
 };
 pub use handle::CompressorHandle;
 pub use io::IoPlugin;

@@ -23,6 +23,10 @@ const CHUNK_MAGIC: u32 = 0x4348_4E4B;
 /// owns, staged behind an uncontended per-task mutex (see module docs).
 type DecompressTask<'a> = parking_lot::Mutex<(Box<dyn Compressor>, &'a mut [Data])>;
 
+/// One pool task's state: its child clone plus the pre-staged chunk dims,
+/// so the closure takes them instead of allocating (no-alloc-in-par-closure).
+type ChunkWorker = parking_lot::Mutex<(Box<dyn Compressor>, Vec<usize>)>;
+
 /// Splits the input into contiguous row blocks along the slowest dimension,
 /// compressing them in parallel when the child allows it.
 pub struct Chunking {
@@ -45,21 +49,23 @@ impl Chunking {
         self.child.thread_safety() == ThreadSafety::Multiple
     }
 
-    fn split(&self, dims: &[usize]) -> Vec<(usize, usize, Vec<usize>)> {
-        // (element start, element end, chunk dims)
+    fn split(&self, dims: &[usize], elem_bytes: usize) -> Vec<(usize, usize, Vec<usize>)> {
+        // (element start, element end, chunk dims). The adaptive plan caps
+        // the worker count by the data volume, so small buffers stay serial
+        // instead of paying per-chunk staging and stream framing.
         let slow = dims.first().copied().unwrap_or(1).max(1);
         let row: usize = dims.iter().skip(1).product::<usize>().max(1);
-        let workers = self.nthreads.max(1).min(slow);
-        let base = slow / workers;
-        let extra = slow % workers;
-        let mut out = Vec::with_capacity(workers);
-        let mut start_row = 0usize;
-        for w in 0..workers {
-            let rows = base + usize::from(w < extra);
+        let plan = pressio_core::plan_chunks(
+            slow,
+            row.saturating_mul(elem_bytes.max(1)),
+            self.nthreads.max(1),
+        );
+        let mut out = Vec::with_capacity(plan.len());
+        for rows_range in plan {
+            let rows = rows_range.len();
             let mut cdims = vec![rows];
             cdims.extend_from_slice(&dims[1.min(dims.len())..]);
-            out.push((start_row * row, (start_row + rows) * row, cdims));
-            start_row += rows;
+            out.push((rows_range.start * row, rows_range.end * row, cdims));
         }
         out
     }
@@ -130,22 +136,26 @@ impl Compressor for Chunking {
     }
 
     fn compress(&mut self, input: &Data) -> Result<Data> {
-        let chunks = self.split(input.dims());
         let elem = input.dtype().size();
+        let chunks = self.split(input.dims(), elem);
         let bytes = input.as_bytes();
         let dtype = input.dtype();
         let results: Vec<Data> = if self.parallel_allowed() && chunks.len() > 1 {
-            let workers: Vec<parking_lot::Mutex<Box<dyn Compressor>>> = chunks
+            let workers: Vec<ChunkWorker> = chunks
                 .iter()
-                .map(|_| parking_lot::Mutex::new(self.child.clone_compressor()))
+                .map(|(_, _, cdims)| {
+                    parking_lot::Mutex::new((self.child.clone_compressor(), cdims.clone()))
+                })
                 .collect();
             pressio_core::par_map_indexed(chunks.len(), |i| {
-                let (lo, hi, cdims) = &chunks[i];
-                let mut staged = Data::owned(dtype, cdims.clone());
+                let (lo, hi, _) = &chunks[i];
+                let mut guard = workers[i].lock();
+                let (worker, cdims) = &mut *guard;
+                let mut staged = Data::owned(dtype, std::mem::take(cdims));
                 staged
                     .as_bytes_mut()
                     .copy_from_slice(&bytes[lo * elem..hi * elem]);
-                workers[i].lock().compress(&staged)
+                worker.compress(&staged)
             })?
         } else {
             chunks
@@ -205,18 +215,20 @@ impl Compressor for Chunking {
         }
         let elem = dtype.size();
         let chunk_results: Vec<Data> = if self.parallel_allowed() && n_chunks > 1 {
-            let workers: Vec<parking_lot::Mutex<Box<dyn Compressor>>> = sections
-                .iter()
-                .map(|_| parking_lot::Mutex::new(self.child.clone_compressor()))
+            // As in compress: chunk dims ride in the task's mutex.
+            let workers: Vec<ChunkWorker> = (0..n_chunks)
+                .map(|wi| {
+                    let rows = base + usize::from(wi < extra);
+                    let mut cdims = vec![rows];
+                    cdims.extend_from_slice(&dims[1.min(dims.len())..]);
+                    parking_lot::Mutex::new((self.child.clone_compressor(), cdims))
+                })
                 .collect();
             pressio_core::par_map_indexed(sections.len(), |wi| {
-                let rows = base + usize::from(wi < extra);
-                let mut cdims = vec![rows];
-                cdims.extend_from_slice(&dims[1.min(dims.len())..]);
-                let mut staged = Data::owned(dtype, cdims);
-                workers[wi]
-                    .lock()
-                    .decompress(&Data::from_bytes(sections[wi]), &mut staged)?;
+                let mut guard = workers[wi].lock();
+                let (worker, cdims) = &mut *guard;
+                let mut staged = Data::owned(dtype, std::mem::take(cdims));
+                worker.decompress(&Data::from_bytes(sections[wi]), &mut staged)?;
                 Ok(staged)
             })?
         } else {
@@ -352,8 +364,21 @@ impl Compressor for ManyIndependent {
     }
 
     fn compress_many(&mut self, inputs: &[&Data]) -> Result<Vec<Data>> {
-        if self.child.thread_safety() != ThreadSafety::Multiple || inputs.len() <= 1 {
-            // Serialized/Single children must not run concurrently.
+        // Group count follows the adaptive plan over the average buffer
+        // size: a handful of tiny buffers stays serial, large batches split
+        // into at most `nthreads` groups. A Serialized/Single child must not
+        // run concurrently at all.
+        let groups = if self.child.thread_safety() == ThreadSafety::Multiple {
+            let total: usize = inputs.iter().map(|d| d.as_bytes().len()).sum();
+            pressio_core::plan_chunks(
+                inputs.len(),
+                total / inputs.len().max(1),
+                self.nthreads.max(1),
+            )
+        } else {
+            Vec::new()
+        };
+        if groups.len() <= 1 {
             return inputs
                 .iter()
                 .map(|d| {
@@ -365,7 +390,6 @@ impl Compressor for ManyIndependent {
         // One task (and one child clone) per worker group: at most `nthreads`
         // children run concurrently, matching the option's contract, while
         // the shared engine's work stealing balances the groups.
-        let groups = pressio_core::chunk_ranges(inputs.len(), self.nthreads.max(1));
         let workers: Vec<parking_lot::Mutex<Box<dyn Compressor>>> = groups
             .iter()
             .map(|_| parking_lot::Mutex::new(self.child.clone_compressor()))
@@ -389,7 +413,19 @@ impl Compressor for ManyIndependent {
         if compressed.len() != outputs.len() {
             return Err(Error::invalid_argument("length mismatch").in_plugin("many_independent"));
         }
-        if self.child.thread_safety() != ThreadSafety::Multiple || compressed.len() <= 1 {
+        // Same adaptive grouping as compress_many, planned over the average
+        // compressed buffer size.
+        let groups = if self.child.thread_safety() == ThreadSafety::Multiple {
+            let total: usize = compressed.iter().map(|d| d.as_bytes().len()).sum();
+            pressio_core::plan_chunks(
+                compressed.len(),
+                total / compressed.len().max(1),
+                self.nthreads.max(1),
+            )
+        } else {
+            Vec::new()
+        };
+        if groups.len() <= 1 {
             for (c, o) in compressed.iter().zip(outputs.iter_mut()) {
                 pressio_core::cancel::checkpoint()?;
                 self.child.decompress(c, o)?;
@@ -398,7 +434,6 @@ impl Compressor for ManyIndependent {
         }
         // Split the outputs into per-group disjoint slices so each task owns
         // its outputs outright — no claim protocol needed.
-        let groups = pressio_core::chunk_ranges(compressed.len(), self.nthreads.max(1));
         let mut slices: Vec<&mut [Data]> = Vec::with_capacity(groups.len());
         let mut rest = outputs;
         for g in &groups {

@@ -52,6 +52,11 @@ pub trait SzFloat: Element {
     fn to_f64x(self) -> f64;
     /// Truncating conversion back to storage precision.
     fn from_f64x(v: f64) -> Self;
+    /// Borrow this type's reconstruction-shadow buffer from the worker's
+    /// scratch arena (pair with [`SzFloat::put_scratch`]).
+    fn take_scratch(s: &mut pressio_core::Scratch) -> Vec<Self>;
+    /// Hand back the buffer taken by [`SzFloat::take_scratch`].
+    fn put_scratch(s: &mut pressio_core::Scratch, buf: Vec<Self>);
 }
 
 impl SzFloat for f32 {
@@ -63,6 +68,12 @@ impl SzFloat for f32 {
     fn from_f64x(v: f64) -> Self {
         v as f32
     }
+    fn take_scratch(s: &mut pressio_core::Scratch) -> Vec<f32> {
+        std::mem::take(&mut s.f32s)
+    }
+    fn put_scratch(s: &mut pressio_core::Scratch, buf: Vec<f32>) {
+        s.f32s = buf;
+    }
 }
 
 impl SzFloat for f64 {
@@ -73,6 +84,12 @@ impl SzFloat for f64 {
     #[inline]
     fn from_f64x(v: f64) -> Self {
         v
+    }
+    fn take_scratch(s: &mut pressio_core::Scratch) -> Vec<f64> {
+        std::mem::take(&mut s.f64s)
+    }
+    fn put_scratch(s: &mut pressio_core::Scratch, buf: Vec<f64>) {
+        s.f64s = buf;
     }
 }
 
@@ -98,6 +115,68 @@ struct Quantized<T> {
     unpredictable: Vec<T>,
 }
 
+/// One linear-scaling quantization step: records either a code or a verbatim
+/// fallback and returns the value the decompressor will reconstruct.
+#[inline(always)]
+fn quantize_step<T: SzFloat>(
+    val: T,
+    pred: f64,
+    eb: f64,
+    two_eb: f64,
+    radius: i64,
+    codes: &mut Vec<u32>,
+    unpredictable: &mut Vec<T>,
+) -> T {
+    let v = val.to_f64x();
+    let diff = v - pred;
+    let q = (diff / two_eb).round();
+    if q.is_finite() && q.abs() < (radius - 1) as f64 {
+        let qi = q as i64;
+        let dec = T::from_f64x(pred + qi as f64 * two_eb);
+        if (dec.to_f64x() - v).abs() <= eb {
+            codes.push((radius + qi) as u32);
+            return dec;
+        }
+    }
+    codes.push(0);
+    unpredictable.push(val);
+    val
+}
+
+/// Quantize one row with the two-tap-plus-corner recurrence
+/// `pred = west + other[x] - other[x-1]` (at `x == 0` just `other[0]`).
+/// This is both the 2-d Lorenzo row (`other` = the row to the north) and the
+/// `y == 0` row of a later plane (`other` = the same row one plane below):
+/// the zero-padded stencil collapses to the identical formula in both cases.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn quantize_row_2d<T: SzFloat>(
+    vals: &[T],
+    other: &[T],
+    out: &mut [T],
+    eb: f64,
+    two_eb: f64,
+    radius: i64,
+    codes: &mut Vec<u32>,
+    unpredictable: &mut Vec<T>,
+) {
+    let Some((&val0, vals_rest)) = vals.split_first() else {
+        return;
+    };
+    let mut o_prev = other[0].to_f64x();
+    let dec = quantize_step(val0, o_prev, eb, two_eb, radius, codes, unpredictable);
+    out[0] = dec;
+    let mut w = dec.to_f64x();
+    for ((dst, &val), &o) in out[1..].iter_mut().zip(vals_rest).zip(&other[1..]) {
+        let ov = o.to_f64x();
+        let pred = w + ov - o_prev;
+        let dec = quantize_step(val, pred, eb, two_eb, radius, codes, unpredictable);
+        *dst = dec;
+        o_prev = ov;
+        w = dec.to_f64x();
+    }
+}
+
 fn predict_quantize<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Result<Quantized<T>> {
     let (nz, ny, nx) = effective_dims(dims);
     let n = data.len();
@@ -108,10 +187,17 @@ fn predict_quantize<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Res
     // The stage's dominant buffers: codes (u32 per element) and the
     // reconstruction shadow (one T per element).
     pressio_core::cancel::charge((n * (4 + std::mem::size_of::<T>())) as u64)?;
-    let mut codes = Vec::with_capacity(n);
+    // Both cycle through the worker's arena: `compress_body` hands the codes
+    // back after entropy coding; the shadow goes back right below. An early
+    // cancellation drops them, which only costs the capacity.
+    let mut codes = pressio_core::with_scratch(|s| std::mem::take(&mut s.u32s));
+    codes.clear();
+    codes.reserve(n);
     let mut unpredictable = Vec::new();
     // Reconstructed values drive prediction: decompressor state == here.
-    let mut recon = vec![T::from_f64x(0.0); n];
+    let mut recon = pressio_core::with_scratch(T::take_scratch);
+    recon.clear();
+    recon.resize(n, T::from_f64x(0.0));
     let mut cp = pressio_core::cancel::Checkpointer::new(1);
 
     let plane = ny * nx;
@@ -121,44 +207,138 @@ fn predict_quantize<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Res
             // predictor mid-field instead of finishing the whole pass.
             cp.tick()?;
             let row = z * plane + y * nx;
-            for x in 0..nx {
-                let i = row + x;
-                // 3-d Lorenzo with zero padding outside the array.
-                let r = |dz: usize, dy: usize, dx: usize| -> f64 {
-                    if (dz > z) || (dy > y) || (dx > x) {
-                        0.0
-                    } else {
-                        recon[i - dz * plane - dy * nx - dx].to_f64x()
-                    }
-                };
-                let pred = r(0, 0, 1) + r(0, 1, 0) + r(1, 0, 0) - r(0, 1, 1) - r(1, 0, 1)
-                    - r(1, 1, 0)
-                    + r(1, 1, 1);
-                let val = data[i].to_f64x();
-                let diff = val - pred;
-                let q = (diff / two_eb).round();
-                let mut stored = false;
-                if q.is_finite() && q.abs() < (radius - 1) as f64 {
-                    let qi = q as i64;
-                    let dec = T::from_f64x(pred + qi as f64 * two_eb);
-                    if (dec.to_f64x() - val).abs() <= eb {
-                        codes.push((radius + qi) as u32);
-                        recon[i] = dec;
-                        stored = true;
+            let (done, rest) = recon.split_at_mut(row);
+            let cur = &mut rest[..nx];
+            let vals = &data[row..row + nx];
+            // Each (z, y) region fixes which Lorenzo taps are zero-padded,
+            // so every row runs a straight-line specialized loop instead of
+            // testing boundaries tap-by-tap per element. Term order matches
+            // the reference stencil exactly (dropped taps are exact zeros),
+            // so the streams are bit-identical — see the equivalence tests.
+            match (z > 0, y > 0) {
+                (false, false) => {
+                    // Very first row: 1-d Lorenzo, pred = west neighbor.
+                    let mut w = 0.0f64;
+                    for (dst, &val) in cur.iter_mut().zip(vals) {
+                        let dec =
+                            quantize_step(val, w, eb, two_eb, radius, &mut codes, &mut unpredictable);
+                        *dst = dec;
+                        w = dec.to_f64x();
                     }
                 }
-                if !stored {
-                    codes.push(0);
-                    unpredictable.push(data[i]);
-                    recon[i] = data[i];
+                (false, true) => {
+                    let north = &done[row - nx..];
+                    quantize_row_2d(
+                        vals, north, cur, eb, two_eb, radius, &mut codes, &mut unpredictable,
+                    );
+                }
+                (true, false) => {
+                    let below = &done[row - plane..row - plane + nx];
+                    quantize_row_2d(
+                        vals, below, cur, eb, two_eb, radius, &mut codes, &mut unpredictable,
+                    );
+                }
+                (true, true) => {
+                    // Interior rows: the full 7-tap stencil. Neighbor rows
+                    // are contiguous slices; the x-1 taps are loop carries.
+                    let north = &done[row - nx..];
+                    let below = &done[row - plane..row - plane + nx];
+                    let below_north = &done[row - plane - nx..row - plane];
+                    let Some((&val0, vals_rest)) = vals.split_first() else {
+                        continue;
+                    };
+                    let mut nw = north[0].to_f64x();
+                    let mut dw = below[0].to_f64x();
+                    let mut dnw = below_north[0].to_f64x();
+                    let pred0 = nw + dw - dnw;
+                    let dec =
+                        quantize_step(val0, pred0, eb, two_eb, radius, &mut codes, &mut unpredictable);
+                    cur[0] = dec;
+                    let mut w = dec.to_f64x();
+                    for (((dst, &val), (&nb, &db)), &dnb) in cur[1..]
+                        .iter_mut()
+                        .zip(vals_rest)
+                        .zip(north[1..].iter().zip(&below[1..]))
+                        .zip(&below_north[1..])
+                    {
+                        let nv = nb.to_f64x();
+                        let dv = db.to_f64x();
+                        let dnv = dnb.to_f64x();
+                        let pred = w + nv + dv - nw - dw - dnv + dnw;
+                        let dec = quantize_step(
+                            val, pred, eb, two_eb, radius, &mut codes, &mut unpredictable,
+                        );
+                        *dst = dec;
+                        nw = nv;
+                        dw = dv;
+                        dnw = dnv;
+                        w = dec.to_f64x();
+                    }
                 }
             }
         }
     }
+    pressio_core::with_scratch(|s| {
+        recon.clear();
+        T::put_scratch(s, recon);
+    });
     Ok(Quantized {
         codes,
         unpredictable,
     })
+}
+
+/// Mirror of [`quantize_step`]: resolve one code (or consume one verbatim
+/// value) against the prediction.
+#[inline(always)]
+fn reconstruct_step<T: SzFloat>(
+    code: u32,
+    pred: f64,
+    two_eb: f64,
+    radius: i64,
+    unpredictable: &[T],
+    next_unpred: &mut usize,
+) -> Result<T> {
+    if code == 0 {
+        let v = *unpredictable
+            .get(*next_unpred)
+            .ok_or_else(|| Error::corrupt("sz stream exhausted unpredictable values"))?;
+        *next_unpred += 1;
+        Ok(v)
+    } else {
+        let qi = code as i64 - radius;
+        Ok(T::from_f64x(pred + qi as f64 * two_eb))
+    }
+}
+
+/// Mirror of [`quantize_row_2d`] on the decode side.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn reconstruct_row_2d<T: SzFloat>(
+    codes: &[u32],
+    other: &[T],
+    out: &mut [T],
+    two_eb: f64,
+    radius: i64,
+    unpredictable: &[T],
+    next_unpred: &mut usize,
+) -> Result<()> {
+    let Some((&c0, codes_rest)) = codes.split_first() else {
+        return Ok(());
+    };
+    let mut o_prev = other[0].to_f64x();
+    let dec = reconstruct_step(c0, o_prev, two_eb, radius, unpredictable, next_unpred)?;
+    out[0] = dec;
+    let mut w = dec.to_f64x();
+    for ((dst, &c), &o) in out[1..].iter_mut().zip(codes_rest).zip(&other[1..]) {
+        let ov = o.to_f64x();
+        let pred = w + ov - o_prev;
+        let dec = reconstruct_step(c, pred, two_eb, radius, unpredictable, next_unpred)?;
+        *dst = dec;
+        o_prev = ov;
+        w = dec.to_f64x();
+    }
+    Ok(())
 }
 
 fn predict_reconstruct<T: SzFloat>(
@@ -179,6 +359,8 @@ fn predict_reconstruct<T: SzFloat>(
     let two_eb = 2.0 * p.abs_eb;
     let radius = p.radius as i64;
     pressio_core::cancel::charge((n * std::mem::size_of::<T>()) as u64)?;
+    // The reconstruction is the caller's output, so it cannot come from the
+    // arena; it is allocated exactly once.
     let mut recon = vec![T::from_f64x(0.0); n];
     let mut next_unpred = 0usize;
     let mut cp = pressio_core::cancel::Checkpointer::new(1);
@@ -187,28 +369,85 @@ fn predict_reconstruct<T: SzFloat>(
         for y in 0..ny {
             cp.tick()?;
             let row = z * plane + y * nx;
-            for x in 0..nx {
-                let i = row + x;
-                let code = codes[i];
-                if code == 0 {
-                    let v = unpredictable.get(next_unpred).ok_or_else(|| {
-                        Error::corrupt("sz stream exhausted unpredictable values")
-                    })?;
-                    recon[i] = *v;
-                    next_unpred += 1;
-                } else {
-                    let r = |dz: usize, dy: usize, dx: usize| -> f64 {
-                        if (dz > z) || (dy > y) || (dx > x) {
-                            0.0
-                        } else {
-                            recon[i - dz * plane - dy * nx - dx].to_f64x()
-                        }
+            let (done, rest) = recon.split_at_mut(row);
+            let cur = &mut rest[..nx];
+            let row_codes = &codes[row..row + nx];
+            // Region specialization mirrors `predict_quantize` exactly; the
+            // same carries, slices, and term order keep reconstruction
+            // bit-identical to the reference stencil.
+            match (z > 0, y > 0) {
+                (false, false) => {
+                    let mut w = 0.0f64;
+                    for (dst, &c) in cur.iter_mut().zip(row_codes) {
+                        let dec =
+                            reconstruct_step(c, w, two_eb, radius, unpredictable, &mut next_unpred)?;
+                        *dst = dec;
+                        w = dec.to_f64x();
+                    }
+                }
+                (false, true) => {
+                    let north = &done[row - nx..];
+                    reconstruct_row_2d(
+                        row_codes,
+                        north,
+                        cur,
+                        two_eb,
+                        radius,
+                        unpredictable,
+                        &mut next_unpred,
+                    )?;
+                }
+                (true, false) => {
+                    let below = &done[row - plane..row - plane + nx];
+                    reconstruct_row_2d(
+                        row_codes,
+                        below,
+                        cur,
+                        two_eb,
+                        radius,
+                        unpredictable,
+                        &mut next_unpred,
+                    )?;
+                }
+                (true, true) => {
+                    let north = &done[row - nx..];
+                    let below = &done[row - plane..row - plane + nx];
+                    let below_north = &done[row - plane - nx..row - plane];
+                    let Some((&c0, codes_rest)) = row_codes.split_first() else {
+                        continue;
                     };
-                    let pred = r(0, 0, 1) + r(0, 1, 0) + r(1, 0, 0) - r(0, 1, 1) - r(1, 0, 1)
-                        - r(1, 1, 0)
-                        + r(1, 1, 1);
-                    let qi = code as i64 - radius;
-                    recon[i] = T::from_f64x(pred + qi as f64 * two_eb);
+                    let mut nw = north[0].to_f64x();
+                    let mut dw = below[0].to_f64x();
+                    let mut dnw = below_north[0].to_f64x();
+                    let pred0 = nw + dw - dnw;
+                    let dec =
+                        reconstruct_step(c0, pred0, two_eb, radius, unpredictable, &mut next_unpred)?;
+                    cur[0] = dec;
+                    let mut w = dec.to_f64x();
+                    for (((dst, &c), (&nb, &db)), &dnb) in cur[1..]
+                        .iter_mut()
+                        .zip(codes_rest)
+                        .zip(north[1..].iter().zip(&below[1..]))
+                        .zip(&below_north[1..])
+                    {
+                        let nv = nb.to_f64x();
+                        let dv = db.to_f64x();
+                        let dnv = dnb.to_f64x();
+                        let pred = w + nv + dv - nw - dw - dnv + dnw;
+                        let dec = reconstruct_step(
+                            c,
+                            pred,
+                            two_eb,
+                            radius,
+                            unpredictable,
+                            &mut next_unpred,
+                        )?;
+                        *dst = dec;
+                        nw = nv;
+                        dw = dv;
+                        dnw = dnv;
+                        w = dec.to_f64x();
+                    }
                 }
             }
         }
@@ -237,7 +476,10 @@ pub fn compress_body<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Re
             p.radius
         )));
     }
-    let q = {
+    let Quantized {
+        mut codes,
+        unpredictable,
+    } = {
         let _s = pressio_core::trace::span("sz:predict_quantize");
         predict_quantize(data, dims, p)?
     };
@@ -245,10 +487,16 @@ pub fn compress_body<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Re
     pressio_core::cancel::checkpoint()?;
     let huff_raw = {
         let _s = pressio_core::trace::span("sz:huffman_encode");
-        huffman::encode(&q.codes, 2 * p.radius)?
+        huffman::encode(&codes, 2 * p.radius)?
     };
+    // Codes are coded: hand the buffer back before the deflate stage, whose
+    // byte-Huffman staging wants the same arena slot.
+    pressio_core::with_scratch(|s| {
+        codes.clear();
+        s.u32s = codes;
+    });
     pressio_core::cancel::checkpoint()?;
-    let unpred_bytes = elements_as_bytes(&q.unpredictable);
+    let unpred_bytes = elements_as_bytes(&unpredictable);
     // Best-compression mode (sz_mode = 1) applies the lossless backend over
     // both sections, like SZ's gzip/zstd stage; best-speed mode skips it.
     let (huff, unpred_payload) = if p.lossless_unpredictable {
@@ -265,7 +513,7 @@ pub fn compress_body<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Re
     w.put_f64(p.abs_eb);
     w.put_u32(p.radius);
     w.put_u8(p.lossless_unpredictable as u8);
-    w.put_u64(q.unpredictable.len() as u64);
+    w.put_u64(unpredictable.len() as u64);
     w.put_section(&huff);
     w.put_section(&unpred_payload);
     Ok(w.into_vec())
@@ -317,8 +565,17 @@ pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>
         radius,
         lossless_unpredictable: lossless,
     };
-    let _s = pressio_core::trace::span("sz:reconstruct");
-    predict_reconstruct(&codes, &unpredictable, dims, &p)
+    let out = {
+        let _s = pressio_core::trace::span("sz:reconstruct");
+        predict_reconstruct(&codes, &unpredictable, dims, &p)
+    };
+    // Recycle the decoded code buffer for the next body on this worker.
+    pressio_core::with_scratch(|s| {
+        let mut codes = codes;
+        codes.clear();
+        s.u32s = codes;
+    });
+    out
 }
 
 /// Compression/decompression roundtrip measurement used in tests and tuning:
@@ -333,6 +590,115 @@ fn roundtrip_stats<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> (usi
         .map(|(a, b)| (a.to_f64x() - b.to_f64x()).abs())
         .fold(0.0f64, f64::max);
     (body.len(), max_err)
+}
+
+/// The original closure-based Lorenzo kernels, retained verbatim as the
+/// reference the specialized row loops are proven bit-identical against.
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    pub(super) fn predict_quantize<T: SzFloat>(
+        data: &[T],
+        dims: &[usize],
+        p: &SzParams,
+    ) -> Result<Quantized<T>> {
+        let (nz, ny, nx) = effective_dims(dims);
+        let n = data.len();
+        let eb = p.abs_eb;
+        let two_eb = 2.0 * eb;
+        let radius = p.radius as i64;
+        let mut codes = Vec::with_capacity(n);
+        let mut unpredictable = Vec::new();
+        let mut recon = vec![T::from_f64x(0.0); n];
+        let plane = ny * nx;
+        for z in 0..nz {
+            for y in 0..ny {
+                let row = z * plane + y * nx;
+                for x in 0..nx {
+                    let i = row + x;
+                    let r = |dz: usize, dy: usize, dx: usize| -> f64 {
+                        if (dz > z) || (dy > y) || (dx > x) {
+                            0.0
+                        } else {
+                            recon[i - dz * plane - dy * nx - dx].to_f64x()
+                        }
+                    };
+                    let pred = r(0, 0, 1) + r(0, 1, 0) + r(1, 0, 0) - r(0, 1, 1) - r(1, 0, 1)
+                        - r(1, 1, 0)
+                        + r(1, 1, 1);
+                    let val = data[i].to_f64x();
+                    let diff = val - pred;
+                    let q = (diff / two_eb).round();
+                    let mut stored = false;
+                    if q.is_finite() && q.abs() < (radius - 1) as f64 {
+                        let qi = q as i64;
+                        let dec = T::from_f64x(pred + qi as f64 * two_eb);
+                        if (dec.to_f64x() - val).abs() <= eb {
+                            codes.push((radius + qi) as u32);
+                            recon[i] = dec;
+                            stored = true;
+                        }
+                    }
+                    if !stored {
+                        codes.push(0);
+                        unpredictable.push(data[i]);
+                        recon[i] = data[i];
+                    }
+                }
+            }
+        }
+        Ok(Quantized {
+            codes,
+            unpredictable,
+        })
+    }
+
+    pub(super) fn predict_reconstruct<T: SzFloat>(
+        codes: &[u32],
+        unpredictable: &[T],
+        dims: &[usize],
+        p: &SzParams,
+    ) -> Result<Vec<T>> {
+        let (nz, ny, nx) = effective_dims(dims);
+        let n = nz * ny * nx;
+        assert_eq!(codes.len(), n);
+        let two_eb = 2.0 * p.abs_eb;
+        let radius = p.radius as i64;
+        let mut recon = vec![T::from_f64x(0.0); n];
+        let mut next_unpred = 0usize;
+        let plane = ny * nx;
+        for z in 0..nz {
+            for y in 0..ny {
+                let row = z * plane + y * nx;
+                for x in 0..nx {
+                    let i = row + x;
+                    let code = codes[i];
+                    if code == 0 {
+                        recon[i] = unpredictable[next_unpred];
+                        next_unpred += 1;
+                    } else {
+                        let r = |dz: usize, dy: usize, dx: usize| -> f64 {
+                            if (dz > z) || (dy > y) || (dx > x) {
+                                0.0
+                            } else {
+                                recon[i - dz * plane - dy * nx - dx].to_f64x()
+                            }
+                        };
+                        let pred = r(0, 0, 1) + r(0, 1, 0) + r(1, 0, 0)
+                            - r(0, 1, 1)
+                            - r(1, 0, 1)
+                            - r(1, 1, 0)
+                            + r(1, 1, 1);
+                        let qi = code as i64 - radius;
+                        recon[i] = T::from_f64x(pred + qi as f64 * two_eb);
+                    }
+                }
+            }
+        }
+        assert_eq!(next_unpred, unpredictable.len());
+        Ok(recon)
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +719,79 @@ mod tests {
             }
         }
         v
+    }
+
+    /// A field that exercises every quantizer path: smooth regions (coded),
+    /// spikes (verbatim), and non-finite values (always verbatim).
+    fn adversarial_field(n: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.07).sin() * 3.0 + (i as f64 * 0.011).cos())
+            .collect();
+        for i in (0..n).step_by(97) {
+            v[i] *= 1e12;
+        }
+        if n > 50 {
+            v[13] = f64::NAN;
+            v[29] = f64::INFINITY;
+            v[47] = -0.0;
+        }
+        v
+    }
+
+    #[test]
+    fn specialized_kernels_match_reference_bit_for_bit_f64() {
+        for dims in [
+            vec![720],
+            vec![24, 30],
+            vec![10, 9, 8],
+            vec![3, 4, 5, 6],
+            vec![1, 17, 1, 13],
+            vec![2, 1, 300],
+        ] {
+            let n: usize = dims.iter().product();
+            let data = adversarial_field(n);
+            let p = SzParams {
+                abs_eb: 1e-3,
+                radius: 512,
+                ..Default::default()
+            };
+            let a = predict_quantize(&data, &dims, &p).unwrap();
+            let b = reference::predict_quantize(&data, &dims, &p).unwrap();
+            assert_eq!(a.codes, b.codes, "codes diverge for dims {dims:?}");
+            assert_eq!(
+                elements_as_bytes(&a.unpredictable),
+                elements_as_bytes(&b.unpredictable),
+                "verbatim section diverges for dims {dims:?}"
+            );
+            let ra = predict_reconstruct(&a.codes, &a.unpredictable, &dims, &p).unwrap();
+            let rb = reference::predict_reconstruct(&b.codes, &b.unpredictable, &dims, &p).unwrap();
+            assert_eq!(
+                elements_as_bytes(&ra),
+                elements_as_bytes(&rb),
+                "reconstruction diverges for dims {dims:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn specialized_kernels_match_reference_bit_for_bit_f32() {
+        let dims = vec![7, 11, 13];
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = adversarial_field(n).iter().map(|&v| v as f32).collect();
+        let p = SzParams {
+            abs_eb: 1e-2,
+            ..Default::default()
+        };
+        let a = predict_quantize(&data, &dims, &p).unwrap();
+        let b = reference::predict_quantize(&data, &dims, &p).unwrap();
+        assert_eq!(a.codes, b.codes);
+        assert_eq!(
+            elements_as_bytes(&a.unpredictable),
+            elements_as_bytes(&b.unpredictable)
+        );
+        let ra = predict_reconstruct(&a.codes, &a.unpredictable, &dims, &p).unwrap();
+        let rb = reference::predict_reconstruct(&b.codes, &b.unpredictable, &dims, &p).unwrap();
+        assert_eq!(elements_as_bytes(&ra), elements_as_bytes(&rb));
     }
 
     #[test]

@@ -151,16 +151,23 @@ impl Sz {
         Ok(eb)
     }
 
-    fn chunk_ranges(&self, dims: &[usize]) -> Vec<(usize, usize)> {
+    fn chunk_ranges(&self, dims: &[usize], elem_bytes: usize) -> Vec<(usize, usize)> {
         // Split whole rows of the slowest dimension across workers, using
-        // the engine's canonical split so chunk geometry depends only on
-        // `nthreads` (stream layout is machine-independent).
+        // the engine's adaptive plan: the piece count depends only on
+        // `nthreads` and the input's size/dtype (stream layout stays
+        // machine-independent), and small inputs collapse to one chunk so
+        // the parallel variant never pays stitch overhead it cannot win
+        // back (`exec:serial_fallback`).
         let slow = dims.first().copied().unwrap_or(1).max(1);
         let row: usize = dims.iter().skip(1).product::<usize>().max(1);
-        pressio_core::chunk_ranges(slow, self.nthreads.max(1) as usize)
-            .into_iter()
-            .map(|r| (r.start * row, r.end * row))
-            .collect()
+        pressio_core::plan_chunks(
+            slow,
+            row.saturating_mul(elem_bytes),
+            self.nthreads.max(1) as usize,
+        )
+        .into_iter()
+        .map(|r| (r.start * row, r.end * row))
+        .collect()
     }
 
     fn compress_typed<T: SzFloat>(
@@ -173,15 +180,24 @@ impl Sz {
         if self.variant != SzVariant::ChunkParallel {
             return Ok(vec![compress_body(values, dims, &p)?]);
         }
-        let ranges = self.chunk_ranges(dims);
+        let ranges = self.chunk_ranges(dims, std::mem::size_of::<T>());
         let row: usize = dims.iter().skip(1).product::<usize>().max(1);
+        // Per-chunk dims are precomputed: the pool closure itself stays
+        // allocation-free (no-alloc-in-par-closure).
+        let tail = &dims[1.min(dims.len())..];
+        let cdims: Vec<Vec<usize>> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut d = Vec::with_capacity(1 + tail.len());
+                d.push((hi - lo) / row);
+                d.extend_from_slice(tail);
+                d
+            })
+            .collect();
         pressio_core::par_map_indexed(ranges.len(), |w| {
             let _s = pressio_core::trace::span_labeled("sz:compress_chunk", || format!("chunk {w}"));
             let (lo, hi) = ranges[w];
-            let rows = (hi - lo) / row;
-            let mut cdims = vec![rows];
-            cdims.extend_from_slice(&dims[1.min(dims.len())..]);
-            compress_body(&values[lo..hi], &cdims, &p)
+            compress_body(&values[lo..hi], &cdims[w], &p)
         })
     }
 
@@ -193,17 +209,24 @@ impl Sz {
         if bodies.len() == 1 {
             return decompress_body(bodies[0], dims);
         }
-        // Chunked stream: reconstruct per-chunk dims from row counts.
+        // Chunked stream: reconstruct per-chunk dims from row counts —
+        // precomputed so the pool closure performs no allocation.
         let slow = dims.first().copied().unwrap_or(1);
         let workers = bodies.len();
         let base = slow / workers;
         let extra = slow % workers;
+        let tail = &dims[1.min(dims.len())..];
+        let cdims: Vec<Vec<usize>> = (0..workers)
+            .map(|w| {
+                let mut d = Vec::with_capacity(1 + tail.len());
+                d.push(base + usize::from(w < extra));
+                d.extend_from_slice(tail);
+                d
+            })
+            .collect();
         let chunks = pressio_core::par_map_indexed(workers, |w| {
             let _s = pressio_core::trace::span_labeled("sz:decompress_chunk", || format!("chunk {w}"));
-            let rows = base + usize::from(w < extra);
-            let mut cdims = vec![rows];
-            cdims.extend_from_slice(&dims[1.min(dims.len())..]);
-            decompress_body::<T>(bodies[w], &cdims)
+            decompress_body::<T>(bodies[w], &cdims[w])
         })?;
         // Don't pre-reserve `slow * row` here: those factors are wire-derived
         // and any chunk error above must surface before a large reservation.

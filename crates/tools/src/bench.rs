@@ -8,15 +8,22 @@
 //! paper's Figure 3 overhead experiment, emitting machine-readable JSON
 //! (`BENCH_overhead.json`) instead of a figure.
 //!
-//! A second section compares the serial and pooled variants of the
-//! engine-backed plugins (`zfp` vs `zfp_omp`, `sz` vs `sz_omp`) on the same
-//! field and reports the measured speedup. The numbers are honest wall-clock
-//! measurements: on a single-core host the pooled variants pay the chunking
-//! cost without any parallel win, so no gate asserts `speedup > 1`.
+//! A second section sweeps the serial and pooled variants of the
+//! engine-backed plugins (`zfp` vs `zfp_omp`, `sz` vs `sz_omp`) across a
+//! range of cube edges and reports the measured speedup per size. The
+//! numbers are honest wall-clock measurements: the requested thread count is
+//! clamped to [`libpressio::core::available_threads`] (both the request and
+//! the clamped value are recorded), and each row records whether the
+//! adaptive chunk plan ([`libpressio::core::plan_chunks`]) fell back to
+//! serial execution for that size. On a small host the pooled variants pay
+//! the chunking cost without much parallel win, so no gate asserts
+//! `speedup > 1` — instead [`gate`] re-measures and fails on a *regression*
+//! against the committed numbers.
 //!
 //! The emitted document is validated against a small structural schema
-//! (`pressio-bench/overhead-v1`) by [`validate_json`], which `pressio bench
-//! --check` (and ci.sh) run against the file on disk.
+//! (`pressio-bench/overhead-v2`) by [`validate_json`], which `pressio bench
+//! --check` (and ci.sh) run against the file on disk; `pressio bench --gate`
+//! runs the no-regression check.
 
 use std::time::Instant;
 
@@ -25,16 +32,27 @@ use libpressio::prelude::*;
 use libpressio::{Error, Result};
 
 /// Schema identifier stamped into (and required from) every report.
-pub const SCHEMA: &str = "pressio-bench/overhead-v1";
+pub const SCHEMA: &str = "pressio-bench/overhead-v2";
+
+/// Largest cube edge the sweep accepts (512^3 f32 = 512 MiB).
+pub const MAX_EDGE: usize = 512;
+
+/// Fraction a fresh speedup may fall below the committed one before the
+/// regression gate fails — the measurement-noise allowance.
+pub const GATE_TOLERANCE: f64 = 0.10;
 
 /// Harness configuration.
 pub struct BenchConfig {
     /// Use a small field and few repeats (the CI setting).
     pub quick: bool,
-    /// Cube edge of the 3-d f32 field; 0 picks a default from `quick`.
+    /// Cube edge of the 3-d f32 field for the overhead section; 0 picks a
+    /// default from `quick`.
     pub n: usize,
     /// Timed repetitions per measurement; 0 picks a default from `quick`.
     pub repeats: usize,
+    /// Cube edges for the serial-vs-pooled size sweep; empty picks a
+    /// default from `quick`.
+    pub sizes: Vec<usize>,
 }
 
 impl BenchConfig {
@@ -55,6 +73,18 @@ impl BenchConfig {
             3
         } else {
             5
+        }
+    }
+
+    fn sweep_sizes(&self) -> Vec<usize> {
+        if !self.sizes.is_empty() {
+            self.sizes.clone()
+        } else if self.quick {
+            vec![8, 12]
+        } else {
+            // Straddles the serial-fallback boundary: 32^3 stays serial,
+            // 64^3 and 128^3 split.
+            vec![32, 64, 128]
         }
     }
 }
@@ -80,21 +110,26 @@ impl OverheadEntry {
     }
 }
 
-/// One serial-vs-pooled measurement.
-pub struct ParallelEntry {
+/// One serial-vs-pooled measurement at one sweep size.
+pub struct SweepEntry {
     /// Pooled plugin name (`zfp_omp`, `sz_omp`).
     pub plugin: String,
     /// Serial baseline plugin name (`zfp`, `sz`).
     pub baseline: String,
-    /// Thread count requested from the pooled variant.
+    /// Cube edge of the 3-d f32 field this row was measured on.
+    pub edge: usize,
+    /// Thread count handed to the pooled variant (the host-clamped value).
     pub nthreads: u32,
     /// Median serial wall-clock, nanoseconds.
     pub serial_ns: u128,
     /// Median pooled wall-clock, nanoseconds.
     pub parallel_ns: u128,
+    /// Whether the adaptive chunk plan kept this size serial (the pooled
+    /// variant never engaged the pool).
+    pub serial_fallback: bool,
 }
 
-impl ParallelEntry {
+impl SweepEntry {
     /// Measured speedup (serial / pooled); < 1 means the pooled variant lost.
     pub fn speedup(&self) -> f64 {
         if self.parallel_ns == 0 {
@@ -107,16 +142,44 @@ impl ParallelEntry {
 
 /// Complete harness output.
 pub struct BenchReport {
-    /// Field shape used (C-order dims of the 3-d f32 cube).
+    /// Field shape used for the overhead section (C-order dims of the 3-d
+    /// f32 cube).
     pub dims: Vec<usize>,
     /// Timed repetitions per measurement (median reported).
     pub repeats: usize,
     /// Threads the execution engine would use on this host.
     pub host_threads: usize,
+    /// Thread count the harness asks the pooled variants for.
+    pub nthreads_requested: u32,
+    /// The request clamped to `host_threads` — what the sweep actually uses,
+    /// so the committed numbers never come from an oversubscribed run.
+    pub nthreads_effective: u32,
     /// Native-vs-interface rows.
     pub overhead: Vec<OverheadEntry>,
-    /// Serial-vs-pooled rows.
-    pub parallel: Vec<ParallelEntry>,
+    /// Serial-vs-pooled rows, one per (plugin, edge).
+    pub sweep: Vec<SweepEntry>,
+}
+
+/// Clamp the requested pooled-variant thread count to what the host can
+/// actually run concurrently. Chunk geometry (and therefore the stream)
+/// follows the request a plugin *receives*, so the harness clamps what it
+/// requests rather than letting the pool oversubscribe a small machine.
+pub fn clamp_nthreads(requested: u32) -> u32 {
+    (requested as usize)
+        .min(libpressio::core::available_threads())
+        .max(1) as u32
+}
+
+/// Whether the adaptive chunk plan keeps an `edge`^3 f32 field serial for
+/// `plugin` at `nthreads`. Mirrors the plugins' own planning calls exactly:
+/// `zfp_omp` promotes to f64 before chunking (8 bytes/element), `sz_omp`
+/// chunks the raw f32 field (4 bytes/element); both feed
+/// [`libpressio::core::plan_chunks`], which is deterministic in its
+/// arguments, so the committed flag is recomputable by the validator.
+pub fn sweep_serial_fallback(plugin: &str, edge: usize, nthreads: u32) -> bool {
+    let elem_bytes = if plugin == "zfp_omp" { 8 } else { 4 };
+    let elems = edge * edge * edge;
+    libpressio::core::plan_chunks(elems, elem_bytes, nthreads.max(1) as usize).len() <= 1
 }
 
 fn median_ns(mut samples: Vec<u128>) -> u128 {
@@ -227,9 +290,36 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport> {
         });
     }
 
-    // Serial vs pooled variants on the shared execution engine.
-    let nthreads = 4u32;
-    let mut parallel = Vec::new();
+    // Serial vs pooled variants on the shared execution engine, swept
+    // across field sizes with the thread request clamped to the host.
+    let nthreads_requested = 4u32;
+    let nthreads_effective = clamp_nthreads(nthreads_requested);
+    let mut sweep = Vec::new();
+    for edge in cfg.sweep_sizes() {
+        sweep.extend(measure_sweep_edge(edge, reps, nthreads_effective)?);
+    }
+
+    Ok(BenchReport {
+        dims: vec![n, n, n],
+        repeats: reps,
+        host_threads: libpressio::core::available_threads(),
+        nthreads_requested,
+        nthreads_effective,
+        overhead,
+        sweep,
+    })
+}
+
+/// Measure the serial-vs-pooled pairs on one `edge`^3 f32 field.
+fn measure_sweep_edge(edge: usize, reps: usize, nthreads: u32) -> Result<Vec<SweepEntry>> {
+    if edge == 0 || edge > MAX_EDGE {
+        return Err(Error::invalid_argument(format!(
+            "sweep edge {edge} out of range [1, {MAX_EDGE}]"
+        )));
+    }
+    let input = libpressio::datagen::nyx_density(edge, 13);
+    let bound = Options::new().with(OPT_REL, 1e-3f64);
+    let mut rows = Vec::new();
     for (pooled, baseline) in [("zfp_omp", "zfp"), ("sz_omp", "sz")] {
         let mut serial = handle_with(baseline, &bound)?;
         let mut opts = bound.clone();
@@ -237,22 +327,17 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport> {
         let mut pooled_h = handle_with(pooled, &opts)?;
         let serial_ns = time_median(reps, || serial.compress(&input).map(|_| ()))?;
         let parallel_ns = time_median(reps, || pooled_h.compress(&input).map(|_| ()))?;
-        parallel.push(ParallelEntry {
+        rows.push(SweepEntry {
             plugin: pooled.into(),
             baseline: baseline.into(),
+            edge,
             nthreads,
             serial_ns,
             parallel_ns,
+            serial_fallback: sweep_serial_fallback(pooled, edge, nthreads),
         });
     }
-
-    Ok(BenchReport {
-        dims: vec![n, n, n],
-        repeats: reps,
-        host_threads: libpressio::core::available_threads(),
-        overhead,
-        parallel,
-    })
+    Ok(rows)
 }
 
 fn json_string(s: &str) -> String {
@@ -272,7 +357,7 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Serialize a report to the `pressio-bench/overhead-v1` JSON document.
+/// Serialize a report to the `pressio-bench/overhead-v2` JSON document.
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -284,6 +369,14 @@ pub fn to_json(report: &BenchReport) -> String {
     ));
     s.push_str(&format!("  \"repeats\": {},\n", report.repeats));
     s.push_str(&format!("  \"host_threads\": {},\n", report.host_threads));
+    s.push_str(&format!(
+        "  \"nthreads_requested\": {},\n",
+        report.nthreads_requested
+    ));
+    s.push_str(&format!(
+        "  \"nthreads_effective\": {},\n",
+        report.nthreads_effective
+    ));
     s.push_str("  \"overhead\": [\n");
     for (i, e) in report.overhead.iter().enumerate() {
         s.push_str(&format!(
@@ -296,17 +389,19 @@ pub fn to_json(report: &BenchReport) -> String {
         ));
     }
     s.push_str("  ],\n");
-    s.push_str("  \"parallel\": [\n");
-    for (i, e) in report.parallel.iter().enumerate() {
+    s.push_str("  \"sweep\": [\n");
+    for (i, e) in report.sweep.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"plugin\": {}, \"baseline\": {}, \"nthreads\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            "    {{\"plugin\": {}, \"baseline\": {}, \"edge\": {}, \"nthreads\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}, \"serial_fallback\": {}}}{}\n",
             json_string(&e.plugin),
             json_string(&e.baseline),
+            e.edge,
             e.nthreads,
             e.serial_ns,
             e.parallel_ns,
             e.speedup(),
-            if i + 1 < report.parallel.len() { "," } else { "" }
+            e.serial_fallback,
+            if i + 1 < report.sweep.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -317,8 +412,12 @@ pub fn to_json(report: &BenchReport) -> String {
 pub fn render_table(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "field: nyx f32 {:?}, {} repeat(s), {} host thread(s)\n",
-        report.dims, report.repeats, report.host_threads
+        "field: nyx f32 {:?}, {} repeat(s), {} host thread(s), nthreads {} -> {}\n",
+        report.dims,
+        report.repeats,
+        report.host_threads,
+        report.nthreads_requested,
+        report.nthreads_effective
     ));
     s.push_str(&format!(
         "{:<10} {:>14} {:>14} {:>10}\n",
@@ -334,17 +433,19 @@ pub fn render_table(report: &BenchReport) -> String {
         ));
     }
     s.push_str(&format!(
-        "{:<10} {:>3} {:>14} {:>14} {:>8}\n",
-        "pooled", "nt", "serial_ns", "parallel_ns", "speedup"
+        "{:<10} {:>5} {:>3} {:>14} {:>14} {:>8} {:>8}\n",
+        "pooled", "edge", "nt", "serial_ns", "parallel_ns", "speedup", "plan"
     ));
-    for e in &report.parallel {
+    for e in &report.sweep {
         s.push_str(&format!(
-            "{:<10} {:>3} {:>14} {:>14} {:>7.3}x\n",
+            "{:<10} {:>5} {:>3} {:>14} {:>14} {:>7.3}x {:>8}\n",
             e.plugin,
+            e.edge,
             e.nthreads,
             e.serial_ns,
             e.parallel_ns,
-            e.speedup()
+            e.speedup(),
+            if e.serial_fallback { "serial" } else { "split" }
         ));
     }
     s
@@ -397,6 +498,13 @@ impl Json {
     fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -599,7 +707,7 @@ fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str> {
 }
 
 /// Validate a `BENCH_overhead.json` document against the
-/// `pressio-bench/overhead-v1` structural schema.
+/// `pressio-bench/overhead-v2` structural schema.
 pub fn validate_json(text: &str) -> Result<()> {
     let doc = parse_json(text)?;
     let schema = require_str(&doc, "schema", "report")?;
@@ -621,7 +729,24 @@ pub fn validate_json(text: &str) -> Result<()> {
     if require_num(&doc, "repeats", "report")? < 1.0 {
         return Err(Error::corrupt("report: repeats must be >= 1"));
     }
-    require_num(&doc, "host_threads", "report")?;
+    let host_threads = require_num(&doc, "host_threads", "report")?;
+    if host_threads < 1.0 {
+        return Err(Error::corrupt("report: host_threads must be >= 1"));
+    }
+    let requested = require_num(&doc, "nthreads_requested", "report")?;
+    if requested < 1.0 {
+        return Err(Error::corrupt("report: nthreads_requested must be >= 1"));
+    }
+    let effective = require_num(&doc, "nthreads_effective", "report")?;
+    // The clamp rule is part of the schema: a committed report whose sweep
+    // oversubscribed the host (effective > host_threads) is rejected, as is
+    // one that silently measured at some third thread count.
+    if effective != requested.min(host_threads) {
+        return Err(Error::corrupt(format!(
+            "report: nthreads_effective {effective} must be min(nthreads_requested \
+             {requested}, host_threads {host_threads})"
+        )));
+    }
     let overhead = doc
         .get("overhead")
         .and_then(Json::as_arr)
@@ -652,16 +777,28 @@ pub fn validate_json(text: &str) -> Result<()> {
             )));
         }
     }
-    let parallel = doc
-        .get("parallel")
+    let sweep = doc
+        .get("sweep")
         .and_then(Json::as_arr)
-        .ok_or_else(|| Error::corrupt("report: missing \"parallel\" array"))?;
-    for e in parallel {
-        let name = require_str(e, "plugin", "parallel entry")?;
-        let ctx = format!("parallel[{name}]");
+        .ok_or_else(|| Error::corrupt("report: missing \"sweep\" array"))?;
+    if sweep.is_empty() {
+        return Err(Error::corrupt("report: sweep array is empty"));
+    }
+    for e in sweep {
+        let name = require_str(e, "plugin", "sweep entry")?;
+        let edge = require_num(e, "edge", &format!("sweep[{name}]"))?;
+        let ctx = format!("sweep[{name}@{edge}]");
+        if edge < 1.0 || edge > MAX_EDGE as f64 || edge.fract() != 0.0 {
+            return Err(Error::corrupt(format!(
+                "{ctx}: edge must be an integer in [1, {MAX_EDGE}]"
+            )));
+        }
         require_str(e, "baseline", &ctx)?;
-        if require_num(e, "nthreads", &ctx)? < 1.0 {
-            return Err(Error::corrupt(format!("{ctx}: nthreads must be >= 1")));
+        let nthreads = require_num(e, "nthreads", &ctx)?;
+        if nthreads != effective {
+            return Err(Error::corrupt(format!(
+                "{ctx}: nthreads {nthreads} != report nthreads_effective {effective}"
+            )));
         }
         let serial = require_num(e, "serial_ns", &ctx)?;
         let par = require_num(e, "parallel_ns", &ctx)?;
@@ -681,8 +818,98 @@ pub fn validate_json(text: &str) -> Result<()> {
                  (derived {derived_speedup:.4})"
             )));
         }
+        // The fallback flag is derived from the deterministic chunk plan,
+        // so a committed report claiming a parallel win on a size the plan
+        // keeps serial (or vice versa) is caught here.
+        let stored_fallback = e
+            .get("serial_fallback")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| Error::corrupt(format!("{ctx}: missing bool \"serial_fallback\"")))?;
+        let derived_fallback = sweep_serial_fallback(name, edge as usize, nthreads as u32);
+        if stored_fallback != derived_fallback {
+            return Err(Error::corrupt(format!(
+                "{ctx}: serial_fallback {stored_fallback} is inconsistent with the chunk plan \
+                 (derived {derived_fallback})"
+            )));
+        }
     }
     Ok(())
+}
+
+/// Whether a freshly measured speedup regresses past [`GATE_TOLERANCE`]
+/// below the committed one.
+pub fn speedup_regressed(committed: f64, fresh: f64) -> bool {
+    fresh < committed * (1.0 - GATE_TOLERANCE)
+}
+
+/// The no-regression gate: re-measure the largest committed sweep size
+/// (capped at 128^3 so the gate stays CI-sized) and fail if any plugin's
+/// fresh speedup falls more than [`GATE_TOLERANCE`] below the committed
+/// number. Rows measured on a host with a different thread budget are
+/// skipped (reported, not failed): wall-clock ratios only transfer between
+/// matching `host_threads`.
+pub fn gate(committed: &str, repeats: usize) -> Result<String> {
+    validate_json(committed)?;
+    let doc = parse_json(committed)?;
+    let committed_host = require_num(&doc, "host_threads", "report")? as usize;
+    let host = libpressio::core::available_threads();
+    if committed_host != host {
+        return Ok(format!(
+            "bench gate: skipped — committed host_threads {committed_host} != this host's {host}; \
+             speedups are not comparable (re-run `pressio bench` here to re-baseline)"
+        ));
+    }
+    let effective = require_num(&doc, "nthreads_effective", "report")? as u32;
+    let sweep = doc.get("sweep").and_then(Json::as_arr).unwrap_or(&[]);
+    let gate_edge = sweep
+        .iter()
+        .filter_map(|e| e.get("edge").and_then(Json::as_num))
+        .map(|e| e as usize)
+        .filter(|&e| e <= 128)
+        .max();
+    let Some(gate_edge) = gate_edge else {
+        return Ok("bench gate: skipped — no committed sweep rows at edge <= 128".to_string());
+    };
+    let reps = if repeats > 0 { repeats } else { 3 };
+    let fresh = measure_sweep_edge(gate_edge, reps, effective)?;
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for e in sweep {
+        let plugin = require_str(e, "plugin", "sweep entry")?;
+        let edge = require_num(e, "edge", "sweep entry")? as usize;
+        if edge != gate_edge {
+            continue;
+        }
+        let committed_speedup = require_num(e, "speedup", "sweep entry")?;
+        let Some(f) = fresh.iter().find(|f| f.plugin == plugin) else {
+            failures.push(format!("{plugin}@{edge}: no fresh measurement"));
+            continue;
+        };
+        let fresh_speedup = f.speedup();
+        let line = format!(
+            "{plugin}@{edge}: committed {committed_speedup:.3}x, fresh {fresh_speedup:.3}x"
+        );
+        if speedup_regressed(committed_speedup, fresh_speedup) {
+            failures.push(format!(
+                "{line} — regression beyond {:.0}% tolerance",
+                GATE_TOLERANCE * 100.0
+            ));
+        } else {
+            lines.push(format!("{line} — ok"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "bench gate: {} row(s) at {gate_edge}^3 within tolerance\n{}",
+            lines.len(),
+            lines.join("\n")
+        ))
+    } else {
+        Err(Error::invalid_argument(format!(
+            "bench gate: speedup regression at {gate_edge}^3:\n{}",
+            failures.join("\n")
+        )))
+    }
 }
 
 #[cfg(test)]
@@ -694,17 +921,22 @@ mod tests {
             dims: vec![8, 8, 8],
             repeats: 3,
             host_threads: 2,
+            nthreads_requested: 4,
+            nthreads_effective: 2,
             overhead: vec![OverheadEntry {
                 plugin: "zfp".into(),
                 native_ns: 1000,
                 interface_ns: 1100,
             }],
-            parallel: vec![ParallelEntry {
+            sweep: vec![SweepEntry {
                 plugin: "zfp_omp".into(),
                 baseline: "zfp".into(),
-                nthreads: 4,
+                edge: 12,
+                nthreads: 2,
                 serial_ns: 2000,
                 parallel_ns: 1900,
+                // 12^3 f64 is far below the chunk-plan byte floor.
+                serial_fallback: true,
             }],
         }
     }
@@ -727,7 +959,7 @@ mod tests {
 
     #[test]
     fn validator_rejects_wrong_schema() {
-        let json = to_json(&sample_report()).replace("overhead-v1", "overhead-v9");
+        let json = to_json(&sample_report()).replace("overhead-v2", "overhead-v9");
         assert!(validate_json(&json).is_err());
     }
 
@@ -765,16 +997,114 @@ mod tests {
                 native_ns: 2997,
                 interface_ns: 3001,
             }],
-            parallel: vec![ParallelEntry {
+            sweep: vec![SweepEntry {
                 plugin: "y".into(),
                 baseline: "x".into(),
-                nthreads: 3,
+                edge: 12,
+                nthreads: 2,
                 serial_ns: 9999,
                 parallel_ns: 3334,
+                serial_fallback: true,
             }],
             ..sample_report()
         };
         validate_json(&to_json(&r)).expect("rounded derived fields are consistent");
+    }
+
+    #[test]
+    fn validator_rejects_oversubscribed_effective_threads() {
+        // nthreads_effective must be the clamp of the request to the host:
+        // the committed v1 file's `host_threads: 2` + `nthreads: 4` shape
+        // is exactly what this rejects.
+        let json = to_json(&sample_report())
+            .replace("\"nthreads_effective\": 2", "\"nthreads_effective\": 4")
+            .replace("\"nthreads\": 2", "\"nthreads\": 4");
+        let err = validate_json(&json).expect_err("oversubscription must fail");
+        assert!(err.to_string().contains("nthreads_effective"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_serial_fallback() {
+        // A 12^3 field sits under the chunk-plan byte floor, so claiming
+        // the pool engaged there contradicts the deterministic plan.
+        let json = to_json(&sample_report())
+            .replace("\"serial_fallback\": true", "\"serial_fallback\": false");
+        let err = validate_json(&json).expect_err("fallback mismatch must fail");
+        assert!(err.to_string().contains("serial_fallback"), "{err}");
+    }
+
+    #[test]
+    fn fallback_prediction_matches_plan_geometry() {
+        // zfp_omp plans over promoted f64 values, sz_omp over raw f32: at
+        // 41^3 (f64: ~538 KiB, f32: ~269 KiB) they straddle the threshold.
+        assert!(!sweep_serial_fallback("zfp_omp", 41, 4));
+        assert!(sweep_serial_fallback("sz_omp", 41, 4));
+        // One piece requested can never split.
+        assert!(sweep_serial_fallback("zfp_omp", 128, 1));
+        // Both split comfortably at 128^3.
+        assert!(!sweep_serial_fallback("zfp_omp", 128, 4));
+        assert!(!sweep_serial_fallback("sz_omp", 128, 4));
+    }
+
+    #[test]
+    fn speedup_regression_tolerance() {
+        assert!(!speedup_regressed(1.0, 1.0));
+        assert!(!speedup_regressed(1.0, 0.95));
+        assert!(!speedup_regressed(1.0, 0.901));
+        assert!(speedup_regressed(1.0, 0.89));
+        assert!(speedup_regressed(2.0, 1.7));
+    }
+
+    fn gate_report(serial_ns: u128, parallel_ns: u128) -> BenchReport {
+        let host = libpressio::core::available_threads();
+        let effective = clamp_nthreads(4);
+        let sweep = ["zfp_omp", "sz_omp"]
+            .into_iter()
+            .map(|plugin| SweepEntry {
+                plugin: plugin.into(),
+                baseline: plugin.trim_end_matches("_omp").into(),
+                edge: 8,
+                nthreads: effective,
+                serial_ns,
+                parallel_ns,
+                serial_fallback: sweep_serial_fallback(plugin, 8, effective),
+            })
+            .collect();
+        BenchReport {
+            host_threads: host,
+            nthreads_requested: 4,
+            nthreads_effective: effective,
+            sweep,
+            ..sample_report()
+        }
+    }
+
+    #[test]
+    fn gate_passes_when_committed_speedup_is_beatable() {
+        // Committed speedup of 0.001x: any real measurement clears it.
+        let json = to_json(&gate_report(1, 1000));
+        let msg = gate(&json, 1).expect("gate passes");
+        assert!(msg.contains("within tolerance"), "{msg}");
+    }
+
+    #[test]
+    fn gate_fails_on_regression() {
+        // Committed speedup of 1000x: no honest re-measurement reaches it.
+        let json = to_json(&gate_report(1_000_000, 1000));
+        let err = gate(&json, 1).expect_err("gate must fail");
+        assert!(err.to_string().contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn gate_skips_foreign_host_baselines() {
+        // A committed file from a bigger machine: rows are not comparable,
+        // so the gate reports a skip instead of failing or lying.
+        let mut r = gate_report(1, 1000);
+        r.host_threads += 1;
+        // Keep the clamp rule satisfied on the synthetic foreign host.
+        r.nthreads_requested = r.nthreads_effective;
+        let msg = gate(&to_json(&r), 1).expect("skip, not fail");
+        assert!(msg.contains("skipped"), "{msg}");
     }
 
     #[test]
@@ -801,11 +1131,33 @@ mod tests {
             quick: true,
             n: 8,
             repeats: 1,
+            sizes: vec![8],
         };
         let report = run(&cfg).expect("bench run");
         assert_eq!(report.overhead.len(), 5);
-        assert_eq!(report.parallel.len(), 2);
+        assert_eq!(report.sweep.len(), 2, "2 plugin pairs x 1 size");
+        // The oversubscription fix: the sweep never requests more threads
+        // than the host provides, and the clamp is recorded.
+        assert_eq!(report.nthreads_requested, 4);
+        assert_eq!(report.nthreads_effective, clamp_nthreads(4));
+        assert!((report.nthreads_effective as usize) <= report.host_threads);
+        for row in &report.sweep {
+            assert_eq!(row.nthreads, report.nthreads_effective);
+            assert_eq!(row.edge, 8);
+            assert!(row.serial_fallback, "8^3 sits under the plan floor");
+        }
         validate_json(&to_json(&report)).expect("schema-valid");
         assert!(!render_table(&report).is_empty());
+    }
+
+    #[test]
+    fn run_rejects_out_of_range_sweep_sizes() {
+        let cfg = BenchConfig {
+            quick: true,
+            n: 8,
+            repeats: 1,
+            sizes: vec![MAX_EDGE + 1],
+        };
+        assert!(run(&cfg).is_err());
     }
 }

@@ -240,6 +240,14 @@ fn decode_case(name: &str, stack: Option<&Options>, mutated: Vec<u8>, timeout_ms
         Err(_) => return CaseOutcome::Panicked,
     };
     let outcome = run_with_deadline(timeout_ms, "fuzz-decode", move || {
+        // Arm a memory budget on the worker's ambient token: a damaged
+        // header may declare any geometry up to the wire-level decode cap
+        // (1 TiB), and decoders charge large allocations cooperatively —
+        // the budget turns an absurd claim into a clean error instead of
+        // an OOM abort. 256 MiB dwarfs any honest decode of the 16^3 seed.
+        if let Some(token) = libpressio::core::cancel::current() {
+            token.set_memory_budget(256 << 20);
+        }
         let mut handle = handle;
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             let mut out = Data::owned(DType::F32, vec![16usize, 16, 16]);

@@ -1,4 +1,5 @@
-//! Lock discipline (`lock-order`, `no-lock-in-par-closure`).
+//! Lock discipline (`lock-order`, `no-lock-in-par-closure`) and hot-loop
+//! allocation hygiene (`no-alloc-in-par-closure`).
 //!
 //! PR 3's store-lock cascade — `sz` global-store serialization composing
 //! with the shared pool into timeouts — is a protocol bug: locks are fine,
@@ -35,6 +36,17 @@
 //! itself is exempt (the pool's own bookkeeping must lock); per-task
 //! mutexes that are provably uncontended (one task = one mutex) may be
 //! waived in `lint-allow.txt` with that argument spelled out.
+//!
+//! **No allocations in parallel closures** (`no-alloc-in-par-closure`).
+//! The per-worker [`Scratch`] arena exists so the hot kernels stop paying
+//! the allocator on every chunk; a `Vec::new()` / `vec![..]` /
+//! `with_capacity(..)` inside a `par_map_indexed` / `par_chunks` closure
+//! reintroduces exactly the per-chunk malloc traffic the arena removed
+//! (and, under glibc, contends on the arena lock across workers). Route
+//! the buffer through `with_scratch` or hoist it out of the closure.
+//! `exec.rs` is exempt (the pool's own plumbing allocates task vectors);
+//! other sites need a `lint-allow.txt` waiver spelling out why the
+//! allocation cannot be hoisted.
 
 use super::tokens::{functions, Kind, Node};
 
@@ -230,6 +242,92 @@ fn flag_locks_in(args: &[Node], entry: &str, findings: &mut Vec<LockFinding>) {
     }
 }
 
+/// An allocation inside a parallel closure (`no-alloc-in-par-closure`).
+#[derive(Debug)]
+pub struct AllocFinding {
+    pub line_idx: usize,
+    pub msg: String,
+}
+
+/// Scan a parsed file for allocations inside `par_map_indexed` /
+/// `par_chunks` closures. `is_test_line` masks `#[cfg(test)]` regions.
+pub fn scan_allocs(nodes: &[Node], is_test_line: &dyn Fn(usize) -> bool) -> Vec<AllocFinding> {
+    let mut findings = Vec::new();
+    for f in functions(nodes) {
+        if f.line == 0 || is_test_line(f.line - 1) {
+            continue;
+        }
+        check_par_allocs(f.body, &mut findings);
+    }
+    findings
+}
+
+fn check_par_allocs(body: &[Node], findings: &mut Vec<AllocFinding>) {
+    let mut i = 0;
+    while i < body.len() {
+        if let Some(t) = body[i].tok() {
+            if t.kind == Kind::Ident && PAR_ENTRY.contains(&t.text.as_str()) {
+                if let Some(args) = body.get(i + 1).and_then(|n| n.group('(')) {
+                    flag_allocs_in(args, &t.text, findings);
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        if let Node::Group { children, .. } = &body[i] {
+            check_par_allocs(children, findings);
+        }
+        i += 1;
+    }
+}
+
+/// Flag the allocation heads inside a parallel-entry argument list:
+/// `vec![..]`, `..::with_capacity(..)`, and `Vec::new()` (looking back a
+/// few tokens for the `Vec` path segment so a plugin's own `Self::new()`
+/// constructors stay clean).
+fn flag_allocs_in(args: &[Node], entry: &str, findings: &mut Vec<AllocFinding>) {
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(t) = args[i].tok() {
+            if t.kind == Kind::Ident {
+                let next_is_call = args
+                    .get(i + 1)
+                    .map(|n| n.group('(').is_some())
+                    .unwrap_or(false);
+                let hit = match t.text.as_str() {
+                    // vec![..] — the macro bang follows the ident.
+                    "vec" => args.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false),
+                    "with_capacity" => next_is_call,
+                    "new" => {
+                        next_is_call
+                            && args[..i]
+                                .iter()
+                                .rev()
+                                .take(3)
+                                .any(|n| n.is_ident("Vec") || n.is_ident("String"))
+                    }
+                    _ => false,
+                };
+                if hit {
+                    findings.push(AllocFinding {
+                        line_idx: t.line.saturating_sub(1),
+                        msg: format!(
+                            "`{}` allocates inside a `{entry}` closure — per-chunk malloc \
+                             traffic the per-worker Scratch arena exists to remove; route \
+                             the buffer through `with_scratch` or hoist it out",
+                            t.text,
+                        ),
+                    });
+                }
+            }
+        }
+        if let Node::Group { children, .. } = &args[i] {
+            flag_allocs_in(children, entry, findings);
+        }
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::tokens::parse_source;
@@ -237,6 +335,10 @@ mod tests {
 
     fn run(src: &str) -> Vec<LockFinding> {
         scan(&parse_source(src), &|_| false)
+    }
+
+    fn run_allocs(src: &str) -> Vec<AllocFinding> {
+        scan_allocs(&parse_source(src), &|_| false)
     }
 
     #[test]
@@ -320,5 +422,79 @@ mod tests {
         let src = "fn go(shared: &Shared) {\nlet _q = lock_ignore_poison(&x);\nlet _g = lock_store();\n}\n";
         assert_eq!(run(src).len(), 1);
         assert!(scan(&parse_source(src), &|_| true).is_empty());
+    }
+
+    #[test]
+    fn vec_macro_inside_par_closure_flagged() {
+        let f = run_allocs(
+            "fn go(n: usize) {\n\
+             let out = par_map_indexed(n, |i| {\n\
+                 let mut buf = vec![0u8; 64];\n\
+                 encode(i, &mut buf)\n\
+             });\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("par_map_indexed"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn with_capacity_and_vec_new_inside_par_chunks_flagged() {
+        let f = run_allocs(
+            "fn go(data: &[u8]) {\n\
+             par_chunks(data, 4, |c| {\n\
+                 let mut staging = Vec::with_capacity(c.len());\n\
+                 let mut lits: Vec<u8> = Vec::new();\n\
+                 encode(c, &mut staging, &mut lits)\n\
+             });\n}\n",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].msg.contains("with_capacity"), "{}", f[0].msg);
+        assert!(f[1].msg.contains("new"), "{}", f[1].msg);
+    }
+
+    #[test]
+    fn plain_new_constructors_inside_par_closure_clean() {
+        // Self::new() / Encoder::new() are constructors, not Vec allocs.
+        let f = run_allocs(
+            "fn go(n: usize) {\n\
+             let out = par_map_indexed(n, |i| {\n\
+                 let enc = Encoder::new(i);\n\
+                 enc.run()\n\
+             });\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allocs_outside_par_closure_clean() {
+        let f = run_allocs(
+            "fn go(data: &[u8]) {\n\
+             let mut out = Vec::with_capacity(data.len());\n\
+             let seed = vec![0u8; 8];\n\
+             par_chunks(data, 4, |c| encode(c));\n\
+             out.extend_from_slice(&seed);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn scratch_routed_buffers_inside_par_closure_clean() {
+        let f = run_allocs(
+            "fn go(n: usize) {\n\
+             let out = par_map_indexed(n, |i| {\n\
+                 with_scratch(|s| {\n\
+                     let buf = s.u8_slice(64);\n\
+                     encode(i, buf)\n\
+                 })\n\
+             });\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn alloc_scan_masks_test_modules() {
+        let src = "fn go(n: usize) {\npar_map_indexed(n, |i| vec![i]);\n}\n";
+        assert_eq!(run_allocs(src).len(), 1);
+        assert!(scan_allocs(&parse_source(src), &|_| true).is_empty());
     }
 }

@@ -88,6 +88,8 @@ pub const RULE_PLUGIN_SURFACE_KEYS: &str = "plugin-surface-keys";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 /// Rule id: no lock acquisition inside shared-pool closures.
 pub const RULE_NO_LOCK_IN_PAR_CLOSURE: &str = "no-lock-in-par-closure";
+/// Rule id: no heap allocation inside shared-pool closures.
+pub const RULE_NO_ALLOC_IN_PAR_CLOSURE: &str = "no-alloc-in-par-closure";
 
 /// All rule ids, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -104,6 +106,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_PLUGIN_SURFACE_KEYS,
     RULE_LOCK_ORDER,
     RULE_NO_LOCK_IN_PAR_CLOSURE,
+    RULE_NO_ALLOC_IN_PAR_CLOSURE,
 ];
 
 /// Long-form rationale for `--explain`.
@@ -235,6 +238,19 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              task. crates/core/src/exec.rs (the pool's own bookkeeping) is exempt. \
              Allowlist only per-task locks that are provably uncontended — one task, \
              one mutex, no sharing — and say so in the justification."
+        }
+        RULE_NO_ALLOC_IN_PAR_CLOSURE => {
+            "no-alloc-in-par-closure: closures passed to par_map_indexed / par_chunks \
+             are the per-chunk hot path; a Vec::new(), vec![..], or with_capacity(..) \
+             inside one pays the allocator once per chunk per round — exactly the \
+             malloc traffic the per-worker Scratch arena (exec::with_scratch) was \
+             built to remove, and under glibc the workers additionally contend on \
+             the allocator's arena lock. Route the buffer through with_scratch \
+             (s.u8_slice / s.f64_slice / take_vec helpers) or hoist the allocation \
+             out of the closure and move it in. crates/core/src/exec.rs (the pool's \
+             own task plumbing) is exempt. Allowlist only allocations that provably \
+             cannot be hoisted or scratch-routed (e.g. the closure returns the Vec \
+             as its per-chunk result), and say why in the justification."
         }
         _ => return None,
     })
@@ -822,6 +838,19 @@ pub fn scan_source(rel: &str, content: &str) -> Vec<Finding> {
                 file: rel.to_string(),
                 line: l.line_idx + 1,
                 snippet: snippet_at(l.line_idx, &l.msg),
+                allowed: false,
+            });
+        }
+        for a in locks::scan_allocs(&nodes, &is_test) {
+            // The pool's own task plumbing allocates its result vectors.
+            if rel == EXEC_ENGINE_FILE {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RULE_NO_ALLOC_IN_PAR_CLOSURE,
+                file: rel.to_string(),
+                line: a.line_idx + 1,
+                snippet: snippet_at(a.line_idx, &a.msg),
                 allowed: false,
             });
         }

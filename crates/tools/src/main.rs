@@ -360,12 +360,6 @@ fn cmd_chaos(args: &Args) -> Result<()> {
 
 fn cmd_bench(args: &Args) -> Result<()> {
     let out = args.get("out").unwrap_or("BENCH_overhead.json");
-    if args.get("check").is_some() {
-        let text = std::fs::read_to_string(out)?;
-        pressio_tools::bench::validate_json(&text)?;
-        println!("{out}: valid {}", pressio_tools::bench::SCHEMA);
-        return Ok(());
-    }
     let parse_num = |flag: &str| -> Result<usize> {
         match args.get(flag) {
             None => Ok(0),
@@ -374,10 +368,26 @@ fn cmd_bench(args: &Args) -> Result<()> {
                 .map_err(|_| Error::invalid_argument(format!("bad --{flag} value {v:?}"))),
         }
     };
+    if args.get("check").is_some() {
+        let text = std::fs::read_to_string(out)?;
+        pressio_tools::bench::validate_json(&text)?;
+        println!("{out}: valid {}", pressio_tools::bench::SCHEMA);
+        return Ok(());
+    }
+    if args.get("gate").is_some() {
+        let text = std::fs::read_to_string(out)?;
+        let msg = pressio_tools::bench::gate(&text, parse_num("repeats")?)?;
+        println!("{msg}");
+        return Ok(());
+    }
     let cfg = pressio_tools::bench::BenchConfig {
         quick: args.get("quick").is_some(),
         n: parse_num("n")?,
         repeats: parse_num("repeats")?,
+        sizes: match args.get("sizes") {
+            Some(s) => parse_dims(s)?,
+            None => Vec::new(),
+        },
     };
     let report = pressio_tools::bench::run(&cfg)?;
     let json = pressio_tools::bench::to_json(&report);
@@ -524,10 +534,14 @@ const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|c
               # cancels, budget failures) into the exec pool while sweeping
               # every pooled plugin and the guard stacks; fail on deadlocks,
               # leaked workers, or cross-run corruption. Needs --features chaos
-  bench      [--quick] [--out path] [--n edge] [--repeats N] [--check]
-              # measure native vs through-interface time per plugin and serial vs
-              # pooled (zfp/zfp_omp, sz/sz_omp) wall-clock; emit BENCH_overhead.json.
-              # --check additionally validates the committed file's self-consistency
+  bench      [--quick] [--out path] [--n edge] [--repeats N] [--sizes 32,64,128]
+              [--check] [--gate]
+              # measure native vs through-interface time per plugin, then sweep
+              # serial vs pooled (zfp/zfp_omp, sz/sz_omp) wall-clock across field
+              # sizes (nthreads clamped to the host; edges up to 512); emit
+              # BENCH_overhead.json. --check validates the committed file's
+              # self-consistency; --gate re-measures the largest committed size
+              # <= 128 and fails on a >10% speedup regression
   trace      [<compressor>] [-n dataset] [-k scale] [-s seed] [-O k=v ...]
               [--export chrome.json] [--check]
               # round-trip a datagen field with span tracing enabled; print the

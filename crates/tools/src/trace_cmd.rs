@@ -194,6 +194,9 @@ mod tests {
         let cfg = TraceConfig {
             compressor: "zfp_omp".to_string(),
             options: Options::new().with("zfp_omp:nthreads", 4i64),
+            // Big enough that the adaptive chunk plan actually splits
+            // (scale 1 sits under the serial-fallback byte threshold).
+            scale: 2,
             ..TraceConfig::default()
         };
         let outcome = run(&cfg).expect("traced round trip");

@@ -1,0 +1,34 @@
+//! Lint fixture: the pre-Scratch shape of the chunked parallel encoders —
+//! every worker closure allocates its staging buffers per chunk, paying the
+//! allocator (and glibc's arena lock) once per chunk per round. This is the
+//! exact pattern the per-worker Scratch arena removed; `pressio-lint` must
+//! keep flagging it (`no-alloc-in-par-closure`).
+
+/// Known-bad: three allocations inside the `par_map_indexed` closure.
+pub fn encode_chunks_allocating(n_chunks: usize, chunks: &[&[u8]]) -> Vec<Vec<u8>> {
+    pressio_core::par_map_indexed(n_chunks, |i| {
+        let mut staging = Vec::with_capacity(chunks[i].len());
+        let mut freq = vec![0u32; 256];
+        let mut lits: Vec<u8> = Vec::new();
+        encode_one(chunks[i], &mut staging, &mut freq, &mut lits);
+        staging
+    })
+}
+
+/// Known-good twin: buffers route through the per-worker Scratch arena;
+/// nothing here may be flagged.
+pub fn encode_chunks_scratch(n_chunks: usize, chunks: &[&[u8]]) -> Vec<Vec<u8>> {
+    pressio_core::par_map_indexed(n_chunks, |i| {
+        pressio_core::with_scratch(|s| {
+            let mut staging = s.take_bytes(chunks[i].len());
+            let freq = s.u32_slice(256);
+            encode_one_scratch(chunks[i], &mut staging, freq);
+            let out = staging.clone();
+            s.put_bytes(staging);
+            out
+        })
+    })
+}
+
+fn encode_one(_c: &[u8], _s: &mut Vec<u8>, _f: &mut [u32], _l: &mut Vec<u8>) {}
+fn encode_one_scratch(_c: &[u8], _s: &mut Vec<u8>, _f: &mut [u32]) {}

@@ -47,6 +47,27 @@ fn taint_rules_catch_the_sz_unbounded_allocation_pattern() {
 }
 
 #[test]
+fn par_closure_alloc_pattern_keeps_firing() {
+    let src = fixture("par_closure_alloc.rs");
+    let findings = lint::scan_source("crates/codecs/src/fixture.rs", &src);
+
+    let allocs: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == lint::RULE_NO_ALLOC_IN_PAR_CLOSURE)
+        .collect();
+    assert_eq!(
+        allocs.len(),
+        3,
+        "with_capacity, vec![..], and Vec::new() in the allocating twin must \
+         each be flagged exactly once: {findings:?}"
+    );
+    assert!(
+        allocs.iter().all(|f| f.line <= 17),
+        "no allocation finding may leak into the scratch-routed twin: {allocs:?}"
+    );
+}
+
+#[test]
 fn fixture_is_not_reachable_by_the_workspace_walk() {
     // The fixture deliberately contains a violation; the real lint run
     // must never see it (tests/ directories are excluded from the walk),

@@ -464,6 +464,19 @@ fn decode_range_blocks(
     })
 }
 
+/// Charge the full output array against the ambient memory budget before
+/// allocating it: stream-declared geometry is attacker-controlled up to the
+/// wire-level decode cap, and a budgeted caller (the guard stacks, the fuzz
+/// harness) must see a clean error instead of an OOM abort.
+fn charge_output(g: &BlockGrid) -> Result<()> {
+    pressio_core::cancel::charge(
+        (g.nx as u64)
+            .saturating_mul(g.ny as u64)
+            .saturating_mul(g.nz as u64)
+            .saturating_mul(8),
+    )
+}
+
 fn validate_input(data: &[f64], fdims: &[usize], g: &BlockGrid) -> Result<()> {
     if g.nx * g.ny * g.nz != data.len() {
         return Err(Error::invalid_argument(format!(
@@ -529,6 +542,7 @@ pub fn decompress_f64_chunks(
         decode_range_blocks(chunks[i], &g, &p, ranges[i].len())
     })?;
     let blocksize = g.blocksize();
+    charge_output(&g)?;
     let mut out = vec![0.0f64; g.nx * g.ny * g.nz];
     for (range, vals) in ranges.iter().zip(&decoded) {
         for (k, i) in range.clone().enumerate() {
@@ -552,6 +566,7 @@ pub fn decompress_f64(payload: &[u8], fdims: &[usize], mode: ZfpMode) -> Result<
     mode.validate()?;
     let g = BlockGrid::new(fdims)?;
     let p = resolve(mode, g.d);
+    charge_output(&g)?;
     let mut out = vec![0.0f64; g.nx * g.ny * g.nz];
     let _s = pressio_core::trace::span("zfp:decode_stream");
     pressio_core::with_scratch(|s| {

@@ -250,8 +250,14 @@ impl Compressor for Zfp {
             }
             None => self.mode,
         };
-        let chunks = compress_f64_chunks(&values, &fdims, mode, self.nthreads.max(1) as usize)
-            .map_err(|e| e.in_plugin(p))?;
+        // Adaptive piece count: the engine's plan caps the requested
+        // nthreads by what the input can amortize (small fields encode
+        // serially — `exec:serial_fallback`), and depends only on the
+        // request and the input geometry, never on the host.
+        let pieces =
+            pressio_core::plan_chunks(values.len(), 8, self.nthreads.max(1) as usize).len();
+        let chunks =
+            compress_f64_chunks(&values, &fdims, mode, pieces.max(1)).map_err(|e| e.in_plugin(p))?;
         let payload_len: usize = chunks.iter().map(|c| c.bytes.len()).sum();
         let mut w = ByteWriter::with_capacity(payload_len + 64 + 12 * chunks.len());
         w.put_u32(MAGIC);

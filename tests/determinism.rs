@@ -13,7 +13,11 @@
 //! * repeated compression with the same thread count yields byte-identical
 //!   streams (reproducible archives);
 //! * chunked Huffman and deflate streams decode to the original input, and
-//!   a single-piece parallel encode is byte-identical to the serial encode.
+//!   a single-piece parallel encode is byte-identical to the serial encode;
+//! * across the adaptive plan's serial-fallback boundary: below the byte
+//!   threshold every thread request collapses to the explicit nthreads=1
+//!   stream bit-for-bit, and above it the split plan still reproduces the
+//!   serial values (zfp) or bound (sz).
 
 use libpressio::core::{value_range, OPT_REL};
 use libpressio::prelude::*;
@@ -207,6 +211,107 @@ fn guarded_pooled_handle_is_bit_identical_after_cancellation() {
         .decompress(&fresh_stream, &mut fresh_out)
         .expect("fresh decompress");
     assert_eq!(reused_out.as_bytes(), fresh_out.as_bytes());
+}
+
+/// A field sized so the adaptive chunk plan actually splits for both
+/// pooled plugins: 52^3 = 140_608 elements is 562_432 bytes at f32 width
+/// (sz_omp's planning unit) and 1_124_864 bytes at promoted-f64 width
+/// (zfp_omp's), both over the engine's 512 KiB serial-fallback threshold.
+/// The small [`field`] above never engages the pool, so these tests are
+/// the ones that exercise the real multi-chunk encode paths.
+fn splitting_field() -> Data {
+    libpressio::init();
+    libpressio::datagen::scale_letkf(52, 52, 52, 77)
+}
+
+#[test]
+fn pooled_values_match_serial_when_the_plan_splits() {
+    let input = splitting_field();
+    let (_, serial) = roundtrip("zfp", None, &input);
+    assert!(max_err(&input, &serial) <= abs_bound(&input));
+    let bound = abs_bound(&input);
+    for nt in THREADS {
+        // ZFP blocks are coded independently: a genuinely split plan must
+        // still decode to exactly the serial values, bit for bit.
+        let (_, pooled) = roundtrip("zfp_omp", Some(nt), &input);
+        assert_eq!(
+            serial.as_bytes(),
+            pooled.as_bytes(),
+            "zfp_omp nthreads={nt} decoded different values than serial zfp on a split plan"
+        );
+        // Lorenzo prediction re-seeds at sz chunk boundaries, so sz_omp
+        // values legitimately vary with the plan — the bound may not.
+        let (_, sz) = roundtrip("sz_omp", Some(nt), &input);
+        let err = max_err(&input, &sz);
+        assert!(
+            err <= bound * (1.0 + 1e-12),
+            "sz_omp nthreads={nt} on a split plan: max error {err} exceeds bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn pooled_streams_are_reproducible_when_the_plan_splits() {
+    let input = splitting_field();
+    for name in ["zfp_omp", "sz_omp"] {
+        for nt in THREADS {
+            let (a, _) = roundtrip(name, Some(nt), &input);
+            let (b, _) = roundtrip(name, Some(nt), &input);
+            assert_eq!(
+                a, b,
+                "{name} nthreads={nt} stream is not deterministic on a split plan"
+            );
+        }
+    }
+}
+
+/// Streams across the serial-fallback boundary. Below the threshold the
+/// adaptive plan collapses *every* thread request to one piece, so the
+/// stream must be bit-identical to an explicit nthreads=1 encode — the
+/// fallback is invisible on the wire. Above it the plan splits, the chunk
+/// directory grows, and the stream legitimately differs from the serial
+/// one — but it must still decode to the same values (zfp) or within the
+/// same bound (sz). Edge pairs straddle each plugin's planning width:
+/// zfp_omp plans at 8 B/elem (40^3 = 512_000 B under, 41^3 = 551_368 B
+/// over the 524_288 B threshold), sz_omp at f32 width (50^3 under,
+/// 51^3 = 530_604 B over).
+#[test]
+fn serial_fallback_boundary_is_bit_exact() {
+    libpressio::init();
+    for (name, under_edge, over_edge) in [("zfp_omp", 40usize, 41usize), ("sz_omp", 50, 51)] {
+        let under = libpressio::datagen::scale_letkf(under_edge, under_edge, under_edge, 77);
+        let (one, _) = roundtrip(name, Some(1), &under);
+        for nt in [2i64, 7] {
+            let (stream, _) = roundtrip(name, Some(nt), &under);
+            assert_eq!(
+                stream, one,
+                "{name} {under_edge}^3 nthreads={nt}: under the fallback threshold the \
+                 stream must be bit-identical to the explicit nthreads=1 encode"
+            );
+        }
+        let over = libpressio::datagen::scale_letkf(over_edge, over_edge, over_edge, 77);
+        let (one_over, serial_out) = roundtrip(name, Some(1), &over);
+        let (split_stream, split_out) = roundtrip(name, Some(2), &over);
+        assert_ne!(
+            split_stream, one_over,
+            "{name} {over_edge}^3 nthreads=2: over the threshold the plan must actually \
+             split (chunk directory differs from the serial stream)"
+        );
+        if name == "zfp_omp" {
+            assert_eq!(
+                serial_out.as_bytes(),
+                split_out.as_bytes(),
+                "zfp_omp {over_edge}^3: split plan changed decoded values"
+            );
+        } else {
+            let bound = abs_bound(&over);
+            let err = max_err(&over, &split_out);
+            assert!(
+                err <= bound * (1.0 + 1e-12),
+                "sz_omp {over_edge}^3 split plan: max error {err} exceeds bound {bound}"
+            );
+        }
+    }
 }
 
 #[test]
