@@ -14,11 +14,14 @@
 #                          (crates/metrics/tests/reference.rs), and the
 #                          lint seeded-regression fixtures
 #                          (crates/tools/tests/lint_fixtures.rs)
-#   4. loom model checks — the execution engine's submit/steal/help paths
-#                          and the trace ring's push/drain/overflow paths,
-#                          replayed under a seeded cooperative scheduler
-#                          (crates/core/tests/loom_{exec,trace}.rs; the
-#                          `loom` feature routes crates/core/src/sync.rs
+#   4. loom model checks — the execution engine's submit/steal/help paths,
+#                          the trace ring's push/drain/overflow paths, and
+#                          the serve admission/drain primitives
+#                          (accept-vs-shed conservation, drain
+#                          termination), replayed under a seeded
+#                          cooperative scheduler
+#                          (crates/core/tests/loom_{exec,trace,cancel,serve}.rs;
+#                          the `loom` feature routes crates/core/src/sync.rs
 #                          through shims/loom and is never in release
 #                          builds)
 #   5. pressio fuzz-decode — every decoder against deterministically
@@ -33,6 +36,16 @@
 #                          stay bit-identical to a fresh one afterwards
 #                          (needs --features chaos; the hooks compile to
 #                          nothing in normal builds)
+#   5c. serve smoke       — the admission-controlled daemon end-to-end:
+#                          round-trip every default profile over real
+#                          sockets, push an overload burst past capacity
+#                          (sheds must be structured Busy with zero
+#                          aborts), reject malformed frames structurally,
+#                          drain gracefully on SIGTERM with exit code 0,
+#                          and hold the committed BENCH_serve.json to the
+#                          pressio-serve/bench-v1 invariants (ramp past 2x
+#                          capacity, zero errors, clean drain, no leaked
+#                          watchdog workers)
 #   6. pressio trace --check — tracing smoke: a traced sz round trip must
 #                          produce a non-empty, well-nested span tree with
 #                          both handle-level spans
@@ -60,6 +73,7 @@
 #        ./ci.sh --quick        lint + workspace tests only (inner loop)
 #        ./ci.sh --concurrency  loom model checks only
 #        ./ci.sh --chaos        fault-injection sweep only
+#        ./ci.sh --serve        serve daemon smoke tier only
 set -eu
 
 cd "$(dirname "$0")"
@@ -70,7 +84,8 @@ case "${1:-}" in
   --quick) TIER=quick ;;
   --concurrency) TIER=concurrency ;;
   --chaos) TIER=chaos ;;
-  *) echo "usage: ./ci.sh [--quick|--concurrency|--chaos]" >&2; exit 2 ;;
+  --serve) TIER=serve ;;
+  *) echo "usage: ./ci.sh [--quick|--concurrency|--chaos|--serve]" >&2; exit 2 ;;
 esac
 
 run_lint() {
@@ -84,14 +99,16 @@ run_tests() {
 }
 
 run_loom() {
-    echo "== loom model checks (exec pool + trace ring + cancellation interleavings)"
-    cargo test -q -p pressio-core --features loom --test loom_exec --test loom_trace --test loom_cancel
+    echo "== loom model checks (exec pool + trace ring + cancellation + serve admission/drain)"
+    cargo test -q -p pressio-core --features loom --test loom_exec --test loom_trace --test loom_cancel --test loom_serve
 }
 
 run_chaos() {
     echo "== chaos fault-injection sweep (pool self-heal + handle reuse)"
     cargo test -q -p pressio-tools --features chaos --test chaos_smoke
     cargo run -q -p pressio-tools --features chaos --bin pressio -- chaos --seeds 64 --seed 1
+    echo "== chaos serve sweep (faulted request bursts, clean recovery, drain hygiene)"
+    cargo run -q -p pressio-tools --features chaos --bin pressio -- chaos --serve --seeds 64 --seed 1
 }
 
 if [ "$TIER" = quick ]; then
@@ -113,6 +130,29 @@ if [ "$TIER" = chaos ]; then
     exit 0
 fi
 
+run_serve() {
+    echo "== serve smoke (profile round trips, overload shedding, malformed frames, drain)"
+    cargo test -q -p pressio-tools --test serve_smoke
+    echo "== serve daemon graceful drain on SIGTERM (exit code must be 0)"
+    cargo build -q --release -p pressio-tools
+    ./target/release/pressio serve --tcp 127.0.0.1:0 &
+    SERVE_PID=$!
+    sleep 1
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    echo "== serve load harness (ramp past 2x capacity, emits to target/)"
+    ./target/release/pressio bench --serve --quick --out target/BENCH_serve_ci.json
+    ./target/release/pressio bench --serve --check --out target/BENCH_serve_ci.json
+    echo "== committed BENCH_serve.json: schema + overload invariants"
+    ./target/release/pressio bench --serve --check --out BENCH_serve.json
+}
+
+if [ "$TIER" = serve ]; then
+    run_serve
+    echo "== ci.sh: serve tier passed"
+    exit 0
+fi
+
 run_lint
 
 echo "== clippy (deny warnings)"
@@ -125,6 +165,7 @@ echo "== decoder corruption fuzz"
 cargo run -q -p pressio-tools --bin pressio -- fuzz-decode --iterations 64 --seed 1
 
 run_chaos
+run_serve
 
 echo "== trace smoke (span tree well-nested)"
 cargo run -q --release -p pressio-tools --bin pressio -- trace sz --check

@@ -48,6 +48,9 @@ enum pressio_error_code {
   pressio_internal_error = 7,
   pressio_timeout_error = 8,
   pressio_cancelled_error = 9,
+  /* The service (pressio serve) refused the request at capacity; transient:
+   * back off and retry. */
+  pressio_busy_error = 10,
 };
 
 typedef void (*pressio_data_delete_fn)(void* ptr, void* metadata);

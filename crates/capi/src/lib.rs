@@ -615,6 +615,129 @@ mod tests {
     use super::*;
 
     #[test]
+    fn every_error_code_round_trips_through_the_c_api() {
+        use libpressio::{Error, ErrorCode, Result, Version};
+
+        /// A compressor that fails every operation with a configured
+        /// numeric error code — the probe for exhaustive code mapping.
+        #[derive(Clone)]
+        struct Failer {
+            code: i64,
+        }
+        impl Failer {
+            fn error(&self) -> Error {
+                let code = ErrorCode::ALL
+                    .iter()
+                    .copied()
+                    .find(|c| i64::from(c.code()) == self.code)
+                    .unwrap_or(ErrorCode::Internal);
+                Error::new(code, format!("injected failure with code {}", self.code))
+            }
+        }
+        impl Compressor for Failer {
+            fn name(&self) -> &str {
+                "capi_failer"
+            }
+            fn version(&self) -> Version {
+                Version::new(0, 0, 1)
+            }
+            fn get_options(&self) -> Options {
+                Options::new().with("capi_failer:code", self.code)
+            }
+            fn set_options(&mut self, options: &Options) -> Result<()> {
+                if let Some(c) = options.get_as::<i64>("capi_failer:code")? {
+                    self.code = c;
+                }
+                Ok(())
+            }
+            fn compress(&mut self, _input: &Data) -> Result<Data> {
+                Err(self.error())
+            }
+            fn decompress(&mut self, _input: &Data, _output: &mut Data) -> Result<()> {
+                Err(self.error())
+            }
+            fn clone_compressor(&self) -> Box<dyn Compressor> {
+                Box::new(self.clone())
+            }
+        }
+        libpressio::registry().register_compressor("capi_failer", || Box::new(Failer { code: 7 }));
+
+        // Every stable code appears in the C header with its exact value,
+        // so C callers can switch on the enum without drift.
+        let header = include_str!("../include/pressio.h");
+        for (code, enum_name) in [
+            (1i32, "pressio_invalid_argument_error"),
+            (2, "pressio_not_found_error"),
+            (3, "pressio_type_mismatch_error"),
+            (4, "pressio_corrupt_stream_error"),
+            (5, "pressio_unsupported_error"),
+            (6, "pressio_io_error"),
+            (7, "pressio_internal_error"),
+            (8, "pressio_timeout_error"),
+            (9, "pressio_cancelled_error"),
+            (10, "pressio_busy_error"),
+        ] {
+            assert!(
+                header.contains(&format!("{enum_name} = {code},")),
+                "pressio.h is missing {enum_name} = {code}"
+            );
+            assert!(
+                ErrorCode::ALL.iter().any(|c| c.code() == code),
+                "ErrorCode::ALL is missing stable code {code}"
+            );
+        }
+        // ...and the enum lists are the same size: a new Rust code cannot
+        // land without a header entry (this assert) and a header entry
+        // cannot go stale (the loop above).
+        assert_eq!(ErrorCode::ALL.len(), 10);
+
+        unsafe {
+            let lib = pressio_instance();
+            let comp = pressio_get_compressor(lib, c"capi_failer".as_ptr());
+            assert!(!comp.is_null());
+            let opts = pressio_options_new();
+
+            let input = pressio_data_new_empty(9, 1, [4usize].as_ptr());
+            let out = pressio_data_new_empty(9, 1, [4usize].as_ptr());
+            for ec in ErrorCode::ALL {
+                let want: c_int = ec.code();
+                assert_eq!(
+                    pressio_options_set_integer(opts, c"capi_failer:code".as_ptr(), want),
+                    0
+                );
+                assert_eq!(pressio_compressor_set_options(comp, opts), 0);
+                assert_eq!(pressio_compressor_error_code(comp), 0, "config clears the code");
+
+                // compress: the return value AND the sticky query both
+                // carry the exact injected category.
+                let rc = pressio_compressor_compress(comp, input, out);
+                assert_eq!(rc, want, "{ec:?}: compress return code");
+                assert_eq!(
+                    pressio_compressor_error_code(comp),
+                    want,
+                    "{ec:?}: sticky error code"
+                );
+                let msg = CStr::from_ptr(pressio_compressor_error_msg(comp));
+                assert!(
+                    msg.to_string_lossy().contains(&format!("code {want}")),
+                    "{ec:?}: message mentions the injected code"
+                );
+
+                // decompress maps identically.
+                let rc = pressio_compressor_decompress(comp, input, out);
+                assert_eq!(rc, want, "{ec:?}: decompress return code");
+                assert_eq!(pressio_compressor_error_code(comp), want);
+            }
+
+            pressio_data_free(input);
+            pressio_data_free(out);
+            pressio_options_free(opts);
+            pressio_compressor_release(comp);
+            pressio_release(lib);
+        }
+    }
+
+    #[test]
     fn appendix_a_flow_via_c_abi() {
         unsafe {
             let lib = pressio_instance();

@@ -120,6 +120,7 @@ pub fn reset_stats() {
     N_TASK_PANICS.store(0, Ordering::Relaxed);
     N_SPURIOUS_CANCELS.store(0, Ordering::Relaxed);
     N_CHARGE_FAILS.store(0, Ordering::Relaxed);
+    N_SERVICE_FAULTS.store(0, Ordering::Relaxed);
 }
 
 thread_local! {
@@ -209,6 +210,40 @@ pub fn before_task(token: &crate::cancel::CancelToken) {
 /// budget failure as if the allocation put the run over its limit.
 pub fn should_fail_charge() -> bool {
     roll(&RATE_CHARGE_FAIL, &N_CHARGE_FAILS)
+}
+
+/// Faults injected at service scheduling points since [`reset_stats`].
+static N_SERVICE_FAULTS: AtomicU64 = AtomicU64::new(0);
+
+/// Tally of service-point faults (delays + spurious request cancels).
+pub fn service_stats() -> u64 {
+    N_SERVICE_FAULTS.load(Ordering::Relaxed)
+}
+
+/// Hook for the `pressio serve` request path — called at the daemon's
+/// scheduling points (admission, dispatch, response write) with the
+/// request's token. May delay the thread (widening admission/drain race
+/// windows) or spuriously trip the request's token; it never panics,
+/// because these points run on long-lived connection/worker threads whose
+/// unwinding would kill the service rather than exercise a containment
+/// path. Injected *panics* still reach the request through
+/// [`before_task`], which runs on the watchdog worker under its
+/// `catch_unwind`.
+pub fn service_point(token: &crate::cancel::CancelToken) {
+    if !is_enabled() {
+        return;
+    }
+    if roll(&RATE_DELAY, &N_DELAYS) {
+        N_SERVICE_FAULTS.fetch_add(1, Ordering::Relaxed);
+        crate::trace::count("chaos:service_delay", 1);
+        let ms = next_u64() % 3;
+        std::thread::sleep(std::time::Duration::from_millis(ms.min(2)));
+    }
+    if roll(&RATE_SPURIOUS_CANCEL, &N_SPURIOUS_CANCELS) {
+        N_SERVICE_FAULTS.fetch_add(1, Ordering::Relaxed);
+        crate::trace::count("chaos:service_cancel", 1);
+        token.cancel();
+    }
 }
 
 #[cfg(test)]

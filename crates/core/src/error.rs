@@ -35,6 +35,11 @@ pub enum ErrorCode {
     /// or because its memory budget was exhausted. Unlike [`Timeout`],
     /// cancellation is a deliberate caller decision and is never retried.
     Cancelled,
+    /// A service refused the request because it is at capacity (the
+    /// admission queue of `pressio serve` is full, or the daemon is
+    /// draining). The work was never started; the caller should back off
+    /// and retry — the error message carries a suggested retry delay.
+    Busy,
 }
 
 impl ErrorCode {
@@ -51,8 +56,26 @@ impl ErrorCode {
             ErrorCode::Internal => 7,
             ErrorCode::Timeout => 8,
             ErrorCode::Cancelled => 9,
+            ErrorCode::Busy => 10,
         }
     }
+
+    /// Every code, in stable-numeric order. Exhaustive by construction:
+    /// tests (here and in the C API crate) iterate this list so a newly
+    /// added variant that is left out of a mapping fails loudly instead of
+    /// silently collapsing to [`Internal`](ErrorCode::Internal).
+    pub const ALL: &'static [ErrorCode] = &[
+        ErrorCode::InvalidArgument,
+        ErrorCode::NotFound,
+        ErrorCode::TypeMismatch,
+        ErrorCode::CorruptStream,
+        ErrorCode::Unsupported,
+        ErrorCode::Io,
+        ErrorCode::Internal,
+        ErrorCode::Timeout,
+        ErrorCode::Cancelled,
+        ErrorCode::Busy,
+    ];
 
     /// Whether an error of this category may succeed when simply retried.
     ///
@@ -62,9 +85,11 @@ impl ErrorCode {
     /// (bad arguments, corrupt streams, unsupported dtypes, plugin bugs)
     /// fail identically every time and are terminal. Cancellation is also
     /// terminal: the caller asked for the work to stop, so retrying would
-    /// defeat the point.
+    /// defeat the point. [`Busy`](ErrorCode::Busy) is transient by
+    /// definition — the service shed the request *because* capacity should
+    /// return, and the response carries a retry-after hint.
     pub const fn is_transient(self) -> bool {
-        matches!(self, ErrorCode::Io | ErrorCode::Timeout)
+        matches!(self, ErrorCode::Io | ErrorCode::Timeout | ErrorCode::Busy)
     }
 }
 
@@ -151,6 +176,11 @@ impl Error {
         Error::new(ErrorCode::Cancelled, message)
     }
 
+    /// Shorthand for [`ErrorCode::Busy`].
+    pub fn busy(message: impl Into<String>) -> Self {
+        Error::new(ErrorCode::Busy, message)
+    }
+
     /// Whether this error's category is worth retrying (see
     /// [`ErrorCode::is_transient`]).
     pub fn is_transient(&self) -> bool {
@@ -191,43 +221,33 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_distinct() {
-        let codes = [
-            ErrorCode::InvalidArgument,
-            ErrorCode::NotFound,
-            ErrorCode::TypeMismatch,
-            ErrorCode::CorruptStream,
-            ErrorCode::Unsupported,
-            ErrorCode::Io,
-            ErrorCode::Internal,
-            ErrorCode::Timeout,
-            ErrorCode::Cancelled,
-        ];
-        let mut nums: Vec<i32> = codes.iter().map(|c| c.code()).collect();
-        nums.sort_unstable();
-        nums.dedup();
-        assert_eq!(nums.len(), codes.len());
+        // ALL is the canonical enumeration; its numeric codes must be the
+        // contiguous range 1..=len, in order, with no duplicates — so a new
+        // variant can only be appended with the next free number.
+        let nums: Vec<i32> = ErrorCode::ALL.iter().map(|c| c.code()).collect();
+        let expected: Vec<i32> = (1..=ErrorCode::ALL.len() as i32).collect();
+        assert_eq!(nums, expected);
+        // Pin the individual assignments that external consumers (CLI exit
+        // statuses, the C enum, the serve wire protocol) rely on.
+        assert_eq!(ErrorCode::InvalidArgument.code(), 1);
+        assert_eq!(ErrorCode::Timeout.code(), 8);
+        assert_eq!(ErrorCode::Cancelled.code(), 9);
+        assert_eq!(ErrorCode::Busy.code(), 10);
     }
 
     #[test]
-    fn transient_policy_covers_exactly_io_and_timeout() {
-        assert!(ErrorCode::Io.is_transient());
-        assert!(ErrorCode::Timeout.is_transient());
-        for terminal in [
-            ErrorCode::InvalidArgument,
-            ErrorCode::NotFound,
-            ErrorCode::TypeMismatch,
-            ErrorCode::CorruptStream,
-            ErrorCode::Unsupported,
-            ErrorCode::Internal,
-            ErrorCode::Cancelled,
-        ] {
-            assert!(!terminal.is_transient(), "{terminal:?}");
+    fn transient_policy_covers_exactly_io_timeout_and_busy() {
+        for code in ErrorCode::ALL {
+            let expect = matches!(code, ErrorCode::Io | ErrorCode::Timeout | ErrorCode::Busy);
+            assert_eq!(code.is_transient(), expect, "{code:?}");
         }
         assert!(Error::timeout("slow").is_transient());
         assert_eq!(Error::timeout("slow").code(), ErrorCode::Timeout);
         assert!(!Error::corrupt("bad").is_transient());
         assert_eq!(Error::cancelled("stop").code(), ErrorCode::Cancelled);
         assert!(!Error::cancelled("stop").is_transient());
+        assert_eq!(Error::busy("full; retry in 5ms").code(), ErrorCode::Busy);
+        assert!(Error::busy("full").is_transient());
     }
 
     #[test]

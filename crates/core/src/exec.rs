@@ -541,6 +541,22 @@ where
     }
 }
 
+/// Spawn a named, long-lived service thread (the `pressio serve` daemon's
+/// listener, connection, and worker loops). The execution engine is the
+/// single place in the workspace allowed to create threads (the
+/// `no-adhoc-thread-spawn` lint rule); service components borrow that
+/// privilege through this hook instead of spawning ad hoc, so every thread
+/// in the process is attributable to one file.
+pub fn spawn_service<F>(name: &str, f: F) -> Result<std::thread::JoinHandle<()>>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("pressio-{name}"))
+        .spawn(f)
+        .map_err(|e| Error::internal(format!("exec: failed to spawn service thread {name}: {e}")))
+}
+
 /// Run `f` under a fresh token whose deadline is `timeout_ms` from now.
 /// `timeout_ms == 0` means "no deadline": `f` runs inline on the calling
 /// thread. This is the engine behind `guard:timeout_ms`.

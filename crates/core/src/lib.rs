@@ -66,6 +66,7 @@ pub mod io;
 pub mod metrics;
 pub mod options;
 pub mod registry;
+pub mod serve;
 pub mod sync;
 pub mod trace;
 pub mod version;
@@ -87,8 +88,8 @@ pub use dtype::{DType, Element, ALL_DTYPES};
 pub use error::{Error, ErrorCode, Result};
 pub use exec::{
     available_threads, chunk_ranges, par_chunks, par_map_indexed, plan_chunks, plan_chunks_min,
-    resolve_nthreads, run_cancellable, run_deadlined, watchdog_stats, with_scratch, Scratch,
-    MIN_CHUNK_BYTES, SERIAL_FALLBACK_BYTES,
+    resolve_nthreads, run_cancellable, run_deadlined, spawn_service, watchdog_stats, with_scratch,
+    Scratch, MIN_CHUNK_BYTES, SERIAL_FALLBACK_BYTES,
 };
 pub use handle::CompressorHandle;
 pub use io::IoPlugin;
@@ -97,6 +98,7 @@ pub use options::{
     validate_plugin_options, CastSafety, FromOptionValue, OptionKind, OptionValue, Options,
 };
 pub use registry::{registry, Pressio, Registry};
+pub use serve::{AdmissionQueue, DrainGate, InFlightPermit, QueueStats, ShedReason};
 pub use trace::{chrome_trace_json, SpanEvent, TraceReport};
 pub use version::Version;
 pub use wire::{bytes_to_elements, checked_geometry, elements_as_bytes, ByteReader, ByteWriter, MAX_DECODE_BYTES};

@@ -1,0 +1,431 @@
+//! Service-facing concurrency primitives for the `pressio serve` daemon.
+//!
+//! Two small, model-checkable building blocks live here rather than in the
+//! tools crate so that the loom suite can drive them through adversarial
+//! interleavings (`crates/core/tests/loom_serve.rs`, run by the
+//! `--concurrency` tier of `ci.sh`):
+//!
+//! - [`AdmissionQueue`]: a bounded submit-or-shed queue. `try_submit` never
+//!   blocks and never queues past the configured capacity — when the queue
+//!   is full (or closed for drain) the item is handed *back* to the caller
+//!   together with a [`ShedReason`], so a shed request can be answered with
+//!   a structured `Busy` response instead of waiting unboundedly. This is
+//!   the admission-control half of the overload story: queue depth bounds
+//!   worst-case latency for accepted requests, and everything past it is
+//!   load-shed explicitly.
+//! - [`DrainGate`]: in-flight request accounting plus the graceful-drain
+//!   state machine. Every executing request holds an [`InFlightPermit`];
+//!   `begin_drain` flips the gate so no new permits are issued, and
+//!   `wait_idle_ms` blocks (bounded) until the last permit drops.
+//!
+//! Both are built exclusively on the [`crate::sync`] facade — `std`
+//! primitives normally, the loom shim under `--features loom` — and both
+//! follow the exec engine's discipline: bounded condvar waits only (the
+//! loom shim models timed waits as maximally spurious), poison ignored
+//! (state is plain data, consistent even if an unrelated thread panicked),
+//! and no panicking paths.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Re-poll interval for bounded condvar waits, mirroring the exec engine.
+const POLL_MS: u64 = 2;
+
+/// Lock a facade mutex, ignoring poisoning: all state behind these locks is
+/// plain data (deques and counters) mutated under short critical sections,
+/// so a poisoned lock only means an unrelated thread panicked elsewhere.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Why [`AdmissionQueue::try_submit`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue already holds `capacity` items: the service is saturated
+    /// and the caller should back off and retry.
+    Full,
+    /// The queue was closed for drain: the service is shutting down and
+    /// will not accept new work at all.
+    Closed,
+}
+
+/// Counters describing an [`AdmissionQueue`]'s lifetime, for the serve
+/// health frame and the conservation assertions in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items currently queued (accepted, not yet popped).
+    pub depth: usize,
+    /// Configured bound.
+    pub capacity: usize,
+    /// Items ever accepted by `try_submit`.
+    pub accepted: u64,
+    /// Items refused by `try_submit` (full or closed).
+    pub shed: u64,
+    /// Items handed to workers by `pop`/`try_pop`.
+    pub popped: u64,
+    /// Whether the queue has been closed for drain.
+    pub closed: bool,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+    accepted: u64,
+    shed: u64,
+    popped: u64,
+}
+
+/// Bounded submit-or-shed admission queue (see module docs).
+pub struct AdmissionQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    available: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` undispatched items (minimum 1).
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+                accepted: 0,
+                shed: 0,
+                popped: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking admission: `Ok(depth)` when the item was queued (depth
+    /// includes it), `Err((item, reason))` when it was shed — the item is
+    /// returned so the caller can answer it with a structured `Busy`.
+    ///
+    /// Exactly one of the two happens, under the queue lock: an item can
+    /// never be both shed and later popped by a worker.
+    #[allow(clippy::result_large_err)] // the Err intentionally carries the item back
+    pub fn try_submit(&self, item: T) -> Result<usize, (T, ShedReason)> {
+        let mut q = lock_ignore_poison(&self.inner);
+        if q.closed {
+            q.shed += 1;
+            crate::trace::count("serve:shed", 1);
+            return Err((item, ShedReason::Closed));
+        }
+        if q.items.len() >= q.capacity {
+            q.shed += 1;
+            crate::trace::count("serve:shed", 1);
+            return Err((item, ShedReason::Full));
+        }
+        q.items.push_back(item);
+        q.accepted += 1;
+        let depth = q.items.len();
+        drop(q);
+        crate::trace::count("serve:accepted", 1);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Worker-side blocking pop: the next queued item, or `None` once the
+    /// queue is closed *and* empty (queued items are still drained after
+    /// `close` — drain means "finish what was admitted", not "drop it").
+    /// Waits are bounded re-polls, so a lost wakeup costs at most
+    /// [`POLL_MS`].
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock_ignore_poison(&self.inner);
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                q.popped += 1;
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = match self
+                .available
+                .wait_timeout(q, Duration::from_millis(POLL_MS))
+            {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Non-blocking pop, for drain loops that must not wait.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut q = lock_ignore_poison(&self.inner);
+        let item = q.items.pop_front();
+        if item.is_some() {
+            q.popped += 1;
+        }
+        item
+    }
+
+    /// Close the queue: subsequent `try_submit` calls shed with
+    /// [`ShedReason::Closed`]; already-queued items remain poppable until
+    /// the queue is empty, after which `pop` returns `None` and workers
+    /// exit.
+    pub fn close(&self) {
+        {
+            let mut q = lock_ignore_poison(&self.inner);
+            q.closed = true;
+        }
+        self.available.notify_all();
+    }
+
+    /// Close the queue *and* remove every undispatched item, returning
+    /// them so the caller can answer each with a structured shutdown
+    /// response instead of silently dropping it (hard-shutdown path).
+    pub fn close_and_clear(&self) -> Vec<T> {
+        let drained = {
+            let mut q = lock_ignore_poison(&self.inner);
+            q.closed = true;
+            q.items.drain(..).collect()
+        };
+        self.available.notify_all();
+        drained
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        lock_ignore_poison(&self.inner).items.len()
+    }
+
+    /// Snapshot of the lifetime counters. Conservation invariant:
+    /// `accepted == popped + depth` at every quiescent point.
+    pub fn stats(&self) -> QueueStats {
+        let q = lock_ignore_poison(&self.inner);
+        QueueStats {
+            depth: q.items.len(),
+            capacity: q.capacity,
+            accepted: q.accepted,
+            shed: q.shed,
+            popped: q.popped,
+            closed: q.closed,
+        }
+    }
+}
+
+struct GateState {
+    inflight: usize,
+    draining: bool,
+    started: u64,
+    completed: u64,
+}
+
+/// In-flight accounting + graceful-drain state machine (see module docs).
+pub struct DrainGate {
+    state: Mutex<GateState>,
+    changed: Condvar,
+}
+
+/// Proof that one request is executing; dropping it (on any path, including
+/// panic unwind in the holder's frame) retires the request and wakes
+/// drain waiters when the gate goes idle.
+pub struct InFlightPermit {
+    gate: Arc<DrainGate>,
+}
+
+impl Default for DrainGate {
+    fn default() -> DrainGate {
+        DrainGate::new()
+    }
+}
+
+impl DrainGate {
+    /// An open gate with nothing in flight.
+    pub fn new() -> DrainGate {
+        DrainGate {
+            state: Mutex::new(GateState {
+                inflight: 0,
+                draining: false,
+                started: 0,
+                completed: 0,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Try to start a request: `None` once draining (the caller sheds with
+    /// `Busy`), otherwise a permit that must be held for the request's
+    /// whole lifetime.
+    pub fn admit(self: &Arc<DrainGate>) -> Option<InFlightPermit> {
+        let mut st = lock_ignore_poison(&self.state);
+        if st.draining {
+            return None;
+        }
+        st.inflight += 1;
+        st.started += 1;
+        drop(st);
+        Some(InFlightPermit {
+            gate: Arc::clone(self),
+        })
+    }
+
+    /// Flip to draining: no further permits are issued. Idempotent.
+    pub fn begin_drain(&self) {
+        {
+            let mut st = lock_ignore_poison(&self.state);
+            st.draining = true;
+        }
+        self.changed.notify_all();
+    }
+
+    /// Has `begin_drain` been called?
+    pub fn is_draining(&self) -> bool {
+        lock_ignore_poison(&self.state).draining
+    }
+
+    /// Requests currently holding a permit.
+    pub fn inflight(&self) -> usize {
+        lock_ignore_poison(&self.state).inflight
+    }
+
+    /// Total permits ever issued / retired.
+    pub fn counts(&self) -> (u64, u64) {
+        let st = lock_ignore_poison(&self.state);
+        (st.started, st.completed)
+    }
+
+    /// Block (bounded re-polls) until no request is in flight. Used by the
+    /// loom drain scenarios, where wall-clock deadlines are meaningless.
+    pub fn wait_idle(&self) {
+        let mut st = lock_ignore_poison(&self.state);
+        while st.inflight > 0 {
+            st = match self
+                .changed
+                .wait_timeout(st, Duration::from_millis(POLL_MS))
+            {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Bounded drain wait: `true` when the gate went idle within
+    /// `timeout_ms`, `false` when requests were still in flight at the
+    /// deadline (the caller escalates — e.g. cancels their tokens). Time
+    /// comes from the trace clock, the one sanctioned time source.
+    pub fn wait_idle_ms(&self, timeout_ms: u64) -> bool {
+        let deadline = crate::trace::monotonic_ns()
+            .saturating_add(timeout_ms.saturating_mul(1_000_000));
+        let mut st = lock_ignore_poison(&self.state);
+        loop {
+            if st.inflight == 0 {
+                return true;
+            }
+            if crate::trace::monotonic_ns() >= deadline {
+                return false;
+            }
+            st = match self
+                .changed
+                .wait_timeout(st, Duration::from_millis(POLL_MS))
+            {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+}
+
+impl Drop for InFlightPermit {
+    fn drop(&mut self) {
+        let idle = {
+            let mut st = lock_ignore_poison(&self.gate.state);
+            st.inflight = st.inflight.saturating_sub(1);
+            st.completed += 1;
+            st.inflight == 0
+        };
+        if idle {
+            self.gate.changed.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+#[cfg(not(feature = "loom"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_past_capacity_and_conserves() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_submit(1), Ok(1));
+        assert_eq!(q.try_submit(2), Ok(2));
+        match q.try_submit(3) {
+            Err((item, ShedReason::Full)) => assert_eq!(item, 3),
+            other => panic!("expected Full shed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        // Popping freed a slot.
+        assert_eq!(q.try_submit(4), Ok(2));
+        let s = q.stats();
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.popped, 1);
+        assert_eq!(s.accepted, s.popped + s.depth as u64);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q = AdmissionQueue::new(4);
+        assert!(q.try_submit("a").is_ok());
+        assert!(q.try_submit("b").is_ok());
+        q.close();
+        match q.try_submit("c") {
+            Err((item, ShedReason::Closed)) => assert_eq!(item, "c"),
+            other => panic!("expected Closed shed, got {other:?}"),
+        }
+        // Admitted items are still served after close...
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        // ...and only then does pop signal end-of-work.
+        assert_eq!(q.pop(), None);
+        assert!(q.stats().closed);
+    }
+
+    #[test]
+    fn close_and_clear_returns_unserved_items() {
+        let q = AdmissionQueue::new(4);
+        assert!(q.try_submit(10).is_ok());
+        assert!(q.try_submit(20).is_ok());
+        assert_eq!(q.close_and_clear(), vec![10, 20]);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn gate_blocks_admission_while_draining() {
+        let gate = Arc::new(DrainGate::new());
+        let p1 = gate.admit().expect("gate open");
+        let p2 = gate.admit().expect("gate open");
+        assert_eq!(gate.inflight(), 2);
+        gate.begin_drain();
+        assert!(gate.admit().is_none());
+        assert!(!gate.wait_idle_ms(10), "still two permits out");
+        drop(p1);
+        drop(p2);
+        assert!(gate.wait_idle_ms(1_000));
+        assert_eq!(gate.inflight(), 0);
+        let (started, completed) = gate.counts();
+        assert_eq!(started, 2);
+        assert_eq!(completed, 2);
+    }
+
+    #[test]
+    fn gate_drain_across_threads() {
+        let gate = Arc::new(DrainGate::new());
+        let permit = gate.admit().expect("gate open");
+        gate.begin_drain();
+        let g2 = Arc::clone(&gate);
+        let t = std::thread::spawn(move || {
+            // Holder finishes on another thread; waiter must observe it.
+            drop(permit);
+            g2.inflight()
+        });
+        assert!(gate.wait_idle_ms(5_000), "drain must terminate");
+        assert_eq!(t.join().expect("joins"), 0);
+    }
+}

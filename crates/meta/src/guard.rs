@@ -26,10 +26,12 @@
 //!    abort-on-OOM.
 //! 3. **Retry with backoff** — transient errors (per
 //!    [`ErrorCode::is_transient`](pressio_core::ErrorCode::is_transient):
-//!    `Io` and `Timeout`) are retried up to `guard:max_retries` times with
-//!    exponential backoff from `guard:backoff_ms`, capped at
-//!    [`MAX_BACKOFF_MS`]. Terminal errors (corrupt stream, bad arguments)
-//!    are never retried.
+//!    `Io`, `Timeout`, and `Busy`) are retried up to `guard:max_retries`
+//!    times with exponential backoff from `guard:backoff_ms`, capped at
+//!    [`MAX_BACKOFF_MS`] and dithered by deterministic seeded equal
+//!    jitter ([`jittered_backoff_ms`], `guard:backoff_jitter_seed`) so
+//!    synchronized retry storms decorrelate. Terminal errors (corrupt
+//!    stream, bad arguments) are never retried.
 //! 4. **Fallback chain** — `guard:fallbacks` names an ordered list of
 //!    stand-in compressors. When the primary child fails (after retries),
 //!    the guard degrades down the chain — ultimately to a lossless or
@@ -60,6 +62,37 @@ const GUARD_VERSION: u16 = 1;
 /// Upper bound on a single backoff sleep; retry loops never sleep longer
 /// than this per attempt regardless of configuration.
 pub const MAX_BACKOFF_MS: u64 = 1_000;
+
+/// The backoff schedule: capped exponential with deterministic
+/// *equal jitter*.
+///
+/// The undithered delay for `attempt` is
+/// `base_ms * 2^min(attempt, 10)`, capped at [`MAX_BACKOFF_MS`]; the
+/// jittered delay is drawn from `[exp/2, exp]` by a splitmix64 hash of
+/// `(seed, attempt)`. Jitter decorrelates retry storms — when many
+/// guards (or many `pressio serve` requests) fail at once, synchronized
+/// full-exponential schedules re-collide on every attempt, while
+/// equal-jitter spreads them across half the window — yet the schedule
+/// stays a pure function of `(base_ms, attempt, seed)` so a failing run
+/// replays exactly and tests can pin the whole schedule.
+pub fn jittered_backoff_ms(base_ms: u64, attempt: u32, seed: u64) -> u64 {
+    let exp = base_ms
+        .saturating_mul(1u64 << attempt.min(10))
+        .min(MAX_BACKOFF_MS);
+    if exp <= 1 {
+        return exp;
+    }
+    // splitmix64 finalizer over (seed, attempt): stateless, so concurrent
+    // clones of one guard draw identical schedules.
+    let mut z = seed
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let half = exp / 2;
+    (half + z % (exp - half + 1)).min(MAX_BACKOFF_MS)
+}
 
 /// Run `f` under a deadline on the execution engine's watchdog pool.
 ///
@@ -111,6 +144,7 @@ pub struct Guard {
     memory_budget_bytes: u64,
     max_retries: u32,
     backoff_ms: u64,
+    backoff_jitter_seed: u64,
     verify: bool,
     /// Every option set applied so far, merged — used to arm fallback
     /// children and to re-arm a fresh primary after a detached timeout.
@@ -131,6 +165,7 @@ impl Guard {
             memory_budget_bytes: 0,
             max_retries: 0,
             backoff_ms: 10,
+            backoff_jitter_seed: 1,
             verify: false,
             saved_options: Options::new(),
             served_by: None,
@@ -257,10 +292,8 @@ impl Guard {
                             Err(arm_err) => return (None, Err(arm_err)),
                         },
                     };
-                    let backoff = self
-                        .backoff_ms
-                        .saturating_mul(1u64 << attempt.min(10))
-                        .min(MAX_BACKOFF_MS);
+                    let backoff =
+                        jittered_backoff_ms(self.backoff_ms, attempt, self.backoff_jitter_seed);
                     std::thread::sleep(Duration::from_millis(backoff.min(MAX_BACKOFF_MS)));
                     attempt += 1;
                 }
@@ -400,6 +433,7 @@ impl Compressor for Guard {
             .with("guard:memory_budget_bytes", self.memory_budget_bytes)
             .with("guard:max_retries", self.max_retries)
             .with("guard:backoff_ms", self.backoff_ms)
+            .with("guard:backoff_jitter_seed", self.backoff_jitter_seed)
             .with("guard:verify", u32::from(self.verify));
         o.merge(&self.child.get_options());
         o
@@ -436,6 +470,9 @@ impl Compressor for Guard {
         }
         if let Some(b) = options.get_as::<u64>("guard:backoff_ms")? {
             self.backoff_ms = b.min(MAX_BACKOFF_MS);
+        }
+        if let Some(s) = options.get_as::<u64>("guard:backoff_jitter_seed")? {
+            self.backoff_jitter_seed = s;
         }
         if let Some(v) = options.get_as::<u32>("guard:verify")? {
             self.verify = v != 0;
@@ -478,6 +515,11 @@ impl Compressor for Guard {
             .with(
                 "guard:backoff_ms",
                 "base backoff between retries; doubles per attempt, capped at 1000 ms",
+            )
+            .with(
+                "guard:backoff_jitter_seed",
+                "seed for the deterministic equal-jitter dither on each backoff sleep; \
+                 the schedule is a pure function of (backoff_ms, attempt, seed)",
             )
             .with(
                 "guard:verify",
@@ -589,6 +631,7 @@ impl Compressor for Guard {
             memory_budget_bytes: self.memory_budget_bytes,
             max_retries: self.max_retries,
             backoff_ms: self.backoff_ms,
+            backoff_jitter_seed: self.backoff_jitter_seed,
             verify: self.verify,
             saved_options: self.saved_options.clone(),
             served_by: self.served_by.clone(),
@@ -633,6 +676,37 @@ impl MetricsPlugin for GuardStats {
 mod tests {
     use super::*;
     use pressio_core::DType;
+
+    #[test]
+    fn jittered_backoff_schedule_is_deterministic_and_pinned() {
+        let schedule = |seed: u64| -> Vec<u64> {
+            (0..6).map(|a| jittered_backoff_ms(10, a, seed)).collect()
+        };
+        // Same seed, same schedule — concurrent guard clones agree.
+        assert_eq!(schedule(42), schedule(42));
+        // Different seeds decorrelate.
+        assert_ne!(schedule(42), schedule(43));
+        // Every draw lands in the equal-jitter window [exp/2, exp].
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for attempt in 0..16u32 {
+                let exp = 10u64
+                    .saturating_mul(1 << attempt.min(10))
+                    .min(MAX_BACKOFF_MS);
+                let j = jittered_backoff_ms(10, attempt, seed);
+                assert!(
+                    j >= exp / 2 && j <= exp,
+                    "seed {seed} attempt {attempt}: {j} outside [{}, {exp}]",
+                    exp / 2
+                );
+            }
+        }
+        // Degenerate bases pass through unjittered.
+        assert_eq!(jittered_backoff_ms(0, 3, 42), 0);
+        assert_eq!(jittered_backoff_ms(1, 0, 9), 1);
+        // Regression pin: the exact schedule for (base 10, seed 42). A
+        // change here silently breaks replayability of recorded failures.
+        assert_eq!(schedule(42), vec![6, 15, 20, 40, 105, 185]);
+    }
 
     fn init() {
         pressio_codecs::register_builtins();

@@ -37,7 +37,7 @@ pub mod shape;
 pub mod util;
 
 pub use cast::Cast;
-pub use guard::{run_with_deadline, Guard, MAX_BACKOFF_MS};
+pub use guard::{jittered_backoff_ms, run_with_deadline, Guard, MAX_BACKOFF_MS};
 pub use injection::{mutate_stream, FaultInjector, FaultMode, NoiseInjector, ALL_FAULT_MODES};
 pub use opt::{Objective, Opt, OptOutcome};
 pub use parallel::{Chunking, ManyDependent, ManyIndependent};

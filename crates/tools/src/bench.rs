@@ -340,7 +340,8 @@ fn measure_sweep_edge(edge: usize, reps: usize, nthreads: u32) -> Result<Vec<Swe
     Ok(rows)
 }
 
-fn json_string(s: &str) -> String {
+/// Quote + escape `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -481,28 +482,32 @@ impl Json {
         }
     }
 
-    fn as_num(&self) -> Option<f64> {
+    /// The number value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_arr(&self) -> Option<&[Json]> {
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(v) => Some(v),
             _ => None,
         }
     }
 
-    fn as_bool(&self) -> Option<bool> {
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,

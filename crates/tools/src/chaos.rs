@@ -90,6 +90,10 @@ pub struct ChaosReport {
     /// Faults actually injected, summed over the sweep:
     /// `(delays, worker panics, task panics, spurious cancels, charge fails)`.
     pub faults: (u64, u64, u64, u64, u64),
+    /// Service-point faults (request delays + spurious request cancels)
+    /// injected into the `pressio serve` request path; nonzero only for
+    /// the `--serve` sweep.
+    pub service_faults: u64,
     /// Self-healing-contract violations.
     pub failures: Vec<ChaosFailure>,
 }
@@ -118,7 +122,8 @@ impl fmt::Display for ChaosReport {
         writeln!(
             f,
             "  faults injected: {d} delays, {wp} worker panics, {tp} task panics, \
-             {sc} spurious cancels, {cf} charge failures"
+             {sc} spurious cancels, {cf} charge failures, {} service faults",
+            self.service_faults
         )?;
         for v in &self.failures {
             writeln!(f, "  FAIL {v}")?;
@@ -133,16 +138,29 @@ pub fn chaos_all(cfg: &ChaosSweepConfig) -> Result<ChaosReport, String> {
     imp::chaos_all(cfg)
 }
 
+/// Chaos-sweep the `pressio serve` daemon end to end: for each seed an
+/// in-process server (2 workers, capacity-2 queue, TCP loopback) takes a
+/// burst of compress/decompress/health traffic with the service-point
+/// faults armed, then — faults disarmed — must still serve a clean
+/// request bit-identical to a pristine server's, and drain with zero
+/// stuck requests and no leaked watchdog workers.
+pub fn chaos_serve(cfg: &ChaosSweepConfig) -> Result<ChaosReport, String> {
+    imp::chaos_serve(cfg)
+}
+
 #[cfg(not(feature = "chaos"))]
 mod imp {
     use super::{ChaosReport, ChaosSweepConfig};
 
+    const NO_CHAOS: &str = "this binary was built without fault injection; rebuild with \
+         `cargo run -p pressio-tools --features chaos --bin pressio -- chaos`";
+
     pub fn chaos_all(_cfg: &ChaosSweepConfig) -> Result<ChaosReport, String> {
-        Err(
-            "this binary was built without fault injection; rebuild with \
-             `cargo run -p pressio-tools --features chaos --bin pressio -- chaos`"
-                .to_string(),
-        )
+        Err(NO_CHAOS.to_string())
+    }
+
+    pub fn chaos_serve(_cfg: &ChaosSweepConfig) -> Result<ChaosReport, String> {
+        Err(NO_CHAOS.to_string())
     }
 }
 
@@ -429,6 +447,288 @@ mod imp {
         }
 
         report.faults = chaos::stats();
+        report.service_faults = chaos::service_stats();
+        chaos::disable();
+        std::panic::set_hook(prev_hook);
+        Ok(report)
+    }
+
+    // ---- the `--serve` sweep --------------------------------------------
+
+    use crate::serve::client::{Client, ServeOutcome};
+    use crate::serve::{ProfileSpec, ServeConfig, Server};
+    use libpressio::DType;
+
+    /// Profile the serve sweep hammers: lossless, so a surviving round
+    /// trip must reproduce the payload exactly and a clean compress must
+    /// be bit-identical across server instances.
+    const SERVE_PROFILE: &str = "lossless";
+    const SERVE_DIMS: [usize; 2] = [64, 64];
+    /// Requests fired per faulted seed (compress + round-trip decompress
+    /// each, so the wire sees roughly twice this many frames).
+    const SERVE_BURST: usize = 4;
+
+    fn serve_payload() -> Vec<u8> {
+        let n: usize = SERVE_DIMS.iter().product();
+        (0..n)
+            .flat_map(|i| (((i as f32) * 0.031).sin() * 40.0).to_le_bytes())
+            .collect()
+    }
+
+    fn start_server(cfg: &ChaosSweepConfig) -> Result<Server, libpressio::Error> {
+        Server::start(ServeConfig {
+            profiles: vec![
+                ProfileSpec::parse("raw=noop")?,
+                ProfileSpec::parse(&format!("{SERVE_PROFILE}=deflate"))?,
+            ],
+            workers: 2,
+            queue_capacity: 2,
+            tcp_addr: Some("127.0.0.1:0".to_string()),
+            drain_deadline_ms: 2_000,
+            default_deadline_ms: cfg.run_deadline_ms.max(1),
+            ..ServeConfig::default()
+        })
+    }
+
+    fn connect(server: &Server, cfg: &ChaosSweepConfig) -> Result<Client, libpressio::Error> {
+        let addr = server
+            .tcp_addr()
+            .ok_or_else(|| libpressio::Error::internal("server has no TCP listener"))?;
+        let mut client = Client::connect_tcp(&addr.to_string())?;
+        client.set_timeout_ms(cfg.run_deadline_ms.max(1));
+        Ok(client)
+    }
+
+    /// What one faulted request resolved to.
+    enum FaultedOutcome {
+        Served,
+        Shed,
+        Stopped,
+        Contained,
+    }
+
+    /// Classify a faulted request's result against the structured-outcome
+    /// contract; `Err(detail)` is a contract violation.
+    fn classify(
+        result: Result<ServeOutcome, libpressio::Error>,
+    ) -> Result<FaultedOutcome, String> {
+        match result {
+            Ok(ServeOutcome::Ok(_)) => Ok(FaultedOutcome::Served),
+            Ok(ServeOutcome::Busy { retry_after_ms, .. }) => {
+                if retry_after_ms == 0 {
+                    Err("Busy response carried no retry hint".to_string())
+                } else {
+                    Ok(FaultedOutcome::Shed)
+                }
+            }
+            Err(e) if matches!(e.code(), ErrorCode::Cancelled | ErrorCode::Timeout) => {
+                Ok(FaultedOutcome::Stopped)
+            }
+            Err(e) if matches!(e.code(), ErrorCode::Internal | ErrorCode::Io) => {
+                Ok(FaultedOutcome::Contained)
+            }
+            Err(e) => Err(format!(
+                "faulted request failed with a non-fault error code {:?}: {e}",
+                e.code()
+            )),
+        }
+    }
+
+    /// A clean compress with bounded Busy patience; only used with faults
+    /// disarmed, where Busy can linger just briefly while the last faulted
+    /// requests retire.
+    fn clean_compress(
+        client: &mut Client,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, libpressio::Error> {
+        for _ in 0..100u32 {
+            match client.compress(SERVE_PROFILE, DType::F32, &SERVE_DIMS, payload)? {
+                ServeOutcome::Ok(bytes) => return Ok(bytes),
+                ServeOutcome::Busy { retry_after_ms, .. } => {
+                    let backoff_ms = u64::from(retry_after_ms);
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms.min(20)));
+                }
+            }
+        }
+        Err(libpressio::Error::internal(
+            "clean request still shed after 100 retries",
+        ))
+    }
+
+    pub fn chaos_serve(cfg: &ChaosSweepConfig) -> Result<ChaosReport, String> {
+        libpressio::init();
+        let mut report = ChaosReport {
+            targets: 1,
+            ..ChaosReport::default()
+        };
+        let payload = serve_payload();
+        chaos::reset_stats();
+
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        // Reference bytes from a pristine, fault-free server: the yardstick
+        // every post-chaos server must match bit for bit.
+        let reference = (|| -> Result<Vec<u8>, libpressio::Error> {
+            let server = start_server(cfg)?;
+            let mut client = connect(&server, cfg)?;
+            let bytes = clean_compress(&mut client, &payload)?;
+            let dr = server.shutdown();
+            if dr.stuck_inflight != 0 {
+                return Err(libpressio::Error::internal("pristine server drained dirty"));
+            }
+            Ok(bytes)
+        })()
+        .map_err(|e| format!("cannot establish the pristine reference: {e}"))?;
+
+        for seed in cfg.first_seed..cfg.first_seed + cfg.seeds as u64 {
+            report.runs += 1;
+            let fail = |detail: String| ChaosFailure {
+                target: "serve".to_string(),
+                seed,
+                detail,
+            };
+
+            chaos::configure(&chaos::ChaosConfig::from_seed(seed));
+            chaos::enable();
+            let server = match start_server(cfg) {
+                Ok(s) => s,
+                Err(e) => {
+                    chaos::disable();
+                    report.failures.push(fail(format!("server failed to start: {e}")));
+                    continue;
+                }
+            };
+
+            // ---- faulted burst -----------------------------------------
+            let mut served = 0usize;
+            let mut stopped = 0usize;
+            let mut contained = 0usize;
+            let mut violation: Option<String> = None;
+            let mut client = connect(&server, cfg).ok();
+            for i in 0..SERVE_BURST {
+                let c = match client.as_mut() {
+                    Some(c) => c,
+                    // The previous request poisoned the connection (an
+                    // acceptable Io outcome); accept again under faults.
+                    None => match connect(&server, cfg) {
+                        Ok(c) => {
+                            client = Some(c);
+                            client.as_mut().expect("just stored")
+                        }
+                        Err(e) => {
+                            violation = Some(format!("reconnect refused mid-sweep: {e}"));
+                            break;
+                        }
+                    },
+                };
+                let compress =
+                    c.compress(SERVE_PROFILE, DType::F32, &SERVE_DIMS, &payload);
+                let round_trip = match &compress {
+                    Ok(ServeOutcome::Ok(bytes)) => {
+                        let bytes = bytes.clone();
+                        Some(c.decompress(SERVE_PROFILE, DType::F32, &SERVE_DIMS, &bytes))
+                    }
+                    _ => None,
+                };
+                let health = if i == 0 { Some(c.health()) } else { None };
+                let mut dead = false;
+                for result in [Some(compress), round_trip]
+                    .into_iter()
+                    .flatten()
+                {
+                    match classify(result) {
+                        Ok(FaultedOutcome::Served) => served += 1,
+                        Ok(FaultedOutcome::Shed) => {}
+                        Ok(FaultedOutcome::Stopped) => stopped += 1,
+                        Ok(FaultedOutcome::Contained) => {
+                            contained += 1;
+                            dead = true;
+                        }
+                        Err(detail) => violation = Some(detail),
+                    }
+                }
+                if let Some(h) = health {
+                    match h {
+                        Ok(doc) if doc.contains("pressio-serve/health-v1") => {}
+                        Ok(_) => violation = Some("health document lost its schema".into()),
+                        Err(e) if acceptable(e.code()) => {
+                            contained += 1;
+                            dead = true;
+                        }
+                        Err(e) => violation = Some(format!("health failed oddly: {e}")),
+                    }
+                }
+                if dead {
+                    client = None;
+                }
+                if violation.is_some() {
+                    break;
+                }
+            }
+            chaos::disable();
+            drop(client);
+
+            if let Some(detail) = violation {
+                report.failures.push(fail(detail));
+                let _ = server.shutdown();
+                continue;
+            }
+
+            // ---- faults disarmed: same server must serve clean ---------
+            let clean = connect(&server, cfg)
+                .and_then(|mut c| clean_compress(&mut c, &payload));
+            match clean {
+                Ok(bytes) if bytes == reference => {}
+                Ok(_) => report.failures.push(fail(
+                    "cross-run corruption: the chaos-survivor server's clean \
+                     compress diverged from the pristine reference"
+                        .to_string(),
+                )),
+                Err(e) => report
+                    .failures
+                    .push(fail(format!("survivor refused a clean request: {e}"))),
+            }
+
+            // ---- drain must settle with nothing stuck or leaked --------
+            let dr = server.shutdown();
+            if dr.stuck_inflight != 0 {
+                report.failures.push(fail(format!(
+                    "{} request(s) stuck in flight after drain escalation",
+                    dr.stuck_inflight
+                )));
+            }
+            if dr.watchdog.0 != dr.watchdog.1 {
+                report.failures.push(fail(format!(
+                    "leaked workers: watchdog {}/{} idle after drain",
+                    dr.watchdog.1, dr.watchdog.0
+                )));
+            }
+            if dr.queue.depth != 0
+                || dr.queue.accepted != dr.queue.popped + dr.cleared_queued as u64
+            {
+                report.failures.push(fail(format!(
+                    "queue conservation broken: {:?} with {} cleared",
+                    dr.queue, dr.cleared_queued
+                )));
+            }
+
+            if served > 0 && stopped == 0 && contained == 0 {
+                report.survived += 1;
+            } else if stopped > 0 {
+                report.cancelled += 1;
+            } else if contained > 0 {
+                report.contained += 1;
+            } else {
+                // Everything shed: legal (capacity 2, after all) but worth
+                // counting as survival only if the clean phase passed,
+                // which the checks above already enforced.
+                report.survived += 1;
+            }
+        }
+
+        report.faults = chaos::stats();
+        report.service_faults = chaos::service_stats();
         chaos::disable();
         std::panic::set_hook(prev_hook);
         Ok(report)

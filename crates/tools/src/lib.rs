@@ -43,4 +43,5 @@ pub mod chaos;
 pub mod contract;
 pub mod fuzz;
 pub mod lint;
+pub mod serve;
 pub mod trace_cmd;

@@ -346,7 +346,11 @@ fn cmd_chaos(args: &Args) -> Result<()> {
     cfg.seeds = parse_num("seeds", cfg.seeds as u64)? as u32;
     cfg.first_seed = parse_num("seed", cfg.first_seed)?;
     cfg.run_deadline_ms = parse_num("deadline-ms", cfg.run_deadline_ms)?;
-    let report = pressio_tools::chaos::chaos_all(&cfg).map_err(Error::unsupported)?;
+    let report = if args.get("serve").is_some() {
+        pressio_tools::chaos::chaos_serve(&cfg).map_err(Error::unsupported)?
+    } else {
+        pressio_tools::chaos::chaos_all(&cfg).map_err(Error::unsupported)?
+    };
     print!("{report}");
     if report.is_clean() {
         Ok(())
@@ -358,7 +362,131 @@ fn cmd_chaos(args: &Args) -> Result<()> {
     }
 }
 
+/// Set by the SIGTERM/SIGINT handler; the serve loop polls it.
+static SHUTDOWN_SIGNAL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_terminate(_sig: i32) {
+    // Only async-signal-safe work here: a relaxed store on a static.
+    SHUTDOWN_SIGNAL.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn install_terminate_handler() {
+    // Raw libc signal(2) via our own extern declarations so the binary
+    // stays dependency-free.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: declares libc's signal(2) with its documented C signature;
+    // the symbol exists in every libc this binary links against.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: `on_terminate` is async-signal-safe (a single atomic store)
+    // and has the exact `extern "C" fn(i32)` ABI signal(2) expects; the
+    // handler is installed once, before any serve threads start.
+    unsafe {
+        signal(SIGTERM, on_terminate);
+        signal(SIGINT, on_terminate);
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<()> {
+    use pressio_tools::serve::{ProfileSpec, ServeConfig, Server};
+    let parse_num = |flag: &str, default: u64| -> Result<u64> {
+        match args.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| Error::invalid_argument(format!("bad --{flag} value {v:?}"))),
+        }
+    };
+    let mut profiles = Vec::new();
+    for spec in args.get_all("profile") {
+        profiles.push(ProfileSpec::parse(spec)?);
+    }
+    let cfg = ServeConfig {
+        profiles,
+        workers: parse_num("workers", 0)? as usize,
+        queue_capacity: parse_num("queue", 0)? as usize,
+        unix_path: args.get("unix").map(std::path::PathBuf::from),
+        tcp_addr: args.get("tcp").map(str::to_string),
+        drain_deadline_ms: parse_num("drain-ms", 0)?,
+        max_body: parse_num("max-body", 0)? as usize,
+        default_deadline_ms: parse_num("deadline-ms", 0)?,
+        ..ServeConfig::default()
+    };
+    install_terminate_handler();
+    let server = Server::start(cfg)?;
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("pressio serve: listening on tcp {addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        eprintln!("pressio serve: listening on unix {}", path.display());
+    }
+    // Poll for SIGTERM/SIGINT or a client Shutdown frame; the daemon's
+    // threads do all the work.
+    while !SHUTDOWN_SIGNAL.load(std::sync::atomic::Ordering::Relaxed)
+        && !server.shutdown_requested()
+    {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("pressio serve: draining...");
+    let report = server.shutdown();
+    eprintln!(
+        "pressio serve: drained (clean={}, cancelled={}, cleared={}, busy_total={}, watchdog={}/{})",
+        report.drained_clean,
+        report.cancelled_inflight,
+        report.cleared_queued,
+        report.busy_responses,
+        report.watchdog.0,
+        report.watchdog.1
+    );
+    if report.stuck_inflight != 0 || report.watchdog.0 != report.watchdog.1 {
+        return Err(Error::internal(format!(
+            "unclean drain: {} stuck in flight, watchdog {}/{}",
+            report.stuck_inflight, report.watchdog.0, report.watchdog.1
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &Args) -> Result<()> {
+    use pressio_tools::serve::load;
+    let out = args.get("out").unwrap_or("BENCH_serve.json");
+    if args.get("check").is_some() {
+        let text = std::fs::read_to_string(out)?;
+        load::validate_json(&text)?;
+        println!("{out}: valid {}", load::SERVE_SCHEMA);
+        return Ok(());
+    }
+    let mut cfg = if args.get("quick").is_some() {
+        load::LoadConfig::quick()
+    } else {
+        load::LoadConfig::default()
+    };
+    let parse_num = |flag: &str, default: usize| -> Result<usize> {
+        match args.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| Error::invalid_argument(format!("bad --{flag} value {v:?}"))),
+        }
+    };
+    cfg.workers = parse_num("workers", cfg.workers)?;
+    cfg.queue_capacity = parse_num("queue", cfg.queue_capacity)?;
+    cfg.requests_per_client = parse_num("requests", cfg.requests_per_client)?;
+    let report = load::run(&cfg)?;
+    let json = load::to_json(&report);
+    load::validate_json(&json)?;
+    std::fs::write(out, &json)?;
+    print!("{}", load::render_table(&report));
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
 fn cmd_bench(args: &Args) -> Result<()> {
+    if args.get("serve").is_some() {
+        return cmd_bench_serve(args);
+    }
     let out = args.get("out").unwrap_or("BENCH_overhead.json");
     let parse_num = |flag: &str| -> Result<usize> {
         match args.get(flag) {
@@ -519,7 +647,7 @@ fn cmd_lint(args: &Args) -> Result<()> {
     }
 }
 
-const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|chaos|bench|trace|lint> [args]
+const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|contract|fuzz-decode|chaos|serve|bench|trace|lint> [args]
   list [compressors|metrics|io]
   options <compressor>
   compress   -c <name> -i <in> -o <out> [-t dtype -d dims] [-O k=v ...] [-m metric ...] [-f format]
@@ -529,13 +657,23 @@ const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|c
   contract   [-v verbose]  # verify every registered plugin honors the plugin contract
   fuzz-decode [-c <name>] [--iterations N] [--seed S] [--timeout-ms T]
               # drive every decompressor with damaged streams; fail on panics/hangs
-  chaos      [--quick] [--seeds N] [--seed S] [--deadline-ms T]
+  chaos      [--quick] [--serve] [--seeds N] [--seed S] [--deadline-ms T]
               # inject seeded faults (worker/task panics, delays, spurious
               # cancels, budget failures) into the exec pool while sweeping
               # every pooled plugin and the guard stacks; fail on deadlocks,
-              # leaked workers, or cross-run corruption. Needs --features chaos
+              # leaked workers, or cross-run corruption. Needs --features chaos.
+              # --serve sweeps the serve daemon instead: faulted request
+              # bursts per seed, then a clean request bit-identical to a
+              # pristine server's and a drain with nothing stuck or leaked
+  serve      [--tcp host:port] [--unix path] [--profile name=compressor[,k=v...]]...
+              [--workers N] [--queue N] [--drain-ms T] [--deadline-ms T] [--max-body B]
+              # run the admission-controlled compression daemon: bounded
+              # queue with structured Busy shedding, per-request deadlines
+              # and memory budgets, graceful drain on SIGTERM/SIGINT or a
+              # client Shutdown frame. Default profiles: raw, lossless,
+              # sz_abs_1e3, zfp_default
   bench      [--quick] [--out path] [--n edge] [--repeats N] [--sizes 32,64,128]
-              [--check] [--gate]
+              [--check] [--gate] [--serve [--workers N] [--queue N] [--requests N]]
               # measure native vs through-interface time per plugin, then sweep
               # serial vs pooled (zfp/zfp_omp, sz/sz_omp) wall-clock across field
               # sizes (nthreads clamped to the host; edges up to 512); emit
@@ -565,6 +703,7 @@ fn run() -> Result<()> {
         Some("contract") => cmd_contract(&args),
         Some("fuzz-decode") => cmd_fuzz_decode(&args),
         Some("chaos") => cmd_chaos(&args),
+        Some("serve") => cmd_serve(&args),
         Some("bench") => cmd_bench(&args),
         Some("trace") => cmd_trace(&args),
         Some("lint") => cmd_lint(&args),

@@ -1,0 +1,230 @@
+//! A small synchronous client for the `pressio serve` frame protocol.
+//!
+//! One [`Client`] wraps one connection and issues one request at a time
+//! (the daemon itself multiplexes many clients). `Busy` responses are
+//! surfaced as a distinct [`ServeOutcome`] variant rather than an error so
+//! load harnesses can count sheds without string-matching; server-side
+//! failures arrive as structured [`Error`]s with the original
+//! [`ErrorCode`](libpressio::ErrorCode) reconstructed from the wire.
+
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use libpressio::core::trace;
+use libpressio::{DType, Error, ErrorCode, Result};
+
+use super::protocol::{
+    encode_bodyless, encode_request, parse_response, read_frame, write_frame, FrameKind,
+    ReadOutcome, Response, DEFAULT_MAX_BODY,
+};
+
+/// How often a waiting client re-checks its overall response deadline.
+const CLIENT_POLL_MS: u64 = 50;
+
+enum ClientStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl std::io::Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// What one request produced: a payload, or a structured shed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The request executed; compressed or decompressed bytes.
+    Ok(Vec<u8>),
+    /// The daemon shed the request; back off `retry_after_ms`.
+    Busy {
+        /// Server's retry hint in milliseconds.
+        retry_after_ms: u32,
+        /// Queue depth the shed request observed.
+        depth: u32,
+    },
+}
+
+/// One connection to a `pressio serve` daemon.
+pub struct Client {
+    stream: ClientStream,
+    next_id: u64,
+    /// Overall per-request response deadline.
+    timeout_ms: u64,
+}
+
+impl Client {
+    /// Connect over TCP, e.g. `127.0.0.1:7335`.
+    pub fn connect_tcp(addr: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| Error::new(ErrorCode::Io, format!("connect {addr}: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .and_then(|()| stream.set_read_timeout(Some(Duration::from_millis(CLIENT_POLL_MS))))
+            .map_err(|e| Error::new(ErrorCode::Io, e.to_string()))?;
+        Ok(Client {
+            stream: ClientStream::Tcp(stream),
+            next_id: 1,
+            timeout_ms: 60_000,
+        })
+    }
+
+    /// Connect over a Unix socket.
+    pub fn connect_unix(path: &Path) -> Result<Client> {
+        let stream = UnixStream::connect(path)
+            .map_err(|e| Error::new(ErrorCode::Io, format!("connect {}: {e}", path.display())))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(CLIENT_POLL_MS)))
+            .map_err(|e| Error::new(ErrorCode::Io, e.to_string()))?;
+        Ok(Client {
+            stream: ClientStream::Unix(stream),
+            next_id: 1,
+            timeout_ms: 60_000,
+        })
+    }
+
+    /// Override the per-request response deadline (default 60 s).
+    pub fn set_timeout_ms(&mut self, ms: u64) {
+        self.timeout_ms = ms.max(1);
+    }
+
+    /// Compress `payload` (raw bytes of a `dtype`/`dims` tensor) under the
+    /// named profile.
+    pub fn compress(
+        &mut self,
+        profile: &str,
+        dtype: DType,
+        dims: &[usize],
+        payload: &[u8],
+    ) -> Result<ServeOutcome> {
+        let id = self.next_id();
+        let frame = encode_request(FrameKind::Compress, id, profile, dtype, dims, payload);
+        self.round_trip(id, frame)
+    }
+
+    /// Decompress a stream back into a `dtype`/`dims` tensor under the
+    /// named profile.
+    pub fn decompress(
+        &mut self,
+        profile: &str,
+        dtype: DType,
+        dims: &[usize],
+        stream: &[u8],
+    ) -> Result<ServeOutcome> {
+        let id = self.next_id();
+        let frame = encode_request(FrameKind::Decompress, id, profile, dtype, dims, stream);
+        self.round_trip(id, frame)
+    }
+
+    /// Fetch the daemon's health/stats document (JSON).
+    pub fn health(&mut self) -> Result<String> {
+        let id = self.next_id();
+        let frame = encode_bodyless(FrameKind::Health, id);
+        match self.round_trip_raw(id, frame)? {
+            Response::Health(json) => Ok(json),
+            other => Err(Error::new(
+                ErrorCode::CorruptStream,
+                format!("expected a health response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Ask the daemon to begin a graceful drain.
+    pub fn shutdown(&mut self) -> Result<()> {
+        let id = self.next_id();
+        let frame = encode_bodyless(FrameKind::Shutdown, id);
+        match self.round_trip_raw(id, frame)? {
+            Response::Ok(_) => Ok(()),
+            Response::Error { code, message } => Err(Error::new(code, message)),
+            other => Err(Error::new(
+                ErrorCode::CorruptStream,
+                format!("expected an ack, got {other:?}"),
+            )),
+        }
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn round_trip(&mut self, id: u64, frame: Vec<u8>) -> Result<ServeOutcome> {
+        match self.round_trip_raw(id, frame)? {
+            Response::Ok(bytes) => Ok(ServeOutcome::Ok(bytes)),
+            Response::Busy {
+                retry_after_ms,
+                depth,
+                ..
+            } => Ok(ServeOutcome::Busy {
+                retry_after_ms,
+                depth,
+            }),
+            Response::Error { code, message } => Err(Error::new(code, message)),
+            Response::Health(_) => Err(Error::new(
+                ErrorCode::CorruptStream,
+                "unexpected health response to a data request",
+            )),
+        }
+    }
+
+    fn round_trip_raw(&mut self, id: u64, frame: Vec<u8>) -> Result<Response> {
+        write_frame(&mut self.stream, &frame)?;
+        let deadline =
+            trace::monotonic_ns().saturating_add(self.timeout_ms.saturating_mul(1_000_000));
+        loop {
+            match read_frame(&mut self.stream, DEFAULT_MAX_BODY)? {
+                ReadOutcome::Idle => {
+                    if trace::monotonic_ns() >= deadline {
+                        return Err(Error::timeout(format!(
+                            "no response to request {id} within {} ms",
+                            self.timeout_ms
+                        )));
+                    }
+                }
+                ReadOutcome::Eof => {
+                    return Err(Error::new(
+                        ErrorCode::Io,
+                        "server closed the connection before responding",
+                    ));
+                }
+                ReadOutcome::Frame(header, body) => {
+                    let response = parse_response(header.kind, &body)?;
+                    // id 0 marks a connection-level error (framing desync);
+                    // anything else must match the outstanding request.
+                    if header.request_id == id || header.request_id == 0 {
+                        return match response {
+                            Response::Error { code, message } if header.request_id == 0 => {
+                                Err(Error::new(code, message))
+                            }
+                            r => Ok(r),
+                        };
+                    }
+                    // A stale response (e.g. from a forfeited slow read)
+                    // is discarded; keep waiting for ours.
+                }
+            }
+        }
+    }
+}

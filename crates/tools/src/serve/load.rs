@@ -1,0 +1,486 @@
+//! `pressio bench --serve`: the daemon load harness.
+//!
+//! Starts an in-process [`Server`](super::Server) on loopback TCP, then
+//! ramps concurrent clients through stages from nominal capacity to past
+//! 2× capacity. Every request outcome is structured — `Ok` with a
+//! latency sample, `Busy` with a retry hint, or a hard error — and the
+//! report captures per-stage p50/p99 latency, throughput, and shed rate,
+//! plus the final drain's cleanliness. The run itself *fails* (it does
+//! not merely report) if overload produced a non-`Busy` failure, if the
+//! drain left requests in flight, or if watchdog workers leaked: those
+//! are the overload-robustness acceptance criteria, so the harness is the
+//! gate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use libpressio::core::{spawn_service, trace};
+use libpressio::{DType, Error, Result};
+
+use super::client::{Client, ServeOutcome};
+use super::{percentile, ServeConfig, Server};
+use crate::bench::{json_string, parse_json, Json};
+
+/// Schema marker for `BENCH_serve.json`.
+pub const SERVE_SCHEMA: &str = "pressio-serve/bench-v1";
+
+/// Load-harness tuning.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon worker threads (capacity ≈ workers).
+    pub workers: usize,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+    /// Client counts per stage, as multiples of `workers`; the default
+    /// `[1, 2, 4]` ramps from nominal capacity to 4× past it.
+    pub stage_multipliers: Vec<usize>,
+    /// Requests each client issues per stage.
+    pub requests_per_client: usize,
+    /// Elements (f32) in the request payload.
+    pub payload_elems: usize,
+    /// Profile every request targets.
+    pub profile: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            workers: 2,
+            queue_capacity: 2,
+            stage_multipliers: vec![1, 2, 4],
+            requests_per_client: 8,
+            payload_elems: 256 * 1024,
+            profile: "lossless".to_string(),
+        }
+    }
+}
+
+impl LoadConfig {
+    /// A smaller run for smoke tiers: tiny payloads, fewer requests.
+    pub fn quick() -> LoadConfig {
+        LoadConfig {
+            payload_elems: 16 * 1024,
+            requests_per_client: 4,
+            ..LoadConfig::default()
+        }
+    }
+}
+
+/// One ramp stage's outcome.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Concurrent clients in this stage.
+    pub clients: usize,
+    /// Requests issued (clients × requests-per-client, counting retries
+    /// of shed requests as new requests).
+    pub requests: u64,
+    /// Requests that executed and returned bytes.
+    pub ok: u64,
+    /// Requests shed with a structured `Busy`.
+    pub busy: u64,
+    /// Hard failures (must be zero for the gate to pass).
+    pub errors: u64,
+    /// Median accepted-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// Tail accepted-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// busy / (ok + busy + errors).
+    pub shed_rate: f64,
+}
+
+/// The full harness outcome.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Daemon worker threads.
+    pub workers: usize,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+    /// Request payload size in bytes.
+    pub payload_bytes: usize,
+    /// Profile under test.
+    pub profile: String,
+    /// Per-stage results, in ramp order.
+    pub stages: Vec<StageReport>,
+    /// Did the post-ramp drain finish without escalation?
+    pub drained_clean: bool,
+    /// Requests still in flight after the drain (must be 0).
+    pub stuck_inflight: usize,
+    /// Watchdog pool `(spawned, idle)` after the drain.
+    pub watchdog: (usize, usize),
+    /// Total structured Busy responses the daemon served.
+    pub busy_total: u64,
+}
+
+struct StageTallies {
+    ok: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    latencies_ms: Mutex<Vec<f64>>,
+}
+
+fn run_stage(
+    addr: &str,
+    cfg: &LoadConfig,
+    clients: usize,
+    payload: &Arc<Vec<u8>>,
+) -> Result<StageReport> {
+    let tallies = Arc::new(StageTallies {
+        ok: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        latencies_ms: Mutex::new(Vec::new()),
+    });
+    let dims = vec![cfg.payload_elems];
+    let t0 = trace::monotonic_ns();
+    let mut joins = Vec::new();
+    for _ in 0..clients {
+        let addr = addr.to_string();
+        let profile = cfg.profile.clone();
+        let dims = dims.clone();
+        let payload = Arc::clone(payload);
+        let tallies = Arc::clone(&tallies);
+        let requests = cfg.requests_per_client;
+        joins.push(spawn_service("serve-load-client", move || {
+            let Ok(mut client) = Client::connect_tcp(&addr) else {
+                tallies.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            for _ in 0..requests {
+                let start = trace::monotonic_ns();
+                match client.compress(&profile, DType::F32, &dims, &payload) {
+                    Ok(ServeOutcome::Ok(_)) => {
+                        let ms = (trace::monotonic_ns().saturating_sub(start)) as f64 / 1e6;
+                        tallies.ok.fetch_add(1, Ordering::Relaxed);
+                        let mut lat = tallies
+                            .latencies_ms
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner());
+                        lat.push(ms);
+                    }
+                    Ok(ServeOutcome::Busy { retry_after_ms, .. }) => {
+                        tallies.busy.fetch_add(1, Ordering::Relaxed);
+                        let ms = u64::from(retry_after_ms);
+                        std::thread::sleep(Duration::from_millis(ms.min(250)));
+                    }
+                    Err(_) => {
+                        tallies.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        })?);
+    }
+    for j in joins {
+        let _ = j.join();
+    }
+    let wall_s = (trace::monotonic_ns().saturating_sub(t0)) as f64 / 1e9;
+
+    let ok = tallies.ok.load(Ordering::Relaxed);
+    let busy = tallies.busy.load(Ordering::Relaxed);
+    let errors = tallies.errors.load(Ordering::Relaxed);
+    let latencies = tallies
+        .latencies_ms
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    let total = ok + busy + errors;
+    Ok(StageReport {
+        clients,
+        requests: total,
+        ok,
+        busy,
+        errors,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        throughput_rps: if wall_s > 0.0 { ok as f64 / wall_s } else { 0.0 },
+        shed_rate: if total > 0 { busy as f64 / total as f64 } else { 0.0 },
+    })
+}
+
+/// Run the ramp and gate on the overload-robustness criteria.
+pub fn run(cfg: &LoadConfig) -> Result<LoadReport> {
+    let serve_cfg = ServeConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(serve_cfg)?;
+    let addr = server
+        .tcp_addr()
+        .ok_or_else(|| Error::internal("load harness: no TCP address"))?
+        .to_string();
+
+    let payload: Arc<Vec<u8>> = Arc::new(
+        (0..cfg.payload_elems)
+            .flat_map(|i| ((i as f32 * 0.125).sin() * 64.0).to_le_bytes())
+            .collect(),
+    );
+
+    let mut stages = Vec::new();
+    for &m in &cfg.stage_multipliers {
+        let clients = (m * cfg.workers).max(1);
+        stages.push(run_stage(&addr, cfg, clients, &payload)?);
+    }
+
+    let drain = server.shutdown();
+    let report = LoadReport {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        payload_bytes: cfg.payload_elems * 4,
+        profile: cfg.profile.clone(),
+        stages,
+        drained_clean: drain.drained_clean,
+        stuck_inflight: drain.stuck_inflight,
+        watchdog: drain.watchdog,
+        busy_total: drain.busy_responses,
+    };
+
+    // The acceptance criteria ARE the gate: overload may shed, never
+    // break.
+    for s in &report.stages {
+        if s.errors > 0 {
+            return Err(Error::internal(format!(
+                "stage with {} clients produced {} non-Busy failure(s)",
+                s.clients, s.errors
+            )));
+        }
+    }
+    if !report.drained_clean || report.stuck_inflight != 0 {
+        return Err(Error::internal(format!(
+            "drain was not clean: clean={}, stuck={}",
+            report.drained_clean, report.stuck_inflight
+        )));
+    }
+    if report.watchdog.0 != report.watchdog.1 {
+        return Err(Error::internal(format!(
+            "leaked watchdog workers: spawned={}, idle={}",
+            report.watchdog.0, report.watchdog.1
+        )));
+    }
+    Ok(report)
+}
+
+/// Serialize a [`LoadReport`] to the `pressio-serve/bench-v1` document.
+pub fn to_json(report: &LoadReport) -> String {
+    let mut s = String::with_capacity(2048);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", json_string(SERVE_SCHEMA)));
+    s.push_str(&format!("  \"workers\": {},\n", report.workers));
+    s.push_str(&format!(
+        "  \"queue_capacity\": {},\n",
+        report.queue_capacity
+    ));
+    s.push_str(&format!("  \"payload_bytes\": {},\n", report.payload_bytes));
+    s.push_str(&format!("  \"profile\": {},\n", json_string(&report.profile)));
+    s.push_str("  \"stages\": [\n");
+    for (i, st) in report.stages.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"ok\": {}, \"busy\": {}, \"errors\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"throughput_rps\": {:.2}, \"shed_rate\": {:.4}}}{}\n",
+            st.clients,
+            st.requests,
+            st.ok,
+            st.busy,
+            st.errors,
+            st.p50_ms,
+            st.p99_ms,
+            st.throughput_rps,
+            st.shed_rate,
+            if i + 1 < report.stages.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"drain\": {{\"clean\": {}, \"stuck_inflight\": {}, \"watchdog_spawned\": {}, \"watchdog_idle\": {}}},\n",
+        report.drained_clean, report.stuck_inflight, report.watchdog.0, report.watchdog.1
+    ));
+    s.push_str(&format!("  \"busy_total\": {}\n", report.busy_total));
+    s.push_str("}\n");
+    s
+}
+
+/// Validate a committed `BENCH_serve.json` against the schema's
+/// invariants (the serve analog of `bench --check`).
+pub fn validate_json(text: &str) -> Result<()> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Error::corrupt("serve report: missing \"schema\""))?;
+    if schema != SERVE_SCHEMA {
+        return Err(Error::corrupt(format!(
+            "schema {schema:?} != {SERVE_SCHEMA:?}"
+        )));
+    }
+    let num = |key: &str| -> Result<f64> {
+        doc.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| Error::corrupt(format!("serve report: missing number {key:?}")))
+    };
+    if num("workers")? < 1.0 || num("queue_capacity")? < 1.0 {
+        return Err(Error::corrupt("serve report: capacity must be >= 1"));
+    }
+    let workers = num("workers")?;
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::corrupt("serve report: missing \"stages\""))?;
+    if stages.is_empty() {
+        return Err(Error::corrupt("serve report: no stages"));
+    }
+    let mut max_mult = 0.0f64;
+    for st in stages {
+        let snum = |key: &str| -> Result<f64> {
+            st.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| Error::corrupt(format!("stage: missing number {key:?}")))
+        };
+        let (clients, requests) = (snum("clients")?, snum("requests")?);
+        let (ok, busy, errors) = (snum("ok")?, snum("busy")?, snum("errors")?);
+        if errors != 0.0 {
+            return Err(Error::corrupt(
+                "stage: overload produced non-Busy failures",
+            ));
+        }
+        if (ok + busy + errors - requests).abs() > 0.5 {
+            return Err(Error::corrupt(
+                "stage: ok + busy + errors must equal requests",
+            ));
+        }
+        if ok > 0.0 && snum("p99_ms")? < snum("p50_ms")? {
+            return Err(Error::corrupt("stage: p99 below p50"));
+        }
+        let rate = snum("shed_rate")?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(Error::corrupt("stage: shed_rate out of [0, 1]"));
+        }
+        max_mult = max_mult.max(clients / workers.max(1.0));
+    }
+    // The whole point of the harness: the ramp must actually go past 2x
+    // capacity.
+    if max_mult < 2.0 {
+        return Err(Error::corrupt(
+            "serve report: ramp never exceeded 2x capacity",
+        ));
+    }
+    let drain = doc
+        .get("drain")
+        .ok_or_else(|| Error::corrupt("serve report: missing \"drain\""))?;
+    if drain.get("clean").and_then(Json::as_bool) != Some(true) {
+        return Err(Error::corrupt("serve report: drain was not clean"));
+    }
+    if drain.get("stuck_inflight").and_then(Json::as_num) != Some(0.0) {
+        return Err(Error::corrupt("serve report: requests stuck in flight"));
+    }
+    let spawned = drain.get("watchdog_spawned").and_then(Json::as_num);
+    let idle = drain.get("watchdog_idle").and_then(Json::as_num);
+    if spawned.is_none() || spawned != idle {
+        return Err(Error::corrupt("serve report: leaked watchdog workers"));
+    }
+    Ok(())
+}
+
+/// A one-screen human summary of the report.
+pub fn render_table(report: &LoadReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve load: {} worker(s), queue {}, {} B payload, profile {:?}\n",
+        report.workers, report.queue_capacity, report.payload_bytes, report.profile
+    ));
+    out.push_str("clients  requests      ok    busy    errs   p50_ms   p99_ms     rps  shed\n");
+    for s in &report.stages {
+        out.push_str(&format!(
+            "{:>7} {:>9} {:>7} {:>7} {:>7} {:>8.2} {:>8.2} {:>7.1} {:>5.1}%\n",
+            s.clients,
+            s.requests,
+            s.ok,
+            s.busy,
+            s.errors,
+            s.p50_ms,
+            s.p99_ms,
+            s.throughput_rps,
+            s.shed_rate * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "drain: clean={} stuck={} watchdog={}/{} busy_total={}\n",
+        report.drained_clean,
+        report.stuck_inflight,
+        report.watchdog.0,
+        report.watchdog.1,
+        report.busy_total
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LoadReport {
+        LoadReport {
+            workers: 2,
+            queue_capacity: 2,
+            payload_bytes: 1024,
+            profile: "lossless".to_string(),
+            stages: vec![
+                StageReport {
+                    clients: 2,
+                    requests: 16,
+                    ok: 16,
+                    busy: 0,
+                    errors: 0,
+                    p50_ms: 1.0,
+                    p99_ms: 2.0,
+                    throughput_rps: 100.0,
+                    shed_rate: 0.0,
+                },
+                StageReport {
+                    clients: 8,
+                    requests: 64,
+                    ok: 50,
+                    busy: 14,
+                    errors: 0,
+                    p50_ms: 2.0,
+                    p99_ms: 9.0,
+                    throughput_rps: 80.0,
+                    shed_rate: 14.0 / 64.0,
+                },
+            ],
+            drained_clean: true,
+            stuck_inflight: 0,
+            watchdog: (3, 3),
+            busy_total: 14,
+        }
+    }
+
+    #[test]
+    fn serve_report_json_round_trips_validation() {
+        let json = to_json(&sample_report());
+        validate_json(&json).expect("self-emitted report validates");
+    }
+
+    #[test]
+    fn validation_rejects_broken_invariants() {
+        let mut r = sample_report();
+        r.stages[1].errors = 1;
+        r.stages[1].requests += 1;
+        assert!(validate_json(&to_json(&r)).is_err(), "errors > 0 rejected");
+
+        let mut r = sample_report();
+        r.drained_clean = false;
+        assert!(validate_json(&to_json(&r)).is_err(), "dirty drain rejected");
+
+        let mut r = sample_report();
+        r.watchdog = (4, 3);
+        assert!(validate_json(&to_json(&r)).is_err(), "leak rejected");
+
+        let mut r = sample_report();
+        r.stages.truncate(1);
+        assert!(
+            validate_json(&to_json(&r)).is_err(),
+            "a ramp that never passes 2x capacity rejected"
+        );
+    }
+}

@@ -1,0 +1,621 @@
+//! The `pressio serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response, over TCP or a Unix socket — is one
+//! frame:
+//!
+//! ```text
+//! magic      u32le  0x50535631 ("PSV1")
+//! kind       u8     frame kind (request 1..=4, response 129..=132)
+//! request_id u64le  client-chosen correlation id, echoed in the response
+//! body_len   u32le  byte length of the body that follows
+//! body       [u8; body_len]   kind-specific, see below
+//! ```
+//!
+//! The 17-byte header is fixed-size and is parsed *before any allocation*:
+//! [`parse_header`] works on a stack array, validates the magic, the kind,
+//! and `body_len` against the connection's cap, and only then does the
+//! socket layer allocate `body_len` bytes. A hostile peer declaring a
+//! 1 TiB body costs 17 bytes of reads and a structured
+//! [`CorruptStream`](ErrorCode::CorruptStream) — never an allocation.
+//! Bodies are parsed with [`ByteReader`], whose length fields are
+//! bounds-checked against the remaining slice, and geometry is validated
+//! with [`checked_geometry`] before any output buffer is sized.
+//!
+//! Request bodies:
+//! - `Compress` / `Decompress`: profile name (section), dtype tag (u8),
+//!   dims (u32 count + u64 each), payload (section). For `Compress` the
+//!   payload is the raw typed buffer and must match the declared geometry
+//!   exactly; for `Decompress` it is a compressed stream and the geometry
+//!   declares the output buffer.
+//! - `Health`, `Shutdown`: empty body.
+//!
+//! Response bodies:
+//! - `RespOk`: payload (section) — compressed or decompressed bytes.
+//! - `RespError`: numeric [`ErrorCode`] (u8) + message (section).
+//! - `RespBusy`: retry-after hint in ms (u32), queue depth (u32),
+//!   message (section). Maps to [`ErrorCode::Busy`].
+//! - `RespHealth`: UTF-8 JSON stats document (section).
+
+use libpressio::core::{checked_geometry, ByteReader, ByteWriter};
+use libpressio::{DType, Error, ErrorCode, Result};
+
+/// Frame magic: "PSV1" as a little-endian u32.
+pub const FRAME_MAGIC: u32 = 0x5053_5631;
+
+/// Fixed frame-header size: magic + kind + request_id + body_len.
+pub const HEADER_LEN: usize = 4 + 1 + 8 + 4;
+
+/// Default per-connection cap on a frame body. Requests past this are
+/// rejected structurally before allocation.
+pub const DEFAULT_MAX_BODY: usize = 256 << 20;
+
+/// Longest accepted profile name.
+pub const MAX_PROFILE_NAME: usize = 128;
+
+/// Most dimensions a request may declare.
+pub const MAX_REQUEST_DIMS: usize = 8;
+
+/// Frame kinds. Requests have the high bit clear, responses set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Compress `payload` (raw typed buffer) under a named profile.
+    Compress = 1,
+    /// Decompress `payload` into the declared geometry under a profile.
+    Decompress = 2,
+    /// Queue depth, shed counts, per-profile latency percentiles.
+    Health = 3,
+    /// Ask the daemon to drain gracefully and exit.
+    Shutdown = 4,
+    /// Success; body is the result payload.
+    RespOk = 129,
+    /// Structured failure; body is code + message.
+    RespError = 130,
+    /// Load-shed; body is retry-after + depth + message.
+    RespBusy = 131,
+    /// Health report; body is a JSON document.
+    RespHealth = 132,
+}
+
+impl FrameKind {
+    /// Decode a wire tag.
+    pub fn from_tag(tag: u8) -> Result<FrameKind> {
+        Ok(match tag {
+            1 => FrameKind::Compress,
+            2 => FrameKind::Decompress,
+            3 => FrameKind::Health,
+            4 => FrameKind::Shutdown,
+            129 => FrameKind::RespOk,
+            130 => FrameKind::RespError,
+            131 => FrameKind::RespBusy,
+            132 => FrameKind::RespHealth,
+            other => {
+                return Err(Error::corrupt(format!("unknown frame kind {other}"))
+                    .in_plugin("serve"))
+            }
+        })
+    }
+}
+
+/// A validated frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// What the body means.
+    pub kind: FrameKind,
+    /// Client correlation id, echoed back in the response.
+    pub request_id: u64,
+    /// Validated body length (`<= max_body`).
+    pub body_len: usize,
+}
+
+/// Parse and validate the fixed-size header. Pure stack math — nothing is
+/// allocated, so oversized or garbage headers are rejected for free.
+pub fn parse_header(raw: &[u8; HEADER_LEN], max_body: usize) -> Result<FrameHeader> {
+    let mut r = ByteReader::new(raw);
+    let magic = r.get_u32()?;
+    if magic != FRAME_MAGIC {
+        return Err(Error::corrupt(format!(
+            "bad frame magic {magic:#010x} (expected {FRAME_MAGIC:#010x})"
+        ))
+        .in_plugin("serve"));
+    }
+    let kind = FrameKind::from_tag(r.get_u8()?)?;
+    let request_id = r.get_u64()?;
+    let body_len = r.get_count()?;
+    if body_len > max_body {
+        return Err(Error::corrupt(format!(
+            "declared body length {body_len} exceeds the {max_body}-byte frame cap"
+        ))
+        .in_plugin("serve"));
+    }
+    Ok(FrameHeader {
+        kind,
+        request_id,
+        body_len,
+    })
+}
+
+/// A parsed request body, payload borrowed from the frame buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RequestBody<'a> {
+    /// Compress a raw typed buffer.
+    Compress {
+        /// Named profile to dispatch to.
+        profile: &'a str,
+        /// Element type of `payload`.
+        dtype: DType,
+        /// Geometry of `payload`.
+        dims: Vec<usize>,
+        /// The raw typed buffer; length must equal the geometry's bytes.
+        payload: &'a [u8],
+    },
+    /// Decompress a stream into a declared geometry.
+    Decompress {
+        /// Named profile to dispatch to.
+        profile: &'a str,
+        /// Element type of the output buffer.
+        dtype: DType,
+        /// Geometry of the output buffer.
+        dims: Vec<usize>,
+        /// The compressed stream.
+        payload: &'a [u8],
+    },
+    /// Stats request (empty body).
+    Health,
+    /// Graceful-drain request (empty body).
+    Shutdown,
+}
+
+/// Reject profile names that cannot possibly be registry names before any
+/// lookup: empty, oversized, or containing bytes outside `[A-Za-z0-9_:.-]`.
+pub fn validate_profile_name(name: &str) -> Result<()> {
+    if name.is_empty() {
+        return Err(Error::corrupt("empty profile name").in_plugin("serve"));
+    }
+    if name.len() > MAX_PROFILE_NAME {
+        return Err(Error::corrupt(format!(
+            "profile name of {} bytes exceeds the {MAX_PROFILE_NAME}-byte cap",
+            name.len()
+        ))
+        .in_plugin("serve"));
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '_' | ':' | '.' | '-')))
+    {
+        return Err(Error::corrupt(format!(
+            "profile name contains forbidden character {bad:?}"
+        ))
+        .in_plugin("serve"));
+    }
+    Ok(())
+}
+
+/// Parse a request body for a validated header. Every declared length is
+/// checked against the actual slice before it is consumed, the profile
+/// name is sanity-checked, and the geometry must pass [`checked_geometry`]
+/// — so a garbage body can never size an allocation.
+pub fn parse_request<'a>(kind: FrameKind, body: &'a [u8]) -> Result<RequestBody<'a>> {
+    match kind {
+        FrameKind::Health => {
+            if !body.is_empty() {
+                return Err(Error::corrupt("health request body must be empty").in_plugin("serve"));
+            }
+            Ok(RequestBody::Health)
+        }
+        FrameKind::Shutdown => {
+            if !body.is_empty() {
+                return Err(
+                    Error::corrupt("shutdown request body must be empty").in_plugin("serve")
+                );
+            }
+            Ok(RequestBody::Shutdown)
+        }
+        FrameKind::Compress | FrameKind::Decompress => {
+            let mut r = ByteReader::new(body);
+            let profile = r.get_str()?;
+            validate_profile_name(profile)?;
+            let dtype = r.get_dtype()?;
+            let dims = r.get_dims()?;
+            if dims.is_empty() || dims.len() > MAX_REQUEST_DIMS {
+                return Err(Error::corrupt(format!(
+                    "request declares {} dimensions (accepted: 1..={MAX_REQUEST_DIMS})",
+                    dims.len()
+                ))
+                .in_plugin("serve"));
+            }
+            let geometry_bytes = checked_geometry(dtype, &dims)?;
+            let payload = r.get_section()?;
+            if r.remaining() != 0 {
+                return Err(Error::corrupt(format!(
+                    "{} trailing bytes after the request body",
+                    r.remaining()
+                ))
+                .in_plugin("serve"));
+            }
+            if kind == FrameKind::Compress {
+                if payload.len() != geometry_bytes {
+                    return Err(Error::corrupt(format!(
+                        "payload is {} bytes but the declared geometry needs {geometry_bytes}",
+                        payload.len()
+                    ))
+                    .in_plugin("serve"));
+                }
+                Ok(RequestBody::Compress {
+                    profile,
+                    dtype,
+                    dims,
+                    payload,
+                })
+            } else {
+                Ok(RequestBody::Decompress {
+                    profile,
+                    dtype,
+                    dims,
+                    payload,
+                })
+            }
+        }
+        FrameKind::RespOk | FrameKind::RespError | FrameKind::RespBusy | FrameKind::RespHealth => {
+            Err(Error::corrupt("response frame sent to the server").in_plugin("serve"))
+        }
+    }
+}
+
+/// A parsed response body (client side), payloads owned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; the compressed / decompressed bytes.
+    Ok(Vec<u8>),
+    /// Structured failure.
+    Error {
+        /// The failure's [`ErrorCode`], numeric on the wire.
+        code: ErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The request was shed (admission queue full or daemon draining).
+    Busy {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u32,
+        /// Queue depth observed at shed time.
+        depth: u32,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Health report (JSON document).
+    Health(String),
+}
+
+fn frame(kind: FrameKind, request_id: u64, body: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(HEADER_LEN + body.len());
+    w.put_u32(FRAME_MAGIC);
+    w.put_u8(kind as u8);
+    w.put_u64(request_id);
+    w.put_u32(body.len() as u32);
+    w.put_bytes(body);
+    w.into_vec()
+}
+
+/// Encode a compress / decompress request frame.
+pub fn encode_request(
+    kind: FrameKind,
+    request_id: u64,
+    profile: &str,
+    dtype: DType,
+    dims: &[usize],
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut b = ByteWriter::with_capacity(payload.len() + profile.len() + 64);
+    b.put_str(profile);
+    b.put_dtype(dtype);
+    b.put_dims(dims);
+    b.put_section(payload);
+    frame(kind, request_id, b.as_slice())
+}
+
+/// Encode a bodyless request frame ([`FrameKind::Health`] /
+/// [`FrameKind::Shutdown`]).
+pub fn encode_bodyless(kind: FrameKind, request_id: u64) -> Vec<u8> {
+    frame(kind, request_id, &[])
+}
+
+/// Encode a response frame.
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Ok(payload) => {
+            let mut b = ByteWriter::with_capacity(payload.len() + 16);
+            b.put_section(payload);
+            frame(FrameKind::RespOk, request_id, b.as_slice())
+        }
+        Response::Error { code, message } => {
+            let mut b = ByteWriter::with_capacity(message.len() + 16);
+            // Codes are 1..=10 today; u8 leaves headroom for 255 more.
+            b.put_u8(code.code().clamp(0, 255) as u8);
+            b.put_section(message.as_bytes());
+            frame(FrameKind::RespError, request_id, b.as_slice())
+        }
+        Response::Busy {
+            retry_after_ms,
+            depth,
+            message,
+        } => {
+            let mut b = ByteWriter::with_capacity(message.len() + 16);
+            b.put_u32(*retry_after_ms);
+            b.put_u32(*depth);
+            b.put_section(message.as_bytes());
+            frame(FrameKind::RespBusy, request_id, b.as_slice())
+        }
+        Response::Health(json) => {
+            let mut b = ByteWriter::with_capacity(json.len() + 16);
+            b.put_section(json.as_bytes());
+            frame(FrameKind::RespHealth, request_id, b.as_slice())
+        }
+    }
+}
+
+/// Map a wire error code back to an [`ErrorCode`], exhaustively over
+/// [`ErrorCode::ALL`] — an unknown number is itself a corrupt stream, so
+/// new codes can never silently collapse into `Internal`.
+pub fn error_code_from_wire(n: u8) -> Result<ErrorCode> {
+    ErrorCode::ALL
+        .iter()
+        .copied()
+        .find(|c| c.code() == i32::from(n))
+        .ok_or_else(|| Error::corrupt(format!("unknown error code {n} on the wire")).in_plugin("serve"))
+}
+
+/// Parse a response body (client side).
+pub fn parse_response(kind: FrameKind, body: &[u8]) -> Result<Response> {
+    let mut r = ByteReader::new(body);
+    let resp = match kind {
+        FrameKind::RespOk => Response::Ok(r.get_section()?.to_vec()),
+        FrameKind::RespError => {
+            let code = error_code_from_wire(r.get_u8()?)?;
+            let message = std::str::from_utf8(r.get_section()?)
+                .map_err(|_| Error::corrupt("error message is not UTF-8").in_plugin("serve"))?
+                .to_string();
+            Response::Error { code, message }
+        }
+        FrameKind::RespBusy => {
+            let retry_after_ms = r.get_u32()?;
+            let depth = r.get_u32()?;
+            let message = std::str::from_utf8(r.get_section()?)
+                .map_err(|_| Error::corrupt("busy message is not UTF-8").in_plugin("serve"))?
+                .to_string();
+            Response::Busy {
+                retry_after_ms,
+                depth,
+                message,
+            }
+        }
+        FrameKind::RespHealth => Response::Health(
+            std::str::from_utf8(r.get_section()?)
+                .map_err(|_| Error::corrupt("health body is not UTF-8").in_plugin("serve"))?
+                .to_string(),
+        ),
+        _ => return Err(Error::corrupt("request frame sent to the client").in_plugin("serve")),
+    };
+    if r.remaining() != 0 {
+        return Err(Error::corrupt(format!(
+            "{} trailing bytes after the response body",
+            r.remaining()
+        ))
+        .in_plugin("serve"));
+    }
+    Ok(resp)
+}
+
+/// What one blocking frame read produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame.
+    Frame(FrameHeader, Vec<u8>),
+    /// Clean EOF at a frame boundary (peer closed).
+    Eof,
+    /// The socket's read timeout elapsed with *no* bytes of a new frame
+    /// read — the connection is idle, the caller re-checks its flags.
+    Idle,
+}
+
+/// Read one frame from a blocking stream with an optional read timeout.
+///
+/// The 17-byte header is read into a stack buffer and validated before the
+/// body allocation. Timeouts *between* frames surface as
+/// [`ReadOutcome::Idle`]; a timeout *inside* a frame keeps waiting (the
+/// peer is mid-write), and EOF inside a frame is a [`CorruptStream`]
+/// truncation error.
+pub fn read_frame(stream: &mut impl std::io::Read, max_body: usize) -> Result<ReadOutcome> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_fully(stream, &mut header, true)? {
+        FillOutcome::Filled => {}
+        FillOutcome::CleanEof => return Ok(ReadOutcome::Eof),
+        FillOutcome::Idle => return Ok(ReadOutcome::Idle),
+    }
+    let parsed = parse_header(&header, max_body)?;
+    // Allocation happens only here, after the length passed validation.
+    let mut body = vec![0u8; parsed.body_len];
+    match read_fully(stream, &mut body, false)? {
+        FillOutcome::Filled => Ok(ReadOutcome::Frame(parsed, body)),
+        FillOutcome::CleanEof | FillOutcome::Idle => Err(Error::corrupt(
+            "stream truncated inside a frame body",
+        )
+        .in_plugin("serve")),
+    }
+}
+
+enum FillOutcome {
+    Filled,
+    CleanEof,
+    Idle,
+}
+
+/// Fill `buf` from the stream. With `idle_ok`, a timeout before the first
+/// byte reports [`FillOutcome::Idle`]; once any byte has arrived the frame
+/// is in flight and timeouts keep retrying (a mid-frame EOF is an error
+/// handled by the caller via [`FillOutcome::CleanEof`] + `got > 0`).
+fn read_fully(
+    stream: &mut impl std::io::Read,
+    buf: &mut [u8],
+    idle_ok: bool,
+) -> Result<FillOutcome> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && idle_ok {
+                    return Ok(FillOutcome::CleanEof);
+                }
+                return Err(Error::corrupt(format!(
+                    "peer closed mid-frame after {got} bytes"
+                ))
+                .in_plugin("serve"));
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if got == 0 && idle_ok {
+                    return Ok(FillOutcome::Idle);
+                }
+                // Mid-frame: the peer is slow, keep waiting.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::new(ErrorCode::Io, e.to_string()).in_plugin("serve")),
+        }
+    }
+    Ok(FillOutcome::Filled)
+}
+
+/// Write a full frame to a blocking stream.
+pub fn write_frame(stream: &mut impl std::io::Write, bytes: &[u8]) -> Result<()> {
+    stream
+        .write_all(bytes)
+        .and_then(|()| stream.flush())
+        .map_err(|e| Error::new(ErrorCode::Io, e.to_string()).in_plugin("serve"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let f = encode_bodyless(FrameKind::Health, 7);
+        assert_eq!(f.len(), HEADER_LEN);
+        let mut raw = [0u8; HEADER_LEN];
+        raw.copy_from_slice(&f);
+        let h = parse_header(&raw, DEFAULT_MAX_BODY).expect("valid header");
+        assert_eq!(h.kind, FrameKind::Health);
+        assert_eq!(h.request_id, 7);
+        assert_eq!(h.body_len, 0);
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let payload: Vec<u8> = (0..32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let f = encode_request(FrameKind::Compress, 3, "fast", DType::F32, &[8, 4], &payload);
+        let mut raw = [0u8; HEADER_LEN];
+        raw.copy_from_slice(&f[..HEADER_LEN]);
+        let h = parse_header(&raw, DEFAULT_MAX_BODY).expect("valid header");
+        assert_eq!(h.body_len, f.len() - HEADER_LEN);
+        match parse_request(h.kind, &f[HEADER_LEN..]).expect("valid body") {
+            RequestBody::Compress {
+                profile,
+                dtype,
+                dims,
+                payload: p,
+            } => {
+                assert_eq!(profile, "fast");
+                assert_eq!(dtype, DType::F32);
+                assert_eq!(dims, vec![8, 4]);
+                assert_eq!(p, &payload[..]);
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_without_allocation() {
+        // A header declaring a body over the cap must fail in parse_header
+        // (which allocates nothing), not at the allocation site.
+        let mut w = ByteWriter::with_capacity(HEADER_LEN);
+        w.put_u32(FRAME_MAGIC);
+        w.put_u8(FrameKind::Compress as u8);
+        w.put_u64(1);
+        w.put_u32(u32::MAX);
+        let mut raw = [0u8; HEADER_LEN];
+        raw.copy_from_slice(w.as_slice());
+        let err = parse_header(&raw, DEFAULT_MAX_BODY).expect_err("must reject");
+        assert_eq!(err.code(), ErrorCode::CorruptStream);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Ok(vec![1, 2, 3]),
+            Response::Error {
+                code: ErrorCode::Timeout,
+                message: "too slow".into(),
+            },
+            Response::Busy {
+                retry_after_ms: 25,
+                depth: 4,
+                message: "queue full".into(),
+            },
+            Response::Health("{\"ok\":true}".into()),
+        ] {
+            let f = encode_response(9, &resp);
+            let mut raw = [0u8; HEADER_LEN];
+            raw.copy_from_slice(&f[..HEADER_LEN]);
+            let h = parse_header(&raw, DEFAULT_MAX_BODY).expect("valid header");
+            assert_eq!(h.request_id, 9);
+            let parsed = parse_response(h.kind, &f[HEADER_LEN..]).expect("valid body");
+            assert_eq!(parsed, resp);
+        }
+    }
+
+    #[test]
+    fn every_error_code_survives_the_wire() {
+        for code in ErrorCode::ALL {
+            let f = encode_response(
+                1,
+                &Response::Error {
+                    code: *code,
+                    message: "x".into(),
+                },
+            );
+            match parse_response(FrameKind::RespError, &f[HEADER_LEN..]).expect("valid") {
+                Response::Error { code: back, .. } => assert_eq!(back, *code),
+                other => panic!("wrong body {other:?}"),
+            }
+        }
+        assert!(error_code_from_wire(0).is_err());
+        assert!(error_code_from_wire(200).is_err());
+    }
+
+    #[test]
+    fn garbage_profile_names_are_rejected() {
+        for name in ["", "a b", "p\u{1F980}", "../../etc/passwd\0"] {
+            let mut b = ByteWriter::new();
+            b.put_str(name);
+            b.put_u8(DType::F32.tag());
+            b.put_dims(&[4]);
+            b.put_section(&[0u8; 16]);
+            let err = parse_request(FrameKind::Compress, b.as_slice()).expect_err(name);
+            assert_eq!(err.code(), ErrorCode::CorruptStream, "{name:?}");
+        }
+        // Too-long name.
+        let long = "x".repeat(MAX_PROFILE_NAME + 1);
+        let mut b = ByteWriter::new();
+        b.put_str(&long);
+        b.put_u8(DType::F32.tag());
+        b.put_dims(&[4]);
+        b.put_section(&[0u8; 16]);
+        let err = parse_request(FrameKind::Compress, b.as_slice()).expect_err("too long");
+        assert_eq!(err.code(), ErrorCode::CorruptStream);
+    }
+}

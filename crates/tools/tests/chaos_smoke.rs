@@ -5,7 +5,7 @@
 //! later run on the same handle.
 #![cfg(feature = "chaos")]
 
-use pressio_tools::chaos::{chaos_all, ChaosSweepConfig};
+use pressio_tools::chaos::{chaos_all, chaos_serve, ChaosSweepConfig};
 
 #[test]
 fn quick_sweep_honors_the_self_healing_contract() {
@@ -17,5 +17,22 @@ fn quick_sweep_honors_the_self_healing_contract() {
     assert_eq!(
         report.survived + report.cancelled + report.contained,
         report.runs
+    );
+}
+
+#[test]
+fn quick_serve_sweep_degrades_and_recovers_cleanly() {
+    let report = chaos_serve(&ChaosSweepConfig::quick()).expect("chaos feature is on");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.targets, 1, "one daemon target");
+    assert_eq!(report.runs, 8, "8 faulted servers");
+    assert_eq!(
+        report.survived + report.cancelled + report.contained,
+        report.runs
+    );
+    // The sweep is pointless if the service scheduling points never fire.
+    assert!(
+        report.service_faults > 0,
+        "no service faults were injected: {report}"
     );
 }

@@ -1,0 +1,220 @@
+//! Smoke tier for `pressio serve`: the exact checks ci.sh's `--serve`
+//! tier performs. Starts real daemons on loopback TCP and a Unix socket,
+//! round-trips every default profile, pushes an overload burst past
+//! capacity (sheds must be structured `Busy`, never aborts), exercises
+//! malformed-frame rejection on a live socket, and asserts the graceful
+//! drain leaves zero in-flight requests and no leaked watchdog workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use libpressio::DType;
+use pressio_tools::serve::client::{Client, ServeOutcome};
+use pressio_tools::serve::{ServeConfig, Server};
+
+fn f32_payload(n: usize) -> Vec<u8> {
+    (0..n)
+        .flat_map(|i| ((i as f32 * 0.25).sin() * 100.0).to_le_bytes())
+        .collect()
+}
+
+fn start_tcp(cfg: ServeConfig) -> (Server, String) {
+    let mut cfg = cfg;
+    cfg.tcp_addr = Some("127.0.0.1:0".to_string());
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    (server, addr)
+}
+
+#[test]
+fn round_trips_every_default_profile_over_tcp() {
+    let (server, addr) = start_tcp(ServeConfig::default());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    let dims = vec![256usize];
+    let payload = f32_payload(256);
+    for profile in ["raw", "lossless", "sz_abs_1e3", "zfp_default"] {
+        let compressed = match client
+            .compress(profile, DType::F32, &dims, &payload)
+            .unwrap_or_else(|e| panic!("{profile}: compress failed: {e}"))
+        {
+            ServeOutcome::Ok(bytes) => bytes,
+            ServeOutcome::Busy { .. } => panic!("{profile}: shed with an idle daemon"),
+        };
+        let restored = match client
+            .decompress(profile, DType::F32, &dims, &compressed)
+            .unwrap_or_else(|e| panic!("{profile}: decompress failed: {e}"))
+        {
+            ServeOutcome::Ok(bytes) => bytes,
+            ServeOutcome::Busy { .. } => panic!("{profile}: shed with an idle daemon"),
+        };
+        assert_eq!(restored.len(), payload.len(), "{profile}: geometry survives");
+        if profile == "raw" || profile == "lossless" {
+            assert_eq!(restored, payload, "{profile}: lossless profiles are exact");
+        } else {
+            // Lossy profiles honor their bound; spot-check it loosely.
+            for (a, b) in payload.chunks(4).zip(restored.chunks(4)) {
+                let x = f32::from_le_bytes([a[0], a[1], a[2], a[3]]);
+                let y = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+                assert!((x - y).abs() < 1.0, "{profile}: error bound blown: {x} vs {y}");
+            }
+        }
+    }
+
+    let health = client.health().expect("health frame");
+    assert!(health.contains("\"schema\":\"pressio-serve/health-v1\""));
+    assert!(health.contains("\"profiles\""));
+
+    let report = server.shutdown();
+    assert!(report.drained_clean, "idle daemon drains clean: {report:?}");
+    assert_eq!(report.stuck_inflight, 0);
+    assert_eq!(
+        report.watchdog.0, report.watchdog.1,
+        "no leaked watchdog workers: {report:?}"
+    );
+}
+
+#[test]
+fn unknown_profile_and_malformed_frames_are_structured() {
+    let (server, addr) = start_tcp(ServeConfig::default());
+
+    // Unknown profile: a structured NotFound, connection stays usable.
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let err = client
+        .compress("no_such_profile", DType::F32, &[4], &f32_payload(4))
+        .expect_err("unknown profile is an error");
+    assert_eq!(err.code(), libpressio::ErrorCode::NotFound);
+    assert!(matches!(
+        client.compress("raw", DType::F32, &[4], &f32_payload(4)),
+        Ok(ServeOutcome::Ok(_))
+    ));
+
+    // Garbage bytes on a raw socket: the daemon answers a structured
+    // CorruptStream error (id 0) and closes; it must not abort.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write garbage");
+        raw.flush().ok();
+        let mut buf = Vec::new();
+        use std::io::Read;
+        raw.set_read_timeout(Some(std::time::Duration::from_secs(5))).ok();
+        let _ = raw.read_to_end(&mut buf);
+        // 17-byte response header + body; kind RespError = 130 at offset 4.
+        assert!(buf.len() >= 17, "a structured rejection came back: {buf:?}");
+        assert_eq!(buf[4], 130, "rejection is a RespError frame");
+    }
+
+    // Daemon survived the garbage: fresh connections still work.
+    let mut after = Client::connect_tcp(&addr).expect("connect after garbage");
+    assert!(matches!(
+        after.compress("raw", DType::F32, &[4], &f32_payload(4)),
+        Ok(ServeOutcome::Ok(_))
+    ));
+
+    let report = server.shutdown();
+    assert_eq!(report.stuck_inflight, 0);
+}
+
+#[test]
+fn overload_burst_sheds_structurally_and_drains_clean() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let (server, addr) = start_tcp(cfg);
+
+    // 8 clients, each firing a burst of compress requests at a 1-worker,
+    // 1-slot daemon: far past 2x capacity, so sheds are guaranteed.
+    let busies = Arc::new(AtomicU64::new(0));
+    let oks = Arc::new(AtomicU64::new(0));
+    let dims = vec![64 * 1024usize];
+    let payload = Arc::new(f32_payload(64 * 1024));
+    let mut joins = Vec::new();
+    for _ in 0..8 {
+        let addr = addr.clone();
+        let busies = Arc::clone(&busies);
+        let oks = Arc::clone(&oks);
+        let dims = dims.clone();
+        let payload = Arc::clone(&payload);
+        joins.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).expect("connect");
+            for _ in 0..6 {
+                match client.compress("lossless", DType::F32, &dims, &payload) {
+                    Ok(ServeOutcome::Ok(_)) => {
+                        oks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(ServeOutcome::Busy { retry_after_ms, .. }) => {
+                        busies.fetch_add(1, Ordering::Relaxed);
+                        assert!(retry_after_ms >= 5, "retry hint is populated");
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            retry_after_ms as u64,
+                        ));
+                    }
+                    Err(e) => panic!("overload produced a non-Busy failure: {e}"),
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("no client thread panicked");
+    }
+
+    let sheds = busies.load(Ordering::Relaxed);
+    let served = oks.load(Ordering::Relaxed);
+    assert!(sheds > 0, "a 1-slot daemon under 8x burst must shed");
+    assert!(served > 0, "accepted requests still complete under overload");
+
+    let report = server.shutdown();
+    assert!(report.drained_clean, "drain after burst: {report:?}");
+    assert_eq!(report.stuck_inflight, 0);
+    assert!(report.busy_responses >= sheds);
+    assert_eq!(
+        report.queue.accepted,
+        report.queue.popped + report.queue.depth as u64,
+        "admission conservation holds end-to-end"
+    );
+    assert_eq!(
+        report.watchdog.0, report.watchdog.1,
+        "no leaked watchdog workers: {report:?}"
+    );
+}
+
+#[test]
+fn unix_socket_round_trip_and_client_initiated_drain() {
+    let dir = std::env::temp_dir().join(format!("pressio-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let sock = dir.join("serve.sock");
+    let cfg = ServeConfig {
+        unix_path: Some(sock.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("server starts");
+
+    let mut client = Client::connect_unix(&sock).expect("connect unix");
+    let payload = f32_payload(128);
+    let compressed = match client
+        .compress("lossless", DType::F32, &[128], &payload)
+        .expect("compress over unix")
+    {
+        ServeOutcome::Ok(bytes) => bytes,
+        ServeOutcome::Busy { .. } => panic!("idle daemon shed"),
+    };
+    match client
+        .decompress("lossless", DType::F32, &[128], &compressed)
+        .expect("decompress over unix")
+    {
+        ServeOutcome::Ok(restored) => assert_eq!(restored, payload),
+        ServeOutcome::Busy { .. } => panic!("idle daemon shed"),
+    }
+
+    // A client-initiated drain: the Shutdown frame is acked, the server
+    // notices, and a graceful shutdown cleans up the socket file.
+    client.shutdown().expect("shutdown frame acked");
+    assert!(server.shutdown_requested());
+    let report = server.shutdown();
+    assert!(report.drained_clean, "{report:?}");
+    assert!(!sock.exists(), "socket file removed on drain");
+    std::fs::remove_dir_all(&dir).ok();
+}
