@@ -412,6 +412,8 @@ fn cmd_serve(args: &Args) -> Result<()> {
         drain_deadline_ms: parse_num("drain-ms", 0)?,
         max_body: parse_num("max-body", 0)? as usize,
         default_deadline_ms: parse_num("deadline-ms", 0)?,
+        max_connections: parse_num("max-conns", 0)? as usize,
+        allow_remote_shutdown: args.get("allow-remote-shutdown").is_some(),
         ..ServeConfig::default()
     };
     install_terminate_handler();
@@ -667,11 +669,13 @@ const USAGE: &str = "usage: pressio <list|options|compress|decompress|eval|gen|c
               # pristine server's and a drain with nothing stuck or leaked
   serve      [--tcp host:port] [--unix path] [--profile name=compressor[,k=v...]]...
               [--workers N] [--queue N] [--drain-ms T] [--deadline-ms T] [--max-body B]
+              [--max-conns N] [--allow-remote-shutdown]
               # run the admission-controlled compression daemon: bounded
               # queue with structured Busy shedding, per-request deadlines
-              # and memory budgets, graceful drain on SIGTERM/SIGINT or a
-              # client Shutdown frame. Default profiles: raw, lossless,
-              # sz_abs_1e3, zfp_default
+              # and memory budgets, a connection cap (default 256), and
+              # graceful drain on SIGTERM/SIGINT or a client Shutdown
+              # frame (unix-socket only unless --allow-remote-shutdown).
+              # Default profiles: raw, lossless, sz_abs_1e3, zfp_default
   bench      [--quick] [--out path] [--n edge] [--repeats N] [--sizes 32,64,128]
               [--check] [--gate] [--serve [--workers N] [--queue N] [--requests N]]
               # measure native vs through-interface time per plugin, then sweep

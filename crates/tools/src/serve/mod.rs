@@ -21,12 +21,24 @@
 //!   serving it (bounded patience), which fills the admission queue, which
 //!   sheds — pressure propagates to the edge instead of accumulating as
 //!   memory. A reader stalled past `slow_writer_give_up_ms` forfeits the
-//!   response and the connection is closed.
+//!   response and the connection is poisoned and closed; a peer that
+//!   half-writes a frame and goes silent is abandoned by the protocol
+//!   layer's mid-frame stall deadline.
+//! - **Bounded connections**: accepted connections are capped
+//!   (`max_connections`); past the cap a new peer gets one structured
+//!   `Busy` frame and is closed at accept, and finished connection
+//!   threads are reaped on every accept instead of accumulating for the
+//!   daemon's lifetime.
 //! - **Graceful drain**: `SIGTERM` (CLI) or a `Shutdown` frame stops
 //!   admission ([`DrainGate::begin_drain`]), finishes everything already
 //!   admitted, and escalates to cooperative cancellation of in-flight
 //!   tokens if the drain deadline passes. [`Server::shutdown`] joins every
-//!   thread it spawned and reports whether the drain was clean.
+//!   thread it spawned — force-closing the sockets of connections that do
+//!   not wind down within a bounded grace period, so a stalled peer can
+//!   never hang the drain — and reports whether it was clean. A `Shutdown`
+//!   frame is only honored from the Unix socket unless
+//!   `allow_remote_shutdown` is set: an unauthenticated TCP peer cannot
+//!   terminate the daemon.
 //! - **Observability**: a `Health` frame returns queue depth, shed counts,
 //!   and per-profile p50/p99 latency; the same numbers flow through the
 //!   trace layer as `serve:*` counters.
@@ -190,6 +202,27 @@ pub struct ServeConfig {
     /// Worker patience for a stuffed write buffer before the response is
     /// forfeited and the connection poisoned (0 → 2000).
     pub slow_writer_give_up_ms: u64,
+    /// Cap on concurrently accepted connections; past it a new peer is
+    /// answered with one `Busy` frame and closed at accept (0 → 256).
+    pub max_connections: usize,
+    /// Honor `Shutdown` frames arriving over TCP. Off by default: any
+    /// peer that can reach the TCP listener could otherwise terminate the
+    /// daemon; the Unix socket (filesystem-permissioned) always may.
+    pub allow_remote_shutdown: bool,
+}
+
+/// A connection's response path: the bounded write buffer plus the poison
+/// flag that condemns the whole connection. Cloned into every [`Request`]
+/// admitted from that connection.
+#[derive(Clone)]
+struct ConnTx {
+    tx: SyncSender<Vec<u8>>,
+    /// Set when the connection is condemned — a slow-writer give-up or a
+    /// write failure. The writer thread closes the stream on sight and the
+    /// reader stops consuming, honoring the documented contract that a
+    /// forfeited response ends the connection rather than leaving the
+    /// client blocked on a request that will never be answered.
+    poisoned: Arc<AtomicBool>,
 }
 
 /// What a request needs once admitted: everything owned, plus the permit
@@ -205,8 +238,8 @@ struct Request {
     dtype: DType,
     dims: Vec<usize>,
     payload: Vec<u8>,
-    /// The connection's bounded write buffer.
-    tx: SyncSender<Vec<u8>>,
+    /// The originating connection's response path.
+    conn: ConnTx,
     permit: InFlightPermit,
     /// Trace-clock ns at admission, for end-to-end latency accounting.
     enqueue_ns: u64,
@@ -290,11 +323,37 @@ struct Shared {
     malformed: AtomicU64,
     slow_drops: AtomicU64,
     connections: AtomicU64,
-    /// Reader/writer threads spawned per connection, reaped at shutdown.
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Live connections: reaped on every accept, force-closed at drain.
+    conns: Mutex<Vec<ConnSlot>>,
     max_body: usize,
     write_buffer_frames: usize,
     slow_writer_give_up_ms: u64,
+    max_connections: usize,
+    allow_remote_shutdown: bool,
+}
+
+/// One accepted connection's threads plus a stream clone kept solely so
+/// shutdown can force-close a peer that will not wind down on its own.
+struct ConnSlot {
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+    stream: Stream,
+}
+
+/// Join and drop every connection whose threads have both finished, so a
+/// long-lived daemon's thread table tracks *live* connections instead of
+/// every connection ever accepted.
+fn reap_finished(conns: &mut Vec<ConnSlot>) {
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].reader.is_finished() && conns[i].writer.is_finished() {
+            let slot = conns.swap_remove(i);
+            let _ = slot.reader.join();
+            let _ = slot.writer.join();
+        } else {
+            i += 1;
+        }
+    }
 }
 
 enum Listener {
@@ -467,7 +526,7 @@ impl Server {
             malformed: AtomicU64::new(0),
             slow_drops: AtomicU64::new(0),
             connections: AtomicU64::new(0),
-            conn_threads: Mutex::new(Vec::new()),
+            conns: Mutex::new(Vec::new()),
             max_body: if cfg.max_body == 0 {
                 DEFAULT_MAX_BODY
             } else {
@@ -483,6 +542,12 @@ impl Server {
             } else {
                 cfg.slow_writer_give_up_ms
             },
+            max_connections: if cfg.max_connections == 0 {
+                256
+            } else {
+                cfg.max_connections
+            },
+            allow_remote_shutdown: cfg.allow_remote_shutdown,
         });
 
         let mut threads = Vec::new();
@@ -583,7 +648,7 @@ impl Server {
                 cancelled_inflight += 1;
             }
             for req in sh.queue.close_and_clear() {
-                respond_busy(sh, &req.tx, req.client_id, 0, "daemon shutting down");
+                respond_busy(sh, &req.conn, req.client_id, 0, "daemon shutting down");
                 cleared_queued += 1;
                 drop(req); // retires the permit
             }
@@ -597,12 +662,30 @@ impl Server {
         for t in self.threads {
             let _ = t.join();
         }
-        let conn_threads: Vec<JoinHandle<()>> = {
-            let mut g = sh.conn_threads.lock().unwrap_or_else(|p| p.into_inner());
-            g.drain(..).collect()
-        };
-        for t in conn_threads {
-            let _ = t.join();
+        // Connection threads get a bounded grace window to wind down (an
+        // idle reader notices the drain flag within one read-timeout
+        // tick); whoever is left — a peer mid-frame, a stuffed writer —
+        // has its socket force-closed so the joins below cannot hang on a
+        // half-written frame.
+        let grace_deadline = trace::monotonic_ns().saturating_add(500_000_000);
+        loop {
+            let all_done = {
+                let mut conns = lock_ignore(&sh.conns);
+                reap_finished(&mut conns);
+                conns.is_empty()
+            };
+            if all_done || trace::monotonic_ns() >= grace_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(SEND_POLL_MS.min(5)));
+        }
+        let leftovers: Vec<ConnSlot> = lock_ignore(&sh.conns).drain(..).collect();
+        for slot in &leftovers {
+            slot.stream.shutdown();
+        }
+        for slot in leftovers {
+            let _ = slot.reader.join();
+            let _ = slot.writer.join();
         }
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
@@ -634,13 +717,16 @@ fn lock_ignore<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
 }
 
 fn acceptor_loop(shared: Arc<Shared>, listener: Listener) {
+    // TCP peers are "remote" for the Shutdown-frame policy; the Unix
+    // socket is local (its reach is bounded by filesystem permissions).
+    let remote = matches!(listener, Listener::Tcp(_));
     loop {
         if shared.draining.load(Ordering::Relaxed) {
             return;
         }
         match listener.accept() {
             Ok(stream) => {
-                if spawn_connection(&shared, stream).is_err() {
+                if spawn_connection(&shared, stream, remote).is_err() {
                     trace::count("serve:conn_spawn_failed", 1);
                 }
             }
@@ -654,30 +740,64 @@ fn acceptor_loop(shared: Arc<Shared>, listener: Listener) {
     }
 }
 
-fn spawn_connection(shared: &Arc<Shared>, stream: Stream) -> Result<()> {
+fn spawn_connection(shared: &Arc<Shared>, stream: Stream, remote: bool) -> Result<()> {
     stream
         .configure()
         .map_err(|e| Error::new(ErrorCode::Io, e.to_string()))?;
+    // Reap finished connections on every accept, then enforce the cap —
+    // both are what keep a long-lived daemon's thread table bounded by
+    // *live* connections. The slight overshoot two racing acceptors can
+    // cause is harmless; the Busy write below happens outside the lock so
+    // a slow rejected peer cannot stall accepts.
+    let live = {
+        let mut conns = lock_ignore(&shared.conns);
+        reap_finished(&mut conns);
+        conns.len()
+    };
+    if live >= shared.max_connections {
+        shared.busy_responses.fetch_add(1, Ordering::Relaxed);
+        trace::count("serve:conn_rejected", 1);
+        let frame = encode_response(
+            0,
+            &Response::Busy {
+                retry_after_ms: 100,
+                depth: live as u32,
+                message: format!("connection limit ({}) reached", shared.max_connections),
+            },
+        );
+        let mut stream = stream;
+        let _ = protocol::write_frame(&mut stream, &frame);
+        stream.shutdown();
+        return Ok(());
+    }
     let writer_stream = stream
+        .try_clone()
+        .map_err(|e| Error::new(ErrorCode::Io, e.to_string()))?;
+    let shutdown_stream = stream
         .try_clone()
         .map_err(|e| Error::new(ErrorCode::Io, e.to_string()))?;
     shared.connections.fetch_add(1, Ordering::Relaxed);
     trace::count("serve:connections", 1);
     let (tx, rx) = sync_channel::<Vec<u8>>(shared.write_buffer_frames);
-    let poisoned = Arc::new(AtomicBool::new(false));
+    let conn = ConnTx {
+        tx,
+        poisoned: Arc::new(AtomicBool::new(false)),
+    };
 
     let sh = Arc::clone(shared);
-    let poisoned_w = Arc::clone(&poisoned);
+    let poisoned_w = Arc::clone(&conn.poisoned);
     let writer = spawn_service("serve-conn-writer", move || {
         writer_loop(sh, writer_stream, rx, poisoned_w);
     })?;
     let sh = Arc::clone(shared);
     let reader = spawn_service("serve-conn-reader", move || {
-        reader_loop(sh, stream, tx, poisoned);
+        reader_loop(sh, stream, conn, remote);
     })?;
-    let mut threads = lock_ignore(&shared.conn_threads);
-    threads.push(writer);
-    threads.push(reader);
+    lock_ignore(&shared.conns).push(ConnSlot {
+        reader,
+        writer,
+        stream: shutdown_stream,
+    });
     Ok(())
 }
 
@@ -690,6 +810,9 @@ fn writer_loop(
     loop {
         match rx.recv_timeout(Duration::from_millis(READ_POLL_MS)) {
             Ok(frame) => {
+                if poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
                 if protocol::write_frame(&mut stream, &frame).is_err() {
                     // Stuffed or dead peer past the write timeout: the
                     // connection is over; readers see the poison flag.
@@ -710,18 +833,25 @@ fn writer_loop(
 
 /// Bounded-patience send into a connection's write buffer. Blocks while
 /// the buffer is full (this is the backpressure path: the worker stalls,
-/// the queue fills, admission sheds) but gives up after `give_up_ms`,
-/// poisoning nothing — the writer/reader notice a dead peer themselves.
-fn bounded_send(shared: &Shared, tx: &SyncSender<Vec<u8>>, frame: Vec<u8>, give_up_ms: u64) -> bool {
-    let deadline = trace::monotonic_ns().saturating_add(give_up_ms.saturating_mul(1_000_000));
+/// the queue fills, admission sheds) but gives up after
+/// `slow_writer_give_up_ms` — and a give-up *poisons the connection*: the
+/// writer closes the stream, so the client sees a closed socket instead
+/// of silently waiting forever on a request id that was forfeited.
+fn bounded_send(shared: &Shared, conn: &ConnTx, frame: Vec<u8>) -> bool {
+    let deadline = trace::monotonic_ns()
+        .saturating_add(shared.slow_writer_give_up_ms.saturating_mul(1_000_000));
     let mut frame = frame;
     loop {
-        match tx.try_send(frame) {
+        if conn.poisoned.load(Ordering::Relaxed) {
+            return false;
+        }
+        match conn.tx.try_send(frame) {
             Ok(()) => return true,
             Err(TrySendError::Full(f)) => {
                 if trace::monotonic_ns() >= deadline {
                     shared.slow_drops.fetch_add(1, Ordering::Relaxed);
                     trace::count("serve:slow_reader_drop", 1);
+                    conn.poisoned.store(true, Ordering::SeqCst);
                     return false;
                 }
                 frame = f;
@@ -732,7 +862,7 @@ fn bounded_send(shared: &Shared, tx: &SyncSender<Vec<u8>>, frame: Vec<u8>, give_
     }
 }
 
-fn respond_busy(shared: &Shared, tx: &SyncSender<Vec<u8>>, client_id: u64, depth: usize, msg: &str) {
+fn respond_busy(shared: &Shared, conn: &ConnTx, client_id: u64, depth: usize, msg: &str) {
     shared.busy_responses.fetch_add(1, Ordering::Relaxed);
     trace::count("serve:busy", 1);
     // Retry hint grows with the backlog the shed request saw.
@@ -745,17 +875,12 @@ fn respond_busy(shared: &Shared, tx: &SyncSender<Vec<u8>>, client_id: u64, depth
             message: msg.to_string(),
         },
     );
-    let _ = bounded_send(shared, tx, frame, shared.slow_writer_give_up_ms);
+    let _ = bounded_send(shared, conn, frame);
 }
 
-fn reader_loop(
-    shared: Arc<Shared>,
-    mut stream: Stream,
-    tx: SyncSender<Vec<u8>>,
-    poisoned: Arc<AtomicBool>,
-) {
+fn reader_loop(shared: Arc<Shared>, mut stream: Stream, conn: ConnTx, remote: bool) {
     loop {
-        if poisoned.load(Ordering::Relaxed) {
+        if conn.poisoned.load(Ordering::Relaxed) {
             break;
         }
         match read_frame(&mut stream, shared.max_body) {
@@ -766,13 +891,14 @@ fn reader_loop(
             }
             Ok(ReadOutcome::Eof) => break,
             Ok(ReadOutcome::Frame(header, body)) => {
-                if !handle_frame(&shared, &tx, header, &body) {
+                if !handle_frame(&shared, &conn, header, &body, remote) {
                     break;
                 }
             }
             Err(e) if e.code() == ErrorCode::CorruptStream => {
-                // Malformed framing: answer structurally, then close — we
-                // cannot trust the byte stream to be in sync anymore.
+                // Malformed framing (including a mid-frame stall): answer
+                // structurally, then close — we cannot trust the byte
+                // stream to be in sync anymore.
                 shared.malformed.fetch_add(1, Ordering::Relaxed);
                 trace::count("serve:malformed", 1);
                 let frame = encode_response(
@@ -782,21 +908,22 @@ fn reader_loop(
                         message: e.to_string(),
                     },
                 );
-                let _ = bounded_send(&shared, &tx, frame, shared.slow_writer_give_up_ms);
+                let _ = bounded_send(&shared, &conn, frame);
                 break;
             }
             Err(_) => break,
         }
     }
-    // Dropping tx lets the writer drain pending responses and exit.
+    // Dropping the ConnTx lets the writer drain pending responses and exit.
 }
 
 /// Handle one parsed frame; `false` closes the connection.
 fn handle_frame(
     shared: &Arc<Shared>,
-    tx: &SyncSender<Vec<u8>>,
+    conn: &ConnTx,
     header: protocol::FrameHeader,
     body: &[u8],
+    remote: bool,
 ) -> bool {
     let parsed = match parse_request(header.kind, body) {
         Ok(p) => p,
@@ -813,20 +940,33 @@ fn handle_frame(
                     message: e.to_string(),
                 },
             );
-            return bounded_send(shared, tx, frame, shared.slow_writer_give_up_ms);
+            return bounded_send(shared, conn, frame);
         }
     };
     match parsed {
         RequestBody::Health => {
             let frame =
                 encode_response(header.request_id, &Response::Health(health_json(shared)));
-            bounded_send(shared, tx, frame, shared.slow_writer_give_up_ms)
+            bounded_send(shared, conn, frame)
         }
         RequestBody::Shutdown => {
+            if remote && !shared.allow_remote_shutdown {
+                trace::count("serve:shutdown_refused", 1);
+                let frame = encode_response(
+                    header.request_id,
+                    &Response::Error {
+                        code: ErrorCode::Unsupported,
+                        message: "shutdown over TCP is disabled; use the unix socket or \
+                                  start the daemon with --allow-remote-shutdown"
+                            .to_string(),
+                    },
+                );
+                return bounded_send(shared, conn, frame);
+            }
             shared.shutdown_requested.store(true, Ordering::SeqCst);
             trace::count("serve:shutdown_requested", 1);
             let frame = encode_response(header.request_id, &Response::Ok(Vec::new()));
-            let _ = bounded_send(shared, tx, frame, shared.slow_writer_give_up_ms);
+            let _ = bounded_send(shared, conn, frame);
             true
         }
         RequestBody::Compress {
@@ -849,10 +989,31 @@ fn handle_frame(
                         message: format!("no profile named {profile:?}"),
                     },
                 );
-                return bounded_send(shared, tx, frame, shared.slow_writer_give_up_ms);
+                return bounded_send(shared, conn, frame);
+            }
+            // A decompress declares its *output* geometry; cap it by the
+            // same frame-body limit as inputs, or a hostile client could
+            // make a worker allocate (and frame) an arbitrarily large
+            // response from a tiny request.
+            if header.kind == FrameKind::Decompress {
+                let out_bytes = checked_geometry(dtype, &dims).unwrap_or(usize::MAX);
+                if out_bytes > shared.max_body {
+                    let frame = encode_response(
+                        header.request_id,
+                        &Response::Error {
+                            code: ErrorCode::InvalidArgument,
+                            message: format!(
+                                "declared output geometry of {out_bytes} bytes exceeds the \
+                                 {}-byte frame cap",
+                                shared.max_body
+                            ),
+                        },
+                    );
+                    return bounded_send(shared, conn, frame);
+                }
             }
             let Some(permit) = shared.gate.admit() else {
-                respond_busy(shared, tx, header.request_id, 0, "draining: not accepting new requests");
+                respond_busy(shared, conn, header.request_id, 0, "draining: not accepting new requests");
                 return true;
             };
             let request = Request {
@@ -863,7 +1024,7 @@ fn handle_frame(
                 dtype,
                 dims,
                 payload: payload.to_vec(),
-                tx: tx.clone(),
+                conn: conn.clone(),
                 permit,
                 enqueue_ns: trace::monotonic_ns(),
             };
@@ -875,7 +1036,7 @@ fn handle_frame(
                         ShedReason::Full => "admission queue full",
                         ShedReason::Closed => "draining: not accepting new requests",
                     };
-                    respond_busy(shared, &request.tx, request.client_id, depth, msg);
+                    respond_busy(shared, &request.conn, request.client_id, depth, msg);
                     drop(request); // permit retires here, never executed
                     true
                 }
@@ -943,7 +1104,7 @@ fn process_request(
         dtype,
         dims,
         payload,
-        tx,
+        conn,
         permit,
         enqueue_ns,
     } = request;
@@ -991,6 +1152,15 @@ fn process_request(
     lock_ignore(&shared.active).remove(&serial);
 
     let response = match outcome {
+        // Never build a frame whose length field would truncate: a result
+        // past the wire's u32 body limit becomes a structured error.
+        Ok(bytes) if bytes.len() > protocol::MAX_WIRE_BODY - 64 => Response::Error {
+            code: ErrorCode::Unsupported,
+            message: format!(
+                "result of {} bytes exceeds the wire frame limit",
+                bytes.len()
+            ),
+        },
         Ok(bytes) => Response::Ok(bytes),
         Err(e) => Response::Error {
             code: e.code(),
@@ -1012,7 +1182,9 @@ fn process_request(
     libpressio::core::chaos::service_point(&token);
 
     let frame = encode_response(client_id, &response);
-    let _ = bounded_send(shared, &tx, frame, shared.slow_writer_give_up_ms);
+    // A give-up here poisons the connection (see bounded_send): the client
+    // is never left alive-but-unanswered on a forfeited response.
+    let _ = bounded_send(shared, &conn, frame);
     drop(permit);
 }
 

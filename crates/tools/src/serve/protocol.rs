@@ -36,7 +36,7 @@
 //!   message (section). Maps to [`ErrorCode::Busy`].
 //! - `RespHealth`: UTF-8 JSON stats document (section).
 
-use libpressio::core::{checked_geometry, ByteReader, ByteWriter};
+use libpressio::core::{checked_geometry, trace, ByteReader, ByteWriter};
 use libpressio::{DType, Error, ErrorCode, Result};
 
 /// Frame magic: "PSV1" as a little-endian u32.
@@ -48,6 +48,17 @@ pub const HEADER_LEN: usize = 4 + 1 + 8 + 4;
 /// Default per-connection cap on a frame body. Requests past this are
 /// rejected structurally before allocation.
 pub const DEFAULT_MAX_BODY: usize = 256 << 20;
+
+/// The wire format's hard body ceiling: `body_len` is a `u32`, so no frame
+/// body can exceed this many bytes. [`frame`] asserts it; servers answer a
+/// structured error instead of building such a frame.
+pub const MAX_WIRE_BODY: usize = u32::MAX as usize;
+
+/// Default mid-frame stall deadline: once a frame's first byte has
+/// arrived, the peer must keep making progress — this many milliseconds
+/// with no new bytes is a [`CorruptStream`](ErrorCode::CorruptStream)
+/// abandonment, never an indefinitely parked reader thread.
+pub const MID_FRAME_STALL_MS: u64 = 5_000;
 
 /// Longest accepted profile name.
 pub const MAX_PROFILE_NAME: usize = 128;
@@ -288,6 +299,14 @@ pub enum Response {
 }
 
 fn frame(kind: FrameKind, request_id: u64, body: &[u8]) -> Vec<u8> {
+    // A body past u32::MAX would silently truncate the length field and
+    // desynchronize the stream; callers bound payloads well below this
+    // (requests by max_body, responses by the server's size guard).
+    assert!(
+        body.len() <= MAX_WIRE_BODY,
+        "frame body of {} bytes exceeds the u32 wire limit",
+        body.len()
+    );
     let mut w = ByteWriter::with_capacity(HEADER_LEN + body.len());
     w.put_u32(FRAME_MAGIC);
     w.put_u8(kind as u8);
@@ -418,16 +437,28 @@ pub enum ReadOutcome {
     Idle,
 }
 
-/// Read one frame from a blocking stream with an optional read timeout.
+/// Read one frame from a blocking stream with an optional read timeout,
+/// using the default [`MID_FRAME_STALL_MS`] stall deadline.
 ///
 /// The 17-byte header is read into a stack buffer and validated before the
 /// body allocation. Timeouts *between* frames surface as
-/// [`ReadOutcome::Idle`]; a timeout *inside* a frame keeps waiting (the
-/// peer is mid-write), and EOF inside a frame is a [`CorruptStream`]
-/// truncation error.
+/// [`ReadOutcome::Idle`]; EOF inside a frame is a [`CorruptStream`]
+/// truncation error; a peer that starts a frame and then stops sending is
+/// abandoned as [`CorruptStream`] once no bytes arrive for the stall
+/// deadline — a half-written frame can never park the reader forever.
 pub fn read_frame(stream: &mut impl std::io::Read, max_body: usize) -> Result<ReadOutcome> {
+    read_frame_stall(stream, max_body, MID_FRAME_STALL_MS)
+}
+
+/// [`read_frame`] with an explicit mid-frame stall deadline in
+/// milliseconds (`0` means a single timeout tick is already a stall).
+pub fn read_frame_stall(
+    stream: &mut impl std::io::Read,
+    max_body: usize,
+    stall_ms: u64,
+) -> Result<ReadOutcome> {
     let mut header = [0u8; HEADER_LEN];
-    match read_fully(stream, &mut header, true)? {
+    match read_fully(stream, &mut header, true, stall_ms)? {
         FillOutcome::Filled => {}
         FillOutcome::CleanEof => return Ok(ReadOutcome::Eof),
         FillOutcome::Idle => return Ok(ReadOutcome::Idle),
@@ -435,7 +466,7 @@ pub fn read_frame(stream: &mut impl std::io::Read, max_body: usize) -> Result<Re
     let parsed = parse_header(&header, max_body)?;
     // Allocation happens only here, after the length passed validation.
     let mut body = vec![0u8; parsed.body_len];
-    match read_fully(stream, &mut body, false)? {
+    match read_fully(stream, &mut body, false, stall_ms)? {
         FillOutcome::Filled => Ok(ReadOutcome::Frame(parsed, body)),
         FillOutcome::CleanEof | FillOutcome::Idle => Err(Error::corrupt(
             "stream truncated inside a frame body",
@@ -452,14 +483,20 @@ enum FillOutcome {
 
 /// Fill `buf` from the stream. With `idle_ok`, a timeout before the first
 /// byte reports [`FillOutcome::Idle`]; once any byte has arrived the frame
-/// is in flight and timeouts keep retrying (a mid-frame EOF is an error
-/// handled by the caller via [`FillOutcome::CleanEof`] + `got > 0`).
+/// is in flight and timeouts retry only while the peer keeps making
+/// progress — `stall_ms` without a single new byte abandons the frame as
+/// [`CorruptStream`], so a half-written header or body can never pin the
+/// reading thread indefinitely (a mid-frame EOF is an error handled by the
+/// caller via [`FillOutcome::CleanEof`] + `got > 0`).
 fn read_fully(
     stream: &mut impl std::io::Read,
     buf: &mut [u8],
     idle_ok: bool,
+    stall_ms: u64,
 ) -> Result<FillOutcome> {
     let mut got = 0usize;
+    let stall_ns = stall_ms.saturating_mul(1_000_000);
+    let mut stall_deadline = trace::monotonic_ns().saturating_add(stall_ns);
     while got < buf.len() {
         match stream.read(&mut buf[got..]) {
             Ok(0) => {
@@ -471,7 +508,10 @@ fn read_fully(
                 ))
                 .in_plugin("serve"));
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                stall_deadline = trace::monotonic_ns().saturating_add(stall_ns);
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -481,7 +521,14 @@ fn read_fully(
                 if got == 0 && idle_ok {
                     return Ok(FillOutcome::Idle);
                 }
-                // Mid-frame: the peer is slow, keep waiting.
+                // Mid-frame: tolerate a slow peer, but only one that is
+                // still making progress.
+                if trace::monotonic_ns() >= stall_deadline {
+                    return Err(Error::corrupt(format!(
+                        "peer stalled mid-frame for {stall_ms} ms after {got} bytes"
+                    ))
+                    .in_plugin("serve"));
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(Error::new(ErrorCode::Io, e.to_string()).in_plugin("serve")),
@@ -595,6 +642,58 @@ mod tests {
         }
         assert!(error_code_from_wire(0).is_err());
         assert!(error_code_from_wire(200).is_err());
+    }
+
+    /// Yields `feed` one byte per read, then reports `WouldBlock` forever —
+    /// a peer that starts a frame and goes silent.
+    struct StallingStream {
+        feed: Vec<u8>,
+        pos: usize,
+    }
+
+    impl std::io::Read for StallingStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos < self.feed.len() && !buf.is_empty() {
+                buf[0] = self.feed[self.pos];
+                self.pos += 1;
+                Ok(1)
+            } else {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+    }
+
+    #[test]
+    fn mid_frame_stall_is_abandoned_not_retried_forever() {
+        // A partial header followed by silence must end in CorruptStream
+        // once the stall deadline passes — never an infinite retry loop.
+        let mut partial = StallingStream {
+            feed: encode_bodyless(FrameKind::Health, 1)[..5].to_vec(),
+            pos: 0,
+        };
+        let err = read_frame_stall(&mut partial, DEFAULT_MAX_BODY, 20).expect_err("must abandon");
+        assert_eq!(err.code(), ErrorCode::CorruptStream);
+        assert!(err.to_string().contains("stalled mid-frame"), "{err}");
+
+        // Same for a complete header whose promised body never arrives.
+        let mut bodyless = StallingStream {
+            feed: encode_request(FrameKind::Compress, 2, "p", DType::U8, &[4], &[0u8; 4])
+                [..HEADER_LEN]
+                .to_vec(),
+            pos: 0,
+        };
+        let err = read_frame_stall(&mut bodyless, DEFAULT_MAX_BODY, 20).expect_err("must abandon");
+        assert_eq!(err.code(), ErrorCode::CorruptStream);
+
+        // A timeout before any byte is still a plain Idle, not an error.
+        let mut idle = StallingStream {
+            feed: Vec::new(),
+            pos: 0,
+        };
+        assert!(matches!(
+            read_frame_stall(&mut idle, DEFAULT_MAX_BODY, 20),
+            Ok(ReadOutcome::Idle)
+        ));
     }
 
     #[test]

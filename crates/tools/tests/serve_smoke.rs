@@ -182,6 +182,155 @@ fn overload_burst_sheds_structurally_and_drains_clean() {
 }
 
 #[test]
+fn remote_shutdown_is_refused_unless_opted_in() {
+    // Default: a TCP peer cannot terminate the daemon with a Shutdown
+    // frame — it gets a structured refusal and the connection stays
+    // usable for data requests.
+    let (server, addr) = start_tcp(ServeConfig::default());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let err = client.shutdown().expect_err("remote shutdown must be refused");
+    assert_eq!(err.code(), libpressio::ErrorCode::Unsupported);
+    assert!(
+        !server.shutdown_requested(),
+        "a refused shutdown must not arm the drain"
+    );
+    assert!(matches!(
+        client.compress("raw", DType::F32, &[4], &f32_payload(4)),
+        Ok(ServeOutcome::Ok(_))
+    ));
+    let report = server.shutdown();
+    assert_eq!(report.stuck_inflight, 0);
+
+    // Opt-in: --allow-remote-shutdown restores the old behavior.
+    let (server, addr) = start_tcp(ServeConfig {
+        allow_remote_shutdown: true,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client.shutdown().expect("opted-in remote shutdown is acked");
+    assert!(server.shutdown_requested());
+    let report = server.shutdown();
+    assert_eq!(report.stuck_inflight, 0);
+}
+
+#[test]
+fn half_written_frame_cannot_wedge_the_drain() {
+    // A client that sends a partial header and then stalls used to pin
+    // its reader thread forever, hanging shutdown's joins. Now the drain
+    // force-closes stragglers after a bounded grace window.
+    let (server, addr) = start_tcp(ServeConfig::default());
+    use std::io::Write;
+    let mut stalled = std::net::TcpStream::connect(&addr).expect("raw connect");
+    stalled.write_all(&[0x31, 0x56, 0x53, 0x50, 1]).expect("partial header");
+    stalled.flush().ok();
+    // Give the daemon time to accept and start reading the torso.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let t0 = std::time::Instant::now();
+    let report = server.shutdown();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(4),
+        "drain must not wait out a stalled peer: took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(report.stuck_inflight, 0);
+    assert!(report.drained_clean, "nothing was in flight: {report:?}");
+    drop(stalled);
+}
+
+#[test]
+fn connection_cap_rejects_with_busy() {
+    let (server, addr) = start_tcp(ServeConfig {
+        max_connections: 1,
+        ..ServeConfig::default()
+    });
+    // First connection occupies the only slot.
+    let mut first = Client::connect_tcp(&addr).expect("connect");
+    assert!(matches!(
+        first.compress("raw", DType::F32, &[4], &f32_payload(4)),
+        Ok(ServeOutcome::Ok(_))
+    ));
+    // Second connection is answered with one Busy frame and closed at
+    // accept — read it without writing anything (a write could race the
+    // server-side close).
+    {
+        use std::io::Read;
+        let mut second = std::net::TcpStream::connect(&addr).expect("tcp connect succeeds");
+        second
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .ok();
+        let mut buf = Vec::new();
+        let _ = second.read_to_end(&mut buf);
+        assert!(buf.len() >= 17, "a rejection frame came back: {buf:?}");
+        assert_eq!(buf[4], 131, "rejection is a RespBusy frame, got kind {}", buf[4]);
+    }
+    // The occupied slot keeps working.
+    assert!(matches!(
+        first.compress("raw", DType::F32, &[4], &f32_payload(4)),
+        Ok(ServeOutcome::Ok(_))
+    ));
+    // Freeing the slot lets a later connection in (after the accept-time
+    // reap notices the finished threads).
+    drop(first);
+    let admitted = (0..50).any(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let Ok(mut c) = Client::connect_tcp(&addr) else {
+            return false;
+        };
+        matches!(
+            c.compress("raw", DType::F32, &[4], &f32_payload(4)),
+            Ok(ServeOutcome::Ok(_))
+        )
+    });
+    assert!(admitted, "a freed slot must be reusable");
+
+    let report = server.shutdown();
+    assert_eq!(report.stuck_inflight, 0);
+    assert!(report.busy_responses > 0, "the rejection was counted");
+}
+
+#[test]
+fn slow_reader_forfeits_responses_and_loses_the_connection() {
+    // The documented contract: a client that stops draining its socket
+    // past slow_writer_give_up_ms gets the connection poisoned and
+    // closed — never an open connection silently missing a response.
+    let (server, addr) = start_tcp(ServeConfig {
+        workers: 2,
+        write_buffer_frames: 1,
+        slow_writer_give_up_ms: 100,
+        ..ServeConfig::default()
+    });
+    use pressio_tools::serve::protocol::{encode_request, FrameKind};
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+    // Pipeline several large requests and never read a byte: responses
+    // stuff the kernel buffers and the bounded write buffer, the worker's
+    // patience runs out, and the connection is condemned.
+    let payload = f32_payload(256 * 1024);
+    for id in 1..=6u64 {
+        let frame = encode_request(FrameKind::Compress, id, "raw", DType::F32, &[256 * 1024], &payload);
+        if raw.write_all(&frame).is_err() {
+            break; // already closed on us — that is the contract working
+        }
+    }
+    raw.flush().ok();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    // The socket must reach EOF (close) rather than staying open forever:
+    // read_to_end only returns Ok once the peer has actually closed.
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(10))).ok();
+    let mut sink = Vec::new();
+    raw.read_to_end(&mut sink)
+        .expect("connection must be closed, not left open with a dropped response");
+
+    let report = server.shutdown();
+    assert_eq!(report.stuck_inflight, 0);
+    assert_eq!(
+        report.watchdog.0, report.watchdog.1,
+        "no leaked watchdog workers: {report:?}"
+    );
+}
+
+#[test]
 fn unix_socket_round_trip_and_client_initiated_drain() {
     let dir = std::env::temp_dir().join(format!("pressio-serve-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmp dir");
