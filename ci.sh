@@ -50,13 +50,15 @@
 #                          produce a non-empty, well-nested span tree with
 #                          both handle-level spans
 #   7. pressio bench --check — the *committed* BENCH_overhead.json must
-#                          satisfy the pressio-bench/overhead-v2 schema,
+#                          satisfy the pressio-bench/overhead-v3 schema,
 #                          including self-consistency of the derived
 #                          overhead_pct / speedup fields, the host-clamp
 #                          rule (nthreads_effective == min(requested,
 #                          host_threads) — oversubscribed baselines are
-#                          structurally invalid), and recomputable
-#                          serial_fallback flags; then the quick harness
+#                          structurally invalid), recomputable
+#                          serial_fallback flags, and the entropy section
+#                          (rans never loses to deflate on ratio and
+#                          decodes strictly faster); then the quick harness
 #                          runs end-to-end into target/ and its output is
 #                          checked the same way.
 #   8. pressio bench --gate — the one timing we do gate: the committed

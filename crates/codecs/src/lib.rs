@@ -9,6 +9,7 @@
 //! * [`rle`] — PackBits run-length coding
 //! * [`lz77`] — LZ4-flavored dictionary coder
 //! * [`huffman`] — canonical Huffman over wide alphabets
+//! * [`rans`] — static-table interleaved rANS over bytes (table-driven decode)
 //! * [`deflate`] — LZ77 + Huffman ("deflate-lite", the general backend)
 //! * [`shuffle`] — byte/bit shuffle transforms (BLOSC-style)
 //! * [`float`] — fpzip-style bit-exact float compression
@@ -28,6 +29,7 @@ pub mod huffman;
 pub mod lz77;
 pub mod plugins;
 pub mod quantize;
+pub mod rans;
 pub mod rle;
 pub mod shuffle;
 pub mod varint;

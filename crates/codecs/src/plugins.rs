@@ -3,7 +3,7 @@
 //! Every codec in this crate is exposed through the generic
 //! [`Compressor`] interface and registered under a stable name, giving the
 //! registry its lossless plugin population: `noop`, `rle`, `lz`, `huffman`,
-//! `deflate`, `shuffle`, `bitshuffle`, `blosc`, `fpzip`, `delta`,
+//! `rans`, `deflate`, `shuffle`, `bitshuffle`, `blosc`, `fpzip`, `delta`,
 //! `bit_grooming`, `digit_rounding`, and `linear_quantizer`.
 //!
 //! All streams are self-describing: a small header records the codec id,
@@ -16,7 +16,7 @@ use pressio_core::{
 };
 
 use crate::grooming::{self, GroomMode};
-use crate::{deflate, float, huffman, lz77, quantize, rle, shuffle, varint};
+use crate::{deflate, float, huffman, lz77, quantize, rans, rle, shuffle, varint};
 
 /// Magic prefix of every stream produced by this crate's plugins.
 const MAGIC: u32 = 0x5052_4331; // "PRC1"
@@ -93,6 +93,8 @@ pub enum CodecKind {
     Shuffle,
     /// Bit shuffle by element size then deflate.
     BitShuffle,
+    /// Static-table interleaved rANS over bytes (table-driven decode).
+    Rans,
 }
 
 impl CodecKind {
@@ -105,6 +107,7 @@ impl CodecKind {
             CodecKind::Deflate => "deflate",
             CodecKind::Shuffle => "shuffle",
             CodecKind::BitShuffle => "bitshuffle",
+            CodecKind::Rans => "rans",
         }
     }
 
@@ -117,6 +120,8 @@ impl CodecKind {
             CodecKind::Deflate => 4,
             CodecKind::Shuffle => 5,
             CodecKind::BitShuffle => 6,
+            // 7..=11 are taken by the struct plugins below.
+            CodecKind::Rans => 12,
         }
     }
 
@@ -125,7 +130,11 @@ impl CodecKind {
     fn parallelizable(self) -> bool {
         matches!(
             self,
-            CodecKind::Huffman | CodecKind::Deflate | CodecKind::Shuffle | CodecKind::BitShuffle
+            CodecKind::Huffman
+                | CodecKind::Deflate
+                | CodecKind::Shuffle
+                | CodecKind::BitShuffle
+                | CodecKind::Rans
         )
     }
 }
@@ -197,6 +206,7 @@ impl Compressor for ByteCodec {
                 CodecKind::Deflate => "LZ77 followed by Huffman coding",
                 CodecKind::Shuffle => "byte-shuffle by element size, then deflate",
                 CodecKind::BitShuffle => "bit-shuffle by element size, then deflate",
+                CodecKind::Rans => "static-table interleaved rANS entropy coding",
             },
         )
     }
@@ -216,6 +226,7 @@ impl Compressor for ByteCodec {
             CodecKind::BitShuffle => {
                 deflate::compress_par(&shuffle::bitshuffle(bytes, input.dtype().size()), pieces)?
             }
+            CodecKind::Rans => rans::compress_par(bytes, pieces)?,
         };
         let mut w = ByteWriter::with_capacity(payload.len() + 64);
         write_header(&mut w, self.kind.id(), input);
@@ -238,6 +249,7 @@ impl Compressor for ByteCodec {
             CodecKind::BitShuffle => {
                 shuffle::bitunshuffle(&deflate::decompress(payload)?, dtype.size())
             }
+            CodecKind::Rans => rans::decompress(payload)?,
         };
         let n: usize = dims.iter().product();
         if bytes.len() != n * dtype.size() {
@@ -864,6 +876,7 @@ pub fn register_builtins() {
         CodecKind::Deflate,
         CodecKind::Shuffle,
         CodecKind::BitShuffle,
+        CodecKind::Rans,
     ] {
         reg.register_compressor(kind.name(), move || Box::new(ByteCodec::new(kind)));
     }
@@ -903,6 +916,7 @@ mod tests {
             CodecKind::Deflate,
             CodecKind::Shuffle,
             CodecKind::BitShuffle,
+            CodecKind::Rans,
         ] {
             let mut c = ByteCodec::new(kind);
             roundtrip_lossless(&mut c, &input);
@@ -1063,6 +1077,7 @@ mod tests {
             "rle",
             "lz",
             "huffman",
+            "rans",
             "deflate",
             "shuffle",
             "bitshuffle",

@@ -19,10 +19,70 @@
 //! infinite values always take the verbatim path and are reproduced
 //! bit-exactly.
 
-use pressio_codecs::{deflate, huffman};
+use pressio_codecs::{deflate, huffman, lz77, rans};
 use pressio_core::{
     bytes_to_elements, elements_as_bytes, ByteReader, ByteWriter, Element, Error, Result,
 };
+
+/// Which lossless pass the kernel applies over its entropy-coded and
+/// verbatim sections — the role zlib/zstd play for the reference SZ. The
+/// discriminants are the on-wire tag bytes: 0/1 predate the enum (they
+/// were a bool), so every existing stream keeps decoding unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LosslessBackend {
+    /// No lossless pass (best-speed mode, `sz:sz_mode = 0`).
+    None,
+    /// LZ77 + canonical Huffman ("deflate-lite", the historical default).
+    #[default]
+    Deflate,
+    /// LZ77 + static-table interleaved rANS: the same match modeling with
+    /// a table-driven 12-bit entropy stage (denser codes, faster decode).
+    Rans,
+}
+
+impl LosslessBackend {
+    fn tag(self) -> u8 {
+        match self {
+            LosslessBackend::None => 0,
+            LosslessBackend::Deflate => 1,
+            LosslessBackend::Rans => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<LosslessBackend> {
+        match tag {
+            0 => Ok(LosslessBackend::None),
+            1 => Ok(LosslessBackend::Deflate),
+            2 => Ok(LosslessBackend::Rans),
+            other => Err(Error::corrupt(format!(
+                "unknown sz lossless backend tag {other}"
+            ))),
+        }
+    }
+
+    /// Apply this backend's lossless pass to one section.
+    pub fn compress(self, data: &[u8]) -> Result<Vec<u8>> {
+        match self {
+            LosslessBackend::None => Ok(data.to_vec()),
+            LosslessBackend::Deflate => deflate::compress(data),
+            LosslessBackend::Rans => {
+                pressio_core::cancel::checkpoint()?;
+                let staged = lz77::compress(data);
+                pressio_core::cancel::checkpoint()?;
+                rans::compress(&staged)
+            }
+        }
+    }
+
+    /// Inverse of [`LosslessBackend::compress`].
+    pub fn decompress(self, data: &[u8]) -> Result<Vec<u8>> {
+        match self {
+            LosslessBackend::None => Ok(data.to_vec()),
+            LosslessBackend::Deflate => deflate::decompress(data),
+            LosslessBackend::Rans => lz77::decompress(&rans::decompress(data)?),
+        }
+    }
+}
 
 /// Tuning parameters of one kernel invocation.
 #[derive(Debug, Clone, Copy)]
@@ -32,8 +92,8 @@ pub struct SzParams {
     /// Quantization radius: codes span `[-(radius-1), radius-1]`; alphabet
     /// size is `2 * radius`.
     pub radius: u32,
-    /// Apply a deflate pass over the verbatim (unpredictable) section.
-    pub lossless_unpredictable: bool,
+    /// Lossless pass applied over the entropy-coded and verbatim sections.
+    pub lossless: LosslessBackend,
 }
 
 impl Default for SzParams {
@@ -41,7 +101,7 @@ impl Default for SzParams {
         SzParams {
             abs_eb: 1e-6,
             radius: 32768,
-            lossless_unpredictable: true,
+            lossless: LosslessBackend::Deflate,
         }
     }
 }
@@ -499,20 +559,21 @@ pub fn compress_body<T: SzFloat>(data: &[T], dims: &[usize], p: &SzParams) -> Re
     let unpred_bytes = elements_as_bytes(&unpredictable);
     // Best-compression mode (sz_mode = 1) applies the lossless backend over
     // both sections, like SZ's gzip/zstd stage; best-speed mode skips it.
-    let (huff, unpred_payload) = if p.lossless_unpredictable {
-        let _s = pressio_core::trace::span("sz:deflate");
-        (
-            deflate::compress(&huff_raw)?,
-            deflate::compress(unpred_bytes)?,
-        )
-    } else {
-        (huff_raw, unpred_bytes.to_vec())
+    let (huff, unpred_payload) = match p.lossless {
+        LosslessBackend::None => (huff_raw, unpred_bytes.to_vec()),
+        backend => {
+            let _s = pressio_core::trace::span(match backend {
+                LosslessBackend::Rans => "sz:rans",
+                _ => "sz:deflate",
+            });
+            (backend.compress(&huff_raw)?, backend.compress(unpred_bytes)?)
+        }
     };
     let mut w = ByteWriter::with_capacity(huff.len() + unpred_payload.len() + 64);
     w.put_u32(BODY_MAGIC);
     w.put_f64(p.abs_eb);
     w.put_u32(p.radius);
-    w.put_u8(p.lossless_unpredictable as u8);
+    w.put_u8(p.lossless.tag());
     w.put_u64(unpredictable.len() as u64);
     w.put_section(&huff);
     w.put_section(&unpred_payload);
@@ -534,18 +595,19 @@ pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>
     if !(abs_eb.is_finite() && abs_eb > 0.0) {
         return Err(Error::corrupt("sz stream carries invalid error bound"));
     }
-    let lossless = r.get_u8()? != 0;
+    let lossless = LosslessBackend::from_tag(r.get_u8()?)?;
     let n_unpred = r.get_len()?;
     let huff_section = r.get_section()?;
     let unpred_payload = r.get_section()?;
-    let (huff, unpred_bytes) = if lossless {
-        let _s = pressio_core::trace::span("sz:deflate_decode");
-        (
-            deflate::decompress(huff_section)?,
-            deflate::decompress(unpred_payload)?,
-        )
-    } else {
-        (huff_section.to_vec(), unpred_payload.to_vec())
+    let (huff, unpred_bytes) = match lossless {
+        LosslessBackend::None => (huff_section.to_vec(), unpred_payload.to_vec()),
+        backend => {
+            let _s = pressio_core::trace::span(match backend {
+                LosslessBackend::Rans => "sz:rans_decode",
+                _ => "sz:deflate_decode",
+            });
+            (backend.decompress(huff_section)?, backend.decompress(unpred_payload)?)
+        }
     };
     pressio_core::cancel::checkpoint()?;
     let codes = {
@@ -563,7 +625,7 @@ pub fn decompress_body<T: SzFloat>(body: &[u8], dims: &[usize]) -> Result<Vec<T>
     let p = SzParams {
         abs_eb,
         radius,
-        lossless_unpredictable: lossless,
+        lossless,
     };
     let out = {
         let _s = pressio_core::trace::span("sz:reconstruct");

@@ -22,5 +22,5 @@ pub mod codec;
 pub mod global;
 pub mod plugin;
 
-pub use codec::{compress_body, decompress_body, SzFloat, SzParams};
+pub use codec::{compress_body, decompress_body, LosslessBackend, SzFloat, SzParams};
 pub use plugin::{register_builtins, BoundMode, Sz, SzVariant};

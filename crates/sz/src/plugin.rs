@@ -28,7 +28,7 @@ use pressio_core::{
     OptionKind, OptionValue, Options, Result, ThreadSafety, Version,
 };
 
-use crate::codec::{compress_body, decompress_body, SzFloat, SzParams};
+use crate::codec::{compress_body, decompress_body, LosslessBackend, SzFloat, SzParams};
 use crate::global::{lock_store, SzInitToken};
 
 /// Stream envelope magic ("SZRS").
@@ -73,6 +73,8 @@ pub struct Sz {
     /// 0 = best speed (skip lossless pass on verbatim values), 1 = best
     /// compression.
     sz_mode: i32,
+    /// Lossless backend for best-compression mode (`sz:lossless`).
+    lossless: LosslessBackend,
     nthreads: u32,
     // Compatibility knobs: accepted and reported but not interpreted by this
     // reproduction (they tune SZ's auto interval estimation).
@@ -96,6 +98,7 @@ impl Sz {
             max_quant_intervals: 65536,
             quantization_intervals: 0,
             sz_mode: 1,
+            lossless: LosslessBackend::Deflate,
             nthreads: 4,
             sample_distance: 100,
             pred_threshold: 0.99,
@@ -121,7 +124,13 @@ impl Sz {
         SzParams {
             abs_eb,
             radius: self.radius(),
-            lossless_unpredictable: self.sz_mode != 0,
+            // Best-speed mode skips the lossless pass regardless of which
+            // backend is selected for best-compression mode.
+            lossless: if self.sz_mode == 0 {
+                LosslessBackend::None
+            } else {
+                self.lossless
+            },
         }
     }
 
@@ -284,6 +293,13 @@ impl Compressor for Sz {
                 self.quantization_intervals,
             )
             .with(format!("{p}:sz_mode"), self.sz_mode)
+            .with(
+                format!("{p}:lossless"),
+                match self.lossless {
+                    LosslessBackend::Rans => "rans",
+                    _ => "deflate",
+                },
+            )
             .with(format!("{p}:sample_distance"), self.sample_distance)
             .with(format!("{p}:pred_threshold"), self.pred_threshold)
             .with(format!("{p}:app"), self.app.as_str());
@@ -376,6 +392,18 @@ impl Compressor for Sz {
             }
             self.sz_mode = m;
         }
+        if let Some(b) = options.get_as::<String>(&format!("{p}:lossless"))? {
+            self.lossless = match b.as_str() {
+                "deflate" => LosslessBackend::Deflate,
+                "rans" => LosslessBackend::Rans,
+                other => {
+                    return Err(Error::invalid_argument(format!(
+                        "unknown lossless backend {other:?} (supported: deflate, rans)"
+                    ))
+                    .in_plugin(p))
+                }
+            };
+        }
         if let Some(n) =
             options.get_as::<u32>(&format!("{p}:nthreads"))?.or(options
                 .get_as::<u32>(pressio_core::OPT_NTHREADS)?)
@@ -453,6 +481,10 @@ impl Compressor for Sz {
             .with(
                 format!("{p}:sz_mode"),
                 "0 = best speed, 1 = best compression (lossless pass on verbatim values)",
+            )
+            .with(
+                format!("{p}:lossless"),
+                "lossless backend for best-compression mode: deflate | rans",
             )
             .with(
                 format!("{p}:user_params"),
@@ -862,6 +894,7 @@ mod tests {
             "sz:rel_bound_ratio",
             "sz:max_quant_intervals",
             "sz:sz_mode",
+            "sz:lossless",
             "sz:user_params",
             pressio_core::OPT_ABS,
         ] {
@@ -942,6 +975,47 @@ mod tests {
             c.decompress(&compressed, &mut out).unwrap();
             assert!(max_err(&input, &out) <= 1e-5);
         }
+    }
+
+    #[test]
+    fn rans_lossless_backend_roundtrips_and_is_selectable() {
+        let input = field_3d(8, 24, 24);
+        let mut c = Sz::new(SzVariant::Global);
+        c.set_options(
+            &Options::new()
+                .with("sz:abs_err_bound", 1e-4f64)
+                .with("sz:lossless", "rans"),
+        )
+        .unwrap();
+        assert_eq!(
+            c.get_options().get_as::<String>("sz:lossless").unwrap(),
+            Some("rans".to_string())
+        );
+        let compressed = c.compress(&input).unwrap();
+        let mut out = Data::owned(DType::F64, vec![8, 24, 24]);
+        c.decompress(&compressed, &mut out).unwrap();
+        assert!(max_err(&input, &out) <= 1e-4);
+        // A deflate-backend instance decodes the rans stream too: the
+        // backend travels in the stream, not in the decoder's options.
+        let mut d = Sz::new(SzVariant::Global);
+        let mut out2 = Data::owned(DType::F64, vec![8, 24, 24]);
+        d.decompress(&compressed, &mut out2).unwrap();
+        assert_eq!(
+            out.as_bytes(),
+            out2.as_bytes(),
+            "decode must not depend on the decoder's configured backend"
+        );
+    }
+
+    #[test]
+    fn unknown_lossless_backend_rejected() {
+        let c = Sz::new(SzVariant::Global);
+        assert!(c
+            .check_options(&Options::new().with("sz:lossless", "zstd"))
+            .is_err());
+        assert!(c
+            .check_options(&Options::new().with("sz:lossless", "rans"))
+            .is_ok());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! the point-wise relative mode.
 
 use pressio_core::{Compressor, DType, Data, Options};
-use pressio_sz::{compress_body, decompress_body, Sz, SzParams, SzVariant};
+use pressio_sz::{compress_body, decompress_body, LosslessBackend, Sz, SzParams, SzVariant};
 use proptest::prelude::*;
 
 fn max_err(a: &[f64], b: &[f64]) -> f64 {
@@ -24,7 +24,23 @@ proptest! {
         let p = SzParams {
             abs_eb: 10f64.powi(bound_exp),
             radius: 1 << radius_pow,
-            lossless_unpredictable: true,
+            lossless: LosslessBackend::Deflate,
+        };
+        let dims = [vals.len()];
+        let enc = compress_body(&vals, &dims, &p).unwrap();
+        let dec: Vec<f64> = decompress_body(&enc, &dims).unwrap();
+        prop_assert!(max_err(&vals, &dec) <= p.abs_eb);
+    }
+
+    #[test]
+    fn rans_backend_bound_holds_and_roundtrips(
+        vals in proptest::collection::vec(-1e6f64..1e6, 1..1024),
+        bound_exp in -5i32..3,
+    ) {
+        let p = SzParams {
+            abs_eb: 10f64.powi(bound_exp),
+            lossless: LosslessBackend::Rans,
+            ..Default::default()
         };
         let dims = [vals.len()];
         let enc = compress_body(&vals, &dims, &p).unwrap();

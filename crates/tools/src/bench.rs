@@ -20,8 +20,16 @@
 //! `speedup > 1` — instead [`gate`] re-measures and fails on a *regression*
 //! against the committed numbers.
 //!
+//! A third section compares the SZ lossless-tail backends head-to-head:
+//! deflate-lite (LZ77 + canonical Huffman) against the rANS tail
+//! (LZ77 + static-table interleaved rANS) on a golden-corpus-style field,
+//! recording compressed size and encode/decode wall-clock. The validator
+//! enforces the ordering the rANS backend exists to provide — ratio at
+//! least as good as deflate-lite and strictly faster decode — so a
+//! committed report where the new backend lost is rejected, not shipped.
+//!
 //! The emitted document is validated against a small structural schema
-//! (`pressio-bench/overhead-v2`) by [`validate_json`], which `pressio bench
+//! (`pressio-bench/overhead-v3`) by [`validate_json`], which `pressio bench
 //! --check` (and ci.sh) run against the file on disk; `pressio bench --gate`
 //! runs the no-regression check.
 
@@ -32,7 +40,7 @@ use libpressio::prelude::*;
 use libpressio::{Error, Result};
 
 /// Schema identifier stamped into (and required from) every report.
-pub const SCHEMA: &str = "pressio-bench/overhead-v2";
+pub const SCHEMA: &str = "pressio-bench/overhead-v3";
 
 /// Largest cube edge the sweep accepts (512^3 f32 = 512 MiB).
 pub const MAX_EDGE: usize = 512;
@@ -140,6 +148,31 @@ impl SweepEntry {
     }
 }
 
+/// One lossless-tail backend measurement (the rans-vs-deflate comparison).
+pub struct EntropyEntry {
+    /// Backend name as selectable via `sz:lossless` (`deflate`, `rans`).
+    pub codec: String,
+    /// Uncompressed input size, bytes.
+    pub input_bytes: usize,
+    /// Compressed stream size, bytes.
+    pub compressed_bytes: usize,
+    /// Median compression wall-clock, nanoseconds.
+    pub encode_ns: u128,
+    /// Median decompression wall-clock, nanoseconds.
+    pub decode_ns: u128,
+}
+
+impl EntropyEntry {
+    /// Compression ratio (input / compressed); > 1 means it shrank.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            self.input_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
 /// Complete harness output.
 pub struct BenchReport {
     /// Field shape used for the overhead section (C-order dims of the 3-d
@@ -158,6 +191,8 @@ pub struct BenchReport {
     pub overhead: Vec<OverheadEntry>,
     /// Serial-vs-pooled rows, one per (plugin, edge).
     pub sweep: Vec<SweepEntry>,
+    /// Lossless-tail backend comparison rows (deflate vs rans).
+    pub entropy: Vec<EntropyEntry>,
 }
 
 /// Clamp the requested pooled-variant thread count to what the host can
@@ -289,6 +324,19 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport> {
             interface_ns,
         });
     }
+    {
+        let mut handle = handle_with("rans", &Options::new())?;
+        let native_ns = time_median(reps, || {
+            let _ = libpressio::codecs::rans::compress(&bytes);
+            Ok(())
+        })?;
+        let interface_ns = time_median(reps, || handle.compress(&input).map(|_| ()))?;
+        overhead.push(OverheadEntry {
+            plugin: "rans".into(),
+            native_ns,
+            interface_ns,
+        });
+    }
 
     // Serial vs pooled variants on the shared execution engine, swept
     // across field sizes with the thread request clamped to the host.
@@ -299,6 +347,8 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport> {
         sweep.extend(measure_sweep_edge(edge, reps, nthreads_effective)?);
     }
 
+    let entropy = measure_entropy(reps, cfg.quick)?;
+
     Ok(BenchReport {
         dims: vec![n, n, n],
         repeats: reps,
@@ -307,7 +357,43 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport> {
         nthreads_effective,
         overhead,
         sweep,
+        entropy,
     })
+}
+
+/// Measure the SZ lossless-tail backends head-to-head on a golden-corpus
+/// style field (the `scale_letkf` generator the golden-stream tests pin,
+/// scaled up in the full run so the timings are not noise-dominated).
+fn measure_entropy(reps: usize, quick: bool) -> Result<Vec<EntropyEntry>> {
+    use libpressio::sz::LosslessBackend;
+    let field = if quick {
+        libpressio::datagen::scale_letkf(10, 9, 8, 77)
+    } else {
+        libpressio::datagen::scale_letkf(32, 48, 48, 77)
+    };
+    let data = field.as_bytes().to_vec();
+    let mut rows = Vec::new();
+    for (name, backend) in [
+        ("deflate", LosslessBackend::Deflate),
+        ("rans", LosslessBackend::Rans),
+    ] {
+        let compressed = backend.compress(&data)?;
+        if backend.decompress(&compressed)? != data {
+            return Err(Error::corrupt(format!(
+                "entropy backend {name} failed to round-trip the bench field"
+            )));
+        }
+        let encode_ns = time_median(reps, || backend.compress(&data).map(|_| ()))?;
+        let decode_ns = time_median(reps, || backend.decompress(&compressed).map(|_| ()))?;
+        rows.push(EntropyEntry {
+            codec: name.into(),
+            input_bytes: data.len(),
+            compressed_bytes: compressed.len(),
+            encode_ns,
+            decode_ns,
+        });
+    }
+    Ok(rows)
 }
 
 /// Measure the serial-vs-pooled pairs on one `edge`^3 f32 field.
@@ -358,7 +444,7 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-/// Serialize a report to the `pressio-bench/overhead-v2` JSON document.
+/// Serialize a report to the `pressio-bench/overhead-v3` JSON document.
 pub fn to_json(report: &BenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -405,6 +491,20 @@ pub fn to_json(report: &BenchReport) -> String {
             if i + 1 < report.sweep.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"entropy\": [\n");
+    for (i, e) in report.entropy.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"codec\": {}, \"input_bytes\": {}, \"compressed_bytes\": {}, \"encode_ns\": {}, \"decode_ns\": {}, \"ratio\": {:.4}}}{}\n",
+            json_string(&e.codec),
+            e.input_bytes,
+            e.compressed_bytes,
+            e.encode_ns,
+            e.decode_ns,
+            e.ratio(),
+            if i + 1 < report.entropy.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -447,6 +547,21 @@ pub fn render_table(report: &BenchReport) -> String {
             e.parallel_ns,
             e.speedup(),
             if e.serial_fallback { "serial" } else { "split" }
+        ));
+    }
+    s.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>8} {:>14} {:>14}\n",
+        "tail", "input_b", "compressed_b", "ratio", "encode_ns", "decode_ns"
+    ));
+    for e in &report.entropy {
+        s.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>7.3}x {:>14} {:>14}\n",
+            e.codec,
+            e.input_bytes,
+            e.compressed_bytes,
+            e.ratio(),
+            e.encode_ns,
+            e.decode_ns
         ));
     }
     s
@@ -712,7 +827,7 @@ fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str> {
 }
 
 /// Validate a `BENCH_overhead.json` document against the
-/// `pressio-bench/overhead-v2` structural schema.
+/// `pressio-bench/overhead-v3` structural schema.
 pub fn validate_json(text: &str) -> Result<()> {
     let doc = parse_json(text)?;
     let schema = require_str(&doc, "schema", "report")?;
@@ -838,6 +953,71 @@ pub fn validate_json(text: &str) -> Result<()> {
             )));
         }
     }
+    let entropy = doc
+        .get("entropy")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::corrupt("report: missing \"entropy\" array"))?;
+    let mut deflate_row: Option<(f64, f64)> = None; // (compressed_bytes, decode_ns)
+    let mut rans_row: Option<(f64, f64)> = None;
+    let mut input_bytes: Option<f64> = None;
+    for e in entropy {
+        let codec = require_str(e, "codec", "entropy entry")?;
+        let ctx = format!("entropy[{codec}]");
+        let input = require_num(e, "input_bytes", &ctx)?;
+        let compressed = require_num(e, "compressed_bytes", &ctx)?;
+        let encode = require_num(e, "encode_ns", &ctx)?;
+        let decode = require_num(e, "decode_ns", &ctx)?;
+        if input < 1.0 || compressed < 1.0 || encode <= 0.0 || decode <= 0.0 {
+            return Err(Error::corrupt(format!(
+                "{ctx}: sizes and timings must be positive"
+            )));
+        }
+        // Every backend must have compressed the same input, or the ratio
+        // and decode-throughput comparisons below compare nothing.
+        match input_bytes {
+            None => input_bytes = Some(input),
+            Some(prev) if prev != input => {
+                return Err(Error::corrupt(format!(
+                    "{ctx}: input_bytes {input} differs from other entries' {prev}"
+                )))
+            }
+            Some(_) => {}
+        }
+        let stored_ratio = require_num(e, "ratio", &ctx)?;
+        let derived_ratio = input / compressed;
+        if (stored_ratio - derived_ratio).abs() > 5.1e-5 {
+            return Err(Error::corrupt(format!(
+                "{ctx}: ratio {stored_ratio} is inconsistent with input/compressed bytes \
+                 (derived {derived_ratio:.4})"
+            )));
+        }
+        match codec {
+            "deflate" => deflate_row = Some((compressed, decode)),
+            "rans" => rans_row = Some((compressed, decode)),
+            _ => {}
+        }
+    }
+    let (Some((deflate_bytes, deflate_decode)), Some((rans_bytes, rans_decode))) =
+        (deflate_row, rans_row)
+    else {
+        return Err(Error::corrupt(
+            "entropy: must contain both a \"deflate\" and a \"rans\" entry",
+        ));
+    };
+    // The acceptance ordering the rans backend exists to provide. Compare
+    // raw byte counts (exact) rather than the rounded ratio fields.
+    if rans_bytes > deflate_bytes {
+        return Err(Error::corrupt(format!(
+            "entropy: rans compressed to {rans_bytes} bytes, worse than deflate's \
+             {deflate_bytes} — the rans tail must not lose on ratio"
+        )));
+    }
+    if rans_decode >= deflate_decode {
+        return Err(Error::corrupt(format!(
+            "entropy: rans decode took {rans_decode} ns, not faster than deflate's \
+             {deflate_decode} ns — the rans tail must win on decode throughput"
+        )));
+    }
     Ok(())
 }
 
@@ -943,6 +1123,22 @@ mod tests {
                 // 12^3 f64 is far below the chunk-plan byte floor.
                 serial_fallback: true,
             }],
+            entropy: vec![
+                EntropyEntry {
+                    codec: "deflate".into(),
+                    input_bytes: 10000,
+                    compressed_bytes: 5000,
+                    encode_ns: 40000,
+                    decode_ns: 30000,
+                },
+                EntropyEntry {
+                    codec: "rans".into(),
+                    input_bytes: 10000,
+                    compressed_bytes: 4900,
+                    encode_ns: 45000,
+                    decode_ns: 20000,
+                },
+            ],
         }
     }
 
@@ -964,7 +1160,7 @@ mod tests {
 
     #[test]
     fn validator_rejects_wrong_schema() {
-        let json = to_json(&sample_report()).replace("overhead-v2", "overhead-v9");
+        let json = to_json(&sample_report()).replace("overhead-v3", "overhead-v9");
         assert!(validate_json(&json).is_err());
     }
 
@@ -1113,6 +1309,49 @@ mod tests {
     }
 
     #[test]
+    fn validator_rejects_missing_entropy_section() {
+        let mut r = sample_report();
+        r.entropy.clear();
+        let err = validate_json(&to_json(&r)).expect_err("empty entropy must fail");
+        assert!(err.to_string().contains("entropy"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_entropy_ratio() {
+        // Shrink the stored compressed size but leave the derived ratio:
+        // the committed numbers must follow from the raw byte counts.
+        let json = to_json(&sample_report())
+            .replace("\"compressed_bytes\": 4900", "\"compressed_bytes\": 2450");
+        let err = validate_json(&json).expect_err("tampered ratio must fail");
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_rans_losing_on_ratio() {
+        let mut r = sample_report();
+        r.entropy[1].compressed_bytes = 5100; // worse than deflate's 5000
+        let err = validate_json(&to_json(&r)).expect_err("rans ratio loss must fail");
+        assert!(err.to_string().contains("ratio"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_rans_losing_on_decode_speed() {
+        let mut r = sample_report();
+        r.entropy[1].decode_ns = 30000; // ties deflate: not strictly faster
+        let err = validate_json(&to_json(&r)).expect_err("rans decode loss must fail");
+        assert!(err.to_string().contains("decode"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_entropy_inputs() {
+        let mut r = sample_report();
+        r.entropy[1].input_bytes = 20000;
+        r.entropy[1].compressed_bytes = 9800; // keep its own ratio consistent
+        let err = validate_json(&to_json(&r)).expect_err("input mismatch must fail");
+        assert!(err.to_string().contains("input_bytes"), "{err}");
+    }
+
+    #[test]
     fn validator_rejects_malformed_json() {
         assert!(validate_json("{\"schema\": ").is_err());
         assert!(validate_json("{} trailing").is_err());
@@ -1139,7 +1378,7 @@ mod tests {
             sizes: vec![8],
         };
         let report = run(&cfg).expect("bench run");
-        assert_eq!(report.overhead.len(), 5);
+        assert_eq!(report.overhead.len(), 6);
         assert_eq!(report.sweep.len(), 2, "2 plugin pairs x 1 size");
         // The oversubscription fix: the sweep never requests more threads
         // than the host provides, and the clamp is recorded.

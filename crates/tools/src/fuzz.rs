@@ -207,6 +207,16 @@ fn stacked_targets() -> Vec<Target> {
                     .with("guard:timeout_ms", 2_000u64),
             ),
         },
+        // The registry walk already fuzzes `sz` with its default deflate
+        // tail and the standalone `rans` codec; this target covers the
+        // third combination — SZ streams whose sections carry the rANS
+        // backend tag — so frequency-header damage inside a lossy stream
+        // is exercised too.
+        Target {
+            label: "sz[lossless=rans]".to_string(),
+            name: "sz".to_string(),
+            stack: Some(Options::new().with("sz:lossless", "rans")),
+        },
     ]
 }
 

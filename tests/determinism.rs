@@ -159,6 +159,60 @@ fn chunked_deflate_is_deterministic_and_lossless() {
     }
 }
 
+/// Chunked rANS mirrors the Huffman/deflate contract — nthreads 1/2/7
+/// bit-identity (pieces=1 collapses to the serial frame), a non-divisible
+/// chunk count, decode back to the input — plus the serial-fallback
+/// boundary of its own plan: rans chunks at 1 B/elem with the 256 KiB
+/// floor, so 2 x 256 KiB is the smallest split and one byte under it must
+/// be byte-identical to the serial encode at any piece count.
+#[test]
+fn chunked_rans_is_deterministic_and_lossless() {
+    use libpressio::codecs::rans;
+    // 3 x 256 KiB + a prime tail: every piece count divides unevenly.
+    let data: Vec<u8> = (0..3 * libpressio::core::MIN_CHUNK_BYTES + 101)
+        .map(|i| (i * 7 % 251) as u8)
+        .collect();
+    let serial = rans::compress(&data).expect("compress");
+    assert_eq!(rans::decompress(&serial).expect("decompress"), data);
+    let one = rans::compress_par(&data, 1).expect("compress_par 1");
+    assert_eq!(one, serial);
+    for pieces in [2usize, 7] {
+        let a = rans::compress_par(&data, pieces).expect("compress_par");
+        let b = rans::compress_par(&data, pieces).expect("compress_par");
+        assert_eq!(a, b, "pieces={pieces} stream not deterministic");
+        assert_eq!(rans::decompress(&a).expect("decompress"), data, "pieces={pieces}");
+    }
+}
+
+#[test]
+fn rans_serial_fallback_boundary_is_bit_exact() {
+    use libpressio::codecs::rans;
+    let boundary = 2 * libpressio::core::MIN_CHUNK_BYTES;
+    let make = |len: usize| -> Vec<u8> { (0..len).map(|i| (i * 31 % 253) as u8).collect() };
+    // One byte under the threshold: every piece count collapses to the
+    // serial frame, byte for byte.
+    let under = make(boundary - 1);
+    let serial_under = rans::compress(&under).expect("compress");
+    for pieces in [2usize, 7] {
+        assert_eq!(
+            rans::compress_par(&under, pieces).expect("compress_par"),
+            serial_under,
+            "pieces={pieces}: under the fallback threshold the stream must be \
+             bit-identical to the serial encode"
+        );
+    }
+    // At the threshold the plan must actually split: the chunked container
+    // differs from the serial frame but still decodes to the input.
+    let over = make(boundary);
+    let split = rans::compress_par(&over, 2).expect("compress_par");
+    assert_ne!(
+        split,
+        rans::compress(&over).expect("compress"),
+        "at the fallback threshold the plan must emit the chunked container"
+    );
+    assert_eq!(rans::decompress(&split).expect("decompress"), over);
+}
+
 /// Handle reuse after cancellation: a memory-budget trip
 /// (`ErrorCode::Cancelled`, terminal) aborts a guarded pooled compress
 /// mid-kernel, yet the same handle — budget disarmed — must then produce
@@ -318,7 +372,7 @@ fn serial_fallback_boundary_is_bit_exact() {
 fn byte_codec_nthreads_option_roundtrips_losslessly() {
     let input = field();
     let library = libpressio::instance();
-    for name in ["huffman", "deflate"] {
+    for name in ["huffman", "deflate", "rans"] {
         for nt in THREADS {
             let mut c = library.get_compressor(name).expect(name);
             c.set_options(&Options::new().with(format!("{name}:nthreads"), nt))

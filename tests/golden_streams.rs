@@ -47,6 +47,7 @@ const GOLDEN: &[&str] = &[
     "lz",
     "mgard",
     "noop",
+    "rans",
     "rle",
     "shuffle",
     "sz",
@@ -75,6 +76,12 @@ const EXCLUDED: &[(&str, &str)] = &[
     ("many_independent", "synthetic multi-buffer demo plugin, not a stream format"),
     ("many_dependent", "synthetic multi-buffer demo plugin, not a stream format"),
 ];
+
+/// Extra pinned streams outside the per-plugin serial corpus: chunked
+/// container formats written and verified by their own tests below (they
+/// have no manifest row — the formats are lossless, so there is no error
+/// to record).
+const EXTRA_GOLDEN: &[&str] = &["rans_nthreads2"];
 
 /// Value-range-relative bound applied to every plugin (lossless plugins
 /// ignore the foreign `pressio:` key).
@@ -249,12 +256,59 @@ fn golden_streams_are_bit_identical() {
         if path.extension().is_some_and(|e| e == "bin") {
             let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
             assert!(
-                GOLDEN.contains(&stem),
-                "orphaned golden stream {}: not in GOLDEN\n{REGEN_HINT}",
+                GOLDEN.contains(&stem) || EXTRA_GOLDEN.contains(&stem),
+                "orphaned golden stream {}: not in GOLDEN or EXTRA_GOLDEN\n{REGEN_HINT}",
                 path.display()
             );
         }
     }
+}
+
+/// Pins the *chunked* rans container format: the stream `rans:nthreads=2`
+/// emits for the smallest input the adaptive chunk plan still splits in
+/// two (2 x 256 KiB). The serial `rans.bin` golden stream cannot cover
+/// this path — the letkf field is far below the chunking floor — and the
+/// chunk directory (magic, count, per-chunk sections) is a wire contract
+/// of its own. The input is deterministic and highly skewed so the
+/// committed stream stays a few KiB.
+#[test]
+fn golden_rans_chunked_stream_is_bit_identical() {
+    libpressio::init();
+    let raw: Vec<u8> = (0..2 * libpressio::core::MIN_CHUNK_BYTES)
+        .map(|i| if i % 113 == 0 { (i / 113 % 7 + 1) as u8 } else { 0 })
+        .collect();
+    let input = Data::from_bytes(&raw);
+    let mut c = libpressio::instance().get_compressor("rans").expect("rans");
+    c.set_options(&Options::new().with("rans:nthreads", 2u32))
+        .expect("rans:nthreads");
+    let stream = c.compress(&input).expect("chunked encode").as_bytes().to_vec();
+    // The envelope must carry the chunked container, not the serial frame
+    // ("RNS1"): if this stops holding, the plan geometry changed and the
+    // pin below is no longer testing the chunk directory.
+    assert_ne!(&stream[..4], b"1SNR", "stream fell back to the serial frame");
+
+    let path = golden_dir().join("rans_nthreads2.bin");
+    if update_mode() {
+        fs::write(&path, &stream).expect("write rans_nthreads2.bin");
+        return;
+    }
+    let golden = fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden stream {}: {e}\n{REGEN_HINT}", path.display())
+    });
+    assert_eq!(
+        stream, golden,
+        "rans chunked container format changed: old archives may no longer \
+         decode.\n{REGEN_HINT}"
+    );
+    // The committed stream must still decode losslessly — with a *serial*
+    // handle, since the chunk layout travels in the stream.
+    let mut out = Data::owned(input.dtype(), input.dims().to_vec());
+    libpressio::instance()
+        .get_compressor("rans")
+        .expect("rans")
+        .decompress(&Data::from_bytes(&golden), &mut out)
+        .expect("chunked decode");
+    assert_eq!(out.as_bytes(), raw.as_slice());
 }
 
 /// The committed streams must still decode, to exactly the round-trip

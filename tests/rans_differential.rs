@@ -1,0 +1,188 @@
+//! Differential tests of the two SZ lossless-tail backends.
+//!
+//! `sz:lossless` selects the pass applied over SZ's entropy-coded and
+//! verbatim sections: `deflate` (LZ77 + canonical Huffman, the historical
+//! default) or `rans` (LZ77 + static-table interleaved rANS). Swapping the
+//! tail must be invisible to callers — the decompressed values, and
+//! therefore every error metric, must be *identical* byte for byte, since
+//! the tail is lossless and everything upstream of it is unchanged. The
+//! only things allowed to differ are the compressed bytes themselves.
+//!
+//! On ratio, the rANS tail exists to be at least competitive: these tests
+//! record the ratio delta on every corpus entry and fail if rans is ever
+//! worse than deflate-lite by more than 1%.
+//!
+//! A second battery drives seeded `mutate_stream` damage (bitflip,
+//! truncate, extend, zero_region) through the standalone `rans` codec and
+//! through `sz` streams carrying the rANS backend tag: decoding must
+//! produce structured errors (or a clean decode when the damage misses
+//! anything load-bearing), never a panic, hang, or unbounded allocation.
+
+use libpressio::core::OPT_REL;
+use libpressio::meta::{mutate_stream, run_with_deadline, ALL_FAULT_MODES};
+use libpressio::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The same value-range-relative bound the golden corpus pins.
+const REL: f64 = 1e-3;
+
+/// Every corpus input the backends are differenced on: the golden-stream
+/// field first, then the other datagen families (smooth, turbulent,
+/// multi-scale, particle) so both tails see easy and hostile sections.
+fn corpus() -> Vec<(&'static str, Data)> {
+    libpressio::init();
+    vec![
+        ("scale_letkf_golden", libpressio::datagen::scale_letkf(10, 9, 8, 77)),
+        ("scale_letkf_large", libpressio::datagen::scale_letkf(16, 24, 24, 77)),
+        ("nyx_density", libpressio::datagen::nyx_density(16, 13)),
+        ("miranda_velocity", libpressio::datagen::miranda_velocity(12, 16, 16, 5)),
+        ("hurricane_cloud", libpressio::datagen::hurricane_cloud(8, 24, 24, 9)),
+        ("hacc_positions", libpressio::datagen::hacc_positions(4096, 64.0, 3)),
+    ]
+}
+
+fn sz_with_backend(backend: &str) -> CompressorHandle {
+    let mut c = libpressio::instance().get_compressor("sz").expect("sz");
+    c.set_options(
+        &Options::new()
+            .with(OPT_REL, REL)
+            .with("sz:lossless", backend),
+    )
+    .expect("sz options");
+    c
+}
+
+fn roundtrip(backend: &str, input: &Data) -> (usize, Data) {
+    let mut c = sz_with_backend(backend);
+    let compressed = c.compress(input).expect(backend);
+    let mut output = Data::owned(input.dtype(), input.dims().to_vec());
+    c.decompress(&compressed, &mut output).expect(backend);
+    (compressed.size_in_bytes(), output)
+}
+
+fn error_metrics(input: &Data, output: &Data) -> (f64, f64) {
+    let a = input.to_f64_vec().expect("f64 view");
+    let b = output.to_f64_vec().expect("f64 view");
+    let max_abs = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max);
+    let mse = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64;
+    (max_abs, mse)
+}
+
+/// The backend swap must be invisible downstream: identical decompressed
+/// bytes, identical error metrics, and a compressed size never more than
+/// 1% worse than deflate-lite, on every corpus input.
+#[test]
+fn rans_and_deflate_tails_decode_identically() {
+    for (name, input) in corpus() {
+        let (deflate_size, deflate_out) = roundtrip("deflate", &input);
+        let (rans_size, rans_out) = roundtrip("rans", &input);
+
+        assert_eq!(
+            deflate_out.as_bytes(),
+            rans_out.as_bytes(),
+            "{name}: decompressed output differs between lossless tails — the \
+             tail leaked into the reconstruction"
+        );
+        let (deflate_max, deflate_mse) = error_metrics(&input, &deflate_out);
+        let (rans_max, rans_mse) = error_metrics(&input, &rans_out);
+        assert_eq!(
+            deflate_max.to_bits(),
+            rans_max.to_bits(),
+            "{name}: max abs error differs between tails"
+        );
+        assert_eq!(
+            deflate_mse.to_bits(),
+            rans_mse.to_bits(),
+            "{name}: MSE differs between tails"
+        );
+
+        let delta_pct =
+            (rans_size as f64 - deflate_size as f64) / deflate_size as f64 * 100.0;
+        println!(
+            "{name}: deflate {deflate_size} B, rans {rans_size} B, delta {delta_pct:+.3}%"
+        );
+        assert!(
+            rans_size as f64 <= deflate_size as f64 * 1.01,
+            "{name}: rans stream ({rans_size} B) is more than 1% larger than \
+             deflate's ({deflate_size} B)"
+        );
+    }
+}
+
+/// Drive every fault mode over streams from both the standalone `rans`
+/// codec and `sz` with the rANS tail, with a fixed seed per case so any
+/// failure reproduces bit for bit. Decodes run under a watchdog deadline
+/// and a memory budget: the contract is structured errors or clean
+/// decodes, never panics, hangs, or absurd allocations.
+#[test]
+fn seeded_stream_damage_yields_structured_errors() {
+    libpressio::init();
+    let field = libpressio::datagen::scale_letkf(10, 9, 8, 77);
+
+    // (label, compressor, stack options, clean stream)
+    let mut targets: Vec<(&str, &str, Options, Vec<u8>)> = Vec::new();
+    {
+        let mut c = libpressio::instance().get_compressor("rans").expect("rans");
+        let clean = c.compress(&Data::from_bytes(field.as_bytes())).expect("rans encode");
+        targets.push(("rans", "rans", Options::new(), clean.as_bytes().to_vec()));
+    }
+    {
+        let opts = Options::new().with(OPT_REL, REL).with("sz:lossless", "rans");
+        let mut c = libpressio::instance().get_compressor("sz").expect("sz");
+        c.set_options(&opts).expect("sz options");
+        let clean = c.compress(&field).expect("sz encode");
+        targets.push(("sz[lossless=rans]", "sz", opts, clean.as_bytes().to_vec()));
+    }
+
+    for (label, name, opts, clean) in targets {
+        for mode in ALL_FAULT_MODES {
+            for case in 0u64..24 {
+                // One RNG stream per (mode, case): failures name their case.
+                let mut rng = StdRng::seed_from_u64(
+                    0x5261_6E44 ^ (case << 8) ^ mode.name().len() as u64,
+                );
+                let intensity = rng.gen_range(1..48u32);
+                let mutated = mutate_stream(&clean, mode, intensity, &mut rng);
+                let dtype = field.dtype();
+                let dims = field.dims().to_vec();
+                let name = name.to_string();
+                let opts = opts.clone();
+                let outcome = run_with_deadline(5_000, "rans-differential", move || {
+                    if let Some(token) = libpressio::core::cancel::current() {
+                        token.set_memory_budget(256 << 20);
+                    }
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        let mut c = libpressio::instance()
+                            .get_compressor(&name)
+                            .expect("target");
+                        c.set_options(&opts).expect("target options");
+                        let mut out = Data::owned(dtype, dims);
+                        c.decompress(&Data::from_bytes(&mutated), &mut out).map(|_| ())
+                    }))
+                });
+                match outcome {
+                    // Deadline/cancellation errors from the watchdog are
+                    // structured too, so a plain Err is a pass…
+                    Err(_) => {}
+                    // …a decode error is the expected rejection…
+                    Ok(Ok(Err(_))) | Ok(Ok(Ok(()))) => {}
+                    // …but an unwind is exactly what must never happen.
+                    Ok(Err(_)) => panic!(
+                        "{label}: decode panicked on {} damage, case {case}",
+                        mode.name()
+                    ),
+                }
+            }
+        }
+    }
+}
